@@ -1,0 +1,33 @@
+//! # openmldb-baselines
+//!
+//! Rust reimplementations of the systems the paper's evaluation compares
+//! against. Each baseline implements the *cost model* the paper attributes
+//! to it — the specific inefficiency that makes it lose — while producing
+//! semantically identical results, so the benchmark harness compares
+//! like-for-like:
+//!
+//! | module | stands in for | modeled inefficiency |
+//! |---|---|---|
+//! | [`flink_like`] | Apache Flink | re-sort eviction, full recomputation, static routing |
+//! | [`spark_like`] | Spark (offline) | serial windows, shuffle serialization, fat rows, OOM |
+//! | [`redis_like`] | Redis store | per-entry metadata, string values, rehash growth |
+//! | [`trino_redis_like`] | Trino + Redis | per-query RPC hops, wire-string parsing |
+//! | [`mysql_like`] | MySQL (MEMORY) | generic B-tree, per-request re-aggregation |
+//! | [`duckdb_like`] | DuckDB | keyless full-column scans, multi-pass temporal filters |
+//! | [`greenplum_like`] | GreenPlum MPP | full-history recomputation per ranking request |
+
+pub mod duckdb_like;
+pub mod flink_like;
+pub mod greenplum_like;
+pub mod mysql_like;
+pub mod redis_like;
+pub mod spark_like;
+pub mod trino_redis_like;
+
+pub use duckdb_like::DuckDbLikeTable;
+pub use flink_like::{FlinkLikeTopN, FlinkLikeWindow};
+pub use greenplum_like::GreenplumLikeRanker;
+pub use mysql_like::MySqlLikeTable;
+pub use redis_like::RedisLikeStore;
+pub use spark_like::{SparkLikeEngine, SparkStats};
+pub use trino_redis_like::TrinoRedisLike;

@@ -1,0 +1,197 @@
+//! Redis-style in-memory hash store (baseline for Table 2 and Fig 6).
+//!
+//! Models the memory behaviour the paper measures against:
+//!
+//! * a global hash table of keys → per-key list of entries, with Redis's
+//!   per-entry metadata costs (dict entry, robj headers, SDS strings);
+//! * incremental rehashing is *not* modeled — instead we model the doubling
+//!   growth policy, whose reallocation spikes the paper calls out;
+//! * values are stored as field-value maps (one robj per field), the layout
+//!   a Trino-over-Redis deployment uses, so repeated keys and non-compact
+//!   encodings cost what they cost in the real pairing.
+
+use std::collections::HashMap;
+
+use openmldb_types::{Row, Value};
+
+/// Approximate Redis memory constants (bytes), following jemalloc-rounded
+/// sizes commonly cited for Redis 6 on 64-bit builds.
+pub mod cost {
+    /// `dictEntry`: key ptr + val ptr + next ptr.
+    pub const DICT_ENTRY: usize = 24;
+    /// `robj` header.
+    pub const ROBJ: usize = 16;
+    /// SDS string header + NUL.
+    pub const SDS_HEADER: usize = 10;
+    /// Quicklist node overhead per list element.
+    pub const LIST_NODE: usize = 32;
+    /// Hash-table bucket pointer.
+    pub const BUCKET_PTR: usize = 8;
+}
+
+/// One stored entry: a timestamp plus the row rendered as field strings
+/// (Redis hashes store everything as strings).
+struct Entry {
+    ts: i64,
+    fields: Vec<String>,
+}
+
+impl Entry {
+    fn mem_size(&self) -> usize {
+        let field_bytes: usize = self
+            .fields
+            .iter()
+            .map(|f| cost::ROBJ + cost::SDS_HEADER + f.len())
+            .sum();
+        cost::LIST_NODE + 8 + field_bytes
+    }
+}
+
+/// A Redis-like keyed time-series store.
+pub struct RedisLikeStore {
+    map: HashMap<String, Vec<Entry>>,
+    /// Bucket array capacity (doubles like Redis's dict).
+    capacity: usize,
+    entries: usize,
+    value_bytes: usize,
+    key_bytes: usize,
+    /// Rehash (table doubling) events observed.
+    pub rehashes: u64,
+}
+
+impl Default for RedisLikeStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RedisLikeStore {
+    pub fn new() -> Self {
+        RedisLikeStore {
+            map: HashMap::new(),
+            capacity: 16,
+            entries: 0,
+            value_bytes: 0,
+            key_bytes: 0,
+            rehashes: 0,
+        }
+    }
+
+    /// Store a row under `key` ordered by `ts` (Redis sorted-set/list style:
+    /// values rendered to strings field by field).
+    pub fn put(&mut self, key: &str, ts: i64, row: &Row) {
+        let fields: Vec<String> = row
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                other => other.to_string(),
+            })
+            .collect();
+        let entry = Entry { ts, fields };
+        self.value_bytes += entry.mem_size();
+        if !self.map.contains_key(key) {
+            self.key_bytes += cost::DICT_ENTRY + cost::ROBJ + cost::SDS_HEADER + key.len();
+            if self.map.len() + 1 > self.capacity {
+                self.capacity *= 2;
+                self.rehashes += 1;
+            }
+        }
+        let list = self.map.entry(key.to_string()).or_default();
+        // Keep per-key lists time-ordered (insertion sort from the tail —
+        // Redis clients do this with ZADD; here it costs what it costs).
+        let pos = list.partition_point(|e| e.ts <= ts);
+        list.insert(pos, entry);
+        self.entries += 1;
+    }
+
+    /// Entries for `key` within `[lower_ts, upper_ts]`, oldest first.
+    pub fn range(&self, key: &str, lower_ts: i64, upper_ts: i64) -> Vec<(i64, &[String])> {
+        match self.map.get(key) {
+            None => Vec::new(),
+            Some(list) => {
+                let start = list.partition_point(|e| e.ts < lower_ts);
+                list[start..]
+                    .iter()
+                    .take_while(|e| e.ts <= upper_ts)
+                    .map(|e| (e.ts, e.fields.as_slice()))
+                    .collect()
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Total estimated memory: bucket array + key overheads + entries.
+    pub fn mem_used(&self) -> usize {
+        self.capacity * cost::BUCKET_PTR + self.key_bytes + self.value_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: i64) -> Row {
+        Row::new(vec![Value::Bigint(v), Value::string("payload")])
+    }
+
+    #[test]
+    fn put_and_range() {
+        let mut s = RedisLikeStore::new();
+        for ts in [30, 10, 20] {
+            s.put("k1", ts, &row(ts));
+        }
+        s.put("k2", 15, &row(15));
+        let hits = s.range("k1", 10, 25);
+        assert_eq!(hits.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(), vec![10, 20]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn memory_grows_with_entries_and_keys() {
+        let mut s = RedisLikeStore::new();
+        let empty = s.mem_used();
+        s.put("key", 1, &row(1));
+        let one = s.mem_used();
+        assert!(one > empty + 50, "per-entry overhead is significant");
+        s.put("key", 2, &row(2));
+        assert!(s.mem_used() > one);
+    }
+
+    #[test]
+    fn rehash_doubles_capacity() {
+        let mut s = RedisLikeStore::new();
+        for i in 0..100 {
+            s.put(&format!("key{i}"), 0, &row(i));
+        }
+        assert!(s.rehashes >= 2, "growth beyond 16 buckets rehashes");
+    }
+
+    #[test]
+    fn redis_layout_is_fatter_than_compact_codec() {
+        use openmldb_types::{CompactCodec, DataType, RowCodec, Schema};
+        let schema = Schema::from_pairs(&[
+            ("v", DataType::Bigint),
+            ("s", DataType::String),
+        ])
+        .unwrap();
+        let codec = CompactCodec::new(schema);
+        let r = row(42);
+        let mut store = RedisLikeStore::new();
+        let before = store.mem_used();
+        store.put("user:42", 1, &r);
+        let redis_cost = store.mem_used() - before;
+        let compact_cost = codec.encoded_size(&r).unwrap() + 48; // + node overhead
+        assert!(
+            redis_cost > compact_cost,
+            "redis {redis_cost} vs compact {compact_cost}"
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Criterion micro-benchmarks over the hot paths behind the paper's
+//! figures, including the ablations DESIGN.md calls out:
+//!
+//! * compact vs UnsafeRow codec (encode/decode) — §7.1;
+//! * skiplist insert/scan/latest — §7.2;
+//! * incremental (subtract-and-evict) vs recompute sliding windows — §5.2;
+//! * cyclic binding (shared state) vs independent aggregates — §4.2;
+//! * pre-aggregated vs raw long-window queries — §5.1;
+//! * SQL parse + plan, with and without the compilation cache — §4.2.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use openmldb_exec::{SlidingWindow, WindowAggSet};
+use openmldb_online::PreAggregator;
+use openmldb_sql::ast::Frame;
+use openmldb_sql::functions::lookup;
+use openmldb_sql::plan::{BoundAggregate, BoundWindow, PhysExpr};
+use openmldb_sql::{Catalog, PlanCache};
+use openmldb_storage::TimeList;
+use openmldb_types::{
+    CompactCodec, DataType, KeyValue, Row, RowCodec, Schema, UnsafeRowCodec, Value,
+};
+
+fn bench_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("id", DataType::Bigint),
+        ("k", DataType::Bigint),
+        ("v", DataType::Double),
+        ("cat", DataType::String),
+        ("q", DataType::Int),
+        ("ts", DataType::Timestamp),
+    ])
+    .unwrap()
+}
+
+fn bench_row(i: i64) -> Row {
+    Row::new(vec![
+        Value::Bigint(i),
+        Value::Bigint(i % 10),
+        Value::Double(i as f64 * 0.5),
+        Value::string("category"),
+        Value::Int((i % 5) as i32),
+        Value::Timestamp(i),
+    ])
+}
+
+fn spec(func: &str, col: usize) -> BoundAggregate {
+    BoundAggregate {
+        window_id: 0,
+        func: lookup(func).unwrap(),
+        args: vec![PhysExpr::Column(col)],
+        output_type: DataType::Double,
+    }
+}
+
+fn codecs(c: &mut Criterion) {
+    let schema = bench_schema();
+    let compact = CompactCodec::new(schema.clone());
+    let unsafe_row = UnsafeRowCodec::new(schema);
+    let row = bench_row(42);
+    let compact_buf = compact.encode(&row).unwrap();
+    let unsafe_buf = unsafe_row.encode(&row).unwrap();
+
+    let mut g = c.benchmark_group("codec");
+    g.bench_function("compact_encode", |b| b.iter(|| compact.encode(&row).unwrap()));
+    g.bench_function("unsafe_encode", |b| b.iter(|| unsafe_row.encode(&row).unwrap()));
+    g.bench_function("compact_decode", |b| b.iter(|| compact.decode(&compact_buf).unwrap()));
+    g.bench_function("unsafe_decode", |b| b.iter(|| unsafe_row.decode(&unsafe_buf).unwrap()));
+    g.finish();
+}
+
+fn skiplist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skiplist");
+    g.bench_function("timelist_insert_inorder", |b| {
+        b.iter_batched(
+            TimeList::new,
+            |list| {
+                for i in 0..1_000i64 {
+                    list.insert(i, Arc::from(vec![0u8; 32].into_boxed_slice()));
+                }
+                list
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let list = TimeList::new();
+    for i in 0..10_000i64 {
+        list.insert(i, Arc::from(vec![0u8; 32].into_boxed_slice()));
+    }
+    g.bench_function("timelist_latest", |b| b.iter(|| list.latest().unwrap()));
+    g.bench_function("timelist_range_1000", |b| b.iter(|| list.range(9_000, 9_999)));
+    g.finish();
+}
+
+fn sliding_windows(c: &mut Criterion) {
+    let specs = [spec("sum", 2), spec("count", 2), spec("max", 2)];
+    let refs: Vec<&BoundAggregate> = specs.iter().collect();
+    let rows: Vec<Row> = (0..2_000).map(bench_row).collect();
+
+    let mut g = c.benchmark_group("sliding_window");
+    g.bench_function("incremental_2k_rows", |b| {
+        b.iter(|| {
+            let mut w =
+                SlidingWindow::new(Frame::RowsRange { preceding_ms: 200 }, &refs).unwrap();
+            for (i, row) in rows.iter().enumerate() {
+                w.push(i as i64, row.values()).unwrap();
+            }
+            w.len()
+        })
+    });
+    g.bench_function("recompute_2k_rows", |b| {
+        b.iter(|| {
+            // The baseline: rebuild the aggregate set per tuple.
+            let mut buffer: Vec<(i64, &Row)> = Vec::new();
+            for (i, row) in rows.iter().enumerate() {
+                let ts = i as i64;
+                buffer.push((ts, row));
+                let cut = buffer.partition_point(|(t, _)| ts - t > 200);
+                buffer.drain(..cut);
+                let mut set = WindowAggSet::new(&refs).unwrap();
+                for (_, r) in &buffer {
+                    set.update(r.values()).unwrap();
+                }
+                std::hint::black_box(set.outputs());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn cyclic_binding(c: &mut Criterion) {
+    // sum/avg/count/min/max over the same column: shared state vs five
+    // independent aggregators.
+    let shared_specs: Vec<BoundAggregate> =
+        ["sum", "avg", "count", "min", "max"].iter().map(|f| spec(f, 2)).collect();
+    let refs: Vec<&BoundAggregate> = shared_specs.iter().collect();
+    let rows: Vec<Row> = (0..1_000).map(bench_row).collect();
+
+    let mut g = c.benchmark_group("cyclic_binding");
+    g.bench_function("shared_state_5aggs", |b| {
+        b.iter(|| {
+            let mut set = WindowAggSet::new(&refs).unwrap();
+            for row in &rows {
+                set.update(row.values()).unwrap();
+            }
+            set.outputs()
+        })
+    });
+    g.bench_function("independent_5aggs", |b| {
+        b.iter(|| {
+            let mut aggs: Vec<Box<dyn openmldb_exec::Aggregator>> = shared_specs
+                .iter()
+                .map(|s| openmldb_exec::create_aggregator(s.func, &s.args).unwrap())
+                .collect();
+            for row in &rows {
+                for (a, s) in aggs.iter_mut().zip(&shared_specs) {
+                    let v = openmldb_exec::evaluate(&s.args[0], row.values(), &[]).unwrap();
+                    a.update(&[v]).unwrap();
+                }
+            }
+            aggs.iter().map(|a| a.output()).collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+fn preagg_query(c: &mut Criterion) {
+    let window = BoundWindow {
+        name: "w".into(),
+        merged_names: vec!["w".into()],
+        partition_cols: vec![1],
+        order_col: 5,
+        order_desc: false,
+        frame: Frame::RowsRange { preceding_ms: 100_000 },
+        maxsize: None,
+        exclude_current_row: false,
+        instance_not_in_window: false,
+        union_tables: vec![],
+    };
+    let specs = vec![spec("sum", 2), spec("count", 2)];
+    let preagg = PreAggregator::new(&window, &specs, vec![1_000, 10_000]).unwrap();
+    let rows: Vec<Row> = (0..100_000)
+        .map(|i| {
+            Row::new(vec![
+                Value::Bigint(i),
+                Value::Bigint(0),
+                Value::Double(1.0),
+                Value::string("c"),
+                Value::Int(1),
+                Value::Timestamp(i),
+            ])
+        })
+        .collect();
+    for row in &rows {
+        preagg.ingest(row).unwrap();
+    }
+    let key = vec![KeyValue::Int(0)];
+
+    let mut g = c.benchmark_group("long_window");
+    g.bench_function("preagg_query_100k_window", |b| {
+        b.iter(|| preagg.query(&key, 0, 99_999, |_l, _h| Ok(Vec::new())).unwrap())
+    });
+    g.bench_function("raw_scan_100k_window", |b| {
+        let refs: Vec<&BoundAggregate> = specs.iter().collect();
+        b.iter(|| {
+            let mut set = WindowAggSet::new(&refs).unwrap();
+            for row in &rows {
+                set.update(row.values()).unwrap();
+            }
+            set.outputs()
+        })
+    });
+    g.finish();
+}
+
+fn plan_compilation(c: &mut Criterion) {
+    struct Cat(Schema);
+    impl Catalog for Cat {
+        fn table_schema(&self, name: &str) -> Option<Schema> {
+            (name == "t1").then(|| self.0.clone())
+        }
+    }
+    let cat = Cat(bench_schema());
+    let sql = "SELECT id, sum(v) OVER w1 AS s, avg(v) OVER w1 AS a, \
+               count_where(v, q > 1) OVER w2 AS cw FROM t1 \
+               WINDOW w1 AS (PARTITION BY k ORDER BY ts ROWS_RANGE BETWEEN 10s PRECEDING AND CURRENT ROW), \
+                      w2 AS (PARTITION BY k ORDER BY ts ROWS BETWEEN 100 PRECEDING AND CURRENT ROW)";
+
+    let mut g = c.benchmark_group("plan");
+    g.bench_function("parse_and_compile", |b| {
+        b.iter(|| {
+            let stmt = openmldb_sql::parse_select(sql).unwrap();
+            openmldb_sql::compile_select(&stmt, &cat).unwrap()
+        })
+    });
+    let cache = PlanCache::new();
+    cache.compile(sql, &cat).unwrap();
+    g.bench_function("plan_cache_hit", |b| b.iter(|| cache.compile(sql, &cat).unwrap()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    codecs,
+    skiplist,
+    sliding_windows,
+    cyclic_binding,
+    preagg_query,
+    plan_compilation
+);
+criterion_main!(benches);

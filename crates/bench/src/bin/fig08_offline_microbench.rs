@@ -1,0 +1,3 @@
+fn main() {
+    openmldb_bench::experiments::fig08::run();
+}

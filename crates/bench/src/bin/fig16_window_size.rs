@@ -1,0 +1,3 @@
+fn main() {
+    openmldb_bench::experiments::sweeps::run_window_size();
+}

@@ -1,0 +1,116 @@
+//! **Section 7.1's worked example** — encoded row sizes, compact format vs
+//! Spark's UnsafeRow layout, over several representative schemas including
+//! the paper's exact example (556 B → 255 B, >54% saving).
+
+use openmldb_types::{
+    ColumnDef, CompactCodec, DataType, Row, RowCodec, Schema, UnsafeRowCodec, Value,
+};
+
+use crate::harness::print_table;
+
+pub struct RowSizeRow {
+    pub schema: String,
+    pub unsafe_bytes: usize,
+    pub compact_bytes: usize,
+    pub saving_pct: f64,
+}
+
+fn paper_example() -> (Schema, Row) {
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..20 {
+        cols.push(ColumnDef::new(format!("i{i}"), DataType::Int));
+        vals.push(Value::Int(i));
+    }
+    for i in 0..20 {
+        cols.push(ColumnDef::new(format!("f{i}"), DataType::Float));
+        vals.push(Value::Float(i as f32));
+    }
+    for i in 0..20 {
+        cols.push(ColumnDef::new(format!("s{i}"), DataType::String));
+        vals.push(Value::string("x"));
+    }
+    for i in 0..5 {
+        cols.push(ColumnDef::new(format!("t{i}"), DataType::Timestamp));
+        vals.push(Value::Timestamp(i));
+    }
+    (Schema::new(cols).unwrap(), Row::new(vals))
+}
+
+pub fn run() -> Vec<RowSizeRow> {
+    let mut cases: Vec<(String, Schema, Row)> = Vec::new();
+    {
+        let (s, r) = paper_example();
+        cases.push(("paper §7.1 example (65 cols)".into(), s, r));
+    }
+    cases.push((
+        "clickstream (6 cols)".into(),
+        Schema::from_pairs(&[
+            ("user", DataType::Bigint),
+            ("item", DataType::String),
+            ("price", DataType::Double),
+            ("qty", DataType::Int),
+            ("flag", DataType::Bool),
+            ("ts", DataType::Timestamp),
+        ])
+        .unwrap(),
+        Row::new(vec![
+            Value::Bigint(42),
+            Value::string("item_12345"),
+            Value::Double(19.5),
+            Value::Int(2),
+            Value::Bool(true),
+            Value::Timestamp(1_700_000_000_000),
+        ]),
+    ));
+    cases.push((
+        "numeric-heavy (20 ints)".into(),
+        Schema::new((0..20).map(|i| ColumnDef::new(format!("c{i}"), DataType::Int)).collect())
+            .unwrap(),
+        Row::new((0..20).map(Value::Int).collect()),
+    ));
+
+    let mut out = Vec::new();
+    for (name, schema, row) in cases {
+        let unsafe_bytes = UnsafeRowCodec::new(schema.clone()).encoded_size(&row).unwrap();
+        let compact_bytes = CompactCodec::new(schema).encoded_size(&row).unwrap();
+        out.push(RowSizeRow {
+            schema: name,
+            unsafe_bytes,
+            compact_bytes,
+            saving_pct: 100.0 * (1.0 - compact_bytes as f64 / unsafe_bytes as f64),
+        });
+    }
+
+    let table: Vec<Vec<String>> = out
+        .iter()
+        .map(|r| {
+            vec![
+                r.schema.clone(),
+                r.unsafe_bytes.to_string(),
+                r.compact_bytes.to_string(),
+                format!("{:.1}%", r.saving_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "§7.1: encoded row size, bytes (Spark UnsafeRow vs compact)",
+        &["schema", "UnsafeRow", "compact", "saving"],
+        &table,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn paper_numbers_exact() {
+        let rows = super::run();
+        assert_eq!(rows[0].unsafe_bytes, 556);
+        assert_eq!(rows[0].compact_bytes, 255);
+        assert!(rows[0].saving_pct > 54.0);
+        for r in &rows {
+            assert!(r.compact_bytes < r.unsafe_bytes, "{}", r.schema);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared benchmark harness: timing, percentile statistics, table printing,
+//! and the scale knob.
+//!
+//! Every experiment binary prints the same row/series structure as the
+//! paper's corresponding table or figure. Absolute numbers differ from the
+//! paper (different hardware, simulated substrates); the *shape* — who wins
+//! and by roughly what factor — is the reproduction target, recorded in
+//! `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+/// Scale factor from `BENCH_SCALE` (default 1.0). The defaults finish in
+/// seconds; crank it up to approach the paper's row counts.
+pub fn scale() -> f64 {
+    std::env::var("BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// `n` scaled by `BENCH_SCALE`, with a floor.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(16)
+}
+
+/// Test helper: run `f` with `BENCH_SCALE` set to `s`, serialized across
+/// threads (env vars are process-global).
+pub fn with_scale<T>(s: f64, f: impl FnOnce() -> T) -> T {
+    use std::sync::Mutex;
+    static LOCK: Mutex<()> = Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("BENCH_SCALE", s.to_string());
+    let out = f();
+    std::env::remove_var("BENCH_SCALE");
+    out
+}
+
+/// Run `f` once per iteration; returns per-iteration latencies in
+/// milliseconds.
+pub fn time_each<T>(iters: usize, mut f: impl FnMut(usize) -> T) -> Vec<f64> {
+    let mut out = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let start = Instant::now();
+        let value = f(i);
+        out.push(start.elapsed().as_secs_f64() * 1_000.0);
+        std::hint::black_box(value);
+    }
+    out
+}
+
+/// Like [`time_each`] but stops early once `budget_ms` of measured work has
+/// accumulated (slow configurations get fewer samples instead of stalling
+/// the harness).
+pub fn time_each_budget<T>(
+    max_iters: usize,
+    budget_ms: f64,
+    mut f: impl FnMut(usize) -> T,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut spent = 0.0;
+    for i in 0..max_iters {
+        let start = Instant::now();
+        let value = f(i);
+        let ms = start.elapsed().as_secs_f64() * 1_000.0;
+        std::hint::black_box(value);
+        out.push(ms);
+        spent += ms;
+        if spent >= budget_ms && out.len() >= 5 {
+            break;
+        }
+    }
+    out
+}
+
+/// Wall-clock milliseconds for one call.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+/// Summary statistics over a latency sample (milliseconds).
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p90_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    pub qps: f64,
+}
+
+impl LatencyStats {
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| {
+            let idx = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len()) - 1;
+            samples[idx]
+        };
+        let total: f64 = samples.iter().sum();
+        LatencyStats {
+            mean_ms: total / samples.len() as f64,
+            p50_ms: pct(0.50),
+            p90_ms: pct(0.90),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            p999_ms: pct(0.999),
+            qps: samples.len() as f64 / (total / 1_000.0),
+        }
+    }
+}
+
+/// Print a header + aligned rows (simple fixed-width table).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Approximate equality for nested aggregate results: Doubles may differ by
+/// float-association noise between engines that sum in different orders;
+/// everything else must match exactly.
+pub fn results_close(
+    a: &[Vec<Vec<openmldb_types::Value>>],
+    b: &[Vec<Vec<openmldb_types::Value>>],
+) -> bool {
+    use openmldb_types::Value;
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(wa, wb)| {
+        wa.len() == wb.len()
+            && wa.iter().zip(wb).all(|(ra, rb)| {
+                ra.len() == rb.len()
+                    && ra.iter().zip(rb).all(|(x, y)| match (x, y) {
+                        (Value::Double(p), Value::Double(q)) => {
+                            (p - q).abs() / p.abs().max(q.abs()).max(1.0) < 1e-9
+                        }
+                        _ => x == y,
+                    })
+            })
+    })
+}
+
+/// Format a float with 3 significant decimals.
+pub fn fmt(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_ordered() {
+        let s = LatencyStats::from_samples((1..=1_000).map(|i| i as f64).collect());
+        assert!(s.p50_ms <= s.p90_ms && s.p90_ms <= s.p99_ms && s.p99_ms <= s.p999_ms);
+        assert!((s.p50_ms - 500.0).abs() <= 1.0);
+        assert!((s.p99_ms - 990.0).abs() <= 1.0);
+        assert!(s.qps > 0.0);
+    }
+
+    #[test]
+    fn scaled_has_floor() {
+        assert!(scaled(1) >= 16);
+    }
+
+    #[test]
+    fn time_each_returns_iters_samples() {
+        let samples = time_each(10, |i| i * 2);
+        assert_eq!(samples.len(), 10);
+        assert!(samples.iter().all(|&ms| ms >= 0.0));
+    }
+}

@@ -1,0 +1,16 @@
+//! # openmldb-core
+//!
+//! The top-level OpenMLDB system: an embedded [`Database`] facade wiring the
+//! unified query plan generator, the online request-mode engine, the
+//! offline batch engine, compact time-series storage, long-window
+//! pre-aggregation and the memory-management mechanisms of the paper into
+//! one object (paper Figure 2), plus the Section 8 memory estimation model.
+
+pub mod database;
+pub mod memory;
+
+pub use database::{Database, ExecResult};
+pub use memory::{
+    estimate_memory, recommend_engine, EngineChoice, IndexMemProfile, MemoryAlert,
+    MemoryMonitor, TableMemProfile, TableType,
+};

@@ -1,0 +1,299 @@
+//! Memory management mechanisms (paper Section 8).
+//!
+//! * [`estimate_memory`] — the empirical table-level estimation model of
+//!   Section 8.1, verified against the paper's worked example (a `latest`
+//!   table with 1M rows, 300-byte rows, two indexes, two replicas and
+//!   16-byte keys estimates ≈ 1.568 GB);
+//! * [`recommend_engine`] — the storage-engine guidance built on it
+//!   (in-memory for ~10 ms latency budgets when the estimate fits, disk for
+//!   20–30 ms budgets at ~80% hardware saving);
+//! * [`MemoryMonitor`] — runtime isolation and alerting (Section 8.2):
+//!   per-table `max_memory` limits under which **writes fail but reads
+//!   continue**, plus a threshold alert callback.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use openmldb_storage::DataTable;
+#[cfg(test)]
+use openmldb_storage::MemTable;
+
+/// Table types of the Section 8.1 model, fixing the per-entry constant `C`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableType {
+    /// Recent data per key.
+    Latest,
+    /// Recent entries with combination logic.
+    AbsOrLat,
+    /// Keyed by absolute timestamp.
+    Absolute,
+    /// Accessible by absolute timestamps and latest counts.
+    AbsAndLat,
+}
+
+impl TableType {
+    /// The paper's `C`: 70 for latest/absorlat, 74 for absolute/absandlat.
+    pub fn c(self) -> u64 {
+        match self {
+            TableType::Latest | TableType::AbsOrLat => 70,
+            TableType::Absolute | TableType::AbsAndLat => 74,
+        }
+    }
+}
+
+/// Per-index statistics feeding the model.
+#[derive(Debug, Clone)]
+pub struct IndexMemProfile {
+    /// Unique primary keys on this index column (`n_pk`).
+    pub unique_keys: u64,
+    /// Average key length in bytes (`|pk|`).
+    pub avg_key_len: u64,
+}
+
+/// Per-table statistics feeding the model.
+#[derive(Debug, Clone)]
+pub struct TableMemProfile {
+    pub replicas: u64,
+    pub indexes: Vec<IndexMemProfile>,
+    pub rows: u64,
+    pub avg_row_len: u64,
+    pub table_type: TableType,
+    /// `K`: data copies stored, between 1 and the index count.
+    pub data_copies: u64,
+}
+
+/// The Section 8.1 estimation:
+///
+/// ```text
+/// mem_total = Σ_i n_replica_i · [ Σ_j n_pk_ij · (|pk_ij| + 156)
+///                               + n_index_i · n_row_i · C
+///                               + K · n_row_i · |row_i| ]
+/// ```
+pub fn estimate_memory(tables: &[TableMemProfile]) -> u64 {
+    tables
+        .iter()
+        .map(|t| {
+            let key_term: u64 =
+                t.indexes.iter().map(|i| i.unique_keys * (i.avg_key_len + 156)).sum();
+            let entry_term = t.indexes.len() as u64 * t.rows * t.table_type.c();
+            let data_term = t.data_copies.clamp(1, t.indexes.len().max(1) as u64)
+                * t.rows
+                * t.avg_row_len;
+            t.replicas * (key_term + entry_term + data_term)
+        })
+        .sum()
+}
+
+/// Storage-engine recommendation (Section 8.1's deployment guidance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Estimate fits in memory and the latency budget is tight (~10 ms).
+    InMemory,
+    /// Budget allows 20–30 ms: disk saves ~80% hardware cost.
+    OnDisk,
+    /// Estimate exceeds memory — disk is the only option.
+    DiskRequired,
+}
+
+/// Pick a storage engine for a table given its estimate, the memory
+/// available, and the request latency budget.
+pub fn recommend_engine(
+    estimated_bytes: u64,
+    available_bytes: u64,
+    latency_budget_ms: u64,
+) -> EngineChoice {
+    if estimated_bytes > available_bytes {
+        EngineChoice::DiskRequired
+    } else if latency_budget_ms >= 20 {
+        EngineChoice::OnDisk
+    } else {
+        EngineChoice::InMemory
+    }
+}
+
+/// A fired memory alert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryAlert {
+    pub table: String,
+    pub used_bytes: usize,
+    pub threshold_bytes: usize,
+}
+
+type AlertHandler = Box<dyn Fn(&MemoryAlert) + Send + Sync>;
+
+struct Watch {
+    table: Arc<dyn DataTable>,
+    threshold_bytes: usize,
+    fired: bool,
+}
+
+/// Runtime memory isolation + alerting (Section 8.2). Tables are registered
+/// with a hard limit (enforced by the table itself: writes fail, reads
+/// continue) and an alert threshold checked by [`MemoryMonitor::poll`].
+#[derive(Default)]
+pub struct MemoryMonitor {
+    watches: RwLock<Vec<Watch>>,
+    handlers: RwLock<Vec<AlertHandler>>,
+}
+
+impl MemoryMonitor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Watch a table: `max_memory_bytes` is the hard write limit (0 = none);
+    /// `alert_at` ∈ (0, 1] fires the alert at that fraction of the limit.
+    pub fn watch(&self, table: Arc<dyn DataTable>, max_memory_bytes: usize, alert_at: f64) {
+        table.set_max_memory_bytes(max_memory_bytes);
+        let threshold_bytes = (max_memory_bytes as f64 * alert_at.clamp(0.0, 1.0)) as usize;
+        self.watches.write().push(Watch { table, threshold_bytes, fired: false });
+    }
+
+    /// Register an alert callback (notification hook of Section 8.2).
+    pub fn on_alert(&self, f: impl Fn(&MemoryAlert) + Send + Sync + 'static) {
+        self.handlers.write().push(Box::new(f));
+    }
+
+    /// Check every watched table; fire alerts that newly crossed their
+    /// thresholds (re-arming once usage drops below again). Returns alerts
+    /// fired this round.
+    pub fn poll(&self) -> Vec<MemoryAlert> {
+        let mut fired = Vec::new();
+        {
+            let mut watches = self.watches.write();
+            for w in watches.iter_mut() {
+                if w.threshold_bytes == 0 {
+                    continue;
+                }
+                let used = w.table.mem_used();
+                if used >= w.threshold_bytes {
+                    if !w.fired {
+                        w.fired = true;
+                        fired.push(MemoryAlert {
+                            table: w.table.name().to_string(),
+                            used_bytes: used,
+                            threshold_bytes: w.threshold_bytes,
+                        });
+                    }
+                } else {
+                    w.fired = false;
+                }
+            }
+        }
+        let handlers = self.handlers.read();
+        for alert in &fired {
+            for h in handlers.iter() {
+                h(alert);
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmldb_storage::{IndexSpec, Ttl};
+    use openmldb_types::{DataType, Row, Schema, Value};
+
+    /// The paper's worked example: "latest" table, 1M rows, 300-byte rows,
+    /// two indexes, 2 replicas, 16-byte keys, C=70, K=1 → about 1.568 GB.
+    #[test]
+    fn paper_example_estimates_1_568_gb() {
+        let profile = TableMemProfile {
+            replicas: 2,
+            indexes: vec![
+                IndexMemProfile { unique_keys: 1_000_000, avg_key_len: 16 },
+                IndexMemProfile { unique_keys: 1_000_000, avg_key_len: 16 },
+            ],
+            rows: 1_000_000,
+            avg_row_len: 300,
+            table_type: TableType::Latest,
+            data_copies: 1,
+        };
+        let bytes = estimate_memory(&[profile]);
+        let gb = bytes as f64 / 1e9;
+        assert!((gb - 1.568).abs() < 0.001, "estimated {gb} GB");
+    }
+
+    #[test]
+    fn c_constant_by_table_type() {
+        assert_eq!(TableType::Latest.c(), 70);
+        assert_eq!(TableType::AbsOrLat.c(), 70);
+        assert_eq!(TableType::Absolute.c(), 74);
+        assert_eq!(TableType::AbsAndLat.c(), 74);
+    }
+
+    #[test]
+    fn k_is_clamped_to_index_count() {
+        let mk = |k: u64| TableMemProfile {
+            replicas: 1,
+            indexes: vec![IndexMemProfile { unique_keys: 10, avg_key_len: 8 }],
+            rows: 100,
+            avg_row_len: 10,
+            table_type: TableType::Absolute,
+            data_copies: k,
+        };
+        assert_eq!(estimate_memory(&[mk(1)]), estimate_memory(&[mk(5)]));
+    }
+
+    #[test]
+    fn engine_recommendation() {
+        assert_eq!(recommend_engine(10, 100, 10), EngineChoice::InMemory);
+        assert_eq!(recommend_engine(10, 100, 25), EngineChoice::OnDisk);
+        assert_eq!(recommend_engine(200, 100, 10), EngineChoice::DiskRequired);
+    }
+
+    fn small_table() -> Arc<dyn DataTable> {
+        let schema =
+            Schema::from_pairs(&[("k", DataType::Bigint), ("ts", DataType::Timestamp)]).unwrap();
+        Arc::new(
+            MemTable::new(
+                "t",
+                schema,
+                vec![IndexSpec {
+                    name: "i".into(),
+                    key_cols: vec![0],
+                    ts_col: Some(1),
+                    ttl: Ttl::Unlimited,
+                }],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn monitor_fires_once_per_crossing() {
+        let table = small_table();
+        let monitor = MemoryMonitor::new();
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let s = seen.clone();
+        monitor.on_alert(move |a| s.lock().push(a.clone()));
+        monitor.watch(table.clone(), 1_000_000, 0.001);
+        assert!(monitor.poll().is_empty(), "empty table below threshold");
+        for i in 0..50 {
+            table.put(&Row::new(vec![Value::Bigint(i), Value::Timestamp(i)])).unwrap();
+        }
+        assert_eq!(monitor.poll().len(), 1, "alert fires on crossing");
+        assert!(monitor.poll().is_empty(), "does not re-fire while above");
+        assert_eq!(seen.lock().len(), 1);
+    }
+
+    #[test]
+    fn monitor_enforces_write_limit() {
+        let table = small_table();
+        let monitor = MemoryMonitor::new();
+        monitor.watch(table.clone(), 1_000, 0.5);
+        let mut rejected = false;
+        for i in 0..200 {
+            if table.put(&Row::new(vec![Value::Bigint(i), Value::Timestamp(i)])).is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "hard limit rejects writes");
+        // Reads continue.
+        assert!(table.latest(0, &[openmldb_types::KeyValue::Int(0)]).unwrap().is_some());
+    }
+}

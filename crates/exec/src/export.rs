@@ -1,0 +1,186 @@
+//! ML-friendly feature export (paper Section 4.1, category 5).
+//!
+//! Feature-signature functions (`label`-style, `continuous`, `discrete`)
+//! mark how each output column feeds the model; this module renders feature
+//! rows directly into LibSVM lines or dense CSV, so users never export raw
+//! ultra-high-dimensional tables and post-process them in Pandas.
+
+use openmldb_sql::plan::{CompiledQuery, PhysExpr};
+use openmldb_types::{DataType, Error, Result, Row, Value};
+
+use crate::scalar::hash_value;
+
+/// Default dimensionality of a hashed discrete feature.
+pub const DEFAULT_DISCRETE_DIM: i64 = 1 << 20;
+
+/// How one output column participates in the exported feature vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// The training label; exactly one per export schema (first wins).
+    Label,
+    /// One dense dimension holding the value itself.
+    Continuous,
+    /// `dim` sparse dimensions; the value hashes to one hot index.
+    Discrete { dim: i64 },
+    /// Excluded from the feature vector (identifiers, debug columns).
+    Skip,
+}
+
+/// Derive each output column's [`FeatureKind`] from the compiled query:
+/// explicit signature functions win; otherwise numeric columns become
+/// continuous features and strings become hashed discrete features.
+pub fn infer_feature_kinds(query: &CompiledQuery) -> Vec<FeatureKind> {
+    query
+        .select
+        .iter()
+        .map(|col| match &col.expr {
+            PhysExpr::ScalarCall { func, args } => match func.name {
+                "multiclass_label" | "binary_label" => FeatureKind::Label,
+                "continuous" => FeatureKind::Continuous,
+                "discrete" => {
+                    let dim = match args.get(1) {
+                        Some(PhysExpr::Literal(v)) => v.as_i64().unwrap_or(DEFAULT_DISCRETE_DIM),
+                        _ => DEFAULT_DISCRETE_DIM,
+                    };
+                    FeatureKind::Discrete { dim }
+                }
+                _ => default_kind(col.data_type),
+            },
+            _ => default_kind(col.data_type),
+        })
+        .collect()
+}
+
+fn default_kind(dt: DataType) -> FeatureKind {
+    match dt {
+        DataType::String => FeatureKind::Discrete { dim: DEFAULT_DISCRETE_DIM },
+        DataType::Timestamp => FeatureKind::Skip,
+        _ => FeatureKind::Continuous,
+    }
+}
+
+/// Render one feature row as a LibSVM line: `label idx:value idx:value ...`
+/// with strictly increasing indices. Discrete columns occupy a dedicated
+/// `dim`-sized index range; continuous columns occupy one index each.
+pub fn to_libsvm(row: &Row, kinds: &[FeatureKind]) -> Result<String> {
+    if row.len() != kinds.len() {
+        return Err(Error::Schema(format!(
+            "row arity {} does not match feature kinds {}",
+            row.len(),
+            kinds.len()
+        )));
+    }
+    let mut label = String::from("0");
+    let mut parts: Vec<(i64, f64)> = Vec::new();
+    let mut base: i64 = 0;
+    let mut label_seen = false;
+    for (v, kind) in row.values().iter().zip(kinds) {
+        match kind {
+            FeatureKind::Label => {
+                if !label_seen {
+                    label = match v {
+                        Value::Null => "0".to_string(),
+                        other => other.to_string(),
+                    };
+                    label_seen = true;
+                }
+            }
+            FeatureKind::Continuous => {
+                if !v.is_null() {
+                    parts.push((base, v.as_f64()?));
+                }
+                base += 1;
+            }
+            FeatureKind::Discrete { dim } => {
+                if !v.is_null() {
+                    let idx = (hash_value(v) % *dim as u64) as i64;
+                    parts.push((base + idx, 1.0));
+                }
+                base += dim;
+            }
+            FeatureKind::Skip => {}
+        }
+    }
+    let mut line = label;
+    for (i, v) in parts {
+        line.push(' ');
+        line.push_str(&format!("{i}:{v}"));
+    }
+    Ok(line)
+}
+
+/// Render a feature row as dense CSV (NULL → empty field).
+pub fn to_csv(row: &Row) -> String {
+    row.values()
+        .iter()
+        .map(|v| match v {
+            Value::Null => String::new(),
+            Value::Str(s) if s.contains(',') || s.contains('"') => {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            }
+            other => other.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libsvm_layout_is_deterministic() {
+        let kinds = [
+            FeatureKind::Label,
+            FeatureKind::Continuous,
+            FeatureKind::Discrete { dim: 10 },
+            FeatureKind::Continuous,
+        ];
+        let row = Row::new(vec![
+            Value::Int(1),
+            Value::Double(0.5),
+            Value::string("shoes"),
+            Value::Double(2.0),
+        ]);
+        let a = to_libsvm(&row, &kinds).unwrap();
+        let b = to_libsvm(&row, &kinds).unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("1 0:0.5 "), "{a}");
+        // Continuous after the 10-dim discrete block lands at index 11.
+        assert!(a.ends_with("11:2"), "{a}");
+        let hot: i64 = a.split(' ').nth(2).unwrap().split(':').next().unwrap().parse().unwrap();
+        assert!((1..11).contains(&hot), "discrete one-hot within its block: {a}");
+    }
+
+    #[test]
+    fn libsvm_skips_nulls_and_skip_columns() {
+        let kinds = [FeatureKind::Continuous, FeatureKind::Skip, FeatureKind::Continuous];
+        let row = Row::new(vec![Value::Null, Value::Timestamp(5), Value::Double(3.0)]);
+        let line = to_libsvm(&row, &kinds).unwrap();
+        assert_eq!(line, "0 1:3");
+    }
+
+    #[test]
+    fn libsvm_arity_checked() {
+        let row = Row::new(vec![Value::Int(1)]);
+        assert!(to_libsvm(&row, &[]).is_err());
+    }
+
+    #[test]
+    fn csv_escapes_quotes_and_commas() {
+        let row = Row::new(vec![
+            Value::Int(1),
+            Value::Null,
+            Value::string("a,b"),
+            Value::string("say \"hi\""),
+        ]);
+        assert_eq!(to_csv(&row), "1,,\"a,b\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn default_kinds_by_type() {
+        assert_eq!(default_kind(DataType::Double), FeatureKind::Continuous);
+        assert!(matches!(default_kind(DataType::String), FeatureKind::Discrete { .. }));
+        assert_eq!(default_kind(DataType::Timestamp), FeatureKind::Skip);
+    }
+}

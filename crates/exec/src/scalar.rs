@@ -1,0 +1,471 @@
+//! Scalar built-in function implementations, including the paper's string
+//! parsing (`split_by_key`) and feature-signature functions (`continuous`,
+//! `discrete`, `multiclass_label`) of Section 4.1, plus the geo helpers used
+//! by the GLQ workload.
+
+use openmldb_types::{Error, Result, Value};
+
+/// Dispatch a scalar builtin by name. NULL handling is per-function: most
+/// propagate NULL, `if_null` exists to replace it.
+pub fn call(name: &str, args: &[Value]) -> Result<Value> {
+    // Functions with explicit NULL semantics first.
+    match name {
+        "if_null" => return Ok(if args[0].is_null() { args[1].clone() } else { args[0].clone() }),
+        "if" => {
+            return Ok(if args[0].as_bool()? { args[1].clone() } else { args[2].clone() })
+        }
+        _ => {}
+    }
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    Ok(match name {
+        "abs" => match &args[0] {
+            Value::Int(v) => Value::Int(v.abs()),
+            Value::Bigint(v) => Value::Bigint(v.abs()),
+            Value::Float(v) => Value::Float(v.abs()),
+            v => Value::Double(v.as_f64()?.abs()),
+        },
+        "ceil" => Value::Bigint(args[0].as_f64()?.ceil() as i64),
+        "floor" => Value::Bigint(args[0].as_f64()?.floor() as i64),
+        "round" => Value::Bigint(args[0].as_f64()?.round() as i64),
+        "sqrt" => Value::Double(args[0].as_f64()?.sqrt()),
+        "log" => Value::Double(args[0].as_f64()?.ln()),
+        "exp" => Value::Double(args[0].as_f64()?.exp()),
+        "pow" => Value::Double(args[0].as_f64()?.powf(args[1].as_f64()?)),
+        "upper" => Value::string(args[0].as_str()?.to_uppercase()),
+        "lower" => Value::string(args[0].as_str()?.to_lowercase()),
+        "char_length" => Value::Int(args[0].as_str()?.chars().count() as i32),
+        "substr" => {
+            let s = args[0].as_str()?;
+            let start = (args[1].as_i64()?.max(1) - 1) as usize; // SQL is 1-based
+            let len = match args.get(2) {
+                Some(v) => v.as_i64()?.max(0) as usize,
+                None => usize::MAX,
+            };
+            Value::string(s.chars().skip(start).take(len).collect::<String>())
+        }
+        "concat" => {
+            let mut out = String::new();
+            for a in args {
+                match a {
+                    Value::Str(s) => out.push_str(s),
+                    other => out.push_str(&other.to_string()),
+                }
+            }
+            Value::string(out)
+        }
+        "is_in" => {
+            let needle = args[0].as_str()?;
+            let hay = args[1].as_str()?;
+            Value::Bool(hay.split(',').any(|p| p.trim() == needle))
+        }
+        "split_by_key" => split_by_key(args, true)?,
+        "split_by_value" => split_by_key(args, false)?,
+        "multiclass_label" => Value::Bigint(args[0].as_i64()?),
+        "binary_label" => Value::Int(if args[0].as_bool().or_else(|_| args[0].as_i64().map(|v| v != 0))? { 1 } else { 0 }),
+        "continuous" => Value::Double(args[0].as_f64()?),
+        "discrete" => {
+            // Feature-hash a value into `dim` buckets (default 1 << 20),
+            // the high-dimensional sparse encoding of Section 4.1.
+            let dim = match args.get(1) {
+                Some(v) => v.as_i64()?.max(1),
+                None => 1 << 20,
+            };
+            Value::Bigint((hash_value(&args[0]) % dim as u64) as i64)
+        }
+        "hash64" => Value::Bigint(hash_value(&args[0]) as i64),
+        "day" => Value::Int(((args[0].as_i64()? / 86_400_000) % 365) as i32),
+        "hour" => Value::Int(((args[0].as_i64()? / 3_600_000) % 24) as i32),
+        "minute" => Value::Int(((args[0].as_i64()? / 60_000) % 60) as i32),
+        "geo_distance" => {
+            let (lat1, lon1) = (args[0].as_f64()?, args[1].as_f64()?);
+            let (lat2, lon2) = (args[2].as_f64()?, args[3].as_f64()?);
+            Value::Double(haversine_m(lat1, lon1, lat2, lon2))
+        }
+        "geo_hash" => {
+            let (lat, lon) = (args[0].as_f64()?, args[1].as_f64()?);
+            let precision = args[2].as_i64()?.clamp(1, 30) as u32;
+            Value::Bigint(geo_hash(lat, lon, precision))
+        }
+        // ---- additional math -------------------------------------------
+        "sin" => Value::Double(args[0].as_f64()?.sin()),
+        "cos" => Value::Double(args[0].as_f64()?.cos()),
+        "tan" => Value::Double(args[0].as_f64()?.tan()),
+        "atan" => Value::Double(args[0].as_f64()?.atan()),
+        "log2" => Value::Double(args[0].as_f64()?.log2()),
+        "log10" => Value::Double(args[0].as_f64()?.log10()),
+        "truncate" => {
+            let d = args[1].as_i64()?.clamp(0, 18) as u32;
+            let scale = 10f64.powi(d as i32);
+            Value::Double((args[0].as_f64()? * scale).trunc() / scale)
+        }
+        "sign" => Value::Int({
+            let v = args[0].as_f64()?;
+            if v > 0.0 {
+                1
+            } else if v < 0.0 {
+                -1
+            } else {
+                0
+            }
+        }),
+        "greatest" => args
+            .iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        "least" => args
+            .iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        "degrees" => Value::Double(args[0].as_f64()?.to_degrees()),
+        "radians" => Value::Double(args[0].as_f64()?.to_radians()),
+        // ---- additional strings -----------------------------------------
+        "trim" => Value::string(args[0].as_str()?.trim()),
+        "ltrim" => Value::string(args[0].as_str()?.trim_start()),
+        "rtrim" => Value::string(args[0].as_str()?.trim_end()),
+        "replace" => {
+            Value::string(args[0].as_str()?.replace(args[1].as_str()?, args[2].as_str()?))
+        }
+        "reverse" => Value::string(args[0].as_str()?.chars().rev().collect::<String>()),
+        "strcmp" => Value::Int(match args[0].as_str()?.cmp(args[1].as_str()?) {
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => 0,
+            std::cmp::Ordering::Greater => 1,
+        }),
+        "starts_with" => Value::Bool(args[0].as_str()?.starts_with(args[1].as_str()?)),
+        "ends_with" => Value::Bool(args[0].as_str()?.ends_with(args[1].as_str()?)),
+        "lcase" => Value::string(args[0].as_str()?.to_lowercase()),
+        "ucase" => Value::string(args[0].as_str()?.to_uppercase()),
+        "lpad" | "rpad" => {
+            let s = args[0].as_str()?;
+            let target = args[1].as_i64()?.max(0) as usize;
+            let pad = args[2].as_str()?;
+            let current = s.chars().count();
+            if current >= target || pad.is_empty() {
+                Value::string(s.chars().take(target).collect::<String>())
+            } else {
+                let fill: String =
+                    pad.chars().cycle().take(target - current).collect();
+                if name == "lpad" {
+                    Value::string(format!("{fill}{s}"))
+                } else {
+                    Value::string(format!("{s}{fill}"))
+                }
+            }
+        }
+        "string" => Value::string(args[0].to_string()),
+        // ---- additional time (civil-calendar on epoch millis, UTC) ------
+        "year" => Value::Int(civil_from_ms(args[0].as_i64()?).0),
+        "month" => Value::Int(civil_from_ms(args[0].as_i64()?).1),
+        "dayofmonth" => Value::Int(civil_from_ms(args[0].as_i64()?).2),
+        "dayofweek" => {
+            // 1 = Sunday .. 7 = Saturday (MySQL convention); epoch day 0
+            // (1970-01-01) was a Thursday.
+            let days = args[0].as_i64()?.div_euclid(86_400_000);
+            Value::Int(((days + 4).rem_euclid(7) + 1) as i32)
+        }
+        "week" => {
+            let days = args[0].as_i64()?.div_euclid(86_400_000);
+            Value::Int(((days + 3).rem_euclid(371) / 7 + 1).min(53) as i32)
+        }
+        // ---- conversions --------------------------------------------------
+        "double" => Value::Double(match &args[0] {
+            Value::Str(s) => s.trim().parse::<f64>().unwrap_or(f64::NAN),
+            other => other.as_f64()?,
+        }),
+        "bigint" => Value::Bigint(match &args[0] {
+            Value::Str(s) => s.trim().parse::<i64>().map_err(|e| {
+                Error::Eval(format!("cannot cast `{s}` to BIGINT: {e}"))
+            })?,
+            other => other.as_i64().unwrap_or(other.as_f64()? as i64),
+        }),
+        other => return Err(Error::Eval(format!("unknown scalar function `{other}`"))),
+    })
+}
+
+/// `split_by_key(input, delim, kv_delim)` splits `input` by `delim`, treats
+/// each part as `key<kv_delim>value`, and returns the keys (or values) joined
+/// by commas. Example: `split_by_key("a:1|b:2", "|", ":")` → `"a,b"`.
+fn split_by_key(args: &[Value], keys: bool) -> Result<Value> {
+    let input = args[0].as_str()?;
+    let delim = args[1].as_str()?;
+    let kv_delim = args[2].as_str()?;
+    if delim.is_empty() || kv_delim.is_empty() {
+        return Err(Error::Eval("split_by_key delimiters must be non-empty".into()));
+    }
+    let mut out = Vec::new();
+    for part in input.split(delim) {
+        if let Some((k, v)) = part.split_once(kv_delim) {
+            out.push(if keys { k } else { v });
+        }
+    }
+    Ok(Value::string(out.join(",")))
+}
+
+/// Convert epoch milliseconds (UTC) to `(year, month, day)` using the civil
+/// calendar algorithm (Howard Hinnant's `civil_from_days`).
+pub fn civil_from_ms(ms: i64) -> (i32, i32, i32) {
+    let z = ms.div_euclid(86_400_000) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m as i32, d as i32)
+}
+
+/// FNV-1a over the canonical rendering — stable across runs (unlike
+/// `DefaultHasher`, which is seeded), so feature hashes are reproducible.
+pub fn hash_value(v: &Value) -> u64 {
+    let rendered = match v {
+        Value::Str(s) => s.to_string(),
+        other => other.to_string(),
+    };
+    fnv1a(rendered.as_bytes())
+}
+
+/// Stable FNV-1a hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Great-circle distance in meters.
+pub fn haversine_m(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    const R: f64 = 6_371_000.0;
+    let (p1, p2) = (lat1.to_radians(), lat2.to_radians());
+    let dp = (lat2 - lat1).to_radians();
+    let dl = (lon2 - lon1).to_radians();
+    let a = (dp / 2.0).sin().powi(2) + p1.cos() * p2.cos() * (dl / 2.0).sin().powi(2);
+    2.0 * R * a.sqrt().asin()
+}
+
+/// Interleaved-bit geo cell id at `precision` bits per axis (geohash-like).
+/// Higher precision → smaller cells → more cells per dataset.
+pub fn geo_hash(lat: f64, lon: f64, precision: u32) -> i64 {
+    let lat_n = ((lat + 90.0) / 180.0).clamp(0.0, 1.0);
+    let lon_n = ((lon + 180.0) / 360.0).clamp(0.0, 1.0);
+    let scale = (1u64 << precision) as f64;
+    let lat_b = (lat_n * scale).min(scale - 1.0) as u64;
+    let lon_b = (lon_n * scale).min(scale - 1.0) as u64;
+    let mut out: u64 = 0;
+    for i in 0..precision {
+        out |= ((lat_b >> i) & 1) << (2 * i);
+        out |= ((lon_b >> i) & 1) << (2 * i + 1);
+    }
+    out as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn math_functions() {
+        assert_eq!(call("abs", &[Value::Int(-3)]).unwrap(), Value::Int(3));
+        assert_eq!(call("ceil", &[Value::Double(1.2)]).unwrap(), Value::Bigint(2));
+        assert_eq!(call("floor", &[Value::Double(1.8)]).unwrap(), Value::Bigint(1));
+        assert_eq!(call("pow", &[Value::Int(2), Value::Int(10)]).unwrap(), Value::Double(1024.0));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(call("upper", &[Value::string("ab")]).unwrap(), Value::string("AB"));
+        assert_eq!(
+            call("substr", &[Value::string("hello"), Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::string("ell")
+        );
+        assert_eq!(
+            call("concat", &[Value::string("a"), Value::Int(1)]).unwrap(),
+            Value::string("a1")
+        );
+        assert_eq!(call("char_length", &[Value::string("héllo")]).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn split_by_key_parses_kv_pairs() {
+        let out = call(
+            "split_by_key",
+            &[Value::string("shoes:20|bags:35|shoes:10"), Value::string("|"), Value::string(":")],
+        )
+        .unwrap();
+        assert_eq!(out, Value::string("shoes,bags,shoes"));
+        let out = call(
+            "split_by_value",
+            &[Value::string("a:1|b:2"), Value::string("|"), Value::string(":")],
+        )
+        .unwrap();
+        assert_eq!(out, Value::string("1,2"));
+        // Segments without the kv delimiter are skipped.
+        let out = call(
+            "split_by_key",
+            &[Value::string("a:1|oops|b:2"), Value::string("|"), Value::string(":")],
+        )
+        .unwrap();
+        assert_eq!(out, Value::string("a,b"));
+    }
+
+    #[test]
+    fn feature_signatures() {
+        assert_eq!(call("continuous", &[Value::Int(7)]).unwrap(), Value::Double(7.0));
+        let d1 = call("discrete", &[Value::string("product_123")]).unwrap();
+        let d2 = call("discrete", &[Value::string("product_123")]).unwrap();
+        assert_eq!(d1, d2, "feature hashing is deterministic");
+        let Value::Bigint(b) = call("discrete", &[Value::string("x"), Value::Int(100)]).unwrap()
+        else {
+            panic!()
+        };
+        assert!((0..100).contains(&b), "hash respects dimension bound");
+        assert_eq!(call("binary_label", &[Value::Int(5)]).unwrap(), Value::Int(1));
+        assert_eq!(call("binary_label", &[Value::Int(0)]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn null_propagation_and_if_null() {
+        assert_eq!(call("abs", &[Value::Null]).unwrap(), Value::Null);
+        assert_eq!(
+            call("if_null", &[Value::Null, Value::Int(9)]).unwrap(),
+            Value::Int(9)
+        );
+        assert_eq!(
+            call("if_null", &[Value::Int(1), Value::Int(9)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("if", &[Value::Bool(true), Value::Int(1), Value::Int(2)]).unwrap(),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn geo_functions() {
+        // Beijing → Shanghai is about 1,070 km.
+        let d = call(
+            "geo_distance",
+            &[
+                Value::Double(39.9042),
+                Value::Double(116.4074),
+                Value::Double(31.2304),
+                Value::Double(121.4737),
+            ],
+        )
+        .unwrap();
+        let Value::Double(m) = d else { panic!() };
+        assert!((1_000_000.0..1_150_000.0).contains(&m), "{m}");
+
+        // Same point → same cell at any precision; nearby points separate at
+        // high precision.
+        let h1 = geo_hash(31.0, 121.0, 20);
+        let h2 = geo_hash(31.0, 121.0, 20);
+        assert_eq!(h1, h2);
+        assert_ne!(geo_hash(31.0, 121.0, 20), geo_hash(31.5, 121.0, 20));
+        // Coarser precision merges nearby points.
+        assert_eq!(geo_hash(31.0001, 121.0001, 3), geo_hash(31.0002, 121.0002, 3));
+    }
+
+    #[test]
+    fn stable_hash_is_stable() {
+        assert_eq!(fnv1a(b"hello"), fnv1a(b"hello"));
+        assert_ne!(fnv1a(b"hello"), fnv1a(b"hellp"));
+    }
+
+    #[test]
+    fn extended_math_and_strings() {
+        assert_eq!(call("sign", &[Value::Double(-3.0)]).unwrap(), Value::Int(-1));
+        assert_eq!(call("sign", &[Value::Int(0)]).unwrap(), Value::Int(0));
+        assert_eq!(
+            call("truncate", &[Value::Double(3.14159), Value::Int(2)]).unwrap(),
+            Value::Double(3.14)
+        );
+        assert_eq!(
+            call("greatest", &[Value::Int(3), Value::Int(9), Value::Int(5)]).unwrap(),
+            Value::Int(9)
+        );
+        assert_eq!(
+            call("least", &[Value::Double(1.5), Value::Double(-2.0)]).unwrap(),
+            Value::Double(-2.0)
+        );
+        assert_eq!(call("trim", &[Value::string("  hi  ")]).unwrap(), Value::string("hi"));
+        assert_eq!(call("ltrim", &[Value::string("  hi")]).unwrap(), Value::string("hi"));
+        assert_eq!(
+            call("replace", &[Value::string("a-b-c"), Value::string("-"), Value::string("+")])
+                .unwrap(),
+            Value::string("a+b+c")
+        );
+        assert_eq!(call("reverse", &[Value::string("abc")]).unwrap(), Value::string("cba"));
+        assert_eq!(
+            call("strcmp", &[Value::string("a"), Value::string("b")]).unwrap(),
+            Value::Int(-1)
+        );
+        assert_eq!(
+            call("starts_with", &[Value::string("openmldb"), Value::string("open")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            call("lpad", &[Value::string("7"), Value::Int(3), Value::string("0")]).unwrap(),
+            Value::string("007")
+        );
+        assert_eq!(
+            call("rpad", &[Value::string("ab"), Value::Int(4), Value::string("xy")]).unwrap(),
+            Value::string("abxy")
+        );
+        assert_eq!(
+            call("lpad", &[Value::string("hello"), Value::Int(3), Value::string("0")]).unwrap(),
+            Value::string("hel"),
+            "lpad truncates when over target"
+        );
+    }
+
+    #[test]
+    fn calendar_functions() {
+        // 2021-06-15T12:00:00Z = 1623758400000 ms; a Tuesday.
+        let ts = Value::Timestamp(1_623_758_400_000);
+        assert_eq!(call("year", &[ts.clone()]).unwrap(), Value::Int(2021));
+        assert_eq!(call("month", &[ts.clone()]).unwrap(), Value::Int(6));
+        assert_eq!(call("dayofmonth", &[ts.clone()]).unwrap(), Value::Int(15));
+        assert_eq!(call("dayofweek", &[ts]).unwrap(), Value::Int(3), "Tuesday = 3");
+        // Epoch start.
+        let epoch = Value::Timestamp(0);
+        assert_eq!(call("year", &[epoch.clone()]).unwrap(), Value::Int(1970));
+        assert_eq!(call("month", &[epoch.clone()]).unwrap(), Value::Int(1));
+        assert_eq!(call("dayofmonth", &[epoch.clone()]).unwrap(), Value::Int(1));
+        assert_eq!(call("dayofweek", &[epoch]).unwrap(), Value::Int(5), "Thursday = 5");
+        // Pre-epoch timestamps work (euclidean division).
+        assert_eq!(
+            call("year", &[Value::Timestamp(-86_400_000)]).unwrap(),
+            Value::Int(1969)
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(call("double", &[Value::string("2.5")]).unwrap(), Value::Double(2.5));
+        assert_eq!(call("bigint", &[Value::string(" 42 ")]).unwrap(), Value::Bigint(42));
+        assert!(call("bigint", &[Value::string("nope")]).is_err());
+        assert_eq!(call("string", &[Value::Int(7)]).unwrap(), Value::string("7"));
+        assert_eq!(call("bigint", &[Value::Double(3.9)]).unwrap(), Value::Bigint(3));
+    }
+
+    #[test]
+    fn is_in_membership() {
+        assert_eq!(
+            call("is_in", &[Value::string("b"), Value::string("a, b, c")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            call("is_in", &[Value::string("z"), Value::string("a,b")]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Window aggregate evaluation with **cyclic binding** (paper Section 4.2).
+//!
+//! When several aggregate calls over one window share the same argument
+//! expression and belong to the "simple statistics" family (`sum`, `count`,
+//! `avg`, `min`, `max`, `stddev`), a single shared state is maintained and
+//! each output is a projection of it — `avg` literally reuses the `sum` and
+//! `count` intermediates, and the argument expression is evaluated once per
+//! row instead of once per call.
+
+use std::collections::BTreeMap;
+
+use openmldb_sql::plan::{BoundAggregate, PhysExpr};
+use openmldb_types::{Result, Value};
+
+use crate::agg::{create_aggregator, Aggregator, OrdVal};
+use crate::eval::evaluate;
+
+/// Shared numeric statistics state for one distinct argument expression.
+#[derive(Debug, Default)]
+struct SharedNumeric {
+    count: u64,
+    sum_i: i64,
+    sum_f: f64,
+    sum_sq: f64,
+    all_int: bool,
+    /// Ordered multiset, maintained only when min/max projections exist.
+    minmax: Option<BTreeMap<OrdVal, u64>>,
+}
+
+impl SharedNumeric {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        if self.count == 0 {
+            self.all_int = true;
+        }
+        let integral = !matches!(v, Value::Float(_) | Value::Double(_)) && v.as_i64().is_ok();
+        if integral {
+            self.sum_i = self.sum_i.wrapping_add(v.as_i64()?);
+        } else {
+            self.all_int = false;
+        }
+        let f = v.as_f64()?;
+        self.sum_f += f;
+        self.sum_sq += f * f;
+        self.count += 1;
+        if let Some(mm) = &mut self.minmax {
+            *mm.entry(OrdVal(v.clone())).or_insert(0) += 1;
+        }
+        Ok(())
+    }
+
+    fn project(&self, proj: Projection) -> Value {
+        match proj {
+            Projection::Count => Value::Bigint(self.count as i64),
+            Projection::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.all_int {
+                    Value::Bigint(self.sum_i)
+                } else {
+                    Value::Double(self.sum_f)
+                }
+            }
+            Projection::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(self.sum_f / self.count as f64)
+                }
+            }
+            Projection::Min => self
+                .minmax
+                .as_ref()
+                .and_then(|m| m.keys().next())
+                .map(|o| o.0.clone())
+                .unwrap_or(Value::Null),
+            Projection::Max => self
+                .minmax
+                .as_ref()
+                .and_then(|m| m.keys().next_back())
+                .map(|o| o.0.clone())
+                .unwrap_or(Value::Null),
+            Projection::Stddev => {
+                if self.count < 2 {
+                    return Value::Null;
+                }
+                let n = self.count as f64;
+                let var = ((self.sum_sq - self.sum_f * self.sum_f / n) / (n - 1.0)).max(0.0);
+                Value::Double(var.sqrt())
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        let track = self.minmax.is_some();
+        *self = SharedNumeric::default();
+        if track {
+            self.minmax = Some(BTreeMap::new());
+        }
+    }
+}
+
+/// Which statistic of the shared state a binding projects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Projection {
+    Sum,
+    Count,
+    Avg,
+    Min,
+    Max,
+    Stddev,
+}
+
+fn projection_for(func: &str) -> Option<Projection> {
+    Some(match func {
+        "sum" => Projection::Sum,
+        "count" => Projection::Count,
+        "avg" => Projection::Avg,
+        "min" => Projection::Min,
+        "max" => Projection::Max,
+        "stddev" => Projection::Stddev,
+        _ => return None,
+    })
+}
+
+enum Slot {
+    Shared { args: Vec<PhysExpr>, state: SharedNumeric },
+    Single { args: Vec<PhysExpr>, agg: Box<dyn Aggregator> },
+}
+
+enum Binding {
+    Shared { slot: usize, proj: Projection },
+    Single { slot: usize },
+}
+
+/// Evaluates a group of aggregates over one window in a single pass, with
+/// cyclic-binding state sharing.
+pub struct WindowAggSet {
+    slots: Vec<Slot>,
+    bindings: Vec<Binding>,
+}
+
+impl WindowAggSet {
+    /// Build the evaluator for `aggs` (all belonging to one window). Outputs
+    /// are produced in the same order.
+    pub fn new(aggs: &[&BoundAggregate]) -> Result<Self> {
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut bindings = Vec::with_capacity(aggs.len());
+        // (args) -> shared slot index, for shareable functions.
+        let mut shared_index: Vec<(Vec<PhysExpr>, usize)> = Vec::new();
+
+        for agg in aggs {
+            if let Some(proj) = projection_for(agg.func.name) {
+                let existing =
+                    shared_index.iter().find(|(a, _)| a == &agg.args).map(|(_, i)| *i);
+                let slot = match existing {
+                    Some(i) => i,
+                    None => {
+                        let i = slots.len();
+                        slots.push(Slot::Shared {
+                            args: agg.args.clone(),
+                            state: SharedNumeric::default(),
+                        });
+                        shared_index.push((agg.args.clone(), i));
+                        i
+                    }
+                };
+                if matches!(proj, Projection::Min | Projection::Max) {
+                    if let Slot::Shared { state, .. } = &mut slots[slot] {
+                        state.minmax.get_or_insert_with(BTreeMap::new);
+                    }
+                }
+                bindings.push(Binding::Shared { slot, proj });
+            } else {
+                let i = slots.len();
+                slots.push(Slot::Single {
+                    args: agg.args.clone(),
+                    agg: create_aggregator(agg.func, &agg.args)?,
+                });
+                bindings.push(Binding::Single { slot: i });
+            }
+        }
+        Ok(WindowAggSet { slots, bindings })
+    }
+
+    /// Feed one window row (oldest → newest).
+    pub fn update(&mut self, row: &[Value]) -> Result<()> {
+        for slot in &mut self.slots {
+            match slot {
+                Slot::Shared { args, state } => {
+                    let v = evaluate(&args[0], row, &[])?;
+                    state.update(&v)?;
+                }
+                Slot::Single { args, agg } => {
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(evaluate(a, row, &[])?);
+                    }
+                    agg.update(&vals)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Current outputs, one per input aggregate, in input order.
+    pub fn outputs(&self) -> Vec<Value> {
+        self.bindings
+            .iter()
+            .map(|b| match b {
+                Binding::Shared { slot, proj } => match &self.slots[*slot] {
+                    Slot::Shared { state, .. } => state.project(*proj),
+                    Slot::Single { .. } => unreachable!("binding/slot mismatch"),
+                },
+                Binding::Single { slot } => match &self.slots[*slot] {
+                    Slot::Single { agg, .. } => agg.output(),
+                    Slot::Shared { .. } => unreachable!("binding/slot mismatch"),
+                },
+            })
+            .collect()
+    }
+
+    /// Clear all state for the next request.
+    pub fn reset(&mut self) {
+        for slot in &mut self.slots {
+            match slot {
+                Slot::Shared { state, .. } => state.reset(),
+                Slot::Single { agg, .. } => agg.reset(),
+            }
+        }
+    }
+
+    /// Number of physical state slots (≤ number of aggregates when cyclic
+    /// binding shares state). Exposed for tests and the ablation bench.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of bound aggregate outputs.
+    pub fn output_count(&self) -> usize {
+        self.bindings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmldb_sql::functions::lookup;
+    use openmldb_types::DataType;
+
+    fn bound(func: &str, args: Vec<PhysExpr>) -> BoundAggregate {
+        BoundAggregate {
+            window_id: 0,
+            func: lookup(func).unwrap(),
+            args,
+            output_type: DataType::Double,
+        }
+    }
+
+    #[test]
+    fn cyclic_binding_shares_state() {
+        let aggs = vec![
+            bound("sum", vec![PhysExpr::Column(0)]),
+            bound("avg", vec![PhysExpr::Column(0)]),
+            bound("count", vec![PhysExpr::Column(0)]),
+            bound("max", vec![PhysExpr::Column(0)]),
+            bound("sum", vec![PhysExpr::Column(1)]), // different args → new slot
+        ];
+        let refs: Vec<&BoundAggregate> = aggs.iter().collect();
+        let mut set = WindowAggSet::new(&refs).unwrap();
+        assert_eq!(set.output_count(), 5);
+        assert_eq!(set.slot_count(), 2, "4 calls over col0 share one state");
+
+        for (a, b) in [(1i64, 10i64), (2, 20), (3, 30)] {
+            set.update(&[Value::Bigint(a), Value::Bigint(b)]).unwrap();
+        }
+        let out = set.outputs();
+        assert_eq!(out[0], Value::Bigint(6)); // sum col0
+        assert_eq!(out[1], Value::Double(2.0)); // avg col0
+        assert_eq!(out[2], Value::Bigint(3)); // count col0
+        assert_eq!(out[3], Value::Bigint(3)); // max col0
+        assert_eq!(out[4], Value::Bigint(60)); // sum col1
+    }
+
+    #[test]
+    fn non_shareable_functions_get_own_slots() {
+        let aggs = [bound("distinct_count", vec![PhysExpr::Column(0)]),
+            bound("sum", vec![PhysExpr::Column(0)])];
+        let refs: Vec<&BoundAggregate> = aggs.iter().collect();
+        let mut set = WindowAggSet::new(&refs).unwrap();
+        assert_eq!(set.slot_count(), 2);
+        for v in [1, 1, 2] {
+            set.update(&[Value::Bigint(v)]).unwrap();
+        }
+        let out = set.outputs();
+        assert_eq!(out[0], Value::Bigint(2));
+        assert_eq!(out[1], Value::Bigint(4));
+    }
+
+    #[test]
+    fn reset_clears_all_slots() {
+        let aggs = [bound("sum", vec![PhysExpr::Column(0)]),
+            bound("min", vec![PhysExpr::Column(0)])];
+        let refs: Vec<&BoundAggregate> = aggs.iter().collect();
+        let mut set = WindowAggSet::new(&refs).unwrap();
+        set.update(&[Value::Bigint(5)]).unwrap();
+        set.reset();
+        let out = set.outputs();
+        assert_eq!(out[0], Value::Null);
+        assert_eq!(out[1], Value::Null);
+        // Still usable after reset.
+        set.update(&[Value::Bigint(7)]).unwrap();
+        assert_eq!(set.outputs()[0], Value::Bigint(7));
+    }
+
+    #[test]
+    fn arg_expressions_are_evaluated() {
+        // sum(col0 * 2)
+        let expr = PhysExpr::Binary {
+            op: openmldb_sql::BinaryOp::Mul,
+            left: Box::new(PhysExpr::Column(0)),
+            right: Box::new(PhysExpr::Literal(Value::Bigint(2))),
+        };
+        let aggs = [bound("sum", vec![expr])];
+        let refs: Vec<&BoundAggregate> = aggs.iter().collect();
+        let mut set = WindowAggSet::new(&refs).unwrap();
+        set.update(&[Value::Bigint(3)]).unwrap();
+        assert_eq!(set.outputs()[0], Value::Bigint(6));
+    }
+}

@@ -1,0 +1,20 @@
+//! # openmldb-offline
+//!
+//! The offline batch execution engine (paper Section 6): it executes the
+//! same compiled plan as the online engine over historical tables, producing
+//! one training feature row per base-table row.
+//!
+//! * [`engine`] — batch executor with incremental (subtract-and-evict)
+//!   partition sweeps and the naive recompute baseline;
+//! * [`parallel`] — multi-window parallel optimization with the synthetic
+//!   index column and Concat Join (Section 6.1);
+//! * [`skew`] — time-aware skew repartitioning: percentile boundaries,
+//!   PART_ID slices, EXPANDED_ROW context rows (Section 6.2).
+
+pub mod engine;
+pub mod parallel;
+pub mod skew;
+
+pub use engine::{execute_batch, sweep_window, OfflineOptions, Tables, WindowExecMode};
+pub use parallel::{compute_windows, concat_join};
+pub use skew::{percentile_boundaries, sweep_window_skewed, SkewConfig, SkewStats};

@@ -1,0 +1,382 @@
+//! Time-aware data-skew resolving (paper Section 6.2).
+//!
+//! Salting (random key prefixes) breaks window semantics: same-key tuples
+//! land in different partitions and lose their time order. Instead, hot
+//! partitions are split along the **timestamp** axis:
+//!
+//! 1. **Determine partition boundaries** — timestamp percentiles, estimated
+//!    from a fixed-size histogram rather than a full sort (HyperLogLog
+//!    estimates the key cardinality that decides whether splitting can help
+//!    at all).
+//! 2. **Assign repartition identifiers** — each tuple gets a `PART_ID`
+//!    (which time slice it belongs to) and an `EXPANDED_ROW` flag.
+//! 3. **Augment window data** — each slice (except the first) is prepended
+//!    with the preceding rows its window frames need, marked
+//!    `EXPANDED_ROW = true`.
+//! 4. **Redistribute** — (key, PART_ID) units spread across workers,
+//!    multiplying parallelism for hot keys.
+//! 5. **Compute** — expanded rows provide context but produce no output.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use openmldb_sql::ast::Frame;
+use openmldb_sql::plan::{BoundWindow, CompiledQuery};
+use openmldb_storage::HyperLogLog;
+use openmldb_types::{KeyValue, Result, Row, Value};
+
+use crate::engine::{sweep_group, Tables, WindowExecMode};
+
+/// Skew-resolution configuration.
+#[derive(Debug, Clone)]
+pub struct SkewConfig {
+    /// Time-slice partitions per hot key ("skew 2" = double partitions).
+    pub factor: usize,
+    /// A key is *hot* when it holds at least this share of all rows.
+    pub hot_threshold: f64,
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        SkewConfig { factor: 2, hot_threshold: 0.2 }
+    }
+}
+
+/// Histogram-based percentile boundaries: split `ts_values` into `parts`
+/// roughly equal slices without sorting. Returns `parts - 1` boundary
+/// timestamps (a tuple belongs to slice `i` when
+/// `boundaries[i-1] < ts <= boundaries[i]`).
+pub fn percentile_boundaries(ts_values: &[i64], parts: usize) -> Vec<i64> {
+    if parts <= 1 || ts_values.is_empty() {
+        return Vec::new();
+    }
+    let (mut min, mut max) = (i64::MAX, i64::MIN);
+    for &t in ts_values {
+        min = min.min(t);
+        max = max.max(t);
+    }
+    if min == max {
+        return Vec::new(); // indivisible along time
+    }
+    const BUCKETS: usize = 1024;
+    let span = (max - min) as u128 + 1;
+    let mut hist = [0u64; BUCKETS];
+    for &t in ts_values {
+        let b = ((t - min) as u128 * BUCKETS as u128 / span) as usize;
+        hist[b.min(BUCKETS - 1)] += 1;
+    }
+    let total = ts_values.len() as u64;
+    let mut boundaries = Vec::with_capacity(parts - 1);
+    let mut cum = 0u64;
+    let mut next_cut = 1;
+    for (b, &count) in hist.iter().enumerate() {
+        cum += count;
+        while next_cut < parts && cum * parts as u64 >= next_cut as u64 * total {
+            // Upper edge of bucket b, mapped back to timestamp space.
+            let edge = min + ((b as u128 + 1) * span / BUCKETS as u128) as i64 - 1;
+            boundaries.push(edge.min(max - 1));
+            next_cut += 1;
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    boundaries
+}
+
+/// One repartitioned work unit: a time slice of one key's rows, prefixed
+/// with its expanded context rows.
+struct Slice<'a> {
+    /// `(ts, row, output index)`; expanded rows carry `None`.
+    rows: Vec<(i64, &'a Row, Option<usize>)>,
+}
+
+/// Statistics from one skewed sweep, for tests and the benchmark harness.
+#[derive(Debug, Default, Clone)]
+pub struct SkewStats {
+    pub hot_keys: usize,
+    pub slices: usize,
+    pub expanded_rows: usize,
+    pub estimated_distinct_keys: f64,
+}
+
+/// Sweep one window with time-aware skew repartitioning. Results are
+/// identical to the plain sweep; only the work decomposition changes.
+pub fn sweep_window_skewed(
+    query: &CompiledQuery,
+    window: &BoundWindow,
+    tables: &Tables,
+    base: &[Row],
+    agg_ids: &[usize],
+    mode: WindowExecMode,
+    cfg: &SkewConfig,
+    threads: usize,
+) -> Result<(Vec<Vec<Value>>, SkewStats)> {
+    let agg_refs: Vec<_> = agg_ids.iter().map(|&i| &query.aggregates[i]).collect();
+
+    // Group rows (base + union tables) by partition key.
+    let mut groups: HashMap<Vec<KeyValue>, Vec<(i64, &Row, Option<usize>)>> = HashMap::new();
+    let mut hll = HyperLogLog::default();
+    let mut total_rows = 0usize;
+    for (i, row) in base.iter().enumerate() {
+        let key = row.key_for(&window.partition_cols);
+        hll.add_bytes(crate::skew::render(&key).as_bytes());
+        groups.entry(key).or_default().push((row.ts_at(window.order_col), row, Some(i)));
+        total_rows += 1;
+    }
+    for name in &window.union_tables {
+        if let Some(rows) = tables.get(name) {
+            for row in rows {
+                let key = row.key_for(&window.partition_cols);
+                groups.entry(key).or_default().push((
+                    row.ts_at(window.order_col),
+                    row,
+                    None,
+                ));
+                total_rows += 1;
+            }
+        }
+    }
+
+    let mut stats = SkewStats { estimated_distinct_keys: hll.estimate(), ..Default::default() };
+
+    // Build slices: hot keys split along time, cold keys stay whole.
+    let mut slices: Vec<Slice> = Vec::new();
+    for (_key, mut group) in groups {
+        group.sort_by_key(|(ts, _, idx)| (*ts, idx.is_some()));
+        let share = group.len() as f64 / total_rows.max(1) as f64;
+        let splittable = !matches!(window.frame, Frame::Unbounded);
+        if cfg.factor <= 1 || share < cfg.hot_threshold || !splittable {
+            slices.push(Slice { rows: group });
+            continue;
+        }
+        stats.hot_keys += 1;
+        let ts_values: Vec<i64> = group.iter().map(|(ts, _, _)| *ts).collect();
+        let boundaries = percentile_boundaries(&ts_values, cfg.factor);
+        if boundaries.is_empty() {
+            slices.push(Slice { rows: group });
+            continue;
+        }
+        // Split positions: first index with ts > boundary.
+        let mut cut_positions: Vec<usize> = boundaries
+            .iter()
+            .map(|b| group.partition_point(|(ts, _, _)| ts <= b))
+            .collect();
+        cut_positions.push(group.len());
+        let mut start = 0usize;
+        for &end in &cut_positions {
+            if end <= start {
+                continue;
+            }
+            // Expanded context: preceding rows the slice's frames reach.
+            let slice_first_ts = group[start].0;
+            let context_from = match window.frame {
+                Frame::RowsRange { preceding_ms } => group[..start]
+                    .partition_point(|(ts, _, _)| slice_first_ts - ts > preceding_ms),
+                Frame::Rows { preceding } => start.saturating_sub(preceding as usize),
+                Frame::Unbounded => unreachable!("unbounded is not splittable"),
+            };
+            let mut rows: Vec<(i64, &Row, Option<usize>)> = Vec::new();
+            for (ts, row, _) in &group[context_from..start] {
+                rows.push((*ts, *row, None)); // EXPANDED_ROW = true
+                stats.expanded_rows += 1;
+            }
+            rows.extend(group[start..end].iter().copied());
+            slices.push(Slice { rows });
+            start = end;
+        }
+    }
+    stats.slices = slices.len();
+
+    // Redistribute: workers pull slices from a shared queue.
+    let queue = Mutex::new(slices);
+    let results: Mutex<Vec<Vec<Value>>> = Mutex::new(vec![Vec::new(); base.len()]);
+    let threads = threads.max(1);
+    let first_err: Mutex<Option<openmldb_types::Error>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let Some(slice) = queue.lock().pop() else { return };
+                match sweep_group(&slice.rows, window, &agg_refs, mode) {
+                    Ok(outs) => {
+                        let mut res = results.lock();
+                        for (i, v) in outs {
+                            res[i] = v;
+                        }
+                    }
+                    Err(e) => {
+                        first_err.lock().get_or_insert(e);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = first_err.into_inner() {
+        return Err(e);
+    }
+    Ok((results.into_inner(), stats))
+}
+
+pub(crate) fn render(key: &[KeyValue]) -> String {
+    key.iter().map(KeyValue::render).collect::<Vec<_>>().join("\u{1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::sweep_window;
+    use openmldb_sql::{compile_select, parse_select, Catalog};
+    use openmldb_types::{DataType, Schema};
+
+    struct Cat(Schema);
+    impl Catalog for Cat {
+        fn table_schema(&self, name: &str) -> Option<Schema> {
+            (name == "t").then(|| self.0.clone())
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("k", DataType::Bigint),
+            ("v", DataType::Double),
+            ("ts", DataType::Timestamp),
+        ])
+        .unwrap()
+    }
+
+    fn query(frame: &str) -> CompiledQuery {
+        compile_select(
+            &parse_select(&format!(
+                "SELECT k, sum(v) OVER w AS s, count(v) OVER w AS c FROM t \
+                 WINDOW w AS (PARTITION BY k ORDER BY ts {frame})"
+            ))
+            .unwrap(),
+            &Cat(schema()),
+        )
+        .unwrap()
+    }
+
+    /// 90% of rows on key 0 (the skew scenario), the rest spread out.
+    fn skewed_rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                let k = if i % 10 != 0 { 0 } else { 1 + (i / 10) as i64 % 5 };
+                Row::new(vec![
+                    Value::Bigint(k),
+                    Value::Double((i % 13) as f64),
+                    Value::Timestamp((i * 7) as i64),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn percentile_boundaries_split_evenly() {
+        let ts: Vec<i64> = (0..10_000).collect();
+        let b = percentile_boundaries(&ts, 4);
+        assert_eq!(b.len(), 3);
+        for (i, bound) in b.iter().enumerate() {
+            let expected = 2_500 * (i as i64 + 1);
+            assert!(
+                (bound - expected).abs() < 100,
+                "boundary {i} at {bound}, expected near {expected}"
+            );
+        }
+        assert!(percentile_boundaries(&[5, 5, 5], 4).is_empty(), "constant ts indivisible");
+        assert!(percentile_boundaries(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn skewed_sweep_matches_plain_sweep_range_frame() {
+        let q = query("ROWS_RANGE BETWEEN 100 PRECEDING AND CURRENT ROW");
+        let base = skewed_rows(500);
+        let tables = Tables::new();
+        let agg_ids: Vec<usize> = (0..q.aggregates.len()).collect();
+        let plain = sweep_window(&q, &q.windows[0], &tables, &base, &agg_ids, WindowExecMode::Incremental).unwrap();
+        for factor in [2, 4] {
+            let (skewed, stats) = sweep_window_skewed(
+                &q,
+                &q.windows[0],
+                &tables,
+                &base,
+                &agg_ids,
+                WindowExecMode::Incremental,
+                &SkewConfig { factor, hot_threshold: 0.2 },
+                4,
+            )
+            .unwrap();
+            assert_eq!(plain, skewed, "factor {factor} changes work layout, not results");
+            assert_eq!(stats.hot_keys, 1, "key 0 is the hot key");
+            assert!(stats.slices >= factor, "hot key split into {factor}+ slices");
+            assert!(stats.expanded_rows > 0, "context rows were added");
+        }
+    }
+
+    #[test]
+    fn skewed_sweep_matches_plain_sweep_rows_frame() {
+        let q = query("ROWS BETWEEN 7 PRECEDING AND CURRENT ROW");
+        let base = skewed_rows(300);
+        let tables = Tables::new();
+        let agg_ids: Vec<usize> = (0..q.aggregates.len()).collect();
+        let plain = sweep_window(&q, &q.windows[0], &tables, &base, &agg_ids, WindowExecMode::Incremental).unwrap();
+        let (skewed, _) = sweep_window_skewed(
+            &q,
+            &q.windows[0],
+            &tables,
+            &base,
+            &agg_ids,
+            WindowExecMode::Incremental,
+            &SkewConfig { factor: 3, hot_threshold: 0.2 },
+            4,
+        )
+        .unwrap();
+        assert_eq!(plain, skewed);
+    }
+
+    #[test]
+    fn unbounded_frames_are_not_split() {
+        let q = query("ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW");
+        let base = skewed_rows(100);
+        let tables = Tables::new();
+        let agg_ids: Vec<usize> = (0..q.aggregates.len()).collect();
+        let plain = sweep_window(&q, &q.windows[0], &tables, &base, &agg_ids, WindowExecMode::Incremental).unwrap();
+        let (skewed, stats) = sweep_window_skewed(
+            &q,
+            &q.windows[0],
+            &tables,
+            &base,
+            &agg_ids,
+            WindowExecMode::Incremental,
+            &SkewConfig { factor: 4, hot_threshold: 0.2 },
+            2,
+        )
+        .unwrap();
+        assert_eq!(plain, skewed);
+        assert_eq!(stats.hot_keys, 0, "unbounded frames fall back to whole groups");
+    }
+
+    #[test]
+    fn hll_estimates_key_cardinality() {
+        let q = query("ROWS_RANGE BETWEEN 100 PRECEDING AND CURRENT ROW");
+        let base = skewed_rows(1_000);
+        let tables = Tables::new();
+        let agg_ids: Vec<usize> = (0..q.aggregates.len()).collect();
+        let (_, stats) = sweep_window_skewed(
+            &q,
+            &q.windows[0],
+            &tables,
+            &base,
+            &agg_ids,
+            WindowExecMode::Incremental,
+            &SkewConfig::default(),
+            2,
+        )
+        .unwrap();
+        assert!(
+            (4.0..9.0).contains(&stats.estimated_distinct_keys),
+            "6 distinct keys, estimated {}",
+            stats.estimated_distinct_keys
+        );
+    }
+}

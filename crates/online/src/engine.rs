@@ -1,0 +1,690 @@
+//! Online request-mode execution (paper Section 3.2, mode 3).
+//!
+//! Each incoming request tuple is *virtually inserted* into its table: the
+//! deployed plan runs against the stored stream with the request row as the
+//! window anchor, and exactly one feature row comes back. The fast paths:
+//!
+//! * window scans read the pre-ranked two-level skiplist (Section 7.2) —
+//!   no sorting at request time;
+//! * LAST JOINs are head reads on the join key's time list;
+//! * long windows route through the pre-aggregation hierarchy when one is
+//!   deployed (Section 5.1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use openmldb_exec::{evaluate, WindowAggSet};
+use openmldb_sql::ast::Frame;
+use openmldb_sql::plan::{BoundWindow, CompiledQuery};
+use openmldb_types::{Error, KeyValue, Result, Row, Value};
+
+use openmldb_storage::{DataTable, MemTable};
+
+use crate::preagg::PreAggregator;
+
+/// Resolves table names to live storage (either backend, Section 8.1).
+/// Implemented by the database facade.
+pub trait TableProvider: Send + Sync {
+    fn table(&self, name: &str) -> Option<Arc<dyn DataTable>>;
+}
+
+/// A trivial provider over a map (used by tests and examples).
+#[derive(Default)]
+pub struct MapProvider {
+    tables: HashMap<String, Arc<dyn DataTable>>,
+}
+
+impl MapProvider {
+    pub fn insert(&mut self, table: Arc<MemTable>) {
+        self.tables.insert(DataTable::name(&*table).to_string(), table);
+    }
+
+    pub fn insert_dyn(&mut self, table: Arc<dyn DataTable>) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+}
+
+impl TableProvider for MapProvider {
+    fn table(&self, name: &str) -> Option<Arc<dyn DataTable>> {
+        self.tables.get(name).cloned()
+    }
+}
+
+/// A deployed feature script: the compiled plan plus per-window
+/// pre-aggregators (None = scan path).
+pub struct Deployment {
+    pub name: String,
+    pub query: Arc<CompiledQuery>,
+    pub preaggs: Vec<Option<Arc<PreAggregator>>>,
+    /// Per window: which base-schema columns its aggregates read. Window
+    /// scans decode only these (the Section 7.1 offset fast path).
+    window_projections: Vec<Vec<bool>>,
+}
+
+impl Deployment {
+    pub fn new(name: impl Into<String>, query: Arc<CompiledQuery>) -> Self {
+        let preaggs = (0..query.windows.len()).map(|_| None).collect();
+        let mut window_projections =
+            vec![vec![false; query.base_schema.len()]; query.windows.len()];
+        for agg in &query.aggregates {
+            let mut cols = Vec::new();
+            for arg in &agg.args {
+                arg.collect_columns(&mut cols);
+            }
+            for c in cols {
+                if let Some(slot) = window_projections[agg.window_id].get_mut(c) {
+                    *slot = true;
+                }
+            }
+        }
+        Deployment { name: name.into(), query, preaggs, window_projections }
+    }
+
+    pub fn with_preagg(mut self, window_id: usize, preagg: Arc<PreAggregator>) -> Self {
+        self.preaggs[window_id] = Some(preagg);
+        self
+    }
+}
+
+/// Execute one request tuple through a deployment, producing one feature
+/// row (online request mode).
+pub fn execute_request(
+    provider: &dyn TableProvider,
+    dep: &Deployment,
+    request: &Row,
+) -> Result<Row> {
+    let q = &dep.query;
+    q.base_schema.validate_row(request.values())?;
+
+    // 1. LAST JOINs: build the combined row.
+    let mut combined: Vec<Value> = request.values().to_vec();
+    for join in &q.joins {
+        let table = provider
+            .table(&join.table)
+            .ok_or_else(|| Error::Storage(format!("unknown table `{}`", join.table)))?;
+        let key: Vec<KeyValue> =
+            join.eq_pairs.iter().map(|&(l, _)| KeyValue::from(&combined[l])).collect();
+        let right_keys: Vec<usize> = join.eq_pairs.iter().map(|&(_, r)| r).collect();
+        let index = table
+            .find_index(&right_keys, join.order_col)
+            .ok_or_else(|| Error::Storage(format!("no index on `{}` for join keys", join.table)))?;
+        let matched = match &join.residual {
+            None => table.latest(index, &key)?,
+            Some(pred) => {
+                let mut check = |row: &Row| {
+                    let mut probe = combined.clone();
+                    probe.extend(row.values().iter().cloned());
+                    evaluate(pred, &probe, &[]).and_then(|v| v.as_bool()).unwrap_or(false)
+                };
+                table.latest_where(index, &key, None, &mut check)?
+            }
+        };
+        match matched {
+            Some(row) => combined.extend(row.values().iter().cloned()),
+            None => combined.extend((0..join.schema.len()).map(|_| Value::Null)),
+        }
+    }
+
+    // 2. WHERE filter (a request failing the predicate yields an all-NULL
+    // feature row rather than an error).
+    if let Some(pred) = &q.where_clause {
+        if !evaluate(pred, &combined, &[])?.as_bool()? {
+            let nulls = vec![Value::Null; q.output_schema.len()];
+            return Ok(Row::new(nulls));
+        }
+    }
+
+    // 3. Windows: compute every aggregate.
+    let by_window = q.aggregates_by_window();
+    let mut agg_values = vec![Value::Null; q.aggregates.len()];
+    for (wid, window) in q.windows.iter().enumerate() {
+        if by_window[wid].is_empty() {
+            continue;
+        }
+        let anchor_ts = request.ts_at(window.order_col);
+        let agg_refs: Vec<_> = by_window[wid].iter().map(|&i| &q.aggregates[i]).collect();
+
+        // Pre-aggregation fast path: only for pure range frames, and not
+        // for INSTANCE_NOT_IN_WINDOW (buckets mix base and union rows and
+        // cannot exclude the base table per query).
+        if let (Some(preagg), Frame::RowsRange { preceding_ms }, false) =
+            (&dep.preaggs[wid], window.frame, window.instance_not_in_window)
+        {
+            let key = request.key_for(&window.partition_cols);
+            let lower = anchor_ts - preceding_ms;
+            // The request row is part of the window unless excluded — it is
+            // not yet in storage, so it is folded in after the bucket merge.
+            let include_request = !window.exclude_current_row;
+            let extra = include_request.then_some(request);
+            let outs = preagg.query_with_extra_row(&key, lower, anchor_ts, extra, |lo, hi| {
+                raw_window_rows(provider, q, window, &key, lo, hi)
+            })?;
+            for (slot, v) in by_window[wid].iter().zip(outs) {
+                agg_values[*slot] = v;
+            }
+            continue;
+        }
+
+        // Scan path: gather window rows (request row is the anchor),
+        // decoding only the columns this window's aggregates read.
+        let wanted = Some(dep.window_projections[wid].as_slice());
+        let rows = collect_window_rows_projected(provider, q, window, request, anchor_ts, wanted)?;
+        let mut set = WindowAggSet::new(&agg_refs)?;
+        for r in &rows {
+            set.update(r.values())?;
+        }
+        for (slot, v) in by_window[wid].iter().zip(set.outputs()) {
+            agg_values[*slot] = v;
+        }
+    }
+
+    // 4. Project the select list.
+    let mut out = Vec::with_capacity(q.select.len());
+    for col in &q.select {
+        out.push(evaluate(&col.expr, &combined, &agg_values)?);
+    }
+    Ok(Row::new(out))
+}
+
+/// Raw rows for a window's key within `[lo, hi]`, from the base table and
+/// every union table (chronological order not required — pre-agg aggregates
+/// are order-free).
+fn raw_window_rows(
+    provider: &dyn TableProvider,
+    q: &CompiledQuery,
+    window: &BoundWindow,
+    key: &[KeyValue],
+    lo: i64,
+    hi: i64,
+) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for name in std::iter::once(q.base_table.as_str())
+        .chain(window.union_tables.iter().map(String::as_str))
+    {
+        let table = provider
+            .table(name)
+            .ok_or_else(|| Error::Storage(format!("unknown table `{name}`")))?;
+        let index = table
+            .find_index(&window.partition_cols, Some(window.order_col))
+            .ok_or_else(|| Error::Storage(format!("no window index on `{name}`")))?;
+        for (_ts, row) in table.range_projected(index, key, lo, hi, None)? {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Collect the window's rows for a request: stored rows from the base table
+/// and union tables, plus the request row itself (subject to the window
+/// attributes), in chronological order, capped by MAXSIZE.
+pub fn collect_window_rows(
+    provider: &dyn TableProvider,
+    q: &CompiledQuery,
+    window: &BoundWindow,
+    request: &Row,
+    anchor_ts: i64,
+) -> Result<Vec<Row>> {
+    collect_window_rows_projected(provider, q, window, request, anchor_ts, None)
+}
+
+/// [`collect_window_rows`] decoding only the columns marked in `wanted`.
+pub fn collect_window_rows_projected(
+    provider: &dyn TableProvider,
+    q: &CompiledQuery,
+    window: &BoundWindow,
+    request: &Row,
+    anchor_ts: i64,
+    wanted: Option<&[bool]>,
+) -> Result<Vec<Row>> {
+    let key = request.key_for(&window.partition_cols);
+    let mut stamped: Vec<(i64, Row)> = Vec::new();
+
+    // EXCLUDE CURRENT_ROW drops the request tuple from the aggregates;
+    // INSTANCE_NOT_IN_WINDOW keeps the request tuple but drops the *other*
+    // rows of the instance's (base) table — the window then aggregates the
+    // union tables' data anchored at the request (OpenMLDB semantics).
+    let include_request = !window.exclude_current_row;
+    let per_table_limit = match window.frame {
+        // +1 row budget: the request row occupies one slot if included.
+        Frame::Rows { preceding } => Some(preceding as usize + usize::from(!include_request)),
+        _ => None,
+    };
+    let lower = match window.frame {
+        Frame::RowsRange { preceding_ms } => anchor_ts - preceding_ms,
+        _ => i64::MIN,
+    };
+
+    let base_iter = if window.instance_not_in_window {
+        None
+    } else {
+        Some(q.base_table.as_str())
+    };
+    for name in base_iter
+        .into_iter()
+        .chain(window.union_tables.iter().map(String::as_str))
+    {
+        let table = provider
+            .table(name)
+            .ok_or_else(|| Error::Storage(format!("unknown table `{name}`")))?;
+        let index = table
+            .find_index(&window.partition_cols, Some(window.order_col))
+            .ok_or_else(|| Error::Storage(format!("no window index on `{name}`")))?;
+        let rows = match per_table_limit {
+            Some(n) => table.latest_n_projected(index, &key, anchor_ts, n, wanted)?,
+            None => table.range_projected(index, &key, lower, anchor_ts, wanted)?,
+        };
+        stamped.extend(rows);
+    }
+    if include_request {
+        stamped.push((anchor_ts, request.clone()));
+    }
+
+    // Chronological order (time-series aggregates depend on it); newest
+    // entries win the per-frame caps.
+    stamped.sort_by_key(|(ts, _)| *ts);
+    if let Frame::Rows { preceding } = window.frame {
+        let keep = preceding as usize + 1;
+        if stamped.len() > keep {
+            stamped.drain(..stamped.len() - keep);
+        }
+    }
+    if let Some(maxsize) = window.maxsize {
+        if stamped.len() > maxsize {
+            stamped.drain(..stamped.len() - maxsize);
+        }
+    }
+    Ok(stamped.into_iter().map(|(_, r)| r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmldb_sql::{compile_select, parse_select, Catalog};
+    use openmldb_storage::{IndexSpec, Ttl};
+    use openmldb_types::{DataType, Schema};
+
+    struct Cat(HashMap<String, Schema>);
+    impl Catalog for Cat {
+        fn table_schema(&self, name: &str) -> Option<Schema> {
+            self.0.get(name).cloned()
+        }
+    }
+
+    fn action_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("userid", DataType::Bigint),
+            ("category", DataType::String),
+            ("price", DataType::Double),
+            ("quantity", DataType::Int),
+            ("ts", DataType::Timestamp),
+        ])
+        .unwrap()
+    }
+
+    fn profile_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("userid", DataType::Bigint),
+            ("age", DataType::Int),
+            ("updated", DataType::Timestamp),
+        ])
+        .unwrap()
+    }
+
+    fn setup() -> (MapProvider, Cat) {
+        let mut cat = HashMap::new();
+        cat.insert("actions".to_string(), action_schema());
+        cat.insert("orders".to_string(), action_schema());
+        cat.insert("profiles".to_string(), profile_schema());
+        let mut provider = MapProvider::default();
+        for name in ["actions", "orders"] {
+            provider.insert(Arc::new(
+                MemTable::new(
+                    name,
+                    action_schema(),
+                    vec![IndexSpec {
+                        name: "by_user".into(),
+                        key_cols: vec![0],
+                        ts_col: Some(4),
+                        ttl: Ttl::Unlimited,
+                    }],
+                )
+                .unwrap(),
+            ));
+        }
+        provider.insert(Arc::new(
+            MemTable::new(
+                "profiles",
+                profile_schema(),
+                vec![IndexSpec {
+                    name: "by_user".into(),
+                    key_cols: vec![0],
+                    ts_col: Some(2),
+                    ttl: Ttl::Unlimited,
+                }],
+            )
+            .unwrap(),
+        ));
+        (provider, Cat(cat))
+    }
+
+    fn action(user: i64, cat: &str, price: f64, qty: i32, ts: i64) -> Row {
+        Row::new(vec![
+            Value::Bigint(user),
+            Value::string(cat),
+            Value::Double(price),
+            Value::Int(qty),
+            Value::Timestamp(ts),
+        ])
+    }
+
+    #[test]
+    fn request_window_aggregation() {
+        let (provider, cat) = setup();
+        let actions = provider.table("actions").unwrap();
+        for i in 0..5 {
+            actions.put(&action(1, "a", i as f64, 1, 1_000 + i * 100)).unwrap();
+        }
+        actions.put(&action(2, "b", 99.0, 1, 1_200)).unwrap();
+        let q = Arc::new(
+            compile_select(
+                &parse_select(
+                    "SELECT userid, sum(price) OVER w AS total, count(price) OVER w AS cnt \
+                     FROM actions WINDOW w AS (PARTITION BY userid ORDER BY ts \
+                     ROWS_RANGE BETWEEN 250 PRECEDING AND CURRENT ROW)",
+                )
+                .unwrap(),
+                &cat,
+            )
+            .unwrap(),
+        );
+        let dep = Deployment::new("d", q);
+        // Request at ts=1450 for user 1: stored rows in [1200, 1450] are
+        // ts 1200(2.0), 1300(3.0), 1400(4.0) + request row 7.0.
+        let out =
+            execute_request(&provider, &dep, &action(1, "a", 7.0, 1, 1_450)).unwrap();
+        assert_eq!(out[0], Value::Bigint(1));
+        assert_eq!(out[1], Value::Double(16.0));
+        assert_eq!(out[2], Value::Bigint(4));
+    }
+
+    #[test]
+    fn request_rows_frame_counts_request_row() {
+        let (provider, cat) = setup();
+        let actions = provider.table("actions").unwrap();
+        for i in 0..10 {
+            actions.put(&action(1, "a", 1.0, 1, 1_000 + i)).unwrap();
+        }
+        let q = Arc::new(
+            compile_select(
+                &parse_select(
+                    "SELECT count(price) OVER w AS cnt FROM actions WINDOW w AS \
+                     (PARTITION BY userid ORDER BY ts ROWS BETWEEN 2 PRECEDING AND CURRENT ROW)",
+                )
+                .unwrap(),
+                &cat,
+            )
+            .unwrap(),
+        );
+        let dep = Deployment::new("d", q);
+        let out = execute_request(&provider, &dep, &action(1, "a", 1.0, 1, 2_000)).unwrap();
+        assert_eq!(out[0], Value::Bigint(3), "2 preceding + current");
+    }
+
+    #[test]
+    fn window_union_merges_tables() {
+        let (provider, cat) = setup();
+        provider.table("actions").unwrap().put(&action(1, "a", 1.0, 1, 100)).unwrap();
+        provider.table("orders").unwrap().put(&action(1, "o", 10.0, 1, 150)).unwrap();
+        provider.table("orders").unwrap().put(&action(1, "o", 20.0, 1, 10_000)).unwrap(); // outside
+        let q = Arc::new(
+            compile_select(
+                &parse_select(
+                    "SELECT sum(price) OVER w AS total FROM actions WINDOW w AS \
+                     (UNION orders PARTITION BY userid ORDER BY ts \
+                     ROWS_RANGE BETWEEN 3s PRECEDING AND CURRENT ROW)",
+                )
+                .unwrap(),
+                &cat,
+            )
+            .unwrap(),
+        );
+        let dep = Deployment::new("d", q);
+        let out = execute_request(&provider, &dep, &action(1, "a", 5.0, 1, 200)).unwrap();
+        assert_eq!(out[0], Value::Double(16.0), "action 1.0 + order 10.0 + request 5.0");
+    }
+
+    #[test]
+    fn last_join_picks_latest_match() {
+        let (provider, cat) = setup();
+        let profiles = provider.table("profiles").unwrap();
+        profiles
+            .put(&Row::new(vec![Value::Bigint(1), Value::Int(20), Value::Timestamp(100)]))
+            .unwrap();
+        profiles
+            .put(&Row::new(vec![Value::Bigint(1), Value::Int(21), Value::Timestamp(200)]))
+            .unwrap();
+        let q = Arc::new(
+            compile_select(
+                &parse_select(
+                    "SELECT actions.userid, profiles.age FROM actions \
+                     LAST JOIN profiles ORDER BY profiles.updated \
+                     ON actions.userid = profiles.userid",
+                )
+                .unwrap(),
+                &cat,
+            )
+            .unwrap(),
+        );
+        let dep = Deployment::new("d", q);
+        let out = execute_request(&provider, &dep, &action(1, "a", 0.0, 1, 500)).unwrap();
+        assert_eq!(out[1], Value::Int(21), "latest profile row wins");
+        // No match → NULL-padded.
+        let out = execute_request(&provider, &dep, &action(9, "a", 0.0, 1, 500)).unwrap();
+        assert_eq!(out[1], Value::Null);
+    }
+
+    #[test]
+    fn last_join_residual_predicate() {
+        let (provider, cat) = setup();
+        let profiles = provider.table("profiles").unwrap();
+        profiles
+            .put(&Row::new(vec![Value::Bigint(1), Value::Int(15), Value::Timestamp(100)]))
+            .unwrap();
+        profiles
+            .put(&Row::new(vec![Value::Bigint(1), Value::Int(30), Value::Timestamp(50)]))
+            .unwrap();
+        let q = Arc::new(
+            compile_select(
+                &parse_select(
+                    "SELECT profiles.age FROM actions \
+                     LAST JOIN profiles ON actions.userid = profiles.userid \
+                     AND profiles.age > 18",
+                )
+                .unwrap(),
+                &cat,
+            )
+            .unwrap(),
+        );
+        let dep = Deployment::new("d", q);
+        let out = execute_request(&provider, &dep, &action(1, "a", 0.0, 1, 500)).unwrap();
+        assert_eq!(out[0], Value::Int(30), "newest row failing the predicate is skipped");
+    }
+
+    #[test]
+    fn where_clause_filters_request() {
+        let (provider, cat) = setup();
+        let q = Arc::new(
+            compile_select(
+                &parse_select("SELECT userid FROM actions WHERE quantity > 5").unwrap(),
+                &cat,
+            )
+            .unwrap(),
+        );
+        let dep = Deployment::new("d", q);
+        let hit = execute_request(&provider, &dep, &action(1, "a", 0.0, 9, 1)).unwrap();
+        assert_eq!(hit[0], Value::Bigint(1));
+        let miss = execute_request(&provider, &dep, &action(1, "a", 0.0, 1, 1)).unwrap();
+        assert_eq!(miss[0], Value::Null);
+    }
+
+    #[test]
+    fn exclude_current_row_attribute() {
+        let (provider, cat) = setup();
+        let actions = provider.table("actions").unwrap();
+        actions.put(&action(1, "a", 10.0, 1, 100)).unwrap();
+        let q = Arc::new(
+            compile_select(
+                &parse_select(
+                    "SELECT sum(price) OVER w AS s FROM actions WINDOW w AS \
+                     (PARTITION BY userid ORDER BY ts \
+                     ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW EXCLUDE CURRENT_ROW)",
+                )
+                .unwrap(),
+                &cat,
+            )
+            .unwrap(),
+        );
+        let dep = Deployment::new("d", q);
+        let out = execute_request(&provider, &dep, &action(1, "a", 99.0, 1, 200)).unwrap();
+        assert_eq!(out[0], Value::Double(10.0), "request row excluded");
+    }
+
+    #[test]
+    fn preagg_path_matches_scan_path() {
+        let (provider, cat) = setup();
+        let actions = provider.table("actions").unwrap();
+        let q = Arc::new(
+            compile_select(
+                &parse_select(
+                    "SELECT sum(price) OVER w AS s, count(price) OVER w AS c \
+                     FROM actions WINDOW w AS (PARTITION BY userid ORDER BY ts \
+                     ROWS_RANGE BETWEEN 100000 PRECEDING AND CURRENT ROW)",
+                )
+                .unwrap(),
+                &cat,
+            )
+            .unwrap(),
+        );
+        let aggs: Vec<_> = q.aggregates.clone();
+        let preagg = PreAggregator::new(&q.windows[0], &aggs, vec![1_000]).unwrap();
+        preagg.attach(
+            actions.replicator(),
+            openmldb_types::CompactCodec::new(action_schema()),
+        );
+        for i in 0..500 {
+            actions.put(&action(1, "a", (i % 10) as f64, 1, i * 37)).unwrap();
+        }
+        actions.replicator().flush();
+
+        let scan_dep = Deployment::new("scan", q.clone());
+        let preagg_dep = Deployment::new("fast", q).with_preagg(0, preagg.clone());
+        let request = action(1, "a", 3.0, 1, 500 * 37);
+        let a = execute_request(&provider, &scan_dep, &request).unwrap();
+        let b = execute_request(&provider, &preagg_dep, &request).unwrap();
+        assert_eq!(a, b, "pre-aggregation must not change results");
+        assert!(preagg.queries() > 0);
+    }
+}
+
+#[cfg(test)]
+mod instance_window_tests {
+    use super::*;
+    use openmldb_sql::{compile_select, parse_select, Catalog};
+    use openmldb_storage::{IndexSpec, MemTable, Ttl};
+    use openmldb_types::{DataType, Schema};
+
+    struct Cat(Schema);
+    impl Catalog for Cat {
+        fn table_schema(&self, name: &str) -> Option<Schema> {
+            matches!(name, "main" | "side").then(|| self.0.clone())
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("k", DataType::Bigint),
+            ("v", DataType::Double),
+            ("ts", DataType::Timestamp),
+        ])
+        .unwrap()
+    }
+
+    fn mk_table(name: &str) -> Arc<MemTable> {
+        Arc::new(
+            MemTable::new(
+                name,
+                schema(),
+                vec![IndexSpec {
+                    name: "i".into(),
+                    key_cols: vec![0],
+                    ts_col: Some(2),
+                    ttl: Ttl::Unlimited,
+                }],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn row(k: i64, v: f64, ts: i64) -> Row {
+        Row::new(vec![Value::Bigint(k), Value::Double(v), Value::Timestamp(ts)])
+    }
+
+    /// INSTANCE_NOT_IN_WINDOW: the main table's stored rows stay out; the
+    /// union table's rows and the request row itself aggregate.
+    #[test]
+    fn instance_not_in_window_excludes_main_table_history() {
+        let mut provider = MapProvider::default();
+        let main = mk_table("main");
+        let side = mk_table("side");
+        main.put(&row(1, 100.0, 50)).unwrap(); // must NOT count
+        side.put(&row(1, 10.0, 60)).unwrap(); // counts
+        provider.insert(main);
+        provider.insert(side);
+        let q = Arc::new(
+            compile_select(
+                &parse_select(
+                    "SELECT sum(v) OVER w AS s, count(v) OVER w AS c FROM main \
+                     WINDOW w AS (UNION side PARTITION BY k ORDER BY ts \
+                     ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW \
+                     INSTANCE_NOT_IN_WINDOW)",
+                )
+                .unwrap(),
+                &Cat(schema()),
+            )
+            .unwrap(),
+        );
+        let dep = Deployment::new("d", q);
+        let out = execute_request(&provider, &dep, &row(1, 1.0, 100)).unwrap();
+        assert_eq!(out[0], Value::Double(11.0), "side row + request, not main history");
+        assert_eq!(out[1], Value::Bigint(2));
+    }
+
+    /// EXCLUDE CURRENT_ROW composes with INSTANCE_NOT_IN_WINDOW: only the
+    /// union rows remain.
+    #[test]
+    fn instance_not_in_window_with_exclude_current_row() {
+        let mut provider = MapProvider::default();
+        let main = mk_table("main");
+        let side = mk_table("side");
+        main.put(&row(1, 100.0, 50)).unwrap();
+        side.put(&row(1, 10.0, 60)).unwrap();
+        provider.insert(main);
+        provider.insert(side);
+        let q = Arc::new(
+            compile_select(
+                &parse_select(
+                    "SELECT sum(v) OVER w AS s FROM main \
+                     WINDOW w AS (UNION side PARTITION BY k ORDER BY ts \
+                     ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW \
+                     EXCLUDE CURRENT_ROW INSTANCE_NOT_IN_WINDOW)",
+                )
+                .unwrap(),
+                &Cat(schema()),
+            )
+            .unwrap(),
+        );
+        let dep = Deployment::new("d", q);
+        let out = execute_request(&provider, &dep, &row(1, 1.0, 100)).unwrap();
+        assert_eq!(out[0], Value::Double(10.0), "only the union row");
+    }
+}

@@ -1,0 +1,24 @@
+//! # openmldb-online
+//!
+//! The online real-time execution engine (paper Sections 3.2 and 5):
+//!
+//! * [`engine`] — request-mode execution: a request tuple is virtually
+//!   inserted, the deployed plan runs against the pre-ranked stores, and one
+//!   feature row returns;
+//! * [`preagg`] — long-window pre-aggregation with a multi-level bucket
+//!   hierarchy maintained asynchronously through the binlog (Section 5.1);
+//! * [`window_union`] — the self-adjusted multi-table window union with
+//!   dynamic key→worker load balancing and incremental computation
+//!   (Section 5.2), plus the static/recompute baselines for ablation;
+//! * [`segtree`] — segment-tree range-merge structure and the query
+//!   frequency tracker behind hierarchy adaptation.
+
+pub mod engine;
+pub mod preagg;
+pub mod segtree;
+pub mod window_union;
+
+pub use engine::{collect_window_rows, execute_request, Deployment, MapProvider, TableProvider};
+pub use preagg::PreAggregator;
+pub use segtree::{FrequencyTracker, Mergeable, SegmentTree};
+pub use window_union::{Scheduling, UnionConfig, WindowUnion};

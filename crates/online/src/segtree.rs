@@ -1,0 +1,201 @@
+//! Segment tree over pre-aggregation buckets (paper Section 5.1 cites
+//! segment trees for managing aggregator history).
+//!
+//! Two uses here:
+//!
+//! * [`SegmentTree`] — generic range-merge structure: point updates and
+//!   O(log n) range queries over any associative merge;
+//! * [`FrequencyTracker`] — a concrete instance counting how often each
+//!   bucket range is queried, which drives the adaptive aggregator-hierarchy
+//!   decisions ("adopt daily and monthly aggregators if hourly ones are
+//!   seldom queried").
+
+/// Associative merge for segment-tree elements.
+pub trait Mergeable: Clone {
+    fn identity() -> Self;
+    fn merge(&self, other: &Self) -> Self;
+}
+
+impl Mergeable for u64 {
+    fn identity() -> Self {
+        0
+    }
+    fn merge(&self, other: &Self) -> Self {
+        self + other
+    }
+}
+
+impl Mergeable for f64 {
+    fn identity() -> Self {
+        0.0
+    }
+    fn merge(&self, other: &Self) -> Self {
+        self + other
+    }
+}
+
+/// Iterative segment tree with fixed capacity.
+#[derive(Debug, Clone)]
+pub struct SegmentTree<T: Mergeable> {
+    size: usize,
+    nodes: Vec<T>,
+}
+
+impl<T: Mergeable> SegmentTree<T> {
+    /// A tree over `len` slots (rounded up to a power of two internally).
+    pub fn new(len: usize) -> Self {
+        let size = len.next_power_of_two().max(1);
+        SegmentTree { size, nodes: vec![T::identity(); 2 * size] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Replace slot `i` and propagate to ancestors.
+    pub fn set(&mut self, i: usize, value: T) {
+        assert!(i < self.size, "index {i} out of bounds {}", self.size);
+        let mut n = self.size + i;
+        self.nodes[n] = value;
+        n /= 2;
+        while n >= 1 {
+            self.nodes[n] = self.nodes[2 * n].merge(&self.nodes[2 * n + 1]);
+            if n == 1 {
+                break;
+            }
+            n /= 2;
+        }
+    }
+
+    /// Merge slot `i` with `value` in place.
+    pub fn update(&mut self, i: usize, value: T) {
+        let merged = self.nodes[self.size + i].merge(&value);
+        self.set(i, merged);
+    }
+
+    /// Read slot `i`.
+    pub fn get(&self, i: usize) -> &T {
+        &self.nodes[self.size + i]
+    }
+
+    /// Merge of slots `[lo, hi)` in O(log n).
+    pub fn query(&self, lo: usize, hi: usize) -> T {
+        let (mut lo, mut hi) = (self.size + lo.min(self.size), self.size + hi.min(self.size));
+        let mut left = T::identity();
+        let mut right = T::identity();
+        while lo < hi {
+            if lo % 2 == 1 {
+                left = left.merge(&self.nodes[lo]);
+                lo += 1;
+            }
+            if hi % 2 == 1 {
+                hi -= 1;
+                right = self.nodes[hi].merge(&right);
+            }
+            lo /= 2;
+            hi /= 2;
+        }
+        left.merge(&right)
+    }
+}
+
+/// Query-frequency statistics per time bucket, used to adapt the
+/// pre-aggregation hierarchy.
+#[derive(Debug)]
+pub struct FrequencyTracker {
+    tree: SegmentTree<u64>,
+    bucket_ms: i64,
+    origin_ms: i64,
+}
+
+impl FrequencyTracker {
+    /// Track `slots` buckets of `bucket_ms` starting at `origin_ms`.
+    pub fn new(origin_ms: i64, bucket_ms: i64, slots: usize) -> Self {
+        FrequencyTracker { tree: SegmentTree::new(slots), bucket_ms: bucket_ms.max(1), origin_ms }
+    }
+
+    fn slot(&self, ts: i64) -> Option<usize> {
+        let rel = ts - self.origin_ms;
+        if rel < 0 {
+            return None;
+        }
+        let slot = (rel / self.bucket_ms) as usize;
+        (slot < self.tree.len()).then_some(slot)
+    }
+
+    /// Record a query touching `[lower_ts, upper_ts]`.
+    pub fn record(&mut self, lower_ts: i64, upper_ts: i64) {
+        let lo = self.slot(lower_ts.max(self.origin_ms)).unwrap_or(0);
+        let hi = self.slot(upper_ts).map(|s| s + 1).unwrap_or(self.tree.len());
+        for s in lo..hi {
+            self.tree.update(s, 1);
+        }
+    }
+
+    /// Total queries over a time range.
+    pub fn frequency(&self, lower_ts: i64, upper_ts: i64) -> u64 {
+        let lo = self.slot(lower_ts.max(self.origin_ms)).unwrap_or(0);
+        let hi = self.slot(upper_ts).map(|s| s + 1).unwrap_or(self.tree.len());
+        self.tree.query(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_update_range_query() {
+        let mut t: SegmentTree<u64> = SegmentTree::new(10);
+        for i in 0..10 {
+            t.set(i, i as u64);
+        }
+        assert_eq!(t.query(0, 10), 45);
+        assert_eq!(t.query(3, 7), 3 + 4 + 5 + 6);
+        assert_eq!(t.query(5, 5), 0);
+        assert_eq!(*t.get(4), 4);
+    }
+
+    #[test]
+    fn update_accumulates() {
+        let mut t: SegmentTree<u64> = SegmentTree::new(4);
+        t.update(2, 5);
+        t.update(2, 7);
+        assert_eq!(*t.get(2), 12);
+        assert_eq!(t.query(0, 4), 12);
+    }
+
+    #[test]
+    fn matches_naive_on_random_ops() {
+        let mut t: SegmentTree<u64> = SegmentTree::new(33); // non power of two
+        let mut model = vec![0u64; 33];
+        let mut x: u64 = 42;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (x >> 33) as usize % 33;
+            let v = x % 100;
+            t.update(i, v);
+            model[i] += v;
+            let lo = (x >> 17) as usize % 34;
+            let hi = (x >> 5) as usize % 34;
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            assert_eq!(t.query(lo, hi), model[lo..hi].iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn frequency_tracker_localizes_hot_ranges() {
+        let mut f = FrequencyTracker::new(0, 100, 100);
+        for _ in 0..10 {
+            f.record(0, 299); // hot: first 3 buckets
+        }
+        f.record(5_000, 5_099); // cold single bucket
+        assert_eq!(f.frequency(0, 299), 30);
+        assert_eq!(f.frequency(5_000, 5_099), 1);
+        assert_eq!(f.frequency(8_000, 9_000), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Time-interval helpers for `ROWS_RANGE` frames and pre-aggregation
+//! bucket specifications (`long_windows="w1:1d"`).
+
+use openmldb_types::{Error, Result};
+
+/// Milliseconds per unit.
+pub const MS_PER_SECOND: i64 = 1_000;
+pub const MS_PER_MINUTE: i64 = 60 * MS_PER_SECOND;
+pub const MS_PER_HOUR: i64 = 60 * MS_PER_MINUTE;
+pub const MS_PER_DAY: i64 = 24 * MS_PER_HOUR;
+
+/// Convert an interval `(value, unit)` to milliseconds.
+/// Units: `s`econd, `m`inute, `h`our, `d`ay.
+pub fn to_ms(value: i64, unit: char) -> Result<i64> {
+    let mult = match unit {
+        's' => MS_PER_SECOND,
+        'm' => MS_PER_MINUTE,
+        'h' => MS_PER_HOUR,
+        'd' => MS_PER_DAY,
+        other => {
+            return Err(Error::Parse {
+                message: format!("unknown interval unit `{other}` (expected s/m/h/d)"),
+                position: 0,
+            })
+        }
+    };
+    value
+        .checked_mul(mult)
+        .ok_or_else(|| Error::Parse { message: "interval overflow".into(), position: 0 })
+}
+
+/// Parse a textual interval like `"1d"`, `"30m"`, or a bare millisecond
+/// count like `"500"`.
+pub fn parse_interval(text: &str) -> Result<i64> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(Error::Parse { message: "empty interval".into(), position: 0 });
+    }
+    let bad = |m: String| Error::Parse { message: m, position: 0 };
+    let last = text.chars().last().expect("non-empty");
+    if last.is_ascii_digit() {
+        return text.parse::<i64>().map_err(|e| bad(format!("bad interval `{text}`: {e}")));
+    }
+    let value: i64 = text[..text.len() - 1]
+        .parse()
+        .map_err(|e| bad(format!("bad interval `{text}`: {e}")))?;
+    to_ms(value, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(to_ms(3, 's').unwrap(), 3_000);
+        assert_eq!(to_ms(5, 'm').unwrap(), 300_000);
+        assert_eq!(to_ms(2, 'h').unwrap(), 7_200_000);
+        assert_eq!(to_ms(100, 'd').unwrap(), 8_640_000_000);
+        assert!(to_ms(i64::MAX, 'd').is_err());
+        assert!(to_ms(1, 'x').is_err());
+    }
+
+    #[test]
+    fn textual_parsing() {
+        assert_eq!(parse_interval("1d").unwrap(), MS_PER_DAY);
+        assert_eq!(parse_interval(" 30m ").unwrap(), 30 * MS_PER_MINUTE);
+        assert_eq!(parse_interval("500").unwrap(), 500);
+        assert!(parse_interval("").is_err());
+        assert!(parse_interval("abc").is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! Tokenizer for OpenMLDB SQL.
+//!
+//! Keywords are case-insensitive; identifiers keep their original case.
+//! Time-interval literals like `3s`, `5m`, `2h`, `100d` are lexed as a
+//! dedicated token kind because they appear in `ROWS_RANGE` frames
+//! (paper Section 4.1, Table 1).
+
+use openmldb_types::{Error, Result};
+
+/// One lexical token plus its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds produced by [`Lexer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword, uppercased (`SELECT`, `WINDOW`, `LAST`, ...).
+    Keyword(String),
+    /// Identifier in original case.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single- or double-quoted string literal, unescaped.
+    Str(String),
+    /// Interval literal such as `3s` — value plus unit character.
+    Interval { value: i64, unit: char },
+    // Punctuation and operators.
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+    Eof,
+}
+
+/// Reserved words recognized as keywords. Everything else is an identifier.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "WINDOW", "AS", "PARTITION", "BY", "ORDER", "ROWS", "ROWS_RANGE",
+    "BETWEEN", "PRECEDING", "AND", "OR", "NOT", "CURRENT", "ROW", "UNION", "LAST", "JOIN", "ON",
+    "OVER", "LIMIT", "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "INDEX", "KEY", "TS", "TTL",
+    "TTL_TYPE", "DEPLOY", "OPTIONS", "NULL", "TRUE", "FALSE", "DESC", "ASC", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "MAXSIZE", "EXCLUDE", "CURRENT_ROW", "INSTANCE_NOT_IN_WINDOW",
+    "CURRENT_TIME", "UNBOUNDED", "IF", "IS", "EXPLAIN",
+];
+
+/// Hand-rolled single-pass lexer.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// Tokenize the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let end = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if end {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // `-- line comment`
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse { message: message.into(), position: self.pos }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia();
+        let pos = self.pos;
+        let kind = match self.peek() {
+            None => TokenKind::Eof,
+            Some(b) if b.is_ascii_digit() => self.lex_number()?,
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => self.lex_word(),
+            Some(b'\'') | Some(b'"') => self.lex_string()?,
+            Some(b'`') => self.lex_quoted_ident()?,
+            Some(b) => {
+                self.pos += 1;
+                match b {
+                    b',' => TokenKind::Comma,
+                    b'.' => TokenKind::Dot,
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'*' => TokenKind::Star,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    b'/' => TokenKind::Slash,
+                    b'%' => TokenKind::Percent,
+                    b';' => TokenKind::Semicolon,
+                    b'=' => {
+                        if self.peek() == Some(b'=') {
+                            self.pos += 1;
+                        }
+                        TokenKind::Eq
+                    }
+                    b'!' => {
+                        if self.bump() != Some(b'=') {
+                            return Err(self.err("expected `=` after `!`"));
+                        }
+                        TokenKind::NotEq
+                    }
+                    b'<' => match self.peek() {
+                        Some(b'=') => {
+                            self.pos += 1;
+                            TokenKind::LtEq
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            TokenKind::NotEq
+                        }
+                        _ => TokenKind::Lt,
+                    },
+                    b'>' => {
+                        if self.peek() == Some(b'=') {
+                            self.pos += 1;
+                            TokenKind::GtEq
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    other => {
+                        return Err(self.err(format!("unexpected character `{}`", other as char)))
+                    }
+                }
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        // Interval suffix: s / m / h / d immediately after digits, not
+        // followed by another identifier character.
+        if let Some(unit) = self.peek() {
+            if matches!(unit, b's' | b'm' | b'h' | b'd')
+                && !matches!(self.peek2(), Some(c) if c.is_ascii_alphanumeric() || c == b'_')
+            {
+                let value: i64 = self.src[start..self.pos]
+                    .parse()
+                    .map_err(|e| self.err(format!("bad interval value: {e}")))?;
+                self.pos += 1;
+                return Ok(TokenKind::Interval { value, unit: unit as char });
+            }
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b) if b.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                is_float = true;
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| self.err(format!("bad float literal: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| self.err(format!("bad integer literal: {e}")))
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let upper = text.to_ascii_uppercase();
+        if KEYWORDS.contains(&upper.as_str()) {
+            TokenKind::Keyword(upper)
+        } else {
+            TokenKind::Ident(text.to_string())
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind> {
+        let quote = self.bump().expect("caller checked");
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(c) => out.push(c as char),
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(b) if b == quote => return Ok(TokenKind::Str(out)),
+                Some(b) => out.push(b as char),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self) -> Result<TokenKind> {
+        self.bump(); // opening backtick
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'`' {
+                let text = self.src[start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(TokenKind::Ident(text));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated quoted identifier"))
+    }
+}
+
+/// Tokenize `src` into a token list ending in [`TokenKind::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM Window"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Keyword("WINDOW".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn intervals_lexed() {
+        assert_eq!(
+            kinds("3s 100d 5m 2h"),
+            vec![
+                TokenKind::Interval { value: 3, unit: 's' },
+                TokenKind::Interval { value: 100, unit: 'd' },
+                TokenKind::Interval { value: 5, unit: 'm' },
+                TokenKind::Interval { value: 2, unit: 'h' },
+                TokenKind::Eof
+            ]
+        );
+        // `3seconds` is NOT an interval; it's `3` then ident (error-free lexing).
+        assert_eq!(
+            kinds("3sec"),
+            vec![TokenKind::Int(3), TokenKind::Ident("sec".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(
+            kinds("42 3.25 1e3"),
+            vec![TokenKind::Int(42), TokenKind::Float(3.25), TokenKind::Float(1000.0), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a >= 1 != <> <="),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::GtEq,
+                TokenKind::Int(1),
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::LtEq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds(r#"'a\'b' "c""#),
+            vec![TokenKind::Str("a'b".into()), TokenKind::Str("c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("select -- comment here\n 1"),
+            vec![TokenKind::Keyword("SELECT".into()), TokenKind::Int(1), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(kinds("`select`"), vec![TokenKind::Ident("select".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("a @ b").unwrap_err();
+        match err {
+            Error::Parse { position, .. } => assert_eq!(position, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Binlog / replicator (paper Section 5.1, "Aggregator Update").
+//!
+//! Every write is appended to a binlog whose `binlog_offset` increases
+//! monotonically — appends happen under the replicator lock, so no
+//! concurrent `Put` can interleave a conflicting offset. Each append also
+//! triggers *asynchronous* execution of subscribed update closures (the
+//! pre-aggregation maintainers) on a background worker, decoupling them from
+//! the data-insertion fast path. `replay` re-applies entries from an offset
+//! for failure recovery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use openmldb_types::KeyValue;
+
+/// One binlog record: a row insertion into a table.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    pub offset: u64,
+    pub table: Arc<str>,
+    /// The primary index key of the inserted row.
+    pub key: Arc<[KeyValue]>,
+    pub ts: i64,
+    /// Encoded row payload.
+    pub data: Arc<[u8]>,
+}
+
+/// Closure invoked asynchronously for each appended entry.
+pub type UpdateClosure = Arc<dyn Fn(&LogEntry) + Send + Sync>;
+
+/// A subscriber plus the offset it joined at: asynchronous delivery covers
+/// only entries appended *after* subscription, so a catch-up replay plus the
+/// subscription sees every entry exactly once.
+struct Listener {
+    from_offset: u64,
+    f: UpdateClosure,
+}
+
+enum WorkerMsg {
+    Apply(LogEntry),
+    Stop,
+}
+
+/// Append-only replicated log with asynchronous subscriber execution.
+pub struct Replicator {
+    /// The log itself; the lock also serializes offset assignment.
+    log: Mutex<Vec<LogEntry>>,
+    listeners: Arc<RwLock<Vec<Listener>>>,
+    tx: Sender<WorkerMsg>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    appended: AtomicU64,
+    processed: Arc<(Mutex<u64>, Condvar)>,
+}
+
+impl Default for Replicator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Replicator {
+    pub fn new() -> Self {
+        let (tx, rx) = channel::unbounded::<WorkerMsg>();
+        let listeners: Arc<RwLock<Vec<Listener>>> = Arc::default();
+        let processed: Arc<(Mutex<u64>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
+        let worker = {
+            let listeners = listeners.clone();
+            let processed = processed.clone();
+            std::thread::spawn(move || {
+                while let Ok(WorkerMsg::Apply(entry)) = rx.recv() {
+                    for l in listeners.read().iter() {
+                        if entry.offset >= l.from_offset {
+                            (l.f)(&entry);
+                        }
+                    }
+                    let (lock, cv) = &*processed;
+                    *lock.lock() += 1;
+                    cv.notify_all();
+                }
+            })
+        };
+        Replicator {
+            log: Mutex::new(Vec::new()),
+            listeners,
+            tx,
+            worker: Mutex::new(Some(worker)),
+            appended: AtomicU64::new(0),
+            processed,
+        }
+    }
+
+    /// Append an entry; the assigned offset is returned. The entry is also
+    /// queued for asynchronous listener execution (`update_aggr` closures).
+    pub fn append_entry(
+        &self,
+        table: Arc<str>,
+        key: Arc<[KeyValue]>,
+        ts: i64,
+        data: Arc<[u8]>,
+    ) -> u64 {
+        // Offset assignment and the append are one critical section —
+        // the monotonic `binlog_offset` invariant of Section 5.1.
+        let entry = {
+            let mut log = self.log.lock();
+            let entry = LogEntry { offset: log.len() as u64, table, key, ts, data };
+            log.push(entry.clone());
+            entry
+        };
+        self.appended.fetch_add(1, Ordering::Release);
+        let offset = entry.offset;
+        // Queue for asynchronous execution; if the worker is gone (shutdown
+        // race), the entry is still durable in the log for replay.
+        let _ = self.tx.send(WorkerMsg::Apply(entry));
+        offset
+    }
+
+    /// Subscribe an update closure, invoked asynchronously for every entry
+    /// appended *from now on*. Entries already in the log (even if still in
+    /// the delivery queue) are not delivered.
+    pub fn subscribe(&self, f: UpdateClosure) {
+        // Hold the log lock so no offset is assigned while the boundary is
+        // read — the subscription point is exact.
+        let log = self.log.lock();
+        self.listeners.write().push(Listener { from_offset: log.len() as u64, f });
+    }
+
+    /// Subscribe with catch-up: entries already in the log are replayed
+    /// inline (synchronously, under the log lock) and every later entry is
+    /// delivered asynchronously — each entry reaches `f` exactly once.
+    /// This is the deploy-time aggregator bootstrap of Section 5.1.
+    pub fn subscribe_with_catchup(&self, f: UpdateClosure) {
+        let log = self.log.lock();
+        for entry in log.iter() {
+            f(entry);
+        }
+        self.listeners.write().push(Listener { from_offset: log.len() as u64, f });
+    }
+
+    /// Number of appended entries (== next offset).
+    pub fn len(&self) -> u64 {
+        self.appended.load(Ordering::Acquire)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block until every appended entry has been applied by all listeners.
+    pub fn flush(&self) {
+        let target = self.len();
+        let (lock, cv) = &*self.processed;
+        let mut done = lock.lock();
+        while *done < target {
+            cv.wait(&mut done);
+        }
+    }
+
+    /// Re-apply entries from `from_offset` (inclusive) — failure recovery
+    /// for aggregators whose state was lost.
+    pub fn replay(&self, from_offset: u64, mut f: impl FnMut(&LogEntry)) {
+        let log = self.log.lock();
+        for entry in log.iter().skip(from_offset as usize) {
+            f(entry);
+        }
+    }
+}
+
+impl Drop for Replicator {
+    fn drop(&mut self) {
+        let _ = self.tx.send(WorkerMsg::Stop);
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicI64;
+
+    fn entry_key() -> Arc<[KeyValue]> {
+        Arc::from(vec![KeyValue::Int(1)].into_boxed_slice())
+    }
+
+    fn data() -> Arc<[u8]> {
+        Arc::from(vec![0u8; 4].into_boxed_slice())
+    }
+
+    #[test]
+    fn offsets_are_monotonic_under_concurrency() {
+        let r = Arc::new(Replicator::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    (0..500).map(|i| r.append_entry("t".into(), entry_key(), i, data())).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = threads.into_iter().flat_map(|t| t.join().unwrap()).collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..4_000).collect();
+        assert_eq!(all, expected, "offsets dense and unique");
+    }
+
+    #[test]
+    fn catchup_subscription_sees_each_entry_exactly_once() {
+        let r = Replicator::new();
+        for i in 0..50 {
+            r.append_entry("t".into(), entry_key(), i, data());
+        }
+        // Subscribe while the queue may still be draining.
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+        r.subscribe_with_catchup(Arc::new(move |e: &LogEntry| s.lock().push(e.offset)));
+        for i in 50..80 {
+            r.append_entry("t".into(), entry_key(), i, data());
+        }
+        r.flush();
+        let seen = seen.lock();
+        assert_eq!(*seen, (0..80).collect::<Vec<u64>>(), "exactly once, in order");
+    }
+
+    #[test]
+    fn plain_subscription_skips_existing_entries() {
+        let r = Replicator::new();
+        for i in 0..20 {
+            r.append_entry("t".into(), entry_key(), i, data());
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+        r.subscribe(Arc::new(move |e: &LogEntry| s.lock().push(e.offset)));
+        for i in 20..30 {
+            r.append_entry("t".into(), entry_key(), i, data());
+        }
+        r.flush();
+        assert_eq!(*seen.lock(), (20..30).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn listeners_run_asynchronously_in_order() {
+        let r = Replicator::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+        r.subscribe(Arc::new(move |e: &LogEntry| s.lock().push(e.offset)));
+        for i in 0..100 {
+            r.append_entry("t".into(), entry_key(), i, data());
+        }
+        r.flush();
+        let seen = seen.lock();
+        assert_eq!(*seen, (0..100).collect::<Vec<u64>>(), "applied in offset order");
+    }
+
+    #[test]
+    fn replay_recovers_from_offset() {
+        let r = Replicator::new();
+        for i in 0..10 {
+            r.append_entry("t".into(), entry_key(), i, data());
+        }
+        let sum = AtomicI64::new(0);
+        r.replay(7, |e| {
+            sum.fetch_add(e.ts, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 7 + 8 + 9);
+    }
+
+    #[test]
+    fn flush_waits_for_slow_listener() {
+        let r = Replicator::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = counter.clone();
+        r.subscribe(Arc::new(move |_e: &LogEntry| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        for i in 0..20 {
+            r.append_entry("t".into(), entry_key(), i, data());
+        }
+        r.flush();
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+}

@@ -1,0 +1,174 @@
+//! Binlog-driven table replication — the availability substrate the paper
+//! delegates to ZooKeeper-coordinated tablet replicas (Section 3.1, and the
+//! `n_replica` factor of the Section 8.1 memory model).
+//!
+//! A [`ReplicaTable`] is a follower [`MemTable`] fed exactly-once from a
+//! leader's binlog: `subscribe_with_catchup` replays the leader's history
+//! synchronously and applies every later write asynchronously, in offset
+//! order. Readers can be pointed at the replica at any time (eventual
+//! consistency; [`ReplicaTable::sync`] blocks until it has caught up) — on
+//! leader loss, the replica already holds the full dataset and serves reads
+//! immediately, which is the failover behaviour the paper gets from its
+//! ZooKeeper deployment.
+
+use std::sync::Arc;
+
+use openmldb_types::{CompactCodec, Result, RowCodec, Schema};
+
+use crate::disk_table::DataTable;
+use crate::table::MemTable;
+#[cfg(test)]
+use crate::table::IndexSpec;
+
+/// A follower table kept in sync with a leader through its binlog.
+pub struct ReplicaTable {
+    follower: Arc<MemTable>,
+    leader_replicator: Arc<crate::binlog::Replicator>,
+}
+
+impl ReplicaTable {
+    /// Create a replica of `leader` and start following its binlog. The
+    /// leader's current history is applied synchronously before this
+    /// returns; later writes stream in asynchronously.
+    pub fn follow(leader: &dyn DataTable) -> Result<Self> {
+        let schema: Schema = leader.schema().clone();
+        let follower = Arc::new(MemTable::new(
+            format!("{}_replica", leader.name()),
+            schema.clone(),
+            leader.index_specs(),
+        )?);
+        let codec = CompactCodec::new(schema);
+        let target = follower.clone();
+        leader.replicator().subscribe_with_catchup(Arc::new(move |entry| {
+            if let Ok(row) = codec.decode(&entry.data) {
+                // Replica applies are infallible for rows the leader
+                // accepted (same schema, no memory limit on the follower).
+                let _ = target.put(&row);
+            }
+        }));
+        Ok(ReplicaTable {
+            follower,
+            leader_replicator: leader.replicator().clone(),
+        })
+    }
+
+    /// Block until every write the leader has accepted so far is applied.
+    pub fn sync(&self) {
+        self.leader_replicator.flush();
+    }
+
+    /// The follower table, servable like any other table.
+    pub fn table(&self) -> Arc<MemTable> {
+        self.follower.clone()
+    }
+
+    /// Rows applied so far.
+    pub fn applied_rows(&self) -> usize {
+        self.follower.row_count()
+    }
+}
+
+/// Convenience: replicate a leader `n` times (the `n_replica` deployments of
+/// Section 8.1 — each replica is a full data copy, which is exactly why the
+/// memory model multiplies by it).
+pub fn replicate(leader: &dyn DataTable, n: usize) -> Result<Vec<ReplicaTable>> {
+    (0..n).map(|_| ReplicaTable::follow(leader)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Ttl;
+    use openmldb_types::{DataType, KeyValue, Row, Value};
+
+    fn leader() -> MemTable {
+        MemTable::new(
+            "events",
+            Schema::from_pairs(&[
+                ("k", DataType::Bigint),
+                ("v", DataType::Double),
+                ("ts", DataType::Timestamp),
+            ])
+            .unwrap(),
+            vec![IndexSpec {
+                name: "by_k".into(),
+                key_cols: vec![0],
+                ts_col: Some(2),
+                ttl: Ttl::Unlimited,
+            }],
+        )
+        .unwrap()
+    }
+
+    fn row(k: i64, v: f64, ts: i64) -> Row {
+        Row::new(vec![Value::Bigint(k), Value::Double(v), Value::Timestamp(ts)])
+    }
+
+    #[test]
+    fn replica_catches_up_and_follows() {
+        let leader = leader();
+        // History before the replica exists...
+        for i in 0..50 {
+            leader.put(&row(i % 3, i as f64, i * 10)).unwrap();
+        }
+        let replica = ReplicaTable::follow(&leader).unwrap();
+        // ...and writes after it attached.
+        for i in 50..100 {
+            leader.put(&row(i % 3, i as f64, i * 10)).unwrap();
+        }
+        replica.sync();
+        assert_eq!(replica.applied_rows(), 100, "catch-up + live stream, exactly once");
+        // Reads on the replica match the leader.
+        let key = [KeyValue::Int(1)];
+        assert_eq!(
+            leader.range(0, &key, 0, 10_000).unwrap(),
+            replica.table().range(0, &key, 0, 10_000).unwrap()
+        );
+    }
+
+    #[test]
+    fn failover_replica_serves_after_leader_drop() {
+        let leader = leader();
+        for i in 0..20 {
+            leader.put(&row(1, i as f64, i)).unwrap();
+        }
+        let replica = ReplicaTable::follow(&leader).unwrap();
+        replica.sync();
+        let serving = replica.table();
+        drop(leader); // the "tablet" dies
+        let latest = serving.latest(0, &[KeyValue::Int(1)]).unwrap().unwrap();
+        assert_eq!(latest[1], Value::Double(19.0), "replica keeps serving");
+    }
+
+    #[test]
+    fn multiple_replicas_stay_identical() {
+        let leader = leader();
+        let replicas = replicate(&leader, 3).unwrap();
+        for i in 0..200 {
+            leader.put(&row(i % 5, i as f64, i)).unwrap();
+        }
+        for r in &replicas {
+            r.sync();
+            assert_eq!(r.applied_rows(), 200);
+        }
+        let key = [KeyValue::Int(2)];
+        let reference = replicas[0].table().range(0, &key, 0, 10_000).unwrap();
+        for r in &replicas[1..] {
+            assert_eq!(r.table().range(0, &key, 0, 10_000).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn replica_memory_matches_n_replica_model_intuition() {
+        // Two replicas ≈ 2× the leader's memory — the n_replica factor.
+        let leader = leader();
+        for i in 0..500 {
+            leader.put(&row(i % 7, i as f64, i)).unwrap();
+        }
+        let replica = ReplicaTable::follow(&leader).unwrap();
+        replica.sync();
+        let l = leader.mem_used() as f64;
+        let r = replica.table().mem_used() as f64;
+        assert!((r / l - 1.0).abs() < 0.05, "leader {l} vs replica {r}");
+    }
+}

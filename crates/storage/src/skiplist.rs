@@ -1,0 +1,782 @@
+//! The refined two-level skiplist of paper Section 7.2.
+//!
+//! * **First level** — a lock-free, insert-only skiplist ordered by key
+//!   (e.g. user id). Key nodes are never removed, so readers can hold plain
+//!   references to their values for the lifetime of the map.
+//! * **Second level** — per key, a lock-free singly-linked [`TimeList`]
+//!   ordered by timestamp *descending* (newest first), so "the latest tuple
+//!   for this key" — the `LAST JOIN` accelerator — is a head read, and a
+//!   window scan is a prefix walk.
+//!
+//! Writes use compare-and-swap pointer updates (retrying on contention,
+//! exactly as the paper describes); expired-data removal exploits the
+//! timestamp ordering: all out-of-date tuples form a contiguous *suffix* of
+//! a time list, so TTL eviction is a single CAS that truncates the suffix,
+//! with epoch-based reclamation (crossbeam) freeing the detached nodes once
+//! concurrent readers have moved on.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+
+const MAX_HEIGHT: usize = 12;
+
+/// Cheap deterministic level generator (splitmix64 over an atomic counter):
+/// each level appears with probability 1/2, capped at [`MAX_HEIGHT`].
+fn random_height(seed: &AtomicU64) -> usize {
+    let mut z = seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+}
+
+// ---------------------------------------------------------------------------
+// First level: insert-only concurrent skiplist.
+// ---------------------------------------------------------------------------
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    /// One forward pointer per level; length == node height.
+    next: Vec<Atomic<Node<K, V>>>,
+}
+
+/// Lock-free insert-only skip map. `get_or_insert` is the only mutator;
+/// key nodes persist for the map's lifetime (streaming workloads accumulate
+/// keys — per-key data is evicted in the second level instead).
+pub struct SkipMap<K, V> {
+    head: Vec<Atomic<Node<K, V>>>,
+    len: AtomicUsize,
+    seed: AtomicU64,
+}
+
+impl<K: Ord, V> Default for SkipMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> SkipMap<K, V> {
+    pub fn new() -> Self {
+        SkipMap {
+            head: (0..MAX_HEIGHT).map(|_| Atomic::null()).collect(),
+            len: AtomicUsize::new(0),
+            seed: AtomicU64::new(0x853C_49E6_748F_EA9B),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Find `key`'s predecessors/successors at every level.
+    fn search<'g>(
+        &'g self,
+        key: &K,
+        guard: &'g Guard,
+    ) -> ([&'g Atomic<Node<K, V>>; MAX_HEIGHT], [Shared<'g, Node<K, V>>; MAX_HEIGHT]) {
+        let mut preds: [&Atomic<Node<K, V>>; MAX_HEIGHT] =
+            std::array::from_fn(|i| &self.head[i]);
+        let mut succs: [Shared<Node<K, V>>; MAX_HEIGHT] =
+            std::array::from_fn(|_| Shared::null());
+        // `pred_links` is the forward-pointer array we are walking from: the
+        // head sentinel's, then the next-pointer arrays of passed nodes. Any
+        // node reached at `level` has height > level, so indexing is safe.
+        let mut pred_links: &[Atomic<Node<K, V>>] = &self.head;
+        for level in (0..MAX_HEIGHT).rev() {
+            let mut curr = pred_links[level].load(Ordering::Acquire, guard);
+            loop {
+                let Some(node) = (unsafe { curr.as_ref() }) else { break };
+                if node.key < *key {
+                    pred_links = &node.next;
+                    curr = pred_links[level].load(Ordering::Acquire, guard);
+                } else {
+                    break;
+                }
+            }
+            preds[level] = &pred_links[level];
+            succs[level] = curr;
+        }
+        (preds, succs)
+    }
+
+    /// Look up `key`; the returned reference lives as long as the map
+    /// (key nodes are never deallocated).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let guard = epoch::pin();
+        let (_, succs) = self.search(key, &guard);
+        let node = unsafe { succs[0].as_ref() }?;
+        (node.key == *key).then(|| {
+            // SAFETY: key nodes are insert-only and freed only on drop of
+            // the whole map, so extending the lifetime to &self is sound.
+            unsafe { &*(&node.value as *const V) }
+        })
+    }
+
+    /// Get `key`'s value, inserting `init()` if absent; the boolean reports
+    /// whether this call created the entry (used for key-memory accounting).
+    /// Lock-free: on CAS contention the losing thread retries and returns
+    /// the winner's value.
+    pub fn get_or_insert_with(&self, key: K, init: impl FnOnce() -> V) -> (&V, bool) {
+        let guard = epoch::pin();
+        // Fast path.
+        if let Some(v) = self.get(&key) {
+            return (v, false);
+        }
+        let height = random_height(&self.seed);
+        let mut new = Owned::new(Node {
+            key,
+            value: init(),
+            next: (0..height).map(|_| Atomic::null()).collect(),
+        });
+        loop {
+            let (preds, succs) = self.search(&new.key, &guard);
+            if let Some(existing) = unsafe { succs[0].as_ref() } {
+                if existing.key == new.key {
+                    // Lost the race (or key appeared): return existing.
+                    return (unsafe { &*(&existing.value as *const V) }, false);
+                }
+            }
+            // Point the new node at its successors before publishing.
+            for (level, succ) in succs.iter().enumerate().take(height) {
+                new.next[level].store(*succ, Ordering::Relaxed);
+            }
+            match preds[0].compare_exchange(
+                succs[0],
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(shared) => {
+                    let node = unsafe { shared.as_ref().expect("just inserted") };
+                    // Link the upper levels best-effort.
+                    for level in 1..height {
+                        loop {
+                            let (preds, succs) = self.search(&node.key, &guard);
+                            if succs[level].as_raw() == shared.as_raw() {
+                                break; // already linked by a helper
+                            }
+                            node.next[level].store(succs[level], Ordering::Release);
+                            if preds[level]
+                                .compare_exchange(
+                                    succs[level],
+                                    shared,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                    &guard,
+                                )
+                                .is_ok()
+                            {
+                                break;
+                            }
+                        }
+                    }
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return (unsafe { &*(&node.value as *const V) }, true);
+                }
+                Err(e) => {
+                    new = e.new;
+                }
+            }
+        }
+    }
+
+    /// Visit entries with `key >= from` in ascending key order while `f`
+    /// returns `true`.
+    pub fn range_for_each(&self, from: &K, mut f: impl FnMut(&K, &V) -> bool) {
+        let guard = epoch::pin();
+        let (_, succs) = self.search(from, &guard);
+        let mut curr = succs[0];
+        while let Some(node) = unsafe { curr.as_ref() } {
+            if !f(&node.key, &node.value) {
+                return;
+            }
+            curr = node.next[0].load(Ordering::Acquire, &guard);
+        }
+    }
+
+    /// Visit every `(key, value)` in ascending key order.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let guard = epoch::pin();
+        let mut curr = self.head[0].load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            f(&node.key, &node.value);
+            curr = node.next[0].load(Ordering::Acquire, &guard);
+        }
+    }
+
+    /// Keys in ascending order (snapshot).
+    pub fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|k, _| out.push(k.clone()));
+        out
+    }
+}
+
+impl<K, V> Drop for SkipMap<K, V> {
+    fn drop(&mut self) {
+        // Exclusive access: walk level 0 and free every node.
+        let guard = unsafe { epoch::unprotected() };
+        let mut curr = self.head[0].load(Ordering::Relaxed, guard);
+        while !curr.is_null() {
+            let owned = unsafe { curr.into_owned() };
+            curr = owned.next[0].load(Ordering::Relaxed, guard);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Second level: per-key time-ordered skiplist.
+// ---------------------------------------------------------------------------
+
+/// Tag bit marking an edge out of a *retired* node: the node's whole suffix
+/// was detached by a TTL truncation. Once a node's level-0 edge carries this
+/// tag the node counts as retired; any in-flight insert CAS against one of
+/// its edges fails (Harris-style marking), so a concurrent writer can never
+/// resurrect expired territory, and walkers treat a tagged edge as
+/// end-of-list (the retired region is always the oldest suffix).
+const RETIRED: usize = 1;
+
+const TIME_MAX_HEIGHT: usize = 12;
+
+struct TimeNode {
+    ts: i64,
+    data: Arc<[u8]>,
+    /// One forward pointer per level, ordered by ts *descending*.
+    next: Vec<Atomic<TimeNode>>,
+}
+
+impl TimeNode {
+    /// A node is retired once its level-0 edge is tagged.
+    fn retired(&self, guard: &Guard) -> bool {
+        self.next[0].load(Ordering::Acquire, guard).tag() == RETIRED
+    }
+}
+
+/// Lock-free skiplist of `(timestamp, encoded row)` ordered newest-first —
+/// the paper's "secondary skiplist" variant of the per-key time level.
+///
+/// * `latest` is a head read; `range(lower, upper)` *seeks* to `upper` in
+///   O(log n) instead of walking every newer entry (this is what keeps the
+///   raw-edge fetches of long-window pre-aggregation cheap);
+/// * insertion CASes at the sorted position (head in the in-order case);
+/// * TTL eviction detaches the expired suffix at level 0 with one CAS,
+///   seals every detached node, unlinks the upper levels, and defers the
+///   frees to epoch reclamation.
+pub struct TimeList {
+    head: Vec<Atomic<TimeNode>>,
+    len: AtomicUsize,
+    bytes: AtomicUsize,
+    seed: AtomicU64,
+}
+
+impl Default for TimeList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeList {
+    pub fn new() -> Self {
+        TimeList {
+            head: (0..TIME_MAX_HEIGHT).map(|_| Atomic::null()).collect(),
+            len: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+            seed: AtomicU64::new(0x2545_F491_4F6C_DD1D),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload bytes currently held (for memory accounting, Section 8).
+    pub fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Find, per level, the last position strictly newer than `ts` and the
+    /// first node with `node.ts <= ts`. A successor that is retired (or an
+    /// edge tagged mid-walk) is reported as the end of that level — the
+    /// retired region is always the expired suffix.
+    #[allow(clippy::type_complexity)]
+    fn search<'g>(
+        &'g self,
+        ts: i64,
+        guard: &'g Guard,
+    ) -> ([&'g Atomic<TimeNode>; TIME_MAX_HEIGHT], [Shared<'g, TimeNode>; TIME_MAX_HEIGHT]) {
+        let mut preds: [&Atomic<TimeNode>; TIME_MAX_HEIGHT] =
+            std::array::from_fn(|i| &self.head[i]);
+        let mut succs: [Shared<TimeNode>; TIME_MAX_HEIGHT] =
+            std::array::from_fn(|_| Shared::null());
+        let mut pred_links: &[Atomic<TimeNode>] = &self.head;
+        for level in (0..TIME_MAX_HEIGHT).rev() {
+            let mut curr = pred_links[level].load(Ordering::Acquire, guard);
+            loop {
+                if curr.tag() == RETIRED {
+                    // The edge we are standing on was sealed: everything
+                    // from here on is the detached suffix.
+                    curr = Shared::null();
+                    break;
+                }
+                let Some(node) = (unsafe { curr.as_ref() }) else { break };
+                if node.retired(guard) {
+                    curr = Shared::null();
+                    break;
+                }
+                if node.ts > ts {
+                    pred_links = &node.next;
+                    curr = pred_links[level].load(Ordering::Acquire, guard);
+                } else {
+                    break;
+                }
+            }
+            preds[level] = &pred_links[level];
+            succs[level] = curr;
+        }
+        (preds, succs)
+    }
+
+    /// Insert an encoded row at its timestamp position. Out-of-order inserts
+    /// seek past newer entries; same-timestamp rows keep insertion order
+    /// (newest insert closest to the head).
+    pub fn insert(&self, ts: i64, data: Arc<[u8]>) {
+        let guard = epoch::pin();
+        let size = data.len();
+        let height = (random_height(&self.seed)).min(TIME_MAX_HEIGHT);
+        let mut new = Owned::new(TimeNode {
+            ts,
+            data,
+            next: (0..height).map(|_| Atomic::null()).collect(),
+        });
+        loop {
+            let (preds, succs) = self.search(ts, &guard);
+            for (level, succ) in succs.iter().enumerate().take(height) {
+                new.next[level].store(*succ, Ordering::Relaxed);
+            }
+            match preds[0].compare_exchange(
+                succs[0],
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(shared) => {
+                    let node = unsafe { shared.as_ref().expect("just inserted") };
+                    // Link the upper levels best-effort with fresh searches;
+                    // a level that raced (or borders the retired suffix) is
+                    // skipped — the node stays reachable via level 0. The
+                    // node's own edges are updated with tag-checked CAS: if
+                    // a concurrent truncation sealed this node (tagged its
+                    // edges), linking stops, so a retired node can never be
+                    // re-published into a live level.
+                    'link: for level in 1..height {
+                        let (preds, succs) = self.search(ts, &guard);
+                        if succs[level].as_raw() == shared.as_raw() {
+                            continue;
+                        }
+                        let mut current = node.next[level].load(Ordering::Acquire, &guard);
+                        loop {
+                            if current.tag() == RETIRED {
+                                break 'link; // sealed mid-insert: stop
+                            }
+                            match node.next[level].compare_exchange(
+                                current,
+                                succs[level],
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                                &guard,
+                            ) {
+                                Ok(_) => break,
+                                Err(e) => current = e.current,
+                            }
+                        }
+                        let _ = preds[level].compare_exchange(
+                            succs[level],
+                            shared,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                            &guard,
+                        );
+                    }
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    self.bytes.fetch_add(size, Ordering::Relaxed);
+                    return;
+                }
+                Err(e) => new = e.new,
+            }
+        }
+    }
+
+    /// Visit entries newest → oldest while `f` returns `true`. A reader that
+    /// entered a suffix just before its truncation keeps a consistent view
+    /// (epoch reclamation defers frees; tags are stripped when following).
+    pub fn scan(&self, mut f: impl FnMut(i64, &[u8]) -> bool) {
+        let guard = epoch::pin();
+        let mut curr = self.head[0].load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { curr.with_tag(0).as_ref() } {
+            if !f(node.ts, &node.data) {
+                return;
+            }
+            curr = node.next[0].load(Ordering::Acquire, &guard);
+        }
+    }
+
+    /// The newest entry — the `LAST JOIN` fast path.
+    pub fn latest(&self) -> Option<(i64, Arc<[u8]>)> {
+        let guard = epoch::pin();
+        let head = self.head[0].load(Ordering::Acquire, &guard);
+        unsafe { head.with_tag(0).as_ref() }.map(|n| (n.ts, n.data.clone()))
+    }
+
+    /// Entries with `lower_ts <= ts <= upper_ts`, newest first. Seeks to
+    /// `upper_ts` through the skip levels instead of scanning from the head.
+    pub fn range(&self, lower_ts: i64, upper_ts: i64) -> Vec<(i64, Arc<[u8]>)> {
+        let guard = epoch::pin();
+        let (_, succs) = self.search(upper_ts, &guard);
+        let mut out = Vec::new();
+        let mut curr = succs[0];
+        while let Some(node) = unsafe { curr.with_tag(0).as_ref() } {
+            if node.ts < lower_ts {
+                break;
+            }
+            out.push((node.ts, node.data.clone()));
+            curr = node.next[0].load(Ordering::Acquire, &guard);
+        }
+        out
+    }
+
+    /// Truncate the expired suffix: drop every entry with `ts < cutoff_ts`
+    /// and/or beyond the newest `keep_latest` entries. With `require_both`,
+    /// an entry is dropped only when it violates *both* bounds (the
+    /// `absandlat` TTL variant); otherwise violating either bound expires it
+    /// (`absorlat` and the simple policies). Both predicates are monotone
+    /// along the list (ts decreasing, rank increasing), so the expired
+    /// entries always form a suffix. Returns `(entries, bytes)` freed.
+    pub fn truncate(
+        &self,
+        cutoff_ts: Option<i64>,
+        keep_latest: Option<usize>,
+        require_both: bool,
+    ) -> (usize, usize) {
+        let guard = epoch::pin();
+        loop {
+            // Walk level 0 to the first node that must be dropped.
+            let mut pred: &Atomic<TimeNode> = &self.head[0];
+            let mut curr = pred.load(Ordering::Acquire, &guard);
+            let mut kept = 0usize;
+            while let Some(node) = unsafe { curr.with_tag(0).as_ref() } {
+                if curr.tag() == RETIRED {
+                    // Concurrent truncation already handled this region.
+                    return (0, 0);
+                }
+                let by_time = cutoff_ts.is_some_and(|c| node.ts < c);
+                let by_count = keep_latest.is_some_and(|k| kept >= k);
+                let expired = if require_both {
+                    (cutoff_ts.is_none() || by_time) && (keep_latest.is_none() || by_count)
+                        && (cutoff_ts.is_some() || keep_latest.is_some())
+                } else {
+                    by_time || by_count
+                };
+                if expired {
+                    break;
+                }
+                kept += 1;
+                pred = &node.next[0];
+                curr = pred.load(Ordering::Acquire, &guard);
+            }
+            if curr.with_tag(0).is_null() {
+                return (0, 0);
+            }
+            // Detach the suffix at level 0 with one CAS.
+            if pred
+                .compare_exchange(
+                    curr,
+                    Shared::null(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                )
+                .is_err()
+            {
+                continue; // raced with an insert; retry the walk
+            }
+
+            // Seal the chain: tag every detached node's level-0 edge first
+            // (this marks the node retired and absorbs any straggler insert
+            // that CASed itself in before the seal reached it), then the
+            // upper edges.
+            let mut chain: Vec<Shared<TimeNode>> = Vec::new();
+            let mut freed = 0usize;
+            let mut node_ptr = curr.with_tag(0);
+            while let Some(node) = unsafe { node_ptr.as_ref() } {
+                let mut next = node.next[0].load(Ordering::Acquire, &guard);
+                loop {
+                    match node.next[0].compare_exchange(
+                        next,
+                        next.with_tag(RETIRED),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        &guard,
+                    ) {
+                        Ok(_) => break,
+                        Err(e) => next = e.current, // a straggler linked in
+                    }
+                }
+                for level in 1..node.next.len() {
+                    let mut up = node.next[level].load(Ordering::Acquire, &guard);
+                    loop {
+                        match node.next[level].compare_exchange(
+                            up,
+                            up.with_tag(RETIRED),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                            &guard,
+                        ) {
+                            Ok(_) => break,
+                            Err(e) => up = e.current,
+                        }
+                    }
+                }
+                freed += node.data.len();
+                chain.push(node_ptr);
+                node_ptr = next.with_tag(0);
+            }
+
+            // Repair the upper levels: cut each level's last live edge into
+            // the retired region so no live pointer survives into freed
+            // memory. Retried per level against concurrent inserts.
+            for level in 1..TIME_MAX_HEIGHT {
+                'repair: loop {
+                    let mut pred: &Atomic<TimeNode> = &self.head[level];
+                    let mut edge = pred.load(Ordering::Acquire, &guard);
+                    loop {
+                        if edge.tag() == RETIRED {
+                            // Standing inside the retired region (stale upper
+                            // pointer of a live node was already repaired by
+                            // a concurrent pass); restart.
+                            continue 'repair;
+                        }
+                        let Some(node) = (unsafe { edge.as_ref() }) else { break 'repair };
+                        if node.retired(&guard) {
+                            // Cut here.
+                            if pred
+                                .compare_exchange(
+                                    edge,
+                                    Shared::null(),
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                    &guard,
+                                )
+                                .is_ok()
+                            {
+                                break 'repair;
+                            }
+                            continue 'repair;
+                        }
+                        pred = &node.next[level];
+                        edge = pred.load(Ordering::Acquire, &guard);
+                    }
+                }
+            }
+
+            // Now unreachable from every level: reclaim.
+            for ptr in &chain {
+                unsafe { guard.defer_destroy(*ptr) };
+            }
+            self.len.fetch_sub(chain.len(), Ordering::Relaxed);
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+            return (chain.len(), freed);
+        }
+    }
+}
+
+impl Drop for TimeList {
+    fn drop(&mut self) {
+        let guard = unsafe { epoch::unprotected() };
+        let mut curr = self.head[0].load(Ordering::Relaxed, guard).with_tag(0);
+        while !curr.is_null() {
+            let owned = unsafe { curr.into_owned() };
+            curr = owned.next[0].load(Ordering::Relaxed, guard).with_tag(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    fn bytes(v: u8) -> Arc<[u8]> {
+        Arc::from(vec![v].into_boxed_slice())
+    }
+
+    #[test]
+    fn skipmap_insert_get_sorted_iteration() {
+        let map: SkipMap<i64, String> = SkipMap::new();
+        for k in [5, 1, 9, 3, 7] {
+            map.get_or_insert_with(k, || format!("v{k}"));
+        }
+        assert_eq!(map.len(), 5);
+        assert_eq!(map.get(&3), Some(&"v3".to_string()));
+        assert_eq!(map.get(&4), None);
+        assert_eq!(map.keys(), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn skipmap_get_or_insert_returns_existing() {
+        let map: SkipMap<i64, i64> = SkipMap::new();
+        let (a, created_a) = map.get_or_insert_with(1, || 10);
+        let (b, created_b) = map.get_or_insert_with(1, || 99);
+        assert_eq!(*a, 10);
+        assert!(created_a);
+        assert_eq!(*b, 10, "second insert sees the first value");
+        assert!(!created_b);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn skipmap_concurrent_inserts() {
+        let map: StdArc<SkipMap<u64, u64>> = StdArc::new(SkipMap::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let map = map.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        // Overlapping key ranges force CAS contention.
+                        map.get_or_insert_with(i % 257, || t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(map.len(), 257);
+        let keys = map.keys();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+    }
+
+    #[test]
+    fn timelist_orders_newest_first() {
+        let list = TimeList::new();
+        for (ts, v) in [(10, 1u8), (30, 3), (20, 2)] {
+            list.insert(ts, bytes(v));
+        }
+        let mut seen = Vec::new();
+        list.scan(|ts, data| {
+            seen.push((ts, data[0]));
+            true
+        });
+        assert_eq!(seen, vec![(30, 3), (20, 2), (10, 1)]);
+        assert_eq!(list.latest().unwrap().0, 30);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.bytes(), 3);
+    }
+
+    #[test]
+    fn timelist_range_scan() {
+        let list = TimeList::new();
+        for ts in [10, 20, 30, 40, 50] {
+            list.insert(ts, bytes(ts as u8));
+        }
+        let hits = list.range(20, 40);
+        let tss: Vec<i64> = hits.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tss, vec![40, 30, 20]);
+    }
+
+    #[test]
+    fn timelist_ttl_truncates_suffix() {
+        let list = TimeList::new();
+        for ts in [10, 20, 30, 40] {
+            list.insert(ts, bytes(ts as u8));
+        }
+        let (dropped, freed) = list.truncate(Some(25), None, false);
+        assert_eq!(dropped, 2);
+        assert_eq!(freed, 2);
+        assert_eq!(list.len(), 2);
+        let mut seen = Vec::new();
+        list.scan(|ts, _| {
+            seen.push(ts);
+            true
+        });
+        assert_eq!(seen, vec![40, 30]);
+        // Idempotent.
+        assert_eq!(list.truncate(Some(25), None, false), (0, 0));
+    }
+
+    #[test]
+    fn timelist_keep_latest_policy() {
+        let list = TimeList::new();
+        for ts in 0..10 {
+            list.insert(ts, bytes(ts as u8));
+        }
+        let (dropped, _) = list.truncate(None, Some(3), false);
+        assert_eq!(dropped, 7);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.latest().unwrap().0, 9);
+    }
+
+    #[test]
+    fn timelist_concurrent_insert_and_truncate() {
+        let list = StdArc::new(TimeList::new());
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let list = list.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2_000i64 {
+                        list.insert(i * 4 + t, bytes((i % 251) as u8));
+                    }
+                })
+            })
+            .collect();
+        let gc = {
+            let list = list.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    list.truncate(Some(1_000), None, false);
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        gc.join().unwrap();
+        list.truncate(Some(1_000), None, false);
+        // Every surviving entry respects the cutoff and ordering.
+        let mut prev = i64::MAX;
+        let mut count = 0usize;
+        list.scan(|ts, _| {
+            assert!(ts >= 1_000, "expired entry survived: {ts}");
+            assert!(ts <= prev, "ordering violated");
+            prev = ts;
+            count += 1;
+            true
+        });
+        assert_eq!(count, list.len());
+        assert_eq!(count, 8_000 - 1_000);
+    }
+
+    #[test]
+    fn same_timestamp_latest_insert_wins_head() {
+        let list = TimeList::new();
+        list.insert(5, bytes(1));
+        list.insert(5, bytes(2));
+        assert_eq!(list.latest().unwrap().1[0], 2);
+    }
+}

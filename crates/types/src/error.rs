@@ -1,0 +1,82 @@
+//! Unified error type shared by every OpenMLDB crate.
+//!
+//! A single error enum keeps cross-crate signatures simple and mirrors the
+//! paper's design where the online and offline engines share one C++ function
+//! library (and therefore one error domain).
+
+use std::fmt;
+
+/// Errors produced anywhere in the OpenMLDB reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// SQL text could not be tokenized or parsed.
+    Parse { message: String, position: usize },
+    /// The query referenced an unknown table, column, or window.
+    Plan(String),
+    /// A runtime expression or aggregate evaluation failed.
+    Eval(String),
+    /// Type mismatch between an expression and its operands.
+    Type { expected: String, found: String },
+    /// Schema-level problems: duplicate columns, arity mismatch, etc.
+    Schema(String),
+    /// Row encoding or decoding failed.
+    Codec(String),
+    /// Storage-engine failure (index missing, table missing, ...).
+    Storage(String),
+    /// A write was rejected because the configured memory limit is exceeded.
+    /// Reads continue to be served (Section 8.2 of the paper).
+    MemoryLimitExceeded { used_bytes: u64, limit_bytes: u64 },
+    /// A deployment name collision or missing deployment.
+    Deployment(String),
+    /// Unsupported feature combination for the requested execution mode.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Type { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::MemoryLimitExceeded { used_bytes, limit_bytes } => write!(
+                f,
+                "memory limit exceeded: used {used_bytes} bytes, limit {limit_bytes} bytes \
+                 (writes rejected, reads continue)"
+            ),
+            Error::Deployment(m) => write!(f, "deployment error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across all crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::Parse { message: "unexpected token".into(), position: 7 };
+        assert!(e.to_string().contains("byte 7"));
+        let e = Error::MemoryLimitExceeded { used_bytes: 10, limit_bytes: 5 };
+        assert!(e.to_string().contains("writes rejected"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Plan("x".into()));
+    }
+}

@@ -1,0 +1,241 @@
+//! Workload generators matching the paper's evaluation inputs
+//! (Section 9.1): the MicroBench stream tables, a TalkingData-like click
+//! log, the RTP item-ranking stream, and the GLQ geospatial tuples.
+//!
+//! All generators are seeded and deterministic so experiments reproduce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use openmldb_types::{DataType, Row, Schema, Value};
+
+use crate::zipf::Zipf;
+
+/// MicroBench stream schema: the time-series tables of the Java testing
+/// tool (id, key, value, category, quantity, ts).
+pub fn micro_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("id", DataType::Bigint),
+        ("k", DataType::Bigint),
+        ("v", DataType::Double),
+        ("category", DataType::String),
+        ("quantity", DataType::Int),
+        ("ts", DataType::Timestamp),
+    ])
+    .expect("static schema")
+}
+
+/// MicroBench generator parameters.
+#[derive(Debug, Clone)]
+pub struct MicroConfig {
+    pub rows: usize,
+    pub distinct_keys: usize,
+    /// Zipf exponent over keys (0 = uniform).
+    pub key_skew: f64,
+    /// Mean gap between consecutive timestamps (ms).
+    pub ts_step_ms: i64,
+    /// Fraction of tuples delivered out of order.
+    pub out_of_order: f64,
+    pub seed: u64,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        MicroConfig {
+            rows: 10_000,
+            distinct_keys: 100,
+            key_skew: 0.0,
+            ts_step_ms: 10,
+            out_of_order: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+const CATEGORIES: &[&str] = &["shoes", "bags", "shirts", "phones", "books", "toys"];
+
+/// Generate MicroBench rows.
+pub fn micro_rows(cfg: &MicroConfig) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.distinct_keys.max(1), cfg.key_skew);
+    (0..cfg.rows)
+        .map(|i| {
+            let base_ts = i as i64 * cfg.ts_step_ms;
+            let ts = if rng.gen_bool(cfg.out_of_order) {
+                (base_ts - rng.gen_range(0..=5 * cfg.ts_step_ms)).max(0)
+            } else {
+                base_ts
+            };
+            Row::new(vec![
+                Value::Bigint(i as i64),
+                Value::Bigint(zipf.sample(&mut rng) as i64),
+                Value::Double(rng.gen_range(1.0..500.0)),
+                Value::string(CATEGORIES[rng.gen_range(0..CATEGORIES.len())]),
+                Value::Int(rng.gen_range(1..5)),
+                Value::Timestamp(ts),
+            ])
+        })
+        .collect()
+}
+
+/// TalkingData-like click schema (ip, app, device, os, channel, click_time,
+/// is_attributed) — the Kaggle ad-fraud dataset's columns.
+pub fn talkingdata_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("ip", DataType::Bigint),
+        ("app", DataType::Int),
+        ("device", DataType::Int),
+        ("os", DataType::Int),
+        ("channel", DataType::Int),
+        ("click_time", DataType::Timestamp),
+        ("is_attributed", DataType::Int),
+    ])
+    .expect("static schema")
+}
+
+/// TalkingData-like clicks: many tuples share the same `ip` key (the
+/// property Table 2's memory comparison leans on).
+pub fn talkingdata_rows(rows: usize, distinct_ips: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(distinct_ips.max(1), 1.05);
+    (0..rows)
+        .map(|i| {
+            Row::new(vec![
+                Value::Bigint(zipf.sample(&mut rng) as i64),
+                Value::Int(rng.gen_range(1..500)),
+                Value::Int(rng.gen_range(1..100)),
+                Value::Int(rng.gen_range(1..50)),
+                Value::Int(rng.gen_range(1..200)),
+                Value::Timestamp(i as i64 * 3),
+                Value::Int(rng.gen_bool(0.002) as i32),
+            ])
+        })
+        .collect()
+}
+
+/// RTP (item ranking) schema: user, item, score, ts.
+pub fn rtp_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("user", DataType::Bigint),
+        ("item", DataType::String),
+        ("score", DataType::Double),
+        ("ts", DataType::Timestamp),
+    ])
+    .expect("static schema")
+}
+
+/// RTP ranking events for `users` users over `items` items.
+pub fn rtp_rows(rows: usize, users: usize, items: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows)
+        .map(|i| {
+            Row::new(vec![
+                Value::Bigint(rng.gen_range(0..users.max(1)) as i64),
+                Value::string(format!("item_{}", rng.gen_range(0..items.max(1)))),
+                Value::Double(rng.gen_range(0.0..1.0)),
+                Value::Timestamp(i as i64),
+            ])
+        })
+        .collect()
+}
+
+/// GLQ geospatial schema: id, lat, lon, ts.
+pub fn glq_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("id", DataType::Bigint),
+        ("lat", DataType::Double),
+        ("lon", DataType::Double),
+        ("ts", DataType::Timestamp),
+    ])
+    .expect("static schema")
+}
+
+/// GPS tuples clustered around `centers` hotspots (cities) with Gaussian-ish
+/// scatter — full-table pairwise/grid queries over these are the GLQ load.
+pub fn glq_rows(rows: usize, centers: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hubs: Vec<(f64, f64)> = (0..centers.max(1))
+        .map(|_| (rng.gen_range(-60.0..60.0), rng.gen_range(-170.0..170.0)))
+        .collect();
+    (0..rows)
+        .map(|i| {
+            let (clat, clon) = hubs[rng.gen_range(0..hubs.len())];
+            // Sum of uniforms ≈ normal scatter around the hub.
+            let jitter = |rng: &mut StdRng| {
+                (rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64)) * 0.5
+            };
+            Row::new(vec![
+                Value::Bigint(i as i64),
+                Value::Double((clat + jitter(&mut rng)).clamp(-89.9, 89.9)),
+                Value::Double((clon + jitter(&mut rng) * 2.0).clamp(-179.9, 179.9)),
+                Value::Timestamp(i as i64),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmldb_types::KeyValue;
+    use std::collections::HashSet;
+
+    #[test]
+    fn micro_rows_conform_to_schema_and_are_deterministic() {
+        let cfg = MicroConfig { rows: 500, ..Default::default() };
+        let a = micro_rows(&cfg);
+        let b = micro_rows(&cfg);
+        assert_eq!(a.len(), 500);
+        let schema = micro_schema();
+        for row in &a {
+            schema.validate_row(row.values()).unwrap();
+        }
+        assert_eq!(a, b, "seeded generation reproduces");
+        let c = micro_rows(&MicroConfig { seed: 7, rows: 500, ..Default::default() });
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn micro_out_of_order_fraction() {
+        let cfg = MicroConfig { rows: 2_000, out_of_order: 0.3, ..Default::default() };
+        let rows = micro_rows(&cfg);
+        let late = rows
+            .windows(2)
+            .filter(|w| w[1].ts_at(5) < w[0].ts_at(5))
+            .count();
+        assert!(late > 100, "out-of-order tuples present: {late}");
+    }
+
+    #[test]
+    fn micro_skew_concentrates_keys() {
+        let cfg = MicroConfig { rows: 5_000, key_skew: 1.2, ..Default::default() };
+        let rows = micro_rows(&cfg);
+        let hot = rows.iter().filter(|r| r[1] == Value::Bigint(0)).count();
+        assert!(hot > 750, "hottest key holds a large share: {hot}");
+    }
+
+    #[test]
+    fn talkingdata_shares_ips() {
+        let rows = talkingdata_rows(5_000, 200, 1);
+        let distinct: HashSet<KeyValue> =
+            rows.iter().map(|r| KeyValue::from(&r[0])).collect();
+        assert!(distinct.len() <= 200);
+        assert!(rows.len() / distinct.len() >= 25, "heavy key sharing");
+        let schema = talkingdata_schema();
+        schema.validate_row(rows[0].values()).unwrap();
+    }
+
+    #[test]
+    fn rtp_and_glq_conform() {
+        let r = rtp_rows(100, 10, 50, 3);
+        rtp_schema().validate_row(r[0].values()).unwrap();
+        let g = glq_rows(100, 5, 3);
+        glq_schema().validate_row(g[0].values()).unwrap();
+        for row in &g {
+            let lat = row[1].as_f64().unwrap();
+            let lon = row[2].as_f64().unwrap();
+            assert!((-90.0..=90.0).contains(&lat));
+            assert!((-180.0..=180.0).contains(&lon));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # openmldb-workload
+//!
+//! Deterministic workload generators for the paper's evaluation inputs
+//! (Section 9.1): MicroBench stream tables, a TalkingData-like click log,
+//! the RTP ranking stream, GLQ geospatial tuples, and the Zipf sampler
+//! behind every skewed distribution.
+
+pub mod generators;
+pub mod zipf;
+
+pub use generators::{
+    glq_rows, glq_schema, micro_rows, micro_schema, rtp_rows, rtp_schema, talkingdata_rows,
+    talkingdata_schema, MicroConfig,
+};
+pub use zipf::Zipf;

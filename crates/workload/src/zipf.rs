@@ -1,0 +1,79 @@
+//! Zipf-distributed key sampler (skewed workloads in the paper's
+//! evaluation: hotspot keys, data-skew partitions).
+
+use rand::Rng;
+
+/// Zipf sampler over `{0, .., n-1}` with exponent `s` via inverse-CDF
+/// lookup (table built once; sampling is a binary search).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// `n` distinct values, exponent `s` (s = 0 is uniform; s ≈ 1 is the
+    /// classic heavy skew).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one value");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cum = 0.0;
+        for w in &mut weights {
+            cum += *w / total;
+            *w = cum;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Draw one rank (0 = most frequent).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank 0 (how hot the hottest key is).
+    pub fn top_share(&self) -> f64 {
+        self.cdf[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1_300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_positive() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] * 4, "rank 0 dominates: {}", counts[0]);
+        assert!(z.top_share() > 0.15);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's Figure 1 scenario: personalized product recommendation.
+//!
+//! Window-unions the `actions` and `orders` streams over a 3-second window
+//! per user, computes the paper's example features (distinct product-type
+//! count, conditional per-category average price via `avg_cate_where`,
+//! top-frequency products), LAST JOINs the user profile, and exports the
+//! feature rows in LibSVM format for the ranking model.
+//!
+//! Run with: `cargo run --release --example product_recommendation`
+
+use openmldb::exec::{infer_feature_kinds, to_libsvm};
+use openmldb::{Database, Row, Value};
+
+fn main() -> openmldb::Result<()> {
+    let db = Database::new();
+
+    // Streams share a schema so they can be window-unioned (Section 5.2).
+    for table in ["actions", "orders"] {
+        db.execute(&format!(
+            "CREATE TABLE {table} (
+                userid BIGINT, product_type STRING, category STRING,
+                price DOUBLE, quantity INT, ts TIMESTAMP,
+                INDEX(KEY=userid, TS=ts))"
+        ))?;
+    }
+    db.execute(
+        "CREATE TABLE profiles (userid BIGINT, age INT, city STRING, updated TIMESTAMP,
+         INDEX(KEY=userid, TS=updated))",
+    )?;
+
+    // Recent user activity (all within the last 3 seconds of t=10_000).
+    let activity = [
+        ("actions", 1, "sneaker", "shoes", 89.0, 1, 7_500),
+        ("actions", 1, "boot", "shoes", 120.0, 2, 8_200),
+        ("orders", 1, "tote", "bags", 60.0, 2, 8_900),
+        ("orders", 1, "satchel", "bags", 75.0, 1, 9_500),
+        ("actions", 1, "sneaker", "shoes", 95.0, 3, 9_800),
+        ("actions", 2, "novel", "books", 15.0, 1, 9_000),
+    ];
+    for (table, user, ptype, cat, price, qty, ts) in activity {
+        db.execute(&format!(
+            "INSERT INTO {table} VALUES ({user}, '{ptype}', '{cat}', {price}, {qty}, {ts})"
+        ))?;
+    }
+    db.execute("INSERT INTO profiles VALUES (1, 31, 'shanghai', 1000), (2, 24, 'beijing', 1000)")?;
+
+    // The Figure 1 feature script: window union + extended functions +
+    // stream join, deployed once for both stages.
+    db.deploy(
+        "DEPLOY recsys AS SELECT
+            actions.userid,
+            profiles.age,
+            distinct_count(product_type) OVER w_union_3s AS product_count,
+            avg_cate_where(price, quantity > 1, category) OVER w_union_3s AS product_prices,
+            topn_frequency(product_type, 2) OVER w_union_3s AS hot_products,
+            sum(price) OVER w_union_3s AS spend_3s
+        FROM actions
+        LAST JOIN profiles ORDER BY profiles.updated ON actions.userid = profiles.userid
+        WINDOW w_union_3s AS (
+            UNION orders
+            PARTITION BY userid ORDER BY ts
+            ROWS_RANGE BETWEEN 3s PRECEDING AND CURRENT ROW)",
+    )?;
+
+    // A live click arrives: compute its features in request mode.
+    let click = Row::new(vec![
+        Value::Bigint(1),
+        Value::string("sandal"),
+        Value::string("shoes"),
+        Value::Double(45.0),
+        Value::Int(1),
+        Value::Timestamp(10_000),
+    ]);
+    let features = db.request("recsys", &click)?;
+    let dep = db.deployment("recsys").expect("deployed above");
+    println!("feature schema: {}", dep.query.output_schema);
+    println!("online features: {:?}", features.values());
+
+    // Export for the model: feature signatures → LibSVM line.
+    let kinds = infer_feature_kinds(&dep.query);
+    println!("libsvm: {}", to_libsvm(&features, &kinds)?);
+
+    // Sanity: the conditional category averages only count quantity > 1.
+    let prices = features[3].as_str()?;
+    assert!(prices.contains("bags:60"), "only the qty-2 bag order counts: {prices}");
+    // boot (qty 2, 120) and sneaker (qty 3, 95) pass; the qty-1 rows do not.
+    assert!(prices.contains("shoes:107.5"), "qty>1 shoes average 107.5: {prices}");
+    println!("ok: avg_cate_where filtered by quantity > 1");
+    Ok(())
+}

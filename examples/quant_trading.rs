@@ -1,0 +1,73 @@
+//! Quantitative-trading time-series features: the paper's `drawdown`
+//! (maximum peak-to-trough loss) and `ew_avg` (exponentially weighted
+//! average) window functions over a price stream — the Section 4.1
+//! category-3 aggregations that standard SQL does not provide.
+//!
+//! Run with: `cargo run --release --example quant_trading`
+
+use openmldb::{Database, ExecResult, Row, Value};
+
+fn main() -> openmldb::Result<()> {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE ticks (symbol STRING, price DOUBLE, volume BIGINT, ts TIMESTAMP,
+         INDEX(KEY=symbol, TS=ts))",
+    )?;
+
+    // A synthetic price path with a 30% crash and partial recovery.
+    let path = [
+        100.0, 104.0, 110.0, 118.0, 121.0, // rally: peak 121
+        117.0, 104.0, 92.0, 84.7, // crash: trough 84.7 (−30% from 121)
+        90.0, 97.0, 103.0, 108.0, // recovery
+    ];
+    for (i, price) in path.iter().enumerate() {
+        db.execute(&format!(
+            "INSERT INTO ticks VALUES ('ACME', {price}, {}, {})",
+            1_000 + i as i64 * 7,
+            (i as i64 + 1) * 60_000
+        ))?;
+    }
+
+    let script = "SELECT symbol,
+            drawdown(price) OVER w_day AS max_drawdown,
+            ew_avg(price, 0.3) OVER w_day AS ewma_price,
+            min(price) OVER w_day AS low,
+            max(price) OVER w_day AS high,
+            lag(price, 1) OVER w_day AS prev_price
+        FROM ticks
+        WINDOW w_day AS (PARTITION BY symbol ORDER BY ts
+                         ROWS_RANGE BETWEEN 1d PRECEDING AND CURRENT ROW)";
+
+    // Offline: indicator series for backtesting, one row per tick.
+    let ExecResult::Batch(batch) = db.execute(script)? else { unreachable!() };
+    println!("{:<6} {:>12} {:>12} {:>8} {:>8} {:>10}", "tick", "drawdown", "ewma", "low", "high", "prev");
+    for (i, row) in batch.rows.iter().enumerate() {
+        println!(
+            "{:<6} {:>12.4} {:>12.2} {:>8.1} {:>8.1} {:>10}",
+            i,
+            row[1].as_f64().unwrap_or(0.0),
+            row[2].as_f64().unwrap_or(0.0),
+            row[3].as_f64().unwrap_or(0.0),
+            row[4].as_f64().unwrap_or(0.0),
+            row[5].to_string(),
+        );
+    }
+
+    // Offline snapshots scan newest-first, so row 0 is the latest tick; its
+    // window covers the whole path and carries the full peak-to-trough loss.
+    let final_dd = batch.rows.first().expect("rows")[1].as_f64()?;
+    assert!((final_dd - (121.0 - 84.7) / 121.0).abs() < 1e-9);
+    println!("\nmax drawdown over the window: {:.2}% (peak 121 → trough 84.7)", final_dd * 100.0);
+
+    // Online: a live tick gets the same indicators in request mode.
+    db.deploy(&format!("DEPLOY quant AS {script}"))?;
+    let tick = Row::new(vec![
+        Value::string("ACME"),
+        Value::Double(111.5),
+        Value::Bigint(5_000),
+        Value::Timestamp(14 * 60_000),
+    ]);
+    let features = db.request("quant", &tick)?;
+    println!("live tick features: {:?}", features.values());
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: create a table, load data, deploy a feature script once, and
+//! serve it in both execution modes — offline batch for training features,
+//! online request mode for serving — with identical results.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use openmldb::{Database, ExecResult, Row, Value};
+
+fn main() -> openmldb::Result<()> {
+    let db = Database::new();
+
+    // 1. Schema with a time-series index: partition key + ordering column.
+    db.execute(
+        "CREATE TABLE actions (
+            userid BIGINT,
+            category STRING,
+            price DOUBLE,
+            ts TIMESTAMP,
+            INDEX(KEY=userid, TS=ts))",
+    )?;
+
+    // 2. Load a little history.
+    for i in 0..20 {
+        db.execute(&format!(
+            "INSERT INTO actions VALUES ({}, 'cat{}', {}.5, {})",
+            i % 3,
+            i % 2,
+            i,
+            1_000 + i * 250
+        ))?;
+    }
+
+    // 3. One feature script, deployed once.
+    let feature_sql = "SELECT userid,
+            sum(price) OVER w AS spend_3s,
+            count(price) OVER w AS events_3s,
+            avg(price) OVER w AS avg_3s
+        FROM actions
+        WINDOW w AS (PARTITION BY userid ORDER BY ts
+                     ROWS_RANGE BETWEEN 3s PRECEDING AND CURRENT ROW)";
+    db.deploy(&format!("DEPLOY quickstart AS {feature_sql}"))?;
+
+    // 4. Offline mode: training features for every historical row.
+    let ExecResult::Batch(training) = db.execute(feature_sql)? else { unreachable!() };
+    println!("offline training rows: {}", training.rows.len());
+    println!("output schema:         {}", training.schema);
+    for row in training.rows.iter().take(3) {
+        println!("  {:?}", row.values());
+    }
+
+    // 5. Online request mode: one feature row per incoming tuple,
+    //    millisecond-class, consistent with the offline values.
+    let request = Row::new(vec![
+        Value::Bigint(1),
+        Value::string("cat1"),
+        Value::Double(9.0),
+        Value::Timestamp(7_000),
+    ]);
+    let start = std::time::Instant::now();
+    let features = db.request("quickstart", &request)?;
+    println!(
+        "online features for user 1 @t=7000: {:?}  ({:.1?})",
+        features.values(),
+        start.elapsed()
+    );
+
+    // 6. The compilation cache makes re-deployments cheap.
+    let (hits, misses) = db.plan_cache_stats();
+    println!("plan cache: {hits} hits / {misses} misses");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # OpenMLDB (Rust reproduction)
+//!
+//! A real-time relational data feature computation system for online ML —
+//! a from-scratch Rust reproduction of *OpenMLDB* (SIGMOD 2025).
+//!
+//! One compiled feature script serves both execution stages: the **offline
+//! batch engine** computes training features over historical tables and the
+//! **online request engine** computes the identical values for live request
+//! tuples in sub-millisecond time, backed by a lock-free two-level skiplist,
+//! a compact row encoding, long-window pre-aggregation, self-adjusting
+//! window unions, multi-window parallelism and time-aware skew resolution.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use openmldb::{Database, Row, Value};
+//!
+//! let db = Database::new();
+//! db.execute(
+//!     "CREATE TABLE actions (userid BIGINT, price DOUBLE, ts TIMESTAMP, \
+//!      INDEX(KEY=userid, TS=ts))",
+//! ).unwrap();
+//! db.execute("INSERT INTO actions VALUES (1, 25.0, 1000), (1, 75.0, 2000)").unwrap();
+//!
+//! // Deploy a feature script once...
+//! db.deploy(
+//!     "DEPLOY demo AS SELECT userid, sum(price) OVER w AS spend FROM actions \
+//!      WINDOW w AS (PARTITION BY userid ORDER BY ts \
+//!      ROWS_RANGE BETWEEN 5s PRECEDING AND CURRENT ROW)",
+//! ).unwrap();
+//!
+//! // ...and serve online requests against it.
+//! let request = Row::new(vec![Value::Bigint(1), Value::Double(10.0), Value::Timestamp(2500)]);
+//! let features = db.request("demo", &request).unwrap();
+//! assert_eq!(features[1], Value::Double(110.0)); // 25 + 75 + 10
+//! ```
+
+pub use openmldb_baselines as baselines;
+pub use openmldb_core::{
+    estimate_memory, recommend_engine, Database, EngineChoice, ExecResult, IndexMemProfile,
+    MemoryAlert, MemoryMonitor, TableMemProfile, TableType,
+};
+pub use openmldb_exec as exec;
+pub use openmldb_offline as offline;
+pub use openmldb_online as online;
+pub use openmldb_sql as sql;
+pub use openmldb_storage as storage;
+pub use openmldb_types::{
+    ColumnDef, CompactCodec, DataType, Error, KeyValue, Result, Row, RowBatch, RowCodec, Schema,
+    UnsafeRowCodec, Value,
+};
+pub use openmldb_workload as workload;

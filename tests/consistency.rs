@@ -1,0 +1,289 @@
+//! The paper's headline guarantee, tested differentially: a feature script
+//! compiled once produces **identical values** in offline batch mode and
+//! online request mode, across function mixes, frame types, joins and
+//! window unions.
+
+use openmldb::{Database, ExecResult, Row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(seed: u64, rows: usize) -> Database {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE events (id BIGINT, k BIGINT, v DOUBLE, q INT, cat STRING, ts TIMESTAMP,
+         INDEX(KEY=k, TS=ts))",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE extra (id BIGINT, k BIGINT, v DOUBLE, q INT, cat STRING, ts TIMESTAMP,
+         INDEX(KEY=k, TS=ts))",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE dim (k BIGINT, weight DOUBLE, updated TIMESTAMP,
+         INDEX(KEY=k, TS=updated))",
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cats = ["a", "b", "c"];
+    for i in 0..rows {
+        let table = if i % 4 == 0 { "extra" } else { "events" };
+        db.insert_row(
+            table,
+            &Row::new(vec![
+                Value::Bigint(i as i64),
+                Value::Bigint(rng.gen_range(0..5)),
+                Value::Double(rng.gen_range(-10.0..10.0)),
+                Value::Int(rng.gen_range(0..4)),
+                Value::string(cats[rng.gen_range(0..3)]),
+                Value::Timestamp(rng.gen_range(0..10_000)),
+            ]),
+        )
+        .unwrap();
+    }
+    for k in 0..5 {
+        db.execute(&format!("INSERT INTO dim VALUES ({k}, {k}.5, 100)")).unwrap();
+    }
+    db
+}
+
+/// Row equality up to floating-point association error: the offline engine's
+/// subtract-and-evict accumulators sum in a different order than the online
+/// engine's fresh window scan, so Double features may differ by ~1 ULP-scale
+/// noise while every set/count/string feature must match exactly.
+fn assert_rows_close(a: &Row, b: &Row, context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: arity");
+    for (i, (x, y)) in a.values().iter().zip(b.values()).enumerate() {
+        match (x, y) {
+            (Value::Double(p), Value::Double(q)) => {
+                let scale = p.abs().max(q.abs()).max(1.0);
+                assert!(
+                    (p - q).abs() / scale < 1e-9,
+                    "{context}: column {i}: {p} vs {q}"
+                );
+            }
+            _ => assert_eq!(x, y, "{context}: column {i}"),
+        }
+    }
+}
+
+/// Compare online request-mode output against the offline batch row for the
+/// same tuple: insert the probe, batch everything, find the probe by id.
+fn assert_consistent(db: &Database, name: &str, sql: &str, probe: Row) {
+    db.deploy(&format!("DEPLOY {name} AS {sql}")).unwrap();
+    let online = db.request(name, &probe).unwrap(); // computes THEN persists
+    let ExecResult::Batch(batch) = db.execute(sql).unwrap() else { panic!() };
+    let id = probe[0].clone();
+    let offline = batch
+        .rows
+        .iter()
+        .find(|r| r[0] == id)
+        .unwrap_or_else(|| panic!("probe id {id:?} missing from batch output"));
+    assert_rows_close(&online, offline, &format!("online vs offline for `{name}`"));
+}
+
+fn probe(id: i64, k: i64, ts: i64) -> Row {
+    Row::new(vec![
+        Value::Bigint(id),
+        Value::Bigint(k),
+        Value::Double(3.25),
+        Value::Int(2),
+        Value::string("b"),
+        Value::Timestamp(ts),
+    ])
+}
+
+#[test]
+fn simple_aggregates_range_frame() {
+    let db = setup(1, 300);
+    assert_consistent(
+        &db,
+        "d1",
+        "SELECT id, sum(v) OVER w AS s, count(v) OVER w AS c, avg(v) OVER w AS a, \
+                min(v) OVER w AS lo, max(v) OVER w AS hi \
+         FROM events WINDOW w AS (PARTITION BY k ORDER BY ts \
+         ROWS_RANGE BETWEEN 2s PRECEDING AND CURRENT ROW)",
+        probe(100_000, 2, 8_000),
+    );
+}
+
+#[test]
+fn rows_frame_and_conditionals() {
+    let db = setup(2, 300);
+    assert_consistent(
+        &db,
+        "d2",
+        "SELECT id, count_where(v, q > 1) OVER w AS cw, sum_where(v, q > 1) OVER w AS sw, \
+                distinct_count(cat) OVER w AS dc \
+         FROM events WINDOW w AS (PARTITION BY k ORDER BY ts \
+         ROWS BETWEEN 20 PRECEDING AND CURRENT ROW)",
+        probe(100_001, 1, 9_000),
+    );
+}
+
+#[test]
+fn extended_ml_functions() {
+    let db = setup(3, 300);
+    assert_consistent(
+        &db,
+        "d3",
+        "SELECT id, topn_frequency(cat, 2) OVER w AS topcat, \
+                avg_cate_where(v, q > 0, cat) OVER w AS cate_avg, \
+                drawdown(v) OVER w AS dd, ew_avg(v, 0.4) OVER w AS ew \
+         FROM events WINDOW w AS (PARTITION BY k ORDER BY ts \
+         ROWS_RANGE BETWEEN 5s PRECEDING AND CURRENT ROW)",
+        probe(100_002, 3, 9_500),
+    );
+}
+
+#[test]
+fn window_union_consistency() {
+    let db = setup(4, 400);
+    assert_consistent(
+        &db,
+        "d4",
+        "SELECT id, sum(v) OVER w AS s, count(v) OVER w AS c \
+         FROM events WINDOW w AS (UNION extra PARTITION BY k ORDER BY ts \
+         ROWS_RANGE BETWEEN 3s PRECEDING AND CURRENT ROW)",
+        probe(100_003, 0, 7_777),
+    );
+}
+
+#[test]
+fn last_join_consistency() {
+    let db = setup(5, 200);
+    assert_consistent(
+        &db,
+        "d5",
+        "SELECT events.id, dim.weight, sum(v) OVER w AS s FROM events \
+         LAST JOIN dim ORDER BY dim.updated ON events.k = dim.k \
+         WINDOW w AS (PARTITION BY k ORDER BY ts \
+         ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW)",
+        probe(100_004, 4, 6_000),
+    );
+}
+
+#[test]
+fn multi_window_consistency() {
+    let db = setup(6, 300);
+    assert_consistent(
+        &db,
+        "d6",
+        "SELECT id, sum(v) OVER w1 AS by_k, count(v) OVER w2 AS by_cat FROM events \
+         WINDOW w1 AS (PARTITION BY k ORDER BY ts ROWS_RANGE BETWEEN 2s PRECEDING AND CURRENT ROW), \
+                w2 AS (PARTITION BY cat ORDER BY ts ROWS_RANGE BETWEEN 2s PRECEDING AND CURRENT ROW)",
+        probe(100_005, 2, 8_800),
+    );
+}
+
+#[test]
+fn preagg_deployment_consistency() {
+    // The long_windows option must not change any feature value.
+    let db = setup(7, 500);
+    let sql = "SELECT id, sum(v) OVER w AS s, count(v) OVER w AS c, max(v) OVER w AS m \
+               FROM events WINDOW w AS (PARTITION BY k ORDER BY ts \
+               ROWS_RANGE BETWEEN 8s PRECEDING AND CURRENT ROW)";
+    db.deploy(&format!("DEPLOY plain AS {sql}")).unwrap();
+    db.deploy(&format!("DEPLOY fast OPTIONS(long_windows=\"w:500\") AS {sql}")).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    for i in 0..50 {
+        let p = probe(200_000 + i, rng.gen_range(0..5), rng.gen_range(5_000..12_000));
+        let a = db.request_readonly("plain", &p).unwrap();
+        let b = db.request_readonly("fast", &p).unwrap();
+        assert_rows_close(&a, &b, &format!("preagg probe {i}"));
+    }
+    let dep = db.deployment("fast").unwrap();
+    assert!(dep.preaggs[0].as_ref().unwrap().queries() >= 50);
+}
+
+#[test]
+fn many_random_probes_agree() {
+    let db = setup(8, 400);
+    let sql = "SELECT id, sum(v) OVER w AS s, count_where(v, q > 0) OVER w AS cw, \
+                      distinct_count(cat) OVER w AS dc \
+               FROM events WINDOW w AS (PARTITION BY k ORDER BY ts \
+               ROWS_RANGE BETWEEN 4s PRECEDING AND CURRENT ROW)";
+    db.deploy(&format!("DEPLOY rnd AS {sql}")).unwrap();
+    let mut rng = StdRng::seed_from_u64(10);
+    for i in 0..30 {
+        let p = probe(300_000 + i, rng.gen_range(0..5), rng.gen_range(0..11_000));
+        let online = db.request("rnd", &p).unwrap();
+        let ExecResult::Batch(batch) = db.execute(sql).unwrap() else { panic!() };
+        let offline = batch.rows.iter().find(|r| r[0] == p[0]).expect("probe present");
+        assert_rows_close(&online, offline, &format!("probe {i}"));
+    }
+}
+
+#[test]
+fn instance_not_in_window_consistency() {
+    let db = setup(11, 300);
+    assert_consistent(
+        &db,
+        "d_inw",
+        "SELECT id, sum(v) OVER w AS s, count(v) OVER w AS c \
+         FROM events WINDOW w AS (UNION extra PARTITION BY k ORDER BY ts \
+         ROWS_RANGE BETWEEN 3s PRECEDING AND CURRENT ROW INSTANCE_NOT_IN_WINDOW)",
+        probe(100_011, 2, 8_200),
+    );
+}
+
+#[test]
+fn exclude_current_row_consistency() {
+    let db = setup(12, 300);
+    assert_consistent(
+        &db,
+        "d_ecr",
+        "SELECT id, sum(v) OVER w AS s, count(v) OVER w AS c \
+         FROM events WINDOW w AS (PARTITION BY k ORDER BY ts \
+         ROWS_RANGE BETWEEN 3s PRECEDING AND CURRENT ROW EXCLUDE CURRENT_ROW)",
+        probe(100_012, 1, 7_300),
+    );
+}
+
+/// Deliberately collision-heavy timestamps: every window is full of ts-peers
+/// (the case that breaks naive anchor-position semantics).
+#[test]
+fn tie_heavy_streams_stay_consistent() {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE events (id BIGINT, k BIGINT, v DOUBLE, q INT, cat STRING, ts TIMESTAMP,
+         INDEX(KEY=k, TS=ts))",
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    for i in 0..400 {
+        db.insert_row(
+            "events",
+            &Row::new(vec![
+                Value::Bigint(i),
+                Value::Bigint(rng.gen_range(0..3)),
+                Value::Double(rng.gen_range(-5.0..5.0)),
+                Value::Int(rng.gen_range(0..3)),
+                Value::string("x"),
+                // Only 25 distinct timestamps → ~16 peers per instant.
+                Value::Timestamp(rng.gen_range(0..25) * 100),
+            ]),
+        )
+        .unwrap();
+    }
+    let sql = "SELECT id, sum(v) OVER w AS s, count(v) OVER w AS c, \
+                      distinct_count(q) OVER w AS dc \
+               FROM events WINDOW w AS (PARTITION BY k ORDER BY ts \
+               ROWS_RANGE BETWEEN 500 PRECEDING AND CURRENT ROW)";
+    db.deploy(&format!("DEPLOY ties AS {sql}")).unwrap();
+    for i in 0..20 {
+        // Probe timestamps that collide with stored instants.
+        let p = Row::new(vec![
+            Value::Bigint(500_000 + i),
+            Value::Bigint(i % 3),
+            Value::Double(1.5),
+            Value::Int(1),
+            Value::string("x"),
+            Value::Timestamp((i % 25) * 100),
+        ]);
+        let online = db.request("ties", &p).unwrap();
+        let ExecResult::Batch(batch) = db.execute(sql).unwrap() else { panic!() };
+        let offline = batch.rows.iter().find(|r| r[0] == p[0]).expect("probe present");
+        assert_rows_close(&online, offline, &format!("tie probe {i}"));
+    }
+}

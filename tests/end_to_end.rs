@@ -1,0 +1,266 @@
+//! End-to-end lifecycle tests spanning every crate: SQL DDL/DML, execution
+//! modes, TTL garbage collection, memory isolation, feature export, the disk
+//! engine, and concurrent serving.
+
+use std::sync::Arc;
+
+use openmldb::exec::{infer_feature_kinds, to_libsvm, FeatureKind};
+use openmldb::online::TableProvider;
+use openmldb::sql::PlanCache;
+use openmldb::storage::{ColumnFamilySpec, DiskEngine};
+use openmldb::{Database, ExecResult, KeyValue, Row, Value};
+
+fn feature_db() -> Database {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE clicks (user BIGINT, item STRING, price DOUBLE, label INT, ts TIMESTAMP,
+         INDEX(KEY=user, TS=ts, TTL=1d, TTL_TYPE=absolute))",
+    )
+    .unwrap();
+    for i in 0..200i64 {
+        db.execute(&format!(
+            "INSERT INTO clicks VALUES ({}, 'item{}', {}.25, {}, {})",
+            i % 8,
+            i % 20,
+            i % 50,
+            (i % 5 == 0) as i32,
+            i * 1_000
+        ))
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn full_lifecycle_train_then_serve() {
+    let db = feature_db();
+    let script = "SELECT
+            binary_label(label) AS y,
+            continuous(sum(price) OVER w) AS spend,
+            continuous(count(price) OVER w) AS events,
+            discrete(item, 1024) AS item_id
+        FROM clicks
+        WINDOW w AS (PARTITION BY user ORDER BY ts
+                     ROWS_RANGE BETWEEN 30s PRECEDING AND CURRENT ROW)";
+
+    // Offline: training set + LibSVM export.
+    let ExecResult::Batch(training) = db.execute(script).unwrap() else { panic!() };
+    assert_eq!(training.rows.len(), 200);
+    let plan = PlanCache::new().compile(script, &db).unwrap();
+    let kinds = infer_feature_kinds(&plan);
+    assert_eq!(kinds[0], FeatureKind::Label);
+    assert!(matches!(kinds[3], FeatureKind::Discrete { dim: 1024 }));
+    let line = to_libsvm(&training.rows[0], &kinds).unwrap();
+    assert!(line.split(' ').count() >= 3, "label + features: {line}");
+
+    // Online: deploy the same script, serve a request.
+    db.deploy(&format!("DEPLOY serving AS {script}")).unwrap();
+    let request = Row::new(vec![
+        Value::Bigint(3),
+        Value::string("item7"),
+        Value::Double(19.5),
+        Value::Int(0),
+        Value::Timestamp(220_000),
+    ]);
+    let features = db.request("serving", &request).unwrap();
+    assert_eq!(features.len(), 4);
+    assert_eq!(features[0], Value::Int(0));
+}
+
+#[test]
+fn ttl_gc_shrinks_windows() {
+    let db = feature_db();
+    db.deploy(
+        "DEPLOY counts AS SELECT count(price) OVER w AS c FROM clicks \
+         WINDOW w AS (PARTITION BY user ORDER BY ts \
+         ROWS_RANGE BETWEEN 1000s PRECEDING AND CURRENT ROW)",
+    )
+    .unwrap();
+    let request = Row::new(vec![
+        Value::Bigint(1),
+        Value::string("x"),
+        Value::Double(0.0),
+        Value::Int(0),
+        Value::Timestamp(200_000),
+    ]);
+    let before = db.request_readonly("counts", &request).unwrap();
+    // GC at a "now" far enough that the 1-day TTL expires old rows.
+    let removed = db.gc(200_000 + 86_400_000);
+    assert!(removed > 0, "absolute TTL evicts everything older than a day");
+    let after = db.request_readonly("counts", &request).unwrap();
+    assert!(after[0].as_i64().unwrap() < before[0].as_i64().unwrap());
+}
+
+#[test]
+fn deployment_and_statement_errors_are_reported() {
+    let db = feature_db();
+    // Unknown deployment.
+    assert!(db.request_readonly("nope", &Row::new(vec![])).is_err());
+    // Duplicate deployment name.
+    db.deploy(
+        "DEPLOY dup AS SELECT user FROM clicks",
+    )
+    .unwrap();
+    let err = db.deploy("DEPLOY dup AS SELECT user FROM clicks").unwrap_err();
+    assert!(err.to_string().contains("already exists"));
+    // Unknown window in long_windows.
+    let err = db
+        .deploy(
+            "DEPLOY bad OPTIONS(long_windows=\"nope:1d\") AS \
+             SELECT sum(price) OVER w AS s FROM clicks \
+             WINDOW w AS (PARTITION BY user ORDER BY ts ROWS_RANGE BETWEEN 1d PRECEDING AND CURRENT ROW)",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown window"));
+    // Order-dependent aggregate cannot be pre-aggregated.
+    let err = db
+        .deploy(
+            "DEPLOY bad2 OPTIONS(long_windows=\"w:1d\") AS \
+             SELECT drawdown(price) OVER w AS d FROM clicks \
+             WINDOW w AS (PARTITION BY user ORDER BY ts ROWS_RANGE BETWEEN 1d PRECEDING AND CURRENT ROW)",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("order-dependent"));
+    // Bad SQL surfaces parse position.
+    assert!(db.execute("SELEC 1").is_err());
+}
+
+#[test]
+fn concurrent_requests_and_writes() {
+    let db = Arc::new(feature_db());
+    db.deploy(
+        "DEPLOY conc AS SELECT user, count(price) OVER w AS c FROM clicks \
+         WINDOW w AS (PARTITION BY user ORDER BY ts \
+         ROWS_RANGE BETWEEN 60s PRECEDING AND CURRENT ROW)",
+    )
+    .unwrap();
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let db = db.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..200 {
+                let row = Row::new(vec![
+                    Value::Bigint(t),
+                    Value::string("live"),
+                    Value::Double(1.0),
+                    Value::Int(0),
+                    Value::Timestamp(300_000 + i * 10 + t),
+                ]);
+                let out = db.request("conc", &row).unwrap();
+                assert!(out[1].as_i64().unwrap() >= 1, "window includes the request");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // 4 threads × 200 requests all persisted on top of the 200 seed rows.
+    let ExecResult::Batch(b) = db.execute("SELECT user FROM clicks").unwrap() else { panic!() };
+    assert_eq!(b.rows.len(), 200 + 800);
+}
+
+#[test]
+fn disk_engine_serves_time_ranges() {
+    // The RocksDB-substitute path (Section 7.3) as a persistence tier.
+    let engine = DiskEngine::new(
+        vec![
+            ColumnFamilySpec { name: "by_user".into(), eviction_ttl_ms: Some(100_000) },
+            ColumnFamilySpec { name: "by_item".into(), eviction_ttl_ms: None },
+        ],
+        64, // tiny memtable to force flushes
+    )
+    .unwrap();
+    for i in 0..500i64 {
+        let payload: Arc<[u8]> = Arc::from(i.to_le_bytes().to_vec().into_boxed_slice());
+        engine.put(0, &[KeyValue::Int(i % 10)], i * 100, payload.clone()).unwrap();
+        engine.put(1, &[KeyValue::Int(i % 3)], i * 100, payload).unwrap();
+    }
+    let hits = engine.range(0, &[KeyValue::Int(4)], 10_000, 30_000).unwrap();
+    assert!(!hits.is_empty());
+    assert!(hits.windows(2).all(|w| w[0].0 >= w[1].0), "newest first");
+    for (ts, _) in &hits {
+        assert!((10_000..=30_000).contains(ts));
+    }
+    // now=120_000, TTL 100_000 → cf0 entries older than ts=20_000 expire.
+    let dropped = engine.evict(120_000);
+    assert_eq!(dropped, 200, "cf0 drops its first 200 entries");
+    assert!(engine.range(0, &[KeyValue::Int(4)], 0, 19_999).unwrap().is_empty());
+    assert_eq!(engine.range(1, &[KeyValue::Int(1)], 0, i64::MAX).unwrap().len(), 167);
+}
+
+#[test]
+fn memory_model_guides_engine_choice() {
+    use openmldb::{estimate_memory, recommend_engine, EngineChoice, IndexMemProfile, TableMemProfile, TableType};
+    let profile = TableMemProfile {
+        replicas: 3,
+        indexes: vec![IndexMemProfile { unique_keys: 10_000_000, avg_key_len: 16 }],
+        rows: 100_000_000,
+        avg_row_len: 500,
+        table_type: TableType::Absolute,
+        data_copies: 1,
+    };
+    let estimate = estimate_memory(&[profile]);
+    assert!(estimate > 150_000_000_000, "hundreds of GB: {estimate}");
+    assert_eq!(
+        recommend_engine(estimate, 64 * (1 << 30), 10),
+        EngineChoice::DiskRequired
+    );
+}
+
+#[test]
+fn memory_isolation_keeps_serving() {
+    let db = feature_db();
+    db.deploy(
+        "DEPLOY iso AS SELECT count(price) OVER w AS c FROM clicks \
+         WINDOW w AS (PARTITION BY user ORDER BY ts ROWS_RANGE BETWEEN 60s PRECEDING AND CURRENT ROW)",
+    )
+    .unwrap();
+    let table = TableProvider::table(&db, "clicks").unwrap();
+    db.memory_monitor().watch(table.clone(), table.mem_used(), 0.9);
+    let request = Row::new(vec![
+        Value::Bigint(1),
+        Value::string("x"),
+        Value::Double(1.0),
+        Value::Int(0),
+        Value::Timestamp(999_000),
+    ]);
+    // `request` persists the row — that write is now rejected...
+    assert!(db.request("iso", &request).is_err());
+    // ...but the read-only path still serves.
+    assert!(db.request_readonly("iso", &request).is_ok());
+    assert_eq!(db.memory_monitor().poll().len(), 1);
+}
+
+#[test]
+fn disk_backed_table_serves_all_three_modes() {
+    let db = Database::new();
+    db.create_disk_table(
+        "CREATE TABLE cold (k BIGINT, v DOUBLE, ts TIMESTAMP, INDEX(KEY=k, TS=ts))",
+    )
+    .unwrap();
+    for i in 0..300 {
+        db.execute(&format!("INSERT INTO cold VALUES ({}, {}.0, {})", i % 4, i, i * 10))
+            .unwrap();
+    }
+    let sql = "SELECT k, sum(v) OVER w AS s FROM cold WINDOW w AS \
+               (PARTITION BY k ORDER BY ts ROWS_RANGE BETWEEN 500 PRECEDING AND CURRENT ROW)";
+    // Offline mode.
+    let ExecResult::Batch(batch) = db.execute(sql).unwrap() else { panic!() };
+    assert_eq!(batch.rows.len(), 300);
+    // Preview mode (cached).
+    let p1 = db.preview(sql, 10).unwrap();
+    let p2 = db.preview(sql, 10).unwrap();
+    assert_eq!(p1.rows, p2.rows);
+    assert_eq!(db.preview_cache_hits(), 1);
+    // Request mode.
+    db.deploy(&format!("DEPLOY cold_q AS {sql}")).unwrap();
+    let out = db
+        .request(
+            "cold_q",
+            &Row::new(vec![Value::Bigint(2), Value::Double(5.0), Value::Timestamp(3_000)]),
+        )
+        .unwrap();
+    // Stored k=2 rows with ts ∈ [2500, 3000] are i ∈ {250, 254, ..., 298}
+    // (13 rows, Σi = 3562) plus the request row's 5.0.
+    assert_eq!(out[1].as_f64().unwrap(), 3_567.0);
+}

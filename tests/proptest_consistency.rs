@@ -1,0 +1,79 @@
+//! Property-based online/offline consistency: random streams (including
+//! timestamp collisions and skewed keys) and random probes must produce the
+//! same feature values in request mode and batch mode. This is the paper's
+//! core guarantee, fuzzed.
+
+use openmldb::{Database, ExecResult, Row, Value};
+use proptest::prelude::*;
+
+fn build_db(rows: &[(i64, i64, f64, i64)]) -> Database {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE s (id BIGINT, k BIGINT, v DOUBLE, ts TIMESTAMP, INDEX(KEY=k, TS=ts))",
+    )
+    .unwrap();
+    for (i, (k, ts, v, _)) in rows.iter().enumerate() {
+        db.insert_row(
+            "s",
+            &Row::new(vec![
+                Value::Bigint(i as i64),
+                Value::Bigint(*k),
+                Value::Double(*v),
+                Value::Timestamp(*ts),
+            ]),
+        )
+        .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_streams_random_probes_agree(
+        rows in proptest::collection::vec(
+            (0i64..4, 0i64..200, -100.0f64..100.0, 0i64..1),
+            20..120,
+        ),
+        probes in proptest::collection::vec((0i64..4, 0i64..220), 1..5),
+        frame_ms in 10i64..150,
+    ) {
+        let db = build_db(&rows);
+        let sql = format!(
+            "SELECT id, sum(v) OVER w AS s, count(v) OVER w AS c, \
+                    min(v) OVER w AS lo, max(v) OVER w AS hi, \
+                    distinct_count(k) OVER w AS dk \
+             FROM s WINDOW w AS (PARTITION BY k ORDER BY ts \
+             ROWS_RANGE BETWEEN {frame_ms} PRECEDING AND CURRENT ROW)"
+        );
+        db.deploy(&format!("DEPLOY p AS {sql}")).unwrap();
+        for (n, (k, ts)) in probes.iter().enumerate() {
+            let probe = Row::new(vec![
+                Value::Bigint(900_000 + n as i64),
+                Value::Bigint(*k),
+                Value::Double(7.25),
+                Value::Timestamp(*ts),
+            ]);
+            let online = db.request("p", &probe).unwrap();
+            let ExecResult::Batch(batch) = db.execute(&sql).unwrap() else { panic!() };
+            let offline = batch
+                .rows
+                .iter()
+                .find(|r| r[0] == probe[0])
+                .expect("probe row present in batch");
+            for (i, (x, y)) in online.values().iter().zip(offline.values()).enumerate() {
+                match (x, y) {
+                    (Value::Double(p), Value::Double(q)) => {
+                        let scale = p.abs().max(q.abs()).max(1.0);
+                        prop_assert!(
+                            (p - q).abs() / scale < 1e-9,
+                            "probe {n} col {i}: {p} vs {q}"
+                        );
+                    }
+                    _ => prop_assert_eq!(x, y, "probe {} col {}", n, i),
+                }
+            }
+        }
+    }
+}
