@@ -1,0 +1,162 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use: `Criterion::benchmark_group`, `bench_function`, `Bencher::{iter,
+//! iter_batched}`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Methodology is deliberately simple (no statistical analysis or HTML
+//! reports): each benchmark warms up briefly, then runs batches until a
+//! fixed measurement budget elapses and reports the median batch's
+//! ns/iteration on stdout. Good enough to compare hot paths relative to one
+//! another on one machine; not a replacement for real criterion's rigor.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(250);
+
+/// How batched setup output is sized; only a hint in this stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn time_batches(&mut self, mut run_batch: impl FnMut(u64) -> Duration) {
+        // Warm up and size the batch so one batch is ~1ms.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let took = run_batch(batch);
+            if took < Duration::from_millis(1) && batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE || samples.len() < 5 {
+            let took = run_batch(batch);
+            samples.push(took.as_nanos() as f64 / batch as f64);
+            if samples.len() >= 1_000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Time a closure, reporting the median ns per call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        self.time_batches(|batch| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Time `routine` on fresh `setup()` output, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.time_batches(|batch| {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            start.elapsed()
+        });
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        println!("{}/{:<28} {:>14.1} ns/iter", self.name, id, b.ns_per_iter);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== group {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        println!("{:<36} {:>14.1} ns/iter", id, b.ns_per_iter);
+        self
+    }
+}
+
+/// Collects benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_nonzero_time() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.ns_per_iter > 0.0);
+    }
+}

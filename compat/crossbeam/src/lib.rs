@@ -1,0 +1,9 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. Only `crossbeam::channel` is reproduced here (the storage crate's
+//! epoch-based reclamation, which upstream takes from `crossbeam::epoch`,
+//! lives in `openmldb_storage::sync::epoch` so the schedule-exploring model
+//! checker can instrument it).
+
+pub mod channel;

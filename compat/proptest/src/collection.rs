@@ -1,0 +1,96 @@
+//! Collection strategies (`proptest::collection::{vec, btree_set}`).
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// `Vec` of `size` (sampled from the range) values from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.clone().generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeSet` built from up to `size` samples (duplicates collapse, so the
+/// result can be smaller than the sampled target — same as real proptest).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord + Debug,
+{
+    assert!(
+        size.start < size.end,
+        "collection::btree_set: empty size range"
+    );
+    BTreeSetStrategy { element, size }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord + Debug,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.clone().generate(rng);
+        let mut set = BTreeSet::new();
+        // Allow a few extra draws so small targets usually fill up even
+        // with collisions, without risking a long loop on narrow domains.
+        for _ in 0..target * 4 {
+            if set.len() >= target.max(self.size.start) {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        if set.is_empty() && self.size.start > 0 {
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_within_range() {
+        let strat = vec(0i64..5, 2..7);
+        let mut rng = TestRng::for_case("unit", 10);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()), "{}", v.len());
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_nonempty_and_in_domain() {
+        let strat = btree_set(0i64..200, 1..60);
+        let mut rng = TestRng::for_case("unit", 11);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 60);
+            assert!(s.iter().all(|x| (0..200).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,649 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment cannot fetch crates, so this crate reproduces the
+//! property-testing API the test suites are written against:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`;
+//! * strategies for numeric ranges, `any::<T>()`, [`Just`], tuples, vectors
+//!   of strategies, and a small character-class regex subset for `&str`
+//!   patterns like `"[a-zA-Z0-9 ]{0,40}"`;
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_oneof!`] macros;
+//! * [`ProptestConfig`] with a `cases` knob, reduced automatically under
+//!   Miri and overridable via `OPENMLDB_PROPTEST_CASES`.
+//!
+//! **Deliberately absent:** shrinking (a failing case prints its seed and
+//! generated inputs instead of a minimized counterexample) and persistent
+//! regression files (`proptest-regressions/` directories are ignored).
+//! Failure output includes the case's seed so a failure reproduces by
+//! setting `OPENMLDB_PROPTEST_SEED`.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod collection;
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Effective case count: the `OPENMLDB_PROPTEST_CASES` env var wins,
+    /// then Miri gets a hard cap (interpretation is ~100x slower), then the
+    /// configured value applies.
+    pub fn resolved_cases(&self) -> u32 {
+        if let Ok(v) = std::env::var("OPENMLDB_PROPTEST_CASES") {
+            if let Ok(n) = v.parse::<u32>() {
+                return n.max(1);
+            }
+        }
+        if cfg!(miri) {
+            return self.cases.min(4);
+        }
+        self.cases
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-case plumbing used by the macros
+// ---------------------------------------------------------------------------
+
+/// A failed `prop_assert!` inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+/// RNG handed to strategies. Deterministic per (property name, case index).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn for_case(property: &str, case: u64) -> Self {
+        if let Ok(v) = std::env::var("OPENMLDB_PROPTEST_SEED") {
+            if let Ok(seed) = v.parse::<u64>() {
+                return TestRng {
+                    inner: StdRng::seed_from_u64(seed),
+                };
+            }
+        }
+        // FNV-1a over the property name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in property.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n.max(1))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait
+// ---------------------------------------------------------------------------
+
+/// Value-generation strategy. Unlike real proptest there is no shrink tree;
+/// `generate` directly produces a value.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Type-erased, clonable strategy.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    inner: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf strategies
+// ---------------------------------------------------------------------------
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-domain strategy for primitive types (`any::<bool>()` etc).
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub struct ArbitraryStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Primitive types with a full-domain generator, biased toward edge cases.
+pub trait Arbitrary: Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        match rng.below(16) {
+            0 => 0,
+            1 => i32::MAX,
+            2 => i32::MIN,
+            3 => -1,
+            _ => rng.next_u64() as i32,
+        }
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        match rng.below(16) {
+            0 => 0,
+            1 => i64::MAX,
+            2 => i64::MIN,
+            3 => -1,
+            _ => rng.next_u64() as i64,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        match rng.below(16) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f32::NAN,
+            3 => f32::INFINITY,
+            4 => f32::NEG_INFINITY,
+            5 => f32::MIN_POSITIVE,
+            _ => f32::from_bits(rng.next_u64() as u32),
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.below(16) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::NAN,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            5 => f64::MIN_POSITIVE,
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+/// Character-class regex subset for `&str` strategies. Supported syntax:
+/// literal characters, `[...]` classes with `a-z` ranges, and `{m,n}` /
+/// `{n}` repetition after a class or literal — enough for patterns like
+/// `"c_[a-z0-9]{0,6}"` and `"[ -~]{0,120}"`. Anything else panics loudly.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum PatternAtom {
+    Class(Vec<char>),
+    Repeat {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    },
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                    set.extend((lo..=hi).filter(|c| c.is_ascii() || *c == lo));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            assert!(
+                !"\\^$.|?*+()".contains(c),
+                "unsupported regex syntax {c:?} in pattern {pattern:?}"
+            );
+            i += 1;
+            vec![c]
+        };
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((a, b)) => (
+                    a.parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pattern:?}")),
+                    b.parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pattern:?}")),
+                ),
+                None => {
+                    let n = body
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pattern:?}"));
+                    (n, n)
+                }
+            };
+            atoms.push(PatternAtom::Repeat { choices, min, max });
+            i = close + 1;
+        } else {
+            atoms.push(PatternAtom::Class(choices));
+        }
+    }
+    atoms
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse_pattern(pattern) {
+        match atom {
+            PatternAtom::Class(choices) => {
+                out.push(choices[rng.below(choices.len())]);
+            }
+            PatternAtom::Repeat { choices, min, max } => {
+                let n = min + rng.below(max - min + 1);
+                for _ in 0..n {
+                    out.push(choices[rng.below(choices.len())]);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Composite strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (S0.0),
+    (S0.0, S1.1),
+    (S0.0, S1.1, S2.2),
+    (S0.0, S1.1, S2.2, S3.3),
+    (S0.0, S1.1, S2.2, S3.3, S4.4),
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+);
+
+/// A `Vec` of strategies generates a `Vec` of one value from each (used for
+/// row generation where every column has its own strategy).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Weighted union over same-valued strategies — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum::<u64>().max(1);
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total_weight;
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.arms[self.arms.len() - 1].1.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Weighted / unweighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Fails the current property case (returns `Err` through the body closure)
+/// when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let cases = config.resolved_cases();
+            for case in 0..cases as u64 {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest property {} failed at case {}/{}: {}\n\
+                         (re-run just this case with OPENMLDB_PROPTEST_SEED after \
+                         reproducing the seed derivation, or raise/lower case counts \
+                         with OPENMLDB_PROPTEST_CASES)",
+                        stringify!($name), case, cases, e.message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+    use crate::Strategy;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_case("unit", 0);
+        for _ in 0..1_000 {
+            let (a, b) = (0i64..10, -5i32..5).generate(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!((-5..5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn pattern_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_case("unit", 1);
+        for _ in 0..500 {
+            let s = "c_[a-z0-9]{0,6}".generate(&mut rng);
+            assert!(s.starts_with("c_"), "{s:?}");
+            assert!(s.len() <= 8, "{s:?}");
+            assert!(s[2..]
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let t = "[ -~]{0,120}".generate(&mut rng);
+            assert!(t.len() <= 120);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = TestRng::for_case("unit", 2);
+        let hits = (0..10_000).filter(|_| strat.generate(&mut rng)).count();
+        assert!((8_000..9_800).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn boxed_and_flat_map_compose() {
+        let strat = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0i64..10, n..n + 1))
+            .boxed();
+        let mut rng = TestRng::for_case("unit", 3);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32 })]
+
+        /// The macro pipeline itself: patterns, bodies, prop_assert.
+        #[test]
+        fn macro_roundtrip((a, b) in (0i64..100, 0i64..100), flip in any::<bool>()) {
+            let sum = a + b;
+            prop_assert!(sum >= a && sum >= b);
+            if flip {
+                prop_assert_eq!(sum - a, b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest property")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4 })]
+            #[allow(unused)]
+            fn always_fails(x in 0i64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,789 @@
+//! Source-level lints for the concurrency-sensitive parts of the workspace.
+//!
+//! The compiler enforces memory safety; these lints enforce the *project
+//! conventions* that keep the unsafe and atomic-heavy code reviewable:
+//!
+//! * `safety-comment` — every `unsafe` token in non-test code must carry a
+//!   `// SAFETY:` (or `# Safety` doc section) justification in the comment
+//!   block directly above it or on the same line.
+//! * `relaxed-ordering` — `Ordering::Relaxed` in `crates/storage/src` is
+//!   suspect by default: relaxed loads/stores on skiplist link pointers are
+//!   exactly the bug class the schedule explorer hunts. Counters, RNG seeds
+//!   and pre-publication stores opt out with an
+//!   `// analysis:allow(relaxed-ordering): <reason>` annotation.
+//! * `panic-path` — no `.unwrap()` / `.expect(` in non-test code of the
+//!   hot-path crates (`storage`, `online`, `exec`); a panic inside a request
+//!   path tears down a worker thread. Provably-unreachable sites opt out
+//!   with `// analysis:allow(panic-path): <reason>`.
+//! * `lossy-cast` — narrowing `as` casts in the type codec
+//!   (`crates/types/src/codec`) silently truncate row data; use `try_from`
+//!   or annotate with `// analysis:allow(lossy-cast): <reason>`.
+//!
+//! Existing, reviewed debt lives in a baseline file keyed by a
+//! line-content fingerprint (not line numbers, so code motion does not
+//! churn it). The lint fails only when a fingerprint's violation count
+//! *grows* beyond the baseline; shrinkage is reported as stale-baseline
+//! info so the file can be re-curated.
+//!
+//! The scanner is a line-oriented lexer, not a full parser: it strips
+//! strings, char literals and comments (tracking multi-line block comments
+//! and raw strings across lines), tracks `#[cfg(test)]` regions by brace
+//! depth, and keeps the comment text separately so the SAFETY / allow
+//! annotations can be matched against the comment channel only.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, in report order.
+pub const RULES: [&str; 4] = [
+    "safety-comment",
+    "relaxed-ordering",
+    "panic-path",
+    "lossy-cast",
+];
+
+/// One lint hit at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending code line, trimmed.
+    pub excerpt: String,
+}
+
+impl Violation {
+    /// Baseline key: content-addressed, line-number free, whitespace
+    /// collapsed so reformatting does not churn the baseline.
+    pub fn fingerprint(&self) -> String {
+        format!("{}|{}|{}", self.rule, self.path, normalize(&self.excerpt))
+    }
+}
+
+fn normalize(code: &str) -> String {
+    let mut out = String::with_capacity(code.len());
+    let mut last_space = true;
+    for ch in code.trim().chars() {
+        if ch.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+            }
+            last_space = true;
+        } else {
+            out.push(ch);
+            last_space = false;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: split each line into a code channel and a comment channel.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct LineInfo {
+    code: String,
+    comment: String,
+    /// Inside a `#[cfg(test)]` item body (or the attribute/header lines of
+    /// one) — lint rules skip these lines.
+    in_test: bool,
+}
+
+#[derive(Debug, Default)]
+struct LexState {
+    /// Nesting depth of `/* */` block comments (Rust block comments nest).
+    block_comment: usize,
+    /// Inside an unterminated `"` string continued on the next line.
+    in_string: bool,
+    /// Inside a raw string; the payload is the `#` count of its delimiter.
+    in_raw_string: Option<usize>,
+}
+
+/// Lex one physical line into (code, comment), updating cross-line state.
+fn lex_line(line: &str, st: &mut LexState) -> (String, String) {
+    let chars: Vec<char> = line.chars().collect();
+    let n = chars.len();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0;
+
+    while i < n {
+        if st.block_comment > 0 {
+            if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                st.block_comment -= 1;
+                i += 2;
+            } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                st.block_comment += 1;
+                i += 2;
+            } else {
+                comment.push(chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = st.in_raw_string {
+            // Look for `"` followed by `hashes` `#` characters.
+            if chars[i] == '"' && chars[i + 1..].iter().take_while(|c| **c == '#').count() >= hashes
+            {
+                st.in_raw_string = None;
+                i += 1 + hashes;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if st.in_string {
+            if chars[i] == '\\' {
+                i += 2;
+            } else if chars[i] == '"' {
+                st.in_string = false;
+                code.push('"');
+                i += 1;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match chars[i] {
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                comment.push_str(&line[line.char_indices().nth(i).map_or(0, |(b, _)| b)..]);
+                i = n;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                st.block_comment += 1;
+                i += 2;
+            }
+            'r' | 'b'
+                if raw_string_hashes(&chars[i..]).is_some()
+                    // Not part of a longer identifier like `avatar"`.
+                    && (i == 0 || !is_ident_char(chars[i - 1])) =>
+            {
+                let (prefix_len, hashes) =
+                    raw_string_hashes(&chars[i..]).expect("checked by guard");
+                code.push('"');
+                code.push('"');
+                st.in_raw_string = Some(hashes);
+                i += prefix_len;
+            }
+            '"' => {
+                code.push('"');
+                st.in_string = true;
+                i += 1;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // chars; a lifetime is `'` + identifier with no closing `'`.
+                if i + 1 < n && chars[i + 1] == '\\' {
+                    i += 2;
+                    while i < n && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    code.push_str("' '");
+                    i += 1;
+                } else if i + 2 < n && chars[i + 2] == '\'' {
+                    code.push_str("' '");
+                    i += 3;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Detect `r"`, `r#"`, `br##"`, ... at the slice start. Returns
+/// (prefix length in chars, hash count).
+fn raw_string_hashes(chars: &[char]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    if chars.first() == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let hashes = chars[i..].iter().take_while(|c| **c == '#').count();
+    i += hashes;
+    if chars.get(i) == Some(&'"') {
+        Some((i + 1, hashes))
+    } else {
+        None
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex the whole file and mark `#[cfg(test)]` regions.
+fn preprocess(src: &str) -> Vec<LineInfo> {
+    let mut st = LexState::default();
+    let mut lines = Vec::new();
+    // Test-region tracking: once `#[cfg(test)]` is seen, everything up to
+    // and including the item's closing brace is test code. `region_depth`
+    // is the brace depth *outside* the item; the region ends when depth
+    // falls back to it.
+    let mut depth = 0usize;
+    let mut pending_test = false;
+    let mut test_region_depth: Option<usize> = None;
+
+    for raw in src.lines() {
+        let (code, comment) = lex_line(raw, &mut st);
+        let code_trim = code.trim();
+
+        if test_region_depth.is_none()
+            && (code_trim.contains("#[cfg(test)]")
+                || code_trim.contains("#[cfg(all(test")
+                || code_trim.contains("#[cfg(any(test"))
+        {
+            pending_test = true;
+        }
+
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+        if pending_test && opens > 0 {
+            test_region_depth = Some(depth);
+            pending_test = false;
+        }
+        depth = (depth + opens).saturating_sub(closes);
+
+        let in_test = pending_test || test_region_depth.is_some();
+        lines.push(LineInfo {
+            code,
+            comment,
+            in_test,
+        });
+
+        if let Some(rd) = test_region_depth {
+            if depth <= rd {
+                test_region_depth = None;
+            }
+        }
+    }
+    lines
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// True when the comment channel of `line_idx` or the contiguous
+/// comment/attribute block directly above it contains `needle`.
+fn comment_block_contains(lines: &[LineInfo], line_idx: usize, needles: &[&str]) -> bool {
+    let hit = |s: &str| needles.iter().any(|n| s.contains(n));
+    if hit(&lines[line_idx].comment) {
+        return true;
+    }
+    let mut i = line_idx;
+    while i > 0 {
+        i -= 1;
+        let li = &lines[i];
+        let code = li.code.trim();
+        if code.is_empty() && !li.comment.trim().is_empty() {
+            // Comment-only line: part of the block.
+            if hit(&li.comment) {
+                return true;
+            }
+        } else if code.starts_with("#[") || code.starts_with("#![") {
+            // Attributes sit between the comment and the item.
+            if hit(&li.comment) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn allowed(lines: &[LineInfo], line_idx: usize, rule: &str) -> bool {
+    let marker = format!("analysis:allow({rule})");
+    comment_block_contains(lines, line_idx, &[&marker])
+}
+
+/// Word-boundary search for `word` in `code`.
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        let before_ok =
+            abs == 0 || !is_ident_char(code[..abs].chars().next_back().expect("abs > 0"));
+        let after = abs + word.len();
+        let after_ok =
+            after >= code.len() || !is_ident_char(code[after..].chars().next().expect("in range"));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+/// Cast targets that can drop value bits. Widening targets (`u64`, `i64`,
+/// `f64`) are deliberately absent; `usize`/`isize` are included because
+/// their width is platform-dependent.
+const LOSSY_CAST_TARGETS: [&str; 9] = [
+    "u8", "i8", "u16", "i16", "u32", "i32", "f32", "usize", "isize",
+];
+
+fn has_lossy_cast(code: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(" as ") {
+        let abs = start + pos;
+        let tail = code[abs + 4..].trim_start();
+        let ty: String = tail.chars().take_while(|c| is_ident_char(*c)).collect();
+        if LOSSY_CAST_TARGETS.contains(&ty.as_str()) {
+            return true;
+        }
+        start = abs + 4;
+    }
+    false
+}
+
+/// Which rules apply to a repo-relative path.
+fn rules_for(path: &str) -> Vec<&'static str> {
+    let mut rules = Vec::new();
+    if path.starts_with("crates/") && path.contains("/src/") {
+        rules.push("safety-comment");
+    }
+    if path.starts_with("crates/storage/src/") {
+        rules.push("relaxed-ordering");
+    }
+    if path.starts_with("crates/storage/src/")
+        || path.starts_with("crates/online/src/")
+        || path.starts_with("crates/exec/src/")
+    {
+        rules.push("panic-path");
+    }
+    if path.starts_with("crates/types/src/codec") {
+        rules.push("lossy-cast");
+    }
+    rules
+}
+
+/// Scan one file's source. `rel_path` selects the applicable rules.
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let rules = rules_for(rel_path);
+    if rules.is_empty() {
+        return Vec::new();
+    }
+    let lines = preprocess(src);
+    let mut out = Vec::new();
+    let mut violate = |rule: &'static str, idx: usize, code: &str| {
+        out.push(Violation {
+            rule,
+            path: rel_path.to_string(),
+            line: idx + 1,
+            excerpt: code.trim().to_string(),
+        });
+    };
+
+    for (idx, li) in lines.iter().enumerate() {
+        if li.in_test {
+            continue;
+        }
+        let code = &li.code;
+        if code.trim().is_empty() {
+            continue;
+        }
+        if rules.contains(&"safety-comment")
+            && contains_word(code, "unsafe")
+            && !comment_block_contains(&lines, idx, &["SAFETY", "# Safety"])
+            && !allowed(&lines, idx, "safety-comment")
+        {
+            violate("safety-comment", idx, code);
+        }
+        if rules.contains(&"relaxed-ordering")
+            && code.contains("Ordering::Relaxed")
+            && !allowed(&lines, idx, "relaxed-ordering")
+        {
+            violate("relaxed-ordering", idx, code);
+        }
+        if rules.contains(&"panic-path")
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !allowed(&lines, idx, "panic-path")
+        {
+            violate("panic-path", idx, code);
+        }
+        if rules.contains(&"lossy-cast")
+            && has_lossy_cast(code)
+            && !allowed(&lines, idx, "lossy-cast")
+        {
+            violate("lossy-cast", idx, code);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Repository walk
+// ---------------------------------------------------------------------------
+
+/// All `crates/*/src/**/*.rs` files under `root`, repo-relative, sorted.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    for krate in read_dir_sorted(&crates)? {
+        let src = krate.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn read_dir_sorted(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan the whole repository rooted at `root`.
+pub fn scan_repo(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&path)?;
+        all.extend(scan_source(&rel, &src));
+    }
+    Ok(all)
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// Outcome of comparing a scan against the curated baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Violations covered by the baseline (accepted debt).
+    pub baselined: Vec<Violation>,
+    /// Violations beyond the baseline: these fail the run.
+    pub new: Vec<Violation>,
+    /// Baseline fingerprints whose count shrank (or vanished): stale debt
+    /// entries, reported so the baseline can be re-curated. `(fingerprint,
+    /// baseline_count, current_count)`.
+    pub stale: Vec<(String, usize, usize)>,
+}
+
+/// Parse the baseline text: `<count>\t<fingerprint>` per line, `#` comments.
+pub fn parse_baseline(text: &str) -> HashMap<String, usize> {
+    let mut map = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((count, fp)) = line.split_once('\t') {
+            if let Ok(count) = count.trim().parse::<usize>() {
+                *map.entry(fp.to_string()).or_insert(0) += count;
+            }
+        }
+    }
+    map
+}
+
+/// Serialize the violation set as a fresh baseline (sorted, deduplicated).
+pub fn render_baseline(violations: &[Violation]) -> String {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for v in violations {
+        *counts.entry(v.fingerprint()).or_insert(0) += 1;
+    }
+    let mut entries: Vec<(String, usize)> = counts.into_iter().collect();
+    entries.sort();
+    let mut out = String::from(
+        "# Curated lint debt. One entry per accepted violation:\n\
+         # <count>\\t<rule>|<path>|<normalized line>\n\
+         # Regenerate with: cargo run -p openmldb-analysis -- lint --write-baseline\n",
+    );
+    for (fp, count) in entries {
+        let _ = writeln!(out, "{count}\t{fp}");
+    }
+    out
+}
+
+/// Split violations into baselined vs new, and find stale baseline entries.
+pub fn apply_baseline(
+    violations: &[Violation],
+    baseline: &HashMap<String, usize>,
+) -> BaselineOutcome {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut out = BaselineOutcome::default();
+    for v in violations {
+        let fp = v.fingerprint();
+        let n = seen.entry(fp.clone()).or_insert(0);
+        *n += 1;
+        if *n <= baseline.get(&fp).copied().unwrap_or(0) {
+            out.baselined.push(v.clone());
+        } else {
+            out.new.push(v.clone());
+        }
+    }
+    let mut stale: Vec<(String, usize, usize)> = baseline
+        .iter()
+        .filter_map(|(fp, b)| {
+            let cur = seen.get(fp).copied().unwrap_or(0);
+            (cur < *b).then(|| (fp.clone(), *b, cur))
+        })
+        .collect();
+    stale.sort();
+    out.stale = stale;
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable report (hand-rolled JSON; the workspace is offline and
+/// carries no serialization dependency).
+pub fn render_report(outcome: &BaselineOutcome) -> String {
+    let mut out = String::from("{\n  \"tool\": \"openmldb-analysis\",\n  \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{r}\"");
+    }
+    let total = outcome.baselined.len() + outcome.new.len();
+    let _ = write!(
+        out,
+        "],\n  \"total\": {}, \"baselined\": {}, \"new\": {}, \"stale_baseline_entries\": {},\n",
+        total,
+        outcome.baselined.len(),
+        outcome.new.len(),
+        outcome.stale.len()
+    );
+    out.push_str("  \"violations\": [\n");
+    let mut first = true;
+    for (status, v) in outcome
+        .new
+        .iter()
+        .map(|v| ("new", v))
+        .chain(outcome.baselined.iter().map(|v| ("baselined", v)))
+    {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"status\": \"{}\", \"excerpt\": \"{}\"}}",
+            v.rule,
+            json_escape(&v.path),
+            v.line,
+            status,
+            json_escape(&v.excerpt)
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STORAGE: &str = "crates/storage/src/x.rs";
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let src = "fn f() {\n    unsafe { danger() };\n}\n";
+        let v = scan_source(STORAGE, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comment");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_above_or_inline_satisfies() {
+        let above = "fn f() {\n    // SAFETY: pointer is pinned.\n    unsafe { danger() };\n}\n";
+        assert!(scan_source(STORAGE, above).is_empty());
+        let inline = "fn f() {\n    unsafe { danger() }; // SAFETY: pinned.\n}\n";
+        assert!(scan_source(STORAGE, inline).is_empty());
+        let doc = "/// Frees the node.\n///\n/// # Safety\n/// Caller holds the guard.\npub unsafe fn free() {}\n";
+        assert!(scan_source(STORAGE, doc).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_survives_interleaved_attributes() {
+        let src = "// SAFETY: single-threaded registry.\n#[inline]\nunsafe fn g() {}\n";
+        assert!(scan_source(STORAGE, src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_inside_strings_and_comments_is_ignored() {
+        let src = "fn f() {\n    let s = \"unsafe\";\n    // unsafe in prose\n    /* unsafe block comment */\n}\n";
+        assert!(scan_source(STORAGE, src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_needs_annotation() {
+        let bare = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let v = scan_source(STORAGE, bare);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "relaxed-ordering");
+
+        let annotated = "fn f(c: &AtomicU64) {\n    // analysis:allow(relaxed-ordering): statistics counter.\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(scan_source(STORAGE, annotated).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_scoped_to_storage() {
+        let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(scan_source("crates/online/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_path_flags_unwrap_and_expect_in_hot_crates() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\nfn g(o: Option<u32>) -> u32 {\n    o.expect(\"set\")\n}\n";
+        for path in [
+            "crates/storage/src/x.rs",
+            "crates/online/src/x.rs",
+            "crates/exec/src/x.rs",
+        ] {
+            let v = scan_source(path, src);
+            assert_eq!(v.len(), 2, "{path}");
+            assert!(v.iter().all(|v| v.rule == "panic-path"));
+        }
+        // Out-of-scope crate: no rule.
+        assert!(scan_source("crates/sql/src/x.rs", src).is_empty());
+        // unwrap_or / expect_err are not panic paths.
+        let fine = "fn f(o: Option<u32>) -> u32 {\n    o.unwrap_or(0)\n}\n";
+        assert!(scan_source(STORAGE, fine).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn hot() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let x: Option<u32> = Some(1);\n        x.unwrap();\n        unsafe { core::hint::unreachable_unchecked() };\n    }\n}\n";
+        assert!(scan_source(STORAGE, src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_region_is_scanned_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n\nfn hot(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n";
+        let v = scan_source(STORAGE, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 7);
+    }
+
+    #[test]
+    fn lossy_cast_in_codec_only() {
+        let src = "fn f(x: u64) -> u32 {\n    x as u32\n}\n";
+        let v = scan_source("crates/types/src/codec/mod.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lossy-cast");
+        assert!(scan_source(STORAGE, src).is_empty());
+
+        let widening = "fn f(x: u32) -> u64 {\n    x as u64\n}\n";
+        assert!(scan_source("crates/types/src/codec/mod.rs", widening).is_empty());
+
+        let annotated = "fn f(x: u64) -> u32 {\n    // analysis:allow(lossy-cast): bounded by header check above.\n    x as u32\n}\n";
+        assert!(scan_source("crates/types/src/codec/mod.rs", annotated).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_confuse_the_lexer() {
+        let src = "fn f<'g>(x: &'g str) -> &'g str {\n    x\n}\nfn c() -> char {\n    '\\''\n}\n";
+        assert!(scan_source(STORAGE, src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let src = "fn f() -> &'static str {\n    r#\"unsafe .unwrap() Ordering::Relaxed\"#\n}\n";
+        assert!(scan_source(STORAGE, src).is_empty());
+    }
+
+    #[test]
+    fn baseline_absorbs_existing_debt_but_flags_growth() {
+        let debt = Violation {
+            rule: "panic-path",
+            path: STORAGE.into(),
+            line: 10,
+            excerpt: "o.unwrap()".into(),
+        };
+        let baseline = parse_baseline(&render_baseline(std::slice::from_ref(&debt)));
+        // Same debt: fully baselined.
+        let ok = apply_baseline(std::slice::from_ref(&debt), &baseline);
+        assert!(ok.new.is_empty());
+        assert_eq!(ok.baselined.len(), 1);
+        // Same line moved: still baselined (fingerprint has no line number).
+        let moved = Violation {
+            line: 99,
+            ..debt.clone()
+        };
+        assert!(apply_baseline(&[moved], &baseline).new.is_empty());
+        // Duplicate of the same fingerprint: growth ⇒ one new.
+        let grown = apply_baseline(&[debt.clone(), debt.clone()], &baseline);
+        assert_eq!(grown.new.len(), 1);
+        assert_eq!(grown.baselined.len(), 1);
+        // Debt paid down: stale entry reported, nothing fails.
+        let paid = apply_baseline(&[], &baseline);
+        assert!(paid.new.is_empty());
+        assert_eq!(paid.stale.len(), 1);
+    }
+
+    #[test]
+    fn report_is_valid_enough_json() {
+        let v = Violation {
+            rule: "safety-comment",
+            path: "crates/storage/src/a\"b.rs".into(),
+            line: 3,
+            excerpt: "unsafe { \"x\\y\" }".into(),
+        };
+        let outcome = apply_baseline(&[v], &HashMap::new());
+        let report = render_report(&outcome);
+        assert!(report.contains("\\\"b.rs"));
+        assert!(report.contains("\\\\y"));
+        assert!(report.contains("\"new\": 1"));
+    }
+}

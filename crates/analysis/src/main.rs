@@ -1,0 +1,126 @@
+//! CLI for the in-repo lint: `cargo run -p openmldb-analysis -- lint`.
+//!
+//! Exit codes: 0 = clean (all violations baselined), 1 = new violations,
+//! 2 = usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use openmldb_analysis::{
+    apply_baseline, parse_baseline, render_baseline, render_report, scan_repo,
+};
+
+const USAGE: &str = "\
+usage: openmldb-analysis lint [options]
+
+options:
+  --root <dir>        repository root (default: .)
+  --baseline <file>   curated debt file (default: crates/analysis/lint-baseline.txt)
+  --report <file>     JSON report output (default: target/analysis-report.json)
+  --write-baseline    rewrite the baseline from the current scan and exit 0
+  --quiet             suppress per-violation text output
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    match iter.next().map(String::as_str) {
+        Some("lint") => {}
+        Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut quiet = false;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" | "--baseline" | "--report" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("{arg} needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match arg.as_str() {
+                    "--root" => root = PathBuf::from(value),
+                    "--baseline" => baseline_path = Some(PathBuf::from(value)),
+                    _ => report_path = Some(PathBuf::from(value)),
+                }
+            }
+            "--write-baseline" => write_baseline = true,
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown option {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let baseline_path =
+        baseline_path.unwrap_or_else(|| root.join("crates/analysis/lint-baseline.txt"));
+    let report_path = report_path.unwrap_or_else(|| root.join("target/analysis-report.json"));
+
+    let violations = match scan_repo(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let text = render_baseline(&violations);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "baseline rewritten: {} accepted violations -> {}",
+            violations.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_baseline(&text),
+        Err(_) => Default::default(),
+    };
+    let outcome = apply_baseline(&violations, &baseline);
+
+    if let Some(dir) = report_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&report_path, render_report(&outcome)) {
+        eprintln!("cannot write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+
+    if !quiet {
+        for v in &outcome.new {
+            println!("NEW  {} {}:{}  {}", v.rule, v.path, v.line, v.excerpt);
+        }
+        for (fp, base, cur) in &outcome.stale {
+            println!("STALE baseline entry ({base} -> {cur}): {fp}");
+        }
+    }
+    println!(
+        "analysis: {} violations ({} baselined, {} new, {} stale baseline entries); report: {}",
+        outcome.baselined.len() + outcome.new.len(),
+        outcome.baselined.len(),
+        outcome.new.len(),
+        outcome.stale.len(),
+        report_path.display()
+    );
+    if outcome.new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -22,7 +22,12 @@ pub struct DuckDbLikeTable {
 impl DuckDbLikeTable {
     pub fn new(schema: Schema) -> Self {
         let columns = (0..schema.len()).map(|_| Vec::new()).collect();
-        DuckDbLikeTable { schema, columns, rows: 0, values_scanned: 0 }
+        DuckDbLikeTable {
+            schema,
+            columns,
+            rows: 0,
+            values_scanned: 0,
+        }
     }
 
     pub fn insert(&mut self, row: &Row) -> Result<()> {
@@ -126,7 +131,9 @@ mod tests {
             .unwrap();
         }
         let s = spec("count");
-        let out = t.window_query(0, &Value::Bigint(1), 2, 0, 10_000, &[&s]).unwrap();
+        let out = t
+            .window_query(0, &Value::Bigint(1), 2, 0, 10_000, &[&s])
+            .unwrap();
         assert_eq!(out[0], Value::Bigint(25));
         assert!(t.values_scanned >= 100, "key pass reads the full column");
     }
@@ -143,7 +150,9 @@ mod tests {
             .unwrap();
         }
         let s = spec("sum");
-        let out = t.window_query(0, &Value::Bigint(1), 2, 150, 250, &[&s]).unwrap();
+        let out = t
+            .window_query(0, &Value::Bigint(1), 2, 150, 250, &[&s])
+            .unwrap();
         assert_eq!(out[0], Value::Double(200.0));
     }
 }

@@ -29,7 +29,11 @@ pub struct FlinkLikeWindow {
 
 impl FlinkLikeWindow {
     pub fn new(frame_ms: i64, specs: Vec<BoundAggregate>) -> Self {
-        FlinkLikeWindow { frame_ms, specs, buffers: HashMap::new() }
+        FlinkLikeWindow {
+            frame_ms,
+            specs,
+            buffers: HashMap::new(),
+        }
     }
 
     /// Process one tuple; returns the aggregate outputs for its key.
@@ -128,10 +132,14 @@ impl FlinkLikeTopN {
         // Re-rank the full window by score.
         let mut ranked: Vec<&(i64, f64, String)> = events.iter().collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-        let top: Vec<(String, f64)> =
-            ranked.into_iter().take(self.n).map(|(_, s, i)| (i.clone(), *s)).collect();
+        let top: Vec<(String, f64)> = ranked
+            .into_iter()
+            .take(self.n)
+            .map(|(_, s, i)| (i.clone(), *s))
+            .collect();
         self.materialized.insert(key.to_string(), top);
-        self.state.insert(key.to_string(), serialize_events(&events));
+        self.state
+            .insert(key.to_string(), serialize_events(&events));
     }
 
     /// Read the materialized TopN (cheap — all cost was paid on insert).

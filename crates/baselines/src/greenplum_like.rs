@@ -21,7 +21,8 @@ impl GreenplumLikeRanker {
     }
 
     pub fn insert(&mut self, key: &str, ts: i64, item: &str, score: f64) {
-        self.table.push((key.to_string(), ts, item.to_string(), score));
+        self.table
+            .push((key.to_string(), ts, item.to_string(), score));
     }
 
     /// TopN over `[now - window_ms, now]` for `key`: full table scan + sort.
@@ -40,7 +41,11 @@ impl GreenplumLikeRanker {
             }
         }
         in_window.sort_by(|a, b| b.3.total_cmp(&a.3));
-        in_window.into_iter().take(n).map(|(_, _, i, s)| (i.clone(), *s)).collect()
+        in_window
+            .into_iter()
+            .take(n)
+            .map(|(_, _, i, s)| (i.clone(), *s))
+            .collect()
     }
 
     pub fn history_len(&self, key: &str) -> usize {

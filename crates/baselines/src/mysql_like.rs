@@ -77,7 +77,9 @@ impl MySqlLikeTable {
 
     /// Latest row for `key`: full per-key scan tracking the max timestamp.
     pub fn latest(&mut self, key: &str) -> Result<Option<Row>> {
-        let Some(rows) = self.index.get(key) else { return Ok(None) };
+        let Some(rows) = self.index.get(key) else {
+            return Ok(None);
+        };
         let mut best: Option<(i64, Row)> = None;
         for buf in rows {
             let row = self.codec.decode(buf)?;
@@ -102,9 +104,7 @@ impl MySqlLikeTable {
     pub fn mem_used(&self) -> usize {
         self.index
             .iter()
-            .map(|(k, rows)| {
-                64 + k.len() + rows.iter().map(|b| 32 + b.len()).sum::<usize>()
-            })
+            .map(|(k, rows)| 64 + k.len() + rows.iter().map(|b| 32 + b.len()).sum::<usize>())
             .sum()
     }
 }
@@ -142,7 +142,10 @@ mod tests {
         let spec = sum_spec();
         let out = t.window_query("k", 15, 35, &[&spec]).unwrap();
         assert_eq!(out[0], Value::Bigint(50));
-        assert_eq!(t.rows_decoded, 4, "every row of the key decoded (no time index)");
+        assert_eq!(
+            t.rows_decoded, 4,
+            "every row of the key decoded (no time index)"
+        );
     }
 
     #[test]
@@ -162,7 +165,10 @@ mod tests {
         t.insert("a", 1, &row(5, 1)).unwrap();
         t.insert("b", 1, &row(7, 1)).unwrap();
         let spec = sum_spec();
-        assert_eq!(t.window_query("a", 0, 10, &[&spec]).unwrap()[0], Value::Bigint(5));
+        assert_eq!(
+            t.window_query("a", 0, 10, &[&spec]).unwrap()[0],
+            Value::Bigint(5)
+        );
         assert_eq!(t.len(), 2);
         assert!(t.mem_used() > 0);
     }

@@ -150,7 +150,10 @@ mod tests {
         }
         s.put("k2", 15, &row(15));
         let hits = s.range("k1", 10, 25);
-        assert_eq!(hits.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(), vec![10, 20]);
+        assert_eq!(
+            hits.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(),
+            vec![10, 20]
+        );
         assert_eq!(s.len(), 4);
     }
 
@@ -177,11 +180,8 @@ mod tests {
     #[test]
     fn redis_layout_is_fatter_than_compact_codec() {
         use openmldb_types::{CompactCodec, DataType, RowCodec, Schema};
-        let schema = Schema::from_pairs(&[
-            ("v", DataType::Bigint),
-            ("s", DataType::String),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_pairs(&[("v", DataType::Bigint), ("s", DataType::String)]).unwrap();
         let codec = CompactCodec::new(schema);
         let r = row(42);
         let mut store = RedisLikeStore::new();

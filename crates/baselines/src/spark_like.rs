@@ -17,6 +17,9 @@ use openmldb_exec::WindowAggSet;
 use openmldb_sql::plan::{BoundAggregate, BoundWindow, CompiledQuery};
 use openmldb_types::{Error, KeyValue, Result, Row, RowCodec, Schema, UnsafeRowCodec, Value};
 
+/// Per-partition shuffle buffers: (order ts, serialized row, base-row index).
+type ShuffleBuffers = HashMap<Vec<KeyValue>, Vec<(i64, Vec<u8>, usize)>>;
+
 /// Execution statistics (shuffle volume is the observable cost).
 #[derive(Debug, Default, Clone)]
 pub struct SparkStats {
@@ -33,7 +36,6 @@ pub struct SparkLikeEngine {
     pub memory_budget_bytes: usize,
     pub stats: SparkStats,
 }
-
 
 impl SparkLikeEngine {
     pub fn new() -> Self {
@@ -58,8 +60,7 @@ impl SparkLikeEngine {
             }
             let agg_refs: Vec<&BoundAggregate> =
                 ids.iter().map(|&i| &query.aggregates[i]).collect();
-            results[wid] =
-                self.window_stage(&query.windows[wid], &agg_refs, base, schema)?;
+            results[wid] = self.window_stage(&query.windows[wid], &agg_refs, base, schema)?;
         }
         Ok(results)
     }
@@ -78,18 +79,17 @@ impl SparkLikeEngine {
 
         // Shuffle: serialize every row to its target partition buffer, then
         // deserialize on the "reduce" side. This is where Spark's bytes go.
-        let mut partitions: HashMap<Vec<KeyValue>, Vec<(i64, Vec<u8>, usize)>> = HashMap::new();
+        let mut partitions: ShuffleBuffers = HashMap::new();
         let mut stage_bytes = 0usize;
         for (i, row) in base.iter().enumerate() {
             let buf = codec.encode(row)?;
             stage_bytes += buf.len();
             self.stats.shuffled_bytes += buf.len() as u64;
             self.stats.shuffled_rows += 1;
-            partitions.entry(row.key_for(&window.partition_cols)).or_default().push((
-                row.ts_at(window.order_col),
-                buf,
-                i,
-            ));
+            partitions
+                .entry(row.key_for(&window.partition_cols))
+                .or_default()
+                .push((row.ts_at(window.order_col), buf, i));
         }
         if self.memory_budget_bytes > 0 && stage_bytes > self.memory_budget_bytes {
             return Err(Error::Storage(format!(
@@ -238,7 +238,10 @@ mod tests {
     fn oom_when_over_budget() {
         let q = query();
         let data = rows(1_000);
-        let mut spark = SparkLikeEngine { memory_budget_bytes: 1_000, ..Default::default() };
+        let mut spark = SparkLikeEngine {
+            memory_budget_bytes: 1_000,
+            ..Default::default()
+        };
         let err = spark.compute_windows(&q, &data, &schema()).unwrap_err();
         assert!(err.to_string().contains("OOM"));
     }

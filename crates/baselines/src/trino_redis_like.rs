@@ -69,7 +69,13 @@ impl TrinoRedisLike {
                 }
             }
         });
-        TrinoRedisLike { schema, storage_tx: tx, storage, store_mem, rpcs: 0 }
+        TrinoRedisLike {
+            schema,
+            storage_tx: tx,
+            storage,
+            store_mem,
+            rpcs: 0,
+        }
     }
 
     /// Write a row (one RPC to the storage tier).
@@ -175,7 +181,11 @@ mod tests {
     fn query_roundtrips_through_storage_thread() {
         let mut t = TrinoRedisLike::new(schema());
         for ts in [10, 20, 30] {
-            t.put("k", ts, &Row::new(vec![Value::Bigint(ts), Value::Timestamp(ts)]));
+            t.put(
+                "k",
+                ts,
+                &Row::new(vec![Value::Bigint(ts), Value::Timestamp(ts)]),
+            );
         }
         let spec = sum_spec();
         let out = t.window_query("k", 15, 35, &[&spec]).unwrap();

@@ -64,10 +64,18 @@ fn codecs(c: &mut Criterion) {
     let unsafe_buf = unsafe_row.encode(&row).unwrap();
 
     let mut g = c.benchmark_group("codec");
-    g.bench_function("compact_encode", |b| b.iter(|| compact.encode(&row).unwrap()));
-    g.bench_function("unsafe_encode", |b| b.iter(|| unsafe_row.encode(&row).unwrap()));
-    g.bench_function("compact_decode", |b| b.iter(|| compact.decode(&compact_buf).unwrap()));
-    g.bench_function("unsafe_decode", |b| b.iter(|| unsafe_row.decode(&unsafe_buf).unwrap()));
+    g.bench_function("compact_encode", |b| {
+        b.iter(|| compact.encode(&row).unwrap())
+    });
+    g.bench_function("unsafe_encode", |b| {
+        b.iter(|| unsafe_row.encode(&row).unwrap())
+    });
+    g.bench_function("compact_decode", |b| {
+        b.iter(|| compact.decode(&compact_buf).unwrap())
+    });
+    g.bench_function("unsafe_decode", |b| {
+        b.iter(|| unsafe_row.decode(&unsafe_buf).unwrap())
+    });
     g.finish();
 }
 
@@ -90,7 +98,9 @@ fn skiplist(c: &mut Criterion) {
         list.insert(i, Arc::from(vec![0u8; 32].into_boxed_slice()));
     }
     g.bench_function("timelist_latest", |b| b.iter(|| list.latest().unwrap()));
-    g.bench_function("timelist_range_1000", |b| b.iter(|| list.range(9_000, 9_999)));
+    g.bench_function("timelist_range_1000", |b| {
+        b.iter(|| list.range(9_000, 9_999))
+    });
     g.finish();
 }
 
@@ -102,8 +112,7 @@ fn sliding_windows(c: &mut Criterion) {
     let mut g = c.benchmark_group("sliding_window");
     g.bench_function("incremental_2k_rows", |b| {
         b.iter(|| {
-            let mut w =
-                SlidingWindow::new(Frame::RowsRange { preceding_ms: 200 }, &refs).unwrap();
+            let mut w = SlidingWindow::new(Frame::RowsRange { preceding_ms: 200 }, &refs).unwrap();
             for (i, row) in rows.iter().enumerate() {
                 w.push(i as i64, row.values()).unwrap();
             }
@@ -133,8 +142,10 @@ fn sliding_windows(c: &mut Criterion) {
 fn cyclic_binding(c: &mut Criterion) {
     // sum/avg/count/min/max over the same column: shared state vs five
     // independent aggregators.
-    let shared_specs: Vec<BoundAggregate> =
-        ["sum", "avg", "count", "min", "max"].iter().map(|f| spec(f, 2)).collect();
+    let shared_specs: Vec<BoundAggregate> = ["sum", "avg", "count", "min", "max"]
+        .iter()
+        .map(|f| spec(f, 2))
+        .collect();
     let refs: Vec<&BoundAggregate> = shared_specs.iter().collect();
     let rows: Vec<Row> = (0..1_000).map(bench_row).collect();
 
@@ -173,7 +184,9 @@ fn preagg_query(c: &mut Criterion) {
         partition_cols: vec![1],
         order_col: 5,
         order_desc: false,
-        frame: Frame::RowsRange { preceding_ms: 100_000 },
+        frame: Frame::RowsRange {
+            preceding_ms: 100_000,
+        },
         maxsize: None,
         exclude_current_row: false,
         instance_not_in_window: false,
@@ -200,7 +213,11 @@ fn preagg_query(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("long_window");
     g.bench_function("preagg_query_100k_window", |b| {
-        b.iter(|| preagg.query(&key, 0, 99_999, |_l, _h| Ok(Vec::new())).unwrap())
+        b.iter(|| {
+            preagg
+                .query(&key, 0, 99_999, |_l, _h| Ok(Vec::new()))
+                .unwrap()
+        })
     });
     g.bench_function("raw_scan_100k_window", |b| {
         let refs: Vec<&BoundAggregate> = specs.iter().collect();
@@ -237,7 +254,9 @@ fn plan_compilation(c: &mut Criterion) {
     });
     let cache = PlanCache::new();
     cache.compile(sql, &cat).unwrap();
-    g.bench_function("plan_cache_hit", |b| b.iter(|| cache.compile(sql, &cat).unwrap()));
+    g.bench_function("plan_cache_hit", |b| {
+        b.iter(|| cache.compile(sql, &cat).unwrap())
+    });
     g.finish();
 }
 

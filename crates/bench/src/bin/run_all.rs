@@ -4,7 +4,10 @@
 use openmldb_bench::experiments as e;
 
 fn main() {
-    println!("OpenMLDB reproduction — full evaluation (BENCH_SCALE={})", openmldb_bench::harness::scale());
+    println!(
+        "OpenMLDB reproduction — full evaluation (BENCH_SCALE={})",
+        openmldb_bench::harness::scale()
+    );
     e::tab_rowsize::run();
     e::fig06::run();
     e::fig07::run();

@@ -34,7 +34,9 @@ fn window() -> BoundWindow {
         partition_cols: vec![0],
         order_col: 2,
         order_desc: false,
-        frame: Frame::RowsRange { preceding_ms: 1 << 40 },
+        frame: Frame::RowsRange {
+            preceding_ms: 1 << 40,
+        },
         maxsize: None,
         exclude_current_row: false,
         instance_not_in_window: false,
@@ -71,7 +73,10 @@ pub fn run_bucket_granularity() -> Vec<BucketPoint> {
         ("fine (span/10000)".into(), vec![span / 10_000 + 1]),
         ("coarse (span/50)".into(), vec![span / 50 + 1]),
         ("two-level".into(), vec![span / 10_000 + 1, span / 50 + 1]),
-        ("three-level".into(), vec![span / 10_000 + 1, span / 500 + 1, span / 50 + 1]),
+        (
+            "three-level".into(),
+            vec![span / 10_000 + 1, span / 500 + 1, span / 50 + 1],
+        ),
     ];
     let mut out = Vec::new();
     for (label, buckets) in configs {
@@ -134,11 +139,15 @@ pub fn run_rebalance_period() -> Vec<RebalancePoint> {
         let mut union = WindowUnion::new(
             UnionConfig {
                 workers: 4,
-                frame: Frame::RowsRange { preceding_ms: 5_000 },
+                frame: Frame::RowsRange {
+                    preceding_ms: 5_000,
+                },
                 scheduling: if period == usize::MAX {
                     Scheduling::StaticHash
                 } else {
-                    Scheduling::SelfAdjusting { rebalance_every: period }
+                    Scheduling::SelfAdjusting {
+                        rebalance_every: period,
+                    }
                 },
                 incremental: true,
             },
@@ -175,7 +184,11 @@ pub fn run_rebalance_period() -> Vec<RebalancePoint> {
         .iter()
         .map(|r| {
             vec![
-                if r.period == usize::MAX { "static".into() } else { r.period.to_string() },
+                if r.period == usize::MAX {
+                    "static".into()
+                } else {
+                    r.period.to_string()
+                },
                 fmt(r.tuples_per_sec),
                 r.rebalances.to_string(),
                 format!("{:.2}", r.imbalance),
@@ -195,7 +208,10 @@ mod tests {
     #[test]
     fn multi_level_reduces_edge_rows_vs_coarse_only() {
         let points = crate::harness::with_scale(0.05, super::run_bucket_granularity);
-        let coarse = points.iter().find(|p| p.label.starts_with("coarse")).unwrap();
+        let coarse = points
+            .iter()
+            .find(|p| p.label.starts_with("coarse"))
+            .unwrap();
         let two = points.iter().find(|p| p.label == "two-level").unwrap();
         // Coarse-only pays wide raw scans at the edges every query; adding a
         // fine level shrinks the uncovered span dramatically.

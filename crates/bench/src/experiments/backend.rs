@@ -25,7 +25,12 @@ pub struct BackendResult {
 }
 
 fn index_spec() -> IndexSpec {
-    IndexSpec { name: "by_k".into(), key_cols: vec![1], ts_col: Some(5), ttl: Ttl::Unlimited }
+    IndexSpec {
+        name: "by_k".into(),
+        key_cols: vec![1],
+        ts_col: Some(5),
+        ttl: Ttl::Unlimited,
+    }
 }
 
 pub fn run() -> Vec<BackendResult> {
@@ -55,10 +60,13 @@ pub fn run() -> Vec<BackendResult> {
         db.register_table(table);
         db.deploy(&format!("DEPLOY b AS {sql}")).unwrap();
         let stats = LatencyStats::from_samples(time_each(requests, |i| {
-            db.request_readonly("b", &micro_request(i as i64, (i % 50) as i64, max_ts)).unwrap()
+            db.request_readonly("b", &micro_request(i as i64, (i % 50) as i64, max_ts))
+                .unwrap()
         }));
         // Identical feature values across backends.
-        let probe = db.request_readonly("b", &micro_request(0, 7, max_ts)).unwrap();
+        let probe = db
+            .request_readonly("b", &micro_request(0, 7, max_ts))
+            .unwrap();
         match &reference {
             None => reference = Some(probe),
             Some(r) => {

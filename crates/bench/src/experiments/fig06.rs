@@ -23,7 +23,11 @@ pub fn run() -> Vec<(String, LatencyStats)> {
     let rows = scaled(20_000);
     let keys = 20usize;
     let requests = scaled(2_000);
-    let cfg = MicroConfig { rows, distinct_keys: keys, ..Default::default() };
+    let cfg = MicroConfig {
+        rows,
+        distinct_keys: keys,
+        ..Default::default()
+    };
     let data = micro_rows(&cfg);
     let max_ts = data.iter().map(|r| r.ts_at(5)).max().unwrap_or(0);
     let specs = micro_specs();
@@ -31,7 +35,10 @@ pub fn run() -> Vec<(String, LatencyStats)> {
     let mut rng = StdRng::seed_from_u64(7);
     let mut reqs: Vec<(i64, i64)> = Vec::with_capacity(requests);
     for _ in 0..requests {
-        reqs.push((rng.gen_range(0..keys as i64), max_ts + rng.gen_range(0..100)));
+        reqs.push((
+            rng.gen_range(0..keys as i64),
+            max_ts + rng.gen_range(0..100i64),
+        ));
     }
 
     let mut results: Vec<(String, LatencyStats)> = Vec::new();
@@ -39,10 +46,15 @@ pub fn run() -> Vec<(String, LatencyStats)> {
     // --- OpenMLDB: deployed plan, request mode -------------------------
     {
         let db = micro_db(rows, keys, 0.0, 1);
-        db.deploy(&format!("DEPLOY f6 AS {}", micro_sql(1, 1, FRAME_MS, false))).unwrap();
+        db.deploy(&format!(
+            "DEPLOY f6 AS {}",
+            micro_sql(1, 1, FRAME_MS, false)
+        ))
+        .unwrap();
         let samples = time_each(requests, |i| {
             let (k, ts) = reqs[i];
-            db.request_readonly("f6", &micro_request(1_000_000 + i as i64, k, ts)).unwrap()
+            db.request_readonly("f6", &micro_request(1_000_000 + i as i64, k, ts))
+                .unwrap()
         });
         results.push(("OpenMLDB".into(), LatencyStats::from_samples(samples)));
     }
@@ -51,7 +63,9 @@ pub fn run() -> Vec<(String, LatencyStats)> {
     {
         let mut mysql = MySqlLikeTable::new(micro_schema(), 5);
         for row in &data {
-            mysql.insert(&row[1].to_string(), row.ts_at(5), row).unwrap();
+            mysql
+                .insert(&row[1].to_string(), row.ts_at(5), row)
+                .unwrap();
         }
         // MySQL executes interpreted SQL: every request re-parses the
         // statement (no compiled-plan reuse — the paper's point about
@@ -61,12 +75,16 @@ pub fn run() -> Vec<(String, LatencyStats)> {
             let parsed = openmldb_sql::parse_select(&sql_text).unwrap();
             std::hint::black_box(&parsed);
             let (k, ts) = reqs[i];
-            let out =
-                mysql.window_query(&k.to_string(), ts - FRAME_MS, ts, &spec_refs).unwrap();
+            let out = mysql
+                .window_query(&k.to_string(), ts - FRAME_MS, ts, &spec_refs)
+                .unwrap();
             let joined = mysql.latest(&k.to_string()).unwrap();
             (out, joined)
         });
-        results.push(("MySQL(in-mem)-like".into(), LatencyStats::from_samples(samples)));
+        results.push((
+            "MySQL(in-mem)-like".into(),
+            LatencyStats::from_samples(samples),
+        ));
     }
 
     // --- DuckDB-like -----------------------------------------------------
@@ -77,7 +95,8 @@ pub fn run() -> Vec<(String, LatencyStats)> {
         }
         let samples = time_each(requests, |i| {
             let (k, ts) = reqs[i];
-            duck.window_query(1, &Value::Bigint(k), 5, ts - FRAME_MS, ts, &spec_refs).unwrap()
+            duck.window_query(1, &Value::Bigint(k), 5, ts - FRAME_MS, ts, &spec_refs)
+                .unwrap()
         });
         results.push(("DuckDB-like".into(), LatencyStats::from_samples(samples)));
     }
@@ -91,9 +110,14 @@ pub fn run() -> Vec<(String, LatencyStats)> {
         trino.sync();
         let samples = time_each(requests, |i| {
             let (k, ts) = reqs[i];
-            trino.window_query(&k.to_string(), ts - FRAME_MS, ts, &spec_refs).unwrap()
+            trino
+                .window_query(&k.to_string(), ts - FRAME_MS, ts, &spec_refs)
+                .unwrap()
         });
-        results.push(("Trino+Redis-like".into(), LatencyStats::from_samples(samples)));
+        results.push((
+            "Trino+Redis-like".into(),
+            LatencyStats::from_samples(samples),
+        ));
     }
 
     let base_qps = results[0].1.qps;

@@ -63,7 +63,9 @@ pub fn run() -> Vec<TopNResult> {
     };
 
     let mut rng = StdRng::seed_from_u64(3);
-    let reqs: Vec<i64> = (0..requests).map(|_| rng.gen_range(0..users as i64)).collect();
+    let reqs: Vec<i64> = (0..requests)
+        .map(|_| rng.gen_range(0..users as i64))
+        .collect();
     let live_event = |i: usize, j: usize, ts: i64| {
         (reqs[i], format!("live_{i}_{j}"), 0.3 + (j as f64) * 0.1, ts)
     };
@@ -129,9 +131,7 @@ pub fn run() -> Vec<TopNResult> {
             flink.query(&reqs[i].to_string(), now, n)
         }));
         // GreenPlum plans every statement: per-request SQL parse + dispatch.
-        let gp_sql = format!(
-            "SELECT item, score FROM rtp WHERE user = 1 LIMIT {n}"
-        );
+        let gp_sql = format!("SELECT item, score FROM rtp WHERE user = 1 LIMIT {n}");
         let green_stats = LatencyStats::from_samples(time_each(requests, |i| {
             let now = anchor(i);
             for j in 0..EVENTS_PER_REQUEST {
@@ -164,7 +164,13 @@ pub fn run() -> Vec<TopNResult> {
         .collect();
     print_table(
         &format!("Fig 7: RTP TopN latency, ms ({events} events, {users} users)"),
-        &["query", "OpenMLDB", "Flink-like", "GreenPlum-like", "vs Flink"],
+        &[
+            "query",
+            "OpenMLDB",
+            "Flink-like",
+            "GreenPlum-like",
+            "vs Flink",
+        ],
         &table,
     );
     out

@@ -4,9 +4,9 @@
 //! multi-window workloads, 7.2× on skewed data with skew optimization
 //! (180 s vs 1302 s).
 
+use openmldb_baselines::SparkLikeEngine;
 use openmldb_offline::{execute_batch, OfflineOptions, SkewConfig, Tables, WindowExecMode};
 use openmldb_sql::{compile_select, parse_select, PlanCache};
-use openmldb_baselines::SparkLikeEngine;
 use openmldb_workload::{micro_rows, micro_schema, MicroConfig};
 
 use crate::harness::{fmt, print_table, scaled, time_once};
@@ -36,7 +36,11 @@ pub fn run() -> Vec<OfflineResult> {
 
     // --- single window ---------------------------------------------------
     {
-        let data = micro_rows(&MicroConfig { rows, distinct_keys: 8, ..Default::default() });
+        let data = micro_rows(&MicroConfig {
+            rows,
+            distinct_keys: 8,
+            ..Default::default()
+        });
         let q = compile(&micro_sql(1, 0, 20_000, false));
         let tables = Tables::new();
         let mut spark = SparkLikeEngine::new();
@@ -57,12 +61,20 @@ pub fn run() -> Vec<OfflineResult> {
             )
             .unwrap()
         });
-        out.push(OfflineResult { workload: "single-window".into(), spark_ms, openmldb_ms: ours_ms });
+        out.push(OfflineResult {
+            workload: "single-window".into(),
+            spark_ms,
+            openmldb_ms: ours_ms,
+        });
     }
 
     // --- multi-window ------------------------------------------------------
     {
-        let data = micro_rows(&MicroConfig { rows, distinct_keys: 8, ..Default::default() });
+        let data = micro_rows(&MicroConfig {
+            rows,
+            distinct_keys: 8,
+            ..Default::default()
+        });
         let q = compile(&micro_sql(4, 0, 20_000, false));
         let mut spark = SparkLikeEngine::new();
         let (_, spark_ms) =
@@ -82,7 +94,11 @@ pub fn run() -> Vec<OfflineResult> {
             )
             .unwrap()
         });
-        out.push(OfflineResult { workload: "multi-window(4)".into(), spark_ms, openmldb_ms: ours_ms });
+        out.push(OfflineResult {
+            workload: "multi-window(4)".into(),
+            spark_ms,
+            openmldb_ms: ours_ms,
+        });
     }
 
     // --- skewed data ---------------------------------------------------------
@@ -106,13 +122,20 @@ pub fn run() -> Vec<OfflineResult> {
                 &OfflineOptions {
                     mode: WindowExecMode::Incremental,
                     parallel_windows: true,
-                    skew: Some(SkewConfig { factor: 4, hot_threshold: 0.2 }),
+                    skew: Some(SkewConfig {
+                        factor: 4,
+                        hot_threshold: 0.2,
+                    }),
                     threads: 4,
                 },
             )
             .unwrap()
         });
-        out.push(OfflineResult { workload: "skewed(zipf 1.4)".into(), spark_ms, openmldb_ms: ours_ms });
+        out.push(OfflineResult {
+            workload: "skewed(zipf 1.4)".into(),
+            spark_ms,
+            openmldb_ms: ours_ms,
+        });
     }
 
     let table: Vec<Vec<String>> = out

@@ -45,8 +45,7 @@ fn openmldb_grid(rows: &[Row], precision: u32) -> Vec<(i64, u64)> {
 /// fat codec into shuffle partitions; reduce stage deserializes and merges;
 /// exceeds `budget` → OOM.
 fn spark_grid(rows: &[Row], precision: u32, budget: usize) -> Result<Vec<(i64, u64)>> {
-    let pair_schema =
-        Schema::from_pairs(&[("cell", DataType::Bigint), ("one", DataType::Bigint)])?;
+    let pair_schema = Schema::from_pairs(&[("cell", DataType::Bigint), ("one", DataType::Bigint)])?;
     let codec = UnsafeRowCodec::new(pair_schema);
     const PARTS: usize = 8;
     let mut shuffle: Vec<Vec<Vec<u8>>> = (0..PARTS).map(|_| Vec::new()).collect();
@@ -58,7 +57,9 @@ fn spark_grid(rows: &[Row], precision: u32, budget: usize) -> Result<Vec<(i64, u
         let buf = codec.encode(&Row::new(vec![Value::Bigint(cell), Value::Bigint(1)]))?;
         bytes += buf.len();
         if budget > 0 && bytes > budget {
-            return Err(Error::Storage(format!("spark-like OOM after {bytes} shuffle bytes")));
+            return Err(Error::Storage(format!(
+                "spark-like OOM after {bytes} shuffle bytes"
+            )));
         }
         shuffle[(cell as u64 % PARTS as u64) as usize].push(buf);
     }
@@ -127,7 +128,10 @@ pub fn run() -> Vec<GlqResult> {
         })
         .collect();
     print_table(
-        &format!("Fig 9: GLQ full-table geo query, ms ({} tuples)", rows.len()),
+        &format!(
+            "Fig 9: GLQ full-table geo query, ms ({} tuples)",
+            rows.len()
+        ),
         &["precision", "OpenMLDB", "Spark-like", "speedup"],
         &table,
     );

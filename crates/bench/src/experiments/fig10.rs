@@ -42,7 +42,12 @@ pub fn run() -> Vec<PreaggPoint> {
         MemTable::new(
             "t1",
             micro_schema(),
-            vec![IndexSpec { name: "by_k".into(), key_cols: vec![1], ts_col: Some(5), ttl: Ttl::Unlimited }],
+            vec![IndexSpec {
+                name: "by_k".into(),
+                key_cols: vec![1],
+                ts_col: Some(5),
+                ttl: Ttl::Unlimited,
+            }],
         )
         .unwrap(),
     );
@@ -62,7 +67,8 @@ pub fn run() -> Vec<PreaggPoint> {
         db.deploy(&format!("DEPLOY {plain} AS {sql}")).unwrap();
 
         let scan = LatencyStats::from_samples(time_each_budget(requests, 5_000.0, |j| {
-            db.request_readonly(&plain, &micro_request(j as i64, 0, max_ts)).unwrap()
+            db.request_readonly(&plain, &micro_request(j as i64, 0, max_ts))
+                .unwrap()
         }));
 
         // Pre-aggregated variant of the same deployment: bucket ≈ 1/100 of
@@ -70,27 +76,27 @@ pub fn run() -> Vec<PreaggPoint> {
         let dep = db.deployment(&plain).unwrap();
         let q = &dep.query;
         let aggs: Vec<_> = q.aggregates.clone();
-        let preagg =
-            PreAggregator::new(&q.windows[0], &aggs, vec![frame_ms / 100 + 1, frame_ms / 10 + 1])
-                .unwrap();
+        let preagg = PreAggregator::new(
+            &q.windows[0],
+            &aggs,
+            vec![frame_ms / 100 + 1, frame_ms / 10 + 1],
+        )
+        .unwrap();
         for row in &data {
             preagg.ingest(row).unwrap();
         }
         preagg.attach(table.replicator(), CompactCodec::new(micro_schema()));
         let fast_dep = openmldb_online::Deployment::new("fast", q.clone()).with_preagg(0, preagg);
         let fast = LatencyStats::from_samples(time_each_budget(requests, 5_000.0, |j| {
-            openmldb_online::execute_request(
-                &db,
-                &fast_dep,
-                &micro_request(j as i64, 0, max_ts),
-            )
-            .unwrap()
+            openmldb_online::execute_request(&db, &fast_dep, &micro_request(j as i64, 0, max_ts))
+                .unwrap()
         }));
         // Both paths agree.
-        let a = db.request_readonly(&plain, &micro_request(0, 0, max_ts)).unwrap();
+        let a = db
+            .request_readonly(&plain, &micro_request(0, 0, max_ts))
+            .unwrap();
         let b =
-            openmldb_online::execute_request(&db, &fast_dep, &micro_request(0, 0, max_ts))
-                .unwrap();
+            openmldb_online::execute_request(&db, &fast_dep, &micro_request(0, 0, max_ts)).unwrap();
         assert_agree(&a, &b);
 
         out.push(PreaggPoint {
@@ -117,7 +123,14 @@ pub fn run() -> Vec<PreaggPoint> {
         .collect();
     print_table(
         "Fig 10: long-window pre-aggregation sweep",
-        &["window rows", "scan ms", "preagg ms", "scan qps", "preagg qps", "speedup"],
+        &[
+            "window rows",
+            "scan ms",
+            "preagg ms",
+            "scan qps",
+            "preagg qps",
+            "speedup",
+        ],
         &table_rows,
     );
     out

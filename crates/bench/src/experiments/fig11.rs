@@ -32,9 +32,11 @@ pub fn run() -> LongWindowResult {
         ..Default::default()
     });
     let max_ts = data.last().map(|r| r.ts_at(5)).unwrap_or(0);
-    let script = "SELECT k, sum(v) OVER w1 AS s, count(v) OVER w1 AS c, avg(v) OVER w1 AS a FROM t1 \
+    let script =
+        "SELECT k, sum(v) OVER w1 AS s, count(v) OVER w1 AS c, avg(v) OVER w1 AS a FROM t1 \
          WINDOW w1 AS (PARTITION BY k ORDER BY ts \
-         ROWS_RANGE BETWEEN 100d PRECEDING AND CURRENT ROW)".to_string();
+         ROWS_RANGE BETWEEN 100d PRECEDING AND CURRENT ROW)"
+            .to_string();
 
     // Plain deployment: deploy first, then load (no aggregator maintenance).
     let plain_db = Database::new();
@@ -60,7 +62,11 @@ pub fn run() -> LongWindowResult {
              ts TIMESTAMP, INDEX(KEY=k, TS=ts))",
         )
         .unwrap();
-    fast_db.deploy(&format!("DEPLOY lw OPTIONS(long_windows=\"w1:1d\") AS {script}")).unwrap();
+    fast_db
+        .deploy(&format!(
+            "DEPLOY lw OPTIONS(long_windows=\"w1:1d\") AS {script}"
+        ))
+        .unwrap();
     let (_, preagg_load_ms) = time_once(|| {
         for row in &data {
             fast_db.insert_row("t1", row).unwrap();
@@ -72,14 +78,22 @@ pub fn run() -> LongWindowResult {
 
     let requests = (100.0 * scale().max(0.2)) as usize;
     let plain_stats = LatencyStats::from_samples(time_each(requests, |i| {
-        plain_db.request_readonly("lw", &micro_request(i as i64, 0, max_ts)).unwrap()
+        plain_db
+            .request_readonly("lw", &micro_request(i as i64, 0, max_ts))
+            .unwrap()
     }));
     let fast_stats = LatencyStats::from_samples(time_each(requests, |i| {
-        fast_db.request_readonly("lw", &micro_request(i as i64, 0, max_ts)).unwrap()
+        fast_db
+            .request_readonly("lw", &micro_request(i as i64, 0, max_ts))
+            .unwrap()
     }));
     // Identical features.
-    let a = plain_db.request_readonly("lw", &micro_request(0, 0, max_ts)).unwrap();
-    let b = fast_db.request_readonly("lw", &micro_request(0, 0, max_ts)).unwrap();
+    let a = plain_db
+        .request_readonly("lw", &micro_request(0, 0, max_ts))
+        .unwrap();
+    let b = fast_db
+        .request_readonly("lw", &micro_request(0, 0, max_ts))
+        .unwrap();
     for (x, y) in a.values().iter().zip(b.values()) {
         match (x, y) {
             (openmldb_types::Value::Double(p), openmldb_types::Value::Double(q)) => {

@@ -50,13 +50,24 @@ pub fn run() -> Vec<MultiWindowResult> {
             skew: None,
             mode: WindowExecMode::Incremental,
         };
-        let parallel_opts = OfflineOptions { parallel_windows: true, threads: WINDOWS, ..serial_opts.clone() };
+        let parallel_opts = OfflineOptions {
+            parallel_windows: true,
+            threads: WINDOWS,
+            ..serial_opts.clone()
+        };
         let (serial_res, serial_ms) =
             time_once(|| compute_windows(&q, &tables, &data, &serial_opts).unwrap());
         let (parallel_res, parallel_ms) =
             time_once(|| compute_windows(&q, &tables, &data, &parallel_opts).unwrap());
-        assert!(results_close(&serial_res, &parallel_res), "index alignment preserves results");
-        out.push(MultiWindowResult { label: label.into(), serial_ms, parallel_ms });
+        assert!(
+            results_close(&serial_res, &parallel_res),
+            "index alignment preserves results"
+        );
+        out.push(MultiWindowResult {
+            label: label.into(),
+            serial_ms,
+            parallel_ms,
+        });
     }
 
     let table: Vec<Vec<String>> = out
@@ -83,11 +94,16 @@ mod tests {
     #[test]
     fn parallel_windows_beat_serial() {
         let results = crate::harness::with_scale(0.2, super::run);
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         if cores >= 4 {
             // At least the larger configurations must show a win (tiny
             // inputs can be noise-bound).
-            let wins = results.iter().filter(|r| r.parallel_ms < r.serial_ms).count();
+            let wins = results
+                .iter()
+                .filter(|r| r.parallel_ms < r.serial_ms)
+                .count();
             assert!(wins >= 2, "parallel should win most sizes: {wins}/3");
         } else {
             // Single/dual-core machine: thread parallelism cannot speed up

@@ -34,15 +34,21 @@ pub fn run() -> Vec<SkewResult> {
         ts_step_ms: 1,
         ..Default::default()
     });
-    let q = compile_select(&parse_select(&micro_sql(1, 0, 20_000, false)).unwrap(), &SchemaCat)
-        .unwrap();
+    let q = compile_select(
+        &parse_select(&micro_sql(1, 0, 20_000, false)).unwrap(),
+        &SchemaCat,
+    )
+    .unwrap();
     let tables = Tables::new();
     let mut out = Vec::new();
 
     let mut spark = SparkLikeEngine::new();
     let (spark_res, spark_ms) =
         time_once(|| spark.compute_windows(&q, &data, &micro_schema()).unwrap());
-    out.push(SkewResult { config: "Spark-like".into(), ms: spark_ms });
+    out.push(SkewResult {
+        config: "Spark-like".into(),
+        ms: spark_ms,
+    });
 
     let base = OfflineOptions {
         parallel_windows: true,
@@ -50,24 +56,46 @@ pub fn run() -> Vec<SkewResult> {
         skew: None,
         mode: WindowExecMode::Incremental,
     };
-    let (no_skew_res, no_skew_ms) = time_once(|| compute_windows(&q, &tables, &data, &base).unwrap());
-    assert!(results_close(&spark_res, &no_skew_res), "semantics preserved vs Spark");
-    out.push(SkewResult { config: "OpenMLDB w/o skew-opt".into(), ms: no_skew_ms });
+    let (no_skew_res, no_skew_ms) =
+        time_once(|| compute_windows(&q, &tables, &data, &base).unwrap());
+    assert!(
+        results_close(&spark_res, &no_skew_res),
+        "semantics preserved vs Spark"
+    );
+    out.push(SkewResult {
+        config: "OpenMLDB w/o skew-opt".into(),
+        ms: no_skew_ms,
+    });
 
     for factor in [2usize, 4] {
         let opts = OfflineOptions {
-            skew: Some(SkewConfig { factor, hot_threshold: 0.2 }),
+            skew: Some(SkewConfig {
+                factor,
+                hot_threshold: 0.2,
+            }),
             ..base.clone()
         };
         let (res, ms) = time_once(|| compute_windows(&q, &tables, &data, &opts).unwrap());
-        assert!(results_close(&res, &no_skew_res), "skew {factor} preserves results");
-        out.push(SkewResult { config: format!("OpenMLDB skew {factor}"), ms });
+        assert!(
+            results_close(&res, &no_skew_res),
+            "skew {factor} preserves results"
+        );
+        out.push(SkewResult {
+            config: format!("OpenMLDB skew {factor}"),
+            ms,
+        });
     }
 
     let spark_ms = out[0].ms;
     let table: Vec<Vec<String>> = out
         .iter()
-        .map(|r| vec![r.config.clone(), fmt(r.ms), format!("{:.1}x", spark_ms / r.ms)])
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                fmt(r.ms),
+                format!("{:.1}x", spark_ms / r.ms),
+            ]
+        })
         .collect();
     print_table(
         &format!("Fig 13: data-skew optimization, ms ({rows} rows, zipf 1.6)"),
@@ -85,7 +113,13 @@ mod tests {
         let spark = results[0].ms;
         let no_skew = results[1].ms;
         let skew4 = results[3].ms;
-        assert!(no_skew < spark, "unoptimized OpenMLDB beats Spark: {no_skew:.1} vs {spark:.1}");
-        assert!(skew4 < spark, "skew-4 beats Spark: {skew4:.1} vs {spark:.1}");
+        assert!(
+            no_skew < spark,
+            "unoptimized OpenMLDB beats Spark: {no_skew:.1} vs {spark:.1}"
+        );
+        assert!(
+            skew4 < spark,
+            "skew-4 beats Spark: {skew4:.1} vs {spark:.1}"
+        );
     }
 }

@@ -20,7 +20,8 @@ pub struct ThreadPoint {
 pub fn run() -> Vec<ThreadPoint> {
     let rows = scaled(20_000);
     let db: Arc<Database> = Arc::new(micro_db(rows, 100, 0.0, 0));
-    db.deploy(&format!("DEPLOY f14 AS {}", micro_sql(2, 0, 5_000, false))).unwrap();
+    db.deploy(&format!("DEPLOY f14 AS {}", micro_sql(2, 0, 5_000, false)))
+        .unwrap();
     let per_thread = scaled(500);
 
     let mut out = Vec::new();
@@ -82,7 +83,9 @@ mod tests {
         let points = crate::harness::with_scale(0.1, super::run);
         let one = points.iter().find(|p| p.threads == 1).unwrap().total_qps;
         let eight = points.iter().find(|p| p.threads == 8).unwrap().total_qps;
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         if cores >= 4 {
             assert!(
                 eight > one * 1.5,

@@ -52,7 +52,9 @@ pub fn run() -> Vec<UnionPoint> {
     let keys = 32;
     let mut out = Vec::new();
     for window_rows in [1_000usize, 10_000, 50_000] {
-        let frame = Frame::RowsRange { preceding_ms: window_rows as i64 };
+        let frame = Frame::RowsRange {
+            preceding_ms: window_rows as i64,
+        };
         let static_tps = drive(
             UnionConfig {
                 workers: 4,
@@ -67,13 +69,19 @@ pub fn run() -> Vec<UnionPoint> {
             UnionConfig {
                 workers: 4,
                 frame,
-                scheduling: Scheduling::SelfAdjusting { rebalance_every: 2_000 },
+                scheduling: Scheduling::SelfAdjusting {
+                    rebalance_every: 2_000,
+                },
                 incremental: true, // subtract-and-evict
             },
             tuples,
             keys,
         );
-        out.push(UnionPoint { window_rows, static_tps, self_adjusting_tps: dynamic_tps });
+        out.push(UnionPoint {
+            window_rows,
+            static_tps,
+            self_adjusting_tps: dynamic_tps,
+        });
     }
     let table: Vec<Vec<String>> = out
         .iter()

@@ -30,9 +30,18 @@ pub fn run_window_count() -> Vec<SweepPoint> {
     let mut out = Vec::new();
     for windows in [1usize, 2, 4, 8, 16] {
         let name = format!("f15_{windows}");
-        db.deploy(&format!("DEPLOY {name} AS {}", micro_sql(windows, 0, 2_000, false))).unwrap();
+        db.deploy(&format!(
+            "DEPLOY {name} AS {}",
+            micro_sql(windows, 0, 2_000, false)
+        ))
+        .unwrap();
         let stats = measure(&db, &name, requests);
-        out.push(SweepPoint { x: windows, mean_ms: stats.mean_ms, p99_ms: stats.p99_ms, qps: stats.qps });
+        out.push(SweepPoint {
+            x: windows,
+            mean_ms: stats.mean_ms,
+            p99_ms: stats.p99_ms,
+            qps: stats.qps,
+        });
     }
     print_sweep("Fig 15: number of windows", "windows", &out);
     out
@@ -50,7 +59,12 @@ pub fn run_window_size() -> Vec<SweepPoint> {
             MemTable::new(
                 "t1",
                 micro_schema(),
-                vec![IndexSpec { name: "i".into(), key_cols: vec![1], ts_col: Some(5), ttl: Ttl::Unlimited }],
+                vec![IndexSpec {
+                    name: "i".into(),
+                    key_cols: vec![1],
+                    ts_col: Some(5),
+                    ttl: Ttl::Unlimited,
+                }],
             )
             .unwrap(),
         );
@@ -75,7 +89,8 @@ pub fn run_window_size() -> Vec<SweepPoint> {
         ))
         .unwrap();
         let stats = LatencyStats::from_samples(time_each_budget(requests, 5_000.0, |i| {
-            db.request_readonly(&name, &micro_request(i as i64, 0, max_rows as i64)).unwrap()
+            db.request_readonly(&name, &micro_request(i as i64, 0, max_rows as i64))
+                .unwrap()
         }));
         out.push(SweepPoint {
             x: rows_in_window,
@@ -95,9 +110,18 @@ pub fn run_join_count() -> Vec<SweepPoint> {
     let mut out = Vec::new();
     for joins in [1usize, 2, 4, 8] {
         let name = format!("f17_{joins}");
-        db.deploy(&format!("DEPLOY {name} AS {}", micro_sql(1, joins, 2_000, false))).unwrap();
+        db.deploy(&format!(
+            "DEPLOY {name} AS {}",
+            micro_sql(1, joins, 2_000, false)
+        ))
+        .unwrap();
         let stats = measure(&db, &name, requests);
-        out.push(SweepPoint { x: joins, mean_ms: stats.mean_ms, p99_ms: stats.p99_ms, qps: stats.qps });
+        out.push(SweepPoint {
+            x: joins,
+            mean_ms: stats.mean_ms,
+            p99_ms: stats.p99_ms,
+            qps: stats.qps,
+        });
     }
     print_sweep("Fig 17: number of LAST JOINs", "joins", &out);
     out
@@ -118,7 +142,10 @@ mod tests {
         let points = crate::harness::with_scale(0.1, super::run_window_count);
         let first = points.first().unwrap();
         let last = points.last().unwrap();
-        assert!(last.mean_ms >= first.mean_ms * 0.8, "more windows cost more");
+        assert!(
+            last.mean_ms >= first.mean_ms * 0.8,
+            "more windows cost more"
+        );
         assert!(last.qps < first.qps * 1.2, "throughput declines");
     }
 
@@ -126,7 +153,12 @@ mod tests {
     fn join_count_latency_stays_low() {
         let points = crate::harness::with_scale(0.1, super::run_join_count);
         for p in &points {
-            assert!(p.mean_ms < 50.0, "join sweep stays fast: {} ms at {}", p.mean_ms, p.x);
+            assert!(
+                p.mean_ms < 50.0,
+                "join sweep stays fast: {} ms at {}",
+                p.mean_ms,
+                p.x
+            );
         }
     }
 }

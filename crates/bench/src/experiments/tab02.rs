@@ -97,8 +97,7 @@ mod tests {
     fn memory_reduction_over_40_percent() {
         // Small footprint version of the sweep.
         // Serialized with the timing tests (shared CPU budget).
-        let rows =
-            crate::harness::with_scale(1.0, || super::run_with_sizes(&[10_000, 50_000]));
+        let rows = crate::harness::with_scale(1.0, || super::run_with_sizes(&[10_000, 50_000]));
         for r in &rows {
             assert!(
                 r.reduction_pct > 40.0,

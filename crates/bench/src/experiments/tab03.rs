@@ -74,7 +74,12 @@ pub fn run() -> Vec<FeatureCountRow> {
             MemTable::new(
                 "wide",
                 schema,
-                vec![IndexSpec { name: "i".into(), key_cols: vec![0], ts_col: Some(1), ttl: Ttl::Unlimited }],
+                vec![IndexSpec {
+                    name: "i".into(),
+                    key_cols: vec![0],
+                    ts_col: Some(1),
+                    ttl: Ttl::Unlimited,
+                }],
             )
             .unwrap(),
         );
@@ -83,7 +88,8 @@ pub fn run() -> Vec<FeatureCountRow> {
         }
         db.register_table(table);
         let (sql, features) = feature_script(columns);
-        db.deploy(&format!("DEPLOY wide{columns} AS {sql}")).unwrap();
+        db.deploy(&format!("DEPLOY wide{columns} AS {sql}"))
+            .unwrap();
         let stats = LatencyStats::from_samples(time_each(requests, |i| {
             db.request_readonly(
                 &format!("wide{columns}"),
@@ -91,7 +97,11 @@ pub fn run() -> Vec<FeatureCountRow> {
             )
             .unwrap()
         }));
-        out.push(FeatureCountRow { columns, features, stats });
+        out.push(FeatureCountRow {
+            columns,
+            features,
+            stats,
+        });
     }
 
     let table: Vec<Vec<String>> = out
@@ -110,7 +120,15 @@ pub fn run() -> Vec<FeatureCountRow> {
         .collect();
     print_table(
         "Table 3: latency percentiles by feature count, ms",
-        &["#-Column", "#-Feature", "TP50", "TP90", "TP95", "TP99", "TP999"],
+        &[
+            "#-Column",
+            "#-Feature",
+            "TP50",
+            "TP90",
+            "TP95",
+            "TP99",
+            "TP999",
+        ],
         &table,
     );
     out
@@ -121,7 +139,10 @@ mod tests {
     #[test]
     fn latency_grows_with_feature_count_but_stays_bounded() {
         let rows = crate::harness::with_scale(0.05, super::run);
-        assert!(rows[0].stats.p50_ms <= rows[2].stats.p50_ms, "wider schema costs more");
+        assert!(
+            rows[0].stats.p50_ms <= rows[2].stats.p50_ms,
+            "wider schema costs more"
+        );
         assert_eq!(rows[0].features, 21);
         assert_eq!(rows[2].features, 2_100);
     }

@@ -65,14 +65,20 @@ pub fn run() -> Vec<RowSizeRow> {
     ));
     cases.push((
         "numeric-heavy (20 ints)".into(),
-        Schema::new((0..20).map(|i| ColumnDef::new(format!("c{i}"), DataType::Int)).collect())
-            .unwrap(),
+        Schema::new(
+            (0..20)
+                .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int))
+                .collect(),
+        )
+        .unwrap(),
         Row::new((0..20).map(Value::Int).collect()),
     ));
 
     let mut out = Vec::new();
     for (name, schema, row) in cases {
-        let unsafe_bytes = UnsafeRowCodec::new(schema.clone()).encoded_size(&row).unwrap();
+        let unsafe_bytes = UnsafeRowCodec::new(schema.clone())
+            .encoded_size(&row)
+            .unwrap();
         let compact_bytes = CompactCodec::new(schema).encoded_size(&row).unwrap();
         out.push(RowSizeRow {
             schema: name,

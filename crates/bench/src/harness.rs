@@ -12,7 +12,10 @@ use std::time::Instant;
 /// Scale factor from `BENCH_SCALE` (default 1.0). The defaults finish in
 /// seconds; crank it up to approach the paper's row counts.
 pub fn scale() -> f64 {
-    std::env::var("BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// `n` scaled by `BENCH_SCALE`, with a floor.

@@ -50,7 +50,8 @@ pub fn micro_db(rows: usize, distinct_keys: usize, key_skew: f64, dims: usize) -
         ))
         .expect("dim ddl");
         for k in 0..distinct_keys {
-            db.execute(&format!("INSERT INTO dim{d} VALUES ({k}, {k}.5, 1)")).expect("dim row");
+            db.execute(&format!("INSERT INTO dim{d} VALUES ({k}, {k}.5, 1)"))
+                .expect("dim row");
         }
     }
     db
@@ -83,7 +84,9 @@ pub fn micro_sql(windows: usize, joins: usize, frame_ms: i64, union_t2: bool) ->
     }
     let mut sql = format!("SELECT {} FROM t1", select.join(", "));
     for j in 0..joins {
-        sql.push_str(&format!(" LAST JOIN dim{j} ORDER BY dim{j}.updated ON t1.k = dim{j}.k"));
+        sql.push_str(&format!(
+            " LAST JOIN dim{j} ORDER BY dim{j}.updated ON t1.k = dim{j}.k"
+        ));
     }
     if windows > 0 {
         sql.push_str(" WINDOW ");
@@ -132,10 +135,14 @@ mod tests {
     fn micro_db_check() {
         let db = micro_db(200, 10, 0.0, 2);
         let sql = micro_sql(2, 2, 1_000, true);
-        let ExecResult::Batch(b) = db.execute(&sql).unwrap() else { panic!() };
+        let ExecResult::Batch(b) = db.execute(&sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(b.rows.len(), 200);
         db.deploy(&format!("DEPLOY t AS {sql}")).unwrap();
-        let out = db.request_readonly("t", &micro_request(9_999, 3, 50_000)).unwrap();
+        let out = db
+            .request_readonly("t", &micro_request(9_999, 3, 50_000))
+            .unwrap();
         assert_eq!(out.len(), 2 + 2 * 3 + 2);
     }
 }

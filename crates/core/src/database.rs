@@ -23,9 +23,7 @@ use openmldb_sql::ast::{
 use openmldb_sql::plan::{Catalog, CompiledQuery};
 use openmldb_sql::{interval, parse_statement, PlanCache};
 use openmldb_storage::{Backend, DataTable, DiskTable, IndexSpec, MemTable, Ttl};
-use openmldb_types::{
-    CompactCodec, DataType, Error, Result, Row, RowBatch, Schema, Value,
-};
+use openmldb_types::{CompactCodec, DataType, Error, Result, Row, RowBatch, Schema, Value};
 
 use crate::memory::MemoryMonitor;
 
@@ -121,7 +119,10 @@ impl Database {
 
     fn create_table_stmt(&self, stmt: &CreateTableStatement) -> Result<()> {
         if self.tables.read().contains_key(&stmt.name) {
-            return Err(Error::Storage(format!("table `{}` already exists", stmt.name)));
+            return Err(Error::Storage(format!(
+                "table `{}` already exists",
+                stmt.name
+            )));
         }
         let (schema, indexes) = schema_and_indexes(stmt)?;
         let table: Arc<dyn DataTable> =
@@ -139,7 +140,10 @@ impl Database {
             return Err(Error::Unsupported("expected CREATE TABLE".into()));
         };
         if self.tables.read().contains_key(&stmt.name) {
-            return Err(Error::Storage(format!("table `{}` already exists", stmt.name)));
+            return Err(Error::Storage(format!(
+                "table `{}` already exists",
+                stmt.name
+            )));
         }
         let (schema, indexes) = schema_and_indexes(&stmt)?;
         let table: Arc<dyn DataTable> =
@@ -181,7 +185,10 @@ impl Database {
 
     fn deploy_stmt(&self, stmt: &DeployStatement) -> Result<String> {
         if self.deployments.read().contains_key(&stmt.name) {
-            return Err(Error::Deployment(format!("deployment `{}` already exists", stmt.name)));
+            return Err(Error::Deployment(format!(
+                "deployment `{}` already exists",
+                stmt.name
+            )));
         }
         let query = Arc::new(openmldb_sql::compile_select(&stmt.select, self)?);
         self.ensure_indexes(&query)?;
@@ -199,8 +206,10 @@ impl Database {
                     Error::Deployment(format!("long_windows names unknown window `{window_name}`"))
                 })?;
             let agg_ids = query.aggregates_by_window();
-            let aggs: Vec<_> =
-                agg_ids[wid].iter().map(|&i| query.aggregates[i].clone()).collect();
+            let aggs: Vec<_> = agg_ids[wid]
+                .iter()
+                .map(|&i| query.aggregates[i].clone())
+                .collect();
             if aggs.is_empty() {
                 continue;
             }
@@ -208,7 +217,11 @@ impl Database {
             // 24× finer level keeps the window's raw edges small (an hour
             // when the user asked for days), the requested level carries the
             // bulk, and a 30× coarser level compresses long spans.
-            let levels = vec![(bucket_ms / 24).max(1), bucket_ms, bucket_ms.saturating_mul(30)];
+            let levels = vec![
+                (bucket_ms / 24).max(1),
+                bucket_ms,
+                bucket_ms.saturating_mul(30),
+            ];
             let preagg = PreAggregator::new(&query.windows[wid], &aggs, levels)?;
             let window = &query.windows[wid];
             for table_name in std::iter::once(query.base_table.as_str())
@@ -232,7 +245,9 @@ impl Database {
         }
 
         let name = stmt.name.clone();
-        self.deployments.write().insert(name.clone(), Arc::new(deployment));
+        self.deployments
+            .write()
+            .insert(name.clone(), Arc::new(deployment));
         Ok(name)
     }
 
@@ -301,7 +316,9 @@ impl Database {
     /// next request).
     pub fn request(&self, deployment: &str, request: &Row) -> Result<Row> {
         let out = self.request_readonly(deployment, request)?;
-        let dep = self.deployment(deployment).expect("checked in request_readonly");
+        let dep = self
+            .deployment(deployment)
+            .expect("checked in request_readonly");
         self.insert_row(&dep.query.base_table.clone(), request)?;
         Ok(out)
     }
@@ -348,16 +365,21 @@ impl Database {
             self.table_version_signature(&query),
         );
         if let Some(cached) = self.preview_cache.read().get(&key) {
-            self.preview_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.preview_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let mut batch = (**cached).clone();
-            batch.rows.truncate(max_rows.min(query.limit.unwrap_or(usize::MAX)));
+            batch
+                .rows
+                .truncate(max_rows.min(query.limit.unwrap_or(usize::MAX)));
             return Ok(batch);
         }
         let tables = self.snapshot(&query)?;
         let full = Arc::new(execute_batch(&query, &tables, &OfflineOptions::default())?);
         self.preview_cache.write().insert(key, full.clone());
         let mut batch = (*full).clone();
-        batch.rows.truncate(max_rows.min(query.limit.unwrap_or(usize::MAX)));
+        batch
+            .rows
+            .truncate(max_rows.min(query.limit.unwrap_or(usize::MAX)));
         Ok(batch)
     }
 
@@ -455,7 +477,11 @@ fn schema_and_indexes(stmt: &CreateTableStatement) -> Result<(Schema, Vec<IndexS
             .iter()
             .map(|c| schema.index_of(c))
             .collect::<Result<Vec<_>>>()?;
-        let ts_col = idx.ts_column.as_deref().map(|c| schema.index_of(c)).transpose()?;
+        let ts_col = idx
+            .ts_column
+            .as_deref()
+            .map(|c| schema.index_of(c))
+            .transpose()?;
         indexes.push(IndexSpec {
             name: format!("idx_{i}"),
             key_cols,
@@ -466,7 +492,10 @@ fn schema_and_indexes(stmt: &CreateTableStatement) -> Result<(Schema, Vec<IndexS
     if indexes.is_empty() {
         // Default index: first column as key, first timestamp column as the
         // order column (matching the system's default behaviour).
-        let ts_col = schema.columns().iter().position(|c| c.data_type == DataType::Timestamp);
+        let ts_col = schema
+            .columns()
+            .iter()
+            .position(|c| c.data_type == DataType::Timestamp);
         indexes.push(IndexSpec {
             name: "idx_default".into(),
             key_cols: vec![0],
@@ -637,7 +666,8 @@ mod tests {
              quantity INT, ts TIMESTAMP, INDEX(KEY=userid, TS=ts))",
         )
         .unwrap();
-        db.execute("INSERT INTO actions VALUES (1, 'x', 5.0, 1, 100)").unwrap();
+        db.execute("INSERT INTO actions VALUES (1, 'x', 5.0, 1, 100)")
+            .unwrap();
         db.deploy(
             "DEPLOY by_cat AS SELECT count(price) OVER w AS c FROM actions \
              WINDOW w AS (PARTITION BY category ORDER BY ts \
@@ -652,7 +682,11 @@ mod tests {
             Value::Timestamp(200),
         ]);
         let out = db.request_readonly("by_cat", &request).unwrap();
-        assert_eq!(out[0], Value::Bigint(2), "pre-existing row found via rebuilt index");
+        assert_eq!(
+            out[0],
+            Value::Bigint(2),
+            "pre-existing row found via rebuilt index"
+        );
     }
 
     #[test]
@@ -682,15 +716,23 @@ mod tests {
             Value::Timestamp(100_000),
         ]);
         let out = db.request_readonly("lw", &request).unwrap();
-        assert_eq!(out[0], Value::Double(100.0), "backfilled buckets cover history");
-        assert!(preagg.queries() > 0, "request used the pre-aggregation path");
+        assert_eq!(
+            out[0],
+            Value::Double(100.0),
+            "backfilled buckets cover history"
+        );
+        assert!(
+            preagg.queries() > 0,
+            "request used the pre-aggregation path"
+        );
     }
 
     #[test]
     fn preview_mode_caps_rows_and_complexity() {
         let db = db_with_actions();
         for i in 0..20 {
-            db.execute(&format!("INSERT INTO actions VALUES (1, 'c', 1.0, 1, {i})")).unwrap();
+            db.execute(&format!("INSERT INTO actions VALUES (1, 'c', 1.0, 1, {i})"))
+                .unwrap();
         }
         let batch = db.preview("SELECT userid FROM actions", 5).unwrap();
         assert_eq!(batch.rows.len(), 5);
@@ -708,7 +750,8 @@ mod tests {
     #[test]
     fn plan_cache_reuses_compilations() {
         let db = db_with_actions();
-        db.execute("INSERT INTO actions VALUES (1, 'c', 1.0, 1, 100)").unwrap();
+        db.execute("INSERT INTO actions VALUES (1, 'c', 1.0, 1, 100)")
+            .unwrap();
         db.offline_query("SELECT userid FROM actions").unwrap();
         db.offline_query("select userid  from actions;").unwrap();
         let (hits, misses) = db.plan_cache_stats();
@@ -720,7 +763,8 @@ mod tests {
     fn insert_coerces_literals_to_schema_types() {
         let db = db_with_actions();
         // INT literal into DOUBLE column, etc.
-        db.execute("INSERT INTO actions VALUES (1, 'c', 5, 1, 100)").unwrap();
+        db.execute("INSERT INTO actions VALUES (1, 'c', 5, 1, 100)")
+            .unwrap();
         let ExecResult::Batch(b) = db.execute("SELECT price FROM actions").unwrap() else {
             panic!()
         };
@@ -738,7 +782,8 @@ mod tests {
         )
         .unwrap();
         for i in 0..10 {
-            db.execute(&format!("INSERT INTO ev VALUES (1, {})", i * 50)).unwrap();
+            db.execute(&format!("INSERT INTO ev VALUES (1, {})", i * 50))
+                .unwrap();
         }
         let removed = db.gc(1_000);
         assert!(removed > 0);
@@ -751,12 +796,11 @@ mod explain_and_cache_tests {
 
     fn db() -> Database {
         let db = Database::new();
-        db.execute(
-            "CREATE TABLE t (k BIGINT, v DOUBLE, ts TIMESTAMP, INDEX(KEY=k, TS=ts))",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE t (k BIGINT, v DOUBLE, ts TIMESTAMP, INDEX(KEY=k, TS=ts))")
+            .unwrap();
         for i in 0..10 {
-            db.execute(&format!("INSERT INTO t VALUES (1, {i}.0, {i})")).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES (1, {i}.0, {i})"))
+                .unwrap();
         }
         db
     }
@@ -788,9 +832,7 @@ mod explain_and_cache_tests {
         // "Failover": promote the replica into a fresh catalog and serve.
         let standby = Database::new();
         standby.register_table(replica.table());
-        let ExecResult::Batch(b) =
-            standby.execute("SELECT k FROM t_replica").unwrap()
-        else {
+        let ExecResult::Batch(b) = standby.execute("SELECT k FROM t_replica").unwrap() else {
             panic!()
         };
         assert_eq!(b.rows.len(), 11);
@@ -803,7 +845,11 @@ mod explain_and_cache_tests {
         let a = db.preview(sql, 5).unwrap();
         assert_eq!(db.preview_cache_hits(), 0);
         let b = db.preview(sql, 5).unwrap();
-        assert_eq!(db.preview_cache_hits(), 1, "second preview served from cache");
+        assert_eq!(
+            db.preview_cache_hits(),
+            1,
+            "second preview served from cache"
+        );
         assert_eq!(a.rows, b.rows);
         // Different cap reuses the same cached full result.
         let c = db.preview(sql, 2).unwrap();

@@ -11,6 +11,6 @@ pub mod memory;
 
 pub use database::{Database, ExecResult};
 pub use memory::{
-    estimate_memory, recommend_engine, EngineChoice, IndexMemProfile, MemoryAlert,
-    MemoryMonitor, TableMemProfile, TableType,
+    estimate_memory, recommend_engine, EngineChoice, IndexMemProfile, MemoryAlert, MemoryMonitor,
+    TableMemProfile, TableType,
 };

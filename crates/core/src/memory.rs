@@ -74,12 +74,14 @@ pub fn estimate_memory(tables: &[TableMemProfile]) -> u64 {
     tables
         .iter()
         .map(|t| {
-            let key_term: u64 =
-                t.indexes.iter().map(|i| i.unique_keys * (i.avg_key_len + 156)).sum();
+            let key_term: u64 = t
+                .indexes
+                .iter()
+                .map(|i| i.unique_keys * (i.avg_key_len + 156))
+                .sum();
             let entry_term = t.indexes.len() as u64 * t.rows * t.table_type.c();
-            let data_term = t.data_copies.clamp(1, t.indexes.len().max(1) as u64)
-                * t.rows
-                * t.avg_row_len;
+            let data_term =
+                t.data_copies.clamp(1, t.indexes.len().max(1) as u64) * t.rows * t.avg_row_len;
             t.replicas * (key_term + entry_term + data_term)
         })
         .sum()
@@ -147,7 +149,11 @@ impl MemoryMonitor {
     pub fn watch(&self, table: Arc<dyn DataTable>, max_memory_bytes: usize, alert_at: f64) {
         table.set_max_memory_bytes(max_memory_bytes);
         let threshold_bytes = (max_memory_bytes as f64 * alert_at.clamp(0.0, 1.0)) as usize;
-        self.watches.write().push(Watch { table, threshold_bytes, fired: false });
+        self.watches.write().push(Watch {
+            table,
+            threshold_bytes,
+            fired: false,
+        });
     }
 
     /// Register an alert callback (notification hook of Section 8.2).
@@ -204,8 +210,14 @@ mod tests {
         let profile = TableMemProfile {
             replicas: 2,
             indexes: vec![
-                IndexMemProfile { unique_keys: 1_000_000, avg_key_len: 16 },
-                IndexMemProfile { unique_keys: 1_000_000, avg_key_len: 16 },
+                IndexMemProfile {
+                    unique_keys: 1_000_000,
+                    avg_key_len: 16,
+                },
+                IndexMemProfile {
+                    unique_keys: 1_000_000,
+                    avg_key_len: 16,
+                },
             ],
             rows: 1_000_000,
             avg_row_len: 300,
@@ -229,7 +241,10 @@ mod tests {
     fn k_is_clamped_to_index_count() {
         let mk = |k: u64| TableMemProfile {
             replicas: 1,
-            indexes: vec![IndexMemProfile { unique_keys: 10, avg_key_len: 8 }],
+            indexes: vec![IndexMemProfile {
+                unique_keys: 10,
+                avg_key_len: 8,
+            }],
             rows: 100,
             avg_row_len: 10,
             table_type: TableType::Absolute,
@@ -273,7 +288,9 @@ mod tests {
         monitor.watch(table.clone(), 1_000_000, 0.001);
         assert!(monitor.poll().is_empty(), "empty table below threshold");
         for i in 0..50 {
-            table.put(&Row::new(vec![Value::Bigint(i), Value::Timestamp(i)])).unwrap();
+            table
+                .put(&Row::new(vec![Value::Bigint(i), Value::Timestamp(i)]))
+                .unwrap();
         }
         assert_eq!(monitor.poll().len(), 1, "alert fires on crossing");
         assert!(monitor.poll().is_empty(), "does not re-fire while above");
@@ -287,13 +304,19 @@ mod tests {
         monitor.watch(table.clone(), 1_000, 0.5);
         let mut rejected = false;
         for i in 0..200 {
-            if table.put(&Row::new(vec![Value::Bigint(i), Value::Timestamp(i)])).is_err() {
+            if table
+                .put(&Row::new(vec![Value::Bigint(i), Value::Timestamp(i)]))
+                .is_err()
+            {
                 rejected = true;
                 break;
             }
         }
         assert!(rejected, "hard limit rejects writes");
         // Reads continue.
-        assert!(table.latest(0, &[openmldb_types::KeyValue::Int(0)]).unwrap().is_some());
+        assert!(table
+            .latest(0, &[openmldb_types::KeyValue::Int(0)])
+            .unwrap()
+            .is_some());
     }
 }

@@ -56,7 +56,9 @@ impl Aggregator for DistinctCountAgg {
 
     fn merge_state(&mut self, state: &AggState) -> Result<()> {
         let AggState::Counts(m) = state else {
-            return Err(Error::Eval("distinct_count expects a Counts partial state".into()));
+            return Err(Error::Eval(
+                "distinct_count expects a Counts partial state".into(),
+            ));
         };
         for (k, c) in m {
             *self.counts.entry(k.clone()).or_insert(0) += c;
@@ -79,7 +81,10 @@ pub struct TopNFrequencyAgg {
 
 impl TopNFrequencyAgg {
     pub fn new(n: usize) -> Self {
-        TopNFrequencyAgg { counts: HashMap::new(), n }
+        TopNFrequencyAgg {
+            counts: HashMap::new(),
+            n,
+        }
     }
 }
 
@@ -127,7 +132,9 @@ impl Aggregator for TopNFrequencyAgg {
 
     fn merge_state(&mut self, state: &AggState) -> Result<()> {
         let AggState::Counts(m) = state else {
-            return Err(Error::Eval("topn_frequency expects a Counts partial state".into()));
+            return Err(Error::Eval(
+                "topn_frequency expects a Counts partial state".into(),
+            ));
         };
         for (k, c) in m {
             *self.counts.entry(k.clone()).or_insert(0) += c;
@@ -149,7 +156,10 @@ pub struct TopAgg {
 
 impl TopAgg {
     pub fn new(n: usize) -> Self {
-        TopAgg { values: std::collections::BTreeMap::new(), n }
+        TopAgg {
+            values: std::collections::BTreeMap::new(),
+            n,
+        }
     }
 }
 
@@ -210,7 +220,9 @@ impl Aggregator for TopAgg {
 
     fn merge_state(&mut self, state: &AggState) -> Result<()> {
         let AggState::ValueCounts(vals) = state else {
-            return Err(Error::Eval("top expects a ValueCounts partial state".into()));
+            return Err(Error::Eval(
+                "top expects a ValueCounts partial state".into(),
+            ));
         };
         for (v, c) in vals {
             *self.values.entry(OrdVal(v.clone())).or_insert(0) += c;
@@ -245,7 +257,11 @@ pub struct AvgCateAgg {
 
 impl AvgCateAgg {
     pub fn new(variant: CateVariant, conditional: bool) -> Self {
-        AvgCateAgg { sums: HashMap::new(), variant, conditional }
+        AvgCateAgg {
+            sums: HashMap::new(),
+            variant,
+            conditional,
+        }
     }
 
     /// arg layout: `[value, condition, category]` or `[value, category]`.
@@ -314,7 +330,9 @@ impl Aggregator for AvgCateAgg {
 
     fn merge_state(&mut self, state: &AggState) -> Result<()> {
         let AggState::CateSums(m) = state else {
-            return Err(Error::Eval("cate aggregate expects a CateSums partial state".into()));
+            return Err(Error::Eval(
+                "cate aggregate expects a CateSums partial state".into(),
+            ));
         };
         for (k, (s, c)) in m {
             let entry = self.sums.entry(k.clone()).or_insert((0.0, 0));
@@ -340,7 +358,10 @@ pub struct GeoGridCountAgg {
 
 impl GeoGridCountAgg {
     pub fn new(precision: u32) -> Self {
-        GeoGridCountAgg { cells: HashMap::new(), precision }
+        GeoGridCountAgg {
+            cells: HashMap::new(),
+            precision,
+        }
     }
 }
 
@@ -358,7 +379,11 @@ impl Aggregator for GeoGridCountAgg {
         if args[0].is_null() || args[1].is_null() {
             return Ok(());
         }
-        let cell = KeyValue::Int(geo_hash(args[0].as_f64()?, args[1].as_f64()?, self.precision));
+        let cell = KeyValue::Int(geo_hash(
+            args[0].as_f64()?,
+            args[1].as_f64()?,
+            self.precision,
+        ));
         if let Some(c) = self.cells.get_mut(&cell) {
             *c -= 1;
             if *c == 0 {
@@ -382,7 +407,9 @@ impl Aggregator for GeoGridCountAgg {
 
     fn merge_state(&mut self, state: &AggState) -> Result<()> {
         let AggState::Counts(m) = state else {
-            return Err(Error::Eval("geo_grid_count expects a Counts partial state".into()));
+            return Err(Error::Eval(
+                "geo_grid_count expects a Counts partial state".into(),
+            ));
         };
         for (k, c) in m {
             *self.cells.entry(k.clone()).or_insert(0) += c;
@@ -459,10 +486,16 @@ mod tests {
             (10.0, true, "bags"),
         ];
         for (v, c, k) in rows {
-            a.update(&[Value::Double(v), Value::Bool(c), Value::string(k)]).unwrap();
+            a.update(&[Value::Double(v), Value::Bool(c), Value::string(k)])
+                .unwrap();
         }
         assert_eq!(a.output(), Value::string("bags:10,shoes:30"));
-        a.retract(&[Value::Double(40.0), Value::Bool(true), Value::string("shoes")]).unwrap();
+        a.retract(&[
+            Value::Double(40.0),
+            Value::Bool(true),
+            Value::string("shoes"),
+        ])
+        .unwrap();
         assert_eq!(a.output(), Value::string("bags:10,shoes:20"));
     }
 
@@ -489,16 +522,22 @@ mod tests {
     #[test]
     fn geo_grid_count_distinct_cells() {
         let mut g = GeoGridCountAgg::new(8);
-        g.update(&[Value::Double(31.0), Value::Double(121.0)]).unwrap();
-        g.update(&[Value::Double(31.0001), Value::Double(121.0001)]).unwrap(); // same cell
-        g.update(&[Value::Double(39.9), Value::Double(116.4)]).unwrap(); // different cell
+        g.update(&[Value::Double(31.0), Value::Double(121.0)])
+            .unwrap();
+        g.update(&[Value::Double(31.0001), Value::Double(121.0001)])
+            .unwrap(); // same cell
+        g.update(&[Value::Double(39.9), Value::Double(116.4)])
+            .unwrap(); // different cell
         assert_eq!(g.output(), Value::Bigint(2));
     }
 
     #[test]
     fn empty_outputs() {
         assert_eq!(TopNFrequencyAgg::new(3).output(), Value::string(""));
-        assert_eq!(AvgCateAgg::new(CateVariant::Avg, true).output(), Value::string(""));
+        assert_eq!(
+            AvgCateAgg::new(CateVariant::Avg, true).output(),
+            Value::string("")
+        );
         assert_eq!(DistinctCountAgg::default().output(), Value::Bigint(0));
     }
 }

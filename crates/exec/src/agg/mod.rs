@@ -54,7 +54,9 @@ pub trait Aggregator: Send + Sync {
 
     /// Merge a partial state produced by an aggregator of the same kind.
     fn merge_state(&mut self, _state: &AggState) -> Result<()> {
-        Err(Error::Eval("aggregate does not support partial-state merging".into()))
+        Err(Error::Eval(
+            "aggregate does not support partial-state merging".into(),
+        ))
     }
 
     /// Clear back to the initial state.
@@ -65,7 +67,13 @@ pub trait Aggregator: Send + Sync {
 #[derive(Debug, Clone, PartialEq)]
 pub enum AggState {
     /// count / sum / sumsq summary, integer-preserving.
-    Numeric { count: u64, sum_i: i64, sum_f: f64, sum_sq: f64, all_int: bool },
+    Numeric {
+        count: u64,
+        sum_i: i64,
+        sum_f: f64,
+        sum_sq: f64,
+        all_int: bool,
+    },
     /// Value → multiplicity, for min/max/median/distinct/top-n.
     Counts(HashMap<KeyValue, u64>),
     /// Ordered value multiset (min/max/median keep real values).
@@ -167,8 +175,16 @@ pub fn create_aggregator(
 pub fn supports_preagg(func: &FunctionDef) -> bool {
     matches!(
         func.name,
-        "sum" | "count" | "avg" | "min" | "max" | "stddev" | "median" | "distinct_count"
-            | "topn_frequency" | "top"
+        "sum"
+            | "count"
+            | "avg"
+            | "min"
+            | "max"
+            | "stddev"
+            | "median"
+            | "distinct_count"
+            | "topn_frequency"
+            | "top"
     )
 }
 
@@ -180,11 +196,16 @@ mod tests {
     #[test]
     fn factory_covers_all_registered_aggregates() {
         use openmldb_sql::functions::{FunctionKind, BUILTINS};
-        for def in BUILTINS.iter().filter(|d| d.kind == FunctionKind::Aggregate) {
+        for def in BUILTINS
+            .iter()
+            .filter(|d| d.kind == FunctionKind::Aggregate)
+        {
             // Provide plausible constant args.
-            let args = [PhysExpr::Column(0),
+            let args = [
+                PhysExpr::Column(0),
                 PhysExpr::Literal(Value::Bigint(1)),
-                PhysExpr::Literal(Value::Bigint(3))];
+                PhysExpr::Literal(Value::Bigint(3)),
+            ];
             let args = &args[..def.max_args.min(3)];
             create_aggregator(def, args)
                 .unwrap_or_else(|e| panic!("factory missing for {}: {e}", def.name));
@@ -213,10 +234,12 @@ mod tests {
 
     #[test]
     fn ordval_total_order() {
-        let mut v = [OrdVal(Value::Double(2.0)),
+        let mut v = [
+            OrdVal(Value::Double(2.0)),
             OrdVal(Value::Null),
             OrdVal(Value::Double(f64::NAN)),
-            OrdVal(Value::Double(1.0))];
+            OrdVal(Value::Double(1.0)),
+        ];
         v.sort();
         assert!(v[0].0.is_null());
         assert_eq!(v[1].0, Value::Double(1.0));

@@ -37,7 +37,11 @@ impl SumAgg {
             self.all_int = false;
         }
         self.sum_f += sign as f64 * v.as_f64()?;
-        self.count = if sign > 0 { self.count + 1 } else { self.count.saturating_sub(1) };
+        self.count = if sign > 0 {
+            self.count + 1
+        } else {
+            self.count.saturating_sub(1)
+        };
         Ok(())
     }
 }
@@ -76,7 +80,14 @@ impl Aggregator for SumAgg {
     }
 
     fn merge_state(&mut self, state: &AggState) -> Result<()> {
-        let AggState::Numeric { count, sum_i, sum_f, all_int, .. } = state else {
+        let AggState::Numeric {
+            count,
+            sum_i,
+            sum_f,
+            all_int,
+            ..
+        } = state
+        else {
             return Err(Error::Eval("sum expects a Numeric partial state".into()));
         };
         if *count == 0 {
@@ -203,11 +214,17 @@ pub struct MinMaxAgg {
 
 impl MinMaxAgg {
     pub fn min() -> Self {
-        MinMaxAgg { values: BTreeMap::new(), is_min: true }
+        MinMaxAgg {
+            values: BTreeMap::new(),
+            is_min: true,
+        }
     }
 
     pub fn max() -> Self {
-        MinMaxAgg { values: BTreeMap::new(), is_min: false }
+        MinMaxAgg {
+            values: BTreeMap::new(),
+            is_min: false,
+        }
     }
 }
 
@@ -264,7 +281,9 @@ impl Aggregator for MinMaxAgg {
 
     fn merge_state(&mut self, state: &AggState) -> Result<()> {
         let AggState::ValueCounts(vals) = state else {
-            return Err(Error::Eval("min/max expects a ValueCounts partial state".into()));
+            return Err(Error::Eval(
+                "min/max expects a ValueCounts partial state".into(),
+            ));
         };
         for (v, c) in vals {
             *self.values.entry(OrdVal(v.clone())).or_insert(0) += c;
@@ -330,7 +349,13 @@ impl Aggregator for StddevAgg {
     }
 
     fn merge_state(&mut self, state: &AggState) -> Result<()> {
-        let AggState::Numeric { count, sum_f, sum_sq, .. } = state else {
+        let AggState::Numeric {
+            count,
+            sum_f,
+            sum_sq,
+            ..
+        } = state
+        else {
             return Err(Error::Eval("stddev expects a Numeric partial state".into()));
         };
         self.count += count;
@@ -403,7 +428,10 @@ impl Aggregator for MedianAgg {
         match (lo, hi) {
             (Some(a), Some(b)) => match (a.as_f64(), b.as_f64()) {
                 (Ok(x), Ok(y)) => Value::Double((x + y) / 2.0),
-                _ => a.clone().cast_to(openmldb_types::DataType::String).unwrap_or(a),
+                _ => a
+                    .clone()
+                    .cast_to(openmldb_types::DataType::String)
+                    .unwrap_or(a),
             },
             _ => Value::Null,
         }
@@ -417,7 +445,9 @@ impl Aggregator for MedianAgg {
 
     fn merge_state(&mut self, state: &AggState) -> Result<()> {
         let AggState::ValueCounts(vals) = state else {
-            return Err(Error::Eval("median expects a ValueCounts partial state".into()));
+            return Err(Error::Eval(
+                "median expects a ValueCounts partial state".into(),
+            ));
         };
         for (v, c) in vals {
             *self.values.entry(OrdVal(v.clone())).or_insert(0) += c;
@@ -446,7 +476,9 @@ impl WhereAgg {
     fn passes(args: &[Value]) -> Result<bool> {
         match args.get(1) {
             Some(c) => c.as_bool(),
-            None => Err(Error::Eval("conditional aggregate missing condition".into())),
+            None => Err(Error::Eval(
+                "conditional aggregate missing condition".into(),
+            )),
         }
     }
 }
@@ -561,8 +593,22 @@ mod tests {
     #[test]
     fn stddev_sample() {
         let mut s = StddevAgg::default();
-        feed(&mut s, &[Value::Int(2), Value::Int(4), Value::Int(4), Value::Int(4), Value::Int(5), Value::Int(5), Value::Int(7), Value::Int(9)]);
-        let Value::Double(v) = s.output() else { panic!() };
+        feed(
+            &mut s,
+            &[
+                Value::Int(2),
+                Value::Int(4),
+                Value::Int(4),
+                Value::Int(4),
+                Value::Int(5),
+                Value::Int(5),
+                Value::Int(7),
+                Value::Int(9),
+            ],
+        );
+        let Value::Double(v) = s.output() else {
+            panic!()
+        };
         assert!((v - 2.138).abs() < 0.01, "{v}");
         assert_eq!(StddevAgg::default().output(), Value::Null);
     }

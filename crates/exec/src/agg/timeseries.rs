@@ -67,7 +67,10 @@ pub struct EwAvgAgg {
 
 impl EwAvgAgg {
     pub fn new(alpha: f64) -> Self {
-        EwAvgAgg { alpha, current: None }
+        EwAvgAgg {
+            alpha,
+            current: None,
+        }
     }
 }
 
@@ -103,7 +106,10 @@ pub struct LagAgg {
 
 impl LagAgg {
     pub fn new(n: usize) -> Self {
-        LagAgg { n, buf: VecDeque::with_capacity(n + 1) }
+        LagAgg {
+            n,
+            buf: VecDeque::with_capacity(n + 1),
+        }
     }
 }
 
@@ -166,7 +172,9 @@ mod tests {
         let mut d = DrawdownAgg::default();
         // Peak 100, trough 60 → 40% drawdown; later peak 120 trough 90 → 25%.
         feed(&mut d, &[80.0, 100.0, 60.0, 120.0, 90.0]);
-        let Value::Double(v) = d.output() else { panic!() };
+        let Value::Double(v) = d.output() else {
+            panic!()
+        };
         assert!((v - 0.4).abs() < 1e-9, "{v}");
     }
 

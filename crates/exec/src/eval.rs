@@ -62,7 +62,10 @@ pub fn evaluate(expr: &PhysExpr, row: &[Value], aggs: &[Value]) -> Result<Value>
             }
             scalar::call(func.name, &vals)
         }
-        PhysExpr::Case { branches, else_expr } => {
+        PhysExpr::Case {
+            branches,
+            else_expr,
+        } => {
             for (cond, value) in branches {
                 if evaluate(cond, row, aggs)?.as_bool()? {
                     return evaluate(value, row, aggs);
@@ -151,7 +154,11 @@ mod tests {
         PhysExpr::Literal(v)
     }
     fn bin(op: BinaryOp, l: PhysExpr, r: PhysExpr) -> PhysExpr {
-        PhysExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        PhysExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     #[test]
@@ -179,7 +186,11 @@ mod tests {
     fn comparisons_cross_type() {
         let e = bin(BinaryOp::Gt, lit(Value::Int(3)), lit(Value::Double(2.5)));
         assert_eq!(evaluate(&e, &[], &[]).unwrap(), Value::Bool(true));
-        let e = bin(BinaryOp::Eq, lit(Value::string("a")), lit(Value::string("a")));
+        let e = bin(
+            BinaryOp::Eq,
+            lit(Value::string("a")),
+            lit(Value::string("a")),
+        );
         assert_eq!(evaluate(&e, &[], &[]).unwrap(), Value::Bool(true));
     }
 
@@ -192,7 +203,11 @@ mod tests {
             lit(Value::string("boom")),
         );
         assert_eq!(evaluate(&e, &[], &[]).unwrap(), Value::Bool(false));
-        let e = bin(BinaryOp::Or, lit(Value::Bool(true)), lit(Value::string("boom")));
+        let e = bin(
+            BinaryOp::Or,
+            lit(Value::Bool(true)),
+            lit(Value::string("boom")),
+        );
         assert_eq!(evaluate(&e, &[], &[]).unwrap(), Value::Bool(true));
     }
 
@@ -208,7 +223,10 @@ mod tests {
 
     #[test]
     fn is_null_and_case() {
-        let e = PhysExpr::IsNull { expr: Box::new(lit(Value::Null)), negated: false };
+        let e = PhysExpr::IsNull {
+            expr: Box::new(lit(Value::Null)),
+            negated: false,
+        };
         assert_eq!(evaluate(&e, &[], &[]).unwrap(), Value::Bool(true));
         let case = PhysExpr::Case {
             branches: vec![(
@@ -229,7 +247,11 @@ mod tests {
 
     #[test]
     fn overflow_is_an_error_not_a_wrap() {
-        let e = bin(BinaryOp::Mul, lit(Value::Bigint(i64::MAX)), lit(Value::Bigint(2)));
+        let e = bin(
+            BinaryOp::Mul,
+            lit(Value::Bigint(i64::MAX)),
+            lit(Value::Bigint(2)),
+        );
         assert!(evaluate(&e, &[], &[]).is_err());
     }
 }

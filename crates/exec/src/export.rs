@@ -53,7 +53,9 @@ pub fn infer_feature_kinds(query: &CompiledQuery) -> Vec<FeatureKind> {
 
 fn default_kind(dt: DataType) -> FeatureKind {
     match dt {
-        DataType::String => FeatureKind::Discrete { dim: DEFAULT_DISCRETE_DIM },
+        DataType::String => FeatureKind::Discrete {
+            dim: DEFAULT_DISCRETE_DIM,
+        },
         DataType::Timestamp => FeatureKind::Skip,
         _ => FeatureKind::Continuous,
     }
@@ -148,13 +150,28 @@ mod tests {
         assert!(a.starts_with("1 0:0.5 "), "{a}");
         // Continuous after the 10-dim discrete block lands at index 11.
         assert!(a.ends_with("11:2"), "{a}");
-        let hot: i64 = a.split(' ').nth(2).unwrap().split(':').next().unwrap().parse().unwrap();
-        assert!((1..11).contains(&hot), "discrete one-hot within its block: {a}");
+        let hot: i64 = a
+            .split(' ')
+            .nth(2)
+            .unwrap()
+            .split(':')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            (1..11).contains(&hot),
+            "discrete one-hot within its block: {a}"
+        );
     }
 
     #[test]
     fn libsvm_skips_nulls_and_skip_columns() {
-        let kinds = [FeatureKind::Continuous, FeatureKind::Skip, FeatureKind::Continuous];
+        let kinds = [
+            FeatureKind::Continuous,
+            FeatureKind::Skip,
+            FeatureKind::Continuous,
+        ];
         let row = Row::new(vec![Value::Null, Value::Timestamp(5), Value::Double(3.0)]);
         let line = to_libsvm(&row, &kinds).unwrap();
         assert_eq!(line, "0 1:3");
@@ -180,7 +197,10 @@ mod tests {
     #[test]
     fn default_kinds_by_type() {
         assert_eq!(default_kind(DataType::Double), FeatureKind::Continuous);
-        assert!(matches!(default_kind(DataType::String), FeatureKind::Discrete { .. }));
+        assert!(matches!(
+            default_kind(DataType::String),
+            FeatureKind::Discrete { .. }
+        ));
         assert_eq!(default_kind(DataType::Timestamp), FeatureKind::Skip);
     }
 }

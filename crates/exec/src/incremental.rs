@@ -106,7 +106,9 @@ impl SlidingWindow {
         let mut evicted = Vec::new();
         loop {
             let expired = {
-                let Some(front) = self.buffer.front() else { break };
+                let Some(front) = self.buffer.front() else {
+                    break;
+                };
                 match self.frame {
                     Frame::RowsRange { preceding_ms } => anchor - front.ts > preceding_ms,
                     Frame::Rows { preceding } => self.buffer.len() as u64 > preceding + 1,
@@ -116,6 +118,8 @@ impl SlidingWindow {
             if !expired {
                 break;
             }
+            // analysis:allow(panic-path): the `expired` guard above only
+            // passes when `front()` saw an entry, so the buffer is non-empty.
             evicted.push(self.buffer.pop_front().expect("non-empty"));
         }
 
@@ -141,6 +145,8 @@ impl SlidingWindow {
                     .iter()
                     .rev()
                     .find(|e| e.seq == seq)
+                    // analysis:allow(panic-path): `!new_entry_evicted` means
+                    // the entry with this seq is still in the buffer.
                     .expect("inserted entry survived eviction");
                 for (agg, vals) in self.aggs.iter_mut().zip(&inserted.arg_vals) {
                     agg.update(vals)?;
@@ -187,11 +193,23 @@ mod tests {
     #[test]
     fn range_frame_evicts_by_time() {
         let mut w = sum_window(Frame::RowsRange { preceding_ms: 100 });
-        assert_eq!(w.push(0, &[Value::Bigint(1)]).unwrap(), vec![Value::Bigint(1)]);
-        assert_eq!(w.push(50, &[Value::Bigint(2)]).unwrap(), vec![Value::Bigint(3)]);
-        assert_eq!(w.push(100, &[Value::Bigint(4)]).unwrap(), vec![Value::Bigint(7)]);
+        assert_eq!(
+            w.push(0, &[Value::Bigint(1)]).unwrap(),
+            vec![Value::Bigint(1)]
+        );
+        assert_eq!(
+            w.push(50, &[Value::Bigint(2)]).unwrap(),
+            vec![Value::Bigint(3)]
+        );
+        assert_eq!(
+            w.push(100, &[Value::Bigint(4)]).unwrap(),
+            vec![Value::Bigint(7)]
+        );
         // ts=0 and ts=50 now fall out (151 - 50 > 100).
-        assert_eq!(w.push(151, &[Value::Bigint(8)]).unwrap(), vec![Value::Bigint(12)]);
+        assert_eq!(
+            w.push(151, &[Value::Bigint(8)]).unwrap(),
+            vec![Value::Bigint(12)]
+        );
         assert_eq!(w.len(), 2);
         assert!(w.incremental());
         assert_eq!(w.recompute_steps, 0);
@@ -209,7 +227,9 @@ mod tests {
 
     #[test]
     fn out_of_order_arrivals_are_ordered() {
-        let mut w = sum_window(Frame::RowsRange { preceding_ms: 1_000 });
+        let mut w = sum_window(Frame::RowsRange {
+            preceding_ms: 1_000,
+        });
         w.push(100, &[Value::Bigint(1)]).unwrap();
         w.push(300, &[Value::Bigint(4)]).unwrap();
         // A late tuple from t=200 still lands inside the window.
@@ -221,7 +241,13 @@ mod tests {
     fn non_invertible_falls_back_to_recompute() {
         let aggs = [bound("drawdown", vec![PhysExpr::Column(0)])];
         let refs: Vec<&BoundAggregate> = aggs.iter().collect();
-        let mut w = SlidingWindow::new(Frame::RowsRange { preceding_ms: 1_000 }, &refs).unwrap();
+        let mut w = SlidingWindow::new(
+            Frame::RowsRange {
+                preceding_ms: 1_000,
+            },
+            &refs,
+        )
+        .unwrap();
         assert!(!w.incremental());
         w.push(0, &[Value::Double(100.0)]).unwrap();
         let out = w.push(10, &[Value::Double(60.0)]).unwrap();
@@ -233,13 +259,14 @@ mod tests {
     #[test]
     fn sliding_matches_full_recompute() {
         // Differential test: incremental result == scratch recompute.
-        let aggs = [bound("sum", vec![PhysExpr::Column(0)]),
+        let aggs = [
+            bound("sum", vec![PhysExpr::Column(0)]),
             bound("distinct_count", vec![PhysExpr::Column(0)]),
-            bound("max", vec![PhysExpr::Column(0)])];
+            bound("max", vec![PhysExpr::Column(0)]),
+        ];
         let refs: Vec<&BoundAggregate> = aggs.iter().collect();
         let mut w = SlidingWindow::new(Frame::RowsRange { preceding_ms: 50 }, &refs).unwrap();
-        let data: Vec<(i64, i64)> =
-            (0..200).map(|i| (i * 7 % 400, (i * 13) % 10)).collect();
+        let data: Vec<(i64, i64)> = (0..200).map(|i| (i * 7 % 400, (i * 13) % 10)).collect();
         let mut sorted_so_far: Vec<(i64, i64)> = Vec::new();
         for (ts, v) in data {
             let out = w.push(ts, &[Value::Bigint(v)]).unwrap();
@@ -252,8 +279,10 @@ mod tests {
                 .map(|(_, v)| *v)
                 .collect();
             let expect_sum: i64 = in_frame.iter().sum();
-            let expect_distinct =
-                in_frame.iter().collect::<std::collections::HashSet<_>>().len() as i64;
+            let expect_distinct = in_frame
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len() as i64;
             let expect_max = in_frame.iter().max().copied().unwrap();
             assert_eq!(out[0], Value::Bigint(expect_sum), "at ts {ts}");
             assert_eq!(out[1], Value::Bigint(expect_distinct), "at ts {ts}");

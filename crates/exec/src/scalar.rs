@@ -10,9 +10,19 @@ use openmldb_types::{Error, Result, Value};
 pub fn call(name: &str, args: &[Value]) -> Result<Value> {
     // Functions with explicit NULL semantics first.
     match name {
-        "if_null" => return Ok(if args[0].is_null() { args[1].clone() } else { args[0].clone() }),
+        "if_null" => {
+            return Ok(if args[0].is_null() {
+                args[1].clone()
+            } else {
+                args[0].clone()
+            })
+        }
         "if" => {
-            return Ok(if args[0].as_bool()? { args[1].clone() } else { args[2].clone() })
+            return Ok(if args[0].as_bool()? {
+                args[1].clone()
+            } else {
+                args[2].clone()
+            })
         }
         _ => {}
     }
@@ -63,7 +73,16 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
         "split_by_key" => split_by_key(args, true)?,
         "split_by_value" => split_by_key(args, false)?,
         "multiclass_label" => Value::Bigint(args[0].as_i64()?),
-        "binary_label" => Value::Int(if args[0].as_bool().or_else(|_| args[0].as_i64().map(|v| v != 0))? { 1 } else { 0 }),
+        "binary_label" => Value::Int(
+            if args[0]
+                .as_bool()
+                .or_else(|_| args[0].as_i64().map(|v| v != 0))?
+            {
+                1
+            } else {
+                0
+            },
+        ),
         "continuous" => Value::Double(args[0].as_f64()?),
         "discrete" => {
             // Feature-hash a value into `dim` buckets (default 1 << 20),
@@ -126,9 +145,11 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
         "trim" => Value::string(args[0].as_str()?.trim()),
         "ltrim" => Value::string(args[0].as_str()?.trim_start()),
         "rtrim" => Value::string(args[0].as_str()?.trim_end()),
-        "replace" => {
-            Value::string(args[0].as_str()?.replace(args[1].as_str()?, args[2].as_str()?))
-        }
+        "replace" => Value::string(
+            args[0]
+                .as_str()?
+                .replace(args[1].as_str()?, args[2].as_str()?),
+        ),
         "reverse" => Value::string(args[0].as_str()?.chars().rev().collect::<String>()),
         "strcmp" => Value::Int(match args[0].as_str()?.cmp(args[1].as_str()?) {
             std::cmp::Ordering::Less => -1,
@@ -147,8 +168,7 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
             if current >= target || pad.is_empty() {
                 Value::string(s.chars().take(target).collect::<String>())
             } else {
-                let fill: String =
-                    pad.chars().cycle().take(target - current).collect();
+                let fill: String = pad.chars().cycle().take(target - current).collect();
                 if name == "lpad" {
                     Value::string(format!("{fill}{s}"))
                 } else {
@@ -177,9 +197,10 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
             other => other.as_f64()?,
         }),
         "bigint" => Value::Bigint(match &args[0] {
-            Value::Str(s) => s.trim().parse::<i64>().map_err(|e| {
-                Error::Eval(format!("cannot cast `{s}` to BIGINT: {e}"))
-            })?,
+            Value::Str(s) => s
+                .trim()
+                .parse::<i64>()
+                .map_err(|e| Error::Eval(format!("cannot cast `{s}` to BIGINT: {e}")))?,
             other => other.as_i64().unwrap_or(other.as_f64()? as i64),
         }),
         other => return Err(Error::Eval(format!("unknown scalar function `{other}`"))),
@@ -194,7 +215,9 @@ fn split_by_key(args: &[Value], keys: bool) -> Result<Value> {
     let delim = args[1].as_str()?;
     let kv_delim = args[2].as_str()?;
     if delim.is_empty() || kv_delim.is_empty() {
-        return Err(Error::Eval("split_by_key delimiters must be non-empty".into()));
+        return Err(Error::Eval(
+            "split_by_key delimiters must be non-empty".into(),
+        ));
     }
     let mut out = Vec::new();
     for part in input.split(delim) {
@@ -274,43 +297,74 @@ mod tests {
     #[test]
     fn math_functions() {
         assert_eq!(call("abs", &[Value::Int(-3)]).unwrap(), Value::Int(3));
-        assert_eq!(call("ceil", &[Value::Double(1.2)]).unwrap(), Value::Bigint(2));
-        assert_eq!(call("floor", &[Value::Double(1.8)]).unwrap(), Value::Bigint(1));
-        assert_eq!(call("pow", &[Value::Int(2), Value::Int(10)]).unwrap(), Value::Double(1024.0));
+        assert_eq!(
+            call("ceil", &[Value::Double(1.2)]).unwrap(),
+            Value::Bigint(2)
+        );
+        assert_eq!(
+            call("floor", &[Value::Double(1.8)]).unwrap(),
+            Value::Bigint(1)
+        );
+        assert_eq!(
+            call("pow", &[Value::Int(2), Value::Int(10)]).unwrap(),
+            Value::Double(1024.0)
+        );
     }
 
     #[test]
     fn string_functions() {
-        assert_eq!(call("upper", &[Value::string("ab")]).unwrap(), Value::string("AB"));
         assert_eq!(
-            call("substr", &[Value::string("hello"), Value::Int(2), Value::Int(3)]).unwrap(),
+            call("upper", &[Value::string("ab")]).unwrap(),
+            Value::string("AB")
+        );
+        assert_eq!(
+            call(
+                "substr",
+                &[Value::string("hello"), Value::Int(2), Value::Int(3)]
+            )
+            .unwrap(),
             Value::string("ell")
         );
         assert_eq!(
             call("concat", &[Value::string("a"), Value::Int(1)]).unwrap(),
             Value::string("a1")
         );
-        assert_eq!(call("char_length", &[Value::string("héllo")]).unwrap(), Value::Int(5));
+        assert_eq!(
+            call("char_length", &[Value::string("héllo")]).unwrap(),
+            Value::Int(5)
+        );
     }
 
     #[test]
     fn split_by_key_parses_kv_pairs() {
         let out = call(
             "split_by_key",
-            &[Value::string("shoes:20|bags:35|shoes:10"), Value::string("|"), Value::string(":")],
+            &[
+                Value::string("shoes:20|bags:35|shoes:10"),
+                Value::string("|"),
+                Value::string(":"),
+            ],
         )
         .unwrap();
         assert_eq!(out, Value::string("shoes,bags,shoes"));
         let out = call(
             "split_by_value",
-            &[Value::string("a:1|b:2"), Value::string("|"), Value::string(":")],
+            &[
+                Value::string("a:1|b:2"),
+                Value::string("|"),
+                Value::string(":"),
+            ],
         )
         .unwrap();
         assert_eq!(out, Value::string("1,2"));
         // Segments without the kv delimiter are skipped.
         let out = call(
             "split_by_key",
-            &[Value::string("a:1|oops|b:2"), Value::string("|"), Value::string(":")],
+            &[
+                Value::string("a:1|oops|b:2"),
+                Value::string("|"),
+                Value::string(":"),
+            ],
         )
         .unwrap();
         assert_eq!(out, Value::string("a,b"));
@@ -318,7 +372,10 @@ mod tests {
 
     #[test]
     fn feature_signatures() {
-        assert_eq!(call("continuous", &[Value::Int(7)]).unwrap(), Value::Double(7.0));
+        assert_eq!(
+            call("continuous", &[Value::Int(7)]).unwrap(),
+            Value::Double(7.0)
+        );
         let d1 = call("discrete", &[Value::string("product_123")]).unwrap();
         let d2 = call("discrete", &[Value::string("product_123")]).unwrap();
         assert_eq!(d1, d2, "feature hashing is deterministic");
@@ -327,8 +384,14 @@ mod tests {
             panic!()
         };
         assert!((0..100).contains(&b), "hash respects dimension bound");
-        assert_eq!(call("binary_label", &[Value::Int(5)]).unwrap(), Value::Int(1));
-        assert_eq!(call("binary_label", &[Value::Int(0)]).unwrap(), Value::Int(0));
+        assert_eq!(
+            call("binary_label", &[Value::Int(5)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("binary_label", &[Value::Int(0)]).unwrap(),
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -371,7 +434,10 @@ mod tests {
         assert_eq!(h1, h2);
         assert_ne!(geo_hash(31.0, 121.0, 20), geo_hash(31.5, 121.0, 20));
         // Coarser precision merges nearby points.
-        assert_eq!(geo_hash(31.0001, 121.0001, 3), geo_hash(31.0002, 121.0002, 3));
+        assert_eq!(
+            geo_hash(31.0001, 121.0001, 3),
+            geo_hash(31.0002, 121.0002, 3)
+        );
     }
 
     #[test]
@@ -382,11 +448,14 @@ mod tests {
 
     #[test]
     fn extended_math_and_strings() {
-        assert_eq!(call("sign", &[Value::Double(-3.0)]).unwrap(), Value::Int(-1));
+        assert_eq!(
+            call("sign", &[Value::Double(-3.0)]).unwrap(),
+            Value::Int(-1)
+        );
         assert_eq!(call("sign", &[Value::Int(0)]).unwrap(), Value::Int(0));
         assert_eq!(
-            call("truncate", &[Value::Double(3.14159), Value::Int(2)]).unwrap(),
-            Value::Double(3.14)
+            call("truncate", &[Value::Double(9.87654), Value::Int(2)]).unwrap(),
+            Value::Double(9.87)
         );
         assert_eq!(
             call("greatest", &[Value::Int(3), Value::Int(9), Value::Int(5)]).unwrap(),
@@ -396,32 +465,64 @@ mod tests {
             call("least", &[Value::Double(1.5), Value::Double(-2.0)]).unwrap(),
             Value::Double(-2.0)
         );
-        assert_eq!(call("trim", &[Value::string("  hi  ")]).unwrap(), Value::string("hi"));
-        assert_eq!(call("ltrim", &[Value::string("  hi")]).unwrap(), Value::string("hi"));
         assert_eq!(
-            call("replace", &[Value::string("a-b-c"), Value::string("-"), Value::string("+")])
-                .unwrap(),
+            call("trim", &[Value::string("  hi  ")]).unwrap(),
+            Value::string("hi")
+        );
+        assert_eq!(
+            call("ltrim", &[Value::string("  hi")]).unwrap(),
+            Value::string("hi")
+        );
+        assert_eq!(
+            call(
+                "replace",
+                &[
+                    Value::string("a-b-c"),
+                    Value::string("-"),
+                    Value::string("+")
+                ]
+            )
+            .unwrap(),
             Value::string("a+b+c")
         );
-        assert_eq!(call("reverse", &[Value::string("abc")]).unwrap(), Value::string("cba"));
+        assert_eq!(
+            call("reverse", &[Value::string("abc")]).unwrap(),
+            Value::string("cba")
+        );
         assert_eq!(
             call("strcmp", &[Value::string("a"), Value::string("b")]).unwrap(),
             Value::Int(-1)
         );
         assert_eq!(
-            call("starts_with", &[Value::string("openmldb"), Value::string("open")]).unwrap(),
+            call(
+                "starts_with",
+                &[Value::string("openmldb"), Value::string("open")]
+            )
+            .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            call("lpad", &[Value::string("7"), Value::Int(3), Value::string("0")]).unwrap(),
+            call(
+                "lpad",
+                &[Value::string("7"), Value::Int(3), Value::string("0")]
+            )
+            .unwrap(),
             Value::string("007")
         );
         assert_eq!(
-            call("rpad", &[Value::string("ab"), Value::Int(4), Value::string("xy")]).unwrap(),
+            call(
+                "rpad",
+                &[Value::string("ab"), Value::Int(4), Value::string("xy")]
+            )
+            .unwrap(),
             Value::string("abxy")
         );
         assert_eq!(
-            call("lpad", &[Value::string("hello"), Value::Int(3), Value::string("0")]).unwrap(),
+            call(
+                "lpad",
+                &[Value::string("hello"), Value::Int(3), Value::string("0")]
+            )
+            .unwrap(),
             Value::string("hel"),
             "lpad truncates when over target"
         );
@@ -431,16 +532,42 @@ mod tests {
     fn calendar_functions() {
         // 2021-06-15T12:00:00Z = 1623758400000 ms; a Tuesday.
         let ts = Value::Timestamp(1_623_758_400_000);
-        assert_eq!(call("year", &[ts.clone()]).unwrap(), Value::Int(2021));
-        assert_eq!(call("month", &[ts.clone()]).unwrap(), Value::Int(6));
-        assert_eq!(call("dayofmonth", &[ts.clone()]).unwrap(), Value::Int(15));
-        assert_eq!(call("dayofweek", &[ts]).unwrap(), Value::Int(3), "Tuesday = 3");
+        assert_eq!(
+            call("year", std::slice::from_ref(&ts)).unwrap(),
+            Value::Int(2021)
+        );
+        assert_eq!(
+            call("month", std::slice::from_ref(&ts)).unwrap(),
+            Value::Int(6)
+        );
+        assert_eq!(
+            call("dayofmonth", std::slice::from_ref(&ts)).unwrap(),
+            Value::Int(15)
+        );
+        assert_eq!(
+            call("dayofweek", &[ts]).unwrap(),
+            Value::Int(3),
+            "Tuesday = 3"
+        );
         // Epoch start.
         let epoch = Value::Timestamp(0);
-        assert_eq!(call("year", &[epoch.clone()]).unwrap(), Value::Int(1970));
-        assert_eq!(call("month", &[epoch.clone()]).unwrap(), Value::Int(1));
-        assert_eq!(call("dayofmonth", &[epoch.clone()]).unwrap(), Value::Int(1));
-        assert_eq!(call("dayofweek", &[epoch]).unwrap(), Value::Int(5), "Thursday = 5");
+        assert_eq!(
+            call("year", std::slice::from_ref(&epoch)).unwrap(),
+            Value::Int(1970)
+        );
+        assert_eq!(
+            call("month", std::slice::from_ref(&epoch)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("dayofmonth", std::slice::from_ref(&epoch)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("dayofweek", &[epoch]).unwrap(),
+            Value::Int(5),
+            "Thursday = 5"
+        );
         // Pre-epoch timestamps work (euclidean division).
         assert_eq!(
             call("year", &[Value::Timestamp(-86_400_000)]).unwrap(),
@@ -450,11 +577,23 @@ mod tests {
 
     #[test]
     fn conversions() {
-        assert_eq!(call("double", &[Value::string("2.5")]).unwrap(), Value::Double(2.5));
-        assert_eq!(call("bigint", &[Value::string(" 42 ")]).unwrap(), Value::Bigint(42));
+        assert_eq!(
+            call("double", &[Value::string("2.5")]).unwrap(),
+            Value::Double(2.5)
+        );
+        assert_eq!(
+            call("bigint", &[Value::string(" 42 ")]).unwrap(),
+            Value::Bigint(42)
+        );
         assert!(call("bigint", &[Value::string("nope")]).is_err());
-        assert_eq!(call("string", &[Value::Int(7)]).unwrap(), Value::string("7"));
-        assert_eq!(call("bigint", &[Value::Double(3.9)]).unwrap(), Value::Bigint(3));
+        assert_eq!(
+            call("string", &[Value::Int(7)]).unwrap(),
+            Value::string("7")
+        );
+        assert_eq!(
+            call("bigint", &[Value::Double(3.9)]).unwrap(),
+            Value::Bigint(3)
+        );
     }
 
     #[test]

@@ -126,8 +126,14 @@ fn projection_for(func: &str) -> Option<Projection> {
 }
 
 enum Slot {
-    Shared { args: Vec<PhysExpr>, state: SharedNumeric },
-    Single { args: Vec<PhysExpr>, agg: Box<dyn Aggregator> },
+    Shared {
+        args: Vec<PhysExpr>,
+        state: SharedNumeric,
+    },
+    Single {
+        args: Vec<PhysExpr>,
+        agg: Box<dyn Aggregator>,
+    },
 }
 
 enum Binding {
@@ -153,8 +159,10 @@ impl WindowAggSet {
 
         for agg in aggs {
             if let Some(proj) = projection_for(agg.func.name) {
-                let existing =
-                    shared_index.iter().find(|(a, _)| a == &agg.args).map(|(_, i)| *i);
+                let existing = shared_index
+                    .iter()
+                    .find(|(a, _)| a == &agg.args)
+                    .map(|(_, i)| *i);
                 let slot = match existing {
                     Some(i) => i,
                     None => {
@@ -261,7 +269,7 @@ mod tests {
 
     #[test]
     fn cyclic_binding_shares_state() {
-        let aggs = vec![
+        let aggs = [
             bound("sum", vec![PhysExpr::Column(0)]),
             bound("avg", vec![PhysExpr::Column(0)]),
             bound("count", vec![PhysExpr::Column(0)]),
@@ -286,8 +294,10 @@ mod tests {
 
     #[test]
     fn non_shareable_functions_get_own_slots() {
-        let aggs = [bound("distinct_count", vec![PhysExpr::Column(0)]),
-            bound("sum", vec![PhysExpr::Column(0)])];
+        let aggs = [
+            bound("distinct_count", vec![PhysExpr::Column(0)]),
+            bound("sum", vec![PhysExpr::Column(0)]),
+        ];
         let refs: Vec<&BoundAggregate> = aggs.iter().collect();
         let mut set = WindowAggSet::new(&refs).unwrap();
         assert_eq!(set.slot_count(), 2);
@@ -301,8 +311,10 @@ mod tests {
 
     #[test]
     fn reset_clears_all_slots() {
-        let aggs = [bound("sum", vec![PhysExpr::Column(0)]),
-            bound("min", vec![PhysExpr::Column(0)])];
+        let aggs = [
+            bound("sum", vec![PhysExpr::Column(0)]),
+            bound("min", vec![PhysExpr::Column(0)]),
+        ];
         let refs: Vec<&BoundAggregate> = aggs.iter().collect();
         let mut set = WindowAggSet::new(&refs).unwrap();
         set.update(&[Value::Bigint(5)]).unwrap();

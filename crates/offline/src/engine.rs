@@ -21,6 +21,10 @@ use openmldb_types::{Error, KeyValue, Result, Row, RowBatch, Value};
 use crate::parallel;
 use crate::skew::SkewConfig;
 
+/// Rows of each window partition, tagged with (order ts, row, base-row index).
+/// Union-table rows carry `None` — they feed state but emit no output.
+pub(crate) type GroupedRows<'a> = HashMap<Vec<KeyValue>, Vec<(i64, &'a Row, Option<usize>)>>;
+
 /// How each window's aggregates are computed along a sorted partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WindowExecMode {
@@ -46,7 +50,9 @@ impl Default for OfflineOptions {
     fn default() -> Self {
         OfflineOptions {
             parallel_windows: true,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             skew: None,
             mode: WindowExecMode::Incremental,
         }
@@ -83,7 +89,10 @@ pub fn execute_batch(
             let right_keys: Vec<usize> = join.eq_pairs.iter().map(|&(_, r)| r).collect();
             let mut lookup: HashMap<Vec<KeyValue>, Vec<Row>> = HashMap::new();
             for row in rows {
-                lookup.entry(row.key_for(&right_keys)).or_default().push(row.clone());
+                lookup
+                    .entry(row.key_for(&right_keys))
+                    .or_default()
+                    .push(row.clone());
             }
             // Order candidates newest-first by the join's order column so a
             // residual predicate scans in LAST JOIN order.
@@ -103,8 +112,11 @@ pub fn execute_batch(
         // Combined row: base columns, then each join's matched columns.
         let mut combined: Vec<Value> = row.values().to_vec();
         for (join, lookup) in query.joins.iter().zip(&join_lookups) {
-            let key: Vec<KeyValue> =
-                join.eq_pairs.iter().map(|&(l, _)| KeyValue::from(&combined[l])).collect();
+            let key: Vec<KeyValue> = join
+                .eq_pairs
+                .iter()
+                .map(|&(l, _)| KeyValue::from(&combined[l]))
+                .collect();
             let matched = match lookup.get(&key) {
                 None => None,
                 Some(candidates) => {
@@ -181,7 +193,12 @@ pub fn sweep_window(
     // Tag rows: (key, ts, row, base_index or None for union rows).
     let mut tagged: Vec<(Vec<KeyValue>, i64, &Row, Option<usize>)> = Vec::new();
     for (i, row) in base.iter().enumerate() {
-        tagged.push((row.key_for(&window.partition_cols), row.ts_at(window.order_col), row, Some(i)));
+        tagged.push((
+            row.key_for(&window.partition_cols),
+            row.ts_at(window.order_col),
+            row,
+            Some(i),
+        ));
     }
     for name in &window.union_tables {
         let rows = tables
@@ -200,7 +217,7 @@ pub fn sweep_window(
     // Group by key, sort each group chronologically (union rows with equal
     // ts sort before the base row is irrelevant to set aggregates; keep the
     // base row last for equal ts so it anchors).
-    let mut groups: HashMap<Vec<KeyValue>, Vec<(i64, &Row, Option<usize>)>> = HashMap::new();
+    let mut groups: GroupedRows = HashMap::new();
     for (key, ts, row, idx) in tagged {
         groups.entry(key).or_default().push((ts, row, idx));
     }
@@ -349,7 +366,11 @@ mod tests {
     }
 
     fn row(k: i64, v: f64, ts: i64) -> Row {
-        Row::new(vec![Value::Bigint(k), Value::Double(v), Value::Timestamp(ts)])
+        Row::new(vec![
+            Value::Bigint(k),
+            Value::Double(v),
+            Value::Timestamp(ts),
+        ])
     }
 
     fn compile(sql: &str) -> CompiledQuery {
@@ -357,7 +378,12 @@ mod tests {
     }
 
     fn opts(mode: WindowExecMode) -> OfflineOptions {
-        OfflineOptions { parallel_windows: false, threads: 2, skew: None, mode }
+        OfflineOptions {
+            parallel_windows: false,
+            threads: 2,
+            skew: None,
+            mode,
+        }
     }
 
     #[test]
@@ -369,7 +395,12 @@ mod tests {
         let mut tables = HashMap::new();
         tables.insert(
             "t".to_string(),
-            vec![row(1, 1.0, 0), row(1, 2.0, 50), row(1, 4.0, 200), row(2, 8.0, 50)],
+            vec![
+                row(1, 1.0, 0),
+                row(1, 2.0, 50),
+                row(1, 4.0, 200),
+                row(2, 8.0, 50),
+            ],
         );
         let out = execute_batch(&q, &tables, &opts(WindowExecMode::Incremental)).unwrap();
         assert_eq!(out.rows.len(), 4);
@@ -385,8 +416,9 @@ mod tests {
             "SELECT k, sum(v) OVER w AS s, count(v) OVER w AS c, max(v) OVER w AS m FROM t \
              WINDOW w AS (PARTITION BY k ORDER BY ts ROWS_RANGE BETWEEN 70 PRECEDING AND CURRENT ROW)",
         );
-        let rows: Vec<Row> =
-            (0..200).map(|i| row(i % 5, (i % 17) as f64, (i * 13) % 400)).collect();
+        let rows: Vec<Row> = (0..200)
+            .map(|i| row(i % 5, (i % 17) as f64, (i * 13) % 400))
+            .collect();
         let mut tables = HashMap::new();
         tables.insert("t".to_string(), rows);
         let a = execute_batch(&q, &tables, &opts(WindowExecMode::Incremental)).unwrap();
@@ -403,10 +435,20 @@ mod tests {
              (PARTITION BY k ORDER BY ts ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)",
         );
         let mut tables = HashMap::new();
-        tables.insert("t".to_string(), vec![row(1, 1.0, 0), row(1, 2.0, 10), row(1, 4.0, 20)]);
+        tables.insert(
+            "t".to_string(),
+            vec![row(1, 1.0, 0), row(1, 2.0, 10), row(1, 4.0, 20)],
+        );
         let out = execute_batch(&q, &tables, &opts(WindowExecMode::Incremental)).unwrap();
         let sums: Vec<&Value> = out.rows.iter().map(|r| &r[0]).collect();
-        assert_eq!(sums, vec![&Value::Double(1.0), &Value::Double(3.0), &Value::Double(6.0)]);
+        assert_eq!(
+            sums,
+            vec![
+                &Value::Double(1.0),
+                &Value::Double(3.0),
+                &Value::Double(6.0)
+            ]
+        );
     }
 
     #[test]
@@ -420,14 +462,16 @@ mod tests {
         tables.insert("u".to_string(), vec![row(1, 9.0, 60), row(1, 9.0, 600)]);
         let out = execute_batch(&q, &tables, &opts(WindowExecMode::Incremental)).unwrap();
         assert_eq!(out.rows.len(), 1, "union rows produce no output rows");
-        assert_eq!(out.rows[0][0], Value::Bigint(2), "base row + one union row in frame");
+        assert_eq!(
+            out.rows[0][0],
+            Value::Bigint(2),
+            "base row + one union row in frame"
+        );
     }
 
     #[test]
     fn last_join_batch_semantics() {
-        let q = compile(
-            "SELECT t.k, p.age FROM t LAST JOIN p ORDER BY p.updated ON t.k = p.k",
-        );
+        let q = compile("SELECT t.k, p.age FROM t LAST JOIN p ORDER BY p.updated ON t.k = p.k");
         let mut tables = HashMap::new();
         tables.insert("t".to_string(), vec![row(1, 0.0, 0), row(2, 0.0, 0)]);
         tables.insert(
@@ -481,7 +525,9 @@ mod tests {
             vec![row(1, 100.0, 0), row(1, 60.0, 10), row(1, 80.0, 20)],
         );
         let out = execute_batch(&q, &tables, &opts(WindowExecMode::Incremental)).unwrap();
-        let Value::Double(d) = out.rows[2][0] else { panic!() };
+        let Value::Double(d) = out.rows[2][0] else {
+            panic!()
+        };
         assert!((d - 0.4).abs() < 1e-9, "peak 100 → trough 60");
     }
 }

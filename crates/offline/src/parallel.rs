@@ -56,24 +56,25 @@ pub fn compute_windows(
         .filter(|(_, ids)| !ids.is_empty())
         .collect();
 
-    let mut results: Vec<Vec<Vec<Value>>> =
-        (0..query.windows.len()).map(|_| Vec::new()).collect();
+    let mut results: Vec<Vec<Vec<Value>>> = (0..query.windows.len()).map(|_| Vec::new()).collect();
 
     if opts.parallel_windows && work.len() > 1 {
         // SimpleProject: the shared input (with implicit index column) fans
         // out to one thread per window; ConcatJoin collects by window id.
-        let computed: Vec<(usize, Result<Vec<Vec<Value>>>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = work
-                    .iter()
-                    .map(|(wid, ids)| {
-                        let wid = *wid;
-                        let ids: &[usize] = ids;
-                        scope.spawn(move || (wid, sweep(query, wid, tables, base, ids, opts)))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("window thread panicked")).collect()
-            });
+        let computed: Vec<(usize, Result<Vec<Vec<Value>>>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .iter()
+                .map(|(wid, ids)| {
+                    let wid = *wid;
+                    let ids: &[usize] = ids;
+                    scope.spawn(move || (wid, sweep(query, wid, tables, base, ids, opts)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("window thread panicked"))
+                .collect()
+        });
         for (wid, res) in computed {
             results[wid] = res?;
         }
@@ -198,7 +199,13 @@ mod tests {
         let w1 = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
         let w2 = vec![vec![Value::Int(7)], vec![Value::Int(8)]];
         let joined = concat_join(&base, &[w1, w2]);
-        assert_eq!(joined[0].values(), &[Value::Bigint(10), Value::Int(1), Value::Int(7)]);
-        assert_eq!(joined[1].values(), &[Value::Bigint(20), Value::Int(2), Value::Int(8)]);
+        assert_eq!(
+            joined[0].values(),
+            &[Value::Bigint(10), Value::Int(1), Value::Int(7)]
+        );
+        assert_eq!(
+            joined[1].values(),
+            &[Value::Bigint(20), Value::Int(2), Value::Int(8)]
+        );
     }
 }

@@ -26,7 +26,7 @@ use openmldb_sql::plan::{BoundWindow, CompiledQuery};
 use openmldb_storage::HyperLogLog;
 use openmldb_types::{KeyValue, Result, Row, Value};
 
-use crate::engine::{sweep_group, Tables, WindowExecMode};
+use crate::engine::{sweep_group, GroupedRows, Tables, WindowExecMode};
 
 /// Skew-resolution configuration.
 #[derive(Debug, Clone)]
@@ -39,7 +39,10 @@ pub struct SkewConfig {
 
 impl Default for SkewConfig {
     fn default() -> Self {
-        SkewConfig { factor: 2, hot_threshold: 0.2 }
+        SkewConfig {
+            factor: 2,
+            hot_threshold: 0.2,
+        }
     }
 }
 
@@ -102,6 +105,7 @@ pub struct SkewStats {
 
 /// Sweep one window with time-aware skew repartitioning. Results are
 /// identical to the plain sweep; only the work decomposition changes.
+#[allow(clippy::too_many_arguments)] // mirrors sweep_window's signature plus the skew knobs
 pub fn sweep_window_skewed(
     query: &CompiledQuery,
     window: &BoundWindow,
@@ -115,30 +119,35 @@ pub fn sweep_window_skewed(
     let agg_refs: Vec<_> = agg_ids.iter().map(|&i| &query.aggregates[i]).collect();
 
     // Group rows (base + union tables) by partition key.
-    let mut groups: HashMap<Vec<KeyValue>, Vec<(i64, &Row, Option<usize>)>> = HashMap::new();
+    let mut groups: GroupedRows = HashMap::new();
     let mut hll = HyperLogLog::default();
     let mut total_rows = 0usize;
     for (i, row) in base.iter().enumerate() {
         let key = row.key_for(&window.partition_cols);
         hll.add_bytes(crate::skew::render(&key).as_bytes());
-        groups.entry(key).or_default().push((row.ts_at(window.order_col), row, Some(i)));
+        groups
+            .entry(key)
+            .or_default()
+            .push((row.ts_at(window.order_col), row, Some(i)));
         total_rows += 1;
     }
     for name in &window.union_tables {
         if let Some(rows) = tables.get(name) {
             for row in rows {
                 let key = row.key_for(&window.partition_cols);
-                groups.entry(key).or_default().push((
-                    row.ts_at(window.order_col),
-                    row,
-                    None,
-                ));
+                groups
+                    .entry(key)
+                    .or_default()
+                    .push((row.ts_at(window.order_col), row, None));
                 total_rows += 1;
             }
         }
     }
 
-    let mut stats = SkewStats { estimated_distinct_keys: hll.estimate(), ..Default::default() };
+    let mut stats = SkewStats {
+        estimated_distinct_keys: hll.estimate(),
+        ..Default::default()
+    };
 
     // Build slices: hot keys split along time, cold keys stay whole.
     let mut slices: Vec<Slice> = Vec::new();
@@ -171,8 +180,9 @@ pub fn sweep_window_skewed(
             // Expanded context: preceding rows the slice's frames reach.
             let slice_first_ts = group[start].0;
             let context_from = match window.frame {
-                Frame::RowsRange { preceding_ms } => group[..start]
-                    .partition_point(|(ts, _, _)| slice_first_ts - ts > preceding_ms),
+                Frame::RowsRange { preceding_ms } => {
+                    group[..start].partition_point(|(ts, _, _)| slice_first_ts - ts > preceding_ms)
+                }
                 Frame::Rows { preceding } => start.saturating_sub(preceding as usize),
                 Frame::Unbounded => unreachable!("unbounded is not splittable"),
             };
@@ -196,7 +206,9 @@ pub fn sweep_window_skewed(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let Some(slice) = queue.lock().pop() else { return };
+                let Some(slice) = queue.lock().pop() else {
+                    return;
+                };
                 match sweep_group(&slice.rows, window, &agg_refs, mode) {
                     Ok(outs) => {
                         let mut res = results.lock();
@@ -219,7 +231,10 @@ pub fn sweep_window_skewed(
 }
 
 pub(crate) fn render(key: &[KeyValue]) -> String {
-    key.iter().map(KeyValue::render).collect::<Vec<_>>().join("\u{1}")
+    key.iter()
+        .map(KeyValue::render)
+        .collect::<Vec<_>>()
+        .join("\u{1}")
 }
 
 #[cfg(test)]
@@ -261,7 +276,11 @@ mod tests {
     fn skewed_rows(n: usize) -> Vec<Row> {
         (0..n)
             .map(|i| {
-                let k = if i % 10 != 0 { 0 } else { 1 + (i / 10) as i64 % 5 };
+                let k = if i % 10 != 0 {
+                    0
+                } else {
+                    1 + (i / 10) as i64 % 5
+                };
                 Row::new(vec![
                     Value::Bigint(k),
                     Value::Double((i % 13) as f64),
@@ -283,7 +302,10 @@ mod tests {
                 "boundary {i} at {bound}, expected near {expected}"
             );
         }
-        assert!(percentile_boundaries(&[5, 5, 5], 4).is_empty(), "constant ts indivisible");
+        assert!(
+            percentile_boundaries(&[5, 5, 5], 4).is_empty(),
+            "constant ts indivisible"
+        );
         assert!(percentile_boundaries(&[], 4).is_empty());
     }
 
@@ -293,7 +315,15 @@ mod tests {
         let base = skewed_rows(500);
         let tables = Tables::new();
         let agg_ids: Vec<usize> = (0..q.aggregates.len()).collect();
-        let plain = sweep_window(&q, &q.windows[0], &tables, &base, &agg_ids, WindowExecMode::Incremental).unwrap();
+        let plain = sweep_window(
+            &q,
+            &q.windows[0],
+            &tables,
+            &base,
+            &agg_ids,
+            WindowExecMode::Incremental,
+        )
+        .unwrap();
         for factor in [2, 4] {
             let (skewed, stats) = sweep_window_skewed(
                 &q,
@@ -302,13 +332,22 @@ mod tests {
                 &base,
                 &agg_ids,
                 WindowExecMode::Incremental,
-                &SkewConfig { factor, hot_threshold: 0.2 },
+                &SkewConfig {
+                    factor,
+                    hot_threshold: 0.2,
+                },
                 4,
             )
             .unwrap();
-            assert_eq!(plain, skewed, "factor {factor} changes work layout, not results");
+            assert_eq!(
+                plain, skewed,
+                "factor {factor} changes work layout, not results"
+            );
             assert_eq!(stats.hot_keys, 1, "key 0 is the hot key");
-            assert!(stats.slices >= factor, "hot key split into {factor}+ slices");
+            assert!(
+                stats.slices >= factor,
+                "hot key split into {factor}+ slices"
+            );
             assert!(stats.expanded_rows > 0, "context rows were added");
         }
     }
@@ -319,7 +358,15 @@ mod tests {
         let base = skewed_rows(300);
         let tables = Tables::new();
         let agg_ids: Vec<usize> = (0..q.aggregates.len()).collect();
-        let plain = sweep_window(&q, &q.windows[0], &tables, &base, &agg_ids, WindowExecMode::Incremental).unwrap();
+        let plain = sweep_window(
+            &q,
+            &q.windows[0],
+            &tables,
+            &base,
+            &agg_ids,
+            WindowExecMode::Incremental,
+        )
+        .unwrap();
         let (skewed, _) = sweep_window_skewed(
             &q,
             &q.windows[0],
@@ -327,7 +374,10 @@ mod tests {
             &base,
             &agg_ids,
             WindowExecMode::Incremental,
-            &SkewConfig { factor: 3, hot_threshold: 0.2 },
+            &SkewConfig {
+                factor: 3,
+                hot_threshold: 0.2,
+            },
             4,
         )
         .unwrap();
@@ -340,7 +390,15 @@ mod tests {
         let base = skewed_rows(100);
         let tables = Tables::new();
         let agg_ids: Vec<usize> = (0..q.aggregates.len()).collect();
-        let plain = sweep_window(&q, &q.windows[0], &tables, &base, &agg_ids, WindowExecMode::Incremental).unwrap();
+        let plain = sweep_window(
+            &q,
+            &q.windows[0],
+            &tables,
+            &base,
+            &agg_ids,
+            WindowExecMode::Incremental,
+        )
+        .unwrap();
         let (skewed, stats) = sweep_window_skewed(
             &q,
             &q.windows[0],
@@ -348,12 +406,18 @@ mod tests {
             &base,
             &agg_ids,
             WindowExecMode::Incremental,
-            &SkewConfig { factor: 4, hot_threshold: 0.2 },
+            &SkewConfig {
+                factor: 4,
+                hot_threshold: 0.2,
+            },
             2,
         )
         .unwrap();
         assert_eq!(plain, skewed);
-        assert_eq!(stats.hot_keys, 0, "unbounded frames fall back to whole groups");
+        assert_eq!(
+            stats.hot_keys, 0,
+            "unbounded frames fall back to whole groups"
+        );
     }
 
     #[test]

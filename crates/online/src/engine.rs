@@ -36,7 +36,8 @@ pub struct MapProvider {
 
 impl MapProvider {
     pub fn insert(&mut self, table: Arc<MemTable>) {
-        self.tables.insert(DataTable::name(&*table).to_string(), table);
+        self.tables
+            .insert(DataTable::name(&*table).to_string(), table);
     }
 
     pub fn insert_dyn(&mut self, table: Arc<dyn DataTable>) {
@@ -77,7 +78,12 @@ impl Deployment {
                 }
             }
         }
-        Deployment { name: name.into(), query, preaggs, window_projections }
+        Deployment {
+            name: name.into(),
+            query,
+            preaggs,
+            window_projections,
+        }
     }
 
     pub fn with_preagg(mut self, window_id: usize, preagg: Arc<PreAggregator>) -> Self {
@@ -102,8 +108,11 @@ pub fn execute_request(
         let table = provider
             .table(&join.table)
             .ok_or_else(|| Error::Storage(format!("unknown table `{}`", join.table)))?;
-        let key: Vec<KeyValue> =
-            join.eq_pairs.iter().map(|&(l, _)| KeyValue::from(&combined[l])).collect();
+        let key: Vec<KeyValue> = join
+            .eq_pairs
+            .iter()
+            .map(|&(l, _)| KeyValue::from(&combined[l]))
+            .collect();
         let right_keys: Vec<usize> = join.eq_pairs.iter().map(|&(_, r)| r).collect();
         let index = table
             .find_index(&right_keys, join.order_col)
@@ -114,7 +123,9 @@ pub fn execute_request(
                 let mut check = |row: &Row| {
                     let mut probe = combined.clone();
                     probe.extend(row.values().iter().cloned());
-                    evaluate(pred, &probe, &[]).and_then(|v| v.as_bool()).unwrap_or(false)
+                    evaluate(pred, &probe, &[])
+                        .and_then(|v| v.as_bool())
+                        .unwrap_or(false)
                 };
                 table.latest_where(index, &key, None, &mut check)?
             }
@@ -147,9 +158,11 @@ pub fn execute_request(
         // Pre-aggregation fast path: only for pure range frames, and not
         // for INSTANCE_NOT_IN_WINDOW (buckets mix base and union rows and
         // cannot exclude the base table per query).
-        if let (Some(preagg), Frame::RowsRange { preceding_ms }, false) =
-            (&dep.preaggs[wid], window.frame, window.instance_not_in_window)
-        {
+        if let (Some(preagg), Frame::RowsRange { preceding_ms }, false) = (
+            &dep.preaggs[wid],
+            window.frame,
+            window.instance_not_in_window,
+        ) {
             let key = request.key_for(&window.partition_cols);
             let lower = anchor_ts - preceding_ms;
             // The request row is part of the window unless excluded — it is
@@ -198,8 +211,8 @@ fn raw_window_rows(
     hi: i64,
 ) -> Result<Vec<Row>> {
     let mut out = Vec::new();
-    for name in std::iter::once(q.base_table.as_str())
-        .chain(window.union_tables.iter().map(String::as_str))
+    for name in
+        std::iter::once(q.base_table.as_str()).chain(window.union_tables.iter().map(String::as_str))
     {
         let table = provider
             .table(name)
@@ -382,7 +395,9 @@ mod tests {
         let (provider, cat) = setup();
         let actions = provider.table("actions").unwrap();
         for i in 0..5 {
-            actions.put(&action(1, "a", i as f64, 1, 1_000 + i * 100)).unwrap();
+            actions
+                .put(&action(1, "a", i as f64, 1, 1_000 + i * 100))
+                .unwrap();
         }
         actions.put(&action(2, "b", 99.0, 1, 1_200)).unwrap();
         let q = Arc::new(
@@ -400,8 +415,7 @@ mod tests {
         let dep = Deployment::new("d", q);
         // Request at ts=1450 for user 1: stored rows in [1200, 1450] are
         // ts 1200(2.0), 1300(3.0), 1400(4.0) + request row 7.0.
-        let out =
-            execute_request(&provider, &dep, &action(1, "a", 7.0, 1, 1_450)).unwrap();
+        let out = execute_request(&provider, &dep, &action(1, "a", 7.0, 1, 1_450)).unwrap();
         assert_eq!(out[0], Value::Bigint(1));
         assert_eq!(out[1], Value::Double(16.0));
         assert_eq!(out[2], Value::Bigint(4));
@@ -433,9 +447,21 @@ mod tests {
     #[test]
     fn window_union_merges_tables() {
         let (provider, cat) = setup();
-        provider.table("actions").unwrap().put(&action(1, "a", 1.0, 1, 100)).unwrap();
-        provider.table("orders").unwrap().put(&action(1, "o", 10.0, 1, 150)).unwrap();
-        provider.table("orders").unwrap().put(&action(1, "o", 20.0, 1, 10_000)).unwrap(); // outside
+        provider
+            .table("actions")
+            .unwrap()
+            .put(&action(1, "a", 1.0, 1, 100))
+            .unwrap();
+        provider
+            .table("orders")
+            .unwrap()
+            .put(&action(1, "o", 10.0, 1, 150))
+            .unwrap();
+        provider
+            .table("orders")
+            .unwrap()
+            .put(&action(1, "o", 20.0, 1, 10_000))
+            .unwrap(); // outside
         let q = Arc::new(
             compile_select(
                 &parse_select(
@@ -450,7 +476,11 @@ mod tests {
         );
         let dep = Deployment::new("d", q);
         let out = execute_request(&provider, &dep, &action(1, "a", 5.0, 1, 200)).unwrap();
-        assert_eq!(out[0], Value::Double(16.0), "action 1.0 + order 10.0 + request 5.0");
+        assert_eq!(
+            out[0],
+            Value::Double(16.0),
+            "action 1.0 + order 10.0 + request 5.0"
+        );
     }
 
     #[test]
@@ -458,10 +488,18 @@ mod tests {
         let (provider, cat) = setup();
         let profiles = provider.table("profiles").unwrap();
         profiles
-            .put(&Row::new(vec![Value::Bigint(1), Value::Int(20), Value::Timestamp(100)]))
+            .put(&Row::new(vec![
+                Value::Bigint(1),
+                Value::Int(20),
+                Value::Timestamp(100),
+            ]))
             .unwrap();
         profiles
-            .put(&Row::new(vec![Value::Bigint(1), Value::Int(21), Value::Timestamp(200)]))
+            .put(&Row::new(vec![
+                Value::Bigint(1),
+                Value::Int(21),
+                Value::Timestamp(200),
+            ]))
             .unwrap();
         let q = Arc::new(
             compile_select(
@@ -488,10 +526,18 @@ mod tests {
         let (provider, cat) = setup();
         let profiles = provider.table("profiles").unwrap();
         profiles
-            .put(&Row::new(vec![Value::Bigint(1), Value::Int(15), Value::Timestamp(100)]))
+            .put(&Row::new(vec![
+                Value::Bigint(1),
+                Value::Int(15),
+                Value::Timestamp(100),
+            ]))
             .unwrap();
         profiles
-            .put(&Row::new(vec![Value::Bigint(1), Value::Int(30), Value::Timestamp(50)]))
+            .put(&Row::new(vec![
+                Value::Bigint(1),
+                Value::Int(30),
+                Value::Timestamp(50),
+            ]))
             .unwrap();
         let q = Arc::new(
             compile_select(
@@ -507,7 +553,11 @@ mod tests {
         );
         let dep = Deployment::new("d", q);
         let out = execute_request(&provider, &dep, &action(1, "a", 0.0, 1, 500)).unwrap();
-        assert_eq!(out[0], Value::Int(30), "newest row failing the predicate is skipped");
+        assert_eq!(
+            out[0],
+            Value::Int(30),
+            "newest row failing the predicate is skipped"
+        );
     }
 
     #[test]
@@ -572,7 +622,9 @@ mod tests {
             openmldb_types::CompactCodec::new(action_schema()),
         );
         for i in 0..500 {
-            actions.put(&action(1, "a", (i % 10) as f64, 1, i * 37)).unwrap();
+            actions
+                .put(&action(1, "a", (i % 10) as f64, 1, i * 37))
+                .unwrap();
         }
         actions.replicator().flush();
 
@@ -626,7 +678,11 @@ mod instance_window_tests {
     }
 
     fn row(k: i64, v: f64, ts: i64) -> Row {
-        Row::new(vec![Value::Bigint(k), Value::Double(v), Value::Timestamp(ts)])
+        Row::new(vec![
+            Value::Bigint(k),
+            Value::Double(v),
+            Value::Timestamp(ts),
+        ])
     }
 
     /// INSTANCE_NOT_IN_WINDOW: the main table's stored rows stay out; the
@@ -655,7 +711,11 @@ mod instance_window_tests {
         );
         let dep = Deployment::new("d", q);
         let out = execute_request(&provider, &dep, &row(1, 1.0, 100)).unwrap();
-        assert_eq!(out[0], Value::Double(11.0), "side row + request, not main history");
+        assert_eq!(
+            out[0],
+            Value::Double(11.0),
+            "side row + request, not main history"
+        );
         assert_eq!(out[1], Value::Bigint(2));
     }
 

@@ -67,7 +67,9 @@ impl PreAggregator {
         mut bucket_sizes_ms: Vec<i64>,
     ) -> Result<Arc<Self>> {
         if bucket_sizes_ms.is_empty() {
-            return Err(Error::Plan("pre-aggregation needs at least one level".into()));
+            return Err(Error::Plan(
+                "pre-aggregation needs at least one level".into(),
+            ));
         }
         for a in aggs {
             if !openmldb_exec::supports_preagg(a.func) {
@@ -111,10 +113,7 @@ impl PreAggregator {
         replicator.subscribe_with_catchup(self.update_closure(codec));
     }
 
-    fn update_closure(
-        self: &Arc<Self>,
-        codec: CompactCodec,
-    ) -> openmldb_storage::UpdateClosure {
+    fn update_closure(self: &Arc<Self>, codec: CompactCodec) -> openmldb_storage::UpdateClosure {
         let this = self.clone();
         Arc::new(move |entry| {
             if let Ok(row) = codec.decode(&entry.data) {
@@ -197,7 +196,11 @@ impl PreAggregator {
                 }
                 // First aligned bucket fully inside [lo, hi].
                 let first = lo.div_euclid(level.bucket_ms) * level.bucket_ms;
-                let first = if first < lo { first + level.bucket_ms } else { first };
+                let first = if first < lo {
+                    first + level.bucket_ms
+                } else {
+                    first
+                };
                 let mut covered_any = false;
                 let mut cursor = first;
                 while cursor + level.bucket_ms - 1 <= hi {
@@ -234,7 +237,8 @@ impl PreAggregator {
                 continue;
             }
             let rows = raw_fetch(lo, hi)?;
-            self.raw_rows_scanned.fetch_add(rows.len() as u64, Ordering::Relaxed);
+            self.raw_rows_scanned
+                .fetch_add(rows.len() as u64, Ordering::Relaxed);
             for row in rows {
                 for (out, spec) in outputs.iter_mut().zip(&self.specs) {
                     let mut vals = Vec::with_capacity(spec.args.len());
@@ -270,7 +274,10 @@ impl PreAggregator {
 
     /// Bucket hits per level (finest first) — the adaptation signal.
     pub fn level_hits(&self) -> Vec<u64> {
-        self.levels.iter().map(|l| l.hits.load(Ordering::Relaxed)).collect()
+        self.levels
+            .iter()
+            .map(|l| l.hits.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Queries served.
@@ -311,7 +318,9 @@ mod tests {
             partition_cols: vec![0],
             order_col: 2,
             order_desc: false,
-            frame: Frame::RowsRange { preceding_ms: 1_000_000 },
+            frame: Frame::RowsRange {
+                preceding_ms: 1_000_000,
+            },
             maxsize: None,
             exclude_current_row: false,
             instance_not_in_window: false,
@@ -337,7 +346,11 @@ mod tests {
     }
 
     fn row(key: i64, v: i64, ts: i64) -> Row {
-        Row::new(vec![Value::Bigint(key), Value::Bigint(v), Value::Timestamp(ts)])
+        Row::new(vec![
+            Value::Bigint(key),
+            Value::Bigint(v),
+            Value::Timestamp(ts),
+        ])
     }
 
     #[test]
@@ -378,7 +391,11 @@ mod tests {
         assert_eq!(out[1], Value::Bigint(8));
         let calls = raw_calls.borrow();
         assert_eq!(calls.as_slice(), &[(50, 99), (800, 820)]);
-        assert_eq!(p.raw_rows_scanned(), 1, "only the ts=800 row came from raw data");
+        assert_eq!(
+            p.raw_rows_scanned(),
+            1,
+            "only the ts=800 row came from raw data"
+        );
     }
 
     #[test]
@@ -395,7 +412,11 @@ mod tests {
         // Coarse level (100ms) covers [0,999] in 10 buckets; fine level unused.
         assert_eq!(hits[1], 10);
         assert_eq!(hits[0], 0);
-        assert_eq!(p.underused_levels(0.05), vec![10], "fine level is dead weight");
+        assert_eq!(
+            p.underused_levels(0.05),
+            vec![10],
+            "fine level is dead weight"
+        );
     }
 
     #[test]
@@ -411,7 +432,12 @@ mod tests {
         let table = MemTable::new(
             "t",
             schema.clone(),
-            vec![IndexSpec { name: "i".into(), key_cols: vec![0], ts_col: Some(2), ttl: Ttl::Unlimited }],
+            vec![IndexSpec {
+                name: "i".into(),
+                key_cols: vec![0],
+                ts_col: Some(2),
+                ttl: Ttl::Unlimited,
+            }],
         )
         .unwrap();
         let p = PreAggregator::new(&window(), &aggs(), vec![100]).unwrap();
@@ -420,7 +446,9 @@ mod tests {
             table.put(&row(1, 1, i * 100)).unwrap();
         }
         table.replicator().flush(); // wait for async application
-        let out = p.query(&[KeyValue::Int(1)], 0, 999, |_l, _h| Ok(vec![])).unwrap();
+        let out = p
+            .query(&[KeyValue::Int(1)], 0, 999, |_l, _h| Ok(vec![]))
+            .unwrap();
         assert_eq!(out[1], Value::Bigint(10));
     }
 
@@ -429,8 +457,12 @@ mod tests {
         let p = PreAggregator::new(&window(), &aggs(), vec![100]).unwrap();
         p.ingest(&row(1, 5, 100)).unwrap();
         p.ingest(&row(2, 7, 100)).unwrap();
-        let out1 = p.query(&[KeyValue::Int(1)], 0, 999, |_l, _h| Ok(vec![])).unwrap();
-        let out2 = p.query(&[KeyValue::Int(2)], 0, 999, |_l, _h| Ok(vec![])).unwrap();
+        let out1 = p
+            .query(&[KeyValue::Int(1)], 0, 999, |_l, _h| Ok(vec![]))
+            .unwrap();
+        let out2 = p
+            .query(&[KeyValue::Int(2)], 0, 999, |_l, _h| Ok(vec![]))
+            .unwrap();
         assert_eq!(out1[0], Value::Bigint(5));
         assert_eq!(out2[0], Value::Bigint(7));
     }

@@ -45,7 +45,10 @@ impl<T: Mergeable> SegmentTree<T> {
     /// A tree over `len` slots (rounded up to a power of two internally).
     pub fn new(len: usize) -> Self {
         let size = len.next_power_of_two().max(1);
-        SegmentTree { size, nodes: vec![T::identity(); 2 * size] }
+        SegmentTree {
+            size,
+            nodes: vec![T::identity(); 2 * size],
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -115,7 +118,11 @@ pub struct FrequencyTracker {
 impl FrequencyTracker {
     /// Track `slots` buckets of `bucket_ms` starting at `origin_ms`.
     pub fn new(origin_ms: i64, bucket_ms: i64, slots: usize) -> Self {
-        FrequencyTracker { tree: SegmentTree::new(slots), bucket_ms: bucket_ms.max(1), origin_ms }
+        FrequencyTracker {
+            tree: SegmentTree::new(slots),
+            bucket_ms: bucket_ms.max(1),
+            origin_ms,
+        }
     }
 
     fn slot(&self, ts: i64) -> Option<usize> {
@@ -130,7 +137,10 @@ impl FrequencyTracker {
     /// Record a query touching `[lower_ts, upper_ts]`.
     pub fn record(&mut self, lower_ts: i64, upper_ts: i64) {
         let lo = self.slot(lower_ts.max(self.origin_ms)).unwrap_or(0);
-        let hi = self.slot(upper_ts).map(|s| s + 1).unwrap_or(self.tree.len());
+        let hi = self
+            .slot(upper_ts)
+            .map(|s| s + 1)
+            .unwrap_or(self.tree.len());
         for s in lo..hi {
             self.tree.update(s, 1);
         }
@@ -139,7 +149,10 @@ impl FrequencyTracker {
     /// Total queries over a time range.
     pub fn frequency(&self, lower_ts: i64, upper_ts: i64) -> u64 {
         let lo = self.slot(lower_ts.max(self.origin_ms)).unwrap_or(0);
-        let hi = self.slot(upper_ts).map(|s| s + 1).unwrap_or(self.tree.len());
+        let hi = self
+            .slot(upper_ts)
+            .map(|s| s + 1)
+            .unwrap_or(self.tree.len());
         self.tree.query(lo, hi)
     }
 }
@@ -175,7 +188,9 @@ mod tests {
         let mut model = vec![0u64; 33];
         let mut x: u64 = 42;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (x >> 33) as usize % 33;
             let v = x % 100;
             t.update(i, v);

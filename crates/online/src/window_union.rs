@@ -64,7 +64,10 @@ struct KeyState {
 
 enum WindowState {
     Incremental(SlidingWindow),
-    Recompute { buffer: Vec<(i64, Row)>, specs: Arc<Vec<BoundAggregate>> },
+    Recompute {
+        buffer: Vec<(i64, Row)>,
+        specs: Arc<Vec<BoundAggregate>>,
+    },
 }
 
 /// The union executor: N workers over a shared per-key state map.
@@ -93,6 +96,10 @@ impl WindowUnion {
     pub fn new(config: UnionConfig, specs: Vec<BoundAggregate>) -> Result<Self> {
         let workers_n = config.workers.max(1);
         let states: Arc<SkipMap<KeyValue, KeyState>> = Arc::new(SkipMap::new());
+        // Validate the aggregate specs before spawning workers: per-key
+        // windows are built from these specs inside worker threads, which
+        // have no way to surface an error mid-stream.
+        SlidingWindow::new(config.frame, &specs.iter().collect::<Vec<_>>())?;
         let specs = Arc::new(specs);
         let loads: Arc<Vec<AtomicU64>> =
             Arc::new((0..workers_n).map(|_| AtomicU64::new(0)).collect());
@@ -114,6 +121,9 @@ impl WindowUnion {
                                     let refs: Vec<&BoundAggregate> = specs.iter().collect();
                                     WindowState::Incremental(
                                         SlidingWindow::new(frame, &refs)
+                                            // analysis:allow(panic-path):
+                                            // specs were validated in
+                                            // WindowUnion::new.
                                             .expect("valid union aggregates"),
                                     )
                                 } else {
@@ -196,11 +206,13 @@ impl WindowUnion {
             .iter()
             .enumerate()
             .max_by_key(|(_, &l)| l)
+            // analysis:allow(panic-path): workers_n is clamped to >= 1.
             .expect("non-empty workers");
         let (cold, _) = per_worker
             .iter()
             .enumerate()
             .min_by_key(|(_, &l)| l)
+            // analysis:allow(panic-path): workers_n is clamped to >= 1.
             .expect("non-empty workers");
         if hot == cold || per_worker[hot] == 0 {
             return;
@@ -236,7 +248,10 @@ impl WindowUnion {
 
     /// Per-worker tuples processed — the imbalance diagnostic.
     pub fn worker_loads(&self) -> Vec<u64> {
-        self.loads.iter().map(|l| l.load(Ordering::Relaxed)).collect()
+        self.loads
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Ratio max/mean worker load (1.0 = perfectly even).
@@ -321,7 +336,11 @@ mod tests {
         let mut u = WindowUnion::new(config, sum_spec()).unwrap();
         for i in 0..tuples {
             // Zipf-ish: key 0 gets half the traffic.
-            let key = if i % 2 == 0 { 0 } else { (i as u64) % distinct_keys };
+            let key = if i % 2 == 0 {
+                0
+            } else {
+                (i as u64) % distinct_keys
+            };
             u.push(
                 KeyValue::Int(key as i64),
                 i as i64,
@@ -334,7 +353,12 @@ mod tests {
 
     #[test]
     fn all_tuples_processed_static_and_dynamic() {
-        for scheduling in [Scheduling::StaticHash, Scheduling::SelfAdjusting { rebalance_every: 500 }] {
+        for scheduling in [
+            Scheduling::StaticHash,
+            Scheduling::SelfAdjusting {
+                rebalance_every: 500,
+            },
+        ] {
             let u = run(
                 UnionConfig {
                     workers: 4,
@@ -355,7 +379,9 @@ mod tests {
             UnionConfig {
                 workers: 4,
                 frame: Frame::RowsRange { preceding_ms: 100 },
-                scheduling: Scheduling::SelfAdjusting { rebalance_every: 200 },
+                scheduling: Scheduling::SelfAdjusting {
+                    rebalance_every: 200,
+                },
                 incremental: true,
             },
             4_000,
@@ -382,8 +408,13 @@ mod tests {
         for i in 0..100i64 {
             let ts = (i * 13) % 200;
             let row = Row::new(vec![Value::Bigint(i)]);
-            let a = step(&mut inc, Frame::RowsRange { preceding_ms: 50 }, ts, row.clone())
-                .unwrap();
+            let a = step(
+                &mut inc,
+                Frame::RowsRange { preceding_ms: 50 },
+                ts,
+                row.clone(),
+            )
+            .unwrap();
             let b = step(&mut rec, Frame::RowsRange { preceding_ms: 50 }, ts, row).unwrap();
             assert_eq!(a, b, "incremental and recompute agree at step {i}");
         }
@@ -404,6 +435,10 @@ mod tests {
             8_000,
             64,
         );
-        assert!(static_u.imbalance() > 1.3, "imbalance {}", static_u.imbalance());
+        assert!(
+            static_u.imbalance() > 1.3,
+            "imbalance {}",
+            static_u.imbalance()
+        );
     }
 }

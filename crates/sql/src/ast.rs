@@ -112,9 +112,7 @@ impl Frame {
     pub fn contains(&self, anchor_ts: i64, ts: i64, rank: u64) -> bool {
         match self {
             Frame::Rows { preceding } => rank <= *preceding,
-            Frame::RowsRange { preceding_ms } => {
-                ts <= anchor_ts && anchor_ts - ts <= *preceding_ms
-            }
+            Frame::RowsRange { preceding_ms } => ts <= anchor_ts && anchor_ts - ts <= *preceding_ms,
             Frame::Unbounded => true,
         }
     }
@@ -129,7 +127,10 @@ pub struct ColumnRef {
 
 impl ColumnRef {
     pub fn unqualified(column: impl Into<String>) -> Self {
-        ColumnRef { table: None, column: column.into() }
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
     }
 }
 
@@ -195,12 +196,23 @@ impl BinaryOp {
 pub enum Expr {
     Literal(Literal),
     Column(ColumnRef),
-    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     Not(Box<Expr>),
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// Function call; `over` names the window for aggregate calls
     /// (`sum(price) OVER w1`).
-    Call { name: String, args: Vec<Expr>, over: Option<String> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        over: Option<String>,
+    },
     /// `CASE WHEN c THEN v [WHEN ...] [ELSE e] END`
     Case {
         branches: Vec<(Expr, Expr)>,
@@ -230,7 +242,10 @@ impl Expr {
                     a.visit_columns(f);
                 }
             }
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (c, v) in branches {
                     c.visit_columns(f);
                     v.visit_columns(f);
@@ -269,7 +284,10 @@ impl Expr {
             }
             Expr::Not(e) => e.visit_calls(f),
             Expr::IsNull { expr, .. } => expr.visit_calls(f),
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (c, v) in branches {
                     c.visit_calls(f);
                     v.visit_calls(f);
@@ -364,7 +382,9 @@ mod tests {
         assert!(f.contains(0, 0, 2));
         assert!(!f.contains(0, 0, 3));
 
-        let f = Frame::RowsRange { preceding_ms: 3_000 };
+        let f = Frame::RowsRange {
+            preceding_ms: 3_000,
+        };
         assert!(f.contains(10_000, 7_000, 99));
         assert!(!f.contains(10_000, 6_999, 0));
         assert!(!f.contains(10_000, 10_001, 0)); // future tuple excluded
@@ -394,7 +414,10 @@ mod tests {
             options: vec![("long_windows".into(), "w1:1d, w2:1h".into())],
             select: SelectStatement {
                 items: vec![SelectItem::Wildcard],
-                from: TableRef { name: "t".into(), alias: None },
+                from: TableRef {
+                    name: "t".into(),
+                    alias: None,
+                },
                 joins: vec![],
                 where_clause: None,
                 windows: vec![],
@@ -403,7 +426,10 @@ mod tests {
         };
         assert_eq!(
             d.long_windows(),
-            vec![("w1".to_string(), "1d".to_string()), ("w2".to_string(), "1h".to_string())]
+            vec![
+                ("w1".to_string(), "1d".to_string()),
+                ("w2".to_string(), "1h".to_string())
+            ]
         );
     }
 }

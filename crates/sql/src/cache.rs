@@ -45,8 +45,7 @@ pub fn normalize_sql(sql: &str) -> Result<String> {
                         let _ = std::fmt::Write::write_fmt(&mut out, format_args!("'{s}'"));
                     }
                     TokenKind::Interval { value, unit } => {
-                        let _ =
-                            std::fmt::Write::write_fmt(&mut out, format_args!("{value}{unit}"));
+                        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{value}{unit}"));
                     }
                     other => out.push_str(punct(&other)),
                 }
@@ -107,7 +106,10 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let stmt = parse_select(sql)?;
         let plan = Arc::new(compile_select(&stmt, catalog)?);
-        self.plans.lock().expect("cache poisoned").insert(key, plan.clone());
+        self.plans
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, plan.clone());
         Ok(plan)
     }
 
@@ -147,8 +149,12 @@ mod tests {
 
     fn catalog() -> OneTable {
         OneTable(
-            Schema::from_pairs(&[("k", DataType::Bigint), ("v", DataType::Double), ("ts", DataType::Timestamp)])
-                .unwrap(),
+            Schema::from_pairs(&[
+                ("k", DataType::Bigint),
+                ("v", DataType::Double),
+                ("ts", DataType::Timestamp),
+            ])
+            .unwrap(),
         )
     }
 

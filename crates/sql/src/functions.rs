@@ -68,104 +68,608 @@ fn ret_numeric(args: &[Option<DataType>]) -> DataType {
 /// plus the common SQL core.
 pub const BUILTINS: &[FunctionDef] = &[
     // ---- Standard aggregates -------------------------------------------
-    FunctionDef { name: "sum", kind: FunctionKind::Aggregate, min_args: 1, max_args: 1, infer: ret_numeric },
-    FunctionDef { name: "min", kind: FunctionKind::Aggregate, min_args: 1, max_args: 1, infer: ret_arg0 },
-    FunctionDef { name: "max", kind: FunctionKind::Aggregate, min_args: 1, max_args: 1, infer: ret_arg0 },
-    FunctionDef { name: "avg", kind: FunctionKind::Aggregate, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "count", kind: FunctionKind::Aggregate, min_args: 1, max_args: 1, infer: ret_bigint },
-    FunctionDef { name: "stddev", kind: FunctionKind::Aggregate, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "median", kind: FunctionKind::Aggregate, min_args: 1, max_args: 1, infer: ret_double },
+    FunctionDef {
+        name: "sum",
+        kind: FunctionKind::Aggregate,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_numeric,
+    },
+    FunctionDef {
+        name: "min",
+        kind: FunctionKind::Aggregate,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_arg0,
+    },
+    FunctionDef {
+        name: "max",
+        kind: FunctionKind::Aggregate,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_arg0,
+    },
+    FunctionDef {
+        name: "avg",
+        kind: FunctionKind::Aggregate,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "count",
+        kind: FunctionKind::Aggregate,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_bigint,
+    },
+    FunctionDef {
+        name: "stddev",
+        kind: FunctionKind::Aggregate,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "median",
+        kind: FunctionKind::Aggregate,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
     // ---- Conditional aggregates (paper §4.1 category 2) ----------------
-    FunctionDef { name: "count_where", kind: FunctionKind::Aggregate, min_args: 2, max_args: 2, infer: ret_bigint },
-    FunctionDef { name: "sum_where", kind: FunctionKind::Aggregate, min_args: 2, max_args: 2, infer: ret_numeric },
-    FunctionDef { name: "avg_where", kind: FunctionKind::Aggregate, min_args: 2, max_args: 2, infer: ret_double },
-    FunctionDef { name: "min_where", kind: FunctionKind::Aggregate, min_args: 2, max_args: 2, infer: ret_arg0 },
-    FunctionDef { name: "max_where", kind: FunctionKind::Aggregate, min_args: 2, max_args: 2, infer: ret_arg0 },
+    FunctionDef {
+        name: "count_where",
+        kind: FunctionKind::Aggregate,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_bigint,
+    },
+    FunctionDef {
+        name: "sum_where",
+        kind: FunctionKind::Aggregate,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_numeric,
+    },
+    FunctionDef {
+        name: "avg_where",
+        kind: FunctionKind::Aggregate,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "min_where",
+        kind: FunctionKind::Aggregate,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_arg0,
+    },
+    FunctionDef {
+        name: "max_where",
+        kind: FunctionKind::Aggregate,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_arg0,
+    },
     // ---- Frequency-based (category 1) -----------------------------------
-    FunctionDef { name: "distinct_count", kind: FunctionKind::Aggregate, min_args: 1, max_args: 1, infer: ret_bigint },
-    FunctionDef { name: "topn_frequency", kind: FunctionKind::Aggregate, min_args: 2, max_args: 2, infer: ret_string },
-    FunctionDef { name: "top", kind: FunctionKind::Aggregate, min_args: 2, max_args: 2, infer: ret_string },
+    FunctionDef {
+        name: "distinct_count",
+        kind: FunctionKind::Aggregate,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_bigint,
+    },
+    FunctionDef {
+        name: "topn_frequency",
+        kind: FunctionKind::Aggregate,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "top",
+        kind: FunctionKind::Aggregate,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_string,
+    },
     // ---- Category-keyed conditional aggregates ---------------------------
-    FunctionDef { name: "avg_cate_where", kind: FunctionKind::Aggregate, min_args: 3, max_args: 3, infer: ret_string },
-    FunctionDef { name: "sum_cate_where", kind: FunctionKind::Aggregate, min_args: 3, max_args: 3, infer: ret_string },
-    FunctionDef { name: "count_cate_where", kind: FunctionKind::Aggregate, min_args: 3, max_args: 3, infer: ret_string },
-    FunctionDef { name: "avg_cate", kind: FunctionKind::Aggregate, min_args: 2, max_args: 2, infer: ret_string },
+    FunctionDef {
+        name: "avg_cate_where",
+        kind: FunctionKind::Aggregate,
+        min_args: 3,
+        max_args: 3,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "sum_cate_where",
+        kind: FunctionKind::Aggregate,
+        min_args: 3,
+        max_args: 3,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "count_cate_where",
+        kind: FunctionKind::Aggregate,
+        min_args: 3,
+        max_args: 3,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "avg_cate",
+        kind: FunctionKind::Aggregate,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_string,
+    },
     // ---- Time-series (category 3) ---------------------------------------
-    FunctionDef { name: "drawdown", kind: FunctionKind::Aggregate, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "ew_avg", kind: FunctionKind::Aggregate, min_args: 2, max_args: 2, infer: ret_double },
-    FunctionDef { name: "lag", kind: FunctionKind::Aggregate, min_args: 2, max_args: 2, infer: ret_arg0 },
-    FunctionDef { name: "first_value", kind: FunctionKind::Aggregate, min_args: 1, max_args: 1, infer: ret_arg0 },
+    FunctionDef {
+        name: "drawdown",
+        kind: FunctionKind::Aggregate,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "ew_avg",
+        kind: FunctionKind::Aggregate,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "lag",
+        kind: FunctionKind::Aggregate,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_arg0,
+    },
+    FunctionDef {
+        name: "first_value",
+        kind: FunctionKind::Aggregate,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_arg0,
+    },
     // ---- GLQ-style geo aggregate ----------------------------------------
-    FunctionDef { name: "geo_grid_count", kind: FunctionKind::Aggregate, min_args: 3, max_args: 3, infer: ret_bigint },
+    FunctionDef {
+        name: "geo_grid_count",
+        kind: FunctionKind::Aggregate,
+        min_args: 3,
+        max_args: 3,
+        infer: ret_bigint,
+    },
     // ---- Scalars ---------------------------------------------------------
-    FunctionDef { name: "abs", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_arg0 },
-    FunctionDef { name: "ceil", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_bigint },
-    FunctionDef { name: "floor", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_bigint },
-    FunctionDef { name: "round", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_bigint },
-    FunctionDef { name: "sqrt", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "log", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "exp", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "pow", kind: FunctionKind::Scalar, min_args: 2, max_args: 2, infer: ret_double },
-    FunctionDef { name: "upper", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_string },
-    FunctionDef { name: "lower", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_string },
-    FunctionDef { name: "substr", kind: FunctionKind::Scalar, min_args: 2, max_args: 3, infer: ret_string },
-    FunctionDef { name: "concat", kind: FunctionKind::Scalar, min_args: 1, max_args: 8, infer: ret_string },
-    FunctionDef { name: "char_length", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
-    FunctionDef { name: "if_null", kind: FunctionKind::Scalar, min_args: 2, max_args: 2, infer: ret_arg0 },
-    FunctionDef { name: "if", kind: FunctionKind::Scalar, min_args: 3, max_args: 3, infer: |a| a.get(1).copied().flatten().unwrap_or(DataType::Double) },
-    FunctionDef { name: "is_in", kind: FunctionKind::Scalar, min_args: 2, max_args: 2, infer: ret_bool },
+    FunctionDef {
+        name: "abs",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_arg0,
+    },
+    FunctionDef {
+        name: "ceil",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_bigint,
+    },
+    FunctionDef {
+        name: "floor",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_bigint,
+    },
+    FunctionDef {
+        name: "round",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_bigint,
+    },
+    FunctionDef {
+        name: "sqrt",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "log",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "exp",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "pow",
+        kind: FunctionKind::Scalar,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "upper",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "lower",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "substr",
+        kind: FunctionKind::Scalar,
+        min_args: 2,
+        max_args: 3,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "concat",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 8,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "char_length",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
+    FunctionDef {
+        name: "if_null",
+        kind: FunctionKind::Scalar,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_arg0,
+    },
+    FunctionDef {
+        name: "if",
+        kind: FunctionKind::Scalar,
+        min_args: 3,
+        max_args: 3,
+        infer: |a| a.get(1).copied().flatten().unwrap_or(DataType::Double),
+    },
+    FunctionDef {
+        name: "is_in",
+        kind: FunctionKind::Scalar,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_bool,
+    },
     // ---- String parsing (category 4) -------------------------------------
-    FunctionDef { name: "split_by_key", kind: FunctionKind::Scalar, min_args: 3, max_args: 3, infer: ret_string },
-    FunctionDef { name: "split_by_value", kind: FunctionKind::Scalar, min_args: 3, max_args: 3, infer: ret_string },
+    FunctionDef {
+        name: "split_by_key",
+        kind: FunctionKind::Scalar,
+        min_args: 3,
+        max_args: 3,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "split_by_value",
+        kind: FunctionKind::Scalar,
+        min_args: 3,
+        max_args: 3,
+        infer: ret_string,
+    },
     // ---- Feature signatures (category 5) ----------------------------------
-    FunctionDef { name: "multiclass_label", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_bigint },
-    FunctionDef { name: "binary_label", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
-    FunctionDef { name: "continuous", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "discrete", kind: FunctionKind::Scalar, min_args: 1, max_args: 2, infer: ret_bigint },
-    FunctionDef { name: "hash64", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_bigint },
+    FunctionDef {
+        name: "multiclass_label",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_bigint,
+    },
+    FunctionDef {
+        name: "binary_label",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
+    FunctionDef {
+        name: "continuous",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "discrete",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 2,
+        infer: ret_bigint,
+    },
+    FunctionDef {
+        name: "hash64",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_bigint,
+    },
     // ---- Time scalars ------------------------------------------------------
-    FunctionDef { name: "day", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
-    FunctionDef { name: "hour", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
-    FunctionDef { name: "minute", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
+    FunctionDef {
+        name: "day",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
+    FunctionDef {
+        name: "hour",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
+    FunctionDef {
+        name: "minute",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
     // ---- Geo scalars -------------------------------------------------------
-    FunctionDef { name: "geo_distance", kind: FunctionKind::Scalar, min_args: 4, max_args: 4, infer: ret_double },
-    FunctionDef { name: "geo_hash", kind: FunctionKind::Scalar, min_args: 3, max_args: 3, infer: ret_bigint },
+    FunctionDef {
+        name: "geo_distance",
+        kind: FunctionKind::Scalar,
+        min_args: 4,
+        max_args: 4,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "geo_hash",
+        kind: FunctionKind::Scalar,
+        min_args: 3,
+        max_args: 3,
+        infer: ret_bigint,
+    },
     // ---- Additional math scalars ------------------------------------------
-    FunctionDef { name: "sin", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "cos", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "tan", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "atan", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "log2", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "log10", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "truncate", kind: FunctionKind::Scalar, min_args: 2, max_args: 2, infer: ret_double },
-    FunctionDef { name: "sign", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
-    FunctionDef { name: "greatest", kind: FunctionKind::Scalar, min_args: 2, max_args: 8, infer: ret_arg0 },
-    FunctionDef { name: "least", kind: FunctionKind::Scalar, min_args: 2, max_args: 8, infer: ret_arg0 },
-    FunctionDef { name: "degrees", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "radians", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
+    FunctionDef {
+        name: "sin",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "cos",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "tan",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "atan",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "log2",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "log10",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "truncate",
+        kind: FunctionKind::Scalar,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "sign",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
+    FunctionDef {
+        name: "greatest",
+        kind: FunctionKind::Scalar,
+        min_args: 2,
+        max_args: 8,
+        infer: ret_arg0,
+    },
+    FunctionDef {
+        name: "least",
+        kind: FunctionKind::Scalar,
+        min_args: 2,
+        max_args: 8,
+        infer: ret_arg0,
+    },
+    FunctionDef {
+        name: "degrees",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "radians",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
     // ---- Additional string scalars ------------------------------------------
-    FunctionDef { name: "trim", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_string },
-    FunctionDef { name: "ltrim", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_string },
-    FunctionDef { name: "rtrim", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_string },
-    FunctionDef { name: "replace", kind: FunctionKind::Scalar, min_args: 3, max_args: 3, infer: ret_string },
-    FunctionDef { name: "reverse", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_string },
-    FunctionDef { name: "strcmp", kind: FunctionKind::Scalar, min_args: 2, max_args: 2, infer: ret_int },
-    FunctionDef { name: "starts_with", kind: FunctionKind::Scalar, min_args: 2, max_args: 2, infer: ret_bool },
-    FunctionDef { name: "ends_with", kind: FunctionKind::Scalar, min_args: 2, max_args: 2, infer: ret_bool },
-    FunctionDef { name: "lcase", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_string },
-    FunctionDef { name: "ucase", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_string },
-    FunctionDef { name: "lpad", kind: FunctionKind::Scalar, min_args: 3, max_args: 3, infer: ret_string },
-    FunctionDef { name: "rpad", kind: FunctionKind::Scalar, min_args: 3, max_args: 3, infer: ret_string },
-    FunctionDef { name: "string", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_string },
+    FunctionDef {
+        name: "trim",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "ltrim",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "rtrim",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "replace",
+        kind: FunctionKind::Scalar,
+        min_args: 3,
+        max_args: 3,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "reverse",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "strcmp",
+        kind: FunctionKind::Scalar,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_int,
+    },
+    FunctionDef {
+        name: "starts_with",
+        kind: FunctionKind::Scalar,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_bool,
+    },
+    FunctionDef {
+        name: "ends_with",
+        kind: FunctionKind::Scalar,
+        min_args: 2,
+        max_args: 2,
+        infer: ret_bool,
+    },
+    FunctionDef {
+        name: "lcase",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "ucase",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "lpad",
+        kind: FunctionKind::Scalar,
+        min_args: 3,
+        max_args: 3,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "rpad",
+        kind: FunctionKind::Scalar,
+        min_args: 3,
+        max_args: 3,
+        infer: ret_string,
+    },
+    FunctionDef {
+        name: "string",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_string,
+    },
     // ---- Additional time scalars --------------------------------------------
-    FunctionDef { name: "year", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
-    FunctionDef { name: "month", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
-    FunctionDef { name: "dayofmonth", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
-    FunctionDef { name: "dayofweek", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
-    FunctionDef { name: "week", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_int },
+    FunctionDef {
+        name: "year",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
+    FunctionDef {
+        name: "month",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
+    FunctionDef {
+        name: "dayofmonth",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
+    FunctionDef {
+        name: "dayofweek",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
+    FunctionDef {
+        name: "week",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_int,
+    },
     // ---- Conversions ----------------------------------------------------------
-    FunctionDef { name: "double", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_double },
-    FunctionDef { name: "bigint", kind: FunctionKind::Scalar, min_args: 1, max_args: 1, infer: ret_bigint },
+    FunctionDef {
+        name: "double",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_double,
+    },
+    FunctionDef {
+        name: "bigint",
+        kind: FunctionKind::Scalar,
+        min_args: 1,
+        max_args: 1,
+        infer: ret_bigint,
+    },
 ];
 
 /// Look up a builtin by (lower-case) name.
@@ -175,8 +679,7 @@ pub fn lookup(name: &str) -> Option<&'static FunctionDef> {
 
 /// Validate a call's existence and arity; returns its definition.
 pub fn resolve(name: &str, argc: usize) -> Result<&'static FunctionDef> {
-    let def = lookup(name)
-        .ok_or_else(|| Error::Plan(format!("unknown function `{name}`")))?;
+    let def = lookup(name).ok_or_else(|| Error::Plan(format!("unknown function `{name}`")))?;
     if argc < def.min_args || argc > def.max_args {
         return Err(Error::Plan(format!(
             "function `{name}` expects {}..={} arguments, got {argc}",

@@ -24,9 +24,10 @@ pub fn to_ms(value: i64, unit: char) -> Result<i64> {
             })
         }
     };
-    value
-        .checked_mul(mult)
-        .ok_or_else(|| Error::Parse { message: "interval overflow".into(), position: 0 })
+    value.checked_mul(mult).ok_or_else(|| Error::Parse {
+        message: "interval overflow".into(),
+        position: 0,
+    })
 }
 
 /// Parse a textual interval like `"1d"`, `"30m"`, or a bare millisecond
@@ -34,12 +35,20 @@ pub fn to_ms(value: i64, unit: char) -> Result<i64> {
 pub fn parse_interval(text: &str) -> Result<i64> {
     let text = text.trim();
     if text.is_empty() {
-        return Err(Error::Parse { message: "empty interval".into(), position: 0 });
+        return Err(Error::Parse {
+            message: "empty interval".into(),
+            position: 0,
+        });
     }
-    let bad = |m: String| Error::Parse { message: m, position: 0 };
+    let bad = |m: String| Error::Parse {
+        message: m,
+        position: 0,
+    };
     let last = text.chars().last().expect("non-empty");
     if last.is_ascii_digit() {
-        return text.parse::<i64>().map_err(|e| bad(format!("bad interval `{text}`: {e}")));
+        return text
+            .parse::<i64>()
+            .map_err(|e| bad(format!("bad interval `{text}`: {e}")));
     }
     let value: i64 = text[..text.len() - 1]
         .parse()

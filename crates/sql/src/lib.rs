@@ -46,7 +46,11 @@ mod proptests {
         // `c_` prefix keeps generated identifiers clear of reserved words.
         let ident = "c_[a-z0-9]{0,6}";
         let agg = prop_oneof![
-            Just("sum"), Just("avg"), Just("count"), Just("min"), Just("max"),
+            Just("sum"),
+            Just("avg"),
+            Just("count"),
+            Just("min"),
+            Just("max"),
             Just("distinct_count")
         ];
         (

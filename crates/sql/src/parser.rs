@@ -47,7 +47,10 @@ struct Parser {
 
 impl Parser {
     fn new(sql: &str) -> Result<Self> {
-        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &TokenKind {
@@ -72,7 +75,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> Error {
-        Error::Parse { message: message.into(), position: self.here() }
+        Error::Parse {
+            message: message.into(),
+            position: self.here(),
+        }
     }
 
     /// Consume the token if it matches; return whether it did.
@@ -124,7 +130,10 @@ impl Parser {
         match self.bump() {
             TokenKind::Ident(s) => Ok(s),
             TokenKind::Keyword(k)
-                if matches!(k.as_str(), "KEY" | "TS" | "ROW" | "INDEX" | "TTL" | "TTL_TYPE") =>
+                if matches!(
+                    k.as_str(),
+                    "KEY" | "TS" | "ROW" | "INDEX" | "TTL" | "TTL_TYPE"
+                ) =>
             {
                 Ok(k.to_lowercase())
             }
@@ -158,7 +167,11 @@ impl Parser {
             self.expect_kw("JOIN")?;
             joins.push(self.last_join()?);
         }
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut windows = Vec::new();
         if self.eat_kw("WINDOW") {
             loop {
@@ -176,7 +189,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStatement { items, from, joins, where_clause, windows, limit })
+        Ok(SelectStatement {
+            items,
+            from,
+            joins,
+            where_clause,
+            windows,
+            limit,
+        })
     }
 
     fn select_items(&mut self) -> Result<Vec<SelectItem>> {
@@ -194,9 +214,11 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // `table.*`
-        if let (TokenKind::Ident(name), TokenKind::Dot, TokenKind::Star) =
-            (self.peek().clone(), self.peek_at(1).clone(), self.peek_at(2).clone())
-        {
+        if let (TokenKind::Ident(name), TokenKind::Dot, TokenKind::Star) = (
+            self.peek().clone(),
+            self.peek_at(1).clone(),
+            self.peek_at(2).clone(),
+        ) {
             self.bump();
             self.bump();
             self.bump();
@@ -216,9 +238,10 @@ impl Parser {
 
     fn table_ref(&mut self) -> Result<TableRef> {
         let name = self.ident()?;
-        let alias = if self.eat_kw("AS") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), TokenKind::Ident(_)) {
+        // `AS` is optional before a table alias: consume it if present, then
+        // an identifier (with or without it) is the alias.
+        let explicit_as = self.eat_kw("AS");
+        let alias = if explicit_as || matches!(self.peek(), TokenKind::Ident(_)) {
             Some(self.ident()?)
         } else {
             None
@@ -236,16 +259,26 @@ impl Parser {
         };
         self.expect_kw("ON")?;
         let condition = self.expr()?;
-        Ok(LastJoin { right, order_by, condition })
+        Ok(LastJoin {
+            right,
+            order_by,
+            condition,
+        })
     }
 
     fn column_ref(&mut self) -> Result<ColumnRef> {
         let first = self.ident()?;
         if self.eat(&TokenKind::Dot) {
             let col = self.ident()?;
-            Ok(ColumnRef { table: Some(first), column: col })
+            Ok(ColumnRef {
+                table: Some(first),
+                column: col,
+            })
         } else {
-            Ok(ColumnRef { table: None, column: first })
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
         }
     }
 
@@ -340,14 +373,18 @@ impl Parser {
                     // Bare number in ROWS_RANGE means milliseconds.
                     Frame::RowsRange { preceding_ms: n }
                 } else {
-                    Frame::Rows { preceding: n as u64 }
+                    Frame::Rows {
+                        preceding: n as u64,
+                    }
                 }
             }
             TokenKind::Interval { value, unit } => {
                 if !range_based {
                     return Err(self.err("time intervals require ROWS_RANGE frames"));
                 }
-                Frame::RowsRange { preceding_ms: interval::to_ms(value, unit)? }
+                Frame::RowsRange {
+                    preceding_ms: interval::to_ms(value, unit)?,
+                }
             }
             other => return Err(self.err(format!("expected frame bound, found {other:?}"))),
         };
@@ -369,7 +406,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("OR") {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -378,8 +419,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("AND") {
             let right = self.not_expr()?;
-            left =
-                Expr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -405,13 +449,20 @@ impl Parser {
                 self.bump();
                 let negated = self.eat_kw("NOT");
                 self.expect_kw("NULL")?;
-                return Ok(Expr::IsNull { expr: Box::new(left), negated });
+                return Ok(Expr::IsNull {
+                    expr: Box::new(left),
+                    negated,
+                });
             }
             _ => return Ok(left),
         };
         self.bump();
         let right = self.additive()?;
-        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
     }
 
     fn additive(&mut self) -> Result<Expr> {
@@ -424,7 +475,11 @@ impl Parser {
             };
             self.bump();
             let right = self.multiplicative()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
     }
 
@@ -439,7 +494,11 @@ impl Parser {
             };
             self.bump();
             let right = self.unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
     }
 
@@ -504,15 +563,29 @@ impl Parser {
                 }
                 self.expect(&TokenKind::RParen)?;
             }
-            let over = if self.eat_kw("OVER") { Some(self.ident()?) } else { None };
-            return Ok(Expr::Call { name: name.to_lowercase(), args, over });
+            let over = if self.eat_kw("OVER") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(Expr::Call {
+                name: name.to_lowercase(),
+                args,
+                over,
+            });
         }
         // Qualified column?
         if self.eat(&TokenKind::Dot) {
             let col = self.ident()?;
-            return Ok(Expr::Column(ColumnRef { table: Some(name), column: col }));
+            return Ok(Expr::Column(ColumnRef {
+                table: Some(name),
+                column: col,
+            }));
         }
-        Ok(Expr::Column(ColumnRef { table: None, column: name }))
+        Ok(Expr::Column(ColumnRef {
+            table: None,
+            column: name,
+        }))
     }
 
     fn case_expr(&mut self) -> Result<Expr> {
@@ -526,10 +599,16 @@ impl Parser {
         if branches.is_empty() {
             return Err(self.err("CASE requires at least one WHEN branch"));
         }
-        let else_expr =
-            if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        let else_expr = if self.eat_kw("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
         self.expect_kw("END")?;
-        Ok(Expr::Case { branches, else_expr })
+        Ok(Expr::Case {
+            branches,
+            else_expr,
+        })
     }
 
     // -------------------------------------------------------------- DDL ---
@@ -559,7 +638,11 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RParen)?;
-        Ok(Statement::CreateTable(CreateTableStatement { name, columns, indexes }))
+        Ok(Statement::CreateTable(CreateTableStatement {
+            name,
+            columns,
+            indexes,
+        }))
     }
 
     fn data_type(&mut self) -> Result<DataType> {
@@ -614,14 +697,14 @@ impl Parser {
             return Err(self.err("INDEX requires KEY="));
         }
         let ttl = self.resolve_ttl(ttl_value, ttl_type)?;
-        Ok(IndexDef { key_columns, ts_column, ttl })
+        Ok(IndexDef {
+            key_columns,
+            ts_column,
+            ttl,
+        })
     }
 
-    fn resolve_ttl(
-        &self,
-        value: Option<TokenKind>,
-        ttl_type: Option<String>,
-    ) -> Result<TtlSpec> {
+    fn resolve_ttl(&self, value: Option<TokenKind>, ttl_type: Option<String>) -> Result<TtlSpec> {
         let kind = ttl_type.as_deref().unwrap_or("absolute");
         let spec = match (kind, value) {
             (_, None) => TtlSpec::Unlimited,
@@ -633,14 +716,18 @@ impl Parser {
             ("absorlat" | "absandlat", Some(TokenKind::Int(n))) if n >= 0 => {
                 // Single value: interpret as latest bound with no time bound.
                 if kind == "absorlat" {
-                    TtlSpec::AbsOrLat { ms: i64::MAX, latest: n as u64 }
+                    TtlSpec::AbsOrLat {
+                        ms: i64::MAX,
+                        latest: n as u64,
+                    }
                 } else {
-                    TtlSpec::AbsAndLat { ms: i64::MAX, latest: n as u64 }
+                    TtlSpec::AbsAndLat {
+                        ms: i64::MAX,
+                        latest: n as u64,
+                    }
                 }
             }
-            (k, v) => {
-                return Err(self.err(format!("unsupported TTL combination {k:?} / {v:?}")))
-            }
+            (k, v) => return Err(self.err(format!("unsupported TTL combination {k:?} / {v:?}"))),
         };
         Ok(spec)
     }
@@ -714,7 +801,11 @@ impl Parser {
         // `AS` is optional before the SELECT for convenience.
         self.eat_kw("AS");
         let select = self.select()?;
-        Ok(Statement::Deploy(DeployStatement { name, options, select }))
+        Ok(Statement::Deploy(DeployStatement {
+            name,
+            options,
+            select,
+        }))
     }
 }
 
@@ -746,8 +837,18 @@ mod tests {
         assert_eq!(w.name, "w_union_3s");
         assert_eq!(w.spec.union_tables.len(), 1);
         assert_eq!(w.spec.union_tables[0].name, "orders");
-        assert_eq!(w.spec.frame, Frame::RowsRange { preceding_ms: 3_000 });
-        assert_eq!(s.windows[1].spec.frame, Frame::RowsRange { preceding_ms: 100 * 86_400_000 });
+        assert_eq!(
+            w.spec.frame,
+            Frame::RowsRange {
+                preceding_ms: 3_000
+            }
+        );
+        assert_eq!(
+            s.windows[1].spec.frame,
+            Frame::RowsRange {
+                preceding_ms: 100 * 86_400_000
+            }
+        );
     }
 
     #[test]
@@ -796,7 +897,9 @@ mod tests {
     #[test]
     fn parses_insert_multi_row() {
         let sql = "INSERT INTO t VALUES (1, 'a', 2.5, NULL), (-2, 'b', -0.5, TRUE)";
-        let Statement::Insert(ins) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Insert(ins) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(ins.rows.len(), 2);
         assert_eq!(ins.rows[0][0], Literal::Int(1));
         assert_eq!(ins.rows[1][0], Literal::Int(-2));
@@ -809,7 +912,9 @@ mod tests {
                      SELECT sum(v) OVER w1 AS s FROM t
                      WINDOW w1 AS (PARTITION BY k ORDER BY ts
                      ROWS_RANGE BETWEEN 365d PRECEDING AND CURRENT ROW)"#;
-        let Statement::Deploy(d) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Deploy(d) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(d.name, "demo");
         assert_eq!(d.long_windows(), vec![("w1".to_string(), "1d".to_string())]);
     }
@@ -820,7 +925,14 @@ mod tests {
         let s = parse_select(sql).unwrap();
         assert_eq!(s.items.len(), 2);
         match &s.items[0] {
-            SelectItem::Expr { expr: Expr::Case { branches, else_expr }, .. } => {
+            SelectItem::Expr {
+                expr:
+                    Expr::Case {
+                        branches,
+                        else_expr,
+                    },
+                ..
+            } => {
                 assert_eq!(branches.len(), 1);
                 assert!(else_expr.is_some());
             }
@@ -845,7 +957,10 @@ mod tests {
     fn count_star_sugar() {
         let s = parse_select("SELECT count(*) OVER w AS c FROM t WINDOW w AS (PARTITION BY k ORDER BY ts ROWS BETWEEN 5 PRECEDING AND CURRENT ROW)").unwrap();
         match &s.items[0] {
-            SelectItem::Expr { expr: Expr::Call { name, args, over }, .. } => {
+            SelectItem::Expr {
+                expr: Expr::Call { name, args, over },
+                ..
+            } => {
                 assert_eq!(name, "count");
                 assert_eq!(args.len(), 1);
                 assert_eq!(over.as_deref(), Some("w"));

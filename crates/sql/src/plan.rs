@@ -32,14 +32,27 @@ pub enum PhysExpr {
     Literal(Value),
     /// Index into the row the expression is evaluated against.
     Column(usize),
-    Binary { op: BinaryOp, left: Box<PhysExpr>, right: Box<PhysExpr> },
+    Binary {
+        op: BinaryOp,
+        left: Box<PhysExpr>,
+        right: Box<PhysExpr>,
+    },
     Not(Box<PhysExpr>),
-    IsNull { expr: Box<PhysExpr>, negated: bool },
+    IsNull {
+        expr: Box<PhysExpr>,
+        negated: bool,
+    },
     /// Scalar built-in call.
-    ScalarCall { func: &'static FunctionDef, args: Vec<PhysExpr> },
+    ScalarCall {
+        func: &'static FunctionDef,
+        args: Vec<PhysExpr>,
+    },
     /// Reference to the result of `CompiledQuery::aggregates[i]`.
     AggRef(usize),
-    Case { branches: Vec<(PhysExpr, PhysExpr)>, else_expr: Option<Box<PhysExpr>> },
+    Case {
+        branches: Vec<(PhysExpr, PhysExpr)>,
+        else_expr: Option<Box<PhysExpr>>,
+    },
 }
 
 impl PhysExpr {
@@ -58,7 +71,10 @@ impl PhysExpr {
                     a.collect_columns(out);
                 }
             }
-            PhysExpr::Case { branches, else_expr } => {
+            PhysExpr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (c, v) in branches {
                     c.collect_columns(out);
                     v.collect_columns(out);
@@ -236,8 +252,11 @@ impl CompiledQuery {
             }
         }
         for j in &self.joins {
-            let keys: Vec<String> =
-                j.eq_pairs.iter().map(|&(_, r)| j.schema.column(r).name.clone()).collect();
+            let keys: Vec<String> = j
+                .eq_pairs
+                .iter()
+                .map(|&(_, r)| j.schema.column(r).name.clone())
+                .collect();
             let ts = j.order_col.map(|i| j.schema.column(i).name.clone());
             hints.push((j.table.clone(), keys, ts));
         }
@@ -263,7 +282,9 @@ impl Scope {
                         return Ok((off + i, schema.column(i).data_type));
                     }
                 }
-                Err(Error::Plan(format!("unknown table qualifier `{q}` in `{c}`")))
+                Err(Error::Plan(format!(
+                    "unknown table qualifier `{q}` in `{c}`"
+                )))
             }
             None => {
                 let mut found = None;
@@ -289,7 +310,11 @@ pub fn compile_select(stmt: &SelectStatement, catalog: &dyn Catalog) -> Result<C
 
     // Build the combined scope: base table, then each LAST JOIN table.
     let mut scope = Scope {
-        tables: vec![(stmt.from.effective_name().to_string(), base_schema.clone(), 0)],
+        tables: vec![(
+            stmt.from.effective_name().to_string(),
+            base_schema.clone(),
+            0,
+        )],
     };
     let mut combined_schema = base_schema.clone();
     let mut joins = Vec::with_capacity(stmt.joins.len());
@@ -299,7 +324,9 @@ pub fn compile_select(stmt: &SelectStatement, catalog: &dyn Catalog) -> Result<C
             .ok_or_else(|| Error::Plan(format!("unknown table `{}`", j.right.name)))?;
         let offset = combined_schema.len();
         combined_schema = combined_schema.concat(&schema)?;
-        scope.tables.push((j.right.effective_name().to_string(), schema.clone(), offset));
+        scope
+            .tables
+            .push((j.right.effective_name().to_string(), schema.clone(), offset));
         joins.push((j, schema, offset));
     }
 
@@ -370,8 +397,14 @@ pub fn compile_select(stmt: &SelectStatement, catalog: &dyn Catalog) -> Result<C
             }
             SelectItem::Expr { expr, alias } => {
                 let (phys, dt) = binder.bind(expr)?;
-                let name = alias.clone().unwrap_or_else(|| derive_name(expr, select.len()));
-                select.push(OutputColumn { name, expr: phys, data_type: dt });
+                let name = alias
+                    .clone()
+                    .unwrap_or_else(|| derive_name(expr, select.len()));
+                select.push(OutputColumn {
+                    name,
+                    expr: phys,
+                    data_type: dt,
+                });
             }
         }
     }
@@ -388,7 +421,11 @@ pub fn compile_select(stmt: &SelectStatement, catalog: &dyn Catalog) -> Result<C
     };
 
     // Release the scope/schema borrows; keep only the collected aggregates.
-    let ExprBinder { aggregates, deduped, .. } = binder;
+    let ExprBinder {
+        aggregates,
+        deduped,
+        ..
+    } = binder;
 
     // Validate that every aggregate names a known window.
     for a in &aggregates {
@@ -419,7 +456,10 @@ pub fn compile_select(stmt: &SelectStatement, catalog: &dyn Catalog) -> Result<C
         joins: bound_joins,
         combined_schema,
         aggregates,
-        stats: PlanStats { merged_windows: merged, deduped_aggregates: deduped },
+        stats: PlanStats {
+            merged_windows: merged,
+            deduped_aggregates: deduped,
+        },
         windows,
         where_clause,
         select,
@@ -452,7 +492,10 @@ fn bind_window(
         .collect::<Result<Vec<_>>>()?;
     let order_col = base_schema.index_of(&def.spec.order_by.column)?;
     let order_type = base_schema.column(order_col).data_type;
-    if !matches!(order_type, DataType::Timestamp | DataType::Bigint | DataType::Int) {
+    if !matches!(
+        order_type,
+        DataType::Timestamp | DataType::Bigint | DataType::Int
+    ) {
         return Err(Error::Plan(format!(
             "window `{}` ORDER BY column must be time-ordered (TIMESTAMP/BIGINT/INT), got {}",
             def.name, order_type
@@ -500,7 +543,11 @@ fn bind_join(j: &LastJoin, schema: Schema, offset: usize, scope: &Scope) -> Resu
     let mut conjuncts = Vec::new();
     while let Some(e) = stack.pop() {
         match e {
-            Expr::Binary { op: BinaryOp::And, left, right } => {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+            } => {
                 stack.push(left);
                 stack.push(right);
             }
@@ -509,7 +556,12 @@ fn bind_join(j: &LastJoin, schema: Schema, offset: usize, scope: &Scope) -> Resu
     }
     let right_range = offset..offset + schema.len();
     for c in conjuncts {
-        if let Expr::Binary { op: BinaryOp::Eq, left, right } = c {
+        if let Expr::Binary {
+            op: BinaryOp::Eq,
+            left,
+            right,
+        } = c
+        {
             if let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) {
                 let (ia, _) = scope.resolve(a)?;
                 let (ib, _) = scope.resolve(b)?;
@@ -553,7 +605,14 @@ fn bind_join(j: &LastJoin, schema: Schema, offset: usize, scope: &Scope) -> Resu
             left: Box::new(a),
             right: Box::new(b),
         });
-    Ok(BoundJoin { table: j.right.name.clone(), schema, offset, eq_pairs, order_col, residual })
+    Ok(BoundJoin {
+        table: j.right.name.clone(),
+        schema,
+        offset,
+        eq_pairs,
+        order_col,
+        residual,
+    })
 }
 
 /// Expression binder: resolves columns via `scope`, aggregate arguments via
@@ -583,7 +642,11 @@ impl ExprBinder<'_> {
                 let (r, rt) = self.bind(right)?;
                 let dt = binary_result_type(*op, lt, rt);
                 (
-                    PhysExpr::Binary { op: *op, left: Box::new(l), right: Box::new(r) },
+                    PhysExpr::Binary {
+                        op: *op,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
                     dt,
                 )
             }
@@ -593,9 +656,18 @@ impl ExprBinder<'_> {
             }
             Expr::IsNull { expr, negated } => {
                 let (i, _) = self.bind(expr)?;
-                (PhysExpr::IsNull { expr: Box::new(i), negated: *negated }, DataType::Bool)
+                (
+                    PhysExpr::IsNull {
+                        expr: Box::new(i),
+                        negated: *negated,
+                    },
+                    DataType::Bool,
+                )
             }
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 let mut bound = Vec::with_capacity(branches.len());
                 let mut dt = None;
                 for (c, v) in branches {
@@ -612,7 +684,10 @@ impl ExprBinder<'_> {
                     None => None,
                 };
                 (
-                    PhysExpr::Case { branches: bound, else_expr: else_bound },
+                    PhysExpr::Case {
+                        branches: bound,
+                        else_expr: else_bound,
+                    },
                     dt.unwrap_or(DataType::Double),
                 )
             }
@@ -642,11 +717,19 @@ impl ExprBinder<'_> {
                     bound.push(b);
                 }
                 let dt = (def.infer)(&arg_types);
-                Ok((PhysExpr::ScalarCall { func: def, args: bound }, dt))
+                Ok((
+                    PhysExpr::ScalarCall {
+                        func: def,
+                        args: bound,
+                    },
+                    dt,
+                ))
             }
             FunctionKind::Aggregate => {
                 let window_name = over.ok_or_else(|| {
-                    Error::Plan(format!("aggregate `{name}` requires an OVER <window> clause"))
+                    Error::Plan(format!(
+                        "aggregate `{name}` requires an OVER <window> clause"
+                    ))
                 })?;
                 let window_id = *self.windows.get(window_name).ok_or_else(|| {
                     Error::Plan(format!("unknown window `{window_name}` in OVER clause"))
@@ -677,8 +760,12 @@ impl ExprBinder<'_> {
                     return Err(Error::Plan(format!("nested aggregate in `{name}`")));
                 }
                 let output_type = (def.infer)(&arg_types);
-                let candidate =
-                    BoundAggregate { window_id, func: def, args: bound, output_type };
+                let candidate = BoundAggregate {
+                    window_id,
+                    func: def,
+                    args: bound,
+                    output_type,
+                };
                 // Cyclic-binding dedup: identical calls share one slot.
                 if let Some(i) = self.aggregates.iter().position(|a| *a == candidate) {
                     self.deduped += 1;
@@ -702,15 +789,19 @@ fn strip_qualifiers(e: &Expr) -> Expr {
             right: Box::new(strip_qualifiers(right)),
         },
         Expr::Not(i) => Expr::Not(Box::new(strip_qualifiers(i))),
-        Expr::IsNull { expr, negated } => {
-            Expr::IsNull { expr: Box::new(strip_qualifiers(expr)), negated: *negated }
-        }
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(strip_qualifiers(expr)),
+            negated: *negated,
+        },
         Expr::Call { name, args, over } => Expr::Call {
             name: name.clone(),
             args: args.iter().map(strip_qualifiers).collect(),
             over: over.clone(),
         },
-        Expr::Case { branches, else_expr } => Expr::Case {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => Expr::Case {
             branches: branches
                 .iter()
                 .map(|(c, v)| (strip_qualifiers(c), strip_qualifiers(v)))
@@ -921,11 +1012,7 @@ mod tests {
              ROWS_RANGE BETWEEN 1d PRECEDING AND CURRENT ROW)",
         );
         let hints = q.index_hints();
-        assert!(hints.contains(&(
-            "actions".into(),
-            vec!["userid".into()],
-            Some("ts".into())
-        )));
+        assert!(hints.contains(&("actions".into(), vec!["userid".into()], Some("ts".into()))));
         assert!(hints.contains(&("orders".into(), vec!["userid".into()], Some("ts".into()))));
         assert!(hints.contains(&("profiles".into(), vec!["userid".into()], None)));
     }

@@ -28,7 +28,10 @@ pub enum TokenKind {
     /// Single- or double-quoted string literal, unescaped.
     Str(String),
     /// Interval literal such as `3s` — value plus unit character.
-    Interval { value: i64, unit: char },
+    Interval {
+        value: i64,
+        unit: char,
+    },
     // Punctuation and operators.
     Comma,
     Dot,
@@ -51,12 +54,60 @@ pub enum TokenKind {
 
 /// Reserved words recognized as keywords. Everything else is an identifier.
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "WINDOW", "AS", "PARTITION", "BY", "ORDER", "ROWS", "ROWS_RANGE",
-    "BETWEEN", "PRECEDING", "AND", "OR", "NOT", "CURRENT", "ROW", "UNION", "LAST", "JOIN", "ON",
-    "OVER", "LIMIT", "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "INDEX", "KEY", "TS", "TTL",
-    "TTL_TYPE", "DEPLOY", "OPTIONS", "NULL", "TRUE", "FALSE", "DESC", "ASC", "CASE", "WHEN",
-    "THEN", "ELSE", "END", "MAXSIZE", "EXCLUDE", "CURRENT_ROW", "INSTANCE_NOT_IN_WINDOW",
-    "CURRENT_TIME", "UNBOUNDED", "IF", "IS", "EXPLAIN",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "WINDOW",
+    "AS",
+    "PARTITION",
+    "BY",
+    "ORDER",
+    "ROWS",
+    "ROWS_RANGE",
+    "BETWEEN",
+    "PRECEDING",
+    "AND",
+    "OR",
+    "NOT",
+    "CURRENT",
+    "ROW",
+    "UNION",
+    "LAST",
+    "JOIN",
+    "ON",
+    "OVER",
+    "LIMIT",
+    "CREATE",
+    "TABLE",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "INDEX",
+    "KEY",
+    "TS",
+    "TTL",
+    "TTL_TYPE",
+    "DEPLOY",
+    "OPTIONS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "DESC",
+    "ASC",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "MAXSIZE",
+    "EXCLUDE",
+    "CURRENT_ROW",
+    "INSTANCE_NOT_IN_WINDOW",
+    "CURRENT_TIME",
+    "UNBOUNDED",
+    "IF",
+    "IS",
+    "EXPLAIN",
 ];
 
 /// Hand-rolled single-pass lexer.
@@ -68,7 +119,11 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Tokenize the whole input.
@@ -119,7 +174,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> Error {
-        Error::Parse { message: message.into(), position: self.pos }
+        Error::Parse {
+            message: message.into(),
+            position: self.pos,
+        }
     }
 
     fn next_token(&mut self) -> Result<Token> {
@@ -199,7 +257,10 @@ impl<'a> Lexer<'a> {
                     .parse()
                     .map_err(|e| self.err(format!("bad interval value: {e}")))?;
                 self.pos += 1;
-                return Ok(TokenKind::Interval { value, unit: unit as char });
+                return Ok(TokenKind::Interval {
+                    value,
+                    unit: unit as char,
+                });
             }
         }
         let mut is_float = false;
@@ -316,17 +377,33 @@ mod tests {
         assert_eq!(
             kinds("3s 100d 5m 2h"),
             vec![
-                TokenKind::Interval { value: 3, unit: 's' },
-                TokenKind::Interval { value: 100, unit: 'd' },
-                TokenKind::Interval { value: 5, unit: 'm' },
-                TokenKind::Interval { value: 2, unit: 'h' },
+                TokenKind::Interval {
+                    value: 3,
+                    unit: 's'
+                },
+                TokenKind::Interval {
+                    value: 100,
+                    unit: 'd'
+                },
+                TokenKind::Interval {
+                    value: 5,
+                    unit: 'm'
+                },
+                TokenKind::Interval {
+                    value: 2,
+                    unit: 'h'
+                },
                 TokenKind::Eof
             ]
         );
         // `3seconds` is NOT an interval; it's `3` then ident (error-free lexing).
         assert_eq!(
             kinds("3sec"),
-            vec![TokenKind::Int(3), TokenKind::Ident("sec".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Int(3),
+                TokenKind::Ident("sec".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -334,7 +411,12 @@ mod tests {
     fn numbers_and_floats() {
         assert_eq!(
             kinds("42 3.25 1e3"),
-            vec![TokenKind::Int(42), TokenKind::Float(3.25), TokenKind::Float(1000.0), TokenKind::Eof]
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Float(1000.0),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -358,7 +440,11 @@ mod tests {
     fn strings_and_escapes() {
         assert_eq!(
             kinds(r#"'a\'b' "c""#),
-            vec![TokenKind::Str("a'b".into()), TokenKind::Str("c".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Str("a'b".into()),
+                TokenKind::Str("c".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -366,13 +452,20 @@ mod tests {
     fn comments_skipped() {
         assert_eq!(
             kinds("select -- comment here\n 1"),
-            vec![TokenKind::Keyword("SELECT".into()), TokenKind::Int(1), TokenKind::Eof]
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
         );
     }
 
     #[test]
     fn quoted_identifiers() {
-        assert_eq!(kinds("`select`"), vec![TokenKind::Ident("select".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("`select`"),
+            vec![TokenKind::Ident("select".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

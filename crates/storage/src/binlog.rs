@@ -106,7 +106,13 @@ impl Replicator {
         // the monotonic `binlog_offset` invariant of Section 5.1.
         let entry = {
             let mut log = self.log.lock();
-            let entry = LogEntry { offset: log.len() as u64, table, key, ts, data };
+            let entry = LogEntry {
+                offset: log.len() as u64,
+                table,
+                key,
+                ts,
+                data,
+            };
             log.push(entry.clone());
             entry
         };
@@ -125,7 +131,10 @@ impl Replicator {
         // Hold the log lock so no offset is assigned while the boundary is
         // read — the subscription point is exact.
         let log = self.log.lock();
-        self.listeners.write().push(Listener { from_offset: log.len() as u64, f });
+        self.listeners.write().push(Listener {
+            from_offset: log.len() as u64,
+            f,
+        });
     }
 
     /// Subscribe with catch-up: entries already in the log are replayed
@@ -137,7 +146,10 @@ impl Replicator {
         for entry in log.iter() {
             f(entry);
         }
-        self.listeners.write().push(Listener { from_offset: log.len() as u64, f });
+        self.listeners.write().push(Listener {
+            from_offset: log.len() as u64,
+            f,
+        });
     }
 
     /// Number of appended entries (== next offset).
@@ -198,11 +210,16 @@ mod tests {
             .map(|_| {
                 let r = r.clone();
                 std::thread::spawn(move || {
-                    (0..500).map(|i| r.append_entry("t".into(), entry_key(), i, data())).collect::<Vec<u64>>()
+                    (0..500)
+                        .map(|i| r.append_entry("t".into(), entry_key(), i, data()))
+                        .collect::<Vec<u64>>()
                 })
             })
             .collect();
-        let mut all: Vec<u64> = threads.into_iter().flat_map(|t| t.join().unwrap()).collect();
+        let mut all: Vec<u64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
         all.sort_unstable();
         let expected: Vec<u64> = (0..4_000).collect();
         assert_eq!(all, expected, "offsets dense and unique");
@@ -223,7 +240,11 @@ mod tests {
         }
         r.flush();
         let seen = seen.lock();
-        assert_eq!(*seen, (0..80).collect::<Vec<u64>>(), "exactly once, in order");
+        assert_eq!(
+            *seen,
+            (0..80).collect::<Vec<u64>>(),
+            "exactly once, in order"
+        );
     }
 
     #[test]
@@ -253,7 +274,11 @@ mod tests {
         }
         r.flush();
         let seen = seen.lock();
-        assert_eq!(*seen, (0..100).collect::<Vec<u64>>(), "applied in offset order");
+        assert_eq!(
+            *seen,
+            (0..100).collect::<Vec<u64>>(),
+            "applied in offset order"
+        );
     }
 
     #[test]

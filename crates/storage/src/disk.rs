@@ -18,7 +18,6 @@
 //! layout and merge path, not device I/O); runs are kept as sorted vectors
 //! the way SSTs are kept as sorted blocks.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -26,6 +25,72 @@ use parking_lot::RwLock;
 use openmldb_types::{Error, KeyValue, Result};
 
 use crate::skiplist::SkipMap;
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Flush-trigger accounting shared by all writers.
+///
+/// The naive pattern — every writer checks `entries >= threshold` and, when
+/// it holds, flushes and stores 0 — has a classic check-then-act race: two
+/// writers can both observe the crossing before either resets, so both run
+/// a flush (the second producing a spurious near-empty run), and the
+/// unconditional `store(0)` erases increments that landed between the
+/// memtable swap and the reset, silently losing counter updates. The
+/// schedule explorer reproduces both failure shapes deterministically (see
+/// `tests/schedule_explorer.rs`).
+///
+/// This type fixes it with a single `compare_exchange` *claim*: among all
+/// writers that observe the crossing, exactly one wins the claim and runs
+/// the flush; the flush then *subtracts the number of entries it actually
+/// moved* instead of zeroing, so concurrent increments are never lost.
+pub struct FlushTrigger {
+    entries: AtomicUsize,
+    claimed: AtomicBool,
+    threshold: usize,
+}
+
+impl FlushTrigger {
+    pub fn new(threshold: usize) -> Self {
+        FlushTrigger {
+            entries: AtomicUsize::new(0),
+            claimed: AtomicBool::new(false),
+            threshold: threshold.max(1),
+        }
+    }
+
+    /// Record one appended entry. Returns `true` iff this caller crossed
+    /// the threshold *and* won the flush claim — the caller must then flush
+    /// and finish with [`FlushTrigger::flush_done`]. At most one claim is
+    /// outstanding at any time.
+    pub fn record(&self) -> bool {
+        let n = self.entries.fetch_add(1, Ordering::AcqRel) + 1;
+        n >= self.threshold
+            && self
+                .claimed
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+    }
+
+    /// Account a completed flush that moved `flushed` entries out of the
+    /// memtable, and release the claim if the caller held one. Subtracting
+    /// the observed count (instead of storing zero) keeps increments that
+    /// raced with the flush.
+    pub fn flush_done(&self, flushed: usize, claimed: bool) {
+        let _ = self
+            .entries
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                Some(c.saturating_sub(flushed))
+            });
+        if claimed {
+            self.claimed.store(false, Ordering::Release);
+        }
+    }
+
+    /// Entries recorded since the last flush (approximate under races by at
+    /// most the number of in-flight writers).
+    pub fn pending(&self) -> usize {
+        self.entries.load(Ordering::Acquire)
+    }
+}
 
 /// Composite key: column family, rendered partition key, timestamp
 /// (descending), and a uniquifier. Ordering groups a CF's keys together and
@@ -42,7 +107,12 @@ pub struct CompositeKey {
 
 impl CompositeKey {
     pub fn new(cf: u32, key: String, ts: i64, seq: u64) -> Self {
-        CompositeKey { cf, key, neg_ts: -ts, seq }
+        CompositeKey {
+            cf,
+            key,
+            neg_ts: -ts,
+            seq,
+        }
     }
 
     pub fn ts(&self) -> i64 {
@@ -52,7 +122,10 @@ impl CompositeKey {
 
 /// Render a multi-column key the way the composite key stores it.
 pub fn render_key(key: &[KeyValue]) -> String {
-    key.iter().map(KeyValue::render).collect::<Vec<_>>().join("\u{1}")
+    key.iter()
+        .map(KeyValue::render)
+        .collect::<Vec<_>>()
+        .join("\u{1}")
 }
 
 /// Column-family metadata.
@@ -63,18 +136,21 @@ pub struct ColumnFamilySpec {
     pub eviction_ttl_ms: Option<i64>,
 }
 
+/// One flushed memtable's worth of entries, sorted by [`CompositeKey`]
+/// (the SST-block analogue).
+type SortedRun = Vec<(CompositeKey, Arc<[u8]>)>;
+
 struct ColumnFamily {
     spec: ColumnFamilySpec,
-    /// Sorted runs, oldest run first. Each run is sorted by CompositeKey.
-    runs: RwLock<Vec<Vec<(CompositeKey, Arc<[u8]>)>>>,
+    /// Sorted runs, oldest run first.
+    runs: RwLock<Vec<SortedRun>>,
 }
 
 /// The disk engine: shared memtable + per-CF sorted runs.
 pub struct DiskEngine {
     cfs: Vec<ColumnFamily>,
     memtable: RwLock<Arc<SkipMap<CompositeKey, Arc<[u8]>>>>,
-    memtable_entries: AtomicUsize,
-    flush_threshold: usize,
+    flush_trigger: FlushTrigger,
     seq: AtomicUsize,
 }
 
@@ -82,16 +158,20 @@ impl DiskEngine {
     /// `flush_threshold`: memtable entry count that triggers a flush.
     pub fn new(cfs: Vec<ColumnFamilySpec>, flush_threshold: usize) -> Result<Self> {
         if cfs.is_empty() {
-            return Err(Error::Storage("disk engine needs at least one column family".into()));
+            return Err(Error::Storage(
+                "disk engine needs at least one column family".into(),
+            ));
         }
         Ok(DiskEngine {
             cfs: cfs
                 .into_iter()
-                .map(|spec| ColumnFamily { spec, runs: RwLock::new(Vec::new()) })
+                .map(|spec| ColumnFamily {
+                    spec,
+                    runs: RwLock::new(Vec::new()),
+                })
                 .collect(),
             memtable: RwLock::new(Arc::new(SkipMap::new())),
-            memtable_entries: AtomicUsize::new(0),
-            flush_threshold: flush_threshold.max(1),
+            flush_trigger: FlushTrigger::new(flush_threshold),
             seq: AtomicUsize::new(0),
         })
     }
@@ -109,28 +189,41 @@ impl DiskEngine {
     /// Write one entry into a column family (through the shared memtable).
     pub fn put(&self, cf: u32, key: &[KeyValue], ts: i64, value: Arc<[u8]>) -> Result<()> {
         self.check_cf(cf)?;
+        // analysis:allow(relaxed-ordering): uniquifier counter; only
+        // uniqueness matters, not ordering against other memory.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) as u64;
         let composite = CompositeKey::new(cf, render_key(key), ts, seq);
-        {
+        // Insert and record under the same read guard: a flush swaps the
+        // memtable under the write lock, so every insert it moves out has
+        // already been counted — `flush_done(old.len())` then subtracts an
+        // exact amount and the counter can never drift from the memtable.
+        let claimed = {
             let memtable = self.memtable.read();
             memtable.get_or_insert_with(composite, || value);
-        }
-        if self.memtable_entries.fetch_add(1, Ordering::Relaxed) + 1 >= self.flush_threshold {
-            self.flush();
+            self.flush_trigger.record()
+        };
+        if claimed {
+            self.flush_inner(true);
         }
         Ok(())
     }
 
     /// Flush the shared memtable into per-CF sorted runs.
     pub fn flush(&self) {
+        self.flush_inner(false);
+    }
+
+    fn flush_inner(&self, claimed: bool) {
         let old = {
             let mut memtable = self.memtable.write();
             if memtable.is_empty() {
+                drop(memtable);
+                self.flush_trigger.flush_done(0, claimed);
                 return;
             }
-            self.memtable_entries.store(0, Ordering::Relaxed);
             std::mem::replace(&mut *memtable, Arc::new(SkipMap::new()))
         };
+        self.flush_trigger.flush_done(old.len(), claimed);
         // The skiplist iterates in composite-key order, so per-CF segments
         // come out already sorted.
         let mut per_cf: Vec<Vec<(CompositeKey, Arc<[u8]>)>> =
@@ -200,7 +293,9 @@ impl DiskEngine {
         self.flush();
         let mut dropped = 0usize;
         for cf in &self.cfs {
-            let Some(ttl) = cf.spec.eviction_ttl_ms else { continue };
+            let Some(ttl) = cf.spec.eviction_ttl_ms else {
+                continue;
+            };
             let cutoff = now_ms - ttl;
             let mut runs = cf.runs.write();
             for run in runs.iter_mut() {
@@ -216,8 +311,11 @@ impl DiskEngine {
     /// Total entries across memtable and runs (diagnostics).
     pub fn entry_count(&self) -> usize {
         let mem = self.memtable.read().len();
-        let runs: usize =
-            self.cfs.iter().map(|cf| cf.runs.read().iter().map(Vec::len).sum::<usize>()).sum();
+        let runs: usize = self
+            .cfs
+            .iter()
+            .map(|cf| cf.runs.read().iter().map(Vec::len).sum::<usize>())
+            .sum();
         mem + runs
     }
 }
@@ -237,8 +335,14 @@ mod tests {
     fn engine(threshold: usize) -> DiskEngine {
         DiskEngine::new(
             vec![
-                ColumnFamilySpec { name: "by_user".into(), eviction_ttl_ms: Some(1_000) },
-                ColumnFamilySpec { name: "by_item".into(), eviction_ttl_ms: None },
+                ColumnFamilySpec {
+                    name: "by_user".into(),
+                    eviction_ttl_ms: Some(1_000),
+                },
+                ColumnFamilySpec {
+                    name: "by_item".into(),
+                    eviction_ttl_ms: None,
+                },
             ],
             threshold,
         )
@@ -253,7 +357,10 @@ mod tests {
         }
         e.put(0, &key(2), 15, val(99)).unwrap();
         let hits = e.range(0, &key(1), 15, 30).unwrap();
-        assert_eq!(hits.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(), vec![30, 20]);
+        assert_eq!(
+            hits.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(),
+            vec![30, 20]
+        );
     }
 
     #[test]
@@ -303,6 +410,60 @@ mod tests {
         let d = CompositeKey::new(0, "b".into(), 100, 0);
         assert!(c < d, "grouped by key before ts");
         assert_eq!(a.ts(), 100);
+    }
+
+    /// Regression for the flush-trigger check-then-act race: many writers
+    /// hammering a tiny threshold must neither lose entries nor leave the
+    /// trigger counter out of sync with the memtable. Before the
+    /// `FlushTrigger` claim, concurrent threshold crossings double-flushed
+    /// and the unconditional reset lost counter updates, leaving `pending`
+    /// drifting away from the real memtable size (the schedule explorer
+    /// pins the exact interleaving; this is the coarse std-thread version).
+    #[test]
+    #[cfg_attr(miri, ignore = "threaded stress test; too slow under miri")]
+    fn concurrent_puts_conserve_entries_across_flushes() {
+        let e = Arc::new(engine(8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let e = e.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500i64 {
+                        e.put(0, &key(t * 1_000 + i), i, val((i % 251) as u8))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(e.entry_count(), 4 * 500, "no entry lost or duplicated");
+        // After a final explicit flush the memtable is empty and the
+        // trigger counter must agree (no lost decrements left behind).
+        e.flush();
+        assert_eq!(e.memtable.read().len(), 0);
+        assert_eq!(
+            e.flush_trigger.pending(),
+            0,
+            "counter out of sync with memtable"
+        );
+        assert_eq!(e.entry_count(), 4 * 500);
+    }
+
+    #[test]
+    fn flush_trigger_claims_once_per_crossing() {
+        let t = FlushTrigger::new(3);
+        assert!(!t.record());
+        assert!(!t.record());
+        assert!(t.record(), "third record crosses the threshold");
+        assert!(!t.record(), "claim outstanding: no second claimer");
+        t.flush_done(4, true);
+        assert_eq!(t.pending(), 0);
+        for _ in 0..2 {
+            assert!(!t.record());
+        }
+        assert!(t.record(), "trigger re-arms after flush_done");
+        t.flush_done(3, true);
     }
 
     #[test]

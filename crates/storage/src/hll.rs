@@ -20,7 +20,10 @@ impl HyperLogLog {
     /// `precision` in [4, 16]: number of index bits.
     pub fn new(precision: u32) -> Self {
         let precision = precision.clamp(4, 16);
-        HyperLogLog { registers: vec![0; 1 << precision], precision }
+        HyperLogLog {
+            registers: vec![0; 1 << precision],
+            precision,
+        }
     }
 
     /// Add a pre-hashed 64-bit item.

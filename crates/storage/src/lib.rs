@@ -19,10 +19,11 @@ pub mod disk_table;
 pub mod hll;
 pub mod replica;
 pub mod skiplist;
+pub mod sync;
 pub mod table;
 
 pub use binlog::{LogEntry, Replicator, UpdateClosure};
-pub use disk::{ColumnFamilySpec, CompositeKey, DiskEngine};
+pub use disk::{ColumnFamilySpec, CompositeKey, DiskEngine, FlushTrigger};
 pub use disk_table::{Backend, DataTable, DiskTable};
 pub use hll::HyperLogLog;
 pub use replica::{replicate, ReplicaTable};

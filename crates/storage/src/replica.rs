@@ -16,9 +16,9 @@ use std::sync::Arc;
 use openmldb_types::{CompactCodec, Result, RowCodec, Schema};
 
 use crate::disk_table::DataTable;
-use crate::table::MemTable;
 #[cfg(test)]
 use crate::table::IndexSpec;
+use crate::table::MemTable;
 
 /// A follower table kept in sync with a leader through its binlog.
 pub struct ReplicaTable {
@@ -39,13 +39,15 @@ impl ReplicaTable {
         )?);
         let codec = CompactCodec::new(schema);
         let target = follower.clone();
-        leader.replicator().subscribe_with_catchup(Arc::new(move |entry| {
-            if let Ok(row) = codec.decode(&entry.data) {
-                // Replica applies are infallible for rows the leader
-                // accepted (same schema, no memory limit on the follower).
-                let _ = target.put(&row);
-            }
-        }));
+        leader
+            .replicator()
+            .subscribe_with_catchup(Arc::new(move |entry| {
+                if let Ok(row) = codec.decode(&entry.data) {
+                    // Replica applies are infallible for rows the leader
+                    // accepted (same schema, no memory limit on the follower).
+                    let _ = target.put(&row);
+                }
+            }));
         Ok(ReplicaTable {
             follower,
             leader_replicator: leader.replicator().clone(),
@@ -101,7 +103,11 @@ mod tests {
     }
 
     fn row(k: i64, v: f64, ts: i64) -> Row {
-        Row::new(vec![Value::Bigint(k), Value::Double(v), Value::Timestamp(ts)])
+        Row::new(vec![
+            Value::Bigint(k),
+            Value::Double(v),
+            Value::Timestamp(ts),
+        ])
     }
 
     #[test]
@@ -117,7 +123,11 @@ mod tests {
             leader.put(&row(i % 3, i as f64, i * 10)).unwrap();
         }
         replica.sync();
-        assert_eq!(replica.applied_rows(), 100, "catch-up + live stream, exactly once");
+        assert_eq!(
+            replica.applied_rows(),
+            100,
+            "catch-up + live stream, exactly once"
+        );
         // Reads on the replica match the leader.
         let key = [KeyValue::Int(1)];
         assert_eq!(

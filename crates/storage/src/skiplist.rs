@@ -12,19 +12,27 @@
 //! exactly as the paper describes); expired-data removal exploits the
 //! timestamp ordering: all out-of-date tuples form a contiguous *suffix* of
 //! a time list, so TTL eviction is a single CAS that truncates the suffix,
-//! with epoch-based reclamation (crossbeam) freeing the detached nodes once
-//! concurrent readers have moved on.
+//! with epoch-based reclamation ([`crate::sync::epoch`]) freeing the
+//! detached nodes once concurrent readers have moved on.
+//!
+//! Concurrency verification: the link pointers live in
+//! [`crate::sync::atomic`] types, so the schedule-exploring model checker
+//! (`cargo test -p openmldb-storage --features model-check`) can permute
+//! thread interleavings at every edge access and screen every load against
+//! freed nodes. See `tests/schedule_explorer.rs`.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::epoch::{self, Atomic, Guard, Owned, Shared};
 
 const MAX_HEIGHT: usize = 12;
 
 /// Cheap deterministic level generator (splitmix64 over an atomic counter):
 /// each level appears with probability 1/2, capped at [`MAX_HEIGHT`].
 fn random_height(seed: &AtomicU64) -> usize {
+    // analysis:allow(relaxed-ordering): RNG seed counter, thread-private
+    // value stream; no happens-before relationship is needed.
     let mut z = seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -42,6 +50,13 @@ struct Node<K, V> {
     /// One forward pointer per level; length == node height.
     next: Vec<Atomic<Node<K, V>>>,
 }
+
+/// Per-level predecessors (edges to retry CAS on) and successors found by
+/// [`SkipMap::search`].
+type SearchResult<'g, K, V> = (
+    [&'g Atomic<Node<K, V>>; MAX_HEIGHT],
+    [Shared<'g, Node<K, V>>; MAX_HEIGHT],
+);
 
 /// Lock-free insert-only skip map. `get_or_insert` is the only mutator;
 /// key nodes persist for the map's lifetime (streaming workloads accumulate
@@ -68,6 +83,8 @@ impl<K: Ord, V> SkipMap<K, V> {
     }
 
     pub fn len(&self) -> usize {
+        // analysis:allow(relaxed-ordering): monotone statistics counter;
+        // readers only need an eventually-consistent size.
         self.len.load(Ordering::Relaxed)
     }
 
@@ -76,29 +93,24 @@ impl<K: Ord, V> SkipMap<K, V> {
     }
 
     /// Find `key`'s predecessors/successors at every level.
-    fn search<'g>(
-        &'g self,
-        key: &K,
-        guard: &'g Guard,
-    ) -> ([&'g Atomic<Node<K, V>>; MAX_HEIGHT], [Shared<'g, Node<K, V>>; MAX_HEIGHT]) {
-        let mut preds: [&Atomic<Node<K, V>>; MAX_HEIGHT] =
-            std::array::from_fn(|i| &self.head[i]);
-        let mut succs: [Shared<Node<K, V>>; MAX_HEIGHT] =
-            std::array::from_fn(|_| Shared::null());
+    fn search<'g>(&'g self, key: &K, guard: &'g Guard) -> SearchResult<'g, K, V> {
+        let mut preds: [&Atomic<Node<K, V>>; MAX_HEIGHT] = std::array::from_fn(|i| &self.head[i]);
+        let mut succs: [Shared<Node<K, V>>; MAX_HEIGHT] = std::array::from_fn(|_| Shared::null());
         // `pred_links` is the forward-pointer array we are walking from: the
         // head sentinel's, then the next-pointer arrays of passed nodes. Any
         // node reached at `level` has height > level, so indexing is safe.
         let mut pred_links: &[Atomic<Node<K, V>>] = &self.head;
         for level in (0..MAX_HEIGHT).rev() {
             let mut curr = pred_links[level].load(Ordering::Acquire, guard);
-            loop {
-                let Some(node) = (unsafe { curr.as_ref() }) else { break };
-                if node.key < *key {
-                    pred_links = &node.next;
-                    curr = pred_links[level].load(Ordering::Acquire, guard);
-                } else {
+            // SAFETY: `curr` was loaded under `guard` from a reachable
+            // edge; key nodes are never freed before the map drops, so
+            // the reference is valid for the pin.
+            while let Some(node) = unsafe { curr.as_ref() } {
+                if node.key >= *key {
                     break;
                 }
+                pred_links = &node.next;
+                curr = pred_links[level].load(Ordering::Acquire, guard);
             }
             preds[level] = &pred_links[level];
             succs[level] = curr;
@@ -111,6 +123,8 @@ impl<K: Ord, V> SkipMap<K, V> {
     pub fn get(&self, key: &K) -> Option<&V> {
         let guard = epoch::pin();
         let (_, succs) = self.search(key, &guard);
+        // SAFETY: loaded under `guard`; key nodes are never freed before
+        // the map drops.
         let node = unsafe { succs[0].as_ref() }?;
         (node.key == *key).then(|| {
             // SAFETY: key nodes are insert-only and freed only on drop of
@@ -137,14 +151,21 @@ impl<K: Ord, V> SkipMap<K, V> {
         });
         loop {
             let (preds, succs) = self.search(&new.key, &guard);
+            // SAFETY: loaded under `guard`; key nodes are never freed
+            // before the map drops.
             if let Some(existing) = unsafe { succs[0].as_ref() } {
                 if existing.key == new.key {
                     // Lost the race (or key appeared): return existing.
+                    // SAFETY: key nodes live as long as the map; extending
+                    // the borrow from the pin to &self is sound.
                     return (unsafe { &*(&existing.value as *const V) }, false);
                 }
             }
             // Point the new node at its successors before publishing.
             for (level, succ) in succs.iter().enumerate().take(height) {
+                // analysis:allow(relaxed-ordering): pre-publication store
+                // into a node no other thread can see yet; the publishing
+                // CAS below is the Release edge.
                 new.next[level].store(*succ, Ordering::Relaxed);
             }
             match preds[0].compare_exchange(
@@ -155,6 +176,10 @@ impl<K: Ord, V> SkipMap<K, V> {
                 &guard,
             ) {
                 Ok(shared) => {
+                    // SAFETY: the successful CAS installed our non-null
+                    // node; it stays alive for the map's lifetime.
+                    // analysis:allow(panic-path): unreachable — a
+                    // just-installed node pointer cannot be null.
                     let node = unsafe { shared.as_ref().expect("just inserted") };
                     // Link the upper levels best-effort.
                     for level in 1..height {
@@ -178,7 +203,9 @@ impl<K: Ord, V> SkipMap<K, V> {
                             }
                         }
                     }
+                    // analysis:allow(relaxed-ordering): statistics counter.
                     self.len.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: as above — node lives as long as the map.
                     return (unsafe { &*(&node.value as *const V) }, true);
                 }
                 Err(e) => {
@@ -194,6 +221,8 @@ impl<K: Ord, V> SkipMap<K, V> {
         let guard = epoch::pin();
         let (_, succs) = self.search(from, &guard);
         let mut curr = succs[0];
+        // SAFETY: every pointer followed was loaded under `guard` from a
+        // reachable edge; key nodes are never freed before the map drops.
         while let Some(node) = unsafe { curr.as_ref() } {
             if !f(&node.key, &node.value) {
                 return;
@@ -206,6 +235,7 @@ impl<K: Ord, V> SkipMap<K, V> {
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
         let guard = epoch::pin();
         let mut curr = self.head[0].load(Ordering::Acquire, &guard);
+        // SAFETY: as in `range_for_each` — nodes outlive the traversal.
         while let Some(node) = unsafe { curr.as_ref() } {
             f(&node.key, &node.value);
             curr = node.next[0].load(Ordering::Acquire, &guard);
@@ -225,11 +255,17 @@ impl<K: Ord, V> SkipMap<K, V> {
 
 impl<K, V> Drop for SkipMap<K, V> {
     fn drop(&mut self) {
-        // Exclusive access: walk level 0 and free every node.
+        // SAFETY: `&mut self` proves no other thread can touch the map, the
+        // contract `unprotected` requires.
         let guard = unsafe { epoch::unprotected() };
+        // analysis:allow(relaxed-ordering): exclusive access in Drop; there
+        // is no concurrent writer to synchronize with.
         let mut curr = self.head[0].load(Ordering::Relaxed, guard);
         while !curr.is_null() {
+            // SAFETY: exclusive access; each level-0 node is owned exactly
+            // once and freed exactly once by this walk.
             let owned = unsafe { curr.into_owned() };
+            // analysis:allow(relaxed-ordering): exclusive access in Drop.
             curr = owned.next[0].load(Ordering::Relaxed, guard);
         }
     }
@@ -297,6 +333,7 @@ impl TimeList {
     }
 
     pub fn len(&self) -> usize {
+        // analysis:allow(relaxed-ordering): statistics counter.
         self.len.load(Ordering::Relaxed)
     }
 
@@ -306,6 +343,7 @@ impl TimeList {
 
     /// Payload bytes currently held (for memory accounting, Section 8).
     pub fn bytes(&self) -> usize {
+        // analysis:allow(relaxed-ordering): statistics counter.
         self.bytes.load(Ordering::Relaxed)
     }
 
@@ -318,7 +356,10 @@ impl TimeList {
         &'g self,
         ts: i64,
         guard: &'g Guard,
-    ) -> ([&'g Atomic<TimeNode>; TIME_MAX_HEIGHT], [Shared<'g, TimeNode>; TIME_MAX_HEIGHT]) {
+    ) -> (
+        [&'g Atomic<TimeNode>; TIME_MAX_HEIGHT],
+        [Shared<'g, TimeNode>; TIME_MAX_HEIGHT],
+    ) {
         let mut preds: [&Atomic<TimeNode>; TIME_MAX_HEIGHT] =
             std::array::from_fn(|i| &self.head[i]);
         let mut succs: [Shared<TimeNode>; TIME_MAX_HEIGHT] =
@@ -333,7 +374,13 @@ impl TimeList {
                     curr = Shared::null();
                     break;
                 }
-                let Some(node) = (unsafe { curr.as_ref() }) else { break };
+                // SAFETY: loaded under `guard` from a reachable, untagged
+                // edge; a node only becomes freeable after it is sealed
+                // (tag observed above) *and* all pins from before the seal
+                // are released — ours is still held.
+                let Some(node) = (unsafe { curr.as_ref() }) else {
+                    break;
+                };
                 if node.retired(guard) {
                     curr = Shared::null();
                     break;
@@ -366,6 +413,9 @@ impl TimeList {
         loop {
             let (preds, succs) = self.search(ts, &guard);
             for (level, succ) in succs.iter().enumerate().take(height) {
+                // analysis:allow(relaxed-ordering): pre-publication store
+                // into a node no other thread can see yet; the publishing
+                // CAS below is the Release edge.
                 new.next[level].store(*succ, Ordering::Relaxed);
             }
             match preds[0].compare_exchange(
@@ -376,6 +426,11 @@ impl TimeList {
                 &guard,
             ) {
                 Ok(shared) => {
+                    // SAFETY: the successful CAS installed our non-null
+                    // node; our pin keeps it alive even if a concurrent
+                    // truncation detaches it immediately.
+                    // analysis:allow(panic-path): unreachable — a
+                    // just-installed node pointer cannot be null.
                     let node = unsafe { shared.as_ref().expect("just inserted") };
                     // Link the upper levels best-effort with fresh searches;
                     // a level that raced (or borders the retired suffix) is
@@ -413,7 +468,9 @@ impl TimeList {
                             &guard,
                         );
                     }
+                    // analysis:allow(relaxed-ordering): statistics counters.
                     self.len.fetch_add(1, Ordering::Relaxed);
+                    // analysis:allow(relaxed-ordering): statistics counters.
                     self.bytes.fetch_add(size, Ordering::Relaxed);
                     return;
                 }
@@ -428,6 +485,10 @@ impl TimeList {
     pub fn scan(&self, mut f: impl FnMut(i64, &[u8]) -> bool) {
         let guard = epoch::pin();
         let mut curr = self.head[0].load(Ordering::Acquire, &guard);
+        // SAFETY: every pointer followed was loaded under `guard`; nodes
+        // detached by a concurrent truncation are only freed after our pin
+        // is released, so the walk stays on valid memory (a detached suffix
+        // is immutable and still null-terminated).
         while let Some(node) = unsafe { curr.with_tag(0).as_ref() } {
             if !f(node.ts, &node.data) {
                 return;
@@ -440,6 +501,8 @@ impl TimeList {
     pub fn latest(&self) -> Option<(i64, Arc<[u8]>)> {
         let guard = epoch::pin();
         let head = self.head[0].load(Ordering::Acquire, &guard);
+        // SAFETY: loaded under `guard`; a concurrently detached node is not
+        // freed before the pin drops.
         unsafe { head.with_tag(0).as_ref() }.map(|n| (n.ts, n.data.clone()))
     }
 
@@ -450,6 +513,8 @@ impl TimeList {
         let (_, succs) = self.search(upper_ts, &guard);
         let mut out = Vec::new();
         let mut curr = succs[0];
+        // SAFETY: as in `scan` — pins outlive any concurrent reclamation of
+        // the nodes this walk can reach.
         while let Some(node) = unsafe { curr.with_tag(0).as_ref() } {
             if node.ts < lower_ts {
                 break;
@@ -479,6 +544,7 @@ impl TimeList {
             let mut pred: &Atomic<TimeNode> = &self.head[0];
             let mut curr = pred.load(Ordering::Acquire, &guard);
             let mut kept = 0usize;
+            // SAFETY: loaded under `guard` from reachable edges; see `scan`.
             while let Some(node) = unsafe { curr.with_tag(0).as_ref() } {
                 if curr.tag() == RETIRED {
                     // Concurrent truncation already handled this region.
@@ -487,7 +553,8 @@ impl TimeList {
                 let by_time = cutoff_ts.is_some_and(|c| node.ts < c);
                 let by_count = keep_latest.is_some_and(|k| kept >= k);
                 let expired = if require_both {
-                    (cutoff_ts.is_none() || by_time) && (keep_latest.is_none() || by_count)
+                    (cutoff_ts.is_none() || by_time)
+                        && (keep_latest.is_none() || by_count)
                         && (cutoff_ts.is_some() || keep_latest.is_some())
                 } else {
                     by_time || by_count
@@ -523,6 +590,9 @@ impl TimeList {
             let mut chain: Vec<Shared<TimeNode>> = Vec::new();
             let mut freed = 0usize;
             let mut node_ptr = curr.with_tag(0);
+            // SAFETY: the detached suffix is only reclaimed below via
+            // `defer_destroy` under this same pin, so every node in it is
+            // still valid while we seal it.
             while let Some(node) = unsafe { node_ptr.as_ref() } {
                 let mut next = node.next[0].load(Ordering::Acquire, &guard);
                 loop {
@@ -571,7 +641,12 @@ impl TimeList {
                             // a concurrent pass); restart.
                             continue 'repair;
                         }
-                        let Some(node) = (unsafe { edge.as_ref() }) else { break 'repair };
+                        // SAFETY: untagged reachable edge loaded under
+                        // `guard`; retired nodes are freed only after all
+                        // current pins release.
+                        let Some(node) = (unsafe { edge.as_ref() }) else {
+                            break 'repair;
+                        };
                         if node.retired(&guard) {
                             // Cut here.
                             if pred
@@ -596,9 +671,15 @@ impl TimeList {
 
             // Now unreachable from every level: reclaim.
             for ptr in &chain {
+                // SAFETY: the chain was unlinked from every level above and
+                // sealed against re-publication; each node is deferred
+                // exactly once, and readers that can still see it hold pins
+                // older than this epoch.
                 unsafe { guard.defer_destroy(*ptr) };
             }
+            // analysis:allow(relaxed-ordering): statistics counters.
             self.len.fetch_sub(chain.len(), Ordering::Relaxed);
+            // analysis:allow(relaxed-ordering): statistics counters.
             self.bytes.fetch_sub(freed, Ordering::Relaxed);
             return (chain.len(), freed);
         }
@@ -607,10 +688,17 @@ impl TimeList {
 
 impl Drop for TimeList {
     fn drop(&mut self) {
+        // SAFETY: `&mut self` proves exclusive access, as `unprotected`
+        // requires.
         let guard = unsafe { epoch::unprotected() };
+        // analysis:allow(relaxed-ordering): exclusive access in Drop.
         let mut curr = self.head[0].load(Ordering::Relaxed, guard).with_tag(0);
         while !curr.is_null() {
+            // SAFETY: exclusive access; level-0 reaches every live node
+            // exactly once (detached suffixes were already handed to epoch
+            // reclamation and are not reachable from the head).
             let owned = unsafe { curr.into_owned() };
+            // analysis:allow(relaxed-ordering): exclusive access in Drop.
             curr = owned.next[0].load(Ordering::Relaxed, guard).with_tag(0);
         }
     }
@@ -650,6 +738,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "threaded stress test; too slow under miri")]
     fn skipmap_concurrent_inserts() {
         let map: StdArc<SkipMap<u64, u64>> = StdArc::new(SkipMap::new());
         let threads: Vec<_> = (0..8)
@@ -732,6 +821,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "threaded stress test; too slow under miri")]
     fn timelist_concurrent_insert_and_truncate() {
         let list = StdArc::new(TimeList::new());
         let writers: Vec<_> = (0..4)
@@ -778,5 +868,36 @@ mod tests {
         list.insert(5, bytes(1));
         list.insert(5, bytes(2));
         assert_eq!(list.latest().unwrap().1[0], 2);
+    }
+
+    /// Epoch reclamation really frees truncated payloads: `Weak` handles on
+    /// the `Arc` payloads of evicted entries die once collection quiesces.
+    #[test]
+    #[cfg_attr(miri, ignore = "epoch collection retry loop; too slow under miri")]
+    fn truncate_releases_payloads_via_epoch() {
+        let list = TimeList::new();
+        let payloads: Vec<Arc<[u8]>> = (0..8u8).map(bytes).collect();
+        let weaks: Vec<std::sync::Weak<[u8]>> = payloads.iter().map(StdArc::downgrade).collect();
+        for (ts, p) in payloads.into_iter().enumerate() {
+            list.insert(ts as i64, p);
+        }
+        let (dropped, _) = list.truncate(Some(4), None, false);
+        assert_eq!(dropped, 4);
+        // Other tests in this process may hold transient pins that block one
+        // epoch advance; keep collecting until the evicted payloads die.
+        for _ in 0..1_000 {
+            epoch::force_collect();
+            if weaks[..4].iter().all(|w| w.upgrade().is_none()) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        for (ts, w) in weaks.iter().enumerate() {
+            if (ts as i64) < 4 {
+                assert!(w.upgrade().is_none(), "evicted payload ts={ts} still alive");
+            } else {
+                assert!(w.upgrade().is_some(), "live payload ts={ts} was freed");
+            }
+        }
     }
 }

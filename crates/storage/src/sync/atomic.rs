@@ -1,0 +1,154 @@
+//! Atomics for the lock-free storage structures.
+//!
+//! Default builds re-export the std atomics unchanged. With the
+//! `model-check` feature each operation on [`AtomicUsize`] / [`AtomicU64`] /
+//! [`AtomicBool`] becomes a schedule point for [`crate::sync::model`], and
+//! `AtomicUsize` loads (the type skiplist link pointers are stored in) are
+//! checked against the model's freed-node registry, so a traversal that
+//! follows an edge into reclaimed memory fails the run immediately instead
+//! of reading garbage.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+#[cfg(feature = "model-check")]
+pub use instrumented::{AtomicBool, AtomicU64, AtomicUsize};
+
+#[cfg(feature = "model-check")]
+mod instrumented {
+    use super::Ordering;
+    use crate::sync::model;
+
+    /// Instrumented [`std::sync::atomic::AtomicUsize`]; loads are screened
+    /// for pointers into reclaimed nodes.
+    #[derive(Debug, Default)]
+    pub struct AtomicUsize {
+        inner: std::sync::atomic::AtomicUsize,
+    }
+
+    impl AtomicUsize {
+        pub const fn new(v: usize) -> Self {
+            AtomicUsize {
+                inner: std::sync::atomic::AtomicUsize::new(v),
+            }
+        }
+
+        pub fn load(&self, ord: Ordering) -> usize {
+            model::schedule_point();
+            let v = self.inner.load(ord);
+            model::check_loaded_pointer(v);
+            v
+        }
+
+        pub fn store(&self, v: usize, ord: Ordering) {
+            model::schedule_point();
+            self.inner.store(v, ord);
+        }
+
+        pub fn swap(&self, v: usize, ord: Ordering) -> usize {
+            model::schedule_point();
+            self.inner.swap(v, ord)
+        }
+
+        pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+            model::schedule_point();
+            self.inner.fetch_add(v, ord)
+        }
+
+        pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+            model::schedule_point();
+            self.inner.fetch_sub(v, ord)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: usize,
+            new: usize,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<usize, usize> {
+            model::schedule_point();
+            let r = self.inner.compare_exchange(current, new, success, failure);
+            if let Err(observed) = r {
+                model::check_loaded_pointer(observed);
+            }
+            r
+        }
+
+        pub fn fetch_update<F: FnMut(usize) -> Option<usize>>(
+            &self,
+            set_order: Ordering,
+            fetch_order: Ordering,
+            f: F,
+        ) -> Result<usize, usize> {
+            model::schedule_point();
+            self.inner.fetch_update(set_order, fetch_order, f)
+        }
+    }
+
+    /// Instrumented [`std::sync::atomic::AtomicU64`].
+    #[derive(Debug, Default)]
+    pub struct AtomicU64 {
+        inner: std::sync::atomic::AtomicU64,
+    }
+
+    impl AtomicU64 {
+        pub const fn new(v: u64) -> Self {
+            AtomicU64 {
+                inner: std::sync::atomic::AtomicU64::new(v),
+            }
+        }
+
+        pub fn load(&self, ord: Ordering) -> u64 {
+            model::schedule_point();
+            self.inner.load(ord)
+        }
+
+        pub fn store(&self, v: u64, ord: Ordering) {
+            model::schedule_point();
+            self.inner.store(v, ord);
+        }
+
+        pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+            model::schedule_point();
+            self.inner.fetch_add(v, ord)
+        }
+    }
+
+    /// Instrumented [`std::sync::atomic::AtomicBool`].
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, ord: Ordering) -> bool {
+            model::schedule_point();
+            self.inner.load(ord)
+        }
+
+        pub fn store(&self, v: bool, ord: Ordering) {
+            model::schedule_point();
+            self.inner.store(v, ord);
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            model::schedule_point();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+}

@@ -1,0 +1,695 @@
+//! Epoch-based memory reclamation for the lock-free skiplists.
+//!
+//! This is an in-repo implementation of the `crossbeam-epoch` API surface
+//! the storage crate relies on (the build environment is offline, so the
+//! dependency cannot be fetched). The algorithm is the classic three-epoch
+//! scheme:
+//!
+//! * a global epoch counter advances only when every *pinned* thread has
+//!   observed the current epoch;
+//! * a thread reads shared pointers only while pinned ([`pin`] /
+//!   [`Guard`]), which publishes the epoch it entered under;
+//! * memory unlinked from a structure is not freed but *deferred*
+//!   ([`Guard::defer_destroy`]) stamped with the epoch at unlink time; it
+//!   is reclaimed once the global epoch has advanced **two** steps past
+//!   that stamp — by then every thread that could have held a reference
+//!   has unpinned.
+//!
+//! Link pointers ([`Atomic`]) are stored in
+//! [`crate::sync::atomic::AtomicUsize`], so under the `model-check`
+//! feature every load/store/CAS on a skiplist edge is a schedule point for
+//! the interleaving explorer and every load is screened against the freed
+//! node registry. The reclamation bookkeeping itself (participant epochs,
+//! the garbage list) deliberately uses raw std atomics and mutexes: those
+//! interleavings are not what the explorer is aimed at, and instrumenting
+//! them would blow up the schedule space.
+//!
+//! Tagged pointers: the low `align_of::<T>() - 1` bits of an edge carry a
+//! tag (the skiplists use bit 0 as the Harris-style RETIRED mark). `Shared`
+//! exposes [`Shared::tag`] / [`Shared::with_tag`]; `as_raw`/`as_ref` always
+//! strip the tag.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::mem;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{fence, AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+
+/// Participant epoch value meaning "not currently pinned".
+const INACTIVE: usize = usize::MAX;
+
+/// A full collection pass runs every this-many unpins per thread.
+const COLLECT_EVERY: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Global collector state.
+// ---------------------------------------------------------------------------
+
+struct Participant {
+    /// Epoch this thread was pinned under, or [`INACTIVE`].
+    epoch: StdAtomicUsize,
+}
+
+/// A deferred destruction: the type-erased drop of one unlinked node.
+pub(crate) struct Deferred {
+    /// Global epoch at the moment the node was unlinked.
+    epoch: usize,
+    /// Untagged address of the allocation (for the model's freed-node set).
+    #[cfg_attr(not(feature = "model-check"), allow(dead_code))]
+    addr: usize,
+    data: *mut u8,
+    // SAFETY contract of the stored fn: callable exactly once with the
+    // `data` pointer above, after reclamation is proven safe (see execute).
+    dropper: unsafe fn(*mut u8),
+}
+
+// SAFETY: a Deferred is only ever executed once, after the epoch scheme has
+// proven no thread can still reach the allocation; the raw pointer is not
+// shared concurrently, merely stored until that point.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// Untagged address of the allocation this will free.
+    #[cfg(feature = "model-check")]
+    pub(crate) fn addr(&self) -> usize {
+        self.addr
+    }
+
+    /// Run the deferred drop for real.
+    pub(crate) fn run_now(self) {
+        // SAFETY: `data`/`dropper` were built in `defer_destroy` from a
+        // `Box::into_raw` allocation of the matching type, and `self` is
+        // consumed, so the drop runs exactly once.
+        unsafe { (self.dropper)(self.data) }
+    }
+
+    /// Free the allocation, or hand it to the interleaving model's
+    /// quarantine when a model run is active on this thread (the model
+    /// records the address as freed and leaks the memory until the end of
+    /// the run so addresses are never reused within a run — that makes the
+    /// use-after-evict check exact).
+    fn execute(self) {
+        #[cfg(feature = "model-check")]
+        let this = match crate::sync::model::try_quarantine(self) {
+            Some(d) => d,
+            None => return,
+        };
+        #[cfg(not(feature = "model-check"))]
+        let this = self;
+        this.run_now();
+    }
+}
+
+struct Collector {
+    epoch: StdAtomicUsize,
+    registry: Mutex<Vec<Arc<Participant>>>,
+    garbage: Mutex<Vec<Deferred>>,
+}
+
+fn collector() -> &'static Collector {
+    static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Collector {
+        epoch: StdAtomicUsize::new(0),
+        registry: Mutex::new(Vec::new()),
+        garbage: Mutex::new(Vec::new()),
+    })
+}
+
+/// Lock a mutex, ignoring poisoning (a panicking test thread must not wedge
+/// reclamation for every other test in the process).
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+struct Handle {
+    participant: Arc<Participant>,
+    /// Nested pin depth on this thread.
+    depth: Cell<usize>,
+    /// Unpin counter driving periodic collection.
+    unpins: Cell<usize>,
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        self.participant.epoch.store(INACTIVE, StdOrdering::SeqCst);
+        let mut reg = lock_ignore_poison(&collector().registry);
+        reg.retain(|p| !Arc::ptr_eq(p, &self.participant));
+    }
+}
+
+thread_local! {
+    static HANDLE: Handle = {
+        let participant = Arc::new(Participant { epoch: StdAtomicUsize::new(INACTIVE) });
+        lock_ignore_poison(&collector().registry).push(participant.clone());
+        Handle { participant, depth: Cell::new(0), unpins: Cell::new(0) }
+    };
+}
+
+/// Try to advance the global epoch, then free garbage at least two epochs
+/// old.
+fn collect() {
+    let c = collector();
+    let observed = c.epoch.load(StdOrdering::SeqCst);
+    let all_caught_up = lock_ignore_poison(&c.registry).iter().all(|p| {
+        let e = p.epoch.load(StdOrdering::SeqCst);
+        e == INACTIVE || e == observed
+    });
+    if all_caught_up {
+        let _ = c.epoch.compare_exchange(
+            observed,
+            observed.wrapping_add(1),
+            StdOrdering::SeqCst,
+            StdOrdering::SeqCst,
+        );
+    }
+    let now = c.epoch.load(StdOrdering::SeqCst);
+    let ready: Vec<Deferred> = {
+        let mut garbage = lock_ignore_poison(&c.garbage);
+        let mut ready = Vec::new();
+        let mut i = 0;
+        while i < garbage.len() {
+            if now.wrapping_sub(garbage[i].epoch) >= 2 {
+                ready.push(garbage.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        ready
+    };
+    for d in ready {
+        d.execute();
+    }
+}
+
+/// Drive reclamation to quiescence: with no guard held anywhere, a few
+/// collection passes advance the epoch far enough to free *all* deferred
+/// garbage. Tests use this to assert that detached nodes really are
+/// released (e.g. via `Weak` handles on their payloads).
+pub fn force_collect() {
+    for _ in 0..4 {
+        collect();
+    }
+}
+
+/// Number of deferred destructions not yet executed (diagnostics/tests).
+pub fn pending_garbage() -> usize {
+    lock_ignore_poison(&collector().garbage).len()
+}
+
+// ---------------------------------------------------------------------------
+// Guard / pin.
+// ---------------------------------------------------------------------------
+
+/// Keeps the current thread pinned; shared pointers loaded through it stay
+/// valid until the guard drops.
+pub struct Guard {
+    unprotected: bool,
+    /// `Guard` is `!Send`/`!Sync`: pinning is a per-thread state.
+    _not_send: PhantomData<*mut ()>,
+}
+
+/// Pin the current thread, publishing the epoch it entered under.
+pub fn pin() -> Guard {
+    HANDLE.with(|h| {
+        let depth = h.depth.get();
+        if depth == 0 {
+            let c = collector();
+            // Publish our epoch, then re-check: if the global epoch moved
+            // between the load and the store we may have published a stale
+            // value, which would let the collector advance past us. Re-run
+            // until the published value is current. (Publishing a stale
+            // epoch is conservative for *other* collectors — they simply
+            // cannot advance — so the loop is safe at every step.)
+            loop {
+                let e = c.epoch.load(StdOrdering::SeqCst);
+                h.participant.epoch.store(e, StdOrdering::SeqCst);
+                fence(StdOrdering::SeqCst);
+                if c.epoch.load(StdOrdering::SeqCst) == e {
+                    break;
+                }
+            }
+        }
+        h.depth.set(depth + 1);
+    });
+    Guard {
+        unprotected: false,
+        _not_send: PhantomData,
+    }
+}
+
+struct UnprotectedGuard(Guard);
+// SAFETY: the unprotected guard carries no per-thread state (every method
+// checks `unprotected` first); sharing the single static instance across
+// threads is fine.
+unsafe impl Sync for UnprotectedGuard {}
+
+static UNPROTECTED: UnprotectedGuard = UnprotectedGuard(Guard {
+    unprotected: true,
+    _not_send: PhantomData,
+});
+
+/// A dummy guard for code that has exclusive access to a structure (e.g.
+/// `Drop` with `&mut self`).
+///
+/// # Safety
+///
+/// The caller must guarantee no other thread can concurrently access the
+/// data structures traversed with this guard; `defer_destroy` through it
+/// frees immediately.
+pub unsafe fn unprotected() -> &'static Guard {
+    &UNPROTECTED.0
+}
+
+impl Guard {
+    /// Defer destruction of the allocation behind `ptr` until no pinned
+    /// thread can still hold a reference to it.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been created from `Owned::new` (a `Box` allocation),
+    /// must be unreachable for any thread that pins *after* this call, and
+    /// must not be destroyed twice.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let raw = ptr.as_raw() as *mut T;
+        if raw.is_null() {
+            return;
+        }
+        if self.unprotected {
+            // SAFETY: per this function's contract the pointer is a unique
+            // Box allocation, and the unprotected guard's contract gives
+            // the caller exclusive access — free immediately.
+            drop(unsafe { Box::from_raw(raw) });
+            return;
+        }
+        let c = collector();
+        let deferred = Deferred {
+            epoch: c.epoch.load(StdOrdering::SeqCst),
+            addr: raw as usize,
+            data: raw.cast(),
+            dropper: drop_box::<T>,
+        };
+        lock_ignore_poison(&c.garbage).push(deferred);
+    }
+}
+
+/// Type-erased dropper for a `Box<T>` allocation.
+///
+/// # Safety
+///
+/// `p` must be a pointer obtained from `Box::<T>::into_raw`, not yet freed.
+unsafe fn drop_box<T>(p: *mut u8) {
+    // SAFETY: guaranteed by this function's contract.
+    drop(unsafe { Box::from_raw(p.cast::<T>()) });
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.unprotected {
+            return;
+        }
+        // try_with: a guard dropped during thread-local teardown (no handle
+        // left) has nothing to unpin.
+        let _ = HANDLE.try_with(|h| {
+            let depth = h.depth.get() - 1;
+            h.depth.set(depth);
+            if depth == 0 {
+                h.participant.epoch.store(INACTIVE, StdOrdering::SeqCst);
+                let n = h.unpins.get().wrapping_add(1);
+                h.unpins.set(n);
+                if n % COLLECT_EVERY == 0 {
+                    collect();
+                }
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pointer types.
+// ---------------------------------------------------------------------------
+
+/// Bits of the address usable as a tag for `T` (its alignment - 1).
+fn low_bits<T>() -> usize {
+    mem::align_of::<T>() - 1
+}
+
+/// Either an [`Owned`] or a [`Shared`] — what a CAS can install.
+pub trait Pointer<T> {
+    /// Consume into the raw tagged word.
+    fn into_usize(self) -> usize;
+    /// Rebuild from a raw tagged word.
+    ///
+    /// # Safety
+    ///
+    /// `data` must come from `into_usize` of the same pointer kind, exactly
+    /// once (ownership round-trip).
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+/// An atomic tagged pointer to a heap node; the link type of the skiplists.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: Atomic hands out &T across threads (via Shared::as_ref) and
+// transfers ownership of T between threads on reclamation, so both bounds
+// are required; the word itself is accessed atomically.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: see the Send impl above.
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// A null pointer with zero tag.
+    pub fn null() -> Self {
+        Atomic {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Load the current pointer; the result borrows the pin `guard`.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            data: self.data.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Store a shared pointer (used to wire a still-private node's edges
+    /// before publication).
+    pub fn store(&self, new: Shared<'_, T>, ord: Ordering) {
+        self.data.store(new.data, ord);
+    }
+
+    /// Compare-and-swap the edge from `current` to `new`. On success the
+    /// installed pointer is returned as a [`Shared`]; on failure the error
+    /// carries the observed value and gives `new` back.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_data = new.into_usize();
+        match self
+            .data
+            .compare_exchange(current.data, new_data, success, failure)
+        {
+            Ok(_) => Ok(Shared {
+                data: new_data,
+                _marker: PhantomData,
+            }),
+            Err(observed) => Err(CompareExchangeError {
+                current: Shared {
+                    data: observed,
+                    _marker: PhantomData,
+                },
+                // SAFETY: `new_data` came from `new.into_usize()` above and
+                // the failed CAS did not install it, so ownership round-trips
+                // back to the caller exactly once.
+                new: unsafe { P::from_usize(new_data) },
+            }),
+        }
+    }
+}
+
+/// Failed [`Atomic::compare_exchange`]: the observed pointer and the
+/// not-installed new value.
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// What the edge actually held.
+    pub current: Shared<'g, T>,
+    /// The value that was not installed, returned to the caller.
+    pub new: P,
+}
+
+/// An owned heap node not yet published to other threads.
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocate a node.
+    pub fn new(value: T) -> Self {
+        Owned {
+            data: Box::into_raw(Box::new(value)) as usize,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: `data` is a live Box allocation uniquely owned by self;
+        // the tag bits (none are ever set on an Owned built by `new`) are
+        // stripped before the dereference.
+        unsafe { &*((self.data & !low_bits::<T>()) as *const T) }
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in Deref, plus &mut self gives exclusive access.
+        unsafe { &mut *((self.data & !low_bits::<T>()) as *mut T) }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        let raw = (self.data & !low_bits::<T>()) as *mut T;
+        if !raw.is_null() {
+            // SAFETY: an Owned that was consumed (CAS success path) was
+            // `mem::forget`-ten in `into_usize`; reaching Drop means the
+            // allocation is still uniquely ours.
+            drop(unsafe { Box::from_raw(raw) });
+        }
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        mem::forget(self);
+        data
+    }
+
+    // SAFETY: per the trait contract the word is an `into_usize` round-trip
+    // of an `Owned`, so reconstructing unique ownership is sound.
+    unsafe fn from_usize(data: usize) -> Self {
+        Owned {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A tagged pointer loaded while pinned; valid for the guard lifetime `'g`.
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer (zero tag).
+    pub fn null() -> Self {
+        Shared {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether the (untagged) pointer is null.
+    pub fn is_null(&self) -> bool {
+        self.as_raw().is_null()
+    }
+
+    /// The untagged raw pointer.
+    pub fn as_raw(&self) -> *const T {
+        (self.data & !low_bits::<T>()) as *const T
+    }
+
+    /// The tag carried in the low bits.
+    pub fn tag(&self) -> usize {
+        self.data & low_bits::<T>()
+    }
+
+    /// The same pointer with its tag replaced by `tag`.
+    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
+        debug_assert!(tag <= low_bits::<T>(), "tag does not fit in alignment bits");
+        Shared {
+            data: (self.data & !low_bits::<T>()) | tag,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Dereference to a node reference living as long as the pin.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be null or point to a node that is still reachable
+    /// under the pin this `Shared` was loaded with (i.e. not yet reclaimed).
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        // SAFETY: guaranteed by this function's contract.
+        unsafe { self.as_raw().as_ref() }
+    }
+
+    /// Take ownership of the allocation.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the node (no concurrent
+    /// readers or writers) and the pointer must be non-null and not yet
+    /// freed.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.is_null(), "into_owned on null");
+        Owned {
+            data: self.data & !low_bits::<T>(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+
+    // SAFETY: per the trait contract the word round-trips a `Shared`; the
+    // borrow it represents is re-scoped to the caller's guard lifetime.
+    unsafe fn from_usize(data: usize) -> Self {
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize as RawUsize, Ordering as RawOrdering};
+
+    #[test]
+    fn owned_round_trip_and_tags() {
+        let guard = pin();
+        let a: Atomic<u64> = Atomic::null();
+        let shared = a.load(Ordering::Acquire, &guard);
+        assert!(shared.is_null());
+        assert_eq!(shared.tag(), 0);
+
+        let owned = Owned::new(7u64);
+        assert_eq!(*owned, 7);
+        let installed = a
+            .compare_exchange(
+                Shared::null(),
+                owned,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            )
+            .unwrap_or_else(|_| panic!("CAS on fresh edge"));
+        // SAFETY: just installed, guard still pinned.
+        assert_eq!(unsafe { installed.as_ref() }, Some(&7));
+
+        let tagged = installed.with_tag(1);
+        assert_eq!(tagged.tag(), 1);
+        assert_eq!(tagged.with_tag(0).as_raw(), installed.as_raw());
+
+        // SAFETY: single-threaded test — exclusive access.
+        drop(unsafe { installed.into_owned() });
+    }
+
+    #[test]
+    fn failed_cas_returns_ownership() {
+        let guard = pin();
+        let a: Atomic<u64> = Atomic::null();
+        let first = Owned::new(1u64);
+        a.compare_exchange(
+            Shared::null(),
+            first,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            &guard,
+        )
+        .unwrap_or_else(|_| panic!("first CAS"));
+        let second = Owned::new(2u64);
+        let err = a
+            .compare_exchange(
+                Shared::null(),
+                second,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            )
+            .err()
+            .expect("CAS against non-null must fail");
+        // SAFETY: observed pointer is the live first node under our pin.
+        assert_eq!(unsafe { err.current.as_ref() }, Some(&1));
+        assert_eq!(*err.new, 2, "ownership of the new node came back");
+        let live = a.load(Ordering::Acquire, &guard);
+        // SAFETY: single-threaded test — exclusive access.
+        drop(unsafe { live.into_owned() });
+    }
+
+    #[test]
+    fn deferred_destruction_runs_after_epochs_advance() {
+        struct NoteDrop(std::sync::Arc<RawUsize>);
+        impl Drop for NoteDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, RawOrdering::SeqCst);
+            }
+        }
+
+        let drops = std::sync::Arc::new(RawUsize::new(0));
+        {
+            let guard = pin();
+            let a: Atomic<NoteDrop> = Atomic::null();
+            a.compare_exchange(
+                Shared::null(),
+                Owned::new(NoteDrop(drops.clone())),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            )
+            .unwrap_or_else(|_| panic!("CAS on fresh edge"));
+            let node = a.load(Ordering::Acquire, &guard);
+            // SAFETY: node was just unlinked conceptually; it is never
+            // traversed again and destroyed exactly once.
+            unsafe { guard.defer_destroy(node) };
+            assert_eq!(
+                drops.load(RawOrdering::SeqCst),
+                0,
+                "still pinned: not freed"
+            );
+        }
+        force_collect();
+        assert_eq!(drops.load(RawOrdering::SeqCst), 1, "freed after quiescence");
+    }
+
+    #[test]
+    fn nested_pins_are_reentrant() {
+        let g1 = pin();
+        let g2 = pin();
+        drop(g1);
+        let a: Atomic<u64> = Atomic::null();
+        assert!(a.load(Ordering::Acquire, &g2).is_null());
+    }
+}

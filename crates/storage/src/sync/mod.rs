@@ -1,0 +1,31 @@
+//! Concurrency substrate for the lock-free storage structures.
+//!
+//! * [`atomic`] — the atomic integer types the skiplists and flush
+//!   accounting are built on. In normal builds these are the std atomics,
+//!   re-exported verbatim (zero cost). Under the `model-check` feature they
+//!   are instrumented shims that turn every operation into a *schedule
+//!   point* for the deterministic interleaving explorer, and check every
+//!   load against the explorer's freed-node registry (use-after-evict
+//!   detection).
+//! * [`epoch`] — in-repo epoch-based memory reclamation with the
+//!   `crossbeam-epoch` API surface the skiplists use (`Atomic`, `Owned`,
+//!   `Shared`, `Guard`, `pin`, `unprotected`, tagged pointers,
+//!   `defer_destroy`). The build environment has no network or vendored
+//!   registry, so the dependency is reproduced here; link pointers go
+//!   through [`atomic::AtomicUsize`] so the model checker sees them.
+//! * [`model`] (feature `model-check` only) — a mini-loom: a cooperative
+//!   scheduler that serializes real OS threads, choosing which thread runs
+//!   at every schedule point from a seeded RNG. Exploring many seeds
+//!   explores many distinct interleavings; each run is fully deterministic
+//!   given its seed, so failures replay exactly.
+//!
+//! The `model-check` feature is only enabled by the schedule-exploration
+//! test suite (`cargo test -p openmldb-storage --features model-check`);
+//! default builds of the workspace never see the instrumented types, so
+//! Cargo feature unification cannot pollute production binaries that link
+//! this crate without the feature.
+
+pub mod atomic;
+pub mod epoch;
+#[cfg(feature = "model-check")]
+pub mod model;

@@ -64,12 +64,8 @@ impl Index {
             Ttl::Unlimited => None,
             Ttl::Latest(n) => Some((None, Some(n as usize), false)),
             Ttl::AbsoluteMs(ms) => Some((Some(now_ms - ms), None, false)),
-            Ttl::AbsOrLat { ms, latest } => {
-                Some((Some(now_ms - ms), Some(latest as usize), false))
-            }
-            Ttl::AbsAndLat { ms, latest } => {
-                Some((Some(now_ms - ms), Some(latest as usize), true))
-            }
+            Ttl::AbsOrLat { ms, latest } => Some((Some(now_ms - ms), Some(latest as usize), false)),
+            Ttl::AbsAndLat { ms, latest } => Some((Some(now_ms - ms), Some(latest as usize), true)),
         }
     }
 }
@@ -159,8 +155,14 @@ impl MemTable {
     pub fn find_index(&self, key_cols: &[usize], ts_col: Option<usize>) -> Option<usize> {
         self.indexes
             .iter()
-            .position(|i| i.spec.key_cols == key_cols && (ts_col.is_none() || i.spec.ts_col == ts_col))
-            .or_else(|| self.indexes.iter().position(|i| i.spec.key_cols == key_cols))
+            .position(|i| {
+                i.spec.key_cols == key_cols && (ts_col.is_none() || i.spec.ts_col == ts_col)
+            })
+            .or_else(|| {
+                self.indexes
+                    .iter()
+                    .position(|i| i.spec.key_cols == key_cols)
+            })
     }
 
     /// Configure the memory isolation limit (0 = unlimited).
@@ -175,6 +177,7 @@ impl MemTable {
         self.schema.validate_row(row.values())?;
         let limit = self.max_memory_bytes.load(Ordering::Acquire);
         if limit > 0 && self.mem_used() >= limit {
+            // analysis:allow(relaxed-ordering): statistics counter.
             self.puts_rejected.fetch_add(1, Ordering::Relaxed);
             return Err(Error::MemoryLimitExceeded {
                 used_bytes: self.mem_used() as u64,
@@ -182,7 +185,10 @@ impl MemTable {
             });
         }
         let encoded: Arc<[u8]> = Arc::from(self.codec.encode(row)?.into_boxed_slice());
-        self.payload_bytes.fetch_add(encoded.len(), Ordering::Relaxed);
+        self.payload_bytes
+            // analysis:allow(relaxed-ordering): statistics counter.
+            .fetch_add(encoded.len(), Ordering::Relaxed);
+        // analysis:allow(relaxed-ordering): statistics counter.
         self.rows.fetch_add(1, Ordering::Relaxed);
 
         let mut primary_key: Option<Arc<[KeyValue]>> = None;
@@ -191,8 +197,11 @@ impl MemTable {
             let key = row.key_for(&index.spec.key_cols);
             let ts = match index.spec.ts_col {
                 Some(c) => row.ts_at(c),
+                // analysis:allow(relaxed-ordering): monotone watermark; no
+                // other memory is published through it.
                 None => self.watermark_ms.load(Ordering::Relaxed),
             };
+            // analysis:allow(relaxed-ordering): monotone watermark.
             self.watermark_ms.fetch_max(ts, Ordering::Relaxed);
             if primary_key.is_none() {
                 primary_key = Some(Arc::from(key.clone().into_boxed_slice()));
@@ -201,14 +210,19 @@ impl MemTable {
             let key_size: usize = key.iter().map(KeyValue::mem_size).sum();
             let (list, created) = index.map.get_or_insert_with(key, TimeList::new);
             if created {
+                // analysis:allow(relaxed-ordering): statistics counter.
                 index.key_count.fetch_add(1, Ordering::Relaxed);
+                // analysis:allow(relaxed-ordering): statistics counter.
                 index.key_bytes.fetch_add(key_size, Ordering::Relaxed);
             }
             list.insert(ts, encoded.clone());
+            // analysis:allow(relaxed-ordering): statistics counter.
             index.entries.fetch_add(1, Ordering::Relaxed);
         }
         let offset = self.replicator.append_entry(
             self.name.clone(),
+            // analysis:allow(panic-path): MemTable::new rejects empty index
+            // lists, and the loop above visits every index.
             primary_key.expect("at least one index"),
             primary_ts,
             encoded,
@@ -249,7 +263,9 @@ impl MemTable {
         mut pred: impl FnMut(&Row) -> bool,
     ) -> Result<Option<Row>> {
         let index = self.index(index_id)?;
-        let Some(list) = index.map.get(&key.to_vec()) else { return Ok(None) };
+        let Some(list) = index.map.get(&key.to_vec()) else {
+            return Ok(None);
+        };
         let mut found = None;
         let mut err = None;
         list.scan(|ts, data| {
@@ -303,7 +319,9 @@ impl MemTable {
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
         let index = self.index(index_id)?;
-        let Some(list) = index.map.get(&key.to_vec()) else { return Ok(Vec::new()) };
+        let Some(list) = index.map.get(&key.to_vec()) else {
+            return Ok(Vec::new());
+        };
         list.range(lower_ts, upper_ts)
             .into_iter()
             .map(|(ts, data)| Ok((ts, self.codec.decode_projected(&data, wanted)?)))
@@ -331,7 +349,9 @@ impl MemTable {
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
         let index = self.index(index_id)?;
-        let Some(list) = index.map.get(&key.to_vec()) else { return Ok(Vec::new()) };
+        let Some(list) = index.map.get(&key.to_vec()) else {
+            return Ok(Vec::new());
+        };
         let mut out = Vec::with_capacity(limit);
         let mut err = None;
         list.scan(|ts, data| {
@@ -362,6 +382,7 @@ impl MemTable {
     /// offline engine to snapshot a table.
     pub fn scan_all(&self, index_id: usize) -> Result<Vec<Row>> {
         let index = self.index(index_id)?;
+        // analysis:allow(relaxed-ordering): capacity hint from a counter.
         let mut out = Vec::with_capacity(self.rows.load(Ordering::Relaxed));
         let mut err = None;
         index.map.for_each(|_k, list| {
@@ -388,10 +409,13 @@ impl MemTable {
     pub fn gc(&self, now_ms: i64) -> usize {
         let mut removed = 0;
         for index in &self.indexes {
-            let Some((cutoff, keep, both)) = index.truncate_args(now_ms) else { continue };
+            let Some((cutoff, keep, both)) = index.truncate_args(now_ms) else {
+                continue;
+            };
             index.map.for_each(|_k, list| {
                 let (dropped, _) = list.truncate(cutoff, keep, both);
                 removed += dropped;
+                // analysis:allow(relaxed-ordering): statistics counter.
                 index.entries.fetch_sub(dropped, Ordering::Relaxed);
             });
         }
@@ -400,11 +424,13 @@ impl MemTable {
 
     /// Total rows inserted and still accounted (payload-level).
     pub fn row_count(&self) -> usize {
+        // analysis:allow(relaxed-ordering): statistics read.
         self.rows.load(Ordering::Relaxed)
     }
 
     /// Writes rejected by memory isolation.
     pub fn rejected_writes(&self) -> u64 {
+        // analysis:allow(relaxed-ordering): statistics read.
         self.puts_rejected.load(Ordering::Relaxed)
     }
 
@@ -417,7 +443,9 @@ impl MemTable {
             let mut entries = 0usize;
             index.map.for_each(|_k, list| entries += list.len());
             total += entries * NODE_OVERHEAD
+                // analysis:allow(relaxed-ordering): statistics read.
                 + index.key_count.load(Ordering::Relaxed) * KEY_OVERHEAD
+                // analysis:allow(relaxed-ordering): statistics read.
                 + index.key_bytes.load(Ordering::Relaxed);
         }
         // Payload bytes are shared across indexes: count the live bytes of
@@ -432,6 +460,7 @@ impl MemTable {
 
     /// Watermark: the largest timestamp observed.
     pub fn watermark_ms(&self) -> i64 {
+        // analysis:allow(relaxed-ordering): monotone watermark read.
         self.watermark_ms.load(Ordering::Relaxed)
     }
 }
@@ -505,9 +534,14 @@ mod tests {
             t.put(&row(1, "a", i as f64, i * 10)).unwrap();
         }
         let top2 = t.latest_n(0, &[KeyValue::Int(1)], 35, 2).unwrap();
-        assert_eq!(top2.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(), vec![30, 20]);
+        assert_eq!(
+            top2.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(),
+            vec![30, 20]
+        );
         let found = t
-            .latest_where(0, &[KeyValue::Int(1)], None, |r| r[2].as_f64().unwrap() < 2.5)
+            .latest_where(0, &[KeyValue::Int(1)], None, |r| {
+                r[2].as_f64().unwrap() < 2.5
+            })
             .unwrap()
             .unwrap();
         assert_eq!(found[2], Value::Double(2.0));
@@ -519,8 +553,18 @@ mod tests {
             "t",
             schema(),
             vec![
-                IndexSpec { name: "by_user".into(), key_cols: vec![0], ts_col: Some(3), ttl: Ttl::Unlimited },
-                IndexSpec { name: "by_cat".into(), key_cols: vec![1], ts_col: Some(3), ttl: Ttl::Unlimited },
+                IndexSpec {
+                    name: "by_user".into(),
+                    key_cols: vec![0],
+                    ts_col: Some(3),
+                    ttl: Ttl::Unlimited,
+                },
+                IndexSpec {
+                    name: "by_cat".into(),
+                    key_cols: vec![1],
+                    ts_col: Some(3),
+                    ttl: Ttl::Unlimited,
+                },
             ],
         )
         .unwrap();
@@ -539,8 +583,18 @@ mod tests {
             "t",
             schema(),
             vec![
-                IndexSpec { name: "lat".into(), key_cols: vec![0], ts_col: Some(3), ttl: Ttl::Latest(2) },
-                IndexSpec { name: "abs".into(), key_cols: vec![1], ts_col: Some(3), ttl: Ttl::AbsoluteMs(100) },
+                IndexSpec {
+                    name: "lat".into(),
+                    key_cols: vec![0],
+                    ts_col: Some(3),
+                    ttl: Ttl::Latest(2),
+                },
+                IndexSpec {
+                    name: "abs".into(),
+                    key_cols: vec![1],
+                    ts_col: Some(3),
+                    ttl: Ttl::AbsoluteMs(100),
+                },
             ],
         )
         .unwrap();
@@ -599,7 +653,10 @@ mod tests {
         let left2 = t2.range(0, &[KeyValue::Int(1)], 0, 10_000).unwrap();
         // OR policy at now=350: cutoff 250 drops ts<250; keep-2 would allow
         // 250 and 200, but 200 violates the time bound → only 250 survives.
-        assert_eq!(left2.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(), vec![250]);
+        assert_eq!(
+            left2.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(),
+            vec![250]
+        );
     }
 
     #[test]

@@ -209,7 +209,10 @@ impl CompactCodec {
     /// pays for decoding (or allocating) the row's strings.
     pub fn decode_projected(&self, buf: &[u8], wanted: Option<&[bool]>) -> Result<Row> {
         if buf.len() < HEADER_SIZE + self.bitmap_len + self.fixed_area {
-            return Err(Error::Codec(format!("buffer too short: {} bytes", buf.len())));
+            return Err(Error::Codec(format!(
+                "buffer too short: {} bytes",
+                buf.len()
+            )));
         }
         let declared = u32::from_le_bytes(buf[2..6].try_into().unwrap()) as usize;
         if declared != buf.len() {
@@ -265,7 +268,11 @@ impl CompactCodec {
             let skip = wanted.is_some_and(|w| !w.get(i).copied().unwrap_or(false));
             if col.data_type == DataType::String {
                 let end = read_offset(var_seen);
-                let start = if var_seen == 0 { 0 } else { read_offset(var_seen - 1) };
+                let start = if var_seen == 0 {
+                    0
+                } else {
+                    read_offset(var_seen - 1)
+                };
                 var_seen += 1;
                 if skip || is_null(i) {
                     values.push(Value::Null);
@@ -412,7 +419,10 @@ mod tests {
         let buf = codec.encode(&Row::new(vec![Value::Int(1)])).unwrap();
         assert_eq!(buf[0], 3);
         assert_eq!(buf[1], 9);
-        assert_eq!(u32::from_le_bytes(buf[2..6].try_into().unwrap()) as usize, buf.len());
+        assert_eq!(
+            u32::from_le_bytes(buf[2..6].try_into().unwrap()) as usize,
+            buf.len()
+        );
         // Wrong schema version is rejected at decode time.
         let other = CompactCodec::with_versions(schema, 3, 10);
         assert!(matches!(other.decode(&buf), Err(Error::Codec(_))));

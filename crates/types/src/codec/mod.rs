@@ -12,6 +12,15 @@
 //! The paper's worked example (20 ints + 20 floats + 20 one-byte strings +
 //! 5 timestamps → 255 bytes vs 556 bytes, a 54% saving) is verified exactly
 //! by unit tests in both modules.
+//!
+//! Despite the `unsafe_row` name (inherited from Spark's `UnsafeRow`),
+//! neither codec contains any `unsafe` code: both work on plain byte
+//! slices with bounds-checked indexing. The remaining sharp edge is the
+//! deliberate set of width-limited `as` casts (offsets and header fields
+//! whose width is chosen from the encoded size), which the workspace lint
+//! (`cargo run -p openmldb-analysis -- lint`) tracks under its
+//! `lossy-cast` rule with a curated baseline — any *new* narrowing cast
+//! fails the lint.
 
 pub mod compact;
 pub mod unsafe_row;

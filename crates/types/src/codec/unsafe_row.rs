@@ -88,7 +88,10 @@ impl RowCodec for UnsafeRowCodec {
 
     fn decode(&self, buf: &[u8]) -> Result<Row> {
         if buf.len() < self.fixed_len() {
-            return Err(Error::Codec(format!("buffer too short: {} bytes", buf.len())));
+            return Err(Error::Codec(format!(
+                "buffer too short: {} bytes",
+                buf.len()
+            )));
         }
         let words_start = self.bitset_len;
         let mut values = Vec::with_capacity(self.schema.len());
@@ -160,8 +163,7 @@ mod tests {
         assert_eq!(unsafe_codec.encoded_size(&row).unwrap(), 556);
 
         let compact = CompactCodec::new(schema);
-        let saving =
-            1.0 - compact.encoded_size(&row).unwrap() as f64 / 556.0;
+        let saving = 1.0 - compact.encoded_size(&row).unwrap() as f64 / 556.0;
         assert!(saving > 0.54, "saving was {saving}");
     }
 
@@ -190,6 +192,11 @@ mod tests {
         let schema = Schema::from_pairs(&[("b", DataType::Bool)]).unwrap();
         let codec = UnsafeRowCodec::new(schema);
         // 8-byte bitset + 8-byte word: booleans are as expensive as doubles.
-        assert_eq!(codec.encoded_size(&Row::new(vec![Value::Bool(true)])).unwrap(), 16);
+        assert_eq!(
+            codec
+                .encoded_size(&Row::new(vec![Value::Bool(true)]))
+                .unwrap(),
+            16
+        );
     }
 }

@@ -46,7 +46,10 @@ impl fmt::Display for Error {
             Error::Schema(m) => write!(f, "schema error: {m}"),
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
-            Error::MemoryLimitExceeded { used_bytes, limit_bytes } => write!(
+            Error::MemoryLimitExceeded {
+                used_bytes,
+                limit_bytes,
+            } => write!(
                 f,
                 "memory limit exceeded: used {used_bytes} bytes, limit {limit_bytes} bytes \
                  (writes rejected, reads continue)"
@@ -68,9 +71,15 @@ mod tests {
 
     #[test]
     fn display_includes_context() {
-        let e = Error::Parse { message: "unexpected token".into(), position: 7 };
+        let e = Error::Parse {
+            message: "unexpected token".into(),
+            position: 7,
+        };
         assert!(e.to_string().contains("byte 7"));
-        let e = Error::MemoryLimitExceeded { used_bytes: 10, limit_bytes: 5 };
+        let e = Error::MemoryLimitExceeded {
+            used_bytes: 10,
+            limit_bytes: 5,
+        };
         assert!(e.to_string().contains("writes rejected"));
     }
 

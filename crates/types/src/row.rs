@@ -19,7 +19,9 @@ pub struct Row {
 
 impl Row {
     pub fn new(values: Vec<Value>) -> Self {
-        Row { values: values.into() }
+        Row {
+            values: values.into(),
+        }
     }
 
     pub fn values(&self) -> &[Value] {
@@ -40,7 +42,10 @@ impl Row {
 
     /// Extract the partition key for the named columns.
     pub fn key_for(&self, indices: &[usize]) -> Vec<KeyValue> {
-        indices.iter().map(|&i| KeyValue::from(&self.values[i])).collect()
+        indices
+            .iter()
+            .map(|&i| KeyValue::from(&self.values[i]))
+            .collect()
     }
 
     /// Extract a single-column order-by timestamp, as `i64`.
@@ -106,7 +111,10 @@ impl RowBatch {
     }
 
     pub fn empty(schema: Schema) -> Self {
-        RowBatch { schema, rows: Vec::new() }
+        RowBatch {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -123,7 +131,11 @@ mod tests {
     use super::*;
 
     fn row() -> Row {
-        Row::new(vec![Value::Bigint(42), Value::string("shoes"), Value::Timestamp(1_000)])
+        Row::new(vec![
+            Value::Bigint(42),
+            Value::string("shoes"),
+            Value::Timestamp(1_000),
+        ])
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::error::{Error, Result};
 use crate::value::{DataType, Value};
 
 /// One column of a table schema.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {
     pub name: String,
     pub data_type: DataType,
@@ -17,7 +17,11 @@ pub struct ColumnDef {
 
 impl ColumnDef {
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        ColumnDef { name: name.into(), data_type, nullable: true }
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
     }
 
     pub fn not_null(mut self) -> Self {
@@ -52,7 +56,10 @@ impl Schema {
                 return Err(Error::Schema(format!("duplicate column name `{}`", c.name)));
             }
         }
-        Ok(Schema { columns: columns.into(), by_name: Arc::new(by_name) })
+        Ok(Schema {
+            columns: columns.into(),
+            by_name: Arc::new(by_name),
+        })
     }
 
     /// Convenience constructor from `(name, type)` pairs.
@@ -96,7 +103,10 @@ impl Schema {
         for (v, c) in row.iter().zip(self.columns.iter()) {
             match v.data_type() {
                 None if !c.nullable => {
-                    return Err(Error::Schema(format!("NULL in non-nullable column `{}`", c.name)))
+                    return Err(Error::Schema(format!(
+                        "NULL in non-nullable column `{}`",
+                        c.name
+                    )))
                 }
                 Some(t) if t != c.data_type => {
                     return Err(Error::Type {

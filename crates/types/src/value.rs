@@ -11,7 +11,7 @@ use std::sync::Arc;
 use crate::error::{Error, Result};
 
 /// Scalar data types supported by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Bool,
     /// 32-bit signed integer (`INT`).
@@ -318,7 +318,13 @@ mod tests {
     fn numeric_cross_type_equality() {
         assert_eq!(Value::Int(3), Value::Double(3.0));
         assert_ne!(Value::Int(3), Value::Double(3.5));
-        assert_ne!(Value::Null, Value::Null.cast_to(DataType::Int).map(|_| Value::Int(0)).unwrap_or(Value::Int(0)));
+        assert_ne!(
+            Value::Null,
+            Value::Null
+                .cast_to(DataType::Int)
+                .map(|_| Value::Int(0))
+                .unwrap_or(Value::Int(0))
+        );
     }
 
     #[test]
@@ -337,7 +343,10 @@ mod tests {
         );
         assert_eq!(
             Value::Bigint(1 << 40).cast_to(DataType::Int).unwrap_err(),
-            Error::Type { expected: "INT".into(), found: "Bigint(1099511627776)".into() }
+            Error::Type {
+                expected: "INT".into(),
+                found: "Bigint(1099511627776)".into()
+            }
         );
         assert_eq!(
             Value::Double(2.5).cast_to(DataType::String).unwrap(),
@@ -347,8 +356,14 @@ mod tests {
 
     #[test]
     fn key_value_roundtrip_groups_numerics() {
-        assert_eq!(KeyValue::from(&Value::Int(5)), KeyValue::from(&Value::Bigint(5)));
-        assert_ne!(KeyValue::from(&Value::Int(5)), KeyValue::from(&Value::string("5")));
+        assert_eq!(
+            KeyValue::from(&Value::Int(5)),
+            KeyValue::from(&Value::Bigint(5))
+        );
+        assert_ne!(
+            KeyValue::from(&Value::Int(5)),
+            KeyValue::from(&Value::string("5"))
+        );
     }
 
     #[test]

@@ -182,7 +182,10 @@ mod tests {
 
     #[test]
     fn micro_rows_conform_to_schema_and_are_deterministic() {
-        let cfg = MicroConfig { rows: 500, ..Default::default() };
+        let cfg = MicroConfig {
+            rows: 500,
+            ..Default::default()
+        };
         let a = micro_rows(&cfg);
         let b = micro_rows(&cfg);
         assert_eq!(a.len(), 500);
@@ -191,13 +194,21 @@ mod tests {
             schema.validate_row(row.values()).unwrap();
         }
         assert_eq!(a, b, "seeded generation reproduces");
-        let c = micro_rows(&MicroConfig { seed: 7, rows: 500, ..Default::default() });
+        let c = micro_rows(&MicroConfig {
+            seed: 7,
+            rows: 500,
+            ..Default::default()
+        });
         assert_ne!(a, c, "different seeds differ");
     }
 
     #[test]
     fn micro_out_of_order_fraction() {
-        let cfg = MicroConfig { rows: 2_000, out_of_order: 0.3, ..Default::default() };
+        let cfg = MicroConfig {
+            rows: 2_000,
+            out_of_order: 0.3,
+            ..Default::default()
+        };
         let rows = micro_rows(&cfg);
         let late = rows
             .windows(2)
@@ -208,7 +219,11 @@ mod tests {
 
     #[test]
     fn micro_skew_concentrates_keys() {
-        let cfg = MicroConfig { rows: 5_000, key_skew: 1.2, ..Default::default() };
+        let cfg = MicroConfig {
+            rows: 5_000,
+            key_skew: 1.2,
+            ..Default::default()
+        };
         let rows = micro_rows(&cfg);
         let hot = rows.iter().filter(|r| r[1] == Value::Bigint(0)).count();
         assert!(hot > 750, "hottest key holds a large share: {hot}");
@@ -217,8 +232,7 @@ mod tests {
     #[test]
     fn talkingdata_shares_ips() {
         let rows = talkingdata_rows(5_000, 200, 1);
-        let distinct: HashSet<KeyValue> =
-            rows.iter().map(|r| KeyValue::from(&r[0])).collect();
+        let distinct: HashSet<KeyValue> = rows.iter().map(|r| KeyValue::from(&r[0])).collect();
         assert!(distinct.len() <= 200);
         assert!(rows.len() / distinct.len() >= 25, "heavy key sharing");
         let schema = talkingdata_schema();

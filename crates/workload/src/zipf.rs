@@ -64,7 +64,11 @@ mod tests {
         for _ in 0..10_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[10] * 4, "rank 0 dominates: {}", counts[0]);
+        assert!(
+            counts[0] > counts[10] * 4,
+            "rank 0 dominates: {}",
+            counts[0]
+        );
         assert!(z.top_share() > 0.15);
     }
 

@@ -13,7 +13,11 @@ use openmldb::{
 };
 
 fn txn(account: i64, amount: f64, ts: i64) -> Row {
-    Row::new(vec![Value::Bigint(account), Value::Double(amount), Value::Timestamp(ts)])
+    Row::new(vec![
+        Value::Bigint(account),
+        Value::Double(amount),
+        Value::Timestamp(ts),
+    ])
 }
 
 fn main() -> openmldb::Result<()> {
@@ -32,7 +36,10 @@ fn main() -> openmldb::Result<()> {
     // ---- 1. Placement: ask the §8.1 model which engine fits -------------
     let profile = TableMemProfile {
         replicas: 2,
-        indexes: vec![IndexMemProfile { unique_keys: 50_000_000, avg_key_len: 16 }],
+        indexes: vec![IndexMemProfile {
+            unique_keys: 50_000_000,
+            avg_key_len: 16,
+        }],
         rows: 2_000_000_000,
         avg_row_len: 120,
         table_type: TableType::Absolute,
@@ -68,7 +75,10 @@ fn main() -> openmldb::Result<()> {
         println!("{backend:>6} backend features: {:?}", out.values());
         outputs.push(out);
     }
-    assert_eq!(outputs[0], outputs[1], "identical features on either engine");
+    assert_eq!(
+        outputs[0], outputs[1],
+        "identical features on either engine"
+    );
 
     // ---- 3. Replication and failover ------------------------------------
     let leader = MemTable::new("txns", schema, vec![index])?;
@@ -76,8 +86,7 @@ fn main() -> openmldb::Result<()> {
         leader.put(&txn(i % 5, i as f64, i * 100))?;
     }
     // Two replicas attach mid-stream: catch-up is exactly-once.
-    let replicas: Vec<ReplicaTable> =
-        openmldb::storage::replicate(&leader, 2)?;
+    let replicas: Vec<ReplicaTable> = openmldb::storage::replicate(&leader, 2)?;
     for i in 500..1_000 {
         leader.put(&txn(i % 5, i as f64, i * 100))?;
     }
@@ -90,7 +99,12 @@ fn main() -> openmldb::Result<()> {
     // The leader "tablet" dies; a replica keeps serving reads.
     let survivor = replicas[0].table();
     drop(leader);
-    let latest = survivor.latest(0, &[KeyValue::Int(3)])?.expect("row exists");
-    println!("after failover, latest txn for account 3: {:?}", latest.values());
+    let latest = survivor
+        .latest(0, &[KeyValue::Int(3)])?
+        .expect("row exists");
+    println!(
+        "after failover, latest txn for account 3: {:?}",
+        latest.values()
+    );
     Ok(())
 }

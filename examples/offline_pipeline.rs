@@ -48,18 +48,31 @@ fn main() -> openmldb::Result<()> {
     println!("\n--- engine configurations ---");
     let naive = run(
         "recompute-per-row (Spark-like)",
-        &OfflineOptions { mode: WindowExecMode::RecomputePerRow, parallel_windows: false, skew: None, threads: 1 },
+        &OfflineOptions {
+            mode: WindowExecMode::RecomputePerRow,
+            parallel_windows: false,
+            skew: None,
+            threads: 1,
+        },
     )?;
     let sweep = run(
         "incremental sweep",
-        &OfflineOptions { mode: WindowExecMode::Incremental, parallel_windows: false, skew: None, threads: 1 },
+        &OfflineOptions {
+            mode: WindowExecMode::Incremental,
+            parallel_windows: false,
+            skew: None,
+            threads: 1,
+        },
     )?;
     let skewed = run(
         "incremental + skew repartitioning",
         &OfflineOptions {
             mode: WindowExecMode::Incremental,
             parallel_windows: true,
-            skew: Some(SkewConfig { factor: 4, hot_threshold: 0.2 }),
+            skew: Some(SkewConfig {
+                factor: 4,
+                hot_threshold: 0.2,
+            }),
             threads: 4,
         },
     )?;

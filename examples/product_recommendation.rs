@@ -82,9 +82,15 @@ fn main() -> openmldb::Result<()> {
 
     // Sanity: the conditional category averages only count quantity > 1.
     let prices = features[3].as_str()?;
-    assert!(prices.contains("bags:60"), "only the qty-2 bag order counts: {prices}");
+    assert!(
+        prices.contains("bags:60"),
+        "only the qty-2 bag order counts: {prices}"
+    );
     // boot (qty 2, 120) and sneaker (qty 3, 95) pass; the qty-1 rows do not.
-    assert!(prices.contains("shoes:107.5"), "qty>1 shoes average 107.5: {prices}");
+    assert!(
+        prices.contains("shoes:107.5"),
+        "qty>1 shoes average 107.5: {prices}"
+    );
     println!("ok: avg_cate_where filtered by quantity > 1");
     Ok(())
 }

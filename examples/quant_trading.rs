@@ -39,8 +39,13 @@ fn main() -> openmldb::Result<()> {
                          ROWS_RANGE BETWEEN 1d PRECEDING AND CURRENT ROW)";
 
     // Offline: indicator series for backtesting, one row per tick.
-    let ExecResult::Batch(batch) = db.execute(script)? else { unreachable!() };
-    println!("{:<6} {:>12} {:>12} {:>8} {:>8} {:>10}", "tick", "drawdown", "ewma", "low", "high", "prev");
+    let ExecResult::Batch(batch) = db.execute(script)? else {
+        unreachable!()
+    };
+    println!(
+        "{:<6} {:>12} {:>12} {:>8} {:>8} {:>10}",
+        "tick", "drawdown", "ewma", "low", "high", "prev"
+    );
     for (i, row) in batch.rows.iter().enumerate() {
         println!(
             "{:<6} {:>12.4} {:>12.2} {:>8.1} {:>8.1} {:>10}",
@@ -57,7 +62,10 @@ fn main() -> openmldb::Result<()> {
     // window covers the whole path and carries the full peak-to-trough loss.
     let final_dd = batch.rows.first().expect("rows")[1].as_f64()?;
     assert!((final_dd - (121.0 - 84.7) / 121.0).abs() < 1e-9);
-    println!("\nmax drawdown over the window: {:.2}% (peak 121 → trough 84.7)", final_dd * 100.0);
+    println!(
+        "\nmax drawdown over the window: {:.2}% (peak 121 → trough 84.7)",
+        final_dd * 100.0
+    );
 
     // Online: a live tick gets the same indicators in request mode.
     db.deploy(&format!("DEPLOY quant AS {script}"))?;

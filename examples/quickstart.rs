@@ -41,7 +41,9 @@ fn main() -> openmldb::Result<()> {
     db.deploy(&format!("DEPLOY quickstart AS {feature_sql}"))?;
 
     // 4. Offline mode: training features for every historical row.
-    let ExecResult::Batch(training) = db.execute(feature_sql)? else { unreachable!() };
+    let ExecResult::Batch(training) = db.execute(feature_sql)? else {
+        unreachable!()
+    };
     println!("offline training rows: {}", training.rows.len());
     println!("output schema:         {}", training.schema);
     for row in training.rows.iter().take(3) {

@@ -50,7 +50,9 @@ fn main() -> openmldb::Result<()> {
     // Plain deployment: the year window scans raw tuples per request.
     db.deploy(&format!("DEPLOY risk_scan AS {script}"))?;
     // Pre-aggregated deployment: daily buckets answer the year window.
-    db.deploy(&format!("DEPLOY risk_fast OPTIONS(long_windows=\"w_year:1d\") AS {script}"))?;
+    db.deploy(&format!(
+        "DEPLOY risk_fast OPTIONS(long_windows=\"w_year:1d\") AS {script}"
+    ))?;
 
     let request = Row::new(vec![
         Value::Bigint(7),
@@ -68,22 +70,34 @@ fn main() -> openmldb::Result<()> {
         for _ in 0..REPS {
             out = Some(db.request_readonly(name, &request)?);
         }
-        Ok((out.expect("ran"), start.elapsed().as_secs_f64() * 1_000.0 / REPS as f64))
+        Ok((
+            out.expect("ran"),
+            start.elapsed().as_secs_f64() * 1_000.0 / REPS as f64,
+        ))
     };
 
     let (slow_row, slow_ms) = time_requests("risk_scan")?;
     let (fast_row, fast_ms) = time_requests("risk_fast")?;
-    assert_eq!(slow_row, fast_row, "pre-aggregation must not change features");
+    assert_eq!(
+        slow_row, fast_row,
+        "pre-aggregation must not change features"
+    );
     println!("raw-scan request latency:  {slow_ms:.3} ms");
     println!("pre-agg  request latency:  {fast_ms:.3} ms");
-    println!("speedup: {:.1}x (paper Figure 11 reports ~45x at 860K tuples)", slow_ms / fast_ms);
+    println!(
+        "speedup: {:.1}x (paper Figure 11 reports ~45x at 860K tuples)",
+        slow_ms / fast_ms
+    );
     println!("features: {:?}", fast_row.values());
 
     // Memory isolation (Section 8.2): writes fail, reads continue.
     let table = openmldb::online::TableProvider::table(&db, "txns").expect("exists");
     let monitor = db.memory_monitor();
     monitor.on_alert(|a| {
-        println!("ALERT: table `{}` at {} bytes (threshold {})", a.table, a.used_bytes, a.threshold_bytes)
+        println!(
+            "ALERT: table `{}` at {} bytes (threshold {})",
+            a.table, a.used_bytes, a.threshold_bytes
+        )
     });
     monitor.watch(table.clone(), table.mem_used(), 0.5);
     monitor.poll();

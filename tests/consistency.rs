@@ -35,14 +35,15 @@ fn setup(seed: u64, rows: usize) -> Database {
                 Value::Bigint(rng.gen_range(0..5)),
                 Value::Double(rng.gen_range(-10.0..10.0)),
                 Value::Int(rng.gen_range(0..4)),
-                Value::string(cats[rng.gen_range(0..3)]),
+                Value::string(cats[rng.gen_range(0..3usize)]),
                 Value::Timestamp(rng.gen_range(0..10_000)),
             ]),
         )
         .unwrap();
     }
     for k in 0..5 {
-        db.execute(&format!("INSERT INTO dim VALUES ({k}, {k}.5, 100)")).unwrap();
+        db.execute(&format!("INSERT INTO dim VALUES ({k}, {k}.5, 100)"))
+            .unwrap();
     }
     db
 }
@@ -72,7 +73,9 @@ fn assert_rows_close(a: &Row, b: &Row, context: &str) {
 fn assert_consistent(db: &Database, name: &str, sql: &str, probe: Row) {
     db.deploy(&format!("DEPLOY {name} AS {sql}")).unwrap();
     let online = db.request(name, &probe).unwrap(); // computes THEN persists
-    let ExecResult::Batch(batch) = db.execute(sql).unwrap() else { panic!() };
+    let ExecResult::Batch(batch) = db.execute(sql).unwrap() else {
+        panic!()
+    };
     let id = probe[0].clone();
     let offline = batch
         .rows
@@ -184,10 +187,17 @@ fn preagg_deployment_consistency() {
                FROM events WINDOW w AS (PARTITION BY k ORDER BY ts \
                ROWS_RANGE BETWEEN 8s PRECEDING AND CURRENT ROW)";
     db.deploy(&format!("DEPLOY plain AS {sql}")).unwrap();
-    db.deploy(&format!("DEPLOY fast OPTIONS(long_windows=\"w:500\") AS {sql}")).unwrap();
+    db.deploy(&format!(
+        "DEPLOY fast OPTIONS(long_windows=\"w:500\") AS {sql}"
+    ))
+    .unwrap();
     let mut rng = StdRng::seed_from_u64(9);
     for i in 0..50 {
-        let p = probe(200_000 + i, rng.gen_range(0..5), rng.gen_range(5_000..12_000));
+        let p = probe(
+            200_000 + i,
+            rng.gen_range(0..5),
+            rng.gen_range(5_000..12_000),
+        );
         let a = db.request_readonly("plain", &p).unwrap();
         let b = db.request_readonly("fast", &p).unwrap();
         assert_rows_close(&a, &b, &format!("preagg probe {i}"));
@@ -208,8 +218,14 @@ fn many_random_probes_agree() {
     for i in 0..30 {
         let p = probe(300_000 + i, rng.gen_range(0..5), rng.gen_range(0..11_000));
         let online = db.request("rnd", &p).unwrap();
-        let ExecResult::Batch(batch) = db.execute(sql).unwrap() else { panic!() };
-        let offline = batch.rows.iter().find(|r| r[0] == p[0]).expect("probe present");
+        let ExecResult::Batch(batch) = db.execute(sql).unwrap() else {
+            panic!()
+        };
+        let offline = batch
+            .rows
+            .iter()
+            .find(|r| r[0] == p[0])
+            .expect("probe present");
         assert_rows_close(&online, offline, &format!("probe {i}"));
     }
 }
@@ -261,7 +277,7 @@ fn tie_heavy_streams_stay_consistent() {
                 Value::Int(rng.gen_range(0..3)),
                 Value::string("x"),
                 // Only 25 distinct timestamps → ~16 peers per instant.
-                Value::Timestamp(rng.gen_range(0..25) * 100),
+                Value::Timestamp(rng.gen_range(0..25i64) * 100),
             ]),
         )
         .unwrap();
@@ -282,8 +298,14 @@ fn tie_heavy_streams_stay_consistent() {
             Value::Timestamp((i % 25) * 100),
         ]);
         let online = db.request("ties", &p).unwrap();
-        let ExecResult::Batch(batch) = db.execute(sql).unwrap() else { panic!() };
-        let offline = batch.rows.iter().find(|r| r[0] == p[0]).expect("probe present");
+        let ExecResult::Batch(batch) = db.execute(sql).unwrap() else {
+            panic!()
+        };
+        let offline = batch
+            .rows
+            .iter()
+            .find(|r| r[0] == p[0])
+            .expect("probe present");
         assert_rows_close(&online, offline, &format!("tie probe {i}"));
     }
 }

@@ -44,7 +44,9 @@ fn full_lifecycle_train_then_serve() {
                      ROWS_RANGE BETWEEN 30s PRECEDING AND CURRENT ROW)";
 
     // Offline: training set + LibSVM export.
-    let ExecResult::Batch(training) = db.execute(script).unwrap() else { panic!() };
+    let ExecResult::Batch(training) = db.execute(script).unwrap() else {
+        panic!()
+    };
     assert_eq!(training.rows.len(), 200);
     let plan = PlanCache::new().compile(script, &db).unwrap();
     let kinds = infer_feature_kinds(&plan);
@@ -86,7 +88,10 @@ fn ttl_gc_shrinks_windows() {
     let before = db.request_readonly("counts", &request).unwrap();
     // GC at a "now" far enough that the 1-day TTL expires old rows.
     let removed = db.gc(200_000 + 86_400_000);
-    assert!(removed > 0, "absolute TTL evicts everything older than a day");
+    assert!(
+        removed > 0,
+        "absolute TTL evicts everything older than a day"
+    );
     let after = db.request_readonly("counts", &request).unwrap();
     assert!(after[0].as_i64().unwrap() < before[0].as_i64().unwrap());
 }
@@ -97,11 +102,10 @@ fn deployment_and_statement_errors_are_reported() {
     // Unknown deployment.
     assert!(db.request_readonly("nope", &Row::new(vec![])).is_err());
     // Duplicate deployment name.
-    db.deploy(
-        "DEPLOY dup AS SELECT user FROM clicks",
-    )
-    .unwrap();
-    let err = db.deploy("DEPLOY dup AS SELECT user FROM clicks").unwrap_err();
+    db.deploy("DEPLOY dup AS SELECT user FROM clicks").unwrap();
+    let err = db
+        .deploy("DEPLOY dup AS SELECT user FROM clicks")
+        .unwrap_err();
     assert!(err.to_string().contains("already exists"));
     // Unknown window in long_windows.
     let err = db
@@ -155,7 +159,9 @@ fn concurrent_requests_and_writes() {
         h.join().unwrap();
     }
     // 4 threads × 200 requests all persisted on top of the 200 seed rows.
-    let ExecResult::Batch(b) = db.execute("SELECT user FROM clicks").unwrap() else { panic!() };
+    let ExecResult::Batch(b) = db.execute("SELECT user FROM clicks").unwrap() else {
+        panic!()
+    };
     assert_eq!(b.rows.len(), 200 + 800);
 }
 
@@ -164,18 +170,30 @@ fn disk_engine_serves_time_ranges() {
     // The RocksDB-substitute path (Section 7.3) as a persistence tier.
     let engine = DiskEngine::new(
         vec![
-            ColumnFamilySpec { name: "by_user".into(), eviction_ttl_ms: Some(100_000) },
-            ColumnFamilySpec { name: "by_item".into(), eviction_ttl_ms: None },
+            ColumnFamilySpec {
+                name: "by_user".into(),
+                eviction_ttl_ms: Some(100_000),
+            },
+            ColumnFamilySpec {
+                name: "by_item".into(),
+                eviction_ttl_ms: None,
+            },
         ],
         64, // tiny memtable to force flushes
     )
     .unwrap();
     for i in 0..500i64 {
         let payload: Arc<[u8]> = Arc::from(i.to_le_bytes().to_vec().into_boxed_slice());
-        engine.put(0, &[KeyValue::Int(i % 10)], i * 100, payload.clone()).unwrap();
-        engine.put(1, &[KeyValue::Int(i % 3)], i * 100, payload).unwrap();
+        engine
+            .put(0, &[KeyValue::Int(i % 10)], i * 100, payload.clone())
+            .unwrap();
+        engine
+            .put(1, &[KeyValue::Int(i % 3)], i * 100, payload)
+            .unwrap();
     }
-    let hits = engine.range(0, &[KeyValue::Int(4)], 10_000, 30_000).unwrap();
+    let hits = engine
+        .range(0, &[KeyValue::Int(4)], 10_000, 30_000)
+        .unwrap();
     assert!(!hits.is_empty());
     assert!(hits.windows(2).all(|w| w[0].0 >= w[1].0), "newest first");
     for (ts, _) in &hits {
@@ -184,16 +202,31 @@ fn disk_engine_serves_time_ranges() {
     // now=120_000, TTL 100_000 → cf0 entries older than ts=20_000 expire.
     let dropped = engine.evict(120_000);
     assert_eq!(dropped, 200, "cf0 drops its first 200 entries");
-    assert!(engine.range(0, &[KeyValue::Int(4)], 0, 19_999).unwrap().is_empty());
-    assert_eq!(engine.range(1, &[KeyValue::Int(1)], 0, i64::MAX).unwrap().len(), 167);
+    assert!(engine
+        .range(0, &[KeyValue::Int(4)], 0, 19_999)
+        .unwrap()
+        .is_empty());
+    assert_eq!(
+        engine
+            .range(1, &[KeyValue::Int(1)], 0, i64::MAX)
+            .unwrap()
+            .len(),
+        167
+    );
 }
 
 #[test]
 fn memory_model_guides_engine_choice() {
-    use openmldb::{estimate_memory, recommend_engine, EngineChoice, IndexMemProfile, TableMemProfile, TableType};
+    use openmldb::{
+        estimate_memory, recommend_engine, EngineChoice, IndexMemProfile, TableMemProfile,
+        TableType,
+    };
     let profile = TableMemProfile {
         replicas: 3,
-        indexes: vec![IndexMemProfile { unique_keys: 10_000_000, avg_key_len: 16 }],
+        indexes: vec![IndexMemProfile {
+            unique_keys: 10_000_000,
+            avg_key_len: 16,
+        }],
         rows: 100_000_000,
         avg_row_len: 500,
         table_type: TableType::Absolute,
@@ -216,7 +249,8 @@ fn memory_isolation_keeps_serving() {
     )
     .unwrap();
     let table = TableProvider::table(&db, "clicks").unwrap();
-    db.memory_monitor().watch(table.clone(), table.mem_used(), 0.9);
+    db.memory_monitor()
+        .watch(table.clone(), table.mem_used(), 0.9);
     let request = Row::new(vec![
         Value::Bigint(1),
         Value::string("x"),
@@ -239,13 +273,20 @@ fn disk_backed_table_serves_all_three_modes() {
     )
     .unwrap();
     for i in 0..300 {
-        db.execute(&format!("INSERT INTO cold VALUES ({}, {}.0, {})", i % 4, i, i * 10))
-            .unwrap();
+        db.execute(&format!(
+            "INSERT INTO cold VALUES ({}, {}.0, {})",
+            i % 4,
+            i,
+            i * 10
+        ))
+        .unwrap();
     }
     let sql = "SELECT k, sum(v) OVER w AS s FROM cold WINDOW w AS \
                (PARTITION BY k ORDER BY ts ROWS_RANGE BETWEEN 500 PRECEDING AND CURRENT ROW)";
     // Offline mode.
-    let ExecResult::Batch(batch) = db.execute(sql).unwrap() else { panic!() };
+    let ExecResult::Batch(batch) = db.execute(sql).unwrap() else {
+        panic!()
+    };
     assert_eq!(batch.rows.len(), 300);
     // Preview mode (cached).
     let p1 = db.preview(sql, 10).unwrap();
@@ -257,7 +298,11 @@ fn disk_backed_table_serves_all_three_modes() {
     let out = db
         .request(
             "cold_q",
-            &Row::new(vec![Value::Bigint(2), Value::Double(5.0), Value::Timestamp(3_000)]),
+            &Row::new(vec![
+                Value::Bigint(2),
+                Value::Double(5.0),
+                Value::Timestamp(3_000),
+            ]),
         )
         .unwrap();
     // Stored k=2 rows with ts ∈ [2500, 3000] are i ∈ {250, 254, ..., 298}

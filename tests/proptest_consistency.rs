@@ -8,10 +8,8 @@ use proptest::prelude::*;
 
 fn build_db(rows: &[(i64, i64, f64, i64)]) -> Database {
     let db = Database::new();
-    db.execute(
-        "CREATE TABLE s (id BIGINT, k BIGINT, v DOUBLE, ts TIMESTAMP, INDEX(KEY=k, TS=ts))",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE s (id BIGINT, k BIGINT, v DOUBLE, ts TIMESTAMP, INDEX(KEY=k, TS=ts))")
+        .unwrap();
     for (i, (k, ts, v, _)) in rows.iter().enumerate() {
         db.insert_row(
             "s",
@@ -28,7 +26,7 @@ fn build_db(rows: &[(i64, i64, f64, i64)]) -> Database {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 12 })]
 
     #[test]
     fn random_streams_random_probes_agree(

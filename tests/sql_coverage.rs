@@ -68,24 +68,50 @@ fn aggregate_function_catalogue() {
     assert_eq!(feature(&db, "f_max", "max(v) OVER w"), Value::Double(60.0));
     assert_eq!(feature(&db, "f_avg", "avg(v) OVER w"), Value::Double(35.0));
     assert_eq!(feature(&db, "f_count", "count(v) OVER w"), Value::Bigint(6));
-    assert_eq!(feature(&db, "f_median", "median(v) OVER w"), Value::Double(35.0));
-    let Value::Double(sd) = feature(&db, "f_sd", "stddev(v) OVER w") else { panic!() };
+    assert_eq!(
+        feature(&db, "f_median", "median(v) OVER w"),
+        Value::Double(35.0)
+    );
+    let Value::Double(sd) = feature(&db, "f_sd", "stddev(v) OVER w") else {
+        panic!()
+    };
     assert!((sd - 18.708).abs() < 0.01, "{sd}");
 
     // Conditional family: rows with q > 1 are 20, 40, 50 and probe 60.
-    assert_eq!(feature(&db, "f_cw", "count_where(v, q > 1) OVER w"), Value::Bigint(4));
-    assert_eq!(feature(&db, "f_sw", "sum_where(v, q > 1) OVER w"), Value::Double(170.0));
-    assert_eq!(feature(&db, "f_aw", "avg_where(v, q > 1) OVER w"), Value::Double(42.5));
-    assert_eq!(feature(&db, "f_mw", "min_where(v, q > 1) OVER w"), Value::Double(20.0));
-    assert_eq!(feature(&db, "f_xw", "max_where(v, q > 1) OVER w"), Value::Double(60.0));
+    assert_eq!(
+        feature(&db, "f_cw", "count_where(v, q > 1) OVER w"),
+        Value::Bigint(4)
+    );
+    assert_eq!(
+        feature(&db, "f_sw", "sum_where(v, q > 1) OVER w"),
+        Value::Double(170.0)
+    );
+    assert_eq!(
+        feature(&db, "f_aw", "avg_where(v, q > 1) OVER w"),
+        Value::Double(42.5)
+    );
+    assert_eq!(
+        feature(&db, "f_mw", "min_where(v, q > 1) OVER w"),
+        Value::Double(20.0)
+    );
+    assert_eq!(
+        feature(&db, "f_xw", "max_where(v, q > 1) OVER w"),
+        Value::Double(60.0)
+    );
 
     // Frequency family: cats = shoes×3, bags×1+probe bags, books×1.
-    assert_eq!(feature(&db, "f_dc", "distinct_count(cat) OVER w"), Value::Bigint(3));
+    assert_eq!(
+        feature(&db, "f_dc", "distinct_count(cat) OVER w"),
+        Value::Bigint(3)
+    );
     assert_eq!(
         feature(&db, "f_topf", "topn_frequency(cat, 2) OVER w"),
         Value::string("shoes,bags")
     );
-    assert_eq!(feature(&db, "f_top", "top(v, 3) OVER w"), Value::string("60,50,40"));
+    assert_eq!(
+        feature(&db, "f_top", "top(v, 3) OVER w"),
+        Value::string("60,50,40")
+    );
 
     // Category-keyed: q>1 rows by cat: bags 20+60, shoes 50, books 40.
     assert_eq!(
@@ -102,10 +128,21 @@ fn aggregate_function_catalogue() {
     );
 
     // Time-series family (chronological feed).
-    assert_eq!(feature(&db, "f_dd", "drawdown(v) OVER w"), Value::Double(0.0));
-    assert_eq!(feature(&db, "f_lag", "lag(v, 1) OVER w"), Value::Double(50.0));
-    assert_eq!(feature(&db, "f_fv", "first_value(v) OVER w"), Value::Double(60.0));
-    let Value::Double(ew) = feature(&db, "f_ew", "ew_avg(v, 0.5) OVER w") else { panic!() };
+    assert_eq!(
+        feature(&db, "f_dd", "drawdown(v) OVER w"),
+        Value::Double(0.0)
+    );
+    assert_eq!(
+        feature(&db, "f_lag", "lag(v, 1) OVER w"),
+        Value::Double(50.0)
+    );
+    assert_eq!(
+        feature(&db, "f_fv", "first_value(v) OVER w"),
+        Value::Double(60.0)
+    );
+    let Value::Double(ew) = feature(&db, "f_ew", "ew_avg(v, 0.5) OVER w") else {
+        panic!()
+    };
     // 10 →(.5) 15 → 22.5 → 31.25 → 40.625 → 50.3125
     assert!((ew - 50.3125).abs() < 1e-9, "{ew}");
 }
@@ -131,7 +168,10 @@ fn scalar_function_catalogue_through_sql() {
         feature(&db, "s_split", "split_by_key(tags, '|', ':')"),
         Value::string("z")
     );
-    assert_eq!(feature(&db, "s_great", "greatest(v, 15.0)"), Value::Double(60.0));
+    assert_eq!(
+        feature(&db, "s_great", "greatest(v, 15.0)"),
+        Value::Double(60.0)
+    );
     assert_eq!(feature(&db, "s_ucase", "ucase(cat)"), Value::string("BAGS"));
     assert_eq!(
         feature(&db, "s_replace", "replace(cat, 'a', 'o')"),
@@ -140,7 +180,11 @@ fn scalar_function_catalogue_through_sql() {
     assert_eq!(feature(&db, "s_year", "year(ts)"), Value::Int(1970));
     assert_eq!(feature(&db, "s_str", "string(q)"), Value::string("2"));
     assert_eq!(
-        feature(&db, "s_case", "CASE WHEN q > 1 THEN ucase(cat) ELSE cat END"),
+        feature(
+            &db,
+            "s_case",
+            "CASE WHEN q > 1 THEN ucase(cat) ELSE cat END"
+        ),
         Value::string("BAGS")
     );
 }
@@ -165,8 +209,14 @@ fn offline_mode_agrees_on_the_catalogue() {
         Value::Timestamp(6_000),
     ]);
     let online = db.request("wide", &probe).unwrap();
-    let ExecResult::Batch(batch) = db.execute(sql).unwrap() else { panic!() };
-    let offline = batch.rows.iter().find(|r| r[0] == Value::Bigint(99)).unwrap();
+    let ExecResult::Batch(batch) = db.execute(sql).unwrap() else {
+        panic!()
+    };
+    let offline = batch
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::Bigint(99))
+        .unwrap();
     for (i, (x, y)) in online.values().iter().zip(offline.values()).enumerate() {
         match (x, y) {
             (Value::Double(p), Value::Double(q)) => {
