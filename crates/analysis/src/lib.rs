@@ -18,6 +18,12 @@
 //! * `lossy-cast` — narrowing `as` casts in the type codec
 //!   (`crates/types/src/codec`) silently truncate row data; use `try_from`
 //!   or annotate with `// analysis:allow(lossy-cast): <reason>`.
+//! * `metric-name` — string literals registering observability metrics must
+//!   follow `openmldb_<crate>_<name>_<unit>` (the convention documented in
+//!   `crates/obs`); a malformed name silently fragments dashboards. Applies
+//!   to every engine crate; `crates/obs` (defines the convention) and this
+//!   crate (quotes prefixes) are exempt. Opt out with
+//!   `// analysis:allow(metric-name): <reason>`.
 //!
 //! Existing, reviewed debt lives in a baseline file keyed by a
 //! line-content fingerprint (not line numbers, so code motion does not
@@ -37,11 +43,12 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, in report order.
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 5] = [
     "safety-comment",
     "relaxed-ordering",
     "panic-path",
     "lossy-cast",
+    "metric-name",
 ];
 
 /// One lint hit at a specific source line.
@@ -52,7 +59,8 @@ pub struct Violation {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// The offending code line, trimmed.
+    /// The offending code line, trimmed (for `metric-name`: the offending
+    /// literal itself, so each bad name fingerprints separately).
     pub excerpt: String,
 }
 
@@ -89,6 +97,11 @@ fn normalize(code: &str) -> String {
 struct LineInfo {
     code: String,
     comment: String,
+    /// Contents of string literals that *start* on this line (escape
+    /// sequences kept verbatim). Rules that inspect literal payloads — like
+    /// `metric-name` — read this channel; the code channel only keeps the
+    /// quotes.
+    strings: Vec<String>,
     /// Inside a `#[cfg(test)]` item body (or the attribute/header lines of
     /// one) — lint rules skip these lines.
     in_test: bool,
@@ -104,12 +117,19 @@ struct LexState {
     in_raw_string: Option<usize>,
 }
 
-/// Lex one physical line into (code, comment), updating cross-line state.
-fn lex_line(line: &str, st: &mut LexState) -> (String, String) {
+/// Lex one physical line into (code, comment, string-literal contents),
+/// updating cross-line state. Only literals that *start* on this line are
+/// collected; a literal left open at end of line yields its first-line
+/// fragment (metric names never wrap).
+fn lex_line(line: &str, st: &mut LexState) -> (String, String, Vec<String>) {
     let chars: Vec<char> = line.chars().collect();
     let n = chars.len();
     let mut code = String::new();
     let mut comment = String::new();
+    let mut strings = Vec::new();
+    // Payload of the literal currently being collected; `None` while outside
+    // a literal or inside one continued from a previous line.
+    let mut lit: Option<String> = None;
     let mut i = 0;
 
     while i < n {
@@ -131,20 +151,38 @@ fn lex_line(line: &str, st: &mut LexState) -> (String, String) {
             if chars[i] == '"' && chars[i + 1..].iter().take_while(|c| **c == '#').count() >= hashes
             {
                 st.in_raw_string = None;
+                if let Some(s) = lit.take() {
+                    strings.push(s);
+                }
                 i += 1 + hashes;
             } else {
+                if let Some(s) = lit.as_mut() {
+                    s.push(chars[i]);
+                }
                 i += 1;
             }
             continue;
         }
         if st.in_string {
             if chars[i] == '\\' {
+                if let Some(s) = lit.as_mut() {
+                    s.push(chars[i]);
+                    if i + 1 < n {
+                        s.push(chars[i + 1]);
+                    }
+                }
                 i += 2;
             } else if chars[i] == '"' {
                 st.in_string = false;
+                if let Some(s) = lit.take() {
+                    strings.push(s);
+                }
                 code.push('"');
                 i += 1;
             } else {
+                if let Some(s) = lit.as_mut() {
+                    s.push(chars[i]);
+                }
                 i += 1;
             }
             continue;
@@ -168,11 +206,13 @@ fn lex_line(line: &str, st: &mut LexState) -> (String, String) {
                 code.push('"');
                 code.push('"');
                 st.in_raw_string = Some(hashes);
+                lit = Some(String::new());
                 i += prefix_len;
             }
             '"' => {
                 code.push('"');
                 st.in_string = true;
+                lit = Some(String::new());
                 i += 1;
             }
             '\'' => {
@@ -199,7 +239,11 @@ fn lex_line(line: &str, st: &mut LexState) -> (String, String) {
             }
         }
     }
-    (code, comment)
+    // Literal still open at end of line: keep its first-line fragment.
+    if let Some(s) = lit {
+        strings.push(s);
+    }
+    (code, comment, strings)
 }
 
 /// Detect `r"`, `r#"`, `br##"`, ... at the slice start. Returns
@@ -239,7 +283,7 @@ fn preprocess(src: &str) -> Vec<LineInfo> {
     let mut test_region_depth: Option<usize> = None;
 
     for raw in src.lines() {
-        let (code, comment) = lex_line(raw, &mut st);
+        let (code, comment, strings) = lex_line(raw, &mut st);
         let code_trim = code.trim();
 
         if test_region_depth.is_none()
@@ -262,6 +306,7 @@ fn preprocess(src: &str) -> Vec<LineInfo> {
         lines.push(LineInfo {
             code,
             comment,
+            strings,
             in_test,
         });
 
@@ -351,11 +396,51 @@ fn has_lossy_cast(code: &str) -> bool {
     false
 }
 
+/// Metric naming convention, mirrored from `crates/obs`: the lint must not
+/// depend on the crate it audits, so the lists are duplicated here and the
+/// obs unit tests pin both sides to the same convention.
+const METRIC_CRATES: [&str; 6] = ["online", "core", "storage", "exec", "sql", "bench"];
+const METRIC_UNITS: [&str; 8] = [
+    "total", "bytes", "ns", "ms", "seconds", "ratio", "rows", "count",
+];
+
+/// Checks `openmldb_<crate>_<name>_<unit>`, ignoring a `{label=...}` suffix.
+/// Mirrors `openmldb_obs::validate_metric_name`.
+fn valid_metric_name(name: &str) -> bool {
+    let base = name.split('{').next().unwrap_or(name);
+    let Some(rest) = base.strip_prefix("openmldb_") else {
+        return false;
+    };
+    let Some((crate_seg, tail)) = rest.split_once('_') else {
+        return false;
+    };
+    if !METRIC_CRATES.contains(&crate_seg) {
+        return false;
+    }
+    let Some((stem, unit)) = tail.rsplit_once('_') else {
+        return false;
+    };
+    if stem.is_empty() || !METRIC_UNITS.contains(&unit) {
+        return false;
+    }
+    base.chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
 /// Which rules apply to a repo-relative path.
 fn rules_for(path: &str) -> Vec<&'static str> {
     let mut rules = Vec::new();
     if path.starts_with("crates/") && path.contains("/src/") {
         rules.push("safety-comment");
+    }
+    if path.starts_with("crates/")
+        && path.contains("/src/")
+        // obs defines the convention (its validator quotes the bare prefix);
+        // this crate mirrors it. Both would self-flag.
+        && !path.starts_with("crates/obs/src/")
+        && !path.starts_with("crates/analysis/src/")
+    {
+        rules.push("metric-name");
     }
     if path.starts_with("crates/storage/src/") {
         rules.push("relaxed-ordering");
@@ -421,6 +506,19 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Violation> {
             && !allowed(&lines, idx, "lossy-cast")
         {
             violate("lossy-cast", idx, code);
+        }
+        if rules.contains(&"metric-name") {
+            for lit in &li.strings {
+                // Only literals claiming the metric namespace are checked;
+                // the excerpt is the offending name so distinct names get
+                // distinct baseline fingerprints.
+                if lit.starts_with("openmldb_")
+                    && !valid_metric_name(lit)
+                    && !allowed(&lines, idx, "metric-name")
+                {
+                    violate("metric-name", idx, lit);
+                }
+            }
         }
     }
     out
@@ -729,6 +827,84 @@ mod tests {
 
         let annotated = "fn f(x: u64) -> u32 {\n    // analysis:allow(lossy-cast): bounded by header check above.\n    x as u32\n}\n";
         assert!(scan_source("crates/types/src/codec/mod.rs", annotated).is_empty());
+    }
+
+    #[test]
+    fn metric_name_convention_enforced() {
+        // Well-formed names in every position pass.
+        let good = "fn f(r: &Registry) {\n    r.counter(\"openmldb_storage_seeks_total\", \"h\");\n    r.gauge(\"openmldb_core_memory_used_bytes\", \"h\");\n}\n";
+        assert!(scan_source(STORAGE, good).is_empty());
+
+        // A `{label="..."}` suffix (format-string escaped) is ignored when
+        // validating the base name.
+        let labeled = r#"fn f(r: &Registry) {
+    r.gauge(&format!("openmldb_online_union_worker_load_rows{{worker=\"{w}\"}}"), "h");
+}
+"#;
+        assert!(scan_source("crates/online/src/x.rs", labeled).is_empty());
+
+        // Missing unit, unknown crate segment, uppercase: all flagged, with
+        // the literal itself as the excerpt.
+        let bad = "fn f(r: &Registry) {\n    r.counter(\"openmldb_storage_seeks\", \"h\");\n    r.counter(\"openmldb_web_requests_total\", \"h\");\n    r.counter(\"openmldb_storage_Seeks_total\", \"h\");\n}\n";
+        let v = scan_source(STORAGE, bad);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "metric-name"));
+        assert_eq!(v[0].excerpt, "openmldb_storage_seeks");
+        assert_eq!(v[1].line, 3);
+
+        // Annotation opts out; strings without the metric prefix (crate
+        // names, prose) are not the rule's business.
+        let annotated = "fn f(r: &Registry) {\n    // analysis:allow(metric-name): legacy dashboard key.\n    r.counter(\"openmldb_storage_seeks\", \"h\");\n    let _ = \"openmldb-analysis\";\n    let _ = \"openmldb\";\n}\n";
+        assert!(scan_source(STORAGE, annotated).is_empty());
+    }
+
+    #[test]
+    fn metric_name_validator_mirrors_obs() {
+        // The lint must not depend on the crate it audits, so the validator
+        // is duplicated; this pins both copies to the same convention.
+        let corpus = [
+            "openmldb_online_requests_total",
+            "openmldb_storage_scan_len_rows",
+            "openmldb_online_union_worker_load_rows{worker=\"3\"}",
+            "openmldb_bench_p99_ms",
+            "openmldb_storage_seeks",
+            "openmldb_web_requests_total",
+            "openmldb_storage_Seeks_total",
+            "openmldb__total",
+            "openmldb_",
+            "requests_total",
+        ];
+        for name in corpus {
+            assert_eq!(
+                valid_metric_name(name),
+                openmldb_obs::validate_metric_name(name),
+                "validators diverge on {name:?}"
+            );
+        }
+        for crate_seg in METRIC_CRATES {
+            assert!(openmldb_obs::METRIC_CRATES.contains(&crate_seg));
+        }
+        for unit in METRIC_UNITS {
+            assert!(openmldb_obs::METRIC_UNITS.contains(&unit));
+        }
+        assert_eq!(METRIC_CRATES.len(), openmldb_obs::METRIC_CRATES.len());
+        assert_eq!(METRIC_UNITS.len(), openmldb_obs::METRIC_UNITS.len());
+    }
+
+    #[test]
+    fn metric_name_scope_and_test_exemptions() {
+        let bad = "fn f(r: &Registry) {\n    r.counter(\"openmldb_bogus\", \"h\");\n}\n";
+        // The convention's own home and this linter are exempt.
+        assert!(scan_source("crates/obs/src/lib.rs", bad).is_empty());
+        assert!(scan_source("crates/analysis/src/lib.rs", bad).is_empty());
+        // Any engine crate is in scope, including ones with no other rules.
+        assert_eq!(scan_source("crates/sql/src/x.rs", bad).len(), 1);
+        // Test regions keep their freedom to name things badly.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t(r: &Registry) {\n        r.counter(\"openmldb_bogus\", \"h\");\n    }\n}\n";
+        assert!(scan_source(STORAGE, test_only).is_empty());
+        // Metric names quoted in comments are prose, not registrations.
+        let prose = "fn f() {}\n// render emits \"openmldb_bogus\" lines\n";
+        assert!(scan_source(STORAGE, prose).is_empty());
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! * incremental (subtract-and-evict) vs recompute sliding windows — §5.2;
 //! * cyclic binding (shared state) vs independent aggregates — §4.2;
 //! * pre-aggregated vs raw long-window queries — §5.1;
-//! * SQL parse + plan, with and without the compilation cache — §4.2.
+//! * SQL parse + plan, with and without the compilation cache — §4.2;
+//! * observability overhead: the fig06-style request loop plus raw metric
+//!   primitives. Run once with default features and once with
+//!   `--features obs-off`; the `obs_overhead/request` delta between the two
+//!   runs is the instrumentation cost (budget: <2%).
 
 use std::sync::Arc;
 
@@ -260,6 +264,56 @@ fn plan_compilation(c: &mut Criterion) {
     g.finish();
 }
 
+fn obs_overhead(c: &mut Criterion) {
+    use openmldb_bench::scenarios::{micro_db, micro_request, micro_sql};
+
+    let mut g = c.benchmark_group("obs_overhead");
+
+    // End-to-end: the fig06-style request loop the obs/obs-off comparison
+    // targets — requests anchored at the end of the generated history
+    // (ts_step_ms = 10) so every window scan covers real rows. All
+    // instrumentation (request counter, duration histogram, spans,
+    // seek/scan/aggregate metrics) sits inside this call.
+    let db = micro_db(20_000, 20, 0.0, 1);
+    db.deploy(&format!("DEPLOY hp AS {}", micro_sql(1, 1, 60_000, false)))
+        .unwrap();
+    let mut i = 0i64;
+    g.bench_function("request", |b| {
+        b.iter(|| {
+            i += 1;
+            db.request_readonly(
+                "hp",
+                &micro_request(1_000_000 + i, i % 20, 200_000 + i % 100),
+            )
+            .unwrap()
+        })
+    });
+
+    // Raw primitive costs: what one increment / one record / one sampled-out
+    // span costs on the hot path (all no-ops under obs-off).
+    let counter = openmldb_obs::Registry::global().counter(
+        "openmldb_bench_hot_ops_total",
+        "hot-path counter cost probe",
+    );
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = openmldb_obs::Registry::global().histogram(
+        "openmldb_bench_hot_record_ns",
+        "hot-path histogram cost probe",
+    );
+    let mut v = 0u64;
+    g.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_add(977);
+            hist.record(v % 1_000_000);
+        })
+    });
+    g.bench_function("span_untraced", |b| {
+        // No active trace on this thread: the common fast path.
+        b.iter(|| openmldb_obs::span(openmldb_obs::Stage::Aggregate, || std::hint::black_box(1)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     codecs,
@@ -267,6 +321,7 @@ criterion_group!(
     sliding_windows,
     cyclic_binding,
     preagg_query,
-    plan_compilation
+    plan_compilation,
+    obs_overhead
 );
 criterion_main!(benches);

@@ -27,5 +27,10 @@ fn main() {
     e::backend::run();
     e::ablations::run_bucket_granularity();
     e::ablations::run_rebalance_period();
+    let obs = e::obs_snapshot::run();
+    if obs.diverged {
+        eprintln!("obs snapshot diverged from harness measurements beyond tolerance");
+        std::process::exit(1);
+    }
     println!("\nAll experiments complete.");
 }

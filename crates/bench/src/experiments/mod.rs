@@ -13,6 +13,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig_union;
+pub mod obs_snapshot;
 pub mod sweeps;
 pub mod tab02;
 pub mod tab03;

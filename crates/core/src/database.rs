@@ -367,6 +367,7 @@ impl Database {
         if let Some(cached) = self.preview_cache.read().get(&key) {
             self.preview_hits
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            crate::metrics::preview_cache_hits().inc();
             let mut batch = (**cached).clone();
             batch
                 .rows

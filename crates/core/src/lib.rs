@@ -8,6 +8,7 @@
 
 pub mod database;
 pub mod memory;
+pub mod metrics;
 
 pub use database::{Database, ExecResult};
 pub use memory::{

@@ -100,18 +100,29 @@ pub enum EngineChoice {
 
 /// Pick a storage engine for a table given its estimate, the memory
 /// available, and the request latency budget.
+///
+/// The budget boundary is **20 ms**: a budget of 19 ms or less picks the
+/// in-memory engine (when the estimate fits); 20 ms or more accepts the
+/// disk engine's latency for its ~80% hardware saving. Every decision is
+/// recorded in a per-tier counter (`openmldb_core_tier_*_total`).
 pub fn recommend_engine(
     estimated_bytes: u64,
     available_bytes: u64,
     latency_budget_ms: u64,
 ) -> EngineChoice {
-    if estimated_bytes > available_bytes {
+    let choice = if estimated_bytes > available_bytes {
         EngineChoice::DiskRequired
     } else if latency_budget_ms >= 20 {
         EngineChoice::OnDisk
     } else {
         EngineChoice::InMemory
+    };
+    match choice {
+        EngineChoice::InMemory => crate::metrics::tier_inmemory().inc(),
+        EngineChoice::OnDisk => crate::metrics::tier_ondisk().inc(),
+        EngineChoice::DiskRequired => crate::metrics::tier_diskrequired().inc(),
     }
+    choice
 }
 
 /// A fired memory alert.
@@ -166,6 +177,7 @@ impl MemoryMonitor {
     /// fired this round.
     pub fn poll(&self) -> Vec<MemoryAlert> {
         let mut fired = Vec::new();
+        let mut total_used = 0usize;
         {
             let mut watches = self.watches.write();
             for w in watches.iter_mut() {
@@ -173,6 +185,7 @@ impl MemoryMonitor {
                     continue;
                 }
                 let used = w.table.mem_used();
+                total_used += used;
                 if used >= w.threshold_bytes {
                     if !w.fired {
                         w.fired = true;
@@ -187,6 +200,9 @@ impl MemoryMonitor {
                 }
             }
         }
+        crate::metrics::memory_used().set(total_used as f64);
+        crate::metrics::memory_watermark().set_max(total_used as f64);
+        crate::metrics::memory_alerts().add(fired.len() as u64);
         let handlers = self.handlers.read();
         for alert in &fired {
             for h in handlers.iter() {
@@ -258,6 +274,31 @@ mod tests {
         assert_eq!(recommend_engine(10, 100, 10), EngineChoice::InMemory);
         assert_eq!(recommend_engine(10, 100, 25), EngineChoice::OnDisk);
         assert_eq!(recommend_engine(200, 100, 10), EngineChoice::DiskRequired);
+    }
+
+    /// The documented 20 ms budget boundary: 19 ms stays in memory, 20 ms
+    /// moves to disk — and each decision lands in its tier counter.
+    #[test]
+    fn tier_boundary_at_20ms_and_counters_record_decisions() {
+        let inmem0 = crate::metrics::tier_inmemory().value();
+        let ondisk0 = crate::metrics::tier_ondisk().value();
+        let forced0 = crate::metrics::tier_diskrequired().value();
+
+        assert_eq!(recommend_engine(10, 100, 19), EngineChoice::InMemory);
+        assert_eq!(recommend_engine(10, 100, 20), EngineChoice::OnDisk);
+        assert_eq!(recommend_engine(10, 100, 0), EngineChoice::InMemory);
+        assert_eq!(recommend_engine(10, 100, u64::MAX), EngineChoice::OnDisk);
+        // over-budget estimate wins regardless of latency budget
+        assert_eq!(recommend_engine(101, 100, 19), EngineChoice::DiskRequired);
+        assert_eq!(recommend_engine(101, 100, 20), EngineChoice::DiskRequired);
+
+        if openmldb_obs::enabled() {
+            // counters are global and other tests run in parallel, so only
+            // lower bounds are safe to assert
+            assert!(crate::metrics::tier_inmemory().value() >= inmem0 + 2);
+            assert!(crate::metrics::tier_ondisk().value() >= ondisk0 + 2);
+            assert!(crate::metrics::tier_diskrequired().value() >= forced0 + 2);
+        }
     }
 
     fn small_table() -> Arc<dyn DataTable> {

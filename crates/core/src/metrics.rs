@@ -1,0 +1,83 @@
+//! Global observability handles for the database facade and the memory
+//! manager.
+
+use openmldb_obs::{Counter, Gauge, Registry};
+use std::sync::{Arc, OnceLock};
+
+fn counter(cell: &'static OnceLock<Arc<Counter>>, name: &str, help: &str) -> &'static Counter {
+    cell.get_or_init(|| Registry::global().counter(name, help))
+}
+
+fn gauge(cell: &'static OnceLock<Arc<Gauge>>, name: &str, help: &str) -> &'static Gauge {
+    cell.get_or_init(|| Registry::global().gauge(name, help))
+}
+
+/// Tier decisions that picked the in-memory engine.
+pub fn tier_inmemory() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_core_tier_inmemory_total",
+        "Engine recommendations that chose the in-memory tier",
+    )
+}
+
+/// Tier decisions that picked the disk engine on latency-budget grounds.
+pub fn tier_ondisk() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_core_tier_ondisk_total",
+        "Engine recommendations that chose disk for a relaxed latency budget",
+    )
+}
+
+/// Tier decisions forced to disk because the estimate exceeded memory.
+pub fn tier_diskrequired() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_core_tier_diskrequired_total",
+        "Engine recommendations forced to disk by the memory estimate",
+    )
+}
+
+/// Bytes used by monitored tables at the last poll.
+pub fn memory_used() -> &'static Gauge {
+    static M: OnceLock<Arc<Gauge>> = OnceLock::new();
+    gauge(
+        &M,
+        "openmldb_core_memory_used_bytes",
+        "Bytes used by monitored tables at the last poll",
+    )
+}
+
+/// High watermark of monitored memory usage across all polls.
+pub fn memory_watermark() -> &'static Gauge {
+    static M: OnceLock<Arc<Gauge>> = OnceLock::new();
+    gauge(
+        &M,
+        "openmldb_core_memory_watermark_bytes",
+        "High watermark of monitored table memory usage",
+    )
+}
+
+/// Threshold-crossing alerts fired by the memory monitor.
+pub fn memory_alerts() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_core_memory_alerts_total",
+        "Memory threshold alerts fired by the monitor",
+    )
+}
+
+/// Offline preview executions answered from the preview cache.
+pub fn preview_cache_hits() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_core_preview_cache_hits_total",
+        "Offline previews answered from the preview cache",
+    )
+}

@@ -123,8 +123,10 @@ impl SlidingWindow {
             evicted.push(self.buffer.pop_front().expect("non-empty"));
         }
 
+        crate::metrics::window_evictions().add(evicted.len() as u64);
         if self.all_invertible {
             self.incremental_steps += 1;
+            crate::metrics::incremental_steps().inc();
             // The just-inserted entry was never applied to the aggregates:
             // retract only genuinely old evictions, and apply the new entry
             // only if it survived (a very late tuple can expire on arrival).
@@ -155,6 +157,7 @@ impl SlidingWindow {
         } else {
             // Full recomputation in chronological order.
             self.recompute_steps += 1;
+            crate::metrics::recompute_steps().inc();
             for agg in &mut self.aggs {
                 agg.reset();
             }

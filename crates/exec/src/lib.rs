@@ -14,6 +14,7 @@ pub mod agg;
 pub mod eval;
 pub mod export;
 pub mod incremental;
+pub mod metrics;
 pub mod scalar;
 pub mod window;
 

@@ -1,0 +1,542 @@
+//! Zero-overhead observability layer for the OpenMLDB reproduction.
+//!
+//! Three primitives, all lock-free on the record path:
+//!
+//! * [`Counter`] — monotonically increasing, sharded across cache-line-padded
+//!   atomics so concurrent writers on different cores never contend.
+//! * [`Gauge`] — an `f64` point-in-time value (memory watermarks, load ratios).
+//! * [`Histogram`] — log-linear (HDR-style) latency histogram with mergeable
+//!   per-thread shards and exact percentile extraction (see [`hist`]).
+//!
+//! Plus a request-scoped span tracer ([`trace`]) that decomposes a request
+//! into pipeline stages (plan → cache lookup → window dispatch → storage seek
+//! → aggregate → encode) with nanosecond timestamps, retained in a bounded
+//! ring buffer.
+//!
+//! All metrics live in the process-wide [`Registry`] and are exposed through
+//! [`Registry::render`] (Prometheus text format) and
+//! [`Registry::render_json`]. There is deliberately no network listener —
+//! exposition is a pure string API the embedding binary can serve however it
+//! likes.
+//!
+//! # Naming convention
+//!
+//! Metric names must match `openmldb_<crate>_<name>_<unit>` where `<crate>`
+//! is one of the engine crates (`online`, `core`, `storage`, `exec`, `sql`,
+//! `bench`) and `<unit>` is a recognised unit suffix (`total`, `bytes`, `ns`,
+//! `ms`, `seconds`, `ratio`, `rows`, `count`). [`validate_metric_name`]
+//! enforces this at registration time and the `openmldb-analysis` lint
+//! enforces it statically.
+//!
+//! # Feature gating
+//!
+//! The `obs-off` cargo feature compiles every record-path operation to an
+//! inlined empty body. Registration and rendering keep working (values read
+//! as zero) so instrumented call sites never need `cfg` gates of their own.
+
+pub mod hist;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use trace::{span, with_request_trace, SpanRecord, Stage, Trace, Tracer};
+
+use std::collections::BTreeMap;
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of shards used by [`Counter`] and [`Histogram`]. Power of two.
+pub const SHARDS: usize = 8;
+
+/// One atomic on its own cache line, so shards never false-share.
+#[cfg(not(feature = "obs-off"))]
+#[repr(align(64))]
+#[derive(Default)]
+pub(crate) struct PaddedU64(pub(crate) AtomicU64);
+
+/// Returns a stable per-thread shard index in `0..SHARDS`.
+///
+/// Threads are assigned round-robin on first use; the assignment is cached in
+/// a thread-local so the hot path is a single TLS read.
+#[cfg(not(feature = "obs-off"))]
+#[inline]
+pub(crate) fn shard_idx() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    IDX.with(|i| *i)
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter, sharded to avoid write contention.
+///
+/// `inc`/`add` touch exactly one relaxed atomic on the caller's home shard;
+/// `value` sums all shards (read path only, may race with writers — fine for
+/// statistics).
+#[derive(Default)]
+pub struct Counter {
+    #[cfg(not(feature = "obs-off"))]
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.shards[shard_idx()].0.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
+    /// Current total across all shards.
+    pub fn value(&self) -> u64 {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.shards
+                .iter()
+                .map(|s| s.0.load(Ordering::Relaxed))
+                .sum()
+        }
+        #[cfg(feature = "obs-off")]
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A point-in-time `f64` value stored as bits in a single atomic.
+#[derive(Default)]
+pub struct Gauge {
+    #[cfg(not(feature = "obs-off"))]
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the gauge (last writer wins).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = v;
+    }
+
+    /// Raise the gauge to `v` if `v` is larger than the current value
+    /// (high-watermark semantics).
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let mut cur = self.bits.load(Ordering::Relaxed);
+            while v > f64::from_bits(cur) {
+                match self.bits.compare_exchange_weak(
+                    cur,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+        #[cfg(feature = "obs-off")]
+        let _ = v;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            f64::from_bits(self.bits.load(Ordering::Relaxed))
+        }
+        #[cfg(feature = "obs-off")]
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Name validation
+// ---------------------------------------------------------------------------
+
+/// Crate segments accepted in metric names.
+pub const METRIC_CRATES: &[&str] = &["online", "core", "storage", "exec", "sql", "bench"];
+
+/// Unit suffixes accepted in metric names.
+pub const METRIC_UNITS: &[&str] = &[
+    "total", "bytes", "ns", "ms", "seconds", "ratio", "rows", "count",
+];
+
+/// Checks a metric name against the `openmldb_<crate>_<name>_<unit>`
+/// convention. A `{key="value",...}` label suffix is allowed and ignored.
+pub fn validate_metric_name(name: &str) -> bool {
+    let base = name.split('{').next().unwrap_or(name);
+    let Some(rest) = base.strip_prefix("openmldb_") else {
+        return false;
+    };
+    let Some((crate_seg, tail)) = rest.split_once('_') else {
+        return false;
+    };
+    if !METRIC_CRATES.contains(&crate_seg) {
+        return false;
+    }
+    let Some((stem, unit)) = tail.rsplit_once('_') else {
+        return false;
+    };
+    if stem.is_empty() || !METRIC_UNITS.contains(&unit) {
+        return false;
+    }
+    base.chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Process-wide metric registry.
+///
+/// Handles are registered lazily via [`Registry::counter`] /
+/// [`Registry::gauge`] / [`Registry::histogram`]; repeated calls with the
+/// same name return the same underlying metric. Call sites are expected to
+/// cache the returned `Arc` (e.g. in a `OnceLock`) so the registry lock is
+/// never on a hot path.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, (String, Metric)>>,
+}
+
+fn registry_lock(
+    m: &Mutex<BTreeMap<String, (String, Metric)>>,
+) -> std::sync::MutexGuard<'_, BTreeMap<String, (String, Metric)>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry all engine crates record into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or register a counter. Panics if `name` violates the naming
+    /// convention or is already registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        assert!(
+            validate_metric_name(name),
+            "invalid metric name {name:?}: expected openmldb_<crate>_<name>_<unit>"
+        );
+        let mut map = registry_lock(&self.metrics);
+        let entry = map
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::Counter(Arc::new(Counter::new()))));
+        match &entry.1 {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Get or register a gauge. Panics on invalid name or kind mismatch.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        assert!(
+            validate_metric_name(name),
+            "invalid metric name {name:?}: expected openmldb_<crate>_<name>_<unit>"
+        );
+        let mut map = registry_lock(&self.metrics);
+        let entry = map
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::Gauge(Arc::new(Gauge::new()))));
+        match &entry.1 {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Get or register a histogram. Panics on invalid name or kind mismatch.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        assert!(
+            validate_metric_name(name),
+            "invalid metric name {name:?}: expected openmldb_<crate>_<name>_<unit>"
+        );
+        let mut map = registry_lock(&self.metrics);
+        let entry = map.entry(name.to_string()).or_insert_with(|| {
+            (
+                help.to_string(),
+                Metric::Histogram(Arc::new(Histogram::new())),
+            )
+        });
+        match &entry.1 {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Names of all registered metrics (sorted).
+    pub fn metric_names(&self) -> Vec<String> {
+        registry_lock(&self.metrics).keys().cloned().collect()
+    }
+
+    /// Prometheus text exposition.
+    ///
+    /// Histograms are rendered in summary style (`{quantile="..."}` series
+    /// plus `_sum`/`_count`) because percentiles are extracted exactly from
+    /// the log-linear buckets rather than re-estimated by the scraper.
+    pub fn render(&self) -> String {
+        let map = registry_lock(&self.metrics);
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, (help, metric)) in map.iter() {
+            let base = name.split('{').next().unwrap_or(name).to_string();
+            if base != last_base {
+                if !help.is_empty() {
+                    out.push_str(&format!("# HELP {base} {help}\n"));
+                }
+                let ptype = match metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "summary",
+                };
+                out.push_str(&format!("# TYPE {base} {ptype}\n"));
+                last_base = base.clone();
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.value())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.value())),
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    for (q, label) in [
+                        (0.50, "0.5"),
+                        (0.90, "0.9"),
+                        (0.99, "0.99"),
+                        (0.999, "0.999"),
+                    ] {
+                        out.push_str(&format!(
+                            "{base}{{quantile=\"{label}\"}} {}\n",
+                            snap.percentile(q)
+                        ));
+                    }
+                    out.push_str(&format!("{base}_sum {}\n", snap.sum()));
+                    out.push_str(&format!("{base}_count {}\n", snap.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition: `{"metrics":[...]}` with one object per metric.
+    pub fn render_json(&self) -> String {
+        let map = registry_lock(&self.metrics);
+        let mut items = Vec::with_capacity(map.len());
+        for (name, (_, metric)) in map.iter() {
+            let item = match metric {
+                Metric::Counter(c) => {
+                    format!(
+                        "{{\"name\":\"{name}\",\"kind\":\"counter\",\"value\":{}}}",
+                        c.value()
+                    )
+                }
+                Metric::Gauge(g) => {
+                    let v = g.value();
+                    let v = if v.is_finite() { v } else { 0.0 };
+                    format!("{{\"name\":\"{name}\",\"kind\":\"gauge\",\"value\":{v}}}")
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    format!(
+                        "{{\"name\":\"{name}\",\"kind\":\"histogram\",\"count\":{},\"sum\":{},\
+                         \"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                        s.count(),
+                        s.sum(),
+                        s.percentile(0.50),
+                        s.percentile(0.90),
+                        s.percentile(0.99),
+                        s.percentile(0.999),
+                    )
+                }
+            };
+            items.push(item);
+        }
+        format!("{{\"metrics\":[{}]}}", items.join(","))
+    }
+}
+
+/// Whether recording is compiled in (i.e. the `obs-off` feature is absent).
+pub const fn enabled() -> bool {
+    cfg!(not(feature = "obs-off"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shards_sum() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        if enabled() {
+            assert_eq!(c.value(), 42);
+        } else {
+            assert_eq!(c.value(), 0);
+        }
+    }
+
+    #[test]
+    fn counter_concurrent_increments_are_not_lost() {
+        let c = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        if enabled() {
+            assert_eq!(c.value(), 40_000);
+        }
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let g = Gauge::new();
+        g.set(3.5);
+        g.set_max(2.0);
+        if enabled() {
+            assert_eq!(g.value(), 3.5);
+            g.set_max(7.25);
+            assert_eq!(g.value(), 7.25);
+        } else {
+            assert_eq!(g.value(), 0.0);
+        }
+    }
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(validate_metric_name("openmldb_online_requests_total"));
+        assert!(validate_metric_name("openmldb_storage_scan_len_rows"));
+        assert!(validate_metric_name("openmldb_core_memory_used_bytes"));
+        assert!(validate_metric_name(
+            "openmldb_online_union_worker_load_rows{worker=\"3\"}"
+        ));
+        // wrong prefix / crate / unit / casing
+        assert!(!validate_metric_name("requests_total"));
+        assert!(!validate_metric_name("openmldb_nosuch_requests_total"));
+        assert!(!validate_metric_name("openmldb_online_requests"));
+        assert!(!validate_metric_name("openmldb_online_requests_furlongs"));
+        assert!(!validate_metric_name("openmldb_online_Requests_total"));
+        assert!(!validate_metric_name("openmldb_online__total"));
+    }
+
+    #[test]
+    fn registry_roundtrip_and_render() {
+        let r = Registry::new();
+        let c = r.counter("openmldb_online_requests_total", "requests served");
+        c.add(5);
+        let g = r.gauge("openmldb_core_memory_used_bytes", "resident bytes");
+        g.set(1024.0);
+        let h = r.histogram("openmldb_online_request_duration_ns", "request latency");
+        h.record(1000);
+        h.record(2000);
+
+        // same-name lookup returns the same metric
+        let c2 = r.counter("openmldb_online_requests_total", "");
+        c2.inc();
+        if enabled() {
+            assert_eq!(c.value(), 6);
+        }
+
+        let text = r.render();
+        assert!(text.contains("# TYPE openmldb_online_requests_total counter"));
+        assert!(text.contains("# TYPE openmldb_core_memory_used_bytes gauge"));
+        assert!(text.contains("# TYPE openmldb_online_request_duration_ns summary"));
+        assert!(text.contains("openmldb_online_request_duration_ns_count"));
+
+        let json = r.render_json();
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.contains("\"kind\":\"histogram\""));
+        assert_eq!(r.metric_names().len(), 3);
+    }
+
+    #[test]
+    fn registry_labeled_series_share_type_line() {
+        let r = Registry::new();
+        r.gauge(
+            "openmldb_online_union_worker_load_rows{worker=\"0\"}",
+            "load",
+        )
+        .set(10.0);
+        r.gauge(
+            "openmldb_online_union_worker_load_rows{worker=\"1\"}",
+            "load",
+        )
+        .set(30.0);
+        let text = r.render();
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE openmldb_online_union_worker_load_rows"))
+            .count();
+        assert_eq!(type_lines, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn registry_rejects_bad_name() {
+        Registry::new().counter("bad_name", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let r = Registry::new();
+        r.counter("openmldb_online_requests_total", "");
+        r.gauge("openmldb_online_requests_total", "");
+    }
+}

@@ -1,0 +1,362 @@
+//! Request-scoped span tracing.
+//!
+//! A trace decomposes one online request into pipeline stages
+//! (plan → cache lookup → window dispatch → storage seek → aggregate →
+//! encode) with nanosecond start/duration timestamps relative to the
+//! request's arrival. Traces are sampled (1 in [`DEFAULT_SAMPLE_EVERY`] by
+//! default) and retained in a bounded ring buffer of [`RING_CAPACITY`]
+//! entries, so tracing never grows memory and costs a single sequence-number
+//! `fetch_add` plus one thread-local check per span on unsampled requests.
+//!
+//! The active trace is propagated through a thread-local, so deeply nested
+//! code (the SQL cache, the storage layer) can call [`span`] without
+//! threading a context handle through every signature: outside a sampled
+//! [`with_request_trace`] scope, `span` runs the closure with zero recording.
+
+#[cfg(not(feature = "obs-off"))]
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+#[cfg(not(feature = "obs-off"))]
+use std::time::Instant;
+
+/// Default sampling interval: one traced request per this many.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 64;
+
+/// Maximum retained traces; older traces are dropped FIFO.
+pub const RING_CAPACITY: usize = 128;
+
+/// Pipeline stages a request moves through. Mirrors the execution order in
+/// `online::engine::execute_request`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// SQL parsing and physical-plan construction.
+    Plan,
+    /// Plan-cache probe (hit or miss).
+    CacheLookup,
+    /// Choosing the window path (pre-aggregated vs. raw scan) and routing.
+    WindowDispatch,
+    /// Skiplist / disk seeks and row collection.
+    StorageSeek,
+    /// Window aggregate evaluation.
+    Aggregate,
+    /// Projecting and encoding the output row.
+    Encode,
+}
+
+impl Stage {
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Plan => "plan",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::WindowDispatch => "window_dispatch",
+            Stage::StorageSeek => "storage_seek",
+            Stage::Aggregate => "aggregate",
+            Stage::Encode => "encode",
+        }
+    }
+}
+
+/// One timed stage within a trace.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub stage: Stage,
+    /// Nanoseconds from the start of the request.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+/// A completed request trace.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Request sequence number at sampling time.
+    pub seq: u64,
+    /// End-to-end request duration.
+    pub total_ns: u64,
+    /// Spans in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+#[cfg(not(feature = "obs-off"))]
+struct ActiveTrace {
+    t0: Instant,
+    seq: u64,
+    spans: Vec<SpanRecord>,
+}
+
+#[cfg(not(feature = "obs-off"))]
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Global trace collector: samples requests and retains completed traces in
+/// a bounded ring.
+pub struct Tracer {
+    seq: AtomicU64,
+    sample_every: AtomicU64,
+    ring: Mutex<VecDeque<Trace>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Tracer {
+            seq: AtomicU64::new(0),
+            sample_every: AtomicU64::new(DEFAULT_SAMPLE_EVERY),
+            ring: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+        }
+    }
+
+    /// The process-wide tracer used by [`with_request_trace`] / [`span`].
+    pub fn global() -> &'static Tracer {
+        static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+        GLOBAL.get_or_init(Tracer::new)
+    }
+
+    /// Change the sampling interval (`1` traces every request; `0` is
+    /// clamped to `1`). Intended for tests and bench runs.
+    pub fn set_sample_every(&self, n: u64) {
+        self.sample_every.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Run `f` as a request scope. If this request is sampled, spans opened
+    /// inside `f` on this thread are collected and the completed trace is
+    /// pushed into the ring buffer.
+    #[inline]
+    pub fn with_request_trace<R>(&self, f: impl FnOnce() -> R) -> R {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let every = self.sample_every.load(Ordering::Relaxed).max(1);
+            let sampled = seq.is_multiple_of(every);
+            // nested scopes (offline query inside a request) never re-enter
+            let already = ACTIVE.with(|a| a.borrow().is_some());
+            if !sampled || already {
+                return f();
+            }
+            ACTIVE.with(|a| {
+                *a.borrow_mut() = Some(ActiveTrace {
+                    t0: Instant::now(),
+                    seq,
+                    spans: Vec::with_capacity(8),
+                })
+            });
+            // drop guard so a panicking `f` cannot leak the active trace
+            // into an unrelated later request on this thread
+            struct Finish<'t> {
+                tracer: &'t Tracer,
+            }
+            impl Drop for Finish<'_> {
+                fn drop(&mut self) {
+                    if let Some(active) = ACTIVE.with(|a| a.borrow_mut().take()) {
+                        self.tracer.push(Trace {
+                            seq: active.seq,
+                            total_ns: active.t0.elapsed().as_nanos() as u64,
+                            spans: active.spans,
+                        });
+                    }
+                }
+            }
+            let guard = Finish { tracer: self };
+            let out = f();
+            drop(guard);
+            out
+        }
+        #[cfg(feature = "obs-off")]
+        f()
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    fn push(&self, trace: Trace) {
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() == RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// Completed traces, oldest first.
+    pub fn recent(&self) -> Vec<Trace> {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        ring.iter().cloned().collect()
+    }
+
+    /// Number of requests that have passed through `with_request_trace`.
+    pub fn requests_seen(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// JSON array of retained traces:
+    /// `[{"seq":..,"total_ns":..,"spans":[{"stage":"plan",...}]}]`.
+    pub fn render_json(&self) -> String {
+        let traces = self.recent();
+        let mut items = Vec::with_capacity(traces.len());
+        for t in &traces {
+            let spans: Vec<String> = t
+                .spans
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"stage\":\"{}\",\"start_ns\":{},\"dur_ns\":{}}}",
+                        s.stage.name(),
+                        s.start_ns,
+                        s.dur_ns
+                    )
+                })
+                .collect();
+            items.push(format!(
+                "{{\"seq\":{},\"total_ns\":{},\"spans\":[{}]}}",
+                t.seq,
+                t.total_ns,
+                spans.join(",")
+            ));
+        }
+        format!("[{}]", items.join(","))
+    }
+}
+
+/// Time `f` as `stage` within the current thread's active trace, if any.
+/// Outside a sampled request scope this is a thread-local `is_some` check
+/// and nothing else.
+#[inline]
+pub fn span<R>(stage: Stage, f: impl FnOnce() -> R) -> R {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        let t0 = ACTIVE.with(|a| a.borrow().as_ref().map(|t| t.t0));
+        let Some(t0) = t0 else {
+            return f();
+        };
+        let start_ns = t0.elapsed().as_nanos() as u64;
+        let out = f();
+        let end_ns = t0.elapsed().as_nanos() as u64;
+        ACTIVE.with(|a| {
+            if let Some(active) = a.borrow_mut().as_mut() {
+                active.spans.push(SpanRecord {
+                    stage,
+                    start_ns,
+                    dur_ns: end_ns.saturating_sub(start_ns),
+                });
+            }
+        });
+        out
+    }
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = stage;
+        f()
+    }
+}
+
+/// Convenience wrapper over [`Tracer::global`].
+#[inline]
+pub fn with_request_trace<R>(f: impl FnOnce() -> R) -> R {
+    Tracer::global().with_request_trace(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_outside_scope_are_noops() {
+        let v = span(Stage::Plan, || 7);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn sampled_trace_collects_spans_in_order() {
+        let tracer = Tracer::new();
+        tracer.set_sample_every(1);
+        let out = tracer.with_request_trace(|| {
+            span(Stage::Plan, || {
+                std::thread::sleep(std::time::Duration::from_micros(50))
+            });
+            span(Stage::StorageSeek, || ());
+            span(Stage::Encode, || ());
+            42
+        });
+        assert_eq!(out, 42);
+        let traces = tracer.recent();
+        if !crate::enabled() {
+            assert!(traces.is_empty());
+            return;
+        }
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(
+            t.spans.iter().map(|s| s.stage).collect::<Vec<_>>(),
+            vec![Stage::Plan, Stage::StorageSeek, Stage::Encode]
+        );
+        assert!(t.spans[0].dur_ns >= 50_000, "sleep span too short: {t:?}");
+        assert!(t.total_ns >= t.spans[0].dur_ns);
+        assert!(t.spans[1].start_ns >= t.spans[0].start_ns);
+        let json = tracer.render_json();
+        assert!(json.contains("\"stage\":\"storage_seek\""));
+    }
+
+    #[test]
+    fn sampling_interval_respected() {
+        let tracer = Tracer::new();
+        tracer.set_sample_every(4);
+        for _ in 0..8 {
+            tracer.with_request_trace(|| span(Stage::Aggregate, || ()));
+        }
+        if crate::enabled() {
+            assert_eq!(tracer.requests_seen(), 8);
+            assert_eq!(tracer.recent().len(), 2); // seq 0 and 4
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let tracer = Tracer::new();
+        tracer.set_sample_every(1);
+        for _ in 0..(RING_CAPACITY + 10) {
+            tracer.with_request_trace(|| ());
+        }
+        if crate::enabled() {
+            let traces = tracer.recent();
+            assert_eq!(traces.len(), RING_CAPACITY);
+            // oldest were evicted
+            assert_eq!(traces[0].seq, 10);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_do_not_double_trace() {
+        let tracer = Tracer::new();
+        tracer.set_sample_every(1);
+        tracer.with_request_trace(|| {
+            tracer.with_request_trace(|| span(Stage::Plan, || ()));
+        });
+        if crate::enabled() {
+            // the outer scope owns the trace; the inner one runs untraced
+            // (but still bumps the sequence number)
+            assert_eq!(tracer.recent().len(), 1);
+            assert_eq!(tracer.requests_seen(), 2);
+        }
+    }
+
+    #[test]
+    fn panic_does_not_leak_active_trace() {
+        let tracer = Tracer::new();
+        tracer.set_sample_every(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tracer.with_request_trace(|| panic!("boom"));
+        }));
+        assert!(result.is_err());
+        // a later span on this thread must not attach to the dead trace
+        span(Stage::Encode, || ());
+        if crate::enabled() {
+            let traces = tracer.recent();
+            assert_eq!(traces.len(), 1);
+            assert!(traces[0].spans.is_empty());
+        }
+    }
+}

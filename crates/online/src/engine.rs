@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use openmldb_exec::{evaluate, WindowAggSet};
+use openmldb_obs::trace as obs;
 use openmldb_sql::ast::Frame;
 use openmldb_sql::plan::{BoundWindow, CompiledQuery};
 use openmldb_types::{Error, KeyValue, Result, Row, Value};
@@ -94,7 +95,25 @@ impl Deployment {
 
 /// Execute one request tuple through a deployment, producing one feature
 /// row (online request mode).
+///
+/// Each call is a request scope for the span tracer and records into the
+/// `openmldb_online_requests_total` / `openmldb_online_request_duration_ns`
+/// metrics.
 pub fn execute_request(
+    provider: &dyn TableProvider,
+    dep: &Deployment,
+    request: &Row,
+) -> Result<Row> {
+    obs::with_request_trace(|| {
+        let t0 = std::time::Instant::now();
+        let out = execute_request_inner(provider, dep, request);
+        crate::metrics::requests().inc();
+        crate::metrics::request_duration().record(t0.elapsed().as_nanos() as u64);
+        out
+    })
+}
+
+fn execute_request_inner(
     provider: &dyn TableProvider,
     dep: &Deployment,
     request: &Row,
@@ -104,37 +123,42 @@ pub fn execute_request(
 
     // 1. LAST JOINs: build the combined row.
     let mut combined: Vec<Value> = request.values().to_vec();
-    for join in &q.joins {
-        let table = provider
-            .table(&join.table)
-            .ok_or_else(|| Error::Storage(format!("unknown table `{}`", join.table)))?;
-        let key: Vec<KeyValue> = join
-            .eq_pairs
-            .iter()
-            .map(|&(l, _)| KeyValue::from(&combined[l]))
-            .collect();
-        let right_keys: Vec<usize> = join.eq_pairs.iter().map(|&(_, r)| r).collect();
-        let index = table
-            .find_index(&right_keys, join.order_col)
-            .ok_or_else(|| Error::Storage(format!("no index on `{}` for join keys", join.table)))?;
-        let matched = match &join.residual {
-            None => table.latest(index, &key)?,
-            Some(pred) => {
-                let mut check = |row: &Row| {
-                    let mut probe = combined.clone();
-                    probe.extend(row.values().iter().cloned());
-                    evaluate(pred, &probe, &[])
-                        .and_then(|v| v.as_bool())
-                        .unwrap_or(false)
-                };
-                table.latest_where(index, &key, None, &mut check)?
+    obs::span(obs::Stage::StorageSeek, || -> Result<()> {
+        for join in &q.joins {
+            let table = provider
+                .table(&join.table)
+                .ok_or_else(|| Error::Storage(format!("unknown table `{}`", join.table)))?;
+            let key: Vec<KeyValue> = join
+                .eq_pairs
+                .iter()
+                .map(|&(l, _)| KeyValue::from(&combined[l]))
+                .collect();
+            let right_keys: Vec<usize> = join.eq_pairs.iter().map(|&(_, r)| r).collect();
+            let index = table
+                .find_index(&right_keys, join.order_col)
+                .ok_or_else(|| {
+                    Error::Storage(format!("no index on `{}` for join keys", join.table))
+                })?;
+            let matched = match &join.residual {
+                None => table.latest(index, &key)?,
+                Some(pred) => {
+                    let mut check = |row: &Row| {
+                        let mut probe = combined.clone();
+                        probe.extend(row.values().iter().cloned());
+                        evaluate(pred, &probe, &[])
+                            .and_then(|v| v.as_bool())
+                            .unwrap_or(false)
+                    };
+                    table.latest_where(index, &key, None, &mut check)?
+                }
+            };
+            match matched {
+                Some(row) => combined.extend(row.values().iter().cloned()),
+                None => combined.extend((0..join.schema.len()).map(|_| Value::Null)),
             }
-        };
-        match matched {
-            Some(row) => combined.extend(row.values().iter().cloned()),
-            None => combined.extend((0..join.schema.len()).map(|_| Value::Null)),
         }
-    }
+        Ok(())
+    })?;
 
     // 2. WHERE filter (a request failing the predicate yields an all-NULL
     // feature row rather than an error).
@@ -152,51 +176,68 @@ pub fn execute_request(
         if by_window[wid].is_empty() {
             continue;
         }
-        let anchor_ts = request.ts_at(window.order_col);
-        let agg_refs: Vec<_> = by_window[wid].iter().map(|&i| &q.aggregates[i]).collect();
+        obs::span(obs::Stage::WindowDispatch, || -> Result<()> {
+            let anchor_ts = request.ts_at(window.order_col);
+            let agg_refs: Vec<_> = by_window[wid].iter().map(|&i| &q.aggregates[i]).collect();
 
-        // Pre-aggregation fast path: only for pure range frames, and not
-        // for INSTANCE_NOT_IN_WINDOW (buckets mix base and union rows and
-        // cannot exclude the base table per query).
-        if let (Some(preagg), Frame::RowsRange { preceding_ms }, false) = (
-            &dep.preaggs[wid],
-            window.frame,
-            window.instance_not_in_window,
-        ) {
-            let key = request.key_for(&window.partition_cols);
-            let lower = anchor_ts - preceding_ms;
-            // The request row is part of the window unless excluded — it is
-            // not yet in storage, so it is folded in after the bucket merge.
-            let include_request = !window.exclude_current_row;
-            let extra = include_request.then_some(request);
-            let outs = preagg.query_with_extra_row(&key, lower, anchor_ts, extra, |lo, hi| {
-                raw_window_rows(provider, q, window, &key, lo, hi)
-            })?;
-            for (slot, v) in by_window[wid].iter().zip(outs) {
-                agg_values[*slot] = v;
+            // Pre-aggregation fast path: only for pure range frames, and not
+            // for INSTANCE_NOT_IN_WINDOW (buckets mix base and union rows and
+            // cannot exclude the base table per query).
+            if let (Some(preagg), Frame::RowsRange { preceding_ms }, false) = (
+                &dep.preaggs[wid],
+                window.frame,
+                window.instance_not_in_window,
+            ) {
+                crate::metrics::preagg_hits().inc();
+                let key = request.key_for(&window.partition_cols);
+                let lower = anchor_ts - preceding_ms;
+                // The request row is part of the window unless excluded — it
+                // is not yet in storage, so it is folded in after the bucket
+                // merge.
+                let include_request = !window.exclude_current_row;
+                let extra = include_request.then_some(request);
+                let outs = obs::span(obs::Stage::Aggregate, || {
+                    preagg.query_with_extra_row(&key, lower, anchor_ts, extra, |lo, hi| {
+                        raw_window_rows(provider, q, window, &key, lo, hi)
+                    })
+                })?;
+                for (slot, v) in by_window[wid].iter().zip(outs) {
+                    agg_values[*slot] = v;
+                }
+                return Ok(());
             }
-            continue;
-        }
+            if dep.preaggs[wid].is_some() {
+                crate::metrics::preagg_skips().inc();
+            }
 
-        // Scan path: gather window rows (request row is the anchor),
-        // decoding only the columns this window's aggregates read.
-        let wanted = Some(dep.window_projections[wid].as_slice());
-        let rows = collect_window_rows_projected(provider, q, window, request, anchor_ts, wanted)?;
-        let mut set = WindowAggSet::new(&agg_refs)?;
-        for r in &rows {
-            set.update(r.values())?;
-        }
-        for (slot, v) in by_window[wid].iter().zip(set.outputs()) {
-            agg_values[*slot] = v;
-        }
+            // Scan path: gather window rows (request row is the anchor),
+            // decoding only the columns this window's aggregates read.
+            let wanted = Some(dep.window_projections[wid].as_slice());
+            let rows = obs::span(obs::Stage::StorageSeek, || {
+                collect_window_rows_projected(provider, q, window, request, anchor_ts, wanted)
+            })?;
+            obs::span(obs::Stage::Aggregate, || -> Result<()> {
+                let mut set = WindowAggSet::new(&agg_refs)?;
+                for r in &rows {
+                    set.update(r.values())?;
+                }
+                for (slot, v) in by_window[wid].iter().zip(set.outputs()) {
+                    agg_values[*slot] = v;
+                }
+                Ok(())
+            })?;
+            Ok(())
+        })?;
     }
 
     // 4. Project the select list.
-    let mut out = Vec::with_capacity(q.select.len());
-    for col in &q.select {
-        out.push(evaluate(&col.expr, &combined, &agg_values)?);
-    }
-    Ok(Row::new(out))
+    obs::span(obs::Stage::Encode, || -> Result<Row> {
+        let mut out = Vec::with_capacity(q.select.len());
+        for col in &q.select {
+            out.push(evaluate(&col.expr, &combined, &agg_values)?);
+        }
+        Ok(Row::new(out))
+    })
 }
 
 /// Raw rows for a window's key within `[lo, hi]`, from the base table and

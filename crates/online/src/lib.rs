@@ -14,6 +14,7 @@
 //!   frequency tracker behind hierarchy adaptation.
 
 pub mod engine;
+pub mod metrics;
 pub mod preagg;
 pub mod segtree;
 pub mod window_union;

@@ -1,0 +1,95 @@
+//! Global observability handles for the online request-mode engine.
+//!
+//! Accessors lazily register in the process-wide
+//! [`Registry`](openmldb_obs::Registry) and cache the handle in a
+//! `OnceLock`; the request hot path costs a handful of sharded relaxed
+//! atomics per request.
+
+use openmldb_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
+
+fn counter(cell: &'static OnceLock<Arc<Counter>>, name: &str, help: &str) -> &'static Counter {
+    cell.get_or_init(|| Registry::global().counter(name, help))
+}
+
+/// Requests executed through `execute_request`.
+pub fn requests() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_requests_total",
+        "Request-mode executions through the online engine",
+    )
+}
+
+/// End-to-end request latency distribution.
+pub fn request_duration() -> &'static Histogram {
+    static M: OnceLock<Arc<Histogram>> = OnceLock::new();
+    M.get_or_init(|| {
+        Registry::global().histogram(
+            "openmldb_online_request_duration_ns",
+            "End-to-end online request latency",
+        )
+    })
+}
+
+/// Windows served by the pre-aggregation fast path.
+pub fn preagg_hits() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_preagg_hits_total",
+        "Windows served by the pre-aggregation fast path",
+    )
+}
+
+/// Windows that had a pre-aggregator attached but fell back to a raw scan
+/// (frame shape or window attributes made the fast path inapplicable).
+pub fn preagg_skips() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_preagg_skips_total",
+        "Windows with a pre-aggregator that still took the raw scan path",
+    )
+}
+
+/// Pre-aggregated buckets merged into answers.
+pub fn preagg_bucket_hits() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_preagg_bucket_hits_total",
+        "Pre-aggregated buckets merged into window answers",
+    )
+}
+
+/// Tuples pushed through window-union workers.
+pub fn union_tuples() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_union_tuples_total",
+        "Tuples routed through self-adjusting window-union workers",
+    )
+}
+
+/// Worker imbalance of the most recently flushed window union
+/// (max load / mean load; 1.0 is perfectly balanced).
+pub fn union_imbalance() -> &'static Gauge {
+    static M: OnceLock<Arc<Gauge>> = OnceLock::new();
+    M.get_or_init(|| {
+        Registry::global().gauge(
+            "openmldb_online_union_imbalance_ratio",
+            "Window-union worker imbalance (max/mean tuple load)",
+        )
+    })
+}
+
+/// Per-worker tuple load of the most recently flushed window union.
+pub fn union_worker_load(worker: usize) -> Arc<Gauge> {
+    Registry::global().gauge(
+        &format!("openmldb_online_union_worker_load_rows{{worker=\"{worker}\"}}"),
+        "Tuples processed per window-union worker",
+    )
+}

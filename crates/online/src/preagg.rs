@@ -211,6 +211,7 @@ impl PreAggregator {
                             }
                         }
                         level.hits.fetch_add(1, Ordering::Relaxed);
+                        crate::metrics::preagg_bucket_hits().inc();
                     }
                     // Empty buckets contribute nothing but still count as
                     // covered — there is no raw data there either.

@@ -181,6 +181,7 @@ impl WindowUnion {
         *self.key_traffic.lock().entry(key.clone()).or_insert(0) += 1;
         let _ = self.senders[worker].send(Task::Tuple { key, ts, row });
         self.pushed += 1;
+        crate::metrics::union_tuples().inc();
         if let Scheduling::SelfAdjusting { rebalance_every } = self.config.scheduling {
             if self.pushed.is_multiple_of(rebalance_every as u64) {
                 self.rebalance();
@@ -235,7 +236,10 @@ impl WindowUnion {
         }
     }
 
-    /// Wait until every worker has drained its queue.
+    /// Wait until every worker has drained its queue, then publish this
+    /// union's per-worker loads and imbalance ratio to the global registry
+    /// (last flushed union wins — the gauges describe the most recent
+    /// quiescent state).
     pub fn flush(&self) {
         let (ack_tx, ack_rx) = bounded(self.senders.len());
         for s in &self.senders {
@@ -244,6 +248,10 @@ impl WindowUnion {
         for _ in 0..self.senders.len() {
             let _ = ack_rx.recv();
         }
+        for (worker, load) in self.worker_loads().into_iter().enumerate() {
+            crate::metrics::union_worker_load(worker).set(load as f64);
+        }
+        crate::metrics::union_imbalance().set(self.imbalance());
     }
 
     /// Per-worker tuples processed — the imbalance diagnostic.
@@ -417,6 +425,34 @@ mod tests {
             .unwrap();
             let b = step(&mut rec, Frame::RowsRange { preceding_ms: 50 }, ts, row).unwrap();
             assert_eq!(a, b, "incremental and recompute agree at step {i}");
+        }
+    }
+
+    #[test]
+    fn loads_published_to_registry_on_flush() {
+        let u = run(
+            UnionConfig {
+                workers: 4,
+                frame: Frame::RowsRange { preceding_ms: 100 },
+                scheduling: Scheduling::StaticHash,
+                incremental: true,
+            },
+            4_000,
+            8,
+        );
+        // the per-instance counters stay exact regardless of other tests
+        assert_eq!(u.worker_loads().iter().sum::<u64>(), 4_000);
+        // ... and flush() published them as labeled gauges plus the
+        // imbalance ratio (values are last-writer-wins across unions, so
+        // only presence and the >= 1.0 invariant are asserted here)
+        let names = openmldb_obs::Registry::global().metric_names();
+        for worker in 0..4 {
+            let series = format!("openmldb_online_union_worker_load_rows{{worker=\"{worker}\"}}");
+            assert!(names.contains(&series), "missing {series}");
+        }
+        assert!(names.contains(&"openmldb_online_union_imbalance_ratio".to_string()));
+        if openmldb_obs::enabled() {
+            assert!(crate::metrics::union_imbalance().value() >= 1.0);
         }
     }
 

@@ -13,6 +13,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use openmldb_obs::trace as obs;
 use openmldb_types::Result;
 
 use crate::parser::parse_select;
@@ -95,17 +96,31 @@ impl PlanCache {
     /// Compile `sql` against `catalog`, reusing a cached plan when the
     /// normalized text matches a prior compilation.
     pub fn compile(&self, sql: &str, catalog: &dyn Catalog) -> Result<Arc<CompiledQuery>> {
-        let normalized = normalize_sql(sql)?;
-        let mut h = DefaultHasher::new();
-        normalized.hash(&mut h);
-        let key = h.finish();
-        if let Some(plan) = self.plans.lock().expect("cache poisoned").get(&key) {
+        let cached = obs::span(obs::Stage::CacheLookup, || -> Result<_> {
+            let normalized = normalize_sql(sql)?;
+            let mut h = DefaultHasher::new();
+            normalized.hash(&mut h);
+            let key = h.finish();
+            let plan = self
+                .plans
+                .lock()
+                .expect("cache poisoned")
+                .get(&key)
+                .cloned();
+            Ok((key, plan))
+        });
+        let (key, hit) = cached?;
+        if let Some(plan) = hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(plan.clone());
+            crate::metrics::plan_cache_hits().inc();
+            return Ok(plan);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let stmt = parse_select(sql)?;
-        let plan = Arc::new(compile_select(&stmt, catalog)?);
+        crate::metrics::plan_cache_misses().inc();
+        let plan = obs::span(obs::Stage::Plan, || -> Result<_> {
+            let stmt = parse_select(sql)?;
+            Ok(Arc::new(compile_select(&stmt, catalog)?))
+        })?;
         self.plans
             .lock()
             .expect("cache poisoned")

@@ -20,6 +20,7 @@ pub mod ast;
 pub mod cache;
 pub mod functions;
 pub mod interval;
+pub mod metrics;
 pub mod parser;
 pub mod plan;
 pub mod token;

@@ -1,0 +1,32 @@
+//! Global observability handles for the SQL front-end.
+//!
+//! Each accessor lazily registers its metric in the process-wide
+//! [`Registry`](openmldb_obs::Registry) on first use and caches the handle in
+//! a `OnceLock`, so hot paths never touch the registry lock.
+
+use openmldb_obs::{Counter, Registry};
+use std::sync::{Arc, OnceLock};
+
+fn counter(cell: &'static OnceLock<Arc<Counter>>, name: &str, help: &str) -> &'static Counter {
+    cell.get_or_init(|| Registry::global().counter(name, help))
+}
+
+/// Plan-cache probes that found a cached plan.
+pub fn plan_cache_hits() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_sql_plan_cache_hits_total",
+        "Compilation cache probes that reused a cached plan",
+    )
+}
+
+/// Plan-cache probes that had to parse and compile.
+pub fn plan_cache_misses() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_sql_plan_cache_misses_total",
+        "Compilation cache probes that parsed and compiled from scratch",
+    )
+}

@@ -17,6 +17,7 @@ pub mod binlog;
 pub mod disk;
 pub mod disk_table;
 pub mod hll;
+pub mod metrics;
 pub mod replica;
 pub mod skiplist;
 pub mod sync;

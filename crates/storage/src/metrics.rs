@@ -1,0 +1,54 @@
+//! Global observability handles for the storage engine.
+//!
+//! Accessors lazily register in the process-wide
+//! [`Registry`](openmldb_obs::Registry) and cache the handle in a
+//! `OnceLock`, so the hot read/GC paths only pay one sharded relaxed
+//! atomic per event.
+
+use openmldb_obs::{Counter, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
+
+fn counter(cell: &'static OnceLock<Arc<Counter>>, name: &str, help: &str) -> &'static Counter {
+    cell.get_or_init(|| Registry::global().counter(name, help))
+}
+
+/// Point lookups / range probes against a skiplist index (one per key seek).
+pub fn seeks() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_seeks_total",
+        "Skiplist key seeks (latest / range / latest_n probes)",
+    )
+}
+
+/// Distribution of rows touched per window scan.
+pub fn scan_len() -> &'static Histogram {
+    static M: OnceLock<Arc<Histogram>> = OnceLock::new();
+    M.get_or_init(|| {
+        Registry::global().histogram(
+            "openmldb_storage_scan_len_rows",
+            "Rows returned per skiplist range/latest_n scan",
+        )
+    })
+}
+
+/// Entries removed by TTL garbage collection.
+pub fn ttl_evictions() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_ttl_evictions_total",
+        "Entries removed by TTL garbage collection",
+    )
+}
+
+/// Deferred skiplist nodes actually freed by epoch reclamation.
+pub fn epoch_reclaimed() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_epoch_reclaimed_total",
+        "Deferred allocations freed by epoch-based reclamation",
+    )
+}

@@ -182,6 +182,7 @@ fn collect() {
         }
         ready
     };
+    crate::metrics::epoch_reclaimed().add(ready.len() as u64);
     for d in ready {
         d.execute();
     }

@@ -245,6 +245,7 @@ impl MemTable {
     /// the pre-ranked time list).
     pub fn latest(&self, index_id: usize, key: &[KeyValue]) -> Result<Option<Row>> {
         let index = self.index(index_id)?;
+        crate::metrics::seeks().inc();
         match index.map.get(&key.to_vec()) {
             Some(list) => match list.latest() {
                 Some((_, data)) => Ok(Some(self.decode(&data)?)),
@@ -263,6 +264,7 @@ impl MemTable {
         mut pred: impl FnMut(&Row) -> bool,
     ) -> Result<Option<Row>> {
         let index = self.index(index_id)?;
+        crate::metrics::seeks().inc();
         let Some(list) = index.map.get(&key.to_vec()) else {
             return Ok(None);
         };
@@ -319,13 +321,20 @@ impl MemTable {
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
         let index = self.index(index_id)?;
+        crate::metrics::seeks().inc();
         let Some(list) = index.map.get(&key.to_vec()) else {
+            crate::metrics::scan_len().record(0);
             return Ok(Vec::new());
         };
-        list.range(lower_ts, upper_ts)
+        let out: Result<Vec<(i64, Row)>> = list
+            .range(lower_ts, upper_ts)
             .into_iter()
             .map(|(ts, data)| Ok((ts, self.codec.decode_projected(&data, wanted)?)))
-            .collect()
+            .collect();
+        if let Ok(rows) = &out {
+            crate::metrics::scan_len().record(rows.len() as u64);
+        }
+        out
     }
 
     /// The newest `limit` rows for `key` with ts ≤ `upper_ts`, newest first.
@@ -349,7 +358,9 @@ impl MemTable {
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
         let index = self.index(index_id)?;
+        crate::metrics::seeks().inc();
         let Some(list) = index.map.get(&key.to_vec()) else {
+            crate::metrics::scan_len().record(0);
             return Ok(Vec::new());
         };
         let mut out = Vec::with_capacity(limit);
@@ -372,6 +383,7 @@ impl MemTable {
                 }
             }
         });
+        crate::metrics::scan_len().record(out.len() as u64);
         match err {
             Some(e) => Err(e),
             None => Ok(out),
@@ -419,6 +431,7 @@ impl MemTable {
                 index.entries.fetch_sub(dropped, Ordering::Relaxed);
             });
         }
+        crate::metrics::ttl_evictions().add(removed as u64);
         removed
     }
 

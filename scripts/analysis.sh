@@ -32,6 +32,11 @@ fi
 step "workspace tests"
 cargo test --workspace -q
 
+step "observability compiled out (obs-off build + tests)"
+cargo build -q -p openmldb --features obs-off
+cargo test -q -p openmldb-obs --features obs-off
+cargo test -q -p openmldb --features obs-off --test observability
+
 step "schedule explorer (model-check feature)"
 cargo test -q -p openmldb-storage --features model-check
 

@@ -41,6 +41,7 @@ pub use openmldb_core::{
     MemoryAlert, MemoryMonitor, TableMemProfile, TableType,
 };
 pub use openmldb_exec as exec;
+pub use openmldb_obs as obs;
 pub use openmldb_offline as offline;
 pub use openmldb_online as online;
 pub use openmldb_sql as sql;

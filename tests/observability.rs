@@ -1,0 +1,160 @@
+//! End-to-end observability: one process exercises the online engine, the
+//! plan cache, storage GC, the incremental executor and the memory manager,
+//! then checks that the global registry exposes the full metric surface and
+//! that the span tracer captured request breakdowns.
+
+use openmldb::obs::{Registry, Stage, Tracer};
+use openmldb::sql::ast::Frame;
+use openmldb::{recommend_engine, Row, Value};
+
+fn serve_some_requests() -> openmldb::Database {
+    let db = openmldb::Database::new();
+    db.execute(
+        "CREATE TABLE actions (userid BIGINT, price DOUBLE, ts TIMESTAMP, \
+         INDEX(KEY=userid, TS=ts, TTL=10s, TTL_TYPE=absolute))",
+    )
+    .unwrap();
+    for i in 0..100i64 {
+        db.execute(&format!(
+            "INSERT INTO actions VALUES ({}, {}.5, {})",
+            i % 4,
+            i % 10,
+            i * 100
+        ))
+        .unwrap();
+    }
+    db.deploy(
+        "DEPLOY f AS SELECT userid, sum(price) OVER w AS spend FROM actions \
+         WINDOW w AS (PARTITION BY userid ORDER BY ts \
+         ROWS_RANGE BETWEEN 5s PRECEDING AND CURRENT ROW)",
+    )
+    .unwrap();
+    for i in 0..128i64 {
+        let request = Row::new(vec![
+            Value::Bigint(i % 4),
+            Value::Double(1.0),
+            Value::Timestamp(20_000 + i),
+        ]);
+        db.request("f", &request).unwrap();
+    }
+    // offline queries route through the plan cache: first compiles (miss),
+    // second reuses (hit)
+    for _ in 0..2 {
+        db.execute(
+            "SELECT userid, sum(price) OVER w AS spend FROM actions \
+             WINDOW w AS (PARTITION BY userid ORDER BY ts \
+             ROWS_RANGE BETWEEN 5s PRECEDING AND CURRENT ROW)",
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn registry_exposes_cross_crate_metric_surface() {
+    // trace every request so the tracer assertions below are deterministic
+    Tracer::global().set_sample_every(1);
+
+    let db = serve_some_requests();
+
+    // exec: drive a sliding window directly (subtract-and-evict + eviction)
+    {
+        use openmldb::sql::functions::lookup;
+        use openmldb::sql::plan::{BoundAggregate, PhysExpr};
+        let aggs = [BoundAggregate {
+            window_id: 0,
+            func: lookup("sum").unwrap(),
+            args: vec![PhysExpr::Column(0)],
+            output_type: openmldb::DataType::Double,
+        }];
+        let refs: Vec<&BoundAggregate> = aggs.iter().collect();
+        let mut w =
+            openmldb::exec::SlidingWindow::new(Frame::RowsRange { preceding_ms: 10 }, &refs)
+                .unwrap();
+        for i in 0..50i64 {
+            w.push(i * 5, &[Value::Bigint(1)]).unwrap();
+        }
+    }
+
+    // storage: TTL GC far in the future evicts everything inserted above
+    db.gc(10_000_000);
+
+    // core: tier decisions + a memory-monitor poll
+    recommend_engine(10, 100, 10);
+    recommend_engine(10, 100, 25);
+    recommend_engine(200, 100, 10);
+    db.memory_monitor().poll();
+
+    let render = Registry::global().render();
+    let names = Registry::global().metric_names();
+
+    let expected = [
+        // online
+        "openmldb_online_requests_total",
+        "openmldb_online_request_duration_ns",
+        // sql
+        "openmldb_sql_plan_cache_hits_total",
+        "openmldb_sql_plan_cache_misses_total",
+        // storage
+        "openmldb_storage_seeks_total",
+        "openmldb_storage_scan_len_rows",
+        "openmldb_storage_ttl_evictions_total",
+        // exec
+        "openmldb_exec_incremental_steps_total",
+        "openmldb_exec_window_evictions_total",
+        // core
+        "openmldb_core_tier_inmemory_total",
+        "openmldb_core_tier_ondisk_total",
+        "openmldb_core_tier_diskrequired_total",
+        "openmldb_core_memory_used_bytes",
+    ];
+    for name in expected {
+        assert!(
+            names.iter().any(|n| n == name),
+            "metric {name} not registered; have: {names:?}"
+        );
+        assert!(render.contains(name), "render() missing {name}");
+    }
+    assert!(
+        names.len() >= 12,
+        "expected >= 12 metrics, got {}: {names:?}",
+        names.len()
+    );
+
+    // Prometheus text structure
+    assert!(render.contains("# TYPE openmldb_online_requests_total counter"));
+    assert!(render.contains("# TYPE openmldb_online_request_duration_ns summary"));
+    assert!(render.contains("openmldb_online_request_duration_ns{quantile=\"0.99\"}"));
+
+    // JSON exposition parses the same surface
+    let json = Registry::global().render_json();
+    assert!(json.contains("\"name\":\"openmldb_online_requests_total\""));
+    assert!(json.contains("\"p999\""));
+
+    if openmldb::obs::enabled() {
+        let requests = Registry::global()
+            .counter("openmldb_online_requests_total", "")
+            .value();
+        assert!(requests >= 128, "served requests recorded: {requests}");
+        let dur = Registry::global()
+            .histogram("openmldb_online_request_duration_ns", "")
+            .snapshot();
+        assert!(dur.count() >= 128);
+        assert!(dur.percentile(0.999) >= dur.percentile(0.5));
+
+        // the tracer retained request breakdowns with the expected stages
+        let traces = Tracer::global().recent();
+        assert!(!traces.is_empty(), "sampled traces retained");
+        let has = |stage: Stage| {
+            traces
+                .iter()
+                .any(|t| t.spans.iter().any(|s| s.stage == stage))
+        };
+        assert!(has(Stage::StorageSeek), "storage_seek spans: {traces:?}");
+        assert!(has(Stage::WindowDispatch));
+        assert!(has(Stage::Aggregate));
+        assert!(has(Stage::Encode));
+        let trace_json = Tracer::global().render_json();
+        assert!(trace_json.contains("\"stage\":\"window_dispatch\""));
+    }
+}
