@@ -448,6 +448,11 @@ fn rules_for(path: &str) -> Vec<&'static str> {
     if path.starts_with("crates/storage/src/")
         || path.starts_with("crates/online/src/")
         || path.starts_with("crates/exec/src/")
+        // The serving path now spans core (request dispatch, failover
+        // registry) and chaos (inlined into every injection site): a panic
+        // there takes down the same requests a storage panic would.
+        || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/chaos/src/")
     {
         rules.push("panic-path");
     }
@@ -788,6 +793,8 @@ mod tests {
             "crates/storage/src/x.rs",
             "crates/online/src/x.rs",
             "crates/exec/src/x.rs",
+            "crates/core/src/x.rs",
+            "crates/chaos/src/x.rs",
         ] {
             let v = scan_source(path, src);
             assert_eq!(v.len(), 2, "{path}");

@@ -314,6 +314,43 @@ fn obs_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn chaos_overhead(c: &mut Criterion) {
+    use openmldb_bench::scenarios::{micro_db, micro_request, micro_sql};
+    use openmldb_core::RequestOptions;
+
+    let mut g = c.benchmark_group("chaos_overhead");
+
+    // The resilient request path with a deadline budget and the default
+    // retry policy, against the same fig06-style loop `obs_overhead`
+    // measures. Run once with default features and once with
+    // `--features chaos` (no plan installed): the delta between the two is
+    // the cost of compiled-in injection points plus deadline checks on the
+    // hot path — the zero-overhead-when-off contract.
+    let db = micro_db(20_000, 20, 0.0, 1);
+    db.deploy(&format!("DEPLOY hc AS {}", micro_sql(1, 1, 60_000, false)))
+        .unwrap();
+    let opts = RequestOptions::with_deadline(std::time::Duration::from_millis(250));
+    let mut i = 0i64;
+    g.bench_function("request_with_deadline", |b| {
+        b.iter(|| {
+            i += 1;
+            db.request_readonly_with(
+                "hc",
+                &micro_request(2_000_000 + i, i % 20, 200_000 + i % 100),
+                &opts,
+            )
+            .unwrap()
+        })
+    });
+
+    // Raw cost of one injection-point crossing: a compiled-out no-op
+    // without the feature, one unarmed-state load with it.
+    g.bench_function("inject_unarmed", |b| {
+        b.iter(|| openmldb_chaos::inject(openmldb_chaos::InjectionPoint::SkiplistSeek))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     codecs,
@@ -322,6 +359,7 @@ criterion_group!(
     cyclic_binding,
     preagg_query,
     plan_compilation,
-    obs_overhead
+    obs_overhead,
+    chaos_overhead
 );
 criterion_main!(benches);

@@ -32,5 +32,13 @@ fn main() {
         eprintln!("obs snapshot diverged from harness measurements beyond tolerance");
         std::process::exit(1);
     }
+    let chaos = e::chaos_serving::run();
+    if chaos.lost > 0 || chaos.p99_exceeded {
+        eprintln!(
+            "chaos serving violated the resilience contract (lost={}, p99_exceeded={})",
+            chaos.lost, chaos.p99_exceeded
+        );
+        std::process::exit(1);
+    }
     println!("\nAll experiments complete.");
 }

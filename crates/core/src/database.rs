@@ -16,7 +16,10 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use openmldb_offline::{execute_batch, OfflineOptions, Tables};
-use openmldb_online::{execute_request, Deployment, PreAggregator, TableProvider};
+use openmldb_online::{
+    execute_request, execute_request_with, Deployment, PreAggregator, RequestOptions,
+    RequestOutput, TableProvider,
+};
 use openmldb_sql::ast::{
     CreateTableStatement, DeployStatement, InsertStatement, Literal, Statement, TtlSpec,
 };
@@ -61,6 +64,10 @@ pub struct Database {
     /// row count and naturally invalidates the entry.
     preview_cache: RwLock<HashMap<(String, u64), Arc<RowBatch>>>,
     preview_hits: std::sync::atomic::AtomicU64,
+    /// Failover replicas by primary table name ([`Database::enable_failover`]).
+    /// The request path reads from one (after a catch-up sync) when the
+    /// primary keeps faulting.
+    replicas: RwLock<HashMap<String, Arc<openmldb_storage::ReplicaTable>>>,
 }
 
 impl Catalog for Database {
@@ -72,6 +79,14 @@ impl Catalog for Database {
 impl TableProvider for Database {
     fn table(&self, name: &str) -> Option<Arc<dyn DataTable>> {
         self.tables.read().get(name).cloned()
+    }
+
+    /// Sync-then-serve: catch the replica up with everything the leader has
+    /// accepted, then hand it out for the read. Only tables registered via
+    /// [`Database::enable_failover`] have one.
+    fn fallback_table(&self, name: &str) -> Option<Arc<dyn DataTable>> {
+        let replica = self.replicas.read().get(name).cloned()?;
+        Some(replica.promote() as Arc<dyn DataTable>)
     }
 }
 
@@ -175,6 +190,9 @@ impl Database {
 
     /// Insert one decoded row.
     pub fn insert_row(&self, table: &str, row: &Row) -> Result<u64> {
+        // Chaos hook: an admission fault models the Section 8.2 memory
+        // guard rejecting the write (writes fail, reads continue).
+        openmldb_chaos::inject(openmldb_chaos::InjectionPoint::MemoryAdmission)?;
         let table = self
             .table(table)
             .ok_or_else(|| Error::Storage(format!("unknown table `{table}`")))?;
@@ -318,6 +336,8 @@ impl Database {
         let out = self.request_readonly(deployment, request)?;
         let dep = self
             .deployment(deployment)
+            // analysis:allow(panic-path): the deployment was looked up two
+            // lines above; a concurrent undeploy API does not exist.
             .expect("checked in request_readonly");
         self.insert_row(&dep.query.base_table.clone(), request)?;
         Ok(out)
@@ -329,6 +349,22 @@ impl Database {
             .deployment(deployment)
             .ok_or_else(|| Error::Deployment(format!("unknown deployment `{deployment}`")))?;
         execute_request(self, &dep, request)
+    }
+
+    /// [`Database::request_readonly`] with explicit resilience options:
+    /// deadline budget, transient-fault retry policy, replica failover (for
+    /// tables with [`Database::enable_failover`]) and the buckets-only
+    /// degradation tier.
+    pub fn request_readonly_with(
+        &self,
+        deployment: &str,
+        request: &Row,
+        opts: &RequestOptions,
+    ) -> Result<RequestOutput> {
+        let dep = self
+            .deployment(deployment)
+            .ok_or_else(|| Error::Deployment(format!("unknown deployment `{deployment}`")))?;
+        execute_request_with(self, &dep, request, opts)
     }
 
     /// Offline execution mode: run a feature script over full historical
@@ -445,6 +481,38 @@ impl Database {
             .table(table)
             .ok_or_else(|| Error::Storage(format!("unknown table `{table}`")))?;
         openmldb_storage::ReplicaTable::follow(&*t)
+    }
+
+    /// Create and register a failover replica for `table`: the request path
+    /// will fail reads over to it (after a catch-up sync) when the primary
+    /// keeps returning transient faults. Idempotent per table.
+    pub fn enable_failover(&self, table: &str) -> Result<()> {
+        if self.replicas.read().contains_key(table) {
+            return Ok(());
+        }
+        let replica = Arc::new(self.replicate_table(table)?);
+        self.replicas.write().insert(table.to_string(), replica);
+        Ok(())
+    }
+
+    /// Permanent failover: promote `table`'s replica into the catalog as the
+    /// new primary (sync first, so no accepted write is lost) and drop the
+    /// replica registration. Subsequent writes go to the promoted table.
+    pub fn promote_replica(&self, table: &str) -> Result<()> {
+        let replica = self
+            .replicas
+            .write()
+            .remove(table)
+            .ok_or_else(|| Error::Storage(format!("no failover replica for `{table}`")))?;
+        let promoted = replica.promote();
+        self.tables.write().insert(table.to_string(), promoted);
+        self.cache.invalidate_all();
+        Ok(())
+    }
+
+    /// Replica lag in rows for a table with failover enabled.
+    pub fn replica_lag(&self, table: &str) -> Option<u64> {
+        self.replicas.read().get(table).map(|r| r.lag())
     }
 
     /// Table names currently registered.
@@ -837,6 +905,77 @@ mod explain_and_cache_tests {
             panic!()
         };
         assert_eq!(b.rows.len(), 11);
+    }
+
+    #[test]
+    fn enable_failover_registers_fallback_and_promotes() {
+        let db = db();
+        db.enable_failover("t").unwrap();
+        db.enable_failover("t").unwrap(); // idempotent
+        db.execute("INSERT INTO t VALUES (1, 50.0, 50)").unwrap();
+
+        // The provider hands out a caught-up replica for the read path.
+        let fb = db.fallback_table("t").expect("failover replica registered");
+        assert_eq!(fb.row_count(), 11, "fallback synced before serving");
+        assert_eq!(db.replica_lag("t"), Some(0));
+        assert!(db.fallback_table("unknown").is_none());
+
+        // Permanent promotion swaps the catalog entry; reads and writes
+        // keep working against the promoted table.
+        db.promote_replica("t").unwrap();
+        assert!(
+            db.fallback_table("t").is_none(),
+            "registration dropped after promotion"
+        );
+        db.execute("INSERT INTO t VALUES (2, 60.0, 60)").unwrap();
+        let ExecResult::Batch(b) = db.execute("SELECT k FROM t").unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.rows.len(), 12);
+        assert!(db.promote_replica("t").is_err(), "no replica left");
+    }
+
+    #[test]
+    fn request_readonly_with_defaults_matches_plain_request() {
+        let db = db();
+        db.deploy(
+            "DEPLOY r AS SELECT k, sum(v) OVER w AS s FROM t \
+             WINDOW w AS (PARTITION BY k ORDER BY ts \
+             ROWS_RANGE BETWEEN 100 PRECEDING AND CURRENT ROW)",
+        )
+        .unwrap();
+        let request = Row::new(vec![
+            Value::Bigint(1),
+            Value::Double(5.0),
+            Value::Timestamp(20),
+        ]);
+        let plain = db.request_readonly("r", &request).unwrap();
+        let out = db
+            .request_readonly_with("r", &request, &RequestOptions::default())
+            .unwrap();
+        assert_eq!(out.row, plain);
+        assert!(!out.degraded);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.failovers, 0);
+    }
+
+    #[test]
+    fn bounded_deadline_request_succeeds_within_budget() {
+        let db = db();
+        db.deploy(
+            "DEPLOY d AS SELECT count(v) OVER w AS c FROM t \
+             WINDOW w AS (PARTITION BY k ORDER BY ts \
+             ROWS_RANGE BETWEEN 100 PRECEDING AND CURRENT ROW)",
+        )
+        .unwrap();
+        let request = Row::new(vec![
+            Value::Bigint(1),
+            Value::Double(5.0),
+            Value::Timestamp(20),
+        ]);
+        let opts = RequestOptions::with_deadline(std::time::Duration::from_secs(5));
+        let out = db.request_readonly_with("d", &request, &opts).unwrap();
+        assert!(!out.degraded, "healthy path never degrades");
     }
 
     #[test]

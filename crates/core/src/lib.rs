@@ -15,3 +15,4 @@ pub use memory::{
     estimate_memory, recommend_engine, EngineChoice, IndexMemProfile, MemoryAlert, MemoryMonitor,
     TableMemProfile, TableType,
 };
+pub use openmldb_online::{RequestOptions, RequestOutput, RetryPolicy};

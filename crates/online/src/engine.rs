@@ -22,11 +22,20 @@ use openmldb_types::{Error, KeyValue, Result, Row, Value};
 use openmldb_storage::{DataTable, MemTable};
 
 use crate::preagg::PreAggregator;
+use crate::resilience::{resilient_read, retry_transient, Ctx, RequestOptions, RequestOutput};
 
 /// Resolves table names to live storage (either backend, Section 8.1).
 /// Implemented by the database facade.
 pub trait TableProvider: Send + Sync {
     fn table(&self, name: &str) -> Option<Arc<dyn DataTable>>;
+
+    /// A caught-up replica to read from when the primary keeps faulting
+    /// (the ZooKeeper-failover stand-in of Section 3.1). `None` means no
+    /// replica is deployed and persistent faults surface to the caller.
+    fn fallback_table(&self, name: &str) -> Option<Arc<dyn DataTable>> {
+        let _ = name;
+        None
+    }
 }
 
 /// A trivial provider over a map (used by tests and examples).
@@ -98,18 +107,51 @@ impl Deployment {
 ///
 /// Each call is a request scope for the span tracer and records into the
 /// `openmldb_online_requests_total` / `openmldb_online_request_duration_ns`
-/// metrics.
+/// metrics. Runs with [`RequestOptions::default()`]: no deadline, default
+/// transient-fault retries — see [`execute_request_with`] for budgeted
+/// serving.
 pub fn execute_request(
     provider: &dyn TableProvider,
     dep: &Deployment,
     request: &Row,
 ) -> Result<Row> {
+    execute_request_with(provider, dep, request, &RequestOptions::default()).map(|out| out.row)
+}
+
+/// [`execute_request`] with explicit resilience options: a [`Deadline`]
+/// budget checked at every pipeline stage (`Error::Timeout` instead of a
+/// hang), bounded retry-with-backoff on transient storage faults, read
+/// failover to [`TableProvider::fallback_table`], and — when the budget
+/// runs out on a pre-aggregated window and `allow_degraded` is set — a
+/// buckets-only answer flagged `degraded`.
+///
+/// [`Deadline`]: openmldb_types::Deadline
+pub fn execute_request_with(
+    provider: &dyn TableProvider,
+    dep: &Deployment,
+    request: &Row,
+    opts: &RequestOptions,
+) -> Result<RequestOutput> {
     obs::with_request_trace(|| {
         let t0 = std::time::Instant::now();
-        let out = execute_request_inner(provider, dep, request);
+        let ctx = Ctx::new(opts);
+        let out = execute_request_inner(provider, dep, request, &ctx);
         crate::metrics::requests().inc();
         crate::metrics::request_duration().record(t0.elapsed().as_nanos() as u64);
-        out
+        match out {
+            Ok(row) => Ok(RequestOutput {
+                row,
+                degraded: ctx.degraded(),
+                retries: ctx.retries(),
+                failovers: ctx.failovers(),
+            }),
+            Err(e) => {
+                if matches!(e, Error::Timeout { .. }) {
+                    crate::metrics::timeouts().inc();
+                }
+                Err(e)
+            }
+        }
     })
 }
 
@@ -117,41 +159,42 @@ fn execute_request_inner(
     provider: &dyn TableProvider,
     dep: &Deployment,
     request: &Row,
+    ctx: &Ctx,
 ) -> Result<Row> {
     let q = &dep.query;
+    ctx.check("validate")?;
     q.base_schema.validate_row(request.values())?;
 
     // 1. LAST JOINs: build the combined row.
     let mut combined: Vec<Value> = request.values().to_vec();
     obs::span(obs::Stage::StorageSeek, || -> Result<()> {
         for join in &q.joins {
-            let table = provider
-                .table(&join.table)
-                .ok_or_else(|| Error::Storage(format!("unknown table `{}`", join.table)))?;
             let key: Vec<KeyValue> = join
                 .eq_pairs
                 .iter()
                 .map(|&(l, _)| KeyValue::from(&combined[l]))
                 .collect();
             let right_keys: Vec<usize> = join.eq_pairs.iter().map(|&(_, r)| r).collect();
-            let index = table
-                .find_index(&right_keys, join.order_col)
-                .ok_or_else(|| {
-                    Error::Storage(format!("no index on `{}` for join keys", join.table))
-                })?;
-            let matched = match &join.residual {
-                None => table.latest(index, &key)?,
-                Some(pred) => {
-                    let mut check = |row: &Row| {
-                        let mut probe = combined.clone();
-                        probe.extend(row.values().iter().cloned());
-                        evaluate(pred, &probe, &[])
-                            .and_then(|v| v.as_bool())
-                            .unwrap_or(false)
-                    };
-                    table.latest_where(index, &key, None, &mut check)?
+            let matched = resilient_read(ctx, provider, &join.table, |table| {
+                let index = table
+                    .find_index(&right_keys, join.order_col)
+                    .ok_or_else(|| {
+                        Error::Storage(format!("no index on `{}` for join keys", join.table))
+                    })?;
+                match &join.residual {
+                    None => table.latest(index, &key),
+                    Some(pred) => {
+                        let mut check = |row: &Row| {
+                            let mut probe = combined.clone();
+                            probe.extend(row.values().iter().cloned());
+                            evaluate(pred, &probe, &[])
+                                .and_then(|v| v.as_bool())
+                                .unwrap_or(false)
+                        };
+                        table.latest_where(index, &key, None, &mut check)
+                    }
                 }
-            };
+            })?;
             match matched {
                 Some(row) => combined.extend(row.values().iter().cloned()),
                 None => combined.extend((0..join.schema.len()).map(|_| Value::Null)),
@@ -176,62 +219,113 @@ fn execute_request_inner(
         if by_window[wid].is_empty() {
             continue;
         }
-        obs::span(obs::Stage::WindowDispatch, || -> Result<()> {
-            let anchor_ts = request.ts_at(window.order_col);
-            let agg_refs: Vec<_> = by_window[wid].iter().map(|&i| &q.aggregates[i]).collect();
+        // After an earlier window degraded, `ctx.check` is lenient so the
+        // request can still finish — but later windows must not start an
+        // unbudgeted full scan. Send them straight to their own degraded
+        // path (or a plain Timeout if they have no pre-aggregation).
+        let full = if ctx.degraded() && ctx.deadline_expired() {
+            Err(Error::Timeout {
+                stage: "window_dispatch",
+                budget_ms: ctx.opts.deadline.budget_ms(),
+            })
+        } else {
+            obs::span(obs::Stage::WindowDispatch, || -> Result<()> {
+                ctx.check("window_dispatch")?;
+                let anchor_ts = request.ts_at(window.order_col);
+                let agg_refs: Vec<_> = by_window[wid].iter().map(|&i| &q.aggregates[i]).collect();
 
-            // Pre-aggregation fast path: only for pure range frames, and not
-            // for INSTANCE_NOT_IN_WINDOW (buckets mix base and union rows and
-            // cannot exclude the base table per query).
-            if let (Some(preagg), Frame::RowsRange { preceding_ms }, false) = (
-                &dep.preaggs[wid],
-                window.frame,
-                window.instance_not_in_window,
-            ) {
-                crate::metrics::preagg_hits().inc();
-                let key = request.key_for(&window.partition_cols);
-                let lower = anchor_ts - preceding_ms;
-                // The request row is part of the window unless excluded — it
-                // is not yet in storage, so it is folded in after the bucket
-                // merge.
-                let include_request = !window.exclude_current_row;
-                let extra = include_request.then_some(request);
-                let outs = obs::span(obs::Stage::Aggregate, || {
-                    preagg.query_with_extra_row(&key, lower, anchor_ts, extra, |lo, hi| {
-                        raw_window_rows(provider, q, window, &key, lo, hi)
-                    })
+                // Pre-aggregation fast path: only for pure range frames, and not
+                // for INSTANCE_NOT_IN_WINDOW (buckets mix base and union rows and
+                // cannot exclude the base table per query).
+                if let (Some(preagg), Frame::RowsRange { preceding_ms }, false) = (
+                    &dep.preaggs[wid],
+                    window.frame,
+                    window.instance_not_in_window,
+                ) {
+                    let key = request.key_for(&window.partition_cols);
+                    let lower = anchor_ts - preceding_ms;
+                    // The request row is part of the window unless excluded — it
+                    // is not yet in storage, so it is folded in after the bucket
+                    // merge.
+                    let include_request = !window.exclude_current_row;
+                    let extra = include_request.then_some(request);
+                    let outs = obs::span(obs::Stage::Aggregate, || {
+                        retry_transient(ctx, || {
+                            preagg.query_with_extra_row(&key, lower, anchor_ts, extra, |lo, hi| {
+                                raw_window_rows(provider, q, window, &key, lo, hi, ctx)
+                            })
+                        })
+                    });
+                    match outs {
+                        Ok(outs) => {
+                            crate::metrics::preagg_hits().inc();
+                            for (slot, v) in by_window[wid].iter().zip(outs) {
+                                agg_values[*slot] = v;
+                            }
+                            return Ok(());
+                        }
+                        // The lookup itself kept faulting past its retry
+                        // budget: fall through to the raw scan, which reads
+                        // through the full resilience ladder.
+                        Err(e) if e.is_transient() => crate::metrics::preagg_skips().inc(),
+                        Err(e) => return Err(e),
+                    }
+                } else if dep.preaggs[wid].is_some() {
+                    crate::metrics::preagg_skips().inc();
+                }
+
+                // Scan path: gather window rows (request row is the anchor),
+                // decoding only the columns this window's aggregates read.
+                let wanted = Some(dep.window_projections[wid].as_slice());
+                let rows = obs::span(obs::Stage::StorageSeek, || {
+                    collect_window_rows_ctx(provider, q, window, request, anchor_ts, wanted, ctx)
                 })?;
-                for (slot, v) in by_window[wid].iter().zip(outs) {
-                    agg_values[*slot] = v;
-                }
-                return Ok(());
-            }
-            if dep.preaggs[wid].is_some() {
-                crate::metrics::preagg_skips().inc();
-            }
-
-            // Scan path: gather window rows (request row is the anchor),
-            // decoding only the columns this window's aggregates read.
-            let wanted = Some(dep.window_projections[wid].as_slice());
-            let rows = obs::span(obs::Stage::StorageSeek, || {
-                collect_window_rows_projected(provider, q, window, request, anchor_ts, wanted)
-            })?;
-            obs::span(obs::Stage::Aggregate, || -> Result<()> {
-                let mut set = WindowAggSet::new(&agg_refs)?;
-                for r in &rows {
-                    set.update(r.values())?;
-                }
-                for (slot, v) in by_window[wid].iter().zip(set.outputs()) {
-                    agg_values[*slot] = v;
-                }
+                obs::span(obs::Stage::Aggregate, || -> Result<()> {
+                    ctx.check("aggregate")?;
+                    let mut set = WindowAggSet::new(&agg_refs)?;
+                    for r in &rows {
+                        set.update(r.values())?;
+                    }
+                    for (slot, v) in by_window[wid].iter().zip(set.outputs()) {
+                        agg_values[*slot] = v;
+                    }
+                    Ok(())
+                })?;
                 Ok(())
-            })?;
-            Ok(())
-        })?;
+            })
+        };
+        if let Err(e) = full {
+            // Degradation tier: the full path ran out of budget, but a
+            // pre-aggregated window can still answer from buckets alone —
+            // raw edge reads skipped, result flagged `degraded`.
+            if ctx.opts.allow_degraded && matches!(e, Error::Timeout { .. }) {
+                if let (Some(preagg), Frame::RowsRange { preceding_ms }, false) = (
+                    &dep.preaggs[wid],
+                    window.frame,
+                    window.instance_not_in_window,
+                ) {
+                    let anchor_ts = request.ts_at(window.order_col);
+                    let key = request.key_for(&window.partition_cols);
+                    let lower = anchor_ts - preceding_ms;
+                    let extra = (!window.exclude_current_row).then_some(request);
+                    let outs =
+                        preagg.query_with_extra_row(&key, lower, anchor_ts, extra, |_, _| {
+                            Ok(Vec::new())
+                        })?;
+                    for (slot, v) in by_window[wid].iter().zip(outs) {
+                        agg_values[*slot] = v;
+                    }
+                    ctx.note_degraded();
+                    continue;
+                }
+            }
+            return Err(e);
+        }
     }
 
     // 4. Project the select list.
     obs::span(obs::Stage::Encode, || -> Result<Row> {
+        ctx.check("encode")?;
         let mut out = Vec::with_capacity(q.select.len());
         for col in &q.select {
             out.push(evaluate(&col.expr, &combined, &agg_values)?);
@@ -250,18 +344,19 @@ fn raw_window_rows(
     key: &[KeyValue],
     lo: i64,
     hi: i64,
+    ctx: &Ctx,
 ) -> Result<Vec<Row>> {
     let mut out = Vec::new();
     for name in
         std::iter::once(q.base_table.as_str()).chain(window.union_tables.iter().map(String::as_str))
     {
-        let table = provider
-            .table(name)
-            .ok_or_else(|| Error::Storage(format!("unknown table `{name}`")))?;
-        let index = table
-            .find_index(&window.partition_cols, Some(window.order_col))
-            .ok_or_else(|| Error::Storage(format!("no window index on `{name}`")))?;
-        for (_ts, row) in table.range_projected(index, key, lo, hi, None)? {
+        let rows = resilient_read(ctx, provider, name, |table| {
+            let index = table
+                .find_index(&window.partition_cols, Some(window.order_col))
+                .ok_or_else(|| Error::Storage(format!("no window index on `{name}`")))?;
+            table.range_projected(index, key, lo, hi, None)
+        })?;
+        for (_ts, row) in rows {
             out.push(row);
         }
     }
@@ -290,6 +385,23 @@ pub fn collect_window_rows_projected(
     anchor_ts: i64,
     wanted: Option<&[bool]>,
 ) -> Result<Vec<Row>> {
+    let opts = RequestOptions::default();
+    let ctx = Ctx::new(&opts);
+    collect_window_rows_ctx(provider, q, window, request, anchor_ts, wanted, &ctx)
+}
+
+/// [`collect_window_rows_projected`] threading the per-request resilience
+/// context: deadline checks, retries, and failover around every table read.
+#[allow(clippy::too_many_arguments)]
+fn collect_window_rows_ctx(
+    provider: &dyn TableProvider,
+    q: &CompiledQuery,
+    window: &BoundWindow,
+    request: &Row,
+    anchor_ts: i64,
+    wanted: Option<&[bool]>,
+    ctx: &Ctx,
+) -> Result<Vec<Row>> {
     let key = request.key_for(&window.partition_cols);
     let mut stamped: Vec<(i64, Row)> = Vec::new();
 
@@ -317,16 +429,15 @@ pub fn collect_window_rows_projected(
         .into_iter()
         .chain(window.union_tables.iter().map(String::as_str))
     {
-        let table = provider
-            .table(name)
-            .ok_or_else(|| Error::Storage(format!("unknown table `{name}`")))?;
-        let index = table
-            .find_index(&window.partition_cols, Some(window.order_col))
-            .ok_or_else(|| Error::Storage(format!("no window index on `{name}`")))?;
-        let rows = match per_table_limit {
-            Some(n) => table.latest_n_projected(index, &key, anchor_ts, n, wanted)?,
-            None => table.range_projected(index, &key, lower, anchor_ts, wanted)?,
-        };
+        let rows = resilient_read(ctx, provider, name, |table| {
+            let index = table
+                .find_index(&window.partition_cols, Some(window.order_col))
+                .ok_or_else(|| Error::Storage(format!("no window index on `{name}`")))?;
+            match per_table_limit {
+                Some(n) => table.latest_n_projected(index, &key, anchor_ts, n, wanted),
+                None => table.range_projected(index, &key, lower, anchor_ts, wanted),
+            }
+        })?;
         stamped.extend(rows);
     }
     if include_request {

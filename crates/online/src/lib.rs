@@ -11,15 +11,22 @@
 //!   dynamic key→worker load balancing and incremental computation
 //!   (Section 5.2), plus the static/recompute baselines for ablation;
 //! * [`segtree`] — segment-tree range-merge structure and the query
-//!   frequency tracker behind hierarchy adaptation.
+//!   frequency tracker behind hierarchy adaptation;
+//! * [`resilience`] — deadline budgets, bounded retries, replica failover,
+//!   and the buckets-only degradation tier for the request path.
 
 pub mod engine;
 pub mod metrics;
 pub mod preagg;
+pub mod resilience;
 pub mod segtree;
 pub mod window_union;
 
-pub use engine::{collect_window_rows, execute_request, Deployment, MapProvider, TableProvider};
+pub use engine::{
+    collect_window_rows, execute_request, execute_request_with, Deployment, MapProvider,
+    TableProvider,
+};
 pub use preagg::PreAggregator;
+pub use resilience::{RequestOptions, RequestOutput, RetryPolicy};
 pub use segtree::{FrequencyTracker, Mergeable, SegmentTree};
 pub use window_union::{Scheduling, UnionConfig, WindowUnion};

@@ -64,6 +64,46 @@ pub fn preagg_bucket_hits() -> &'static Counter {
     )
 }
 
+/// Transient-fault retries performed by the resilient request path.
+pub fn retries() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_retries_total",
+        "Transient storage faults absorbed by request-path retries",
+    )
+}
+
+/// Reads that failed over from the primary table to its replica.
+pub fn failovers() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_failovers_total",
+        "Reads failed over from a faulting primary to a replica",
+    )
+}
+
+/// Requests answered from pre-agg buckets alone after budget exhaustion.
+pub fn degraded() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_degraded_total",
+        "Windows answered buckets-only after the deadline budget ran out",
+    )
+}
+
+/// Requests that surfaced a typed deadline timeout.
+pub fn timeouts() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_timeouts_total",
+        "Requests that exceeded their deadline budget",
+    )
+}
+
 /// Tuples pushed through window-union workers.
 pub fn union_tuples() -> &'static Counter {
     static M: OnceLock<Arc<Counter>> = OnceLock::new();

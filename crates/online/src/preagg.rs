@@ -177,6 +177,9 @@ impl PreAggregator {
         extra_row: Option<&Row>,
         mut raw_fetch: impl FnMut(i64, i64) -> Result<Vec<Row>>,
     ) -> Result<Vec<Value>> {
+        // Chaos hook: a fault here models a lost/slow bucket-store lookup;
+        // the engine retries and, if it persists, takes the raw scan path.
+        openmldb_chaos::inject(openmldb_chaos::InjectionPoint::PreaggLookup)?;
         self.queries.fetch_add(1, Ordering::Relaxed);
         let mut outputs = self
             .specs

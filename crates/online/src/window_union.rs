@@ -164,6 +164,11 @@ impl WindowUnion {
 
     /// Route one stream tuple (from any of the unioned tables) to a worker.
     pub fn push(&mut self, key: KeyValue, ts: i64, row: Row) {
+        // Chaos hook: latency-only (a slow dispatch). Worker kills are
+        // deliberately not modelled here — a dead worker would wedge the
+        // flush barrier, which is a different failure class than this
+        // crate's bounded-latency contract covers.
+        let _ = openmldb_chaos::inject(openmldb_chaos::InjectionPoint::UnionDispatch);
         let worker = match &self.routes {
             None => (hash_key(&key) % self.senders.len() as u64) as usize,
             Some(routes) => {

@@ -7,14 +7,35 @@
 //! pre-aggregation maintainers) on a background worker, decoupling them from
 //! the data-insertion fast path. `replay` re-applies entries from an offset
 //! for failure recovery.
+//!
+//! ## Delivery invariant
+//!
+//! Each listener owns a delivery cursor (`next_offset`) that only advances
+//! after its closure ran: a subscriber's applied state is **always a
+//! contiguous prefix of the log**, never a set with holes. A delivery the
+//! fault injector kills ([`openmldb_chaos::InjectionPoint::BinlogDelivery`])
+//! simply leaves the cursor behind; the gap is healed from the durable log
+//! on the next delivery round or, at the latest, by [`Replicator::flush`].
+//! Combined with offset-dense appends this gives exactly-once delivery even
+//! under injected kills.
+//!
+//! ## Shutdown
+//!
+//! [`Replicator::shutdown`] stops the worker with a clean happens-before
+//! edge: every append that raced *ahead* of the stop is delivered before
+//! the worker exits; every append that arrived *after* is counted in
+//! [`Replicator::undelivered`] — provably not acknowledged, but still
+//! durable in the log for `replay`/`flush` recovery. No subscriber is ever
+//! left half-applied.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{self, Sender};
+use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use openmldb_chaos::InjectionPoint;
 use openmldb_types::KeyValue;
 
 /// One binlog record: a row insertion into a table.
@@ -32,28 +53,68 @@ pub struct LogEntry {
 /// Closure invoked asynchronously for each appended entry.
 pub type UpdateClosure = Arc<dyn Fn(&LogEntry) + Send + Sync>;
 
-/// A subscriber plus the offset it joined at: asynchronous delivery covers
-/// only entries appended *after* subscription, so a catch-up replay plus the
-/// subscription sees every entry exactly once.
+/// A subscriber plus its delivery cursor: the next offset it has not yet
+/// applied. The cursor starts at the subscription boundary (asynchronous
+/// delivery covers only entries appended *after* subscription; catch-up
+/// replay covers the prefix) and only moves forward after the closure ran.
 struct Listener {
-    from_offset: u64,
+    next_offset: Mutex<u64>,
     f: UpdateClosure,
 }
 
+impl Listener {
+    /// Deliver log entries `[next_offset, upto)` in order, advancing the
+    /// cursor after each successful application. An injected delivery kill
+    /// drops the current attempt: with `retry_kills` the same entry is
+    /// retried (flush-path healing must converge), without it the loop
+    /// exits and the gap persists until the next round (worker path).
+    fn deliver_up_to(&self, log: &Mutex<Vec<LogEntry>>, upto: u64, retry_kills: bool) {
+        let mut next = self.next_offset.lock();
+        while *next < upto {
+            let entry = {
+                let log = log.lock();
+                match log.get(*next as usize) {
+                    Some(e) => e.clone(),
+                    None => break,
+                }
+            };
+            if openmldb_chaos::inject_kill(InjectionPoint::BinlogDelivery) {
+                crate::metrics::faults_injected().inc();
+                if retry_kills {
+                    continue;
+                }
+                break;
+            }
+            (self.f)(&entry);
+            *next += 1;
+        }
+    }
+}
+
 enum WorkerMsg {
-    Apply(LogEntry),
+    Apply(u64),
     Stop,
 }
 
 /// Append-only replicated log with asynchronous subscriber execution.
 pub struct Replicator {
-    /// The log itself; the lock also serializes offset assignment.
-    log: Mutex<Vec<LogEntry>>,
-    listeners: Arc<RwLock<Vec<Listener>>>,
+    /// The log itself; the lock also serializes offset assignment. Shared
+    /// with the worker thread so delivery (and gap healing) reads entries
+    /// straight from the durable log.
+    log: Arc<Mutex<Vec<LogEntry>>>,
+    listeners: Arc<RwLock<Vec<Arc<Listener>>>>,
     tx: Sender<WorkerMsg>,
+    /// Kept so post-shutdown drains can observe what the worker never saw.
+    rx: Receiver<WorkerMsg>,
     worker: Mutex<Option<JoinHandle<()>>>,
     appended: AtomicU64,
     processed: Arc<(Mutex<u64>, Condvar)>,
+    /// Appends that arrived after shutdown: acknowledged to no listener.
+    undelivered: AtomicU64,
+    /// Guards the append→send window against `shutdown`: appenders hold a
+    /// read lock around the send, shutdown flips the flag under the write
+    /// lock, so every pre-stop send is in the channel before `Stop`.
+    stopped: RwLock<bool>,
 }
 
 impl Default for Replicator {
@@ -65,17 +126,24 @@ impl Default for Replicator {
 impl Replicator {
     pub fn new() -> Self {
         let (tx, rx) = channel::unbounded::<WorkerMsg>();
-        let listeners: Arc<RwLock<Vec<Listener>>> = Arc::default();
+        let log: Arc<Mutex<Vec<LogEntry>>> = Arc::default();
+        let listeners: Arc<RwLock<Vec<Arc<Listener>>>> = Arc::default();
         let processed: Arc<(Mutex<u64>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
         let worker = {
+            let log = log.clone();
             let listeners = listeners.clone();
             let processed = processed.clone();
+            let rx = rx.clone();
             std::thread::spawn(move || {
-                while let Ok(WorkerMsg::Apply(entry)) = rx.recv() {
-                    for l in listeners.read().iter() {
-                        if entry.offset >= l.from_offset {
-                            (l.f)(&entry);
-                        }
+                while let Ok(WorkerMsg::Apply(offset)) = rx.recv() {
+                    // Snapshot the listener set first, then deliver without
+                    // holding the registry lock: delivery takes listener →
+                    // log locks, subscription takes log → registry, and
+                    // keeping the registry out of the delivery section
+                    // breaks any cycle between the two orders.
+                    let snapshot: Vec<Arc<Listener>> = listeners.read().iter().cloned().collect();
+                    for l in snapshot {
+                        l.deliver_up_to(&log, offset + 1, false);
                     }
                     let (lock, cv) = &*processed;
                     *lock.lock() += 1;
@@ -84,12 +152,15 @@ impl Replicator {
             })
         };
         Replicator {
-            log: Mutex::new(Vec::new()),
+            log,
             listeners,
             tx,
+            rx,
             worker: Mutex::new(Some(worker)),
             appended: AtomicU64::new(0),
             processed,
+            undelivered: AtomicU64::new(0),
+            stopped: RwLock::new(false),
         }
     }
 
@@ -102,25 +173,39 @@ impl Replicator {
         ts: i64,
         data: Arc<[u8]>,
     ) -> u64 {
+        // Latency-only injection point: appends are infallible by contract
+        // (the write is already accepted), so an injected error here is
+        // deliberately discarded — plans should only arm latency.
+        let _ = openmldb_chaos::inject(InjectionPoint::BinlogAppend);
         // Offset assignment and the append are one critical section —
         // the monotonic `binlog_offset` invariant of Section 5.1.
-        let entry = {
+        let offset = {
             let mut log = self.log.lock();
-            let entry = LogEntry {
-                offset: log.len() as u64,
+            let offset = log.len() as u64;
+            log.push(LogEntry {
+                offset,
                 table,
                 key,
                 ts,
                 data,
-            };
-            log.push(entry.clone());
-            entry
+            });
+            offset
         };
         self.appended.fetch_add(1, Ordering::Release);
-        let offset = entry.offset;
-        // Queue for asynchronous execution; if the worker is gone (shutdown
-        // race), the entry is still durable in the log for replay.
-        let _ = self.tx.send(WorkerMsg::Apply(entry));
+        let stopped = self.stopped.read();
+        if *stopped {
+            // The worker is gone: the entry is durable in the log but will
+            // not be acknowledged to any listener until a flush/replay.
+            self.undelivered.fetch_add(1, Ordering::Release);
+            crate::metrics::binlog_undelivered().inc();
+            let (lock, cv) = &*self.processed;
+            *lock.lock() += 1;
+            cv.notify_all();
+        } else {
+            // Queue for asynchronous execution while holding the read lock:
+            // `shutdown` cannot interleave its `Stop` before this send.
+            let _ = self.tx.send(WorkerMsg::Apply(offset));
+        }
         offset
     }
 
@@ -131,10 +216,10 @@ impl Replicator {
         // Hold the log lock so no offset is assigned while the boundary is
         // read — the subscription point is exact.
         let log = self.log.lock();
-        self.listeners.write().push(Listener {
-            from_offset: log.len() as u64,
+        self.listeners.write().push(Arc::new(Listener {
+            next_offset: Mutex::new(log.len() as u64),
             f,
-        });
+        }));
     }
 
     /// Subscribe with catch-up: entries already in the log are replayed
@@ -146,10 +231,10 @@ impl Replicator {
         for entry in log.iter() {
             f(entry);
         }
-        self.listeners.write().push(Listener {
-            from_offset: log.len() as u64,
+        self.listeners.write().push(Arc::new(Listener {
+            next_offset: Mutex::new(log.len() as u64),
             f,
-        });
+        }));
     }
 
     /// Number of appended entries (== next offset).
@@ -161,13 +246,65 @@ impl Replicator {
         self.len() == 0
     }
 
+    /// Appends that arrived after [`shutdown`](Self::shutdown) and were
+    /// therefore acknowledged to no listener (still durable for `replay`).
+    pub fn undelivered(&self) -> u64 {
+        self.undelivered.load(Ordering::Acquire)
+    }
+
     /// Block until every appended entry has been applied by all listeners.
+    ///
+    /// After the asynchronous pipeline has processed everything, any
+    /// delivery gaps (injected kills, post-shutdown appends) are healed
+    /// inline from the durable log, so on return every listener has applied
+    /// the full prefix `[0, len)`. Under a kill rate of 1.0 healing cannot
+    /// converge — chaos plans must keep `kill_rate < 1` when flushing.
     pub fn flush(&self) {
         let target = self.len();
-        let (lock, cv) = &*self.processed;
-        let mut done = lock.lock();
-        while *done < target {
-            cv.wait(&mut done);
+        {
+            let (lock, cv) = &*self.processed;
+            let mut done = lock.lock();
+            while *done < target {
+                cv.wait(&mut done);
+            }
+        }
+        let snapshot: Vec<Arc<Listener>> = self.listeners.read().iter().cloned().collect();
+        for l in snapshot {
+            l.deliver_up_to(&self.log, target, true);
+        }
+    }
+
+    /// Stop the delivery worker and join it. Every entry whose append
+    /// completed before this call is delivered to all listeners first;
+    /// entries appended afterwards are counted in [`undelivered`]
+    /// (provably not acknowledged) while staying durable in the log.
+    /// Subscriber cursors remain valid: a later [`flush`] or [`replay`]
+    /// can still catch them up. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut stopped = self.stopped.write();
+            if *stopped {
+                return;
+            }
+            *stopped = true;
+            // Holding the write lock guarantees no append's send can land
+            // after `Stop`: sends happen under the read lock, so they all
+            // happen-before this critical section.
+            let _ = self.tx.send(WorkerMsg::Stop);
+        }
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+        // Safety net: anything still queued (cannot normally happen given
+        // the lock ordering above) is accounted rather than lost silently.
+        while let Ok(msg) = self.rx.try_recv() {
+            if let WorkerMsg::Apply(_) = msg {
+                self.undelivered.fetch_add(1, Ordering::Release);
+                crate::metrics::binlog_undelivered().inc();
+                let (lock, cv) = &*self.processed;
+                *lock.lock() += 1;
+                cv.notify_all();
+            }
         }
     }
 
@@ -183,10 +320,7 @@ impl Replicator {
 
 impl Drop for Replicator {
     fn drop(&mut self) {
-        let _ = self.tx.send(WorkerMsg::Stop);
-        if let Some(handle) = self.worker.lock().take() {
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -308,5 +442,79 @@ mod tests {
         }
         r.flush();
         assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    /// Satellite: entries appended concurrently with `shutdown` are either
+    /// delivered to the subscriber or counted in `undelivered` — and the
+    /// subscriber's applied state is always a contiguous prefix, never a
+    /// set with holes.
+    #[test]
+    fn shutdown_delivers_or_disowns_every_concurrent_append() {
+        for _ in 0..20 {
+            let r = Arc::new(Replicator::new());
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let s = seen.clone();
+            r.subscribe(Arc::new(move |e: &LogEntry| s.lock().push(e.offset)));
+
+            let appenders: Vec<_> = (0..4)
+                .map(|_| {
+                    let r = r.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..100 {
+                            r.append_entry("t".into(), entry_key(), i, data());
+                        }
+                    })
+                })
+                .collect();
+            // Race the shutdown against the appenders.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            r.shutdown();
+            for a in appenders {
+                a.join().unwrap();
+            }
+
+            let seen = seen.lock();
+            // Prefix invariant: delivered offsets are exactly 0..seen.len().
+            assert_eq!(
+                *seen,
+                (0..seen.len() as u64).collect::<Vec<u64>>(),
+                "subscriber state must be a contiguous prefix"
+            );
+            // Every append is accounted: delivered or provably disowned.
+            assert_eq!(r.len(), 400);
+            assert!(
+                seen.len() as u64 + r.undelivered() >= 400,
+                "delivered {} + undelivered {} must cover all appends",
+                seen.len(),
+                r.undelivered()
+            );
+            // Post-shutdown appends are disowned, not lost: still durable.
+            let mut logged = 0u64;
+            r.replay(0, |_| logged += 1);
+            assert_eq!(logged, 400, "every append durable in the log");
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_flush_still_returns() {
+        let r = Replicator::new();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = count.clone();
+        r.subscribe(Arc::new(move |_e: &LogEntry| {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        for i in 0..10 {
+            r.append_entry("t".into(), entry_key(), i, data());
+        }
+        r.shutdown();
+        r.shutdown();
+        // Appends after shutdown are disowned but flush must not hang —
+        // and the flush-time heal applies them from the durable log.
+        for i in 10..15 {
+            r.append_entry("t".into(), entry_key(), i, data());
+        }
+        assert_eq!(r.undelivered(), 5);
+        r.flush();
+        assert_eq!(count.load(Ordering::SeqCst), 15, "heal applied the tail");
     }
 }

@@ -254,6 +254,7 @@ impl DataTable for DiskTable {
     }
 
     fn latest(&self, index_id: usize, key: &[KeyValue]) -> Result<Option<Row>> {
+        crate::chaos_inject(openmldb_chaos::InjectionPoint::DiskRead)?;
         match self.engine.latest(index_id as u32, key)? {
             Some((_, data)) => Ok(Some(self.codec.decode(&data)?)),
             None => Ok(None),
@@ -267,6 +268,7 @@ impl DataTable for DiskTable {
         upper_ts: Option<i64>,
         pred: &mut dyn FnMut(&Row) -> bool,
     ) -> Result<Option<Row>> {
+        crate::chaos_inject(openmldb_chaos::InjectionPoint::DiskRead)?;
         let upper = upper_ts.unwrap_or(i64::MAX);
         for (_ts, data) in self.engine.range(index_id as u32, key, i64::MIN, upper)? {
             let row = self.codec.decode(&data)?;
@@ -285,6 +287,7 @@ impl DataTable for DiskTable {
         upper_ts: i64,
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
+        crate::chaos_inject(openmldb_chaos::InjectionPoint::DiskRead)?;
         self.engine
             .range(index_id as u32, key, lower_ts, upper_ts)?
             .into_iter()
@@ -300,6 +303,7 @@ impl DataTable for DiskTable {
         limit: usize,
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
+        crate::chaos_inject(openmldb_chaos::InjectionPoint::DiskRead)?;
         let mut hits = self
             .engine
             .range(index_id as u32, key, i64::MIN, upper_ts)?;

@@ -24,6 +24,16 @@ pub mod sync;
 pub mod table;
 
 pub use binlog::{LogEntry, Replicator, UpdateClosure};
+
+/// Chaos hook for storage paths: fire the injector at `point` and, when it
+/// returns a fault, count it in obs before surfacing. An inlined `Ok(())`
+/// without the `chaos` feature.
+#[inline]
+pub(crate) fn chaos_inject(point: openmldb_chaos::InjectionPoint) -> openmldb_types::Result<()> {
+    openmldb_chaos::inject(point).inspect_err(|_| {
+        crate::metrics::faults_injected().inc();
+    })
+}
 pub use disk::{ColumnFamilySpec, CompositeKey, DiskEngine, FlushTrigger};
 pub use disk_table::{Backend, DataTable, DiskTable};
 pub use hll::HyperLogLog;

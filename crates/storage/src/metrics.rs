@@ -5,11 +5,15 @@
 //! `OnceLock`, so the hot read/GC paths only pay one sharded relaxed
 //! atomic per event.
 
-use openmldb_obs::{Counter, Histogram, Registry};
+use openmldb_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::{Arc, OnceLock};
 
 fn counter(cell: &'static OnceLock<Arc<Counter>>, name: &str, help: &str) -> &'static Counter {
     cell.get_or_init(|| Registry::global().counter(name, help))
+}
+
+fn gauge(cell: &'static OnceLock<Arc<Gauge>>, name: &str, help: &str) -> &'static Gauge {
+    cell.get_or_init(|| Registry::global().gauge(name, help))
 }
 
 /// Point lookups / range probes against a skiplist index (one per key seek).
@@ -50,5 +54,48 @@ pub fn epoch_reclaimed() -> &'static Counter {
         &M,
         "openmldb_storage_epoch_reclaimed_total",
         "Deferred allocations freed by epoch-based reclamation",
+    )
+}
+
+/// Faults the chaos layer actually fired inside storage (errors + kills).
+/// Zero unless the `chaos` feature is compiled in and a plan is armed.
+pub fn faults_injected() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_faults_injected_total",
+        "Transient faults and delivery kills injected by openmldb-chaos",
+    )
+}
+
+/// Binlog entries appended after shutdown: durable but acknowledged to no
+/// subscriber until an explicit flush/replay.
+pub fn binlog_undelivered() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_binlog_undelivered_total",
+        "Appends accepted after replicator shutdown (durable, unacknowledged)",
+    )
+}
+
+/// Replica apply failures (decode or put), after bounded retries.
+pub fn replica_apply_errors() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_replica_apply_errors_total",
+        "Replica catch-up entries whose decode/apply failed after retries",
+    )
+}
+
+/// Rows the leader accepted that the replica has not applied, sampled at
+/// each `ReplicaTable::sync`.
+pub fn replica_lag() -> &'static Gauge {
+    static M: OnceLock<Arc<Gauge>> = OnceLock::new();
+    gauge(
+        &M,
+        "openmldb_storage_replica_lag_rows",
+        "Leader rows not yet applied by the replica (sampled at sync)",
     )
 }

@@ -11,8 +11,10 @@
 //! immediately, which is the failover behaviour the paper gets from its
 //! ZooKeeper deployment.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use openmldb_chaos::InjectionPoint;
 use openmldb_types::{CompactCodec, Result, RowCodec, Schema};
 
 use crate::disk_table::DataTable;
@@ -20,10 +22,17 @@ use crate::disk_table::DataTable;
 use crate::table::IndexSpec;
 use crate::table::MemTable;
 
+/// Bounded retries for an injected transient fault inside the apply
+/// closure; a real (non-transient) failure is counted immediately.
+const APPLY_RETRIES: u32 = 3;
+
 /// A follower table kept in sync with a leader through its binlog.
 pub struct ReplicaTable {
     follower: Arc<MemTable>,
     leader_replicator: Arc<crate::binlog::Replicator>,
+    /// Entries whose decode or apply failed — surfaced instead of silently
+    /// dropped, because a follower missing rows is not a replica.
+    apply_errors: Arc<AtomicU64>,
 }
 
 impl ReplicaTable {
@@ -39,24 +48,44 @@ impl ReplicaTable {
         )?);
         let codec = CompactCodec::new(schema);
         let target = follower.clone();
+        let apply_errors: Arc<AtomicU64> = Arc::default();
+        let errors = apply_errors.clone();
         leader
             .replicator()
             .subscribe_with_catchup(Arc::new(move |entry| {
-                if let Ok(row) = codec.decode(&entry.data) {
-                    // Replica applies are infallible for rows the leader
-                    // accepted (same schema, no memory limit on the follower).
-                    let _ = target.put(&row);
+                let mut outcome = openmldb_chaos::inject(InjectionPoint::ReplicaApply)
+                    .and_then(|()| codec.decode(&entry.data))
+                    .and_then(|row| target.put(&row));
+                // Injected transient faults get a bounded retry; rows the
+                // leader accepted are decodable and the follower has no
+                // memory cap, so persistent failure here is a real defect
+                // worth surfacing, not noise.
+                let mut attempts = 0;
+                while attempts < APPLY_RETRIES && matches!(&outcome, Err(e) if e.is_transient()) {
+                    attempts += 1;
+                    outcome = codec.decode(&entry.data).and_then(|row| target.put(&row));
+                }
+                if outcome.is_err() {
+                    // Never panic here: this runs on the binlog delivery
+                    // worker, and tearing it down would stall every other
+                    // subscriber. Count, expose, keep going.
+                    // analysis:allow(relaxed-ordering): statistics counter.
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    crate::metrics::replica_apply_errors().inc();
                 }
             }));
         Ok(ReplicaTable {
             follower,
             leader_replicator: leader.replicator().clone(),
+            apply_errors,
         })
     }
 
-    /// Block until every write the leader has accepted so far is applied.
+    /// Block until every write the leader has accepted so far is applied,
+    /// then publish the remaining lag (0 on a healthy follower) to obs.
     pub fn sync(&self) {
         self.leader_replicator.flush();
+        crate::metrics::replica_lag().set(self.lag() as f64);
     }
 
     /// The follower table, servable like any other table.
@@ -64,9 +93,32 @@ impl ReplicaTable {
         self.follower.clone()
     }
 
+    /// Sync-then-promote: catch the follower up with the leader's full
+    /// binlog and hand it out as the new serving table. This is the read
+    /// failover path — after a leader fault the caller swaps this table in
+    /// and keeps answering requests.
+    pub fn promote(&self) -> Arc<MemTable> {
+        self.sync();
+        self.follower.clone()
+    }
+
     /// Rows applied so far.
     pub fn applied_rows(&self) -> usize {
         self.follower.row_count()
+    }
+
+    /// Entries the apply closure failed on (decode or put), after retries.
+    pub fn apply_errors(&self) -> u64 {
+        self.apply_errors.load(Ordering::Acquire)
+    }
+
+    /// Entries the leader has accepted but the follower has not applied.
+    /// Apply errors are counted as permanently lagged, never silently
+    /// caught up.
+    pub fn lag(&self) -> u64 {
+        self.leader_replicator
+            .len()
+            .saturating_sub(self.applied_rows() as u64)
     }
 }
 
@@ -166,6 +218,48 @@ mod tests {
         for r in &replicas[1..] {
             assert_eq!(r.table().range(0, &key, 0, 10_000).unwrap(), reference);
         }
+    }
+
+    #[test]
+    fn promote_syncs_then_serves() {
+        let leader = leader();
+        let replica = ReplicaTable::follow(&leader).unwrap();
+        for i in 0..100 {
+            leader.put(&row(2, i as f64, i)).unwrap();
+        }
+        // promote = sync + hand out the follower: no sleep, no flush by the
+        // caller — the promoted table must already hold everything.
+        let serving = replica.promote();
+        drop(leader);
+        assert_eq!(serving.row_count(), 100);
+        let latest = serving.latest(0, &[KeyValue::Int(2)]).unwrap().unwrap();
+        assert_eq!(latest[1], Value::Double(99.0));
+        assert_eq!(replica.lag(), 0);
+        assert_eq!(replica.apply_errors(), 0);
+    }
+
+    #[test]
+    fn corrupt_entries_are_counted_not_silently_dropped() {
+        let leader = leader();
+        let replica = ReplicaTable::follow(&leader).unwrap();
+        for i in 0..10 {
+            leader.put(&row(1, i as f64, i)).unwrap();
+        }
+        // A payload the codec cannot decode: the apply must fail loudly
+        // (counted in apply_errors + obs) instead of vanishing.
+        leader.replicator().append_entry(
+            "events".into(),
+            Arc::from(vec![KeyValue::Int(1)].into_boxed_slice()),
+            11,
+            Arc::from(vec![0xFFu8; 2].into_boxed_slice()),
+        );
+        for i in 12..20 {
+            leader.put(&row(1, i as f64, i)).unwrap();
+        }
+        replica.sync();
+        assert_eq!(replica.applied_rows(), 18, "good rows all applied");
+        assert_eq!(replica.apply_errors(), 1, "bad entry counted");
+        assert_eq!(replica.lag(), 1, "lag exposes the unapplied entry");
     }
 
     #[test]

@@ -245,6 +245,7 @@ impl MemTable {
     /// the pre-ranked time list).
     pub fn latest(&self, index_id: usize, key: &[KeyValue]) -> Result<Option<Row>> {
         let index = self.index(index_id)?;
+        crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
         match index.map.get(&key.to_vec()) {
             Some(list) => match list.latest() {
@@ -264,6 +265,7 @@ impl MemTable {
         mut pred: impl FnMut(&Row) -> bool,
     ) -> Result<Option<Row>> {
         let index = self.index(index_id)?;
+        crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
         let Some(list) = index.map.get(&key.to_vec()) else {
             return Ok(None);
@@ -321,6 +323,7 @@ impl MemTable {
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
         let index = self.index(index_id)?;
+        crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
         let Some(list) = index.map.get(&key.to_vec()) else {
             crate::metrics::scan_len().record(0);
@@ -358,6 +361,7 @@ impl MemTable {
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
         let index = self.index(index_id)?;
+        crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
         let Some(list) = index.map.get(&key.to_vec()) else {
             crate::metrics::scan_len().record(0);

@@ -1,0 +1,132 @@
+//! Deadline budgets for the online request path.
+//!
+//! A [`Deadline`] is a cheap, copyable "must finish by" marker threaded
+//! through `execute_request` → window dispatch → storage seeks. Each stage
+//! boundary calls [`Deadline::check`], converting budget exhaustion into a
+//! typed [`Error::Timeout`] instead of letting a stalled stage hang the
+//! caller. The default is unbounded, so existing call sites pay only an
+//! `Option` test.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{Error, Result};
+
+/// A request's time budget. Copy-cheap; `Deadline::none()` never expires.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    /// Absolute expiry instant, or `None` for unbounded.
+    at: Option<Instant>,
+    /// The original budget in milliseconds, kept for error context.
+    budget_ms: u64,
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::none()
+    }
+}
+
+impl Deadline {
+    /// An unbounded deadline: `check` always succeeds.
+    pub const fn none() -> Self {
+        Deadline {
+            at: None,
+            budget_ms: u64::MAX,
+        }
+    }
+
+    /// A deadline expiring `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline {
+            at: Instant::now().checked_add(budget),
+            budget_ms: budget.as_millis().min(u64::MAX as u128) as u64,
+        }
+    }
+
+    /// Convenience constructor in milliseconds.
+    pub fn within_ms(budget_ms: u64) -> Self {
+        Deadline::within(Duration::from_millis(budget_ms))
+    }
+
+    /// True when the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        match self.at {
+            None => false,
+            Some(at) => Instant::now() >= at,
+        }
+    }
+
+    /// Time left before expiry; `None` means unbounded.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// The total budget in milliseconds (`u64::MAX` when unbounded).
+    pub fn budget_ms(&self) -> u64 {
+        self.budget_ms
+    }
+
+    /// Whether this deadline actually bounds the request.
+    pub fn is_bounded(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// Fail with [`Error::Timeout`] naming `stage` if the budget is spent.
+    #[inline]
+    pub fn check(&self, stage: &'static str) -> Result<()> {
+        if self.expired() {
+            Err(Error::Timeout {
+                stage,
+                budget_ms: self.budget_ms,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert!(!d.is_bounded());
+        assert!(d.remaining().is_none());
+        assert!(d.check("any").is_ok());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::within_ms(0);
+        assert!(d.expired());
+        match d.check("storage_seek") {
+            Err(Error::Timeout { stage, budget_ms }) => {
+                assert_eq!(stage, "storage_seek");
+                assert_eq!(budget_ms, 0);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_passes() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.is_bounded());
+        assert!(d.check("plan").is_ok());
+        assert!(d.remaining().expect("bounded") > Duration::from_secs(3000));
+        assert_eq!(d.budget_ms(), 3_600_000);
+    }
+
+    #[test]
+    fn expiry_is_observed_after_sleep() {
+        let d = Deadline::within(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(d.expired());
+        assert!(d.check("aggregate").is_err());
+    }
+}

@@ -30,6 +30,9 @@ pub enum Error {
     Deployment(String),
     /// Unsupported feature combination for the requested execution mode.
     Unsupported(String),
+    /// A request exceeded its deadline budget. `stage` names the pipeline
+    /// stage that observed expiry; `budget_ms` is the caller's total budget.
+    Timeout { stage: &'static str, budget_ms: u64 },
 }
 
 impl fmt::Display for Error {
@@ -56,7 +59,23 @@ impl fmt::Display for Error {
             ),
             Error::Deployment(m) => write!(f, "deployment error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Timeout { stage, budget_ms } => {
+                write!(
+                    f,
+                    "timeout: deadline of {budget_ms} ms exceeded at stage {stage}"
+                )
+            }
         }
+    }
+}
+
+impl Error {
+    /// True for failures worth a bounded retry: transient storage faults
+    /// (the fault injector prefixes these with `transient`) as opposed to
+    /// deterministic errors (missing index, schema mismatch) that no retry
+    /// can fix.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Storage(m) if m.starts_with("transient"))
     }
 }
 
@@ -87,5 +106,28 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Error::Plan("x".into()));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(Error::Storage("transient fault injected at skiplist_seek".into()).is_transient());
+        assert!(!Error::Storage("no index".into()).is_transient());
+        assert!(!Error::Plan("x".into()).is_transient());
+        assert!(!Error::Timeout {
+            stage: "storage_seek",
+            budget_ms: 5
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn timeout_display_names_stage_and_budget() {
+        let e = Error::Timeout {
+            stage: "window_dispatch",
+            budget_ms: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("window_dispatch"), "{s}");
+        assert!(s.contains("12 ms"), "{s}");
     }
 }

@@ -10,12 +10,14 @@
 //! produce byte-identical feature values.
 
 pub mod codec;
+pub mod deadline;
 pub mod error;
 pub mod row;
 pub mod schema;
 pub mod value;
 
 pub use codec::{CompactCodec, RowCodec, UnsafeRowCodec};
+pub use deadline::Deadline;
 pub use error::{Error, Result};
 pub use row::{Row, RowBatch};
 pub use schema::{ColumnDef, Schema};

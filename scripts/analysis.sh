@@ -40,6 +40,14 @@ cargo test -q -p openmldb --features obs-off --test observability
 step "schedule explorer (model-check feature)"
 cargo test -q -p openmldb-storage --features model-check
 
+step "fault injection armed (chaos build + seeded resilience suite)"
+cargo build -q -p openmldb --features chaos
+cargo test -q --test resilience --features chaos
+cargo test -q -p openmldb-storage -p openmldb-online -p openmldb-core --features chaos
+
+step "fault injection compiled out (resilience suite, clean path)"
+cargo test -q --test resilience
+
 if [ "$QUICK" -eq 0 ]; then
     step "property tests, raised case count"
     OPENMLDB_PROPTEST_CASES=512 cargo test -q -p openmldb-storage -p openmldb-types

@@ -36,16 +36,19 @@
 //! ```
 
 pub use openmldb_baselines as baselines;
+pub use openmldb_chaos as chaos;
 pub use openmldb_core::{
     estimate_memory, recommend_engine, Database, EngineChoice, ExecResult, IndexMemProfile,
     MemoryAlert, MemoryMonitor, TableMemProfile, TableType,
 };
+pub use openmldb_core::{RequestOptions, RequestOutput, RetryPolicy};
 pub use openmldb_exec as exec;
 pub use openmldb_obs as obs;
 pub use openmldb_offline as offline;
 pub use openmldb_online as online;
 pub use openmldb_sql as sql;
 pub use openmldb_storage as storage;
+pub use openmldb_types::Deadline;
 pub use openmldb_types::{
     ColumnDef, CompactCodec, DataType, Error, KeyValue, Result, Row, RowBatch, RowCodec, Schema,
     UnsafeRowCodec, Value,
