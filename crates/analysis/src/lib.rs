@@ -18,6 +18,14 @@
 //! * `lossy-cast` — narrowing `as` casts in the type codec
 //!   (`crates/types/src/codec`) silently truncate row data; use `try_from`
 //!   or annotate with `// analysis:allow(lossy-cast): <reason>`.
+//! * `hot-path-alloc` — a `// HOT:` comment directly above an item marks it
+//!   as steady-state request-path code; inside the item's brace span,
+//!   `.clone()`, `.to_vec()` and `Vec::new()` are flagged in the hot-path
+//!   crates (`storage`, `online`, `exec`). The streaming scan→aggregate
+//!   pipeline's zero-allocation contract is enforced by the bench gate at
+//!   runtime; this rule stops allocating idioms from creeping back in at
+//!   review time. Deliberate cold branches (cold-start growth, error paths)
+//!   opt out with `// analysis:allow(hot-path-alloc): <reason>`.
 //! * `metric-name` — string literals registering observability metrics must
 //!   follow `openmldb_<crate>_<name>_<unit>` (the convention documented in
 //!   `crates/obs`); a malformed name silently fragments dashboards. Applies
@@ -43,12 +51,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, in report order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "safety-comment",
     "relaxed-ordering",
     "panic-path",
     "lossy-cast",
     "metric-name",
+    "hot-path-alloc",
 ];
 
 /// One lint hit at a specific source line.
@@ -105,6 +114,9 @@ struct LineInfo {
     /// Inside a `#[cfg(test)]` item body (or the attribute/header lines of
     /// one) — lint rules skip these lines.
     in_test: bool,
+    /// Inside the brace span of an item whose leading comment block carries
+    /// a `// HOT:` marker — the `hot-path-alloc` rule applies here.
+    in_hot: bool,
 }
 
 #[derive(Debug, Default)]
@@ -281,6 +293,11 @@ fn preprocess(src: &str) -> Vec<LineInfo> {
     let mut depth = 0usize;
     let mut pending_test = false;
     let mut test_region_depth: Option<usize> = None;
+    // `// HOT:` tracking mirrors the test-region tracking: the marker arms
+    // a pending flag, the next opening brace starts the region, and the
+    // region ends when depth falls back to where it started.
+    let mut pending_hot = false;
+    let mut hot_region_depth: Option<usize> = None;
 
     for raw in src.lines() {
         let (code, comment, strings) = lex_line(raw, &mut st);
@@ -293,6 +310,9 @@ fn preprocess(src: &str) -> Vec<LineInfo> {
         {
             pending_test = true;
         }
+        if hot_region_depth.is_none() && comment.contains("HOT:") {
+            pending_hot = true;
+        }
 
         let opens = code.matches('{').count();
         let closes = code.matches('}').count();
@@ -300,19 +320,30 @@ fn preprocess(src: &str) -> Vec<LineInfo> {
             test_region_depth = Some(depth);
             pending_test = false;
         }
+        if pending_hot && opens > 0 {
+            hot_region_depth = Some(depth);
+            pending_hot = false;
+        }
         depth = (depth + opens).saturating_sub(closes);
 
         let in_test = pending_test || test_region_depth.is_some();
+        let in_hot = hot_region_depth.is_some();
         lines.push(LineInfo {
             code,
             comment,
             strings,
             in_test,
+            in_hot,
         });
 
         if let Some(rd) = test_region_depth {
             if depth <= rd {
                 test_region_depth = None;
+            }
+        }
+        if let Some(rd) = hot_region_depth {
+            if depth <= rd {
+                hot_region_depth = None;
             }
         }
     }
@@ -459,7 +490,20 @@ fn rules_for(path: &str) -> Vec<&'static str> {
     if path.starts_with("crates/types/src/codec") {
         rules.push("lossy-cast");
     }
+    if path.starts_with("crates/storage/src/")
+        || path.starts_with("crates/online/src/")
+        || path.starts_with("crates/exec/src/")
+    {
+        rules.push("hot-path-alloc");
+    }
     rules
+}
+
+/// Allocating idioms banned inside `// HOT:` regions. `.clone()` covers
+/// `Arc` bumps too — cheap, but an `Arc` clone on the per-row path usually
+/// means a borrowed read was available; annotate the deliberate ones.
+fn has_hot_alloc(code: &str) -> bool {
+    code.contains(".clone()") || code.contains(".to_vec()") || code.contains("Vec::new()")
 }
 
 /// Scan one file's source. `rel_path` selects the applicable rules.
@@ -511,6 +555,13 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Violation> {
             && !allowed(&lines, idx, "lossy-cast")
         {
             violate("lossy-cast", idx, code);
+        }
+        if rules.contains(&"hot-path-alloc")
+            && li.in_hot
+            && has_hot_alloc(code)
+            && !allowed(&lines, idx, "hot-path-alloc")
+        {
+            violate("hot-path-alloc", idx, code);
         }
         if rules.contains(&"metric-name") {
             for lit in &li.strings {
@@ -912,6 +963,43 @@ mod tests {
         // Metric names quoted in comments are prose, not registrations.
         let prose = "fn f() {}\n// render emits \"openmldb_bogus\" lines\n";
         assert!(scan_source(STORAGE, prose).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_marked_regions_only() {
+        // Outside a HOT region: allocating idioms are fine.
+        let cold = "fn setup(v: &[u32]) -> Vec<u32> {\n    v.to_vec()\n}\n";
+        assert!(scan_source(STORAGE, cold).is_empty());
+
+        // Inside: .clone(), .to_vec() and Vec::new() are each flagged.
+        let hot = "// HOT: per-row scan step.\nfn scan(v: &[u32]) {\n    let a = v.to_vec();\n    let b = a.clone();\n    let c: Vec<u32> = Vec::new();\n    drop((b, c));\n}\n";
+        let v = scan_source(STORAGE, hot);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "hot-path-alloc"));
+        assert_eq!(v[0].line, 3);
+
+        // The region ends with the item's closing brace.
+        let after = "// HOT: tight loop.\nfn scan(v: &[u32]) -> u32 {\n    v[0]\n}\n\nfn cold(v: &[u32]) -> Vec<u32> {\n    v.to_vec()\n}\n";
+        assert!(scan_source(STORAGE, after).is_empty());
+
+        // Annotated cold branches inside a HOT region opt out.
+        let annotated = "// HOT: steady-state request path.\nfn run(v: &[u32]) {\n    // analysis:allow(hot-path-alloc): cold-start growth only.\n    let grown = v.to_vec();\n    drop(grown);\n}\n";
+        assert!(scan_source(STORAGE, annotated).is_empty());
+
+        // Scoped to the hot-path crates; HOT elsewhere is just a comment.
+        let src = "// HOT: marker.\nfn f(v: &[u32]) -> Vec<u32> {\n    v.to_vec()\n}\n";
+        assert!(scan_source("crates/sql/src/x.rs", src).is_empty());
+        for path in [
+            "crates/online/src/x.rs",
+            "crates/exec/src/x.rs",
+            "crates/storage/src/x.rs",
+        ] {
+            assert_eq!(scan_source(path, src).len(), 1, "{path}");
+        }
+
+        // `HOT:` quoted in code (a string literal) does not arm the rule.
+        let quoted = "fn f() {\n    let s = \"HOT: not a marker\";\n    let v: Vec<u32> = Vec::new();\n    drop((s, v));\n}\n";
+        assert!(scan_source(STORAGE, quoted).is_empty());
     }
 
     #[test]

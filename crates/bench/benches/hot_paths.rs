@@ -83,6 +83,45 @@ fn codecs(c: &mut Criterion) {
     g.finish();
 }
 
+/// Pins the borrowed `RowView` read path against the owning decoders: a
+/// full-row scan through `get_value` versus materializing every column via
+/// `decode` / `decode_projected`. The view reads fields in place from the
+/// encoded buffer, so this group is the per-row cost the streaming
+/// scan→aggregate pipeline saves.
+fn rowview_decode(c: &mut Criterion) {
+    let schema = bench_schema();
+    let width = schema.len();
+    let compact = CompactCodec::new(schema);
+    let row = bench_row(42);
+    let buf = compact.encode(&row).unwrap();
+    let wanted = vec![true; width];
+
+    let mut g = c.benchmark_group("rowview_decode");
+    g.bench_function("view_all_columns", |b| {
+        b.iter(|| {
+            let view = compact.view(&buf).unwrap();
+            let mut acc = 0i64;
+            for i in 0..width {
+                match view.get_value(i).unwrap() {
+                    Value::Bigint(v) | Value::Timestamp(v) => acc += v,
+                    Value::Int(v) => acc += v as i64,
+                    Value::Double(v) => acc += v as i64,
+                    Value::Str(s) => acc += s.len() as i64,
+                    _ => {}
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("owning_decode", |b| {
+        b.iter(|| compact.decode(&buf).unwrap())
+    });
+    g.bench_function("owning_decode_projected", |b| {
+        b.iter(|| compact.decode_projected(&buf, Some(&wanted)).unwrap())
+    });
+    g.finish();
+}
+
 fn skiplist(c: &mut Criterion) {
     let mut g = c.benchmark_group("skiplist");
     g.bench_function("timelist_insert_inorder", |b| {
@@ -354,6 +393,7 @@ fn chaos_overhead(c: &mut Criterion) {
 criterion_group!(
     benches,
     codecs,
+    rowview_decode,
     skiplist,
     sliding_windows,
     cyclic_binding,

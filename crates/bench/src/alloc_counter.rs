@@ -1,0 +1,79 @@
+//! Counting global allocator for the hotpath experiment.
+//!
+//! Wraps the system allocator and counts every `alloc`/`realloc` with a
+//! relaxed atomic, so experiments can report allocations-per-request and the
+//! zero-allocation steady-state proof can assert an exact delta of 0. The
+//! counter costs one relaxed `fetch_add` per allocation — noise next to the
+//! allocation itself — and is installed for every binary and test that links
+//! this crate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// The counting wrapper. Deallocations are forwarded uncounted: the
+/// experiments measure allocation pressure, not live bytes.
+pub struct CountingAllocator;
+
+// SAFETY: every method forwards to `System`, which upholds the `GlobalAlloc`
+// contract; the wrapper adds only an atomic counter.
+unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: defers to `System` under the caller's layout contract.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: defers to `System` under the caller's layout contract.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our caller's.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: defers to `System` under the caller's layout contract.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by this allocator with `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: defers to `System` under the caller's layout contract.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` was produced by this allocator with `layout`.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Total allocations (alloc + alloc_zeroed + realloc) since process start.
+pub fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Run `f` and return its result plus the number of allocations it made.
+/// Single-threaded measurement: concurrent allocations on other threads
+/// count too, so measure with background work quiesced.
+pub fn count<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocations();
+    let value = f();
+    (value, allocations() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_heap_allocations() {
+        let (_, none) = count(|| std::hint::black_box(7u64 + 35));
+        assert_eq!(none, 0, "arithmetic must not allocate");
+        let (v, some) = count(|| vec![1u8; 4096]);
+        assert!(some >= 1, "a fresh Vec allocates");
+        assert_eq!(v.len(), 4096);
+    }
+}

@@ -1,0 +1,12 @@
+fn main() {
+    let result = openmldb_bench::experiments::hotpath::run();
+    if result.gate_failed {
+        eprintln!(
+            "hotpath gate failed: alloc reduction {:.2}x (need >= {:.1}), stage allocs {}",
+            result.alloc_reduction,
+            openmldb_bench::experiments::hotpath::MIN_ALLOC_REDUCTION,
+            result.stage_allocs_after_warm
+        );
+        std::process::exit(1);
+    }
+}

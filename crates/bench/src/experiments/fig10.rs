@@ -75,10 +75,9 @@ pub fn run() -> Vec<PreaggPoint> {
         // the window, two levels.
         let dep = db.deployment(&plain).unwrap();
         let q = &dep.query;
-        let aggs: Vec<_> = q.aggregates.clone();
         let preagg = PreAggregator::new(
             &q.windows[0],
-            &aggs,
+            &q.aggregates,
             vec![frame_ms / 100 + 1, frame_ms / 10 + 1],
         )
         .unwrap();

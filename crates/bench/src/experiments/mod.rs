@@ -14,6 +14,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig_union;
+pub mod hotpath;
 pub mod obs_snapshot;
 pub mod sweeps;
 pub mod tab02;

@@ -6,25 +6,56 @@
 
 use openmldb_sql::plan::PhysExpr;
 use openmldb_sql::BinaryOp;
-use openmldb_types::{DataType, Error, Result, Value};
+use openmldb_types::{DataType, Error, Result, RowView, Value};
 
 use crate::scalar;
+
+/// A source of column values for expression evaluation — either a decoded
+/// `&[Value]` row or a borrowed [`RowView`] over the compact encoding, so
+/// the streaming scan→aggregate path can evaluate aggregate arguments
+/// without decoding whole rows first.
+pub trait ColumnSource {
+    /// The value of column `i` (owned; borrowed sources promote in place —
+    /// allocation-free for every type but strings).
+    fn column(&self, i: usize) -> Result<Value>;
+}
+
+impl ColumnSource for [Value] {
+    fn column(&self, i: usize) -> Result<Value> {
+        self.get(i)
+            .cloned()
+            .ok_or_else(|| Error::Eval(format!("column index {i} out of bounds")))
+    }
+}
+
+impl ColumnSource for RowView<'_> {
+    fn column(&self, i: usize) -> Result<Value> {
+        self.get_value(i)
+    }
+}
 
 /// Evaluate `expr` against `row`, with aggregate results supplied in `aggs`
 /// (indexed by `PhysExpr::AggRef`).
 pub fn evaluate(expr: &PhysExpr, row: &[Value], aggs: &[Value]) -> Result<Value> {
+    evaluate_with(expr, row, aggs)
+}
+
+/// [`evaluate`] generalized over the column source, shared by the decoded
+/// and the in-place ([`RowView`]) paths.
+pub fn evaluate_with<S: ColumnSource + ?Sized>(
+    expr: &PhysExpr,
+    row: &S,
+    aggs: &[Value],
+) -> Result<Value> {
     match expr {
         PhysExpr::Literal(v) => Ok(v.clone()),
-        PhysExpr::Column(i) => row
-            .get(*i)
-            .cloned()
-            .ok_or_else(|| Error::Eval(format!("column index {i} out of bounds"))),
+        PhysExpr::Column(i) => row.column(*i),
         PhysExpr::AggRef(i) => aggs
             .get(*i)
             .cloned()
             .ok_or_else(|| Error::Eval(format!("aggregate index {i} out of bounds"))),
         PhysExpr::Binary { op, left, right } => {
-            let l = evaluate(left, row, aggs)?;
+            let l = evaluate_with(left, row, aggs)?;
             // Short-circuit AND/OR with SQL three-valued-ish semantics
             // (NULL treated as false in boolean context).
             match op {
@@ -32,33 +63,33 @@ pub fn evaluate(expr: &PhysExpr, row: &[Value], aggs: &[Value]) -> Result<Value>
                     if !l.as_bool()? {
                         return Ok(Value::Bool(false));
                     }
-                    let r = evaluate(right, row, aggs)?;
+                    let r = evaluate_with(right, row, aggs)?;
                     return Ok(Value::Bool(r.as_bool()?));
                 }
                 BinaryOp::Or => {
                     if l.as_bool()? {
                         return Ok(Value::Bool(true));
                     }
-                    let r = evaluate(right, row, aggs)?;
+                    let r = evaluate_with(right, row, aggs)?;
                     return Ok(Value::Bool(r.as_bool()?));
                 }
                 _ => {}
             }
-            let r = evaluate(right, row, aggs)?;
+            let r = evaluate_with(right, row, aggs)?;
             binary(*op, &l, &r)
         }
         PhysExpr::Not(e) => {
-            let v = evaluate(e, row, aggs)?;
+            let v = evaluate_with(e, row, aggs)?;
             Ok(Value::Bool(!v.as_bool()?))
         }
         PhysExpr::IsNull { expr, negated } => {
-            let v = evaluate(expr, row, aggs)?;
+            let v = evaluate_with(expr, row, aggs)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
         PhysExpr::ScalarCall { func, args } => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(evaluate(a, row, aggs)?);
+                vals.push(evaluate_with(a, row, aggs)?);
             }
             scalar::call(func.name, &vals)
         }
@@ -67,12 +98,12 @@ pub fn evaluate(expr: &PhysExpr, row: &[Value], aggs: &[Value]) -> Result<Value>
             else_expr,
         } => {
             for (cond, value) in branches {
-                if evaluate(cond, row, aggs)?.as_bool()? {
-                    return evaluate(value, row, aggs);
+                if evaluate_with(cond, row, aggs)?.as_bool()? {
+                    return evaluate_with(value, row, aggs);
                 }
             }
             match else_expr {
-                Some(e) => evaluate(e, row, aggs),
+                Some(e) => evaluate_with(e, row, aggs),
                 None => Ok(Value::Null),
             }
         }

@@ -16,12 +16,14 @@ pub mod export;
 pub mod incremental;
 pub mod metrics;
 pub mod scalar;
+pub mod scratch;
 pub mod window;
 
 pub use agg::{create_aggregator, supports_preagg, AggState, Aggregator};
-pub use eval::evaluate;
+pub use eval::{evaluate, evaluate_with, ColumnSource};
 pub use export::{infer_feature_kinds, to_csv, to_libsvm, FeatureKind};
 pub use incremental::SlidingWindow;
+pub use scratch::{RequestScratch, ScanEntry, REQUEST_ROW};
 pub use window::WindowAggSet;
 
 #[cfg(test)]

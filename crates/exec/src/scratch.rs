@@ -1,0 +1,167 @@
+//! Per-request reusable scratch state for the streaming request path.
+//!
+//! A warm [`RequestScratch`] owns every buffer the online engine touches
+//! while serving one request — the scan arena, the sort entries, the join
+//! probe row, the aggregate argument/output vectors, and the per-window
+//! [`WindowAggSet`]s — so a steady-state request performs zero heap
+//! allocations: everything is `clear()`ed between requests, never dropped.
+
+use openmldb_types::{KeyValue, Value};
+
+use crate::window::WindowAggSet;
+
+/// Length sentinel marking the request row itself inside the entry list —
+/// the request row lives as decoded `Value`s, not in the byte arena.
+pub const REQUEST_ROW: usize = usize::MAX;
+
+/// One scanned window row: a `(ts, arrival index)` sort key plus a byte
+/// range into the owning [`RequestScratch`] arena.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanEntry {
+    /// Row timestamp (the primary sort key).
+    pub ts: i64,
+    /// Arrival index — ties on `ts` keep arrival order, reproducing the
+    /// stable sort of the materializing path.
+    pub seq: usize,
+    /// Byte offset of the encoded row in the arena.
+    pub start: usize,
+    /// Encoded length, or [`REQUEST_ROW`] for the request-row marker.
+    pub len: usize,
+}
+
+impl ScanEntry {
+    /// Whether this entry is the request-row marker rather than a scanned,
+    /// encoded row.
+    pub fn is_request_row(&self) -> bool {
+        self.len == REQUEST_ROW
+    }
+
+    /// The encoded row bytes within `arena`. Must not be called on the
+    /// request-row marker.
+    pub fn bytes<'a>(&self, arena: &'a [u8]) -> &'a [u8] {
+        debug_assert!(!self.is_request_row());
+        &arena[self.start..self.start + self.len]
+    }
+}
+
+/// Reusable buffers for one in-flight request. Obtain from a pool, call
+/// [`reset`](Self::reset) before use; all buffers keep their capacity across
+/// requests so the warm path never allocates.
+#[derive(Default)]
+pub struct RequestScratch {
+    /// Request row + join match, concatenated (the combined input row).
+    pub combined: Vec<Value>,
+    /// Join residual probe buffer — truncated back to the base row and
+    /// re-extended per candidate instead of cloning `combined`.
+    pub probe: Vec<Value>,
+    /// Aggregate outputs across all windows, in plan order.
+    pub agg_values: Vec<Value>,
+    /// Partition key under evaluation.
+    pub key: Vec<KeyValue>,
+    /// Raw encoded rows copied out of storage during the scan pass.
+    pub arena: Vec<u8>,
+    /// Sort entries over `arena` (plus the request-row marker).
+    pub entries: Vec<ScanEntry>,
+    /// The projected output row.
+    pub out: Vec<Value>,
+    /// Warm per-window aggregate sets, indexed by window id. `None` until
+    /// first use (windows are built lazily from the deployment plan).
+    pub windows: Vec<Option<WindowAggSet>>,
+}
+
+impl RequestScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one scanned row: copy its bytes into the arena and push a sort
+    /// entry. `seq` is the arrival index used for stable tie-breaking.
+    // HOT: runs once per scanned row; extends pre-grown buffers only.
+    pub fn push_entry(&mut self, ts: i64, seq: usize, bytes: &[u8]) {
+        let start = self.arena.len();
+        self.arena.extend_from_slice(bytes);
+        self.entries.push(ScanEntry {
+            ts,
+            seq,
+            start,
+            len: bytes.len(),
+        });
+    }
+
+    /// Record the request row's position in the sort order without copying
+    /// it into the arena (it is already decoded).
+    pub fn push_request_marker(&mut self, ts: i64, seq: usize) {
+        self.entries.push(ScanEntry {
+            ts,
+            seq,
+            start: 0,
+            len: REQUEST_ROW,
+        });
+    }
+
+    /// The encoded bytes of `entry` within this scratch's arena.
+    pub fn entry_bytes(&self, entry: &ScanEntry) -> &[u8] {
+        entry.bytes(&self.arena)
+    }
+
+    /// Clear the scan buffers (arena + entries) for the next window, keeping
+    /// capacity.
+    pub fn reset_scan(&mut self) {
+        self.arena.clear();
+        self.entries.clear();
+    }
+
+    /// Clear everything for the next request, keeping capacity and warm
+    /// window aggregate sets (which are `reset`, not rebuilt).
+    pub fn reset(&mut self) {
+        self.combined.clear();
+        self.probe.clear();
+        self.agg_values.clear();
+        self.key.clear();
+        self.arena.clear();
+        self.entries.clear();
+        self.out.clear();
+        for w in self.windows.iter_mut().flatten() {
+            w.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_round_trip_bytes_and_markers() {
+        let mut s = RequestScratch::new();
+        s.push_entry(10, 0, &[1, 2, 3]);
+        s.push_request_marker(20, 1);
+        s.push_entry(5, 2, &[9]);
+
+        assert_eq!(s.entries.len(), 3);
+        assert!(!s.entries[0].is_request_row());
+        assert!(s.entries[1].is_request_row());
+        assert_eq!(s.entry_bytes(&s.entries[0]), &[1, 2, 3]);
+        assert_eq!(s.entry_bytes(&s.entries[2]), &[9]);
+
+        // Sorting by (ts, seq) reproduces the materializing path's stable
+        // ascending-ts order.
+        let mut order: Vec<ScanEntry> = s.entries.clone();
+        order.sort_unstable_by_key(|e| (e.ts, e.seq));
+        assert_eq!(order[0].ts, 5);
+        assert!(order[2].is_request_row());
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut s = RequestScratch::new();
+        s.push_entry(1, 0, &[0u8; 64]);
+        s.out.push(Value::Bigint(1));
+        let arena_cap = s.arena.capacity();
+        let entries_cap = s.entries.capacity();
+        s.reset();
+        assert!(s.arena.is_empty() && s.entries.is_empty() && s.out.is_empty());
+        assert_eq!(s.arena.capacity(), arena_cap);
+        assert_eq!(s.entries.capacity(), entries_cap);
+    }
+}

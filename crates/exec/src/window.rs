@@ -7,13 +7,11 @@
 //! `count` intermediates, and the argument expression is evaluated once per
 //! row instead of once per call.
 
-use std::collections::BTreeMap;
-
 use openmldb_sql::plan::{BoundAggregate, PhysExpr};
-use openmldb_types::{Result, Value};
+use openmldb_types::{Result, RowView, Value};
 
-use crate::agg::{create_aggregator, Aggregator, OrdVal};
-use crate::eval::evaluate;
+use crate::agg::{create_aggregator, Aggregator};
+use crate::eval::{evaluate_with, ColumnSource};
 
 /// Shared numeric statistics state for one distinct argument expression.
 #[derive(Debug, Default)]
@@ -23,8 +21,17 @@ struct SharedNumeric {
     sum_f: f64,
     sum_sq: f64,
     all_int: bool,
-    /// Ordered multiset, maintained only when min/max projections exist.
-    minmax: Option<BTreeMap<OrdVal, u64>>,
+    /// Running sums, maintained only when sum/avg/stddev projections exist.
+    /// Without them the slot may legally feed on non-numeric values —
+    /// `count`, `min` and `max` are defined over strings too.
+    track_sums: bool,
+    /// Running extrema, maintained only when min/max projections exist.
+    /// Windows never retract here (requests rebuild from a fresh scan), so a
+    /// running pair replaces the ordered multiset the retracting
+    /// [`SlidingWindow`](crate::SlidingWindow) still needs.
+    track_minmax: bool,
+    min: Option<Value>,
+    max: Option<Value>,
 }
 
 impl SharedNumeric {
@@ -35,18 +42,27 @@ impl SharedNumeric {
         if self.count == 0 {
             self.all_int = true;
         }
-        let integral = !matches!(v, Value::Float(_) | Value::Double(_)) && v.as_i64().is_ok();
-        if integral {
-            self.sum_i = self.sum_i.wrapping_add(v.as_i64()?);
-        } else {
-            self.all_int = false;
+        if self.track_sums {
+            let integral = !matches!(v, Value::Float(_) | Value::Double(_)) && v.as_i64().is_ok();
+            if integral {
+                self.sum_i = self.sum_i.wrapping_add(v.as_i64()?);
+            } else {
+                self.all_int = false;
+            }
+            let f = v.as_f64()?;
+            self.sum_f += f;
+            self.sum_sq += f * f;
         }
-        let f = v.as_f64()?;
-        self.sum_f += f;
-        self.sum_sq += f * f;
         self.count += 1;
-        if let Some(mm) = &mut self.minmax {
-            *mm.entry(OrdVal(v.clone())).or_insert(0) += 1;
+        if self.track_minmax {
+            // Strict comparisons keep the first-seen instance on ties,
+            // matching the ordered-multiset semantics this replaces.
+            if self.min.as_ref().is_none_or(|m| v.total_cmp(m).is_lt()) {
+                self.min = Some(v.clone());
+            }
+            if self.max.as_ref().is_none_or(|m| v.total_cmp(m).is_gt()) {
+                self.max = Some(v.clone());
+            }
         }
         Ok(())
     }
@@ -70,18 +86,8 @@ impl SharedNumeric {
                     Value::Double(self.sum_f / self.count as f64)
                 }
             }
-            Projection::Min => self
-                .minmax
-                .as_ref()
-                .and_then(|m| m.keys().next())
-                .map(|o| o.0.clone())
-                .unwrap_or(Value::Null),
-            Projection::Max => self
-                .minmax
-                .as_ref()
-                .and_then(|m| m.keys().next_back())
-                .map(|o| o.0.clone())
-                .unwrap_or(Value::Null),
+            Projection::Min => self.min.clone().unwrap_or(Value::Null),
+            Projection::Max => self.max.clone().unwrap_or(Value::Null),
             Projection::Stddev => {
                 if self.count < 2 {
                     return Value::Null;
@@ -94,11 +100,10 @@ impl SharedNumeric {
     }
 
     fn reset(&mut self) {
-        let track = self.minmax.is_some();
+        let (sums, minmax) = (self.track_sums, self.track_minmax);
         *self = SharedNumeric::default();
-        if track {
-            self.minmax = Some(BTreeMap::new());
-        }
+        self.track_sums = sums;
+        self.track_minmax = minmax;
     }
 }
 
@@ -146,6 +151,9 @@ enum Binding {
 pub struct WindowAggSet {
     slots: Vec<Slot>,
     bindings: Vec<Binding>,
+    /// Reusable argument buffer for `Single` slots — cleared per row, never
+    /// reallocated once warm.
+    scratch_args: Vec<Value>,
 }
 
 impl WindowAggSet {
@@ -175,9 +183,13 @@ impl WindowAggSet {
                         i
                     }
                 };
-                if matches!(proj, Projection::Min | Projection::Max) {
-                    if let Slot::Shared { state, .. } = &mut slots[slot] {
-                        state.minmax.get_or_insert_with(BTreeMap::new);
+                if let Slot::Shared { state, .. } = &mut slots[slot] {
+                    match proj {
+                        Projection::Min | Projection::Max => state.track_minmax = true,
+                        Projection::Sum | Projection::Avg | Projection::Stddev => {
+                            state.track_sums = true
+                        }
+                        Projection::Count => {}
                     }
                 }
                 bindings.push(Binding::Shared { slot, proj });
@@ -190,23 +202,44 @@ impl WindowAggSet {
                 bindings.push(Binding::Single { slot: i });
             }
         }
-        Ok(WindowAggSet { slots, bindings })
+        Ok(WindowAggSet {
+            slots,
+            bindings,
+            scratch_args: Vec::new(),
+        })
     }
 
     /// Feed one window row (oldest → newest).
     pub fn update(&mut self, row: &[Value]) -> Result<()> {
-        for slot in &mut self.slots {
+        self.update_src(row)
+    }
+
+    // HOT: per-scanned-row aggregate feed on the streaming request path —
+    // reads columns in place through the borrowed view.
+    /// Feed one window row directly from its compact encoding, without
+    /// decoding the full row first.
+    pub fn update_view(&mut self, row: &RowView<'_>) -> Result<()> {
+        self.update_src(row)
+    }
+
+    fn update_src<S: ColumnSource + ?Sized>(&mut self, row: &S) -> Result<()> {
+        let Self {
+            slots,
+            scratch_args,
+            ..
+        } = self;
+        for slot in slots {
             match slot {
                 Slot::Shared { args, state } => {
-                    let v = evaluate(&args[0], row, &[])?;
+                    let v = evaluate_with(&args[0], row, &[])?;
                     state.update(&v)?;
                 }
                 Slot::Single { args, agg } => {
-                    let mut vals = Vec::with_capacity(args.len());
-                    for a in args {
-                        vals.push(evaluate(a, row, &[])?);
+                    scratch_args.clear();
+                    for a in args.iter() {
+                        scratch_args.push(evaluate_with(a, row, &[])?);
                     }
-                    agg.update(&vals)?;
+                    agg.update(scratch_args)?;
                 }
             }
         }
@@ -215,9 +248,15 @@ impl WindowAggSet {
 
     /// Current outputs, one per input aggregate, in input order.
     pub fn outputs(&self) -> Vec<Value> {
-        self.bindings
-            .iter()
-            .map(|b| match b {
+        let mut out = Vec::with_capacity(self.bindings.len());
+        self.outputs_into(&mut out);
+        out
+    }
+
+    /// Append the current outputs to `out`, reusing its capacity.
+    pub fn outputs_into(&self, out: &mut Vec<Value>) {
+        for b in &self.bindings {
+            out.push(match b {
                 Binding::Shared { slot, proj } => match &self.slots[*slot] {
                     Slot::Shared { state, .. } => state.project(*proj),
                     Slot::Single { .. } => unreachable!("binding/slot mismatch"),
@@ -226,8 +265,8 @@ impl WindowAggSet {
                     Slot::Single { agg, .. } => agg.output(),
                     Slot::Shared { .. } => unreachable!("binding/slot mismatch"),
                 },
-            })
-            .collect()
+            });
+        }
     }
 
     /// Clear all state for the next request.

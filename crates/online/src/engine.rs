@@ -11,13 +11,13 @@
 //!   deployed (Section 5.1).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use openmldb_exec::{evaluate, WindowAggSet};
+use openmldb_exec::{evaluate, RequestScratch, ScanEntry, WindowAggSet, REQUEST_ROW};
 use openmldb_obs::trace as obs;
 use openmldb_sql::ast::Frame;
-use openmldb_sql::plan::{BoundWindow, CompiledQuery};
-use openmldb_types::{Error, KeyValue, Result, Row, Value};
+use openmldb_sql::plan::{BoundAggregate, BoundWindow, CompiledQuery};
+use openmldb_types::{CompactCodec, Error, KeyValue, Result, Row, Value};
 
 use openmldb_storage::{DataTable, MemTable};
 
@@ -63,6 +63,10 @@ impl TableProvider for MapProvider {
 
 /// A deployed feature script: the compiled plan plus per-window
 /// pre-aggregators (None = scan path).
+///
+/// Request-invariant plan state — the window → aggregate mapping, the join
+/// key columns, and the base-schema codec — is hoisted here at deployment
+/// time so the per-request path never rebuilds it.
 pub struct Deployment {
     pub name: String,
     pub query: Arc<CompiledQuery>,
@@ -70,6 +74,16 @@ pub struct Deployment {
     /// Per window: which base-schema columns its aggregates read. Window
     /// scans decode only these (the Section 7.1 offset fast path).
     window_projections: Vec<Vec<bool>>,
+    /// Aggregate indices per window (`aggregates_by_window`, hoisted).
+    by_window: Vec<Vec<usize>>,
+    /// Right-side join key columns per join, hoisted.
+    join_right_keys: Vec<Vec<usize>>,
+    /// Base-schema codec: the streaming scan reads stored rows in place
+    /// through [`RowView`](openmldb_types::RowView) instead of decoding.
+    codec: CompactCodec,
+    /// Warm [`RequestScratch`] buffers — steady-state requests pop one,
+    /// serve allocation-free, and push it back.
+    scratch_pool: Mutex<Vec<RequestScratch>>,
 }
 
 impl Deployment {
@@ -88,17 +102,41 @@ impl Deployment {
                 }
             }
         }
+        let by_window = query.aggregates_by_window();
+        let join_right_keys = query
+            .joins
+            .iter()
+            .map(|j| j.eq_pairs.iter().map(|&(_, r)| r).collect())
+            .collect();
+        let codec = CompactCodec::new(query.base_schema.clone());
         Deployment {
             name: name.into(),
             query,
             preaggs,
             window_projections,
+            by_window,
+            join_right_keys,
+            codec,
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
     pub fn with_preagg(mut self, window_id: usize, preagg: Arc<PreAggregator>) -> Self {
         self.preaggs[window_id] = Some(preagg);
         self
+    }
+
+    fn take_scratch(&self) -> RequestScratch {
+        self.scratch_pool
+            .lock()
+            .map(|mut pool| pool.pop().unwrap_or_default())
+            .unwrap_or_default()
+    }
+
+    fn put_scratch(&self, scratch: RequestScratch) {
+        if let Ok(mut pool) = self.scratch_pool.lock() {
+            pool.push(scratch);
+        }
     }
 }
 
@@ -156,6 +194,395 @@ pub fn execute_request_with(
 }
 
 fn execute_request_inner(
+    provider: &dyn TableProvider,
+    dep: &Deployment,
+    request: &Row,
+    ctx: &Ctx,
+) -> Result<Row> {
+    let mut scratch = dep.take_scratch();
+    scratch.reset();
+    let out = execute_streaming(provider, dep, request, ctx, &mut scratch);
+    dep.put_scratch(scratch);
+    out
+}
+
+// HOT: the steady-state request path — every buffer comes from `scratch`
+// and is reused across requests; a warm request must not allocate before
+// the final output row.
+fn execute_streaming(
+    provider: &dyn TableProvider,
+    dep: &Deployment,
+    request: &Row,
+    ctx: &Ctx,
+    scratch: &mut RequestScratch,
+) -> Result<Row> {
+    let q = &dep.query;
+    ctx.check("validate")?;
+    q.base_schema.validate_row(request.values())?;
+
+    let RequestScratch {
+        combined,
+        probe,
+        agg_values,
+        key,
+        arena,
+        entries,
+        out,
+        windows,
+    } = scratch;
+
+    // 1. LAST JOINs: build the combined row in the warm scratch buffer.
+    combined.extend_from_slice(request.values());
+    obs::span(obs::Stage::StorageSeek, || -> Result<()> {
+        for (ji, join) in q.joins.iter().enumerate() {
+            key.clear();
+            for &(l, _) in &join.eq_pairs {
+                key.push(KeyValue::from(&combined[l]));
+            }
+            let matched = resilient_read(ctx, provider, &join.table, |table| {
+                let index = table
+                    .find_index(&dep.join_right_keys[ji], join.order_col)
+                    .ok_or_else(|| {
+                        Error::Storage(format!("no index on `{}` for join keys", join.table))
+                    })?;
+                match &join.residual {
+                    None => table.latest(index, key),
+                    Some(pred) => {
+                        // One probe buffer per request: truncate back to the
+                        // combined prefix and re-extend per candidate instead
+                        // of cloning `combined` for every row inspected.
+                        probe.clear();
+                        probe.extend_from_slice(combined);
+                        let base_len = probe.len();
+                        let mut check = |row: &Row| {
+                            probe.truncate(base_len);
+                            probe.extend(row.values().iter().cloned());
+                            evaluate(pred, probe, &[])
+                                .and_then(|v| v.as_bool())
+                                .unwrap_or(false)
+                        };
+                        table.latest_where(index, key, None, &mut check)
+                    }
+                }
+            })?;
+            match matched {
+                Some(row) => combined.extend(row.values().iter().cloned()),
+                None => combined.extend((0..join.schema.len()).map(|_| Value::Null)),
+            }
+        }
+        Ok(())
+    })?;
+
+    // 2. WHERE filter (a request failing the predicate yields an all-NULL
+    // feature row rather than an error).
+    if let Some(pred) = &q.where_clause {
+        if !evaluate(pred, combined, &[])?.as_bool()? {
+            let nulls = vec![Value::Null; q.output_schema.len()];
+            return Ok(Row::new(nulls));
+        }
+    }
+
+    // 3. Windows: compute every aggregate in one streaming pass per window.
+    agg_values.resize(q.aggregates.len(), Value::Null);
+    if windows.len() < q.windows.len() {
+        windows.resize_with(q.windows.len(), || None);
+    }
+    for (wid, window) in q.windows.iter().enumerate() {
+        if dep.by_window[wid].is_empty() {
+            continue;
+        }
+        // After an earlier window degraded, `ctx.check` is lenient so the
+        // request can still finish — but later windows must not start an
+        // unbudgeted full scan. Send them straight to their own degraded
+        // path (or a plain Timeout if they have no pre-aggregation).
+        let full = if ctx.degraded() && ctx.deadline_expired() {
+            Err(Error::Timeout {
+                stage: "window_dispatch",
+                budget_ms: ctx.opts.deadline.budget_ms(),
+            })
+        } else {
+            obs::span(obs::Stage::WindowDispatch, || -> Result<()> {
+                ctx.check("window_dispatch")?;
+                let anchor_ts = request.ts_at(window.order_col);
+
+                // Pre-aggregation fast path: only for pure range frames, and not
+                // for INSTANCE_NOT_IN_WINDOW (buckets mix base and union rows and
+                // cannot exclude the base table per query).
+                if let (Some(preagg), Frame::RowsRange { preceding_ms }, false) = (
+                    &dep.preaggs[wid],
+                    window.frame,
+                    window.instance_not_in_window,
+                ) {
+                    key.clear();
+                    for &c in &window.partition_cols {
+                        key.push(KeyValue::from(&request.values()[c]));
+                    }
+                    let lower = anchor_ts - preceding_ms;
+                    // The request row is part of the window unless excluded — it
+                    // is not yet in storage, so it is folded in after the bucket
+                    // merge.
+                    let include_request = !window.exclude_current_row;
+                    let extra = include_request.then_some(request);
+                    let outs = obs::span(obs::Stage::Aggregate, || {
+                        retry_transient(ctx, || {
+                            preagg.query_with_extra_row(key, lower, anchor_ts, extra, |lo, hi| {
+                                raw_window_rows(provider, q, window, key, lo, hi, ctx)
+                            })
+                        })
+                    });
+                    match outs {
+                        Ok(outs) => {
+                            crate::metrics::preagg_hits().inc();
+                            for (slot, v) in dep.by_window[wid].iter().zip(outs) {
+                                agg_values[*slot] = v;
+                            }
+                            return Ok(());
+                        }
+                        // The lookup itself kept faulting past its retry
+                        // budget: fall through to the raw scan, which reads
+                        // through the full resilience ladder.
+                        Err(e) if e.is_transient() => crate::metrics::preagg_skips().inc(),
+                        Err(e) => return Err(e),
+                    }
+                } else if dep.preaggs[wid].is_some() {
+                    crate::metrics::preagg_skips().inc();
+                }
+
+                // Scan path (streaming): copy the window's encoded rows into
+                // the scratch arena, sort lightweight entries, then feed
+                // borrowed views straight into the aggregates — no per-row
+                // `Vec<Value>` materialization.
+                key.clear();
+                for &c in &window.partition_cols {
+                    key.push(KeyValue::from(&request.values()[c]));
+                }
+                let include_request = !window.exclude_current_row;
+                let per_table_limit = match window.frame {
+                    // +1 row budget: the request row occupies one slot if
+                    // included.
+                    Frame::Rows { preceding } => {
+                        Some(preceding as usize + usize::from(!include_request))
+                    }
+                    _ => None,
+                };
+                let lower = match window.frame {
+                    Frame::RowsRange { preceding_ms } => anchor_ts - preceding_ms,
+                    _ => i64::MIN,
+                };
+
+                arena.clear();
+                entries.clear();
+                let mut seq = 0usize;
+                let mut deadline_hit = false;
+                obs::span(obs::Stage::StorageSeek, || -> Result<()> {
+                    let base_iter = if window.instance_not_in_window {
+                        None
+                    } else {
+                        Some(q.base_table.as_str())
+                    };
+                    for name in base_iter
+                        .into_iter()
+                        .chain(window.union_tables.iter().map(String::as_str))
+                    {
+                        // Retries re-run this table's scan from the top:
+                        // rewind to the checkpoint so a fault mid-scan
+                        // cannot duplicate entries.
+                        let mark_entries = entries.len();
+                        let mark_arena = arena.len();
+                        resilient_read(ctx, provider, name, |table| {
+                            entries.truncate(mark_entries);
+                            arena.truncate(mark_arena);
+                            seq = mark_entries;
+                            deadline_hit = false;
+                            let index = table
+                                .find_index(&window.partition_cols, Some(window.order_col))
+                                .ok_or_else(|| {
+                                    Error::Storage(format!("no window index on `{name}`"))
+                                })?;
+                            let mut scanned = 0u32;
+                            table.scan_window(
+                                index,
+                                key,
+                                lower,
+                                anchor_ts,
+                                per_table_limit,
+                                &mut |ts, data| {
+                                    // Deadline probe every 64 rows so a long
+                                    // scan cannot blow the budget unnoticed.
+                                    scanned += 1;
+                                    if scanned & 63 == 0
+                                        && !ctx.degraded()
+                                        && ctx.deadline_expired()
+                                    {
+                                        deadline_hit = true;
+                                        return false;
+                                    }
+                                    let start = arena.len();
+                                    arena.extend_from_slice(data);
+                                    entries.push(ScanEntry {
+                                        ts,
+                                        seq,
+                                        start,
+                                        len: data.len(),
+                                    });
+                                    seq += 1;
+                                    true
+                                },
+                            )
+                        })?;
+                        if deadline_hit {
+                            // Typed timeout, never a partial aggregate.
+                            return Err(Error::Timeout {
+                                stage: "window_scan",
+                                budget_ms: ctx.opts.deadline.budget_ms(),
+                            });
+                        }
+                    }
+                    Ok(())
+                })?;
+
+                obs::span(obs::Stage::Aggregate, || -> Result<()> {
+                    ctx.check("aggregate")?;
+                    if include_request {
+                        // The request row is already decoded; a sentinel
+                        // entry places it in the sort order.
+                        entries.push(ScanEntry {
+                            ts: anchor_ts,
+                            seq,
+                            start: 0,
+                            len: REQUEST_ROW,
+                        });
+                    }
+                    // `(ts, seq)` reproduces the stable ascending-ts order of
+                    // the materializing path: storage yields newest-first per
+                    // table with the request row arriving last.
+                    entries.sort_unstable_by_key(|e| (e.ts, e.seq));
+                    // Newest entries win the per-frame caps; rows they evict
+                    // are never decoded.
+                    let mut first = 0usize;
+                    if let Frame::Rows { preceding } = window.frame {
+                        first = entries.len().saturating_sub(preceding as usize + 1);
+                    }
+                    if let Some(maxsize) = window.maxsize {
+                        first = first.max(entries.len().saturating_sub(maxsize));
+                    }
+                    if windows[wid].is_none() {
+                        let refs: Vec<&BoundAggregate> = dep.by_window[wid]
+                            .iter()
+                            .map(|&i| &q.aggregates[i])
+                            .collect();
+                        windows[wid] = Some(WindowAggSet::new(&refs)?);
+                    }
+                    // analysis:allow(panic-path): slot filled two lines up.
+                    let set = windows[wid].as_mut().expect("window set built above");
+                    for e in &entries[first..] {
+                        if e.is_request_row() {
+                            set.update(request.values())?;
+                        } else {
+                            let view = dep.codec.view(e.bytes(arena))?;
+                            set.update_view(&view)?;
+                        }
+                    }
+                    out.clear();
+                    set.outputs_into(out);
+                    for (slot, v) in dep.by_window[wid].iter().zip(out.drain(..)) {
+                        agg_values[*slot] = v;
+                    }
+                    Ok(())
+                })?;
+                Ok(())
+            })
+        };
+        if let Err(e) = full {
+            // Degradation tier: the full path ran out of budget, but a
+            // pre-aggregated window can still answer from buckets alone —
+            // raw edge reads skipped, result flagged `degraded`.
+            if ctx.opts.allow_degraded && matches!(e, Error::Timeout { .. }) {
+                if let (Some(preagg), Frame::RowsRange { preceding_ms }, false) = (
+                    &dep.preaggs[wid],
+                    window.frame,
+                    window.instance_not_in_window,
+                ) {
+                    let anchor_ts = request.ts_at(window.order_col);
+                    key.clear();
+                    for &c in &window.partition_cols {
+                        key.push(KeyValue::from(&request.values()[c]));
+                    }
+                    let lower = anchor_ts - preceding_ms;
+                    let extra = (!window.exclude_current_row).then_some(request);
+                    let outs =
+                        preagg.query_with_extra_row(key, lower, anchor_ts, extra, |_, _| {
+                            // analysis:allow(hot-path-alloc): degraded tier only —
+                            // runs at most once per timed-out request.
+                            Ok(Vec::new())
+                        })?;
+                    for (slot, v) in dep.by_window[wid].iter().zip(outs) {
+                        agg_values[*slot] = v;
+                    }
+                    ctx.note_degraded();
+                    continue;
+                }
+            }
+            return Err(e);
+        }
+    }
+
+    // 4. Project the select list (the output row is the one owned
+    // allocation a warm request makes — `Row` owns its values).
+    obs::span(obs::Stage::Encode, || -> Result<Row> {
+        ctx.check("encode")?;
+        let mut projected = Vec::with_capacity(q.select.len());
+        for col in &q.select {
+            projected.push(evaluate(&col.expr, combined, agg_values)?);
+        }
+        Ok(Row::new(projected))
+    })
+}
+
+/// [`execute_request`] through the pre-streaming pipeline: every window row
+/// is materialized as decoded `Value`s before aggregating, and joins clone
+/// the combined row per probed candidate. Kept as the differential-testing
+/// oracle for the streaming path and as the bench baseline.
+pub fn execute_request_materialized(
+    provider: &dyn TableProvider,
+    dep: &Deployment,
+    request: &Row,
+) -> Result<Row> {
+    execute_request_materialized_with(provider, dep, request, &RequestOptions::default())
+        .map(|out| out.row)
+}
+
+/// [`execute_request_with`] through the materializing reference pipeline.
+pub fn execute_request_materialized_with(
+    provider: &dyn TableProvider,
+    dep: &Deployment,
+    request: &Row,
+    opts: &RequestOptions,
+) -> Result<RequestOutput> {
+    obs::with_request_trace(|| {
+        let t0 = std::time::Instant::now();
+        let ctx = Ctx::new(opts);
+        let out = execute_request_inner_materialized(provider, dep, request, &ctx);
+        crate::metrics::requests().inc();
+        crate::metrics::request_duration().record(t0.elapsed().as_nanos() as u64);
+        match out {
+            Ok(row) => Ok(RequestOutput {
+                row,
+                degraded: ctx.degraded(),
+                retries: ctx.retries(),
+                failovers: ctx.failovers(),
+            }),
+            Err(e) => {
+                if matches!(e, Error::Timeout { .. }) {
+                    crate::metrics::timeouts().inc();
+                }
+                Err(e)
+            }
+        }
+    })
+}
+
+fn execute_request_inner_materialized(
     provider: &dyn TableProvider,
     dep: &Deployment,
     request: &Row,
@@ -767,8 +1194,7 @@ mod tests {
             )
             .unwrap(),
         );
-        let aggs: Vec<_> = q.aggregates.clone();
-        let preagg = PreAggregator::new(&q.windows[0], &aggs, vec![1_000]).unwrap();
+        let preagg = PreAggregator::new(&q.windows[0], &q.aggregates, vec![1_000]).unwrap();
         preagg.attach(
             actions.replicator(),
             openmldb_types::CompactCodec::new(action_schema()),

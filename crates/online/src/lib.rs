@@ -23,7 +23,8 @@ pub mod segtree;
 pub mod window_union;
 
 pub use engine::{
-    collect_window_rows, execute_request, execute_request_with, Deployment, MapProvider,
+    collect_window_rows, execute_request, execute_request_materialized,
+    execute_request_materialized_with, execute_request_with, Deployment, MapProvider,
     TableProvider,
 };
 pub use preagg::PreAggregator;

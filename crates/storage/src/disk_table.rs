@@ -63,6 +63,21 @@ pub trait DataTable: Send + Sync {
         limit: usize,
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>>;
+    /// Seek-then-iterate window scan: stream encoded entries with
+    /// `lower_ts <= ts <= upper_ts` to `visitor` newest first, stopping
+    /// after `limit` entries (when given) or when the visitor returns
+    /// `false`. The zero-materialization path under the streaming
+    /// scan→aggregate pipeline; chaos/obs hooks fire as on the
+    /// materializing scans.
+    fn scan_window(
+        &self,
+        index_id: usize,
+        key: &[KeyValue],
+        lower_ts: i64,
+        upper_ts: i64,
+        limit: Option<usize>,
+        visitor: &mut dyn FnMut(i64, &[u8]) -> bool,
+    ) -> Result<()>;
     fn scan_all(&self, index_id: usize) -> Result<Vec<Row>>;
     fn gc(&self, now_ms: i64) -> usize;
     fn mem_used(&self) -> usize;
@@ -125,6 +140,17 @@ impl DataTable for MemTable {
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
         MemTable::latest_n_projected(self, index_id, key, upper_ts, limit, wanted)
+    }
+    fn scan_window(
+        &self,
+        index_id: usize,
+        key: &[KeyValue],
+        lower_ts: i64,
+        upper_ts: i64,
+        limit: Option<usize>,
+        visitor: &mut dyn FnMut(i64, &[u8]) -> bool,
+    ) -> Result<()> {
+        MemTable::scan_window(self, index_id, key, lower_ts, upper_ts, limit, visitor)
     }
     fn scan_all(&self, index_id: usize) -> Result<Vec<Row>> {
         MemTable::scan_all(self, index_id)
@@ -311,6 +337,30 @@ impl DataTable for DiskTable {
         hits.into_iter()
             .map(|(ts, data)| Ok((ts, self.codec.decode_projected(&data, wanted)?)))
             .collect()
+    }
+
+    fn scan_window(
+        &self,
+        index_id: usize,
+        key: &[KeyValue],
+        lower_ts: i64,
+        upper_ts: i64,
+        limit: Option<usize>,
+        visitor: &mut dyn FnMut(i64, &[u8]) -> bool,
+    ) -> Result<()> {
+        crate::chaos_inject(openmldb_chaos::InjectionPoint::DiskRead)?;
+        let mut hits = self
+            .engine
+            .range(index_id as u32, key, lower_ts, upper_ts)?;
+        if let Some(l) = limit {
+            hits.truncate(l);
+        }
+        for (ts, data) in hits {
+            if !visitor(ts, &data) {
+                break;
+            }
+        }
+        Ok(())
     }
 
     fn scan_all(&self, index_id: usize) -> Result<Vec<Row>> {

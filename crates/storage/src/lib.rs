@@ -110,6 +110,44 @@ mod proptests {
             prop_assert_eq!(seeked, scanned);
         }
 
+        /// The streaming visitor sees exactly what the materializing range
+        /// returns — same entries, same order, same payload bytes.
+        #[test]
+        fn timelist_range_visit_matches_range(
+            entries in proptest::collection::vec((0i64..2_000, 0u8..255), 1..300),
+            bounds in (0i64..2_000, 0i64..2_000),
+        ) {
+            let (a, b) = bounds;
+            let (lower, upper) = (a.min(b), a.max(b));
+            let list = TimeList::new();
+            for (ts, v) in &entries {
+                list.insert(*ts, Arc::from(vec![*v].into_boxed_slice()));
+            }
+            let materialized: Vec<(i64, u8)> =
+                list.range(lower, upper).iter().map(|(t, d)| (*t, d[0])).collect();
+            let mut streamed = Vec::new();
+            list.range_visit(lower, upper, |ts, data| {
+                streamed.push((ts, data[0]));
+                true
+            });
+            prop_assert_eq!(streamed, materialized);
+        }
+
+        /// get_by with a borrowed slice key agrees with get on owned keys.
+        #[test]
+        fn skipmap_get_by_matches_get(
+            ops in proptest::collection::vec((0i64..50, 0i64..1_000), 1..100),
+            probe in 0i64..60,
+        ) {
+            let map: SkipMap<Vec<i64>, i64> = SkipMap::new();
+            for (k, v) in &ops {
+                map.get_or_insert_with(vec![*k], || *v);
+            }
+            let owned = map.get(&vec![probe]).copied();
+            let borrowed = map.get_by::<[i64]>(&[probe]).copied();
+            prop_assert_eq!(owned, borrowed);
+        }
+
         /// range_for_each visits exactly the suffix starting at `from`.
         #[test]
         fn skipmap_range_matches_model(

@@ -94,6 +94,17 @@ impl<K: Ord, V> SkipMap<K, V> {
 
     /// Find `key`'s predecessors/successors at every level.
     fn search<'g>(&'g self, key: &K, guard: &'g Guard) -> SearchResult<'g, K, V> {
+        self.search_by(key, guard)
+    }
+
+    /// [`SkipMap::search`] generalized over a borrowed form of the key, so
+    /// callers can seek with `&[KeyValue]` against `Vec<KeyValue>` keys
+    /// without materializing an owned key first.
+    fn search_by<'g, Q>(&'g self, key: &Q, guard: &'g Guard) -> SearchResult<'g, K, V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         let mut preds: [&Atomic<Node<K, V>>; MAX_HEIGHT] = std::array::from_fn(|i| &self.head[i]);
         let mut succs: [Shared<Node<K, V>>; MAX_HEIGHT] = std::array::from_fn(|_| Shared::null());
         // `pred_links` is the forward-pointer array we are walking from: the
@@ -106,7 +117,7 @@ impl<K: Ord, V> SkipMap<K, V> {
             // edge; key nodes are never freed before the map drops, so
             // the reference is valid for the pin.
             while let Some(node) = unsafe { curr.as_ref() } {
-                if node.key >= *key {
+                if node.key.borrow() >= key {
                     break;
                 }
                 pred_links = &node.next;
@@ -121,12 +132,23 @@ impl<K: Ord, V> SkipMap<K, V> {
     /// Look up `key`; the returned reference lives as long as the map
     /// (key nodes are never deallocated).
     pub fn get(&self, key: &K) -> Option<&V> {
+        self.get_by(key)
+    }
+
+    // HOT: request-path key lookup — seeks by borrowed key, no `to_vec()`.
+    /// Look up by a borrowed form of `key` (e.g. a slice against `Vec`
+    /// keys); the returned reference lives as long as the map.
+    pub fn get_by<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         let guard = epoch::pin();
-        let (_, succs) = self.search(key, &guard);
+        let (_, succs) = self.search_by(key, &guard);
         // SAFETY: loaded under `guard`; key nodes are never freed before
         // the map drops.
         let node = unsafe { succs[0].as_ref() }?;
-        (node.key == *key).then(|| {
+        (node.key.borrow() == key).then(|| {
             // SAFETY: key nodes are insert-only and freed only on drop of
             // the whole map, so extending the lifetime to &self is sound.
             unsafe { &*(&node.value as *const V) }
@@ -523,6 +545,29 @@ impl TimeList {
             curr = node.next[0].load(Ordering::Acquire, &guard);
         }
         out
+    }
+
+    // HOT: online window scan — borrowed payloads, no per-entry clones.
+    /// Visit entries with `lower_ts <= ts <= upper_ts`, newest first, while
+    /// `f` returns `true`. The seek-then-iterate sibling of
+    /// [`TimeList::range`]: payloads are yielded as `&[u8]` borrows valid
+    /// for the duration of the callback, so a scan→aggregate pass touches
+    /// no heap at all.
+    pub fn range_visit(&self, lower_ts: i64, upper_ts: i64, mut f: impl FnMut(i64, &[u8]) -> bool) {
+        let guard = epoch::pin();
+        let (_, succs) = self.search(upper_ts, &guard);
+        let mut curr = succs[0];
+        // SAFETY: as in `scan` — pins outlive any concurrent reclamation of
+        // the nodes this walk can reach.
+        while let Some(node) = unsafe { curr.with_tag(0).as_ref() } {
+            if node.ts < lower_ts {
+                break;
+            }
+            if !f(node.ts, &node.data) {
+                return;
+            }
+            curr = node.next[0].load(Ordering::Acquire, &guard);
+        }
     }
 
     /// Truncate the expired suffix: drop every entry with `ts < cutoff_ts`

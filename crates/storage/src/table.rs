@@ -247,7 +247,7 @@ impl MemTable {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
-        match index.map.get(&key.to_vec()) {
+        match index.map.get_by(key) {
             Some(list) => match list.latest() {
                 Some((_, data)) => Ok(Some(self.decode(&data)?)),
                 None => Ok(None),
@@ -267,7 +267,7 @@ impl MemTable {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
-        let Some(list) = index.map.get(&key.to_vec()) else {
+        let Some(list) = index.map.get_by(key) else {
             return Ok(None);
         };
         let mut found = None;
@@ -325,7 +325,7 @@ impl MemTable {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
-        let Some(list) = index.map.get(&key.to_vec()) else {
+        let Some(list) = index.map.get_by(key) else {
             crate::metrics::scan_len().record(0);
             return Ok(Vec::new());
         };
@@ -363,7 +363,7 @@ impl MemTable {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
-        let Some(list) = index.map.get(&key.to_vec()) else {
+        let Some(list) = index.map.get_by(key) else {
             crate::metrics::scan_len().record(0);
             return Ok(Vec::new());
         };
@@ -392,6 +392,41 @@ impl MemTable {
             Some(e) => Err(e),
             None => Ok(out),
         }
+    }
+
+    // HOT: online request scan — seek-then-visit, no materialized Vec<Row>.
+    /// Seek `key` on `index_id` and stream encoded entries with
+    /// `lower_ts <= ts <= upper_ts` to `visitor`, newest first, stopping
+    /// after `limit` entries (when given) or when the visitor returns
+    /// `false`. Yields `(ts, &[u8])` borrows — decoding is the caller's
+    /// choice — while firing the same chaos/obs hooks as the
+    /// materializing scans.
+    pub fn scan_window(
+        &self,
+        index_id: usize,
+        key: &[KeyValue],
+        lower_ts: i64,
+        upper_ts: i64,
+        limit: Option<usize>,
+        visitor: &mut dyn FnMut(i64, &[u8]) -> bool,
+    ) -> Result<()> {
+        let index = self.index(index_id)?;
+        crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
+        crate::metrics::seeks().inc();
+        let Some(list) = index.map.get_by(key) else {
+            crate::metrics::scan_len().record(0);
+            return Ok(());
+        };
+        let mut visited = 0u64;
+        list.range_visit(lower_ts, upper_ts, |ts, data| {
+            if limit.is_some_and(|l| visited >= l as u64) {
+                return false;
+            }
+            visited += 1;
+            visitor(ts, data)
+        });
+        crate::metrics::scan_len().record(visited);
+        Ok(())
     }
 
     /// Full scan of one index (all keys, newest first per key) — used by the

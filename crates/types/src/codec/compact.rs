@@ -45,6 +45,9 @@ pub struct CompactCodec {
     fixed_area: usize,
     /// Column indices of var-length (string) columns, in schema order.
     var_columns: Arc<[usize]>,
+    /// Per-column ordinal within the var area (`usize::MAX` for fixed
+    /// columns) so a view can locate a string's offsets in O(1).
+    var_pos: Arc<[usize]>,
     bitmap_len: usize,
     field_version: u8,
     schema_version: u8,
@@ -59,15 +62,18 @@ impl CompactCodec {
     pub fn with_versions(schema: Schema, field_version: u8, schema_version: u8) -> Self {
         let mut fixed_offsets = Vec::with_capacity(schema.len());
         let mut var_columns = Vec::new();
+        let mut var_pos = Vec::with_capacity(schema.len());
         let mut cursor = 0usize;
         for (i, col) in schema.columns().iter().enumerate() {
             match col.data_type.fixed_size() {
                 Some(sz) => {
                     fixed_offsets.push(cursor);
+                    var_pos.push(usize::MAX);
                     cursor += sz;
                 }
                 None => {
                     fixed_offsets.push(usize::MAX);
+                    var_pos.push(var_columns.len());
                     var_columns.push(i);
                 }
             }
@@ -78,6 +84,7 @@ impl CompactCodec {
             fixed_offsets: fixed_offsets.into(),
             fixed_area: cursor,
             var_columns: var_columns.into(),
+            var_pos: var_pos.into(),
             bitmap_len,
             field_version,
             schema_version,
@@ -208,59 +215,13 @@ impl CompactCodec {
     /// the rest of the row, so a window scan evaluating `sum(price)` never
     /// pays for decoding (or allocating) the row's strings.
     pub fn decode_projected(&self, buf: &[u8], wanted: Option<&[bool]>) -> Result<Row> {
-        if buf.len() < HEADER_SIZE + self.bitmap_len + self.fixed_area {
-            return Err(Error::Codec(format!(
-                "buffer too short: {} bytes",
-                buf.len()
-            )));
-        }
-        let declared = u32::from_le_bytes(buf[2..6].try_into().unwrap()) as usize;
-        if declared != buf.len() {
-            return Err(Error::Codec(format!(
-                "header row size {declared} does not match buffer length {}",
-                buf.len()
-            )));
-        }
-        if buf[1] != self.schema_version {
-            return Err(Error::Codec(format!(
-                "schema version mismatch: buffer has v{}, codec expects v{}",
-                buf[1], self.schema_version
-            )));
-        }
+        let layout = self.parse_layout(buf)?;
+        let fixed_start = layout.fixed_start;
+        let data_start = layout.data_start;
 
         let bitmap = &buf[HEADER_SIZE..HEADER_SIZE + self.bitmap_len];
         let is_null = |i: usize| bitmap[i / 8] & (1 << (i % 8)) != 0;
-        let fixed_start = HEADER_SIZE + self.bitmap_len;
-        let offsets_start = fixed_start + self.fixed_area;
-
-        // Infer offset width from total size (the layout is deterministic).
-        let remaining = buf.len() - offsets_start;
-        let ow = if self.var_columns.is_empty() {
-            1
-        } else {
-            let mut found = None;
-            for cand in [1usize, 2, 4] {
-                if remaining < self.var_columns.len() * cand {
-                    continue;
-                }
-                let data_len = remaining - self.var_columns.len() * cand;
-                if Self::offset_width(data_len) == cand {
-                    found = Some(cand);
-                    break;
-                }
-            }
-            found.ok_or_else(|| Error::Codec("cannot infer var offset width".into()))?
-        };
-        let data_start = offsets_start + self.var_columns.len() * ow;
-
-        let read_offset = |vi: usize| -> usize {
-            let at = offsets_start + vi * ow;
-            match ow {
-                1 => buf[at] as usize,
-                2 => u16::from_le_bytes(buf[at..at + 2].try_into().unwrap()) as usize,
-                _ => u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize,
-            }
-        };
+        let read_offset = |vi: usize| layout.read_offset(buf, vi);
 
         let mut values = Vec::with_capacity(self.schema.len());
         let mut var_seen = 0usize;
@@ -312,6 +273,218 @@ impl CompactCodec {
             });
         }
         Ok(Row::new(values))
+    }
+
+    /// Validate `buf` against this codec and resolve the section starts.
+    ///
+    /// All whole-buffer checks (declared length, schema version, offset
+    /// width inference) happen here exactly once; every later per-field
+    /// read only needs bounds-checked slice indexing.
+    fn parse_layout(&self, buf: &[u8]) -> Result<BufLayout> {
+        if buf.len() < HEADER_SIZE + self.bitmap_len + self.fixed_area {
+            return Err(Error::Codec(format!(
+                "buffer too short: {} bytes",
+                buf.len()
+            )));
+        }
+        let declared = u32::from_le_bytes(buf[2..6].try_into().unwrap()) as usize;
+        if declared != buf.len() {
+            return Err(Error::Codec(format!(
+                "header row size {declared} does not match buffer length {}",
+                buf.len()
+            )));
+        }
+        if buf[1] != self.schema_version {
+            return Err(Error::Codec(format!(
+                "schema version mismatch: buffer has v{}, codec expects v{}",
+                buf[1], self.schema_version
+            )));
+        }
+
+        let fixed_start = HEADER_SIZE + self.bitmap_len;
+        let offsets_start = fixed_start + self.fixed_area;
+
+        // Infer offset width from total size (the layout is deterministic).
+        let remaining = buf.len() - offsets_start;
+        let ow = if self.var_columns.is_empty() {
+            1
+        } else {
+            let mut found = None;
+            for cand in [1usize, 2, 4] {
+                if remaining < self.var_columns.len() * cand {
+                    continue;
+                }
+                let data_len = remaining - self.var_columns.len() * cand;
+                if Self::offset_width(data_len) == cand {
+                    found = Some(cand);
+                    break;
+                }
+            }
+            found.ok_or_else(|| Error::Codec("cannot infer var offset width".into()))?
+        };
+        let data_start = offsets_start + self.var_columns.len() * ow;
+        Ok(BufLayout {
+            fixed_start,
+            offsets_start,
+            data_start,
+            ow,
+        })
+    }
+
+    /// Borrow `buf` as a [`RowView`]: header/version/offset-width validation
+    /// happens once here, after which every field read is in place — no
+    /// `Vec<Value>` per row, strings as `&str` slices into the buffer.
+    ///
+    /// This is the zero-allocation counterpart of [`Self::decode_projected`];
+    /// the owning decoder remains the right tool when values must outlive
+    /// the buffer (e.g. rows staged into a request's combined row).
+    pub fn view<'a>(&'a self, buf: &'a [u8]) -> Result<RowView<'a>> {
+        let layout = self.parse_layout(buf)?;
+        Ok(RowView {
+            codec: self,
+            buf,
+            layout,
+        })
+    }
+}
+
+/// Resolved section starts of one validated compact buffer.
+#[derive(Debug, Clone, Copy)]
+struct BufLayout {
+    fixed_start: usize,
+    offsets_start: usize,
+    data_start: usize,
+    ow: usize,
+}
+
+impl BufLayout {
+    /// End offset of var field `vi` within the string area.
+    fn read_offset(&self, buf: &[u8], vi: usize) -> usize {
+        let at = self.offsets_start + vi * self.ow;
+        match self.ow {
+            1 => buf[at] as usize,
+            2 => u16::from_le_bytes(buf[at..at + 2].try_into().unwrap()) as usize,
+            _ => u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize,
+        }
+    }
+}
+
+/// A borrowed scalar read out of a [`RowView`] — the non-owning analogue of
+/// [`Value`], with strings as slices into the encoded buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    Null,
+    Bool(bool),
+    Int(i32),
+    Bigint(i64),
+    Float(f32),
+    Double(f64),
+    Timestamp(i64),
+    Str(&'a str),
+}
+
+impl ValueRef<'_> {
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Promote to an owning [`Value`]. Allocates only for `Str`.
+    pub fn to_value(&self) -> Value {
+        match *self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Bool(b) => Value::Bool(b),
+            ValueRef::Int(x) => Value::Int(x),
+            ValueRef::Bigint(x) => Value::Bigint(x),
+            ValueRef::Float(x) => Value::Float(x),
+            ValueRef::Double(x) => Value::Double(x),
+            ValueRef::Timestamp(x) => Value::Timestamp(x),
+            ValueRef::Str(s) => Value::string(s),
+        }
+    }
+}
+
+/// Borrowed, validated view over one compact-encoded row (paper §7.1).
+///
+/// Constructed by [`CompactCodec::view`]; all header checks are already
+/// done, so [`RowView::get`] is a bitmap probe plus one offset add — the
+/// "compact offset calculation" fast path with zero heap traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    codec: &'a CompactCodec,
+    buf: &'a [u8],
+    layout: BufLayout,
+}
+
+impl<'a> RowView<'a> {
+    /// Number of columns in the backing schema.
+    pub fn len(&self) -> usize {
+        self.codec.schema.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether column `i` is NULL (out-of-range columns read as NULL).
+    pub fn is_null(&self, i: usize) -> bool {
+        if i >= self.codec.schema.len() {
+            return true;
+        }
+        self.buf[HEADER_SIZE + i / 8] & (1 << (i % 8)) != 0
+    }
+
+    // HOT: per-row field read on the online scan path — no allocation.
+    /// Read column `i` in place.
+    pub fn get(&self, i: usize) -> Result<ValueRef<'a>> {
+        let col = self
+            .codec
+            .schema
+            .columns()
+            .get(i)
+            .ok_or_else(|| Error::Codec(format!("column {i} out of range")))?;
+        if self.is_null(i) {
+            return Ok(ValueRef::Null);
+        }
+        let buf = self.buf;
+        if col.data_type == DataType::String {
+            let vi = self.codec.var_pos[i];
+            let end = self.layout.read_offset(buf, vi);
+            let start = if vi == 0 {
+                0
+            } else {
+                self.layout.read_offset(buf, vi - 1)
+            };
+            let bytes = buf
+                .get(self.layout.data_start + start..self.layout.data_start + end)
+                .ok_or_else(|| Error::Codec("string offset out of bounds".into()))?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|e| Error::Codec(format!("invalid UTF-8: {e}")))?;
+            return Ok(ValueRef::Str(s));
+        }
+        let at = self.layout.fixed_start + self.codec.fixed_offsets[i];
+        Ok(match col.data_type {
+            DataType::Bool => ValueRef::Bool(buf[at] != 0),
+            DataType::Int => ValueRef::Int(i32::from_le_bytes(buf[at..at + 4].try_into().unwrap())),
+            DataType::Float => {
+                ValueRef::Float(f32::from_le_bytes(buf[at..at + 4].try_into().unwrap()))
+            }
+            DataType::Bigint => {
+                ValueRef::Bigint(i64::from_le_bytes(buf[at..at + 8].try_into().unwrap()))
+            }
+            DataType::Timestamp => {
+                ValueRef::Timestamp(i64::from_le_bytes(buf[at..at + 8].try_into().unwrap()))
+            }
+            DataType::Double => {
+                ValueRef::Double(f64::from_le_bytes(buf[at..at + 8].try_into().unwrap()))
+            }
+            DataType::String => unreachable!("handled above"),
+        })
+    }
+
+    /// Owned read of column `i` (allocates only for strings). Matches what
+    /// [`CompactCodec::decode_projected`] would produce for that column.
+    pub fn get_value(&self, i: usize) -> Result<Value> {
+        Ok(self.get(i)?.to_value())
     }
 }
 
@@ -442,5 +615,80 @@ mod tests {
         let schema = Schema::from_pairs(&[("s", DataType::String)]).unwrap();
         let codec = CompactCodec::new(schema);
         assert!(codec.encode(&Row::new(vec![Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn view_reads_every_field_in_place() {
+        let schema = Schema::from_pairs(&[
+            ("b", DataType::Bool),
+            ("i", DataType::Int),
+            ("l", DataType::Bigint),
+            ("f", DataType::Float),
+            ("d", DataType::Double),
+            ("t", DataType::Timestamp),
+            ("s1", DataType::String),
+            ("s2", DataType::String),
+        ])
+        .unwrap();
+        let codec = CompactCodec::new(schema);
+        let row = Row::new(vec![
+            Value::Bool(true),
+            Value::Null,
+            Value::Bigint(-7),
+            Value::Float(1.5),
+            Value::Double(-2.25),
+            Value::Timestamp(1_700_000_000_000),
+            Value::Null,
+            Value::string("hello world"),
+        ]);
+        let buf = codec.encode(&row).unwrap();
+        let view = codec.view(&buf).unwrap();
+        assert_eq!(view.len(), 8);
+        assert_eq!(view.get(0).unwrap(), ValueRef::Bool(true));
+        assert!(view.is_null(1));
+        assert_eq!(view.get(1).unwrap(), ValueRef::Null);
+        assert_eq!(view.get(2).unwrap(), ValueRef::Bigint(-7));
+        assert_eq!(view.get(3).unwrap(), ValueRef::Float(1.5));
+        assert_eq!(view.get(4).unwrap(), ValueRef::Double(-2.25));
+        assert_eq!(view.get(5).unwrap(), ValueRef::Timestamp(1_700_000_000_000));
+        assert_eq!(view.get(6).unwrap(), ValueRef::Null);
+        // The string is a slice into the encoded buffer, not a copy.
+        let ValueRef::Str(s) = view.get(7).unwrap() else {
+            panic!("expected string")
+        };
+        assert_eq!(s, "hello world");
+        let buf_range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        assert!(buf_range.contains(&(s.as_ptr() as usize)));
+        // Out-of-range access is a typed error, not a panic.
+        assert!(view.get(8).is_err());
+        assert!(view.is_null(8));
+    }
+
+    #[test]
+    fn view_rejects_what_decode_rejects() {
+        let schema = Schema::from_pairs(&[("i", DataType::Int)]).unwrap();
+        let codec = CompactCodec::with_versions(schema.clone(), 1, 2);
+        let buf = codec.encode(&Row::new(vec![Value::Int(5)])).unwrap();
+        assert!(codec.view(&buf[..buf.len() - 1]).is_err());
+        assert!(codec.view(&buf[..3]).is_err());
+        let other = CompactCodec::with_versions(schema, 1, 3);
+        assert!(other.view(&buf).is_err());
+        assert!(codec.view(&buf).is_ok());
+    }
+
+    #[test]
+    fn view_matches_decode_on_wide_offsets() {
+        // 2-byte and 4-byte var offsets exercise every read_offset arm.
+        let schema =
+            Schema::from_pairs(&[("a", DataType::String), ("b", DataType::String)]).unwrap();
+        let codec = CompactCodec::new(schema);
+        for size in [10usize, 300, 70_000] {
+            let row = Row::new(vec![Value::string("x".repeat(size)), Value::string("tail")]);
+            let buf = codec.encode(&row).unwrap();
+            let view = codec.view(&buf).unwrap();
+            for i in 0..2 {
+                assert_eq!(view.get_value(i).unwrap(), row[i]);
+            }
+        }
     }
 }

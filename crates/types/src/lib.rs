@@ -16,7 +16,7 @@ pub mod row;
 pub mod schema;
 pub mod value;
 
-pub use codec::{CompactCodec, RowCodec, UnsafeRowCodec};
+pub use codec::{CompactCodec, RowCodec, RowView, UnsafeRowCodec, ValueRef};
 pub use deadline::Deadline;
 pub use error::{Error, Result};
 pub use row::{Row, RowBatch};
@@ -107,6 +107,25 @@ mod proptests {
             // The 6-byte header is the only overhead compact can add over the
             // UnsafeRow layout (fixed fields always shrink or stay equal).
             prop_assert!(c <= u + 6, "compact {} vs unsafe {}", c, u);
+        }
+
+        /// The borrowed RowView reads every field bit-identically to the
+        /// owning decoder on any schema-conformant row.
+        #[test]
+        fn rowview_matches_owning_decoder((schema, row) in arb_schema_and_row()) {
+            let codec = CompactCodec::new(schema);
+            let buf = codec.encode(&row).unwrap();
+            let decoded = codec.decode(&buf).unwrap();
+            let view = codec.view(&buf).unwrap();
+            prop_assert_eq!(view.len(), decoded.values().len());
+            for (i, owned) in decoded.values().iter().enumerate() {
+                let via_view = view.get_value(i).unwrap();
+                prop_assert!(
+                    values_bitwise_eq(&via_view, owned),
+                    "column {}: view {:?} vs decode {:?}", i, via_view, owned
+                );
+                prop_assert_eq!(view.is_null(i), owned.is_null());
+            }
         }
 
         /// total_cmp is antisymmetric.

@@ -48,6 +48,14 @@ cargo test -q -p openmldb-storage -p openmldb-online -p openmldb-core --features
 step "fault injection compiled out (resilience suite, clean path)"
 cargo test -q --test resilience
 
+step "scan path under chaos + obs-off (feature-matrix corner)"
+cargo test -q -p openmldb-storage -p openmldb-online --features chaos,obs-off
+
+if [ "$QUICK" -eq 0 ]; then
+    step "hot-path allocation gate (reduced scale)"
+    BENCH_SCALE=0.1 cargo run -q --release -p openmldb-bench --bin hotpath_allocs
+fi
+
 if [ "$QUICK" -eq 0 ]; then
     step "property tests, raised case count"
     OPENMLDB_PROPTEST_CASES=512 cargo test -q -p openmldb-storage -p openmldb-types

@@ -162,6 +162,31 @@ impl DataTable for SlowTable {
         std::thread::sleep(self.delay);
         DataTable::latest_n_projected(&*self.inner, index_id, key, upper_ts, limit, wanted)
     }
+    fn scan_window(
+        &self,
+        index_id: usize,
+        key: &[KeyValue],
+        lower_ts: i64,
+        upper_ts: i64,
+        limit: Option<usize>,
+        visitor: &mut dyn FnMut(i64, &[u8]) -> bool,
+    ) -> Result<()> {
+        // Delay *per visited entry* (not per call) so a deadline can expire
+        // in the middle of a streaming scan, between rows.
+        let delay = self.delay;
+        DataTable::scan_window(
+            &*self.inner,
+            index_id,
+            key,
+            lower_ts,
+            upper_ts,
+            limit,
+            &mut |ts, data| {
+                std::thread::sleep(delay);
+                visitor(ts, data)
+            },
+        )
+    }
     fn scan_all(&self, index_id: usize) -> Result<Vec<Row>> {
         DataTable::scan_all(&*self.inner, index_id)
     }
@@ -363,8 +388,7 @@ fn degraded_answer_matches_buckets_only_oracle() {
         )
         .unwrap(),
     );
-    let aggs: Vec<_> = q.aggregates.clone();
-    let preagg = PreAggregator::new(&q.windows[0], &aggs, vec![1_000]).unwrap();
+    let preagg = PreAggregator::new(&q.windows[0], &q.aggregates, vec![1_000]).unwrap();
     preagg.attach(events.replicator(), openmldb::CompactCodec::new(schema()));
     events.replicator().flush();
 
@@ -409,6 +433,63 @@ fn degraded_answer_matches_buckets_only_oracle() {
     };
     let err = execute_request_with(&provider, &dep, &request, &strict).unwrap_err();
     assert!(matches!(err, Error::Timeout { .. }), "{err:?}");
+}
+
+/// A deadline that expires *between rows* of a streaming window scan must
+/// surface as a typed `Timeout` — never as a feature row computed from the
+/// partial aggregate the scan had accumulated so far — and the timed-out
+/// attempt must not leak scratch state into the next request.
+#[test]
+fn mid_stream_deadline_yields_typed_timeout_not_partial_aggregate() {
+    let events = mk_table("events");
+    for i in 0..400i64 {
+        events.put(&row(1, 1.0, i * 10)).unwrap();
+    }
+    let q = Arc::new(
+        compile_select(
+            &parse_select(
+                "SELECT sum(v) OVER w AS s, count(v) OVER w AS c FROM events \
+                 WINDOW w AS (PARTITION BY k ORDER BY ts \
+                 ROWS_RANGE BETWEEN 10s PRECEDING AND CURRENT ROW)",
+            )
+            .unwrap(),
+            &Cat,
+        )
+        .unwrap(),
+    );
+    // 2 ms per *visited entry*: the 400-row scan takes ~800 ms end to end,
+    // so a 30 ms budget expires mid-stream, not before the scan starts.
+    let mut provider = SlowProvider::new(Duration::from_millis(2));
+    provider.insert(events);
+    let dep = Deployment::new("d", q);
+    let request = row(1, 1.0, 10_000);
+
+    // Unbudgeted reference: all 400 stored rows plus the request row.
+    let relaxed = RequestOptions::default();
+    let full = execute_request_with(&provider, &dep, &request, &relaxed).unwrap();
+    assert_eq!(full.row[0], Value::Double(401.0));
+    assert_eq!(full.row[1], Value::Bigint(401));
+
+    let strict = RequestOptions {
+        deadline: Deadline::within(Duration::from_millis(30)),
+        allow_degraded: false,
+        ..RequestOptions::default()
+    };
+    match execute_request_with(&provider, &dep, &request, &strict) {
+        Err(Error::Timeout { stage, budget_ms }) => {
+            assert_eq!(stage, "window_scan", "expired between scanned rows");
+            assert_eq!(budget_ms, 30);
+        }
+        // The contract permits only the full answer or a typed Timeout —
+        // a partial sum/count would show up as a different row here.
+        Ok(out) => assert_eq!(out.row, full.row),
+        Err(e) => panic!("only Timeout or the full answer allowed, got {e:?}"),
+    }
+
+    // The aborted attempt returned its scratch to the deployment pool;
+    // a later unbudgeted request must see clean buffers, not stale entries.
+    let again = execute_request_with(&provider, &dep, &request, &relaxed).unwrap();
+    assert_eq!(again.row, full.row);
 }
 
 proptest! {
