@@ -430,7 +430,9 @@ fn has_lossy_cast(code: &str) -> bool {
 /// Metric naming convention, mirrored from `crates/obs`: the lint must not
 /// depend on the crate it audits, so the lists are duplicated here and the
 /// obs unit tests pin both sides to the same convention.
-const METRIC_CRATES: [&str; 6] = ["online", "core", "storage", "exec", "sql", "bench"];
+const METRIC_CRATES: [&str; 8] = [
+    "online", "core", "storage", "exec", "sql", "bench", "obs", "chaos",
+];
 const METRIC_UNITS: [&str; 8] = [
     "total", "bytes", "ns", "ms", "seconds", "ratio", "rows", "count",
 ];
@@ -931,7 +933,22 @@ mod tests {
             "openmldb__total",
             "openmldb_",
             "requests_total",
+            // Tail-latency attribution names: the obs and chaos crates now
+            // register their own metrics, and the bench harness publishes
+            // tailtrace gate tallies.
+            "openmldb_obs_postmortems_total",
+            "openmldb_chaos_injected_faults_total",
+            "openmldb_bench_tailtrace_anomalies_total",
+            "openmldb_bench_tailtrace_postmortems_total",
         ];
+        for name in [
+            "openmldb_obs_postmortems_total",
+            "openmldb_chaos_injected_faults_total",
+            "openmldb_bench_tailtrace_anomalies_total",
+            "openmldb_bench_tailtrace_postmortems_total",
+        ] {
+            assert!(valid_metric_name(name), "{name} must satisfy the lint");
+        }
         for name in corpus {
             assert_eq!(
                 valid_metric_name(name),

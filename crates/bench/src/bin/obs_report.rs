@@ -1,0 +1,35 @@
+//! Post-mortem slow-query report over a small request-mode workload.
+//!
+//! Drops the slow-query threshold to zero so every request dumps its flight
+//! ring, runs a scaled-down fig06-style loop, and renders the slow-query
+//! log — the human-readable view of the tail-latency attribution pipeline.
+//!
+//! Usage: `obs_report [--json]` (reads `BENCH_SCALE` like the other bins).
+
+use openmldb_bench::harness::scaled;
+use openmldb_bench::scenarios::{micro_db, micro_request, micro_sql};
+use openmldb_obs::{flight, Registry};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
+    // Threshold 0: every request (even a fast clean one) is "slow", so the
+    // report below is populated deterministically.
+    flight::set_slow_query_threshold_ns(0);
+
+    let rows = scaled(2_000);
+    let keys = 10usize;
+    let db = micro_db(rows, keys, 0.0, 1);
+    db.deploy(&format!(
+        "DEPLOY f_report AS {}",
+        micro_sql(1, 1, 60_000, false)
+    ))
+    .expect("deploy");
+    let max_ts = rows as i64 * 10;
+    for i in 0..32i64 {
+        db.request_readonly("f_report", &micro_request(i, i % keys as i64, max_ts))
+            .expect("request");
+    }
+
+    print!("{}", Registry::global().render_slow_query_report(json));
+}

@@ -50,5 +50,14 @@ fn main() {
         );
         std::process::exit(1);
     }
+    let tail = e::tailtrace::run();
+    if tail.gate_failed {
+        eprintln!(
+            "tail-latency attribution gate failed: {}/{} anomalies matched to a \
+             post-mortem, {} stage-sum mismatches",
+            tail.matched, tail.anomalies, tail.sum_mismatches
+        );
+        std::process::exit(1);
+    }
     println!("\nAll experiments complete.");
 }

@@ -20,3 +20,4 @@ pub mod sweeps;
 pub mod tab02;
 pub mod tab03;
 pub mod tab_rowsize;
+pub mod tailtrace;

@@ -1,0 +1,279 @@
+//! **Tail-latency attribution** — the fig06-style request loop under
+//! injected storage faults and latency spikes, verifying the flight
+//! recorder's contract: every anomalous request (typed `Timeout`, failed,
+//! `degraded`, or failed-over) leaves a post-mortem in the slow-query log,
+//! and each post-mortem's per-stage self-times sum **exactly** to its total
+//! duration, naming the stage that consumed the budget. The snapshot is
+//! written as `BENCH_tailtrace.json` (override with `BENCH_TAILTRACE_JSON`).
+//!
+//! Without the `chaos` cargo feature no faults fire; the loop still runs
+//! and the gates hold vacuously (coverage of zero anomalies is 100%).
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use openmldb_chaos::{InjectionPoint, Plan};
+use openmldb_core::RequestOptions;
+use openmldb_obs::{flight, Outcome};
+use openmldb_types::Error;
+
+use crate::harness::{print_table, scaled};
+use crate::scenarios::{micro_db, micro_request, micro_sql};
+
+/// Deterministic seed for the injection plan.
+pub const SEED: u64 = 0x7A11;
+
+/// Per-request deadline budget. Smaller than the injected latency spike so
+/// a spiked seek deterministically blows the budget.
+pub const BUDGET: Duration = Duration::from_millis(100);
+
+/// Error rate on the skiplist seek path — high enough that the retry
+/// ladder exhausts into replica failover on some requests.
+pub const ERROR_RATE: f64 = 0.25;
+
+/// Rate and size of injected latency spikes (spike > budget ⇒ timeout).
+pub const SPIKE_RATE: f64 = 0.015;
+pub const SPIKE: Duration = Duration::from_millis(150);
+
+#[derive(Debug, Clone)]
+pub struct TailTrace {
+    pub chaos_enabled: bool,
+    pub requests: usize,
+    pub ok: usize,
+    pub timeouts: usize,
+    pub degraded: usize,
+    pub failovers: usize,
+    pub failed: usize,
+    /// Anomalous requests (timeout + failed + degraded + failed-over).
+    pub anomalies: usize,
+    /// Anomalies whose post-mortem was found in the slow-query log.
+    pub matched: usize,
+    /// Post-mortems inspected whose stage self-times did not sum exactly
+    /// to the recorded total. Must be 0.
+    pub sum_mismatches: usize,
+    /// Culprit-stage histogram across matched post-mortems.
+    pub culprits: BTreeMap<String, usize>,
+    /// 100% of anomalies produced a post-mortem and all sums were exact.
+    pub gate_failed: bool,
+    pub json: String,
+}
+
+/// Exact attribution invariant: stage self-times plus unattributed time
+/// equal the total, to the nanosecond.
+fn sums_exactly(pm: &openmldb_obs::PostMortem) -> bool {
+    pm.stage_self_ns.iter().sum::<u64>() + pm.other_ns == pm.total_ns
+}
+
+pub fn run() -> TailTrace {
+    let rows = scaled(8_000);
+    let keys = 20usize;
+    let requests = scaled(2_000);
+
+    let db = micro_db(rows, keys, 0.0, 1);
+    db.deploy(&format!(
+        "DEPLOY f_tail AS {}",
+        micro_sql(1, 1, 60_000, false)
+    ))
+    .unwrap();
+    db.enable_failover("t1").unwrap();
+    let max_ts = rows as i64 * 10;
+    let opts = RequestOptions::with_deadline(BUDGET);
+
+    // Warm-up with no faults installed.
+    openmldb_chaos::reset();
+    for i in 0..16i64 {
+        db.request_readonly("f_tail", &micro_request(i, i % keys as i64, max_ts))
+            .unwrap();
+    }
+
+    openmldb_chaos::install(
+        Plan::new(SEED)
+            .error_rate(InjectionPoint::SkiplistSeek, ERROR_RATE)
+            .latency(InjectionPoint::SkiplistSeek, SPIKE_RATE, SPIKE),
+    );
+
+    let (mut ok, mut timeouts, mut degraded, mut failovers, mut failed) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
+    let mut anomalies = 0usize;
+    let mut matched = 0usize;
+    let mut sum_mismatches = 0usize;
+    let mut culprits: BTreeMap<String, usize> = BTreeMap::new();
+    // Post-mortem trace ids already attributed to one of our anomalies —
+    // error outcomes carry no trace id, so they claim the newest unclaimed
+    // entry with the right outcome instead.
+    let mut claimed: HashSet<u64> = HashSet::new();
+
+    for i in 0..requests {
+        let req = micro_request(
+            2_000_000 + i as i64,
+            (i % keys) as i64,
+            max_ts + (i % 100) as i64,
+        );
+        let before = flight::published_total();
+        let out = db.request_readonly_with("f_tail", &req, &opts);
+        let published = flight::published_total() > before;
+
+        // Which outcome must the post-mortem carry (None ⇒ no dump owed)?
+        let expect = match &out {
+            Ok(o) if o.degraded => {
+                degraded += 1;
+                Some((Outcome::Degraded, Some(o.trace_id)))
+            }
+            Ok(o) if o.failovers > 0 => {
+                failovers += 1;
+                Some((Outcome::Failover, Some(o.trace_id)))
+            }
+            Ok(_) => {
+                ok += 1;
+                None
+            }
+            Err(Error::Timeout { .. }) => {
+                timeouts += 1;
+                Some((Outcome::Timeout, None))
+            }
+            Err(_) => {
+                failed += 1;
+                Some((Outcome::Failed, None))
+            }
+        };
+        let Some((want, trace_id)) = expect else {
+            continue;
+        };
+        anomalies += 1;
+        if !published {
+            continue; // coverage gap — gate fails below
+        }
+        // Find our post-mortem: by trace id when the response carried one,
+        // otherwise the newest unclaimed entry with the expected outcome.
+        let log = flight::slow_log();
+        let found = match trace_id {
+            Some(id) => log.iter().rev().find(|pm| pm.trace_id == id),
+            None => log
+                .iter()
+                .rev()
+                .find(|pm| pm.outcome == want && !claimed.contains(&pm.trace_id)),
+        };
+        if let Some(pm) = found {
+            claimed.insert(pm.trace_id);
+            matched += 1;
+            if !sums_exactly(pm) {
+                sum_mismatches += 1;
+            }
+            *culprits.entry(pm.culprit.to_string()).or_insert(0) += 1;
+        }
+    }
+    openmldb_chaos::reset();
+
+    crate::metrics::tailtrace_anomalies().add(anomalies as u64);
+    crate::metrics::tailtrace_matched().add(matched as u64);
+
+    let gate_failed = matched != anomalies || sum_mismatches > 0;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"tailtrace\",");
+    let _ = writeln!(json, "  \"chaos_enabled\": {},", openmldb_chaos::enabled());
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"budget_ms\": {},", BUDGET.as_millis());
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"ok\": {ok},");
+    let _ = writeln!(json, "  \"timeouts\": {timeouts},");
+    let _ = writeln!(json, "  \"degraded\": {degraded},");
+    let _ = writeln!(json, "  \"failovers\": {failovers},");
+    let _ = writeln!(json, "  \"failed\": {failed},");
+    let _ = writeln!(json, "  \"anomalies\": {anomalies},");
+    let _ = writeln!(json, "  \"postmortems_matched\": {matched},");
+    let _ = writeln!(json, "  \"sum_mismatches\": {sum_mismatches},");
+    let _ = writeln!(json, "  \"gate_failed\": {gate_failed},");
+    json.push_str("  \"culprits\": {");
+    for (i, (stage, n)) in culprits.iter().enumerate() {
+        let _ = write!(json, "{}\"{stage}\": {n}", if i == 0 { "" } else { ", " });
+    }
+    json.push_str("}\n}\n");
+
+    let path = std::env::var("BENCH_TAILTRACE_JSON")
+        .unwrap_or_else(|_| "target/BENCH_tailtrace.json".into());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("tailtrace snapshot written to {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+
+    let culprit_summary = if culprits.is_empty() {
+        "-".to_string()
+    } else {
+        culprits
+            .iter()
+            .map(|(s, n)| format!("{s}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    print_table(
+        &format!(
+            "Tail-latency attribution: fig06 loop under faults ({requests} requests, \
+             budget {} ms, chaos {})",
+            BUDGET.as_millis(),
+            if openmldb_chaos::enabled() {
+                "on"
+            } else {
+                "off"
+            }
+        ),
+        &[
+            "ok", "timeout", "degraded", "failover", "failed", "anomaly", "matched", "sum_err",
+            "culprits",
+        ],
+        &[vec![
+            ok.to_string(),
+            timeouts.to_string(),
+            degraded.to_string(),
+            failovers.to_string(),
+            failed.to_string(),
+            anomalies.to_string(),
+            matched.to_string(),
+            sum_mismatches.to_string(),
+            culprit_summary,
+        ]],
+    );
+
+    TailTrace {
+        chaos_enabled: openmldb_chaos::enabled(),
+        requests,
+        ok,
+        timeouts,
+        degraded,
+        failovers,
+        failed,
+        anomalies,
+        matched,
+        sum_mismatches,
+        culprits,
+        gate_failed,
+        json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_anomaly_yields_an_exact_post_mortem() {
+        let result = crate::harness::with_scale(0.05, super::run);
+        assert_eq!(
+            result.matched, result.anomalies,
+            "every anomalous request must leave a post-mortem: {}",
+            result.json
+        );
+        assert_eq!(result.sum_mismatches, 0, "{}", result.json);
+        assert!(!result.gate_failed, "{}", result.json);
+        if result.chaos_enabled {
+            assert!(
+                result.anomalies > 0,
+                "a 25% fault rate must produce anomalies: {}",
+                result.json
+            );
+        }
+        assert!(result.json.contains("\"experiment\": \"tailtrace\""));
+    }
+}

@@ -9,4 +9,5 @@
 pub mod alloc_counter;
 pub mod experiments;
 pub mod harness;
+pub mod metrics;
 pub mod scenarios;

@@ -1,0 +1,31 @@
+//! Bench-harness metrics: gate tallies the experiments publish so an
+//! `obs_report`/Prometheus scrape of a bench run shows how many anomalies
+//! the tail-latency gates inspected.
+
+use openmldb_obs::{Counter, Registry};
+use std::sync::{Arc, OnceLock};
+
+fn counter(cell: &'static OnceLock<Arc<Counter>>, name: &str, help: &str) -> &'static Counter {
+    cell.get_or_init(|| Registry::global().counter(name, help))
+}
+
+/// Anomalous requests (timeout / failed / degraded / failed-over) observed
+/// by the tailtrace experiment.
+pub fn tailtrace_anomalies() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_bench_tailtrace_anomalies_total",
+        "Anomalous requests observed by the tailtrace experiment",
+    )
+}
+
+/// Anomalies whose post-mortem was found in the slow-query log.
+pub fn tailtrace_matched() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_bench_tailtrace_postmortems_total",
+        "Anomalies matched to a slow-query post-mortem by the tailtrace experiment",
+    )
+}

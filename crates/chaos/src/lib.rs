@@ -35,6 +35,20 @@ pub const fn enabled() -> bool {
     cfg!(feature = "chaos")
 }
 
+/// Faults fired by the injector (errors + delays), visible on the shared
+/// metric surface so chaos runs can be correlated with serving metrics.
+#[cfg(feature = "chaos")]
+fn injected_faults() -> &'static std::sync::Arc<openmldb_obs::Counter> {
+    static C: std::sync::OnceLock<std::sync::Arc<openmldb_obs::Counter>> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        openmldb_obs::Registry::global().counter(
+            "openmldb_chaos_injected_faults_total",
+            "faults (transient errors + latency delays) fired by the chaos injector",
+        )
+    })
+}
+
 /// Named hooks compiled into the engine. The order defines the stable
 /// index used by the per-point PRNG streams and counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -318,6 +332,12 @@ pub fn inject(point: InjectionPoint) -> Result<()> {
         let st = &active::STATE[point.index()];
         if r < spec.error_rate {
             st.errors.fetch_add(1, Ordering::Relaxed);
+            injected_faults().inc();
+            openmldb_obs::flight::event(
+                openmldb_obs::FlightEventKind::FaultInjected,
+                point.index() as u32,
+                0,
+            );
             return Err(Error::Storage(format!(
                 "transient fault injected at {}",
                 point.name()
@@ -325,6 +345,12 @@ pub fn inject(point: InjectionPoint) -> Result<()> {
         }
         if r < spec.error_rate + spec.latency_rate {
             st.delays.fetch_add(1, Ordering::Relaxed);
+            injected_faults().inc();
+            openmldb_obs::flight::event(
+                openmldb_obs::FlightEventKind::FaultInjected,
+                point.index() as u32,
+                spec.latency.as_nanos() as u64,
+            );
             std::thread::sleep(spec.latency);
         }
         Ok(())

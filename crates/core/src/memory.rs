@@ -125,6 +125,23 @@ pub fn recommend_engine(
     choice
 }
 
+/// [`recommend_engine`] driven by a live [`Deadline`](openmldb_types::Deadline):
+/// the latency budget is whatever remains on the request's clock (unbounded
+/// deadlines read as `u64::MAX`, i.e. disk latency is acceptable). Tests pin
+/// the remaining budget exactly with
+/// [`deadline::clock`](openmldb_types::deadline::clock).
+pub fn recommend_engine_for_deadline(
+    estimated_bytes: u64,
+    available_bytes: u64,
+    deadline: &openmldb_types::Deadline,
+) -> EngineChoice {
+    let budget_ms = match deadline.remaining() {
+        None => u64::MAX,
+        Some(rem) => rem.as_millis().min(u64::MAX as u128) as u64,
+    };
+    recommend_engine(estimated_bytes, available_bytes, budget_ms)
+}
+
 /// A fired memory alert.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryAlert {
@@ -267,6 +284,47 @@ mod tests {
             data_copies: k,
         };
         assert_eq!(estimate_memory(&[mk(1)]), estimate_memory(&[mk(5)]));
+    }
+
+    /// The 20 ms boundary driven by a live deadline, pinned on the virtual
+    /// clock: the remaining budget is exact, so the decision cannot flake on
+    /// scheduler stalls the way wall-clock `remaining()` readings can.
+    #[test]
+    fn deadline_driven_boundary_is_exact_on_the_virtual_clock() {
+        use openmldb_types::deadline::clock;
+        use openmldb_types::Deadline;
+        use std::time::Duration;
+
+        clock::freeze();
+        let d = Deadline::within_ms(45);
+        // 45 ms remain: disk latency is acceptable.
+        assert_eq!(
+            recommend_engine_for_deadline(10, 100, &d),
+            EngineChoice::OnDisk
+        );
+        clock::advance(Duration::from_millis(25));
+        // Exactly 20 ms remain — the documented boundary stays on disk.
+        assert_eq!(
+            recommend_engine_for_deadline(10, 100, &d),
+            EngineChoice::OnDisk
+        );
+        clock::advance(Duration::from_millis(1));
+        // 19 ms remain: only the in-memory engine can answer in time.
+        assert_eq!(
+            recommend_engine_for_deadline(10, 100, &d),
+            EngineChoice::InMemory
+        );
+        // Unbounded deadline: budget reads as MAX, disk accepted.
+        assert_eq!(
+            recommend_engine_for_deadline(10, 100, &Deadline::none()),
+            EngineChoice::OnDisk
+        );
+        // Over-budget estimate still forces disk regardless of the clock.
+        assert_eq!(
+            recommend_engine_for_deadline(101, 100, &d),
+            EngineChoice::DiskRequired
+        );
+        clock::thaw();
     }
 
     #[test]

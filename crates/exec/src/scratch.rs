@@ -67,6 +67,10 @@ pub struct RequestScratch {
     /// Warm per-window aggregate sets, indexed by window id. `None` until
     /// first use (windows are built lazily from the deployment plan).
     pub windows: Vec<Option<WindowAggSet>>,
+    /// Pooled flight-recorder ring for tail-latency post-mortems. The ring
+    /// allocation survives across requests; [`reset`](Self::reset) leaves it
+    /// alone so the warm path stays allocation-free.
+    pub flight: openmldb_obs::Recorder,
 }
 
 impl RequestScratch {

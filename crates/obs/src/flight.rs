@@ -1,0 +1,915 @@
+//! Always-on per-request flight recorder + slow-query post-mortems.
+//!
+//! The span tracer ([`crate::trace`]) samples 1 in 64 requests, so it almost
+//! never catches the exact request that landed in the slow bucket. The flight
+//! recorder closes that gap: **every** request carries a fixed-size binary
+//! event ring ([`RING_EVENTS`] entries, last-N semantics) recording stage
+//! enters/exits, storage seeks and scan lengths, pre-aggregation hits, fault
+//! injections, retries, and deadline probes. The ring lives in the pooled
+//! per-request scratch ([`Recorder`]), so the warm path performs **zero heap
+//! allocations**: recording one event is a thread-local check plus an array
+//! write.
+//!
+//! On fast success the ring is simply *dropped* (overwritten by the next
+//! request). When a request times out, degrades, fails over, errors, or
+//! exceeds the slow-query threshold, the engine *dumps* it as a structured
+//! [`PostMortem`] into a bounded process-wide slow-query log, queryable via
+//! [`slow_log`] / [`crate::Registry::slow_queries`] and rendered by
+//! [`render_report`] (the `obs_report` tool).
+//!
+//! # Exact attribution
+//!
+//! Per-stage self-times are maintained *incrementally* as events arrive (a
+//! fixed stage stack plus a time cursor), not reconstructed from the ring —
+//! so attribution stays exact even after the ring wraps. The invariant every
+//! post-mortem upholds: `sum(stage_self_ns) + other_ns == total_ns`, where
+//! `other` is time outside any instrumented stage.
+//!
+//! Under the `obs-off` feature every record path in this module compiles to
+//! an inlined no-op and [`Recorder`] carries no state.
+
+use crate::trace::Stage;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+#[cfg(not(feature = "obs-off"))]
+use std::time::Instant;
+
+/// Events retained per request. The ring keeps the **last** `RING_EVENTS`
+/// events (older ones are overwritten and counted in `dropped_events`), since
+/// the moments just before a deadline fires matter most.
+pub const RING_EVENTS: usize = 64;
+
+/// Post-mortems retained in the process-wide slow-query log (FIFO eviction).
+pub const SLOW_LOG_CAPACITY: usize = 256;
+
+/// Attribution slots: one per [`Stage`] (time outside every stage is
+/// reported separately as "other").
+pub const NUM_STAGES: usize = Stage::ALL.len();
+
+/// Default slow-query threshold: the paper's 20 ms decision-serving budget.
+pub const DEFAULT_SLOW_QUERY_THRESHOLD_NS: u64 = 20_000_000;
+
+/// What happened inside a request, one event per record call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A pipeline stage began (`a` = [`Stage`] index).
+    StageEnter,
+    /// A pipeline stage ended (`a` = [`Stage`] index).
+    StageExit,
+    /// A storage index seek (`a` = index id).
+    StorageSeek,
+    /// One window scan completed (`b` = rows visited).
+    ScanRows,
+    /// Pre-aggregation served the window (`a` = window id).
+    PreaggHit,
+    /// Pre-aggregation could not serve the window (`a` = window id).
+    PreaggSkip,
+    /// A chaos fault fired (`a` = injection-point index, `b` = delay ns).
+    FaultInjected,
+    /// A transient error triggered a retry (`b` = attempt number).
+    Retry,
+    /// A read failed over to a replica.
+    Failover,
+    /// A deadline probe ran (`b` = remaining budget ns).
+    DeadlineProbe,
+    /// The request entered degraded mode.
+    Degraded,
+    /// Plan cache hit.
+    PlanCacheHit,
+    /// Plan cache miss (full plan build).
+    PlanCacheMiss,
+}
+
+impl FlightEventKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightEventKind::StageEnter => "stage_enter",
+            FlightEventKind::StageExit => "stage_exit",
+            FlightEventKind::StorageSeek => "storage_seek",
+            FlightEventKind::ScanRows => "scan_rows",
+            FlightEventKind::PreaggHit => "preagg_hit",
+            FlightEventKind::PreaggSkip => "preagg_skip",
+            FlightEventKind::FaultInjected => "fault_injected",
+            FlightEventKind::Retry => "retry",
+            FlightEventKind::Failover => "failover",
+            FlightEventKind::DeadlineProbe => "deadline_probe",
+            FlightEventKind::Degraded => "degraded",
+            FlightEventKind::PlanCacheHit => "plan_cache_hit",
+            FlightEventKind::PlanCacheMiss => "plan_cache_miss",
+        }
+    }
+}
+
+/// One recorded event: a nanosecond timestamp relative to request start plus
+/// two payload words whose meaning depends on the kind.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEvent {
+    pub t_ns: u64,
+    pub kind: FlightEventKind,
+    pub a: u32,
+    pub b: u64,
+}
+
+#[cfg(not(feature = "obs-off"))]
+const EMPTY_EVENT: FlightEvent = FlightEvent {
+    t_ns: 0,
+    kind: FlightEventKind::StageEnter,
+    a: 0,
+    b: 0,
+};
+
+/// Stage-stack depth tracked for attribution. Deeper nesting than this keeps
+/// counting time against the deepest tracked stage.
+#[cfg(not(feature = "obs-off"))]
+const STACK_DEPTH: usize = 8;
+
+#[cfg(not(feature = "obs-off"))]
+struct Inner {
+    t0: Instant,
+    trace_id: u64,
+    ring: [FlightEvent; RING_EVENTS],
+    /// Events currently held (`<= RING_EVENTS`).
+    len: usize,
+    /// Next write slot (== oldest event once the ring has wrapped).
+    next: usize,
+    dropped: u64,
+    stage_self_ns: [u64; NUM_STAGES],
+    stack: [u8; STACK_DEPTH],
+    depth: usize,
+    cursor_ns: u64,
+    retries: u32,
+    failovers: u32,
+    faults: u32,
+    degraded: u32,
+}
+
+#[cfg(not(feature = "obs-off"))]
+impl Inner {
+    fn new() -> Box<Inner> {
+        Box::new(Inner {
+            t0: Instant::now(),
+            trace_id: 0,
+            ring: [EMPTY_EVENT; RING_EVENTS],
+            len: 0,
+            next: 0,
+            dropped: 0,
+            stage_self_ns: [0; NUM_STAGES],
+            stack: [0; STACK_DEPTH],
+            depth: 0,
+            cursor_ns: 0,
+            retries: 0,
+            failovers: 0,
+            faults: 0,
+            degraded: 0,
+        })
+    }
+
+    fn reset(&mut self, trace_id: u64) {
+        self.t0 = Instant::now();
+        self.trace_id = trace_id;
+        self.len = 0;
+        self.next = 0;
+        self.dropped = 0;
+        self.stage_self_ns = [0; NUM_STAGES];
+        self.depth = 0;
+        self.cursor_ns = 0;
+        self.retries = 0;
+        self.failovers = 0;
+        self.faults = 0;
+        self.degraded = 0;
+    }
+
+    /// Charge the interval since the cursor to the innermost open stage.
+    #[inline]
+    fn charge(&mut self, t_ns: u64) {
+        if self.depth > 0 {
+            let top = self.stack[(self.depth - 1).min(STACK_DEPTH - 1)] as usize;
+            if top < NUM_STAGES {
+                self.stage_self_ns[top] += t_ns.saturating_sub(self.cursor_ns);
+            }
+        }
+        self.cursor_ns = t_ns;
+    }
+
+    // HOT: one event per scan/probe/stage transition — array writes only.
+    #[inline]
+    fn push(&mut self, kind: FlightEventKind, a: u32, b: u64) {
+        let t_ns = self.t0.elapsed().as_nanos() as u64;
+        match kind {
+            FlightEventKind::StageEnter => {
+                self.charge(t_ns);
+                if self.depth < STACK_DEPTH {
+                    self.stack[self.depth] = a as u8;
+                }
+                self.depth += 1;
+            }
+            FlightEventKind::StageExit => {
+                self.charge(t_ns);
+                self.depth = self.depth.saturating_sub(1);
+            }
+            FlightEventKind::Retry => self.retries += 1,
+            FlightEventKind::Failover => self.failovers += 1,
+            FlightEventKind::FaultInjected => self.faults += 1,
+            FlightEventKind::Degraded => self.degraded += 1,
+            _ => {}
+        }
+        self.ring[self.next] = FlightEvent { t_ns, kind, a, b };
+        self.next = (self.next + 1) % RING_EVENTS;
+        if self.len < RING_EVENTS {
+            self.len += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    fn events(&self) -> Vec<FlightEvent> {
+        let start = if self.len == RING_EVENTS {
+            self.next
+        } else {
+            0
+        };
+        (0..self.len)
+            .map(|i| self.ring[(start + i) % RING_EVENTS])
+            .collect()
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+thread_local! {
+    static FLIGHT: std::cell::RefCell<Option<Box<Inner>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+#[cfg(not(feature = "obs-off"))]
+fn next_trace_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Recorder + scope
+// ---------------------------------------------------------------------------
+
+/// The pooled per-request recorder handle. Lives inside the engine's request
+/// scratch so its one ring allocation happens when a pooled scratch is first
+/// used (warm-up), never on the steady-state path. Under `obs-off` this is a
+/// zero-sized no-op.
+#[derive(Default)]
+pub struct Recorder {
+    #[cfg(not(feature = "obs-off"))]
+    inner: Option<Box<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a full post-mortem dump from the events still held by this
+    /// recorder. Cold path: allocates freely. Returns `None` when the
+    /// summary does not belong to this recorder's last flight (or under
+    /// `obs-off`).
+    pub fn post_mortem(&self, outcome: Outcome, summary: &FlightSummary) -> Option<PostMortem> {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            if !summary.active {
+                return None;
+            }
+            let inner = self.inner.as_ref()?;
+            if inner.trace_id != summary.trace_id {
+                return None;
+            }
+            Some(PostMortem {
+                trace_id: summary.trace_id,
+                outcome,
+                culprit: summary.culprit(),
+                total_ns: summary.total_ns,
+                stage_self_ns: summary.stage_self_ns,
+                other_ns: summary.other_ns,
+                retries: summary.retries,
+                failovers: summary.failovers,
+                faults: summary.faults,
+                dropped_events: summary.dropped_events,
+                events: inner.events(),
+            })
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = (outcome, summary);
+            None
+        }
+    }
+}
+
+/// Per-request accounting produced by [`FlightScope::finish`]. Fixed-size
+/// (no heap) so the engine can inspect it on the warm path before deciding
+/// whether to dump.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightSummary {
+    /// False when this scope was nested inside another (or under `obs-off`);
+    /// all other fields are zero then.
+    pub active: bool,
+    pub trace_id: u64,
+    pub total_ns: u64,
+    /// Exclusive (self) time per [`Stage`], indexed by `Stage::index()`.
+    pub stage_self_ns: [u64; NUM_STAGES],
+    /// `total_ns - sum(stage_self_ns)`: time outside every instrumented
+    /// stage. The three fields always sum exactly to `total_ns`.
+    pub other_ns: u64,
+    pub retries: u32,
+    pub failovers: u32,
+    pub faults: u32,
+    pub degraded: u32,
+    pub dropped_events: u64,
+}
+
+impl FlightSummary {
+    fn inactive() -> Self {
+        FlightSummary {
+            active: false,
+            trace_id: 0,
+            total_ns: 0,
+            stage_self_ns: [0; NUM_STAGES],
+            other_ns: 0,
+            retries: 0,
+            failovers: 0,
+            faults: 0,
+            degraded: 0,
+            dropped_events: 0,
+        }
+    }
+
+    /// The stage that consumed the most self-time, or `"other"` when
+    /// un-instrumented time dominates.
+    pub fn culprit(&self) -> &'static str {
+        let (mut best, mut best_ns) = ("other", self.other_ns);
+        for (i, &ns) in self.stage_self_ns.iter().enumerate() {
+            if ns > best_ns {
+                best = Stage::ALL[i].name();
+                best_ns = ns;
+            }
+        }
+        best
+    }
+}
+
+/// Installs a [`Recorder`] as the thread's active flight recorder for one
+/// request. Panic-safe: dropping the scope (normally via
+/// [`finish`](Self::finish), or by unwinding) uninstalls the recorder and
+/// returns its ring to the pooled handle. A scope entered while another is
+/// active on the same thread is passive — its events land in the outer
+/// request's ring.
+pub struct FlightScope<'a> {
+    #[cfg(not(feature = "obs-off"))]
+    rec: &'a mut Recorder,
+    #[cfg(not(feature = "obs-off"))]
+    armed: bool,
+    #[cfg(feature = "obs-off")]
+    _rec: std::marker::PhantomData<&'a mut Recorder>,
+}
+
+impl<'a> FlightScope<'a> {
+    /// Begin recording into `rec`. Allocates the ring the first time a given
+    /// recorder is used; warm reuse is allocation-free.
+    #[inline]
+    pub fn enter(rec: &'a mut Recorder) -> Self {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let already = FLIGHT.with(|f| f.borrow().is_some());
+            if already {
+                return FlightScope { rec, armed: false };
+            }
+            let mut inner = rec.inner.take().unwrap_or_else(Inner::new);
+            inner.reset(next_trace_id());
+            FLIGHT.with(|f| *f.borrow_mut() = Some(inner));
+            FlightScope { rec, armed: true }
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = rec;
+            FlightScope {
+                _rec: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Stop recording and return the request's accounting. The event ring
+    /// stays inside the recorder (for [`Recorder::post_mortem`]) until the
+    /// next [`enter`](Self::enter) resets it.
+    #[inline]
+    #[cfg_attr(feature = "obs-off", allow(unused_mut))]
+    pub fn finish(mut self) -> FlightSummary {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            if !self.armed {
+                return FlightSummary::inactive();
+            }
+            self.armed = false;
+            let Some(mut inner) = FLIGHT.with(|f| f.borrow_mut().take()) else {
+                return FlightSummary::inactive();
+            };
+            let total_ns = inner.t0.elapsed().as_nanos() as u64;
+            // A stage left open (panic inside a span, or a timeout surfacing
+            // mid-stage) is charged through to the end of the request.
+            if inner.depth > 0 {
+                inner.charge(total_ns);
+            }
+            let stage_sum: u64 = inner.stage_self_ns.iter().sum();
+            let summary = FlightSummary {
+                active: true,
+                trace_id: inner.trace_id,
+                total_ns,
+                stage_self_ns: inner.stage_self_ns,
+                other_ns: total_ns.saturating_sub(stage_sum),
+                retries: inner.retries,
+                failovers: inner.failovers,
+                faults: inner.faults,
+                degraded: inner.degraded,
+                dropped_events: inner.dropped,
+            };
+            self.rec.inner = Some(inner);
+            summary
+        }
+        #[cfg(feature = "obs-off")]
+        FlightSummary::inactive()
+    }
+}
+
+impl Drop for FlightScope<'_> {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "obs-off"))]
+        if self.armed {
+            // Unwound without finish(): uninstall so a later request on this
+            // thread cannot write into a dead ring, and keep the allocation.
+            if let Some(inner) = FLIGHT.with(|f| f.borrow_mut().take()) {
+                self.rec.inner = Some(inner);
+            }
+        }
+    }
+}
+
+/// Record one event into the thread's active flight recorder, if any.
+/// Outside a [`FlightScope`] this is a thread-local check and nothing else.
+// HOT: called per scan / per probe / per stage transition, never per row.
+#[inline]
+pub fn event(kind: FlightEventKind, a: u32, b: u64) {
+    #[cfg(not(feature = "obs-off"))]
+    FLIGHT.with(|f| {
+        if let Some(inner) = f.borrow_mut().as_mut() {
+            inner.push(kind, a, b);
+        }
+    });
+    #[cfg(feature = "obs-off")]
+    let _ = (kind, a, b);
+}
+
+/// [`event`] shorthand used by [`crate::trace::span`].
+#[cfg(not(feature = "obs-off"))]
+#[inline]
+pub(crate) fn stage_enter(stage: Stage) {
+    event(FlightEventKind::StageEnter, stage.index() as u32, 0);
+}
+
+/// [`event`] shorthand used by [`crate::trace::span`].
+#[cfg(not(feature = "obs-off"))]
+#[inline]
+pub(crate) fn stage_exit(stage: Stage) {
+    event(FlightEventKind::StageExit, stage.index() as u32, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query threshold
+// ---------------------------------------------------------------------------
+
+static SLOW_THRESHOLD_NS: AtomicU64 = AtomicU64::new(DEFAULT_SLOW_QUERY_THRESHOLD_NS);
+
+/// Requests at or above this duration dump a post-mortem even on success.
+pub fn slow_query_threshold_ns() -> u64 {
+    SLOW_THRESHOLD_NS.load(Ordering::Relaxed)
+}
+
+/// Change the slow-query threshold. `0` dumps every request (report tooling);
+/// `u64::MAX` disables duration-triggered dumps.
+pub fn set_slow_query_threshold_ns(ns: u64) {
+    SLOW_THRESHOLD_NS.store(ns, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Post-mortems + slow-query log
+// ---------------------------------------------------------------------------
+
+/// Why a request was dumped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The deadline budget was exhausted (`Error::Timeout`).
+    Timeout,
+    /// The request failed with a non-timeout error.
+    Failed,
+    /// The request succeeded but entered degraded mode.
+    Degraded,
+    /// The request succeeded but failed over to a replica.
+    Failover,
+    /// The request succeeded but exceeded the slow-query threshold.
+    Slow,
+}
+
+impl Outcome {
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Timeout => "timeout",
+            Outcome::Failed => "failed",
+            Outcome::Degraded => "degraded",
+            Outcome::Failover => "failover",
+            Outcome::Slow => "slow",
+        }
+    }
+}
+
+/// A dumped request: exact per-stage attribution plus the retained event
+/// ring. `sum(stage_self_ns) + other_ns == total_ns` always holds.
+#[derive(Clone, Debug)]
+pub struct PostMortem {
+    pub trace_id: u64,
+    pub outcome: Outcome,
+    /// The stage that consumed the most self-time (or `"other"`).
+    pub culprit: &'static str,
+    pub total_ns: u64,
+    pub stage_self_ns: [u64; NUM_STAGES],
+    pub other_ns: u64,
+    pub retries: u32,
+    pub failovers: u32,
+    pub faults: u32,
+    /// Events overwritten after the ring filled.
+    pub dropped_events: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+impl PostMortem {
+    /// Human-readable dump, one attribution line per stage plus the ring.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "post-mortem trace={} outcome={} culprit={} total={:.3}ms \
+             retries={} failovers={} faults={}",
+            self.trace_id,
+            self.outcome.name(),
+            self.culprit,
+            ms(self.total_ns),
+            self.retries,
+            self.failovers,
+            self.faults,
+        );
+        for (i, &ns) in self.stage_self_ns.iter().enumerate() {
+            let pct = 100.0 * ns as f64 / self.total_ns.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "  stage {:<16} {:>10.3}ms {:>5.1}%",
+                Stage::ALL[i].name(),
+                ms(ns),
+                pct
+            );
+        }
+        let pct = 100.0 * self.other_ns as f64 / self.total_ns.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "  stage {:<16} {:>10.3}ms {:>5.1}%",
+            "other",
+            ms(self.other_ns),
+            pct
+        );
+        let _ = writeln!(
+            out,
+            "  events ({} retained, {} dropped):",
+            self.events.len(),
+            self.dropped_events
+        );
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "    +{:>10.3}ms {:<14} a={} b={}",
+                ms(e.t_ns),
+                e.kind.name(),
+                e.a,
+                e.b
+            );
+        }
+        out
+    }
+
+    /// JSON dump with the same fields as [`render_text`](Self::render_text).
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"trace_id\":{},\"outcome\":\"{}\",\"culprit\":\"{}\",\"total_ns\":{},",
+            self.trace_id,
+            self.outcome.name(),
+            self.culprit,
+            self.total_ns
+        );
+        let _ = write!(out, "\"stages\":{{");
+        for (i, &ns) in self.stage_self_ns.iter().enumerate() {
+            let _ = write!(out, "\"{}\":{ns},", Stage::ALL[i].name());
+        }
+        let _ = write!(out, "\"other\":{}}},", self.other_ns);
+        let _ = write!(
+            out,
+            "\"retries\":{},\"failovers\":{},\"faults\":{},\"dropped_events\":{},\"events\":[",
+            self.retries, self.failovers, self.faults, self.dropped_events
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"t_ns\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+                e.t_ns,
+                e.kind.name(),
+                e.a,
+                e.b
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn slow_log_ring() -> &'static Mutex<VecDeque<PostMortem>> {
+    static RING: OnceLock<Mutex<VecDeque<PostMortem>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)))
+}
+
+static PUBLISHED: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(not(feature = "obs-off"))]
+fn postmortems_counter() -> &'static std::sync::Arc<crate::Counter> {
+    static C: OnceLock<std::sync::Arc<crate::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        crate::Registry::global().counter(
+            "openmldb_obs_postmortems_total",
+            "post-mortems dumped into the slow-query log",
+        )
+    })
+}
+
+/// Publish a post-mortem into the process-wide slow-query log (cold path).
+pub fn publish(pm: PostMortem) {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        postmortems_counter().inc();
+        PUBLISHED.fetch_add(1, Ordering::Relaxed);
+        let mut ring = slow_log_ring().lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() == SLOW_LOG_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(pm);
+    }
+    #[cfg(feature = "obs-off")]
+    let _ = pm;
+}
+
+/// Retained post-mortems, oldest first.
+pub fn slow_log() -> Vec<PostMortem> {
+    let ring = slow_log_ring().lock().unwrap_or_else(|p| p.into_inner());
+    ring.iter().cloned().collect()
+}
+
+/// Total post-mortems ever published (survives ring eviction).
+pub fn published_total() -> u64 {
+    PUBLISHED.load(Ordering::Relaxed)
+}
+
+/// Drop all retained post-mortems (tests and bench harnesses).
+pub fn clear_slow_log() {
+    slow_log_ring()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clear();
+}
+
+/// Render the slow-query log as a report. Text mode leads with a one-line
+/// summary; JSON mode emits `{"published_total":..,"slow_queries":[..]}`.
+pub fn render_report(json: bool) -> String {
+    let log = slow_log();
+    if json {
+        let items: Vec<String> = log.iter().map(PostMortem::render_json).collect();
+        return format!(
+            "{{\"published_total\":{},\"retained\":{},\"slow_queries\":[{}]}}",
+            published_total(),
+            log.len(),
+            items.join(",")
+        );
+    }
+    let mut out = format!(
+        "slow-query log: {} retained of {} published (threshold {:.3}ms)\n",
+        log.len(),
+        published_total(),
+        slow_query_threshold_ns() as f64 / 1e6
+    );
+    for pm in &log {
+        out.push_str(&pm.render_text());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "obs-off"))]
+    fn sleep_us(us: u64) {
+        let t = std::time::Instant::now();
+        while t.elapsed().as_micros() < us as u128 {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn attribution_sums_to_total_and_survives_ring_wrap() {
+        let mut rec = Recorder::new();
+        let scope = FlightScope::enter(&mut rec);
+        crate::trace::span(Stage::Plan, || sleep_us(200));
+        // Flood the ring well past capacity: attribution must stay exact.
+        for i in 0..(RING_EVENTS as u64 * 3) {
+            event(FlightEventKind::DeadlineProbe, 0, i);
+        }
+        crate::trace::span(Stage::StorageSeek, || {
+            event(FlightEventKind::ScanRows, 0, 123);
+            sleep_us(200)
+        });
+        let summary = scope.finish();
+        assert!(summary.active);
+        assert!(summary.trace_id > 0);
+        let sum: u64 = summary.stage_self_ns.iter().sum();
+        assert_eq!(sum + summary.other_ns, summary.total_ns);
+        assert!(summary.stage_self_ns[Stage::Plan.index()] >= 200_000);
+        assert!(summary.stage_self_ns[Stage::StorageSeek.index()] >= 200_000);
+        assert!(summary.dropped_events > 0);
+
+        let pm = rec.post_mortem(Outcome::Slow, &summary).unwrap();
+        assert_eq!(pm.trace_id, summary.trace_id);
+        assert_eq!(
+            pm.stage_self_ns.iter().sum::<u64>() + pm.other_ns,
+            pm.total_ns
+        );
+        assert_eq!(pm.events.len(), RING_EVENTS);
+        // last-N semantics: the newest event is the StorageSeek exit
+        assert_eq!(pm.events.last().unwrap().kind, FlightEventKind::StageExit);
+        let text = pm.render_text();
+        assert!(text.contains("stage storage_seek"));
+        let json = pm.render_json();
+        assert!(json.contains("\"culprit\""));
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn nested_stages_attribute_self_time_only() {
+        let mut rec = Recorder::new();
+        let scope = FlightScope::enter(&mut rec);
+        crate::trace::span(Stage::WindowDispatch, || {
+            sleep_us(150);
+            crate::trace::span(Stage::Aggregate, || sleep_us(150));
+        });
+        let summary = scope.finish();
+        let dispatch = summary.stage_self_ns[Stage::WindowDispatch.index()];
+        let agg = summary.stage_self_ns[Stage::Aggregate.index()];
+        assert!(dispatch >= 150_000, "dispatch self {dispatch}");
+        assert!(agg >= 150_000, "agg self {agg}");
+        // exclusive times: the parent does not also absorb the child
+        assert!(
+            summary.stage_self_ns.iter().sum::<u64>() <= summary.total_ns,
+            "self-times exceed total"
+        );
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn nested_scope_is_passive_and_events_land_in_outer_ring() {
+        let mut outer = Recorder::new();
+        let mut inner = Recorder::new();
+        let scope = FlightScope::enter(&mut outer);
+        let nested = FlightScope::enter(&mut inner);
+        event(FlightEventKind::PreaggHit, 7, 0);
+        let ns = nested.finish();
+        assert!(!ns.active);
+        let summary = scope.finish();
+        let pm = outer.post_mortem(Outcome::Slow, &summary).unwrap();
+        assert!(pm
+            .events
+            .iter()
+            .any(|e| e.kind == FlightEventKind::PreaggHit && e.a == 7));
+        assert!(inner.post_mortem(Outcome::Slow, &ns).is_none());
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn unwinding_uninstalls_the_recorder() {
+        let mut rec = Recorder::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = FlightScope::enter(&mut rec);
+            panic!("boom");
+        }));
+        assert!(r.is_err());
+        // the thread-local must be clean: a fresh scope arms normally
+        let mut rec2 = Recorder::new();
+        let scope = FlightScope::enter(&mut rec2);
+        assert!(scope.finish().active);
+    }
+
+    #[test]
+    fn events_outside_scope_are_noops() {
+        event(FlightEventKind::ScanRows, 0, 99);
+        let mut rec = Recorder::new();
+        let scope = FlightScope::enter(&mut rec);
+        let summary = scope.finish();
+        if crate::enabled() {
+            assert!(summary.active);
+            let pm = rec.post_mortem(Outcome::Slow, &summary).unwrap();
+            assert!(pm.events.is_empty());
+        } else {
+            assert!(!summary.active);
+            assert!(rec.post_mortem(Outcome::Slow, &summary).is_none());
+        }
+    }
+
+    #[test]
+    fn slow_log_publish_retain_and_render() {
+        clear_slow_log();
+        let before = published_total();
+        let pm = PostMortem {
+            trace_id: 99,
+            outcome: Outcome::Timeout,
+            culprit: "storage_seek",
+            total_ns: 1_000_000,
+            stage_self_ns: [0; NUM_STAGES],
+            other_ns: 1_000_000,
+            retries: 1,
+            failovers: 0,
+            faults: 2,
+            dropped_events: 0,
+            events: vec![],
+        };
+        publish(pm.clone());
+        if crate::enabled() {
+            assert_eq!(published_total(), before + 1);
+            let log = slow_log();
+            assert_eq!(log.last().unwrap().trace_id, 99);
+            let report = render_report(false);
+            assert!(report.contains("outcome=timeout"));
+            let json = render_report(true);
+            assert!(json.contains("\"outcome\":\"timeout\""));
+        } else {
+            assert!(slow_log().is_empty());
+        }
+    }
+
+    #[test]
+    fn slow_log_is_bounded() {
+        if !crate::enabled() {
+            return;
+        }
+        clear_slow_log();
+        for i in 0..(SLOW_LOG_CAPACITY + 5) {
+            publish(PostMortem {
+                trace_id: i as u64,
+                outcome: Outcome::Slow,
+                culprit: "other",
+                total_ns: 1,
+                stage_self_ns: [0; NUM_STAGES],
+                other_ns: 1,
+                retries: 0,
+                failovers: 0,
+                faults: 0,
+                dropped_events: 0,
+                events: vec![],
+            });
+        }
+        let log = slow_log();
+        assert_eq!(log.len(), SLOW_LOG_CAPACITY);
+        assert_eq!(log[0].trace_id, 5);
+        clear_slow_log();
+    }
+
+    #[test]
+    fn threshold_roundtrip() {
+        let orig = slow_query_threshold_ns();
+        set_slow_query_threshold_ns(5);
+        assert_eq!(slow_query_threshold_ns(), 5);
+        set_slow_query_threshold_ns(orig);
+    }
+}

@@ -22,8 +22,8 @@
 //! # Naming convention
 //!
 //! Metric names must match `openmldb_<crate>_<name>_<unit>` where `<crate>`
-//! is one of the engine crates (`online`, `core`, `storage`, `exec`, `sql`,
-//! `bench`) and `<unit>` is a recognised unit suffix (`total`, `bytes`, `ns`,
+//! is one of the instrumented crates (`online`, `core`, `storage`, `exec`,
+//! `sql`, `bench`, `obs`, `chaos`) and `<unit>` is a unit suffix (`total`, `bytes`, `ns`,
 //! `ms`, `seconds`, `ratio`, `rows`, `count`). [`validate_metric_name`]
 //! enforces this at registration time and the `openmldb-analysis` lint
 //! enforces it statically.
@@ -34,10 +34,14 @@
 //! inlined empty body. Registration and rendering keep working (values read
 //! as zero) so instrumented call sites never need `cfg` gates of their own.
 
+pub mod flight;
 pub mod hist;
 pub mod trace;
 
-pub use hist::{Histogram, HistogramSnapshot};
+pub use flight::{
+    FlightEvent, FlightEventKind, FlightScope, FlightSummary, Outcome, PostMortem, Recorder,
+};
+pub use hist::{Exemplar, Histogram, HistogramSnapshot};
 pub use trace::{span, with_request_trace, SpanRecord, Stage, Trace, Tracer};
 
 use std::collections::BTreeMap;
@@ -182,7 +186,9 @@ impl Gauge {
 // ---------------------------------------------------------------------------
 
 /// Crate segments accepted in metric names.
-pub const METRIC_CRATES: &[&str] = &["online", "core", "storage", "exec", "sql", "bench"];
+pub const METRIC_CRATES: &[&str] = &[
+    "online", "core", "storage", "exec", "sql", "bench", "obs", "chaos",
+];
 
 /// Unit suffixes accepted in metric names.
 pub const METRIC_UNITS: &[&str] = &[
@@ -323,15 +329,26 @@ impl Registry {
     /// Histograms are rendered in summary style (`{quantile="..."}` series
     /// plus `_sum`/`_count`) because percentiles are extracted exactly from
     /// the log-linear buckets rather than re-estimated by the scraper.
+    /// Counters are always exposed under a `_total`-suffixed name (appended
+    /// when the registered name ends in a different unit), and HELP text is
+    /// escaped (`\` → `\\`, newline → `\n`) so multi-line help cannot
+    /// corrupt the line-oriented format.
     pub fn render(&self) -> String {
         let map = registry_lock(&self.metrics);
         let mut out = String::new();
         let mut last_base = String::new();
         for (name, (help, metric)) in map.iter() {
-            let base = name.split('{').next().unwrap_or(name).to_string();
+            let raw_base = name.split('{').next().unwrap_or(name);
+            let labels = &name[raw_base.len()..];
+            let base = match metric {
+                Metric::Counter(_) if !raw_base.ends_with("_total") => {
+                    format!("{raw_base}_total")
+                }
+                _ => raw_base.to_string(),
+            };
             if base != last_base {
                 if !help.is_empty() {
-                    out.push_str(&format!("# HELP {base} {help}\n"));
+                    out.push_str(&format!("# HELP {base} {}\n", escape_help(help)));
                 }
                 let ptype = match metric {
                     Metric::Counter(_) => "counter",
@@ -342,7 +359,7 @@ impl Registry {
                 last_base = base.clone();
             }
             match metric {
-                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.value())),
+                Metric::Counter(c) => out.push_str(&format!("{base}{labels} {}\n", c.value())),
                 Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.value())),
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
@@ -400,6 +417,25 @@ impl Registry {
         }
         format!("{{\"metrics\":[{}]}}", items.join(","))
     }
+
+    /// Post-mortems retained in the slow-query flight-recorder log, oldest
+    /// first. Like the metric surface itself, the log is process-wide, so
+    /// this delegates to [`flight::slow_log`].
+    pub fn slow_queries(&self) -> Vec<flight::PostMortem> {
+        flight::slow_log()
+    }
+
+    /// Render the slow-query log as a post-mortem report (text or JSON) —
+    /// the surface the `obs_report` tool prints.
+    pub fn render_slow_query_report(&self, json: bool) -> String {
+        flight::render_report(json)
+    }
+}
+
+/// Escape HELP text for the Prometheus exposition format: a raw backslash
+/// or newline in help would otherwise corrupt the line-oriented output.
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 /// Whether recording is compiled in (i.e. the `obs-off` feature is absent).
@@ -503,6 +539,59 @@ mod tests {
         assert!(json.starts_with("{\"metrics\":["));
         assert!(json.contains("\"kind\":\"histogram\""));
         assert_eq!(r.metric_names().len(), 3);
+    }
+
+    #[test]
+    fn render_escapes_help_text() {
+        let r = Registry::new();
+        r.counter(
+            "openmldb_online_requests_total",
+            "line one\nline two with back\\slash",
+        );
+        let text = r.render();
+        assert!(text.contains(
+            "# HELP openmldb_online_requests_total line one\\nline two with back\\\\slash\n"
+        ));
+        assert!(
+            !text.contains("\nline two"),
+            "raw newline leaked into exposition: {text:?}"
+        );
+    }
+
+    #[test]
+    fn render_suffixes_counters_with_total() {
+        let r = Registry::new();
+        r.counter("openmldb_storage_scanned_rows", "rows visited by scans")
+            .add(3);
+        r.counter(
+            "openmldb_online_union_tuples_rows{worker=\"1\"}",
+            "tuples per worker",
+        )
+        .add(2);
+        let text = r.render();
+        assert!(text.contains("# TYPE openmldb_storage_scanned_rows_total counter"));
+        assert!(text.contains("# TYPE openmldb_online_union_tuples_rows_total counter"));
+        if enabled() {
+            assert!(text.contains("openmldb_storage_scanned_rows_total 3"));
+            assert!(text.contains("openmldb_online_union_tuples_rows_total{worker=\"1\"} 2"));
+        }
+        // the registered (unsuffixed) series name must not appear as a sample
+        assert!(!text
+            .lines()
+            .any(|l| l.starts_with("openmldb_storage_scanned_rows ")));
+        // already-_total names are not double-suffixed
+        let r2 = Registry::new();
+        r2.counter("openmldb_online_requests_total", "");
+        assert!(!r2.render().contains("requests_total_total"));
+    }
+
+    #[test]
+    fn registry_exposes_slow_query_log() {
+        let text = Registry::global().render_slow_query_report(false);
+        assert!(text.starts_with("slow-query log:"));
+        let json = Registry::global().render_slow_query_report(true);
+        assert!(json.starts_with("{\"published_total\":"));
+        let _ = Registry::global().slow_queries();
     }
 
     #[test]

@@ -46,6 +46,23 @@ pub enum Stage {
 }
 
 impl Stage {
+    /// All stages in pipeline order; `ALL[s.index()] == s`.
+    pub const ALL: [Stage; 6] = [
+        Stage::Plan,
+        Stage::CacheLookup,
+        Stage::WindowDispatch,
+        Stage::StorageSeek,
+        Stage::Aggregate,
+        Stage::Encode,
+    ];
+
+    /// Dense index of this stage, `0..Stage::ALL.len()` — the flight
+    /// recorder's attribution slot.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             Stage::Plan => "plan",
@@ -221,20 +238,27 @@ impl Tracer {
     }
 }
 
-/// Time `f` as `stage` within the current thread's active trace, if any.
-/// Outside a sampled request scope this is a thread-local `is_some` check
-/// and nothing else.
+/// Time `f` as `stage` within the current thread's active trace, if any,
+/// and mark the stage boundary in the thread's active flight recorder
+/// ([`crate::flight`]) — the recorder is per-request (always on), so stage
+/// events flow even when the 1-in-N trace sampler skipped this request.
+/// Outside both scopes this is two thread-local `is_some` checks and nothing
+/// else.
 #[inline]
 pub fn span<R>(stage: Stage, f: impl FnOnce() -> R) -> R {
     #[cfg(not(feature = "obs-off"))]
     {
+        crate::flight::stage_enter(stage);
         let t0 = ACTIVE.with(|a| a.borrow().as_ref().map(|t| t.t0));
         let Some(t0) = t0 else {
-            return f();
+            let out = f();
+            crate::flight::stage_exit(stage);
+            return out;
         };
         let start_ns = t0.elapsed().as_nanos() as u64;
         let out = f();
         let end_ns = t0.elapsed().as_nanos() as u64;
+        crate::flight::stage_exit(stage);
         ACTIVE.with(|a| {
             if let Some(active) = a.borrow_mut().as_mut() {
                 active.spans.push(SpanRecord {

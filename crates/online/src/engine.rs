@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex};
 
 use openmldb_exec::{evaluate, RequestScratch, ScanEntry, WindowAggSet, REQUEST_ROW};
 use openmldb_obs::trace as obs;
+use openmldb_obs::{flight, FlightEventKind, FlightScope, FlightSummary, Outcome, Recorder};
 use openmldb_sql::ast::Frame;
 use openmldb_sql::plan::{BoundAggregate, BoundWindow, CompiledQuery};
 use openmldb_types::{CompactCodec, Error, KeyValue, Result, Row, Value};
@@ -170,40 +171,73 @@ pub fn execute_request_with(
     request: &Row,
     opts: &RequestOptions,
 ) -> Result<RequestOutput> {
-    obs::with_request_trace(|| {
-        let t0 = std::time::Instant::now();
-        let ctx = Ctx::new(opts);
-        let out = execute_request_inner(provider, dep, request, &ctx);
-        crate::metrics::requests().inc();
-        crate::metrics::request_duration().record(t0.elapsed().as_nanos() as u64);
-        match out {
-            Ok(row) => Ok(RequestOutput {
-                row,
-                degraded: ctx.degraded(),
-                retries: ctx.retries(),
-                failovers: ctx.failovers(),
-            }),
-            Err(e) => {
-                if matches!(e, Error::Timeout { .. }) {
-                    crate::metrics::timeouts().inc();
-                }
-                Err(e)
-            }
-        }
-    })
-}
-
-fn execute_request_inner(
-    provider: &dyn TableProvider,
-    dep: &Deployment,
-    request: &Row,
-    ctx: &Ctx,
-) -> Result<Row> {
     let mut scratch = dep.take_scratch();
     scratch.reset();
-    let out = execute_streaming(provider, dep, request, ctx, &mut scratch);
+    // The recorder moves out of the scratch for the duration of the scope so
+    // the pipeline below can borrow the scratch mutably. `Recorder` is a
+    // pooled `Option<Box<_>>`; the take/put pair moves a pointer, it does
+    // not allocate.
+    let mut flight = std::mem::take(&mut scratch.flight);
+    let scope = FlightScope::enter(&mut flight);
+    let t0 = std::time::Instant::now();
+    let ctx = Ctx::new(opts);
+    let out = obs::with_request_trace(|| {
+        let r = execute_streaming(provider, dep, request, &ctx, &mut scratch);
+        crate::metrics::requests().inc();
+        r
+    });
+    let summary = scope.finish();
+    crate::metrics::request_duration().record_with_exemplar(
+        t0.elapsed().as_nanos() as u64,
+        summary.trace_id,
+        &summary.stage_self_ns,
+    );
+    let result = match out {
+        Ok(row) => Ok(RequestOutput {
+            row,
+            degraded: ctx.degraded(),
+            retries: ctx.retries(),
+            failovers: ctx.failovers(),
+            trace_id: summary.trace_id,
+        }),
+        Err(e) => {
+            if matches!(e, Error::Timeout { .. }) {
+                crate::metrics::timeouts().inc();
+            }
+            Err(e)
+        }
+    };
+    maybe_dump_post_mortem(&flight, &summary, &result);
+    scratch.flight = flight;
     dep.put_scratch(scratch);
-    out
+    result
+}
+
+/// Post-mortem dump decision, taken once per request after the flight scope
+/// closes: anomalous outcomes (timeout, error, degraded answer, failover)
+/// always dump; clean successes dump only when they crossed the slow-query
+/// threshold. The fast path pays one branch and drops the ring in place.
+fn maybe_dump_post_mortem(
+    flight: &Recorder,
+    summary: &FlightSummary,
+    result: &Result<RequestOutput>,
+) {
+    if !summary.active {
+        return;
+    }
+    let outcome = match result {
+        Err(Error::Timeout { .. }) => Some(Outcome::Timeout),
+        Err(_) => Some(Outcome::Failed),
+        Ok(o) if o.degraded => Some(Outcome::Degraded),
+        Ok(o) if o.failovers > 0 => Some(Outcome::Failover),
+        Ok(_) if summary.total_ns >= flight::slow_query_threshold_ns() => Some(Outcome::Slow),
+        Ok(_) => None,
+    };
+    if let Some(outcome) = outcome {
+        if let Some(pm) = flight.post_mortem(outcome, summary) {
+            flight::publish(pm);
+        }
+    }
 }
 
 // HOT: the steady-state request path — every buffer comes from `scratch`
@@ -229,6 +263,9 @@ fn execute_streaming(
         entries,
         out,
         windows,
+        // The recorder was moved out by `execute_request_with` before this
+        // borrow; the field is empty here.
+        flight: _,
     } = scratch;
 
     // 1. LAST JOINs: build the combined row in the warm scratch buffer.
@@ -333,6 +370,7 @@ fn execute_streaming(
                     match outs {
                         Ok(outs) => {
                             crate::metrics::preagg_hits().inc();
+                            flight::event(FlightEventKind::PreaggHit, wid as u32, 0);
                             for (slot, v) in dep.by_window[wid].iter().zip(outs) {
                                 agg_values[*slot] = v;
                             }
@@ -341,11 +379,15 @@ fn execute_streaming(
                         // The lookup itself kept faulting past its retry
                         // budget: fall through to the raw scan, which reads
                         // through the full resilience ladder.
-                        Err(e) if e.is_transient() => crate::metrics::preagg_skips().inc(),
+                        Err(e) if e.is_transient() => {
+                            crate::metrics::preagg_skips().inc();
+                            flight::event(FlightEventKind::PreaggSkip, wid as u32, 0);
+                        }
                         Err(e) => return Err(e),
                     }
                 } else if dep.preaggs[wid].is_some() {
                     crate::metrics::preagg_skips().inc();
+                    flight::event(FlightEventKind::PreaggSkip, wid as u32, 0);
                 }
 
                 // Scan path (streaming): copy the window's encoded rows into
@@ -415,6 +457,7 @@ fn execute_streaming(
                                         && ctx.deadline_expired()
                                     {
                                         deadline_hit = true;
+                                        flight::event(FlightEventKind::DeadlineProbe, scanned, 0);
                                         return false;
                                     }
                                     let start = arena.len();
@@ -430,6 +473,11 @@ fn execute_streaming(
                                 },
                             )
                         })?;
+                        flight::event(
+                            FlightEventKind::ScanRows,
+                            wid as u32,
+                            (entries.len() - mark_entries) as u64,
+                        );
                         if deadline_hit {
                             // Typed timeout, never a partial aggregate.
                             return Err(Error::Timeout {
@@ -559,27 +607,41 @@ pub fn execute_request_materialized_with(
     request: &Row,
     opts: &RequestOptions,
 ) -> Result<RequestOutput> {
-    obs::with_request_trace(|| {
-        let t0 = std::time::Instant::now();
-        let ctx = Ctx::new(opts);
-        let out = execute_request_inner_materialized(provider, dep, request, &ctx);
+    // The materializing path has no pooled scratch; it carries a transient
+    // recorder (the ring allocates once per request here, like every other
+    // buffer on this path).
+    let mut flight = Recorder::default();
+    let scope = FlightScope::enter(&mut flight);
+    let t0 = std::time::Instant::now();
+    let ctx = Ctx::new(opts);
+    let out = obs::with_request_trace(|| {
+        let r = execute_request_inner_materialized(provider, dep, request, &ctx);
         crate::metrics::requests().inc();
-        crate::metrics::request_duration().record(t0.elapsed().as_nanos() as u64);
-        match out {
-            Ok(row) => Ok(RequestOutput {
-                row,
-                degraded: ctx.degraded(),
-                retries: ctx.retries(),
-                failovers: ctx.failovers(),
-            }),
-            Err(e) => {
-                if matches!(e, Error::Timeout { .. }) {
-                    crate::metrics::timeouts().inc();
-                }
-                Err(e)
+        r
+    });
+    let summary = scope.finish();
+    crate::metrics::request_duration().record_with_exemplar(
+        t0.elapsed().as_nanos() as u64,
+        summary.trace_id,
+        &summary.stage_self_ns,
+    );
+    let result = match out {
+        Ok(row) => Ok(RequestOutput {
+            row,
+            degraded: ctx.degraded(),
+            retries: ctx.retries(),
+            failovers: ctx.failovers(),
+            trace_id: summary.trace_id,
+        }),
+        Err(e) => {
+            if matches!(e, Error::Timeout { .. }) {
+                crate::metrics::timeouts().inc();
             }
+            Err(e)
         }
-    })
+    };
+    maybe_dump_post_mortem(&flight, &summary, &result);
+    result
 }
 
 fn execute_request_inner_materialized(
@@ -686,6 +748,7 @@ fn execute_request_inner_materialized(
                     match outs {
                         Ok(outs) => {
                             crate::metrics::preagg_hits().inc();
+                            flight::event(FlightEventKind::PreaggHit, wid as u32, 0);
                             for (slot, v) in by_window[wid].iter().zip(outs) {
                                 agg_values[*slot] = v;
                             }
@@ -694,11 +757,15 @@ fn execute_request_inner_materialized(
                         // The lookup itself kept faulting past its retry
                         // budget: fall through to the raw scan, which reads
                         // through the full resilience ladder.
-                        Err(e) if e.is_transient() => crate::metrics::preagg_skips().inc(),
+                        Err(e) if e.is_transient() => {
+                            crate::metrics::preagg_skips().inc();
+                            flight::event(FlightEventKind::PreaggSkip, wid as u32, 0);
+                        }
                         Err(e) => return Err(e),
                     }
                 } else if dep.preaggs[wid].is_some() {
                     crate::metrics::preagg_skips().inc();
+                    flight::event(FlightEventKind::PreaggSkip, wid as u32, 0);
                 }
 
                 // Scan path: gather window rows (request row is the anchor),

@@ -110,6 +110,10 @@ pub struct RequestOutput {
     pub retries: u32,
     /// Reads that failed over from the primary table to its replica.
     pub failovers: u32,
+    /// Flight-recorder trace id for this request — the key joining the
+    /// response to histogram exemplars and slow-query post-mortems. Zero
+    /// under `obs-off`.
+    pub trace_id: u64,
 }
 
 /// Per-request mutable state threaded through the engine (single-threaded
@@ -154,16 +158,23 @@ impl<'a> Ctx<'a> {
     pub(crate) fn note_retry(&self) {
         self.retries.set(self.retries.get() + 1);
         crate::metrics::retries().inc();
+        openmldb_obs::flight::event(openmldb_obs::FlightEventKind::Retry, self.retries.get(), 0);
     }
 
     pub(crate) fn note_failover(&self) {
         self.failovers.set(self.failovers.get() + 1);
         crate::metrics::failovers().inc();
+        openmldb_obs::flight::event(
+            openmldb_obs::FlightEventKind::Failover,
+            self.failovers.get(),
+            0,
+        );
     }
 
     pub(crate) fn note_degraded(&self) {
         self.degraded.set(true);
         crate::metrics::degraded().inc();
+        openmldb_obs::flight::event(openmldb_obs::FlightEventKind::Degraded, 0, 0);
     }
 
     pub(crate) fn retries(&self) -> u32 {

@@ -113,10 +113,12 @@ impl PlanCache {
         if let Some(plan) = hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
             crate::metrics::plan_cache_hits().inc();
+            openmldb_obs::flight::event(openmldb_obs::FlightEventKind::PlanCacheHit, 0, key);
             return Ok(plan);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         crate::metrics::plan_cache_misses().inc();
+        openmldb_obs::flight::event(openmldb_obs::FlightEventKind::PlanCacheMiss, 0, key);
         let plan = obs::span(obs::Stage::Plan, || -> Result<_> {
             let stmt = parse_select(sql)?;
             Ok(Arc::new(compile_select(&stmt, catalog)?))

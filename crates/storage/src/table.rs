@@ -247,6 +247,11 @@ impl MemTable {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
+        openmldb_obs::flight::event(
+            openmldb_obs::FlightEventKind::StorageSeek,
+            index_id as u32,
+            0,
+        );
         match index.map.get_by(key) {
             Some(list) => match list.latest() {
                 Some((_, data)) => Ok(Some(self.decode(&data)?)),
@@ -267,6 +272,11 @@ impl MemTable {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
+        openmldb_obs::flight::event(
+            openmldb_obs::FlightEventKind::StorageSeek,
+            index_id as u32,
+            0,
+        );
         let Some(list) = index.map.get_by(key) else {
             return Ok(None);
         };
@@ -325,6 +335,11 @@ impl MemTable {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
+        openmldb_obs::flight::event(
+            openmldb_obs::FlightEventKind::StorageSeek,
+            index_id as u32,
+            0,
+        );
         let Some(list) = index.map.get_by(key) else {
             crate::metrics::scan_len().record(0);
             return Ok(Vec::new());
@@ -363,6 +378,11 @@ impl MemTable {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
+        openmldb_obs::flight::event(
+            openmldb_obs::FlightEventKind::StorageSeek,
+            index_id as u32,
+            0,
+        );
         let Some(list) = index.map.get_by(key) else {
             crate::metrics::scan_len().record(0);
             return Ok(Vec::new());
@@ -413,6 +433,11 @@ impl MemTable {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
         crate::metrics::seeks().inc();
+        openmldb_obs::flight::event(
+            openmldb_obs::FlightEventKind::StorageSeek,
+            index_id as u32,
+            0,
+        );
         let Some(list) = index.map.get_by(key) else {
             crate::metrics::scan_len().record(0);
             return Ok(());

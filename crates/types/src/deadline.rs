@@ -11,11 +11,67 @@ use std::time::{Duration, Instant};
 
 use crate::error::{Error, Result};
 
+/// A per-thread virtual clock for deterministic deadline tests.
+///
+/// Wall-clock deadline tests are inherently flaky: asserting that a 5 ms
+/// budget "has not expired yet" loses whenever the scheduler stalls the
+/// test thread, and boundary tests (e.g. the 20 ms engine-decision cutoff)
+/// need millisecond-exact remaining budgets. [`freeze`] switches this
+/// thread's deadline time to a counter that only moves via [`advance`], so
+/// a test controls elapsed time exactly. Production code never freezes;
+/// the cost on the live path is one thread-local read per
+/// [`Deadline::within`] call.
+pub mod clock {
+    use std::cell::Cell;
+    use std::time::Duration;
+
+    thread_local! {
+        /// `Some(now_ns)` while frozen; `None` means wall-clock behavior.
+        static VIRTUAL_NOW_NS: Cell<Option<u64>> = const { Cell::new(None) };
+    }
+
+    /// Switch this thread to virtual deadline time, starting at zero.
+    /// Deadlines created while frozen expire only via [`advance`].
+    pub fn freeze() {
+        VIRTUAL_NOW_NS.with(|c| c.set(Some(0)));
+    }
+
+    /// Return this thread to wall-clock deadline time.
+    pub fn thaw() {
+        VIRTUAL_NOW_NS.with(|c| c.set(None));
+    }
+
+    /// Move the frozen clock forward by `d`. No-op when not frozen.
+    pub fn advance(d: Duration) {
+        VIRTUAL_NOW_NS.with(|c| {
+            if let Some(now) = c.get() {
+                c.set(Some(
+                    now.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
+                ));
+            }
+        });
+    }
+
+    /// The frozen clock's current reading, if this thread is frozen.
+    pub(crate) fn virtual_now_ns() -> Option<u64> {
+        VIRTUAL_NOW_NS.with(Cell::get)
+    }
+}
+
+/// Expiry representation: unbounded, a wall-clock instant, or a reading on
+/// the thread's frozen [`clock`] (tests).
+#[derive(Clone, Copy, Debug)]
+enum At {
+    Unbounded,
+    Wall(Instant),
+    Virtual(u64),
+}
+
 /// A request's time budget. Copy-cheap; `Deadline::none()` never expires.
 #[derive(Clone, Copy, Debug)]
 pub struct Deadline {
-    /// Absolute expiry instant, or `None` for unbounded.
-    at: Option<Instant>,
+    /// Absolute expiry, or unbounded.
+    at: At,
     /// The original budget in milliseconds, kept for error context.
     budget_ms: u64,
 }
@@ -30,15 +86,25 @@ impl Deadline {
     /// An unbounded deadline: `check` always succeeds.
     pub const fn none() -> Self {
         Deadline {
-            at: None,
+            at: At::Unbounded,
             budget_ms: u64::MAX,
         }
     }
 
-    /// A deadline expiring `budget` from now.
+    /// A deadline expiring `budget` from now. On a thread frozen via
+    /// [`clock::freeze`] the expiry is a virtual-clock reading instead of a
+    /// wall instant, and only [`clock::advance`] moves it closer.
     pub fn within(budget: Duration) -> Self {
+        let budget_ns = budget.as_nanos().min(u64::MAX as u128) as u64;
+        let at = match clock::virtual_now_ns() {
+            Some(now) => At::Virtual(now.saturating_add(budget_ns)),
+            None => match Instant::now().checked_add(budget) {
+                Some(at) => At::Wall(at),
+                None => At::Unbounded,
+            },
+        };
         Deadline {
-            at: Instant::now().checked_add(budget),
+            at,
             budget_ms: budget.as_millis().min(u64::MAX as u128) as u64,
         }
     }
@@ -51,15 +117,21 @@ impl Deadline {
     /// True when the budget is exhausted.
     pub fn expired(&self) -> bool {
         match self.at {
-            None => false,
-            Some(at) => Instant::now() >= at,
+            At::Unbounded => false,
+            At::Wall(at) => Instant::now() >= at,
+            At::Virtual(at) => clock::virtual_now_ns().unwrap_or(u64::MAX) >= at,
         }
     }
 
     /// Time left before expiry; `None` means unbounded.
     pub fn remaining(&self) -> Option<Duration> {
-        self.at
-            .map(|at| at.saturating_duration_since(Instant::now()))
+        match self.at {
+            At::Unbounded => None,
+            At::Wall(at) => Some(at.saturating_duration_since(Instant::now())),
+            At::Virtual(at) => Some(Duration::from_nanos(
+                at.saturating_sub(clock::virtual_now_ns().unwrap_or(u64::MAX)),
+            )),
+        }
     }
 
     /// The total budget in milliseconds (`u64::MAX` when unbounded).
@@ -69,7 +141,7 @@ impl Deadline {
 
     /// Whether this deadline actually bounds the request.
     pub fn is_bounded(&self) -> bool {
-        self.at.is_some()
+        !matches!(self.at, At::Unbounded)
     }
 
     /// Fail with [`Error::Timeout`] naming `stage` if the budget is spent.
@@ -122,11 +194,32 @@ mod tests {
         assert_eq!(d.budget_ms(), 3_600_000);
     }
 
+    /// Deterministic replacement for the old sleep-based expiry test: the
+    /// frozen clock removes the scheduler from the assertion entirely.
     #[test]
-    fn expiry_is_observed_after_sleep() {
+    fn expiry_is_observed_on_the_virtual_clock() {
+        clock::freeze();
         let d = Deadline::within(Duration::from_millis(5));
-        std::thread::sleep(Duration::from_millis(10));
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), Some(Duration::from_millis(5)));
+        clock::advance(Duration::from_millis(4));
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), Some(Duration::from_millis(1)));
+        clock::advance(Duration::from_millis(1));
         assert!(d.expired());
         assert!(d.check("aggregate").is_err());
+        clock::thaw();
+    }
+
+    /// A frozen thread only affects deadlines it creates; wall-clock
+    /// deadlines made before the freeze keep their behavior.
+    #[test]
+    fn freezing_does_not_disturb_wall_deadlines() {
+        let wall = Deadline::within(Duration::from_secs(3600));
+        clock::freeze();
+        clock::advance(Duration::from_secs(7200));
+        assert!(!wall.expired());
+        clock::thaw();
+        assert!(!wall.expired());
     }
 }

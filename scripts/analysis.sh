@@ -56,6 +56,13 @@ if [ "$QUICK" -eq 0 ]; then
     BENCH_SCALE=0.1 cargo run -q --release -p openmldb-bench --bin hotpath_allocs
 fi
 
+step "tail-latency attribution contract (tailtrace gate, chaos on)"
+BENCH_SCALE=0.1 cargo test -q -p openmldb-bench --features chaos tailtrace
+
+step "slow-query report smoke (obs_report, text + json)"
+cargo run -q -p openmldb-bench --bin obs_report | grep -q "slow-query log:"
+cargo run -q -p openmldb-bench --bin obs_report -- --json | grep -q '"slow_queries"'
+
 if [ "$QUICK" -eq 0 ]; then
     step "property tests, raised case count"
     OPENMLDB_PROPTEST_CASES=512 cargo test -q -p openmldb-storage -p openmldb-types

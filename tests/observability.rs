@@ -158,3 +158,73 @@ fn registry_exposes_cross_crate_metric_surface() {
         assert!(trace_json.contains("\"stage\":\"window_dispatch\""));
     }
 }
+
+/// A budget of zero forces a typed timeout; the flight recorder must dump a
+/// post-mortem whose per-stage self-times sum exactly to the total.
+#[test]
+fn timeout_dumps_an_exactly_attributed_post_mortem() {
+    use openmldb::obs::flight;
+    use openmldb::RequestOptions;
+    use std::time::Duration;
+
+    let db = serve_some_requests();
+    let request = Row::new(vec![
+        Value::Bigint(1),
+        Value::Double(1.0),
+        Value::Timestamp(30_000),
+    ]);
+    let opts = RequestOptions::with_deadline(Duration::ZERO);
+
+    let before = flight::published_total();
+    let err = db
+        .request_readonly_with("f", &request, &opts)
+        .expect_err("zero budget must time out");
+    assert!(matches!(err, openmldb::Error::Timeout { .. }), "{err:?}");
+
+    if openmldb::obs::enabled() {
+        assert!(
+            flight::published_total() > before,
+            "the timeout must publish a post-mortem"
+        );
+        let log = Registry::global().slow_queries();
+        let pm = log
+            .iter()
+            .rev()
+            .find(|pm| pm.outcome == openmldb::obs::Outcome::Timeout)
+            .expect("a timeout post-mortem in the slow-query log");
+        let stage_sum: u64 = pm.stage_self_ns.iter().sum();
+        assert_eq!(
+            stage_sum + pm.other_ns,
+            pm.total_ns,
+            "attribution must sum exactly to the total: {pm:?}"
+        );
+        assert!(!pm.culprit.is_empty());
+        let text = pm.render_text();
+        assert!(text.contains("outcome=timeout"), "{text}");
+        let report = Registry::global().render_slow_query_report(false);
+        assert!(report.contains("slow-query log:"), "{report}");
+    }
+}
+
+/// Requests slower than the exemplar threshold leave their trace id and
+/// stage breakdown on the latency histogram's buckets.
+#[test]
+fn slow_requests_attach_exemplars_to_the_latency_histogram() {
+    if !openmldb::obs::enabled() {
+        return;
+    }
+    let h = Registry::global().histogram("openmldb_online_request_duration_ns", "");
+    // Threshold 0: every request from here on qualifies as an exemplar.
+    h.enable_exemplars(0);
+
+    let _db = serve_some_requests();
+
+    let exemplars = h.exemplars();
+    assert!(
+        !exemplars.is_empty(),
+        "requests must have attached exemplars"
+    );
+    for (_bucket, ex) in &exemplars {
+        assert!(ex.trace_id > 0, "exemplars carry a live trace id: {ex:?}");
+    }
+}
