@@ -50,14 +50,26 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Rule identifiers, in report order.
-pub const RULES: [&str; 6] = [
+pub mod callgraph;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+pub mod sarif;
+
+use lexer::{allowed, comment_block_contains, is_ident_char, preprocess};
+
+/// Rule identifiers, in report order. The first six are line rules; the
+/// last three are the call-graph rules implemented in [`rules`].
+pub const RULES: [&str; 9] = [
     "safety-comment",
     "relaxed-ordering",
     "panic-path",
     "lossy-cast",
     "metric-name",
     "hot-path-alloc",
+    "deadline-reachability",
+    "panic-freedom",
+    "lock-order",
 ];
 
 /// One lint hit at a specific source line.
@@ -69,8 +81,13 @@ pub struct Violation {
     /// 1-based line number.
     pub line: usize,
     /// The offending code line, trimmed (for `metric-name`: the offending
-    /// literal itself, so each bad name fingerprints separately).
+    /// literal itself, so each bad name fingerprints separately; for graph
+    /// rules: a stable description of the finding, line-number free).
     pub excerpt: String,
+    /// For call-graph rules: the root → … → sink call chain (qualified
+    /// function names). Excluded from the fingerprint so intermediate
+    /// refactors do not churn the baseline.
+    pub chain: Vec<String>,
 }
 
 impl Violation {
@@ -96,296 +113,6 @@ fn normalize(code: &str) -> String {
         }
     }
     out
-}
-
-// ---------------------------------------------------------------------------
-// Lexing: split each line into a code channel and a comment channel.
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Default, Clone)]
-struct LineInfo {
-    code: String,
-    comment: String,
-    /// Contents of string literals that *start* on this line (escape
-    /// sequences kept verbatim). Rules that inspect literal payloads — like
-    /// `metric-name` — read this channel; the code channel only keeps the
-    /// quotes.
-    strings: Vec<String>,
-    /// Inside a `#[cfg(test)]` item body (or the attribute/header lines of
-    /// one) — lint rules skip these lines.
-    in_test: bool,
-    /// Inside the brace span of an item whose leading comment block carries
-    /// a `// HOT:` marker — the `hot-path-alloc` rule applies here.
-    in_hot: bool,
-}
-
-#[derive(Debug, Default)]
-struct LexState {
-    /// Nesting depth of `/* */` block comments (Rust block comments nest).
-    block_comment: usize,
-    /// Inside an unterminated `"` string continued on the next line.
-    in_string: bool,
-    /// Inside a raw string; the payload is the `#` count of its delimiter.
-    in_raw_string: Option<usize>,
-}
-
-/// Lex one physical line into (code, comment, string-literal contents),
-/// updating cross-line state. Only literals that *start* on this line are
-/// collected; a literal left open at end of line yields its first-line
-/// fragment (metric names never wrap).
-fn lex_line(line: &str, st: &mut LexState) -> (String, String, Vec<String>) {
-    let chars: Vec<char> = line.chars().collect();
-    let n = chars.len();
-    let mut code = String::new();
-    let mut comment = String::new();
-    let mut strings = Vec::new();
-    // Payload of the literal currently being collected; `None` while outside
-    // a literal or inside one continued from a previous line.
-    let mut lit: Option<String> = None;
-    let mut i = 0;
-
-    while i < n {
-        if st.block_comment > 0 {
-            if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
-                st.block_comment -= 1;
-                i += 2;
-            } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
-                st.block_comment += 1;
-                i += 2;
-            } else {
-                comment.push(chars[i]);
-                i += 1;
-            }
-            continue;
-        }
-        if let Some(hashes) = st.in_raw_string {
-            // Look for `"` followed by `hashes` `#` characters.
-            if chars[i] == '"' && chars[i + 1..].iter().take_while(|c| **c == '#').count() >= hashes
-            {
-                st.in_raw_string = None;
-                if let Some(s) = lit.take() {
-                    strings.push(s);
-                }
-                i += 1 + hashes;
-            } else {
-                if let Some(s) = lit.as_mut() {
-                    s.push(chars[i]);
-                }
-                i += 1;
-            }
-            continue;
-        }
-        if st.in_string {
-            if chars[i] == '\\' {
-                if let Some(s) = lit.as_mut() {
-                    s.push(chars[i]);
-                    if i + 1 < n {
-                        s.push(chars[i + 1]);
-                    }
-                }
-                i += 2;
-            } else if chars[i] == '"' {
-                st.in_string = false;
-                if let Some(s) = lit.take() {
-                    strings.push(s);
-                }
-                code.push('"');
-                i += 1;
-            } else {
-                if let Some(s) = lit.as_mut() {
-                    s.push(chars[i]);
-                }
-                i += 1;
-            }
-            continue;
-        }
-        match chars[i] {
-            '/' if i + 1 < n && chars[i + 1] == '/' => {
-                comment.push_str(&line[line.char_indices().nth(i).map_or(0, |(b, _)| b)..]);
-                i = n;
-            }
-            '/' if i + 1 < n && chars[i + 1] == '*' => {
-                st.block_comment += 1;
-                i += 2;
-            }
-            'r' | 'b'
-                if raw_string_hashes(&chars[i..]).is_some()
-                    // Not part of a longer identifier like `avatar"`.
-                    && (i == 0 || !is_ident_char(chars[i - 1])) =>
-            {
-                let (prefix_len, hashes) =
-                    raw_string_hashes(&chars[i..]).expect("checked by guard");
-                code.push('"');
-                code.push('"');
-                st.in_raw_string = Some(hashes);
-                lit = Some(String::new());
-                i += prefix_len;
-            }
-            '"' => {
-                code.push('"');
-                st.in_string = true;
-                lit = Some(String::new());
-                i += 1;
-            }
-            '\'' => {
-                // Char literal vs lifetime: a literal closes within a few
-                // chars; a lifetime is `'` + identifier with no closing `'`.
-                if i + 1 < n && chars[i + 1] == '\\' {
-                    i += 2;
-                    while i < n && chars[i] != '\'' {
-                        i += 1;
-                    }
-                    code.push_str("' '");
-                    i += 1;
-                } else if i + 2 < n && chars[i + 2] == '\'' {
-                    code.push_str("' '");
-                    i += 3;
-                } else {
-                    code.push('\'');
-                    i += 1;
-                }
-            }
-            c => {
-                code.push(c);
-                i += 1;
-            }
-        }
-    }
-    // Literal still open at end of line: keep its first-line fragment.
-    if let Some(s) = lit {
-        strings.push(s);
-    }
-    (code, comment, strings)
-}
-
-/// Detect `r"`, `r#"`, `br##"`, ... at the slice start. Returns
-/// (prefix length in chars, hash count).
-fn raw_string_hashes(chars: &[char]) -> Option<(usize, usize)> {
-    let mut i = 0;
-    if chars.first() == Some(&'b') {
-        i += 1;
-    }
-    if chars.get(i) != Some(&'r') {
-        return None;
-    }
-    i += 1;
-    let hashes = chars[i..].iter().take_while(|c| **c == '#').count();
-    i += hashes;
-    if chars.get(i) == Some(&'"') {
-        Some((i + 1, hashes))
-    } else {
-        None
-    }
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Lex the whole file and mark `#[cfg(test)]` regions.
-fn preprocess(src: &str) -> Vec<LineInfo> {
-    let mut st = LexState::default();
-    let mut lines = Vec::new();
-    // Test-region tracking: once `#[cfg(test)]` is seen, everything up to
-    // and including the item's closing brace is test code. `region_depth`
-    // is the brace depth *outside* the item; the region ends when depth
-    // falls back to it.
-    let mut depth = 0usize;
-    let mut pending_test = false;
-    let mut test_region_depth: Option<usize> = None;
-    // `// HOT:` tracking mirrors the test-region tracking: the marker arms
-    // a pending flag, the next opening brace starts the region, and the
-    // region ends when depth falls back to where it started.
-    let mut pending_hot = false;
-    let mut hot_region_depth: Option<usize> = None;
-
-    for raw in src.lines() {
-        let (code, comment, strings) = lex_line(raw, &mut st);
-        let code_trim = code.trim();
-
-        if test_region_depth.is_none()
-            && (code_trim.contains("#[cfg(test)]")
-                || code_trim.contains("#[cfg(all(test")
-                || code_trim.contains("#[cfg(any(test"))
-        {
-            pending_test = true;
-        }
-        if hot_region_depth.is_none() && comment.contains("HOT:") {
-            pending_hot = true;
-        }
-
-        let opens = code.matches('{').count();
-        let closes = code.matches('}').count();
-        if pending_test && opens > 0 {
-            test_region_depth = Some(depth);
-            pending_test = false;
-        }
-        if pending_hot && opens > 0 {
-            hot_region_depth = Some(depth);
-            pending_hot = false;
-        }
-        depth = (depth + opens).saturating_sub(closes);
-
-        let in_test = pending_test || test_region_depth.is_some();
-        let in_hot = hot_region_depth.is_some();
-        lines.push(LineInfo {
-            code,
-            comment,
-            strings,
-            in_test,
-            in_hot,
-        });
-
-        if let Some(rd) = test_region_depth {
-            if depth <= rd {
-                test_region_depth = None;
-            }
-        }
-        if let Some(rd) = hot_region_depth {
-            if depth <= rd {
-                hot_region_depth = None;
-            }
-        }
-    }
-    lines
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-/// True when the comment channel of `line_idx` or the contiguous
-/// comment/attribute block directly above it contains `needle`.
-fn comment_block_contains(lines: &[LineInfo], line_idx: usize, needles: &[&str]) -> bool {
-    let hit = |s: &str| needles.iter().any(|n| s.contains(n));
-    if hit(&lines[line_idx].comment) {
-        return true;
-    }
-    let mut i = line_idx;
-    while i > 0 {
-        i -= 1;
-        let li = &lines[i];
-        let code = li.code.trim();
-        if code.is_empty() && !li.comment.trim().is_empty() {
-            // Comment-only line: part of the block.
-            if hit(&li.comment) {
-                return true;
-            }
-        } else if code.starts_with("#[") || code.starts_with("#![") {
-            // Attributes sit between the comment and the item.
-            if hit(&li.comment) {
-                return true;
-            }
-        } else {
-            break;
-        }
-    }
-    false
-}
-
-fn allowed(lines: &[LineInfo], line_idx: usize, rule: &str) -> bool {
-    let marker = format!("analysis:allow({rule})");
-    comment_block_contains(lines, line_idx, &[&marker])
 }
 
 /// Word-boundary search for `word` in `code`.
@@ -504,8 +231,23 @@ fn rules_for(path: &str) -> Vec<&'static str> {
 /// Allocating idioms banned inside `// HOT:` regions. `.clone()` covers
 /// `Arc` bumps too — cheap, but an `Arc` clone on the per-row path usually
 /// means a borrowed read was available; annotate the deliberate ones.
+/// `format!` / `vec![` / `String::new()` / `Box::new(` / `.to_string()`
+/// each allocate on every evaluation; an error-message `format!` on a
+/// result path that is *usually* `Ok` still belongs behind a cold branch
+/// (`ok_or_else`, not `ok_or`) or an explicit allow.
+const HOT_ALLOC_IDIOMS: [&str; 8] = [
+    ".clone()",
+    ".to_vec()",
+    "Vec::new()",
+    "format!",
+    "vec![",
+    "String::new()",
+    "Box::new(",
+    ".to_string()",
+];
+
 fn has_hot_alloc(code: &str) -> bool {
-    code.contains(".clone()") || code.contains(".to_vec()") || code.contains("Vec::new()")
+    HOT_ALLOC_IDIOMS.iter().any(|idiom| code.contains(idiom))
 }
 
 /// Scan one file's source. `rel_path` selects the applicable rules.
@@ -522,6 +264,7 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Violation> {
             path: rel_path.to_string(),
             line: idx + 1,
             excerpt: code.trim().to_string(),
+            chain: Vec::new(),
         });
     };
 
@@ -619,9 +362,18 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Scan the whole repository rooted at `root`.
+/// Scan the whole repository rooted at `root` with the line rules only.
 pub fn scan_repo(root: &Path) -> std::io::Result<Vec<Violation>> {
     let mut all = Vec::new();
+    for (rel, src) in read_sources(root)? {
+        all.extend(scan_source(&rel, &src));
+    }
+    Ok(all)
+}
+
+/// Read every workspace source as `(repo-relative path, contents)`.
+pub fn read_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
     for path in collect_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -631,8 +383,20 @@ pub fn scan_repo(root: &Path) -> std::io::Result<Vec<Violation>> {
             .collect::<Vec<_>>()
             .join("/");
         let src = fs::read_to_string(&path)?;
-        all.extend(scan_source(&rel, &src));
+        out.push((rel, src));
     }
+    Ok(out)
+}
+
+/// Full analysis: line rules plus the three call-graph rules
+/// (deadline-reachability, panic-freedom, lock-order).
+pub fn analyze_repo(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let sources = read_sources(root)?;
+    let mut all = Vec::new();
+    for (rel, src) in &sources {
+        all.extend(scan_source(rel, src));
+    }
+    all.extend(rules::graph_scan(&sources));
     Ok(all)
 }
 
@@ -773,13 +537,24 @@ pub fn render_report(outcome: &BaselineOutcome) -> String {
         first = false;
         let _ = write!(
             out,
-            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"status\": \"{}\", \"excerpt\": \"{}\"}}",
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"status\": \"{}\", \"excerpt\": \"{}\"",
             v.rule,
             json_escape(&v.path),
             v.line,
             status,
             json_escape(&v.excerpt)
         );
+        if !v.chain.is_empty() {
+            out.push_str(", \"chain\": [");
+            for (i, hop) in v.chain.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\"", json_escape(hop));
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     out.push_str("\n  ]\n}\n");
     out
@@ -995,6 +770,20 @@ mod tests {
         assert!(v.iter().all(|v| v.rule == "hot-path-alloc"));
         assert_eq!(v[0].line, 3);
 
+        // The extended idiom list: format!, vec![, String::new(),
+        // Box::new( and .to_string() each allocate per evaluation.
+        let hot2 = "// HOT: per-row path.\nfn f(x: u32) {\n    let a = format!(\"{x}\");\n    let b = vec![x];\n    let c = String::new();\n    let d = Box::new(x);\n    let e = 1.to_string();\n    drop((a, b, c, d, e));\n}\n";
+        let v = scan_source(STORAGE, hot2);
+        assert_eq!(v.len(), 5, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "hot-path-alloc"));
+
+        // `.to_string()` outside a HOT region stays legal, and an allow
+        // annotation covers the extended idioms too.
+        let cold2 = "fn label(x: u32) -> String {\n    x.to_string()\n}\n";
+        assert!(scan_source(STORAGE, cold2).is_empty());
+        let allowed2 = "// HOT: request path.\nfn f(e: &E) -> Result<(), Error> {\n    // analysis:allow(hot-path-alloc): cold error branch.\n    Err(Error::Storage(format!(\"{e}\")))\n}\n";
+        assert!(scan_source(STORAGE, allowed2).is_empty());
+
         // The region ends with the item's closing brace.
         let after = "// HOT: tight loop.\nfn scan(v: &[u32]) -> u32 {\n    v[0]\n}\n\nfn cold(v: &[u32]) -> Vec<u32> {\n    v.to_vec()\n}\n";
         assert!(scan_source(STORAGE, after).is_empty());
@@ -1038,6 +827,7 @@ mod tests {
             path: STORAGE.into(),
             line: 10,
             excerpt: "o.unwrap()".into(),
+            chain: Vec::new(),
         };
         let baseline = parse_baseline(&render_baseline(std::slice::from_ref(&debt)));
         // Same debt: fully baselined.
@@ -1061,12 +851,62 @@ mod tests {
     }
 
     #[test]
+    fn baseline_is_stable_under_function_motion_and_sibling_renames() {
+        // A flagged function near the top of the file, plus an unrelated
+        // sibling.
+        let before = "\
+fn sibling_one() {}
+
+// HOT: per-row inner loop.
+fn hot_step(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}
+";
+        // The same flagged function moved to the bottom, the sibling
+        // renamed, and extra padding shifting every line number.
+        let after = "\
+fn renamed_sibling() {}
+
+fn extra_padding() {}
+
+fn more_padding() {}
+
+// HOT: per-row inner loop.
+fn hot_step(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}
+";
+        let baseline = parse_baseline(&render_baseline(&scan_source(STORAGE, before)));
+        let outcome = apply_baseline(&scan_source(STORAGE, after), &baseline);
+        assert!(outcome.new.is_empty(), "motion churned: {:#?}", outcome.new);
+        assert!(
+            outcome.stale.is_empty(),
+            "motion went stale: {:#?}",
+            outcome.stale
+        );
+
+        // A *second* violation with identical content is still growth: the
+        // baseline is count-based, not a blanket pardon for the content.
+        let grown = format!(
+            "{after}
+// HOT: another inner loop.
+fn hot_step_two(data: &[u8]) -> Vec<u8> {{
+    data.to_vec()
+}}
+"
+        );
+        let outcome = apply_baseline(&scan_source(STORAGE, &grown), &baseline);
+        assert_eq!(outcome.new.len(), 1, "{:#?}", outcome.new);
+    }
+
+    #[test]
     fn report_is_valid_enough_json() {
         let v = Violation {
             rule: "safety-comment",
             path: "crates/storage/src/a\"b.rs".into(),
             line: 3,
             excerpt: "unsafe { \"x\\y\" }".into(),
+            chain: Vec::new(),
         };
         let outcome = apply_baseline(&[v], &HashMap::new());
         let report = render_report(&outcome);

@@ -7,7 +7,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use openmldb_analysis::{
-    apply_baseline, parse_baseline, render_baseline, render_report, scan_repo,
+    analyze_repo, apply_baseline, parse_baseline, render_baseline, render_report,
+    sarif::render_sarif,
 };
 
 const USAGE: &str = "\
@@ -17,6 +18,7 @@ options:
   --root <dir>        repository root (default: .)
   --baseline <file>   curated debt file (default: crates/analysis/lint-baseline.txt)
   --report <file>     JSON report output (default: target/analysis-report.json)
+  --sarif <file>      SARIF 2.1.0 output (default: target/analysis.sarif)
   --write-baseline    rewrite the baseline from the current scan and exit 0
   --quiet             suppress per-violation text output
 ";
@@ -39,11 +41,12 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut baseline_path: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut quiet = false;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--root" | "--baseline" | "--report" => {
+            "--root" | "--baseline" | "--report" | "--sarif" => {
                 let Some(value) = iter.next() else {
                     eprintln!("{arg} needs a value\n{USAGE}");
                     return ExitCode::from(2);
@@ -51,6 +54,7 @@ fn main() -> ExitCode {
                 match arg.as_str() {
                     "--root" => root = PathBuf::from(value),
                     "--baseline" => baseline_path = Some(PathBuf::from(value)),
+                    "--sarif" => sarif_path = Some(PathBuf::from(value)),
                     _ => report_path = Some(PathBuf::from(value)),
                 }
             }
@@ -65,8 +69,9 @@ fn main() -> ExitCode {
     let baseline_path =
         baseline_path.unwrap_or_else(|| root.join("crates/analysis/lint-baseline.txt"));
     let report_path = report_path.unwrap_or_else(|| root.join("target/analysis-report.json"));
+    let sarif_path = sarif_path.unwrap_or_else(|| root.join("target/analysis.sarif"));
 
-    let violations = match scan_repo(&root) {
+    let violations = match analyze_repo(&root) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("scan failed under {}: {e}", root.display());
@@ -101,22 +106,30 @@ fn main() -> ExitCode {
         eprintln!("cannot write {}: {e}", report_path.display());
         return ExitCode::from(2);
     }
+    if let Err(e) = std::fs::write(&sarif_path, render_sarif(&outcome)) {
+        eprintln!("cannot write {}: {e}", sarif_path.display());
+        return ExitCode::from(2);
+    }
 
     if !quiet {
         for v in &outcome.new {
             println!("NEW  {} {}:{}  {}", v.rule, v.path, v.line, v.excerpt);
+            for hop in &v.chain {
+                println!("       via {hop}");
+            }
         }
         for (fp, base, cur) in &outcome.stale {
             println!("STALE baseline entry ({base} -> {cur}): {fp}");
         }
     }
     println!(
-        "analysis: {} violations ({} baselined, {} new, {} stale baseline entries); report: {}",
+        "analysis: {} violations ({} baselined, {} new, {} stale baseline entries); report: {}; sarif: {}",
         outcome.baselined.len() + outcome.new.len(),
         outcome.baselined.len(),
         outcome.new.len(),
         outcome.stale.len(),
-        report_path.display()
+        report_path.display(),
+        sarif_path.display()
     );
     if outcome.new.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,150 @@
+//! SARIF 2.1.0 output for GitHub code scanning.
+//!
+//! Hand-rolled JSON, like the text report: the workspace is offline and
+//! carries no serialization dependency. New violations are `error`-level
+//! results; baselined debt is emitted at `note` level so code scanning
+//! shows the full picture without failing the check. The content
+//! fingerprint rides along in `partialFingerprints` so GitHub's dedup
+//! lines up with the local baseline.
+
+use crate::{BaselineOutcome, Violation, RULES};
+use std::fmt::Write;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "safety-comment" => "unsafe blocks need a // SAFETY: comment",
+        "relaxed-ordering" => "Ordering::Relaxed needs a justifying comment",
+        "panic-path" => "no unwrap/expect/panic in HOT regions",
+        "lossy-cast" => "no as-casts that can drop bits on data paths",
+        "metric-name" => "metric names must be snake_case with a unit suffix",
+        "hot-path-alloc" => "no allocation idioms in HOT regions",
+        "deadline-reachability" => {
+            "request-path functions that reach storage scans must thread a Deadline"
+        }
+        "panic-freedom" => "nothing reachable from a HOT function may panic",
+        "lock-order" => "nested lock acquisitions must form a consistent order",
+        _ => "workspace lint",
+    }
+}
+
+fn write_result(out: &mut String, v: &Violation, level: &str) {
+    let _ = write!(
+        out,
+        "      {{\n        \"ruleId\": \"{}\",\n        \"level\": \"{}\",\n        \"message\": {{\"text\": \"{}",
+        v.rule,
+        level,
+        esc(&v.excerpt)
+    );
+    if !v.chain.is_empty() {
+        let _ = write!(out, "\\n\\nCall chain:\\n  {}", esc(&v.chain.join("\n  ")));
+    }
+    let _ = write!(
+        out,
+        "\"}},\n        \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}],\n        \"partialFingerprints\": {{\"openmldbAnalysis/v1\": \"{}\"}}\n      }}",
+        esc(&v.path),
+        v.line.max(1),
+        esc(&v.fingerprint())
+    );
+}
+
+/// Render the scan outcome as a single-run SARIF log.
+pub fn render_sarif(outcome: &BaselineOutcome) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"openmldb-analysis\",\n          \"informationUri\": \"https://github.com/4paradigm/OpenMLDB\",\n          \"rules\": [\n",
+    );
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            r,
+            esc(rule_description(r))
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [\n");
+    let mut first = true;
+    for (level, v) in outcome
+        .new
+        .iter()
+        .map(|v| ("error", v))
+        .chain(outcome.baselined.iter().map(|v| ("note", v)))
+    {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        write_result(&mut out, v, level);
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_baseline;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sarif_contains_rule_result_and_fingerprint() {
+        let v = Violation {
+            rule: "panic-freedom",
+            path: "crates/exec/src/run.rs".into(),
+            line: 7,
+            excerpt: "HOT exec::step reaches exec::leaf: unwrap()".into(),
+            chain: vec![
+                "exec::step".into(),
+                "exec::leaf".into(),
+                "unwrap() at crates/exec/src/run.rs:9".into(),
+            ],
+        };
+        let outcome = apply_baseline(std::slice::from_ref(&v), &HashMap::new());
+        let sarif = render_sarif(&outcome);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"panic-freedom\""));
+        assert!(sarif.contains("\"level\": \"error\""));
+        assert!(sarif.contains("\"startLine\": 7"));
+        assert!(sarif.contains("Call chain"));
+        assert!(sarif.contains(&esc(&v.fingerprint())));
+        // Every declared rule is present in the driver metadata.
+        for r in RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{r}\"")), "{r}");
+        }
+    }
+
+    #[test]
+    fn baselined_findings_downgrade_to_note() {
+        let v = Violation {
+            rule: "lossy-cast",
+            path: "crates/types/src/codec.rs".into(),
+            line: 3,
+            excerpt: "x as u32".into(),
+            chain: Vec::new(),
+        };
+        let baseline = HashMap::from([(v.fingerprint(), 1usize)]);
+        let outcome = apply_baseline(std::slice::from_ref(&v), &baseline);
+        let sarif = render_sarif(&outcome);
+        assert!(sarif.contains("\"level\": \"note\""));
+        assert!(!sarif.contains("\"level\": \"error\""));
+    }
+}

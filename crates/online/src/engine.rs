@@ -280,6 +280,8 @@ fn execute_streaming(
                 let index = table
                     .find_index(&dep.join_right_keys[ji], join.order_col)
                     .ok_or_else(|| {
+                        // analysis:allow(hot-path-alloc): cold branch — only
+                        // reached when a deployment references a missing index.
                         Error::Storage(format!("no index on `{}` for join keys", join.table))
                     })?;
                 match &join.residual {
@@ -314,6 +316,8 @@ fn execute_streaming(
     // feature row rather than an error).
     if let Some(pred) = &q.where_clause {
         if !evaluate(pred, combined, &[])?.as_bool()? {
+            // analysis:allow(hot-path-alloc): this *is* the final output
+            // row — the one allocation the zero-alloc contract permits.
             let nulls = vec![Value::Null; q.output_schema.len()];
             return Ok(Row::new(nulls));
         }
@@ -439,6 +443,8 @@ fn execute_streaming(
                             let index = table
                                 .find_index(&window.partition_cols, Some(window.order_col))
                                 .ok_or_else(|| {
+                                    // analysis:allow(hot-path-alloc): cold
+                                    // branch — missing-index config error.
                                     Error::Storage(format!("no window index on `{name}`"))
                                 })?;
                             let mut scanned = 0u32;

@@ -100,6 +100,9 @@ impl<K: Ord, V> SkipMap<K, V> {
     /// [`SkipMap::search`] generalized over a borrowed form of the key, so
     /// callers can seek with `&[KeyValue]` against `Vec<KeyValue>` keys
     /// without materializing an owned key first.
+    // analysis:allow(panic-freedom): every index is `level < MAX_HEIGHT`
+    // against MAX_HEIGHT-sized arrays; node links are full-height (see the
+    // pred_links invariant below).
     fn search_by<'g, Q>(&'g self, key: &Q, guard: &'g Guard) -> SearchResult<'g, K, V>
     where
         K: std::borrow::Borrow<Q>,

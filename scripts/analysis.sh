@@ -21,8 +21,9 @@ cargo fmt --all -- --check
 step "cargo clippy (deny warnings, incl. undocumented_unsafe_blocks)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-step "workspace lint (crates/analysis)"
+step "workspace lint (line rules + call-graph rules, SARIF emitted)"
 cargo run -q -p openmldb-analysis -- lint
+[ -s target/analysis.sarif ] || { echo "missing target/analysis.sarif"; exit 1; }
 
 if [ "$QUICK" -eq 0 ]; then
     step "release build"
