@@ -163,11 +163,35 @@ const METRIC_CRATES: [&str; 8] = [
 const METRIC_UNITS: [&str; 8] = [
     "total", "bytes", "ns", "ms", "seconds", "ratio", "rows", "count",
 ];
+const METRIC_LABEL_KEYS: [&str; 5] = ["deployment", "worker", "key", "quantile", "stage"];
 
-/// Checks `openmldb_<crate>_<name>_<unit>`, ignoring a `{label=...}` suffix.
-/// Mirrors `openmldb_obs::validate_metric_name`.
+/// Undo source-literal artifacts before validating a metric-name literal:
+/// the lexer keeps `\"` escapes verbatim, and literals destined for
+/// `format!` double their braces (`{{worker=\"{w}\"}}`). Interpolation
+/// placeholders like `{w}` survive normalization — legal in a label *value*
+/// (it stays quoted), flagged in key position (a dynamic label key defeats
+/// the closed vocabulary).
+fn normalize_metric_literal(lit: &str) -> String {
+    let unescaped = lit.replace("\\\"", "\"");
+    let mut out = String::with_capacity(unescaped.len());
+    let mut chars = unescaped.chars().peekable();
+    while let Some(c) = chars.next() {
+        if (c == '{' || c == '}') && chars.peek() == Some(&c) {
+            chars.next();
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Checks `openmldb_<crate>_<name>_<unit>` plus an optional
+/// `{key="value",...}` label suffix whose keys must come from the closed
+/// [`METRIC_LABEL_KEYS`] vocabulary. Mirrors
+/// `openmldb_obs::validate_metric_name` after normalizing source-literal
+/// escapes.
 fn valid_metric_name(name: &str) -> bool {
-    let base = name.split('{').next().unwrap_or(name);
+    let name = normalize_metric_literal(name);
+    let base = name.split('{').next().unwrap_or(&name);
     let Some(rest) = base.strip_prefix("openmldb_") else {
         return false;
     };
@@ -183,8 +207,38 @@ fn valid_metric_name(name: &str) -> bool {
     if stem.is_empty() || !METRIC_UNITS.contains(&unit) {
         return false;
     }
-    base.chars()
+    if !base
+        .chars()
         .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    {
+        return false;
+    }
+    valid_label_suffix(&name[base.len()..])
+}
+
+/// Mirrors `openmldb_obs::validate_label_suffix`: empty is fine, otherwise
+/// every `key="value"` pair needs a vocabulary key and a double-quoted
+/// value with no embedded `"`.
+fn valid_label_suffix(suffix: &str) -> bool {
+    if suffix.is_empty() {
+        return true;
+    }
+    let Some(inner) = suffix.strip_prefix('{').and_then(|s| s.strip_suffix('}')) else {
+        return false;
+    };
+    if inner.is_empty() {
+        return false;
+    }
+    inner.split(',').all(|pair| {
+        let Some((k, v)) = pair.split_once('=') else {
+            return false;
+        };
+        METRIC_LABEL_KEYS.contains(&k)
+            && v.len() >= 2
+            && v.starts_with('"')
+            && v.ends_with('"')
+            && !v[1..v.len() - 1].contains('"')
+    })
 }
 
 /// Which rules apply to a repo-relative path.
@@ -694,6 +748,44 @@ mod tests {
     }
 
     #[test]
+    fn metric_label_keys_enforced() {
+        // A label key outside the closed vocabulary is a violation even
+        // when the base name is well-formed.
+        let bad_key = r#"fn f(r: &Registry) {
+    r.gauge(&format!("openmldb_online_union_worker_load_rows{{tenant=\"{w}\"}}"), "h");
+}
+"#;
+        let v = scan_source("crates/online/src/x.rs", bad_key);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "metric-name");
+
+        // A dynamic (interpolated) label key defeats the closed vocabulary;
+        // interpolation in *value* position is fine — values are minted at
+        // runtime by the label registry.
+        let dynamic_key = r#"fn f(r: &Registry) {
+    r.gauge(&format!("openmldb_online_load_rows{{{k}=\"x\"}}"), "h");
+}
+"#;
+        assert_eq!(scan_source("crates/online/src/x.rs", dynamic_key).len(), 1);
+        let dynamic_value = r#"fn f(r: &Registry) {
+    r.gauge(&format!("openmldb_online_load_rows{{deployment=\"{d}\"}}"), "h");
+}
+"#;
+        assert!(scan_source("crates/online/src/x.rs", dynamic_value).is_empty());
+
+        // Unquoted values and empty label sets are violations.
+        let unquoted = "fn f(r: &Registry) {\n    r.counter(\"openmldb_online_x_total{deployment=d1}\", \"h\");\n}\n";
+        assert_eq!(scan_source("crates/online/src/x.rs", unquoted).len(), 1);
+        let empty =
+            "fn f(r: &Registry) {\n    r.counter(\"openmldb_online_x_total{}\", \"h\");\n}\n";
+        assert_eq!(scan_source("crates/online/src/x.rs", empty).len(), 1);
+
+        // Multi-label series with vocabulary keys pass.
+        let multi = "fn f(r: &Registry) {\n    r.counter(\"openmldb_online_x_total{deployment=\\\"d\\\",stage=\\\"plan\\\"}\", \"h\");\n}\n";
+        assert!(scan_source("crates/online/src/x.rs", multi).is_empty());
+    }
+
+    #[test]
     fn metric_name_validator_mirrors_obs() {
         // The lint must not depend on the crate it audits, so the validator
         // is duplicated; this pins both copies to the same convention.
@@ -715,6 +807,15 @@ mod tests {
             "openmldb_chaos_injected_faults_total",
             "openmldb_bench_tailtrace_anomalies_total",
             "openmldb_bench_tailtrace_postmortems_total",
+            // Workload-attribution names: labeled series keep the bare-name
+            // convention; suffixes must use vocabulary keys + quoted values.
+            "openmldb_online_deployment_requests_total",
+            "openmldb_online_deployment_requests_total{deployment=\"d1\"}",
+            "openmldb_online_deployment_duration_ns{deployment=\"d1\",quantile=\"0.99\"}",
+            "openmldb_online_x_total{tenant=\"d1\"}",
+            "openmldb_online_x_total{deployment=d1}",
+            "openmldb_online_x_total{deployment=\"a\"b\"}",
+            "openmldb_online_x_total{}",
         ];
         for name in [
             "openmldb_obs_postmortems_total",
@@ -737,8 +838,15 @@ mod tests {
         for unit in METRIC_UNITS {
             assert!(openmldb_obs::METRIC_UNITS.contains(&unit));
         }
+        for key in METRIC_LABEL_KEYS {
+            assert!(openmldb_obs::METRIC_LABEL_KEYS.contains(&key));
+        }
         assert_eq!(METRIC_CRATES.len(), openmldb_obs::METRIC_CRATES.len());
         assert_eq!(METRIC_UNITS.len(), openmldb_obs::METRIC_UNITS.len());
+        assert_eq!(
+            METRIC_LABEL_KEYS.len(),
+            openmldb_obs::METRIC_LABEL_KEYS.len()
+        );
     }
 
     #[test]

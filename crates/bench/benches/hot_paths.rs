@@ -350,6 +350,26 @@ fn obs_overhead(c: &mut Criterion) {
         // No active trace on this thread: the common fast path.
         b.iter(|| openmldb_obs::span(openmldb_obs::Stage::Aggregate, || std::hint::black_box(1)))
     });
+
+    // Workload-attribution primitives added by the labeled-metrics layer:
+    // one labeled increment, one full profile scope (enter + a scan-row
+    // record + finish), one heavy-hitter offer. All no-ops under obs-off.
+    let labeled = openmldb_obs::Registry::global().labeled_counter(
+        "openmldb_bench_hot_labeled_total",
+        "hot-path labeled-counter cost probe",
+    );
+    let label = openmldb_obs::LabelRegistry::deployments().resolve("hp");
+    g.bench_function("labeled_counter_inc", |b| b.iter(|| labeled.inc(label)));
+    g.bench_function("profile_scope", |b| {
+        b.iter(|| {
+            let scope = openmldb_obs::ProfileScope::enter();
+            openmldb_obs::profile::record_scan_rows(1);
+            scope.finish()
+        })
+    });
+    g.bench_function("spacesaving_offer", |b| {
+        b.iter(|| openmldb_obs::SpaceSaving::hot_deployments().offer("hp"))
+    });
     g.finish();
 }
 
@@ -368,11 +388,14 @@ fn chaos_overhead(c: &mut Criterion) {
     let db = micro_db(20_000, 20, 0.0, 1);
     db.deploy(&format!("DEPLOY hc AS {}", micro_sql(1, 1, 60_000, false)))
         .unwrap();
-    let opts = RequestOptions::with_deadline(std::time::Duration::from_millis(250));
     let mut i = 0i64;
     g.bench_function("request_with_deadline", |b| {
         b.iter(|| {
             i += 1;
+            // The deadline anchors when the options are built, so they must
+            // be rebuilt per request — a single long bench run would
+            // otherwise outlive one shared 250 ms budget and time out.
+            let opts = RequestOptions::with_deadline(std::time::Duration::from_millis(250));
             db.request_readonly_with(
                 "hc",
                 &micro_request(2_000_000 + i, i % 20, 200_000 + i % 100),

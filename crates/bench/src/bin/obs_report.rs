@@ -1,34 +1,142 @@
-//! Post-mortem slow-query report over a small request-mode workload.
+//! Workload-attribution and slow-query report over a small request-mode
+//! workload.
 //!
-//! Drops the slow-query threshold to zero so every request dumps its flight
-//! ring, runs a scaled-down fig06-style loop, and renders the slow-query
-//! log — the human-readable view of the tail-latency attribution pipeline.
+//! Deploys three feature scripts with distinct window frames, interleaves
+//! requests across them (deliberately skewed so the heavy-hitter sketch has
+//! something to find), and renders:
 //!
-//! Usage: `obs_report [--json]` (reads `BENCH_SCALE` like the other bins).
+//! * a per-deployment attribution table (requests, rows scanned, staged
+//!   time) sliced from the labeled metric series;
+//! * an EXPLAIN ANALYZE-style cost profile per deployment;
+//! * the SpaceSaving top-K hot deployments and hot partition keys;
+//! * request-rate trends from the labeled-metric sample rings;
+//! * the slow-query post-mortem log (threshold dropped to zero so it is
+//!   populated deterministically).
+//!
+//! Usage: `obs_report [--json] [--deployment <name>]` (reads `BENCH_SCALE`
+//! like the other bins). `--deployment` narrows the attribution sections to
+//! one deployment; an unknown or idle name renders a clean "no data"
+//! section instead of erroring.
 
 use openmldb_bench::harness::scaled;
 use openmldb_bench::scenarios::{micro_db, micro_request, micro_sql};
-use openmldb_obs::{flight, Registry};
+use openmldb_obs::{flight, ProfileStore, Registry, SpaceSaving};
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let filter: Option<String> = args
+        .iter()
+        .position(|a| a == "--deployment")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     // Threshold 0: every request (even a fast clean one) is "slow", so the
-    // report below is populated deterministically.
+    // post-mortem report below is populated deterministically.
     flight::set_slow_query_threshold_ns(0);
 
     let rows = scaled(2_000);
     let keys = 10usize;
     let db = micro_db(rows, keys, 0.0, 1);
-    db.deploy(&format!(
-        "DEPLOY f_report AS {}",
-        micro_sql(1, 1, 60_000, false)
-    ))
-    .expect("deploy");
+    // Three deployments with distinct frames: a short window, a long
+    // window, and a multi-window script — distinct per-request costs make
+    // the attribution table non-degenerate.
+    for (name, sql) in [
+        ("f_short", micro_sql(1, 1, 10_000, false)),
+        ("f_long", micro_sql(1, 0, 60_000, false)),
+        ("f_multi", micro_sql(2, 1, 30_000, false)),
+    ] {
+        db.deploy(&format!("DEPLOY {name} AS {sql}"))
+            .expect("deploy");
+    }
+
     let max_ts = rows as i64 * 10;
-    for i in 0..32i64 {
-        db.request_readonly("f_report", &micro_request(i, i % keys as i64, max_ts))
+    // Skewed interleave: f_short serves 4x the requests of f_long, and
+    // partition key 0 is hit far more than the rest — the top-K sections
+    // should surface both.
+    for i in 0..48i64 {
+        let dep = match i % 6 {
+            0..=3 => "f_short",
+            4 => "f_long",
+            _ => "f_multi",
+        };
+        let key = if i % 3 == 0 { 0 } else { i % keys as i64 };
+        db.request_readonly(dep, &micro_request(i, key, max_ts))
             .expect("request");
+        // Sample the labeled series every few requests so the trend rings
+        // hold a visible ramp by the end of the run.
+        if i % 8 == 7 {
+            Registry::global().tick();
+        }
+    }
+
+    let deployments: Vec<String> = match &filter {
+        Some(name) => vec![name.clone()],
+        None => db.deployment_names(),
+    };
+
+    if !json {
+        println!("=== workload attribution ===");
+        let reg = Registry::global();
+        let req_series = reg.labeled_series("openmldb_online_deployment_requests_total");
+        let per_dep = |series: &[(String, u64)], dep: &str| -> u64 {
+            series
+                .iter()
+                .find(|(l, _)| l == dep)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        let rows_series = reg.labeled_series("openmldb_online_deployment_scan_rows");
+        let stage_series = reg.labeled_series("openmldb_online_deployment_stage_time_ns");
+        println!(
+            "{:<12} {:>10} {:>12} {:>14}",
+            "deployment", "requests", "rows", "staged_us"
+        );
+        for dep in &deployments {
+            let requests = per_dep(&req_series, dep);
+            if requests == 0 {
+                println!("{dep:<12} (no data: deployment has served no requests)");
+                continue;
+            }
+            println!(
+                "{:<12} {:>10} {:>12} {:>14}",
+                dep,
+                requests,
+                per_dep(&rows_series, dep),
+                per_dep(&stage_series, dep) / 1_000,
+            );
+        }
+        println!();
+
+        println!("=== cost profiles ===");
+        for dep in &deployments {
+            print!("{}", ProfileStore::global().render_explain_analyze(dep));
+            println!();
+        }
+
+        println!("=== hot deployments (SpaceSaving top-5) ===");
+        for e in SpaceSaving::hot_deployments().top(5) {
+            println!("  {:<24} count~{} (err<={})", e.key, e.count, e.err);
+        }
+        println!();
+        println!("=== hot partition keys (SpaceSaving top-5) ===");
+        for e in SpaceSaving::hot_keys().top(5) {
+            println!("  {:<24} count~{} (err<={})", e.key, e.count, e.err);
+        }
+        println!();
+
+        println!("=== request trend (per snapshot tick) ===");
+        for dep in &deployments {
+            let trend = reg.trend_for("openmldb_online_deployment_requests_total", dep);
+            if trend.is_empty() {
+                println!("  {dep:<12} (no data: no samples ticked)");
+            } else {
+                let pts: Vec<String> = trend.iter().map(|v| v.to_string()).collect();
+                println!("  {:<12} {}", dep, pts.join(" "));
+            }
+        }
+        println!();
+        println!("=== slow-query post-mortems ===");
     }
 
     print!("{}", Registry::global().render_slow_query_report(json));

@@ -59,5 +59,17 @@ fn main() {
         );
         std::process::exit(1);
     }
+    let profile = e::workload_profile::run();
+    if profile.gate_failed {
+        eprintln!(
+            "workload attribution gate failed: per-deployment totals diverge from \
+             globals beyond {:.0}% (requests {:.4}, rows {:.4}, stage time {:.4})",
+            e::workload_profile::TOLERANCE * 100.0,
+            profile.divergence[0],
+            profile.divergence[1],
+            profile.divergence[2]
+        );
+        std::process::exit(1);
+    }
     println!("\nAll experiments complete.");
 }

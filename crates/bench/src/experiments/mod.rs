@@ -21,3 +21,4 @@ pub mod tab02;
 pub mod tab03;
 pub mod tab_rowsize;
 pub mod tailtrace;
+pub mod workload_profile;

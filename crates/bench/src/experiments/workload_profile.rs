@@ -1,0 +1,228 @@
+//! **Per-deployment workload attribution** — a fig06-style request loop
+//! spread over three concurrent deployments, verifying the attribution
+//! contract: the per-deployment labeled series (requests, rows scanned,
+//! staged time) must sum back to the global counters within 1% — nothing
+//! the engine serves may escape attribution, and nothing may be counted
+//! twice. Both sides are read as before/after deltas so earlier
+//! experiments' traffic cancels out. The snapshot is written as
+//! `BENCH_profile.json` (override with `BENCH_PROFILE_JSON`).
+//!
+//! Under `obs-off` every counter reads zero on both sides and the gate
+//! holds vacuously.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use openmldb_obs::Registry;
+use openmldb_online::metrics as om;
+
+use crate::harness::{print_table, scaled};
+use crate::scenarios::{micro_db, micro_request, micro_sql};
+
+/// Maximum relative divergence between attributed and global totals.
+pub const TOLERANCE: f64 = 0.01;
+
+const DEPLOYMENTS: [&str; 3] = ["wp_short", "wp_long", "wp_multi"];
+
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    pub requests: usize,
+    /// Global counter deltas: requests, scan rows, staged ns.
+    pub global: [u64; 3],
+    /// Sums of the per-deployment labeled series over the same window.
+    pub attributed: [u64; 3],
+    /// Relative divergence per dimension; all must be <= [`TOLERANCE`].
+    pub divergence: [f64; 3],
+    /// Per-deployment request-count deltas (the table rows).
+    pub per_deployment: BTreeMap<String, u64>,
+    pub gate_failed: bool,
+    pub json: String,
+}
+
+/// Sum of a labeled series' per-label values, and the per-label map.
+fn series_totals(name: &str) -> BTreeMap<String, u64> {
+    Registry::global()
+        .labeled_series(name)
+        .into_iter()
+        .collect()
+}
+
+/// Per-label deltas over the window; labels whose value did not move
+/// (deployments from earlier experiments) are dropped — a zero delta
+/// contributes nothing to the attributed sums either way.
+fn delta(after: &BTreeMap<String, u64>, before: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    after
+        .iter()
+        .map(|(k, v)| (k.clone(), v - before.get(k).copied().unwrap_or(0)))
+        .filter(|&(_, d)| d > 0)
+        .collect()
+}
+
+pub fn run() -> WorkloadProfile {
+    let rows = scaled(4_000);
+    let keys = 16usize;
+    let requests = scaled(1_500);
+
+    let db = micro_db(rows, keys, 0.0, 1);
+    for (name, sql) in [
+        (DEPLOYMENTS[0], micro_sql(1, 1, 10_000, false)),
+        (DEPLOYMENTS[1], micro_sql(1, 0, 60_000, false)),
+        (DEPLOYMENTS[2], micro_sql(2, 1, 30_000, false)),
+    ] {
+        db.deploy(&format!("DEPLOY {name} AS {sql}")).unwrap();
+    }
+    let max_ts = rows as i64 * 10;
+
+    const NAMES: [&str; 3] = [
+        "openmldb_online_deployment_requests_total",
+        "openmldb_online_deployment_scan_rows",
+        "openmldb_online_deployment_stage_time_ns",
+    ];
+    let global_before = [
+        om::requests().value(),
+        om::scan_rows().value(),
+        om::stage_time_ns().value(),
+    ];
+    let labeled_before: Vec<BTreeMap<String, u64>> =
+        NAMES.iter().map(|n| series_totals(n)).collect();
+
+    // Skewed interleave across the three deployments (4:1:1).
+    for i in 0..requests {
+        let dep = match i % 6 {
+            0..=3 => DEPLOYMENTS[0],
+            4 => DEPLOYMENTS[1],
+            _ => DEPLOYMENTS[2],
+        };
+        db.request_readonly(
+            dep,
+            &micro_request(3_000_000 + i as i64, (i % keys) as i64, max_ts),
+        )
+        .unwrap();
+    }
+
+    let global = [
+        om::requests().value() - global_before[0],
+        om::scan_rows().value() - global_before[1],
+        om::stage_time_ns().value() - global_before[2],
+    ];
+    let labeled_deltas: Vec<BTreeMap<String, u64>> = NAMES
+        .iter()
+        .zip(&labeled_before)
+        .map(|(n, before)| delta(&series_totals(n), before))
+        .collect();
+    let attributed = [
+        labeled_deltas[0].values().sum::<u64>(),
+        labeled_deltas[1].values().sum::<u64>(),
+        labeled_deltas[2].values().sum::<u64>(),
+    ];
+    let divergence: Vec<f64> = global
+        .iter()
+        .zip(&attributed)
+        .map(|(&g, &a)| (g as f64 - a as f64).abs() / (g.max(1) as f64))
+        .collect();
+    let divergence = [divergence[0], divergence[1], divergence[2]];
+    let gate_failed = divergence.iter().any(|&d| d > TOLERANCE);
+    let per_deployment = labeled_deltas[0].clone();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"workload_profile\",");
+    let _ = writeln!(json, "  \"requests_issued\": {requests},");
+    let _ = writeln!(json, "  \"tolerance\": {TOLERANCE},");
+    for (i, dim) in ["requests", "scan_rows", "stage_time_ns"]
+        .iter()
+        .enumerate()
+    {
+        let _ = writeln!(
+            json,
+            "  \"{dim}\": {{\"global\": {}, \"attributed\": {}, \"divergence\": {:.6}}},",
+            global[i], attributed[i], divergence[i]
+        );
+    }
+    json.push_str("  \"per_deployment_requests\": {");
+    for (i, (dep, n)) in per_deployment.iter().enumerate() {
+        let _ = write!(json, "{}\"{dep}\": {n}", if i == 0 { "" } else { ", " });
+    }
+    json.push_str("},\n");
+    let _ = writeln!(json, "  \"gate_failed\": {gate_failed}");
+    json.push_str("}\n");
+
+    let path =
+        std::env::var("BENCH_PROFILE_JSON").unwrap_or_else(|_| "target/BENCH_profile.json".into());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("workload profile snapshot written to {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+
+    print_table(
+        &format!(
+            "Workload attribution: {requests} requests over {} deployments \
+             (attributed vs global, tolerance {:.0}%)",
+            DEPLOYMENTS.len(),
+            TOLERANCE * 100.0
+        ),
+        &["dimension", "global", "attributed", "divergence"],
+        &[
+            vec![
+                "requests".into(),
+                global[0].to_string(),
+                attributed[0].to_string(),
+                format!("{:.4}%", divergence[0] * 100.0),
+            ],
+            vec![
+                "scan_rows".into(),
+                global[1].to_string(),
+                attributed[1].to_string(),
+                format!("{:.4}%", divergence[1] * 100.0),
+            ],
+            vec![
+                "stage_time_ns".into(),
+                global[2].to_string(),
+                attributed[2].to_string(),
+                format!("{:.4}%", divergence[2] * 100.0),
+            ],
+        ],
+    );
+
+    WorkloadProfile {
+        requests,
+        global,
+        attributed,
+        divergence,
+        per_deployment,
+        gate_failed,
+        json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn attribution_reconciles_with_globals() {
+        let result = crate::harness::with_scale(0.05, super::run);
+        assert!(
+            !result.gate_failed,
+            "attributed totals diverged from globals: {}",
+            result.json
+        );
+        if openmldb_obs::enabled() {
+            assert!(result.global[0] > 0, "{}", result.json);
+            // Each of this experiment's deployments must have attributed
+            // requests (other tests' deployments may share the window, and
+            // label-slot overflow folds extras into `__other`).
+            let named: u64 = super::DEPLOYMENTS
+                .iter()
+                .filter_map(|d| result.per_deployment.get(*d))
+                .sum();
+            let other = result
+                .per_deployment
+                .get(openmldb_obs::OVERFLOW_LABEL)
+                .copied()
+                .unwrap_or(0);
+            assert!(named + other > 0, "{}", result.json);
+        }
+        assert!(result.json.contains("\"experiment\": \"workload_profile\""));
+    }
+}

@@ -208,9 +208,17 @@ impl Database {
                 stmt.name
             )));
         }
-        let query = Arc::new(openmldb_sql::compile_select(&stmt.select, self)?);
+        // Route through the plan cache: redeploying an equivalent feature
+        // script (same AST) reuses the compiled plan, and the hit/miss
+        // outcome is attributed to the deployment's label slot.
+        let (query, cache_hit) = self.cache.compile_stmt_traced(&stmt.select, self)?;
         self.ensure_indexes(&query)?;
         let mut deployment = Deployment::new(stmt.name.clone(), query.clone());
+        if cache_hit {
+            crate::metrics::deploy_plan_hits().inc(deployment.label());
+        } else {
+            crate::metrics::deploy_plan_misses().inc(deployment.label());
+        }
 
         // long_windows option: build + backfill + attach a pre-aggregator
         // per named window (Section 5.1 / Figure 11's deploy OPTIONS).
@@ -279,6 +287,22 @@ impl Database {
 
     pub fn deployment(&self, name: &str) -> Option<Arc<Deployment>> {
         self.deployments.read().get(name).cloned()
+    }
+
+    /// Names of every deployment currently installed, sorted.
+    pub fn deployment_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.deployments.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// EXPLAIN ANALYZE-style render of the accumulated per-request cost
+    /// profile attributed to `deployment` (stage times, rows scanned, bytes
+    /// decoded, pre-agg hit rate, resilience events). Reads the process-wide
+    /// profile store; a deployment that never served a request renders a
+    /// "(no samples)" section.
+    pub fn explain_analyze(&self, deployment: &str) -> String {
+        openmldb_obs::ProfileStore::global().render_explain_analyze(deployment)
     }
 
     /// Make sure every index the plan wants exists; tables missing one are

@@ -1,7 +1,7 @@
 //! Global observability handles for the database facade and the memory
 //! manager.
 
-use openmldb_obs::{Counter, Gauge, Registry};
+use openmldb_obs::{Counter, Gauge, LabeledCounter, Registry};
 use std::sync::{Arc, OnceLock};
 
 fn counter(cell: &'static OnceLock<Arc<Counter>>, name: &str, help: &str) -> &'static Counter {
@@ -70,6 +70,28 @@ pub fn memory_alerts() -> &'static Counter {
         "openmldb_core_memory_alerts_total",
         "Memory threshold alerts fired by the monitor",
     )
+}
+
+/// DEPLOY compilations answered from the plan cache, per deployment.
+pub fn deploy_plan_hits() -> &'static LabeledCounter {
+    static M: OnceLock<Arc<LabeledCounter>> = OnceLock::new();
+    M.get_or_init(|| {
+        Registry::global().labeled_counter(
+            "openmldb_core_deploy_plan_hits_total",
+            "DEPLOY compilations served from the plan cache, per deployment",
+        )
+    })
+}
+
+/// DEPLOY compilations that compiled from scratch, per deployment.
+pub fn deploy_plan_misses() -> &'static LabeledCounter {
+    static M: OnceLock<Arc<LabeledCounter>> = OnceLock::new();
+    M.get_or_init(|| {
+        Registry::global().labeled_counter(
+            "openmldb_core_deploy_plan_misses_total",
+            "DEPLOY compilations that compiled from scratch, per deployment",
+        )
+    })
 }
 
 /// Offline preview executions answered from the preview cache.

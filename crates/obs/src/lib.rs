@@ -36,16 +36,23 @@
 
 pub mod flight;
 pub mod hist;
+pub mod labels;
+pub mod profile;
+pub mod topk;
 pub mod trace;
 
 pub use flight::{
     FlightEvent, FlightEventKind, FlightScope, FlightSummary, Outcome, PostMortem, Recorder,
 };
 pub use hist::{Exemplar, Histogram, HistogramSnapshot};
+pub use labels::{
+    LabelId, LabelRegistry, LabeledCounter, LabeledHistogram, MAX_LABEL_SLOTS, OVERFLOW_LABEL,
+};
+pub use profile::{CostProfile, ProfileScope, ProfileStore};
+pub use topk::{SpaceSaving, TopEntry};
 pub use trace::{span, with_request_trace, SpanRecord, Stage, Trace, Tracer};
 
-use std::collections::BTreeMap;
-#[cfg(not(feature = "obs-off"))]
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -195,8 +202,15 @@ pub const METRIC_UNITS: &[&str] = &[
     "total", "bytes", "ns", "ms", "seconds", "ratio", "rows", "count",
 ];
 
+/// Label keys accepted in a metric's `{key="value",...}` suffix. A fixed
+/// vocabulary — like crate segments and units — so dashboards can rely on
+/// a closed key set and the cardinality registry stays the only way to
+/// mint label values. Mirrored by the `openmldb-analysis` lint.
+pub const METRIC_LABEL_KEYS: &[&str] = &["deployment", "worker", "key", "quantile", "stage"];
+
 /// Checks a metric name against the `openmldb_<crate>_<name>_<unit>`
-/// convention. A `{key="value",...}` label suffix is allowed and ignored.
+/// convention. A `{key="value",...}` label suffix is allowed when every
+/// key is in [`METRIC_LABEL_KEYS`] and every value is double-quoted.
 pub fn validate_metric_name(name: &str) -> bool {
     let base = name.split('{').next().unwrap_or(name);
     let Some(rest) = base.strip_prefix("openmldb_") else {
@@ -214,8 +228,38 @@ pub fn validate_metric_name(name: &str) -> bool {
     if stem.is_empty() || !METRIC_UNITS.contains(&unit) {
         return false;
     }
-    base.chars()
+    if !base
+        .chars()
         .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    {
+        return false;
+    }
+    validate_label_suffix(&name[base.len()..])
+}
+
+/// Checks a `{key="value",...}` label suffix (empty = no labels, valid).
+/// Keys must come from [`METRIC_LABEL_KEYS`]; values must be double-quoted
+/// and must not contain `"` or `,` (the exposition formats never escape).
+pub fn validate_label_suffix(suffix: &str) -> bool {
+    if suffix.is_empty() {
+        return true;
+    }
+    let Some(inner) = suffix.strip_prefix('{').and_then(|s| s.strip_suffix('}')) else {
+        return false;
+    };
+    if inner.is_empty() {
+        return false;
+    }
+    inner.split(',').all(|pair| {
+        let Some((k, v)) = pair.split_once('=') else {
+            return false;
+        };
+        METRIC_LABEL_KEYS.contains(&k)
+            && v.len() >= 2
+            && v.starts_with('"')
+            && v.ends_with('"')
+            && !v[1..v.len() - 1].contains('"')
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -238,6 +282,51 @@ impl Metric {
     }
 }
 
+/// Retained time-series samples per labeled metric (snapshot ticks).
+pub const RING_SAMPLES: usize = 128;
+
+enum LabeledMetric {
+    Counter(Arc<LabeledCounter>),
+    Histogram(Arc<LabeledHistogram>),
+}
+
+impl LabeledMetric {
+    fn kind(&self) -> &'static str {
+        match self {
+            LabeledMetric::Counter(_) => "labeled_counter",
+            LabeledMetric::Histogram(_) => "labeled_histogram",
+        }
+    }
+
+    /// Per-slot instantaneous values: counter value, or histogram sample
+    /// count (the rate-able quantity for trends).
+    fn sample(&self) -> Box<[u64]> {
+        let mut out = vec![0u64; MAX_LABEL_SLOTS].into_boxed_slice();
+        match self {
+            LabeledMetric::Counter(c) => {
+                for (i, v) in c.per_slot() {
+                    out[i] = v;
+                }
+            }
+            LabeledMetric::Histogram(h) => {
+                for (i, snap) in h.per_slot() {
+                    out[i] = snap.count();
+                }
+            }
+        }
+        out
+    }
+}
+
+struct LabeledEntry {
+    help: String,
+    metric: LabeledMetric,
+    /// Per-tick snapshots of the per-slot totals, oldest first, bounded at
+    /// [`RING_SAMPLES`] — the fixed-size time-series ring `obs_report`
+    /// turns into rates/trends.
+    ring: VecDeque<Box<[u64]>>,
+}
+
 /// Process-wide metric registry.
 ///
 /// Handles are registered lazily via [`Registry::counter`] /
@@ -248,11 +337,19 @@ impl Metric {
 #[derive(Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, (String, Metric)>>,
+    labeled: Mutex<BTreeMap<String, LabeledEntry>>,
+    ticks: AtomicU64,
 }
 
 fn registry_lock(
     m: &Mutex<BTreeMap<String, (String, Metric)>>,
 ) -> std::sync::MutexGuard<'_, BTreeMap<String, (String, Metric)>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn labeled_lock(
+    m: &Mutex<BTreeMap<String, LabeledEntry>>,
+) -> std::sync::MutexGuard<'_, BTreeMap<String, LabeledEntry>> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -319,6 +416,115 @@ impl Registry {
         }
     }
 
+    /// Get or register a labeled (per-deployment) counter. `name` is the
+    /// bare series name — the `{deployment="..."}` suffix is appended at
+    /// render time from the process-wide label registry. Panics on an
+    /// invalid name, an explicit label suffix, or a kind mismatch.
+    pub fn labeled_counter(&self, name: &str, help: &str) -> Arc<LabeledCounter> {
+        assert!(
+            validate_metric_name(name) && !name.contains('{'),
+            "invalid labeled metric name {name:?}: expected a bare openmldb_<crate>_<name>_<unit>"
+        );
+        let mut map = labeled_lock(&self.labeled);
+        let entry = map.entry(name.to_string()).or_insert_with(|| LabeledEntry {
+            help: help.to_string(),
+            metric: LabeledMetric::Counter(Arc::new(LabeledCounter::new())),
+            ring: VecDeque::new(),
+        });
+        match &entry.metric {
+            LabeledMetric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Get or register a labeled (per-deployment) histogram. Same rules as
+    /// [`Registry::labeled_counter`].
+    pub fn labeled_histogram(&self, name: &str, help: &str) -> Arc<LabeledHistogram> {
+        assert!(
+            validate_metric_name(name) && !name.contains('{'),
+            "invalid labeled metric name {name:?}: expected a bare openmldb_<crate>_<name>_<unit>"
+        );
+        let mut map = labeled_lock(&self.labeled);
+        let entry = map.entry(name.to_string()).or_insert_with(|| LabeledEntry {
+            help: help.to_string(),
+            metric: LabeledMetric::Histogram(Arc::new(LabeledHistogram::new())),
+            ring: VecDeque::new(),
+        });
+        match &entry.metric {
+            LabeledMetric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Take one snapshot tick: sample every labeled metric's per-slot
+    /// totals into its bounded time-series ring. Call on a periodic
+    /// scrape/report cadence (cold path — locks the labeled map).
+    pub fn tick(&self) {
+        let mut map = labeled_lock(&self.labeled);
+        for entry in map.values_mut() {
+            let sample = entry.metric.sample();
+            if entry.ring.len() == RING_SAMPLES {
+                entry.ring.pop_front();
+            }
+            entry.ring.push_back(sample);
+        }
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot ticks taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// The labeled metric's ring samples as totals across all slots,
+    /// oldest first (at most [`RING_SAMPLES`] entries).
+    pub fn trend(&self, name: &str) -> Vec<u64> {
+        labeled_lock(&self.labeled)
+            .get(name)
+            .map(|e| e.ring.iter().map(|s| s.iter().sum()).collect())
+            .unwrap_or_default()
+    }
+
+    /// The labeled metric's ring samples for one label value, oldest first.
+    /// Empty when the metric or the label is unknown.
+    pub fn trend_for(&self, name: &str, label: &str) -> Vec<u64> {
+        let Some(id) = LabelRegistry::deployments().lookup(label) else {
+            return Vec::new();
+        };
+        labeled_lock(&self.labeled)
+            .get(name)
+            .map(|e| e.ring.iter().map(|s| s[id.index()]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Current `(label value, value)` series of a labeled metric (counter
+    /// value or histogram count), label names resolved against the
+    /// process-wide deployment registry.
+    pub fn labeled_series(&self, name: &str) -> Vec<(String, u64)> {
+        let map = labeled_lock(&self.labeled);
+        let Some(entry) = map.get(name) else {
+            return Vec::new();
+        };
+        let reg = LabelRegistry::deployments();
+        let slots: Vec<(usize, u64)> = match &entry.metric {
+            LabeledMetric::Counter(c) => c.per_slot(),
+            LabeledMetric::Histogram(h) => h
+                .per_slot()
+                .into_iter()
+                .map(|(i, s)| (i, s.count()))
+                .collect(),
+        };
+        slots
+            .into_iter()
+            .map(|(i, v)| (reg.name_of(LabelId::from_index(i)), v))
+            .collect()
+    }
+
+    /// Names of all registered labeled metrics (sorted).
+    pub fn labeled_metric_names(&self) -> Vec<String> {
+        labeled_lock(&self.labeled).keys().cloned().collect()
+    }
+
     /// Names of all registered metrics (sorted).
     pub fn metric_names(&self) -> Vec<String> {
         registry_lock(&self.metrics).keys().cloned().collect()
@@ -379,6 +585,52 @@ impl Registry {
                 }
             }
         }
+        // Labeled (per-deployment) series: one sample line per occupied
+        // slot, label names resolved through the deployment registry.
+        let labeled = labeled_lock(&self.labeled);
+        let reg = LabelRegistry::deployments();
+        for (name, entry) in labeled.iter() {
+            match &entry.metric {
+                LabeledMetric::Counter(c) => {
+                    let base = if name.ends_with("_total") {
+                        name.clone()
+                    } else {
+                        format!("{name}_total")
+                    };
+                    if !entry.help.is_empty() {
+                        out.push_str(&format!("# HELP {base} {}\n", escape_help(&entry.help)));
+                    }
+                    out.push_str(&format!("# TYPE {base} counter\n"));
+                    for (i, v) in c.per_slot() {
+                        let label = reg.name_of(LabelId::from_index(i));
+                        out.push_str(&format!("{base}{{deployment=\"{label}\"}} {v}\n"));
+                    }
+                }
+                LabeledMetric::Histogram(h) => {
+                    if !entry.help.is_empty() {
+                        out.push_str(&format!("# HELP {name} {}\n", escape_help(&entry.help)));
+                    }
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    for (i, snap) in h.per_slot() {
+                        let label = reg.name_of(LabelId::from_index(i));
+                        for (q, qlabel) in [(0.50, "0.5"), (0.99, "0.99")] {
+                            out.push_str(&format!(
+                                "{name}{{deployment=\"{label}\",quantile=\"{qlabel}\"}} {}\n",
+                                snap.percentile(q)
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_sum{{deployment=\"{label}\"}} {}\n",
+                            snap.sum()
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{{deployment=\"{label}\"}} {}\n",
+                            snap.count()
+                        ));
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -414,6 +666,41 @@ impl Registry {
                 }
             };
             items.push(item);
+        }
+        let labeled = labeled_lock(&self.labeled);
+        let reg = LabelRegistry::deployments();
+        for (name, entry) in labeled.iter() {
+            let series: Vec<String> = match &entry.metric {
+                LabeledMetric::Counter(c) => c
+                    .per_slot()
+                    .into_iter()
+                    .map(|(i, v)| {
+                        format!(
+                            "{{\"deployment\":\"{}\",\"value\":{v}}}",
+                            reg.name_of(LabelId::from_index(i))
+                        )
+                    })
+                    .collect(),
+                LabeledMetric::Histogram(h) => h
+                    .per_slot()
+                    .into_iter()
+                    .map(|(i, s)| {
+                        format!(
+                            "{{\"deployment\":\"{}\",\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{}}}",
+                            reg.name_of(LabelId::from_index(i)),
+                            s.count(),
+                            s.sum(),
+                            s.percentile(0.50),
+                            s.percentile(0.99),
+                        )
+                    })
+                    .collect(),
+            };
+            items.push(format!(
+                "{{\"name\":\"{name}\",\"kind\":\"{}\",\"series\":[{}]}}",
+                entry.metric.kind(),
+                series.join(","),
+            ));
         }
         format!("{{\"metrics\":[{}]}}", items.join(","))
     }
@@ -613,6 +900,90 @@ mod tests {
             .filter(|l| l.starts_with("# TYPE openmldb_online_union_worker_load_rows"))
             .count();
         assert_eq!(type_lines, 1);
+    }
+
+    #[test]
+    fn label_suffix_validation() {
+        // known keys, quoted values: fine
+        assert!(validate_metric_name(
+            "openmldb_online_deployment_requests_total{deployment=\"fraud_v2\"}"
+        ));
+        assert!(validate_metric_name(
+            "openmldb_online_x_total{deployment=\"a\",quantile=\"0.5\"}"
+        ));
+        // unknown key, unquoted value, malformed suffix: rejected
+        assert!(!validate_metric_name(
+            "openmldb_online_requests_total{tenant=\"x\"}"
+        ));
+        assert!(!validate_metric_name(
+            "openmldb_online_requests_total{deployment=x}"
+        ));
+        assert!(!validate_metric_name("openmldb_online_requests_total{}"));
+        assert!(!validate_metric_name("openmldb_online_requests_total{"));
+        assert!(!validate_metric_name(
+            "openmldb_online_requests_total{deployment=\"a\"b\"}"
+        ));
+    }
+
+    #[test]
+    fn registry_labeled_metrics_render_and_tick() {
+        let r = Registry::new();
+        let c = r.labeled_counter(
+            "openmldb_online_deployment_requests_total",
+            "per-dep requests",
+        );
+        let h = r.labeled_histogram("openmldb_online_deployment_duration_ns", "per-dep latency");
+        let id = LabelRegistry::deployments().resolve("libtest_dep");
+        c.add(id, 7);
+        h.record(id, 1_000);
+
+        // same-name lookup returns the same metric; kind mismatch panics
+        let c2 = r.labeled_counter("openmldb_online_deployment_requests_total", "");
+        c2.inc(id);
+        if enabled() {
+            assert_eq!(c.value(id), 8);
+        }
+
+        let text = r.render();
+        assert!(text.contains("# TYPE openmldb_online_deployment_requests_total counter"));
+        if enabled() {
+            assert!(text.contains(
+                "openmldb_online_deployment_requests_total{deployment=\"libtest_dep\"} 8"
+            ));
+            assert!(text.contains(
+                "openmldb_online_deployment_duration_ns_count{deployment=\"libtest_dep\"} 1"
+            ));
+        }
+        let json = r.render_json();
+        assert!(json.contains("\"kind\":\"labeled_counter\""));
+
+        // ticks fill the bounded trend ring
+        for _ in 0..(RING_SAMPLES + 5) {
+            r.tick();
+        }
+        assert_eq!(r.ticks(), (RING_SAMPLES + 5) as u64);
+        let trend = r.trend("openmldb_online_deployment_requests_total");
+        assert_eq!(trend.len(), RING_SAMPLES, "ring is bounded");
+        if enabled() {
+            assert_eq!(*trend.last().unwrap(), 8);
+            let per = r.trend_for("openmldb_online_deployment_requests_total", "libtest_dep");
+            assert_eq!(*per.last().unwrap(), 8);
+            let series = r.labeled_series("openmldb_online_deployment_requests_total");
+            assert!(series.iter().any(|(l, v)| l == "libtest_dep" && *v == 8));
+        }
+        assert_eq!(
+            r.labeled_metric_names(),
+            vec![
+                "openmldb_online_deployment_duration_ns".to_string(),
+                "openmldb_online_deployment_requests_total".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid labeled metric name")]
+    fn registry_rejects_labeled_name_with_suffix() {
+        Registry::new().labeled_counter("openmldb_online_x_total{deployment=\"a\"}", "");
     }
 
     #[test]

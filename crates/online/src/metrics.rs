@@ -5,11 +5,19 @@
 //! `OnceLock`; the request hot path costs a handful of sharded relaxed
 //! atomics per request.
 
-use openmldb_obs::{Counter, Gauge, Histogram, Registry};
+use openmldb_obs::{Counter, Gauge, Histogram, LabeledCounter, LabeledHistogram, Registry};
 use std::sync::{Arc, OnceLock};
 
 fn counter(cell: &'static OnceLock<Arc<Counter>>, name: &str, help: &str) -> &'static Counter {
     cell.get_or_init(|| Registry::global().counter(name, help))
+}
+
+fn labeled(
+    cell: &'static OnceLock<Arc<LabeledCounter>>,
+    name: &str,
+    help: &str,
+) -> &'static LabeledCounter {
+    cell.get_or_init(|| Registry::global().labeled_counter(name, help))
 }
 
 /// Requests executed through `execute_request`.
@@ -34,6 +42,93 @@ pub fn request_duration() -> &'static Histogram {
         // offending request's trace id + stage breakdown as an exemplar.
         h.enable_exemplars(openmldb_obs::flight::slow_query_threshold_ns());
         h
+    })
+}
+
+/// Rows scanned out of storage by request executions, summed across all
+/// deployments. The labeled [`deployment_scan_rows`] series slices this same
+/// number per deployment; both are incremented from the identical
+/// [`CostProfile`](openmldb_obs::CostProfile), so the per-deployment sums
+/// (including `__other`) reconcile exactly with this global.
+pub fn scan_rows() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_scan_rows",
+        "Storage rows scanned by online request executions",
+    )
+}
+
+/// Wall-clock nanoseconds spent serving requests (sum over requests).
+pub fn request_time_ns() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_request_time_ns",
+        "Total wall-clock time spent serving online requests",
+    )
+}
+
+/// Nanoseconds attributed to named pipeline stages (sum of per-stage self
+/// time over requests; excludes un-staged "other" time).
+pub fn stage_time_ns() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_stage_time_ns",
+        "Request time attributed to named pipeline stages",
+    )
+}
+
+/// Per-deployment request count (labeled by deployment name).
+pub fn deployment_requests() -> &'static LabeledCounter {
+    static M: OnceLock<Arc<LabeledCounter>> = OnceLock::new();
+    labeled(
+        &M,
+        "openmldb_online_deployment_requests_total",
+        "Request-mode executions per deployment",
+    )
+}
+
+/// Per-deployment storage rows scanned.
+pub fn deployment_scan_rows() -> &'static LabeledCounter {
+    static M: OnceLock<Arc<LabeledCounter>> = OnceLock::new();
+    labeled(
+        &M,
+        "openmldb_online_deployment_scan_rows",
+        "Storage rows scanned per deployment",
+    )
+}
+
+/// Per-deployment staged pipeline time (sum of stage self-times).
+pub fn deployment_stage_time_ns() -> &'static LabeledCounter {
+    static M: OnceLock<Arc<LabeledCounter>> = OnceLock::new();
+    labeled(
+        &M,
+        "openmldb_online_deployment_stage_time_ns",
+        "Staged pipeline time per deployment",
+    )
+}
+
+/// Per-deployment wall-clock request time.
+pub fn deployment_request_time_ns() -> &'static LabeledCounter {
+    static M: OnceLock<Arc<LabeledCounter>> = OnceLock::new();
+    labeled(
+        &M,
+        "openmldb_online_deployment_request_time_ns",
+        "Total wall-clock request time per deployment",
+    )
+}
+
+/// Per-deployment end-to-end latency distribution (mergeable histograms —
+/// one log-linear histogram per deployment label slot).
+pub fn deployment_duration() -> &'static LabeledHistogram {
+    static M: OnceLock<Arc<LabeledHistogram>> = OnceLock::new();
+    M.get_or_init(|| {
+        Registry::global().labeled_histogram(
+            "openmldb_online_deployment_duration_ns",
+            "End-to-end online request latency per deployment",
+        )
     })
 }
 

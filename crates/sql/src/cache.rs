@@ -16,6 +16,7 @@ use std::sync::{Arc, Mutex};
 use openmldb_obs::trace as obs;
 use openmldb_types::Result;
 
+use crate::ast::SelectStatement;
 use crate::parser::parse_select;
 use crate::plan::{compile_select, Catalog, CompiledQuery};
 use crate::token::{tokenize, TokenKind};
@@ -96,6 +97,18 @@ impl PlanCache {
     /// Compile `sql` against `catalog`, reusing a cached plan when the
     /// normalized text matches a prior compilation.
     pub fn compile(&self, sql: &str, catalog: &dyn Catalog) -> Result<Arc<CompiledQuery>> {
+        self.compile_traced(sql, catalog).map(|(plan, _)| plan)
+    }
+
+    /// [`PlanCache::compile`], additionally reporting whether the probe hit
+    /// (`true`) or compiled from scratch (`false`) — the per-call outcome
+    /// callers attribute to a deployment (the global counters cannot say
+    /// whose script paid the compile).
+    pub fn compile_traced(
+        &self,
+        sql: &str,
+        catalog: &dyn Catalog,
+    ) -> Result<(Arc<CompiledQuery>, bool)> {
         let cached = obs::span(obs::Stage::CacheLookup, || -> Result<_> {
             let normalized = normalize_sql(sql)?;
             let mut h = DefaultHasher::new();
@@ -114,7 +127,7 @@ impl PlanCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             crate::metrics::plan_cache_hits().inc();
             openmldb_obs::flight::event(openmldb_obs::FlightEventKind::PlanCacheHit, 0, key);
-            return Ok(plan);
+            return Ok((plan, true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         crate::metrics::plan_cache_misses().inc();
@@ -127,7 +140,48 @@ impl PlanCache {
             .lock()
             .expect("cache poisoned")
             .insert(key, plan.clone());
-        Ok(plan)
+        Ok((plan, false))
+    }
+
+    /// Compile an already-parsed SELECT (the DEPLOY path carries an AST,
+    /// not text), keyed by the AST's canonical debug rendering so identical
+    /// feature scripts deployed under different names share one plan.
+    /// Returns the plan plus the hit/miss outcome, like
+    /// [`PlanCache::compile_traced`]. Cold path: DEPLOY runs once per
+    /// script, so the rendering allocation is acceptable.
+    pub fn compile_stmt_traced(
+        &self,
+        stmt: &SelectStatement,
+        catalog: &dyn Catalog,
+    ) -> Result<(Arc<CompiledQuery>, bool)> {
+        let key = obs::span(obs::Stage::CacheLookup, || {
+            let mut repr = String::new();
+            let _ = std::fmt::Write::write_fmt(&mut repr, format_args!("{stmt:?}"));
+            let mut h = DefaultHasher::new();
+            repr.hash(&mut h);
+            h.finish()
+        });
+        let hit = {
+            let plans = self.plans.lock().expect("cache poisoned");
+            plans.get(&key).cloned()
+        };
+        if let Some(plan) = hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            crate::metrics::plan_cache_hits().inc();
+            openmldb_obs::flight::event(openmldb_obs::FlightEventKind::PlanCacheHit, 0, key);
+            return Ok((plan, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::metrics::plan_cache_misses().inc();
+        openmldb_obs::flight::event(openmldb_obs::FlightEventKind::PlanCacheMiss, 0, key);
+        let plan = obs::span(obs::Stage::Plan, || -> Result<_> {
+            Ok(Arc::new(compile_select(stmt, catalog)?))
+        })?;
+        self.plans
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, plan.clone());
+        Ok((plan, false))
     }
 
     /// Drop every cached plan (schemas changed).

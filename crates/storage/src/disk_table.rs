@@ -281,6 +281,7 @@ impl DataTable for DiskTable {
 
     fn latest(&self, index_id: usize, key: &[KeyValue]) -> Result<Option<Row>> {
         crate::chaos_inject(openmldb_chaos::InjectionPoint::DiskRead)?;
+        crate::metrics::note_seek();
         match self.engine.latest(index_id as u32, key)? {
             Some((_, data)) => Ok(Some(self.codec.decode(&data)?)),
             None => Ok(None),
@@ -295,6 +296,7 @@ impl DataTable for DiskTable {
         pred: &mut dyn FnMut(&Row) -> bool,
     ) -> Result<Option<Row>> {
         crate::chaos_inject(openmldb_chaos::InjectionPoint::DiskRead)?;
+        crate::metrics::note_seek();
         let upper = upper_ts.unwrap_or(i64::MAX);
         for (_ts, data) in self.engine.range(index_id as u32, key, i64::MIN, upper)? {
             let row = self.codec.decode(&data)?;
@@ -314,9 +316,12 @@ impl DataTable for DiskTable {
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
         crate::chaos_inject(openmldb_chaos::InjectionPoint::DiskRead)?;
-        self.engine
-            .range(index_id as u32, key, lower_ts, upper_ts)?
-            .into_iter()
+        crate::metrics::note_seek();
+        let hits = self
+            .engine
+            .range(index_id as u32, key, lower_ts, upper_ts)?;
+        crate::metrics::note_scan(hits.len() as u64);
+        hits.into_iter()
             .map(|(ts, data)| Ok((ts, self.codec.decode_projected(&data, wanted)?)))
             .collect()
     }
@@ -330,10 +335,12 @@ impl DataTable for DiskTable {
         wanted: Option<&[bool]>,
     ) -> Result<Vec<(i64, Row)>> {
         crate::chaos_inject(openmldb_chaos::InjectionPoint::DiskRead)?;
+        crate::metrics::note_seek();
         let mut hits = self
             .engine
             .range(index_id as u32, key, i64::MIN, upper_ts)?;
         hits.truncate(limit);
+        crate::metrics::note_scan(hits.len() as u64);
         hits.into_iter()
             .map(|(ts, data)| Ok((ts, self.codec.decode_projected(&data, wanted)?)))
             .collect()
@@ -349,17 +356,21 @@ impl DataTable for DiskTable {
         visitor: &mut dyn FnMut(i64, &[u8]) -> bool,
     ) -> Result<()> {
         crate::chaos_inject(openmldb_chaos::InjectionPoint::DiskRead)?;
+        crate::metrics::note_seek();
         let mut hits = self
             .engine
             .range(index_id as u32, key, lower_ts, upper_ts)?;
         if let Some(l) = limit {
             hits.truncate(l);
         }
+        let mut visited = 0u64;
         for (ts, data) in hits {
+            visited += 1;
             if !visitor(ts, &data) {
                 break;
             }
         }
+        crate::metrics::note_scan(visited);
         Ok(())
     }
 

@@ -26,6 +26,23 @@ pub fn seeks() -> &'static Counter {
     )
 }
 
+/// Record one index seek: the global seek counter plus, when a request's
+/// cost profile is active on this thread, its per-request seek attribution
+/// (the workload-attribution hook the online engine folds per deployment).
+#[inline]
+pub fn note_seek() {
+    seeks().inc();
+    openmldb_obs::profile::record_seek();
+}
+
+/// Record one completed scan of `rows` rows: the global scan-length
+/// histogram plus the active request profile's row attribution.
+#[inline]
+pub fn note_scan(rows: u64) {
+    scan_len().record(rows);
+    openmldb_obs::profile::record_scan_rows(rows);
+}
+
 /// Distribution of rows touched per window scan.
 pub fn scan_len() -> &'static Histogram {
     static M: OnceLock<Arc<Histogram>> = OnceLock::new();

@@ -246,7 +246,7 @@ impl MemTable {
     pub fn latest(&self, index_id: usize, key: &[KeyValue]) -> Result<Option<Row>> {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
-        crate::metrics::seeks().inc();
+        crate::metrics::note_seek();
         openmldb_obs::flight::event(
             openmldb_obs::FlightEventKind::StorageSeek,
             index_id as u32,
@@ -271,7 +271,7 @@ impl MemTable {
     ) -> Result<Option<Row>> {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
-        crate::metrics::seeks().inc();
+        crate::metrics::note_seek();
         openmldb_obs::flight::event(
             openmldb_obs::FlightEventKind::StorageSeek,
             index_id as u32,
@@ -334,14 +334,14 @@ impl MemTable {
     ) -> Result<Vec<(i64, Row)>> {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
-        crate::metrics::seeks().inc();
+        crate::metrics::note_seek();
         openmldb_obs::flight::event(
             openmldb_obs::FlightEventKind::StorageSeek,
             index_id as u32,
             0,
         );
         let Some(list) = index.map.get_by(key) else {
-            crate::metrics::scan_len().record(0);
+            crate::metrics::note_scan(0);
             return Ok(Vec::new());
         };
         let out: Result<Vec<(i64, Row)>> = list
@@ -350,7 +350,7 @@ impl MemTable {
             .map(|(ts, data)| Ok((ts, self.codec.decode_projected(&data, wanted)?)))
             .collect();
         if let Ok(rows) = &out {
-            crate::metrics::scan_len().record(rows.len() as u64);
+            crate::metrics::note_scan(rows.len() as u64);
         }
         out
     }
@@ -377,14 +377,14 @@ impl MemTable {
     ) -> Result<Vec<(i64, Row)>> {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
-        crate::metrics::seeks().inc();
+        crate::metrics::note_seek();
         openmldb_obs::flight::event(
             openmldb_obs::FlightEventKind::StorageSeek,
             index_id as u32,
             0,
         );
         let Some(list) = index.map.get_by(key) else {
-            crate::metrics::scan_len().record(0);
+            crate::metrics::note_scan(0);
             return Ok(Vec::new());
         };
         let mut out = Vec::with_capacity(limit);
@@ -407,7 +407,7 @@ impl MemTable {
                 }
             }
         });
-        crate::metrics::scan_len().record(out.len() as u64);
+        crate::metrics::note_scan(out.len() as u64);
         match err {
             Some(e) => Err(e),
             None => Ok(out),
@@ -432,14 +432,14 @@ impl MemTable {
     ) -> Result<()> {
         let index = self.index(index_id)?;
         crate::chaos_inject(openmldb_chaos::InjectionPoint::SkiplistSeek)?;
-        crate::metrics::seeks().inc();
+        crate::metrics::note_seek();
         openmldb_obs::flight::event(
             openmldb_obs::FlightEventKind::StorageSeek,
             index_id as u32,
             0,
         );
         let Some(list) = index.map.get_by(key) else {
-            crate::metrics::scan_len().record(0);
+            crate::metrics::note_scan(0);
             return Ok(());
         };
         let mut visited = 0u64;
@@ -450,7 +450,7 @@ impl MemTable {
             visited += 1;
             visitor(ts, data)
         });
-        crate::metrics::scan_len().record(visited);
+        crate::metrics::note_scan(visited);
         Ok(())
     }
 

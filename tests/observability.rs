@@ -132,6 +132,18 @@ fn registry_exposes_cross_crate_metric_surface() {
     assert!(json.contains("\"p999\""));
 
     if openmldb::obs::enabled() {
+        // The attribution globals register lazily from the per-request
+        // profile fold, so they only exist with obs compiled in.
+        for name in [
+            "openmldb_online_scan_rows",
+            "openmldb_online_request_time_ns",
+            "openmldb_online_stage_time_ns",
+        ] {
+            assert!(
+                names.iter().any(|n| n == name),
+                "attribution metric {name} not registered; have: {names:?}"
+            );
+        }
         let requests = Registry::global()
             .counter("openmldb_online_requests_total", "")
             .value();
@@ -157,6 +169,64 @@ fn registry_exposes_cross_crate_metric_surface() {
         let trace_json = Tracer::global().render_json();
         assert!(trace_json.contains("\"stage\":\"window_dispatch\""));
     }
+}
+
+/// Per-deployment workload attribution: labeled series slice the request
+/// traffic by deployment, the cost-profile store renders an EXPLAIN ANALYZE
+/// breakdown, and the heavy-hitter sketch surfaces the deployment.
+#[test]
+fn per_deployment_attribution_is_exposed() {
+    let db = serve_some_requests();
+    if !openmldb::obs::enabled() {
+        return;
+    }
+
+    let reg = Registry::global();
+    let labeled = reg.labeled_metric_names();
+    for name in [
+        "openmldb_online_deployment_requests_total",
+        "openmldb_online_deployment_scan_rows",
+        "openmldb_online_deployment_stage_time_ns",
+        "openmldb_online_deployment_request_time_ns",
+        "openmldb_online_deployment_duration_ns",
+    ] {
+        assert!(
+            labeled.iter().any(|n| n == name),
+            "labeled metric {name} not registered; have: {labeled:?}"
+        );
+    }
+    let series = reg.labeled_series("openmldb_online_deployment_requests_total");
+    let served = series
+        .iter()
+        .find(|(label, _)| label == "f")
+        .map(|&(_, v)| v)
+        .unwrap_or(0);
+    assert!(served >= 128, "deployment f attributed {served} requests");
+
+    // The Prometheus exposition carries the per-deployment sample line.
+    let render = reg.render();
+    assert!(
+        render.contains("openmldb_online_deployment_requests_total{deployment=\"f\"}"),
+        "labeled sample line missing from render()"
+    );
+
+    // EXPLAIN ANALYZE: per-stage breakdown plus cost counters, non-empty
+    // for a deployment that has served traffic.
+    let explain = db.explain_analyze("f");
+    assert!(
+        explain.contains("EXPLAIN ANALYZE deployment \"f\""),
+        "{explain}"
+    );
+    assert!(!explain.contains("(no samples)"), "{explain}");
+    assert!(explain.contains("rows scanned"), "{explain}");
+    assert!(explain.contains("stage storage_seek"), "{explain}");
+    // An unknown deployment renders a clean empty section, not an error.
+    let empty = db.explain_analyze("nosuch");
+    assert!(empty.contains("(no samples)"), "{empty}");
+
+    // The heavy-hitter sketch monitored the only active deployment.
+    let top = openmldb::obs::SpaceSaving::hot_deployments().top(5);
+    assert!(top.iter().any(|e| e.key == "f"), "hot deployments: {top:?}");
 }
 
 /// A budget of zero forces a typed timeout; the flight recorder must dump a
