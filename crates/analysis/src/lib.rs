@@ -816,12 +816,34 @@ mod tests {
             "openmldb_online_x_total{deployment=d1}",
             "openmldb_online_x_total{deployment=\"a\"b\"}",
             "openmldb_online_x_total{}",
+            // Durability names: the WAL/snapshot layer lives in storage and
+            // recovery accounting in core.
+            "openmldb_storage_wal_appends_total",
+            "openmldb_storage_wal_bytes_total",
+            "openmldb_storage_wal_fsyncs_total",
+            "openmldb_storage_wal_torn_tails_total",
+            "openmldb_storage_snapshots_total",
+            "openmldb_storage_snapshot_bytes_total",
+            "openmldb_storage_snapshots_invalid_total",
+            "openmldb_core_recoveries_total",
+            "openmldb_core_recovered_rows_total",
+            "openmldb_core_recovery_duration_ms",
         ];
         for name in [
             "openmldb_obs_postmortems_total",
             "openmldb_chaos_injected_faults_total",
             "openmldb_bench_tailtrace_anomalies_total",
             "openmldb_bench_tailtrace_postmortems_total",
+            "openmldb_storage_wal_appends_total",
+            "openmldb_storage_wal_bytes_total",
+            "openmldb_storage_wal_fsyncs_total",
+            "openmldb_storage_wal_torn_tails_total",
+            "openmldb_storage_snapshots_total",
+            "openmldb_storage_snapshot_bytes_total",
+            "openmldb_storage_snapshots_invalid_total",
+            "openmldb_core_recoveries_total",
+            "openmldb_core_recovered_rows_total",
+            "openmldb_core_recovery_duration_ms",
         ] {
             assert!(valid_metric_name(name), "{name} must satisfy the lint");
         }

@@ -71,5 +71,14 @@ fn main() {
         );
         std::process::exit(1);
     }
+    let recovery = e::recovery::run();
+    if recovery.gate_failed {
+        eprintln!(
+            "recovery gate failed: {} violations across {} seeded crash/restart cycles \
+             (lost, duplicated, or corrupted rows after recovery)",
+            recovery.violations, recovery.cycles
+        );
+        std::process::exit(1);
+    }
     println!("\nAll experiments complete.");
 }

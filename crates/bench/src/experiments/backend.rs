@@ -57,7 +57,8 @@ pub fn run() -> Vec<BackendResult> {
             table.put(row).unwrap();
         }
         let resident_bytes = table.mem_used();
-        db.register_table(table);
+        db.register_table(table)
+            .expect("registering on an in-memory db cannot fail");
         db.deploy(&format!("DEPLOY b AS {sql}")).unwrap();
         let stats = LatencyStats::from_samples(time_each(requests, |i| {
             db.request_readonly("b", &micro_request(i as i64, (i % 50) as i64, max_ts))

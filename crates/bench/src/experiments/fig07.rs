@@ -58,7 +58,8 @@ pub fn run() -> Vec<TopNResult> {
         for row in data {
             table.put(row).unwrap();
         }
-        db.register_table(table);
+        db.register_table(table)
+            .expect("registering on an in-memory db cannot fail");
         db
     };
 

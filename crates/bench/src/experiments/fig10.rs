@@ -54,7 +54,8 @@ pub fn run() -> Vec<PreaggPoint> {
     for row in &data {
         table.put(row).unwrap();
     }
-    db.register_table(table.clone());
+    db.register_table(table.clone())
+        .expect("registering on an in-memory db cannot fail");
 
     let requests = (200.0 * scale().max(0.2)) as usize;
     let mut out = Vec::new();

@@ -16,6 +16,7 @@ pub mod fig14;
 pub mod fig_union;
 pub mod hotpath;
 pub mod obs_snapshot;
+pub mod recovery;
 pub mod sweeps;
 pub mod tab02;
 pub mod tab03;

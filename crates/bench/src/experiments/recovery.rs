@@ -1,0 +1,383 @@
+//! **Recovery** — seeded crash-and-restart cycles against the durable WAL +
+//! snapshot spine.
+//!
+//! One golden process per snapshot-interval config writes a durable
+//! directory (rows inserted through the normal path, periodic
+//! `snapshot_now`, final `sync_durable`). Each seeded cycle then models a
+//! process crash: copy the directory, sever the WAL at a schedule-chosen
+//! byte offset (any offset — including mid-record torn writes), drop
+//! snapshots that could not have existed at that point in time (their
+//! covered offset exceeds the surviving durable log), sometimes tear the
+//! newest surviving snapshot mid-file, and `Database::recover` the wreck.
+//!
+//! The oracle is byte identity: the recovered table's binlog digest
+//! ([`Database::table_digest`], FNV-1a over the canonical WAL encoding)
+//! must equal the digest of exactly the surviving on-disk records — zero
+//! lost rows, zero duplicated rows, no corruption — and the row count must
+//! match the surviving record count. Any mismatch is a violation; the
+//! `run_all` gate exits non-zero on the first one. Results (recovery time
+//! vs WAL length, snapshot-interval sweep) land in
+//! `target/BENCH_recovery.json` (override with `BENCH_RECOVERY_JSON`).
+//!
+//! With the `chaos` feature compiled in, the golden run of the densest
+//! config additionally arms `WalFsync` and `SnapshotWrite` kills, so the
+//! durable watermark lags the written log and some snapshot attempts die
+//! mid-write exactly as a crash would leave them.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use openmldb_chaos::{CrashSchedule, InjectionPoint, Plan};
+use openmldb_core::{digest_entries, Database};
+use openmldb_online::TableProvider;
+use openmldb_storage::{snapshot, wal};
+use openmldb_types::{Row, Value};
+
+use crate::harness::{fmt, print_table, scaled};
+
+/// Deterministic seed for the crash schedule and chaos plan.
+pub const SEED: u64 = 0xD15C_0BE5;
+
+/// Rows the golden run writes per config.
+fn golden_rows() -> usize {
+    scaled(400)
+}
+
+/// Seeded crash/restart cycles per snapshot config (3 configs × this).
+fn cycles_per_config() -> usize {
+    scaled(170)
+}
+
+/// Outcome of one snapshot-interval config.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Rows between snapshots in the golden run (0 = never snapshot).
+    pub snapshot_every: usize,
+    pub cycles: usize,
+    pub violations: usize,
+    pub mean_recovery_ms: f64,
+    pub max_recovery_ms: f64,
+    /// Mean recovery ms for cycles whose surviving WAL length fell in the
+    /// bottom / middle / top third of the row range — the recovery-time vs
+    /// WAL-length curve.
+    pub ms_by_wal_third: [f64; 3],
+    /// Snapshots the golden run managed to publish.
+    pub snapshots_published: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct RecoveryResult {
+    pub chaos_enabled: bool,
+    pub rows: usize,
+    pub cycles: usize,
+    pub violations: usize,
+    pub gate_failed: bool,
+    pub outcomes: Vec<RecoveryOutcome>,
+    pub json: String,
+}
+
+fn copy_dir(src: &Path, dst: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dst)?;
+    for entry in fs::read_dir(src)? {
+        let entry = entry?;
+        let to = dst.join(entry.file_name());
+        if entry.file_type()?.is_dir() {
+            copy_dir(&entry.path(), &to)?;
+        } else {
+            fs::copy(entry.path(), &to)?;
+        }
+    }
+    Ok(())
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "openmldb-bench-recovery-{tag}-{}-{seq}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn mk_row(i: usize) -> Row {
+    Row::new(vec![
+        Value::Bigint((i % 16) as i64),
+        Value::Double(i as f64 * 0.5),
+        Value::Timestamp(1_000 + i as i64 * 7),
+    ])
+}
+
+/// Write the golden durable directory for one config; returns the
+/// directory and the number of snapshots that actually published.
+fn golden_run(snapshot_every: usize, arm_chaos: bool) -> (PathBuf, usize) {
+    let dir = tmp_dir(&format!("golden_{snapshot_every}"));
+    if arm_chaos {
+        openmldb_chaos::install(
+            Plan::new(SEED)
+                .kill_rate(InjectionPoint::WalFsync, 0.2)
+                .kill_rate(InjectionPoint::SnapshotWrite, 0.2),
+        );
+    }
+    let db = Database::recover(&dir).unwrap();
+    db.execute("CREATE TABLE t (k BIGINT, v DOUBLE, ts TIMESTAMP, INDEX(KEY=k, TS=ts))")
+        .unwrap();
+    let mut published = 0usize;
+    for i in 0..golden_rows() {
+        db.insert_row("t", &mk_row(i)).unwrap();
+        if snapshot_every > 0 && (i + 1) % snapshot_every == 0 {
+            // Under an armed SnapshotWrite kill this attempt can die
+            // mid-write, leaving a partial tmp file — exactly the artifact
+            // recovery must shrug off.
+            if let Ok(n) = db.snapshot_now() {
+                published += n;
+            }
+        }
+    }
+    db.sync_durable().unwrap();
+    if arm_chaos {
+        openmldb_chaos::reset();
+    }
+    (dir, published)
+}
+
+/// One seeded crash/restart cycle. Returns `(recovery_ms, surviving_rows,
+/// violation)`.
+fn crash_cycle(golden: &Path, schedule: &CrashSchedule, k: u64) -> (f64, u64, Option<String>) {
+    let cycle = tmp_dir("cycle");
+    if let Err(e) = copy_dir(golden, &cycle) {
+        return (0.0, 0, Some(format!("cycle copy failed: {e}")));
+    }
+    let wal_dir = cycle.join("wal").join("t");
+    let snap_dir = cycle.join("snap");
+
+    // Sever the WAL at a seeded byte offset — mid-record cuts included.
+    let total = wal::total_bytes(&wal_dir).unwrap_or(0);
+    let cut = schedule.crash_bytes(k, total);
+    if wal::truncate_to(&wal_dir, cut).is_err() {
+        let _ = fs::remove_dir_all(&cycle);
+        return (0.0, 0, Some("wal truncate failed".into()));
+    }
+
+    // What actually survives on disk: full records before the cut.
+    let scan = match wal::read_dir(&wal_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = fs::remove_dir_all(&cycle);
+            return (0.0, 0, Some(format!("wal scan failed: {e}")));
+        }
+    };
+    let n = scan.records.len() as u64;
+    let expected = digest_entries(scan.records.iter().map(|r| &r.entry));
+
+    // Time consistency: a snapshot covering offsets past the durable log
+    // could not have existed when the process died — drop it. Then maybe
+    // tear the newest survivor mid-file (the same crash severed it).
+    let mut survivors = Vec::new();
+    if let Ok(list) = snapshot::list(&snap_dir, "t") {
+        for (covered, path) in list {
+            if covered > n {
+                let _ = fs::remove_file(&path);
+            } else {
+                survivors.push(path);
+            }
+        }
+    }
+    if schedule.tear_snapshot(k) {
+        if let Some(newest) = survivors.first() {
+            let _ = snapshot::tear_for_test(newest, 0.5);
+        }
+    }
+
+    let t0 = Instant::now();
+    let recovered = Database::recover(&cycle);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let violation = match recovered {
+        Err(e) => Some(format!("cycle {k}: recover failed: {e}")),
+        Ok(db) => {
+            let rows = db.table("t").map(|t| t.row_count() as u64).unwrap_or(0);
+            let digest = db.table_digest("t");
+            match digest {
+                Err(e) => Some(format!("cycle {k}: digest failed: {e}")),
+                Ok(d) if d != expected => Some(format!(
+                    "cycle {k}: digest mismatch after recovering {rows} rows \
+                     (expected WAL prefix of {n} records): {d:#x} != {expected:#x}"
+                )),
+                Ok(_) if rows != n => Some(format!(
+                    "cycle {k}: row count {rows} != surviving records {n} \
+                     (lost or duplicated rows)"
+                )),
+                Ok(_) => None,
+            }
+        }
+    };
+    let _ = fs::remove_dir_all(&cycle);
+    (ms, n, violation)
+}
+
+pub fn run() -> RecoveryResult {
+    let rows = golden_rows();
+    let cycles = cycles_per_config();
+    // Snapshot interval sweep: never / sparse / dense.
+    let configs = [0usize, rows / 4, rows / 16];
+    let chaos_enabled = openmldb_chaos::enabled();
+
+    let mut outcomes = Vec::new();
+    for (ci, &snapshot_every) in configs.iter().enumerate() {
+        // Arm WAL-fsync / snapshot-write kills only on the densest config
+        // (and only when the chaos feature is compiled in).
+        let arm = chaos_enabled && ci == configs.len() - 1;
+        let (golden, published) = golden_run(snapshot_every, arm);
+        let schedule = CrashSchedule::new(SEED ^ (ci as u64).wrapping_mul(0x9E37_79B9));
+
+        let mut violations = 0usize;
+        let mut first_violation: Option<String> = None;
+        let mut samples: Vec<(u64, f64)> = Vec::with_capacity(cycles);
+        for k in 0..cycles as u64 {
+            let (ms, n, violation) = crash_cycle(&golden, &schedule, k);
+            samples.push((n, ms));
+            if let Some(v) = violation {
+                violations += 1;
+                if first_violation.is_none() {
+                    eprintln!("recovery violation: {v}");
+                    first_violation = Some(v);
+                }
+            }
+        }
+        let _ = fs::remove_dir_all(&golden);
+
+        let mean = samples.iter().map(|(_, ms)| ms).sum::<f64>() / samples.len().max(1) as f64;
+        let max = samples.iter().map(|(_, ms)| *ms).fold(0.0, f64::max);
+        let third = (rows as u64 / 3).max(1);
+        let mut ms_by_wal_third = [0.0f64; 3];
+        for (b, bucket) in ms_by_wal_third.iter_mut().enumerate() {
+            let in_bucket: Vec<f64> = samples
+                .iter()
+                .filter(|(n, _)| (n / third).min(2) as usize == b)
+                .map(|(_, ms)| *ms)
+                .collect();
+            *bucket = in_bucket.iter().sum::<f64>() / in_bucket.len().max(1) as f64;
+        }
+        outcomes.push(RecoveryOutcome {
+            snapshot_every,
+            cycles,
+            violations,
+            mean_recovery_ms: mean,
+            max_recovery_ms: max,
+            ms_by_wal_third,
+            snapshots_published: published,
+        });
+    }
+
+    let total_cycles = cycles * configs.len();
+    let violations: usize = outcomes.iter().map(|o| o.violations).sum();
+    let gate_failed = violations > 0;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"recovery\",");
+    let _ = writeln!(json, "  \"chaos_enabled\": {chaos_enabled},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"cycles\": {total_cycles},");
+    let _ = writeln!(json, "  \"violations\": {violations},");
+    json.push_str("  \"configs\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"snapshot_every\": {}, \"cycles\": {}, \"violations\": {}, \
+             \"snapshots_published\": {}, \"mean_recovery_ms\": {:.6}, \
+             \"max_recovery_ms\": {:.6}, \"ms_by_wal_third\": [{:.6}, {:.6}, {:.6}]}}{}",
+            o.snapshot_every,
+            o.cycles,
+            o.violations,
+            o.snapshots_published,
+            o.mean_recovery_ms,
+            o.max_recovery_ms,
+            o.ms_by_wal_third[0],
+            o.ms_by_wal_third[1],
+            o.ms_by_wal_third[2],
+            if i + 1 < outcomes.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::env::var("BENCH_RECOVERY_JSON")
+        .unwrap_or_else(|_| "target/BENCH_recovery.json".into());
+    if let Some(dir) = Path::new(&path).parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    match fs::write(&path, &json) {
+        Ok(()) => println!("recovery snapshot written to {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+
+    let table: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                if o.snapshot_every == 0 {
+                    "never".into()
+                } else {
+                    format!("every {}", o.snapshot_every)
+                },
+                o.cycles.to_string(),
+                o.violations.to_string(),
+                o.snapshots_published.to_string(),
+                fmt(o.mean_recovery_ms),
+                fmt(o.max_recovery_ms),
+                fmt(o.ms_by_wal_third[0]),
+                fmt(o.ms_by_wal_third[2]),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Recovery: {total_cycles} seeded crash/restart cycles over {rows} rows \
+             (digest oracle, chaos {})",
+            if chaos_enabled { "on" } else { "off" }
+        ),
+        &[
+            "snapshots",
+            "cycles",
+            "violations",
+            "published",
+            "mean ms",
+            "max ms",
+            "short-wal ms",
+            "long-wal ms",
+        ],
+        &table,
+    );
+
+    RecoveryResult {
+        chaos_enabled,
+        rows,
+        cycles: total_cycles,
+        violations,
+        gate_failed,
+        outcomes,
+        json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeded_crash_cycles_recover_byte_identical_state() {
+        let result = crate::harness::with_scale(0.1, super::run);
+        assert_eq!(result.violations, 0, "{}", result.json);
+        assert!(!result.gate_failed);
+        assert!(result.json.contains("\"experiment\": \"recovery\""));
+        // The dense-snapshot config must actually publish snapshots, so the
+        // sweep exercises the snapshot + suffix path, not just full replay.
+        let dense = result.outcomes.last().unwrap();
+        assert!(
+            dense.snapshots_published > 0,
+            "dense config published no snapshots: {}",
+            result.json
+        );
+    }
+}

@@ -76,7 +76,8 @@ pub fn run_window_size() -> Vec<SweepPoint> {
         }) {
             table.put(&row).unwrap();
         }
-        db.register_table(table);
+        db.register_table(table)
+            .expect("registering on an in-memory db cannot fail");
         db
     };
     let requests = scaled(200);

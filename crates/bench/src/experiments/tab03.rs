@@ -86,7 +86,8 @@ pub fn run() -> Vec<FeatureCountRow> {
         for i in 0..rows_per_key {
             table.put(&wide_row(1, i as i64 * 10, columns)).unwrap();
         }
-        db.register_table(table);
+        db.register_table(table)
+            .expect("registering on an in-memory db cannot fail");
         let (sql, features) = feature_script(columns);
         db.deploy(&format!("DEPLOY wide{columns} AS {sql}"))
             .unwrap();

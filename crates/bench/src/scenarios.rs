@@ -41,7 +41,8 @@ pub fn micro_db(rows: usize, distinct_keys: usize, key_skew: f64, dims: usize) -
         for row in micro_rows(&cfg) {
             table.put(&row).expect("load");
         }
-        db.register_table(table);
+        db.register_table(table)
+            .expect("registering on an in-memory db cannot fail");
     }
     for d in 0..dims {
         db.execute(&format!(

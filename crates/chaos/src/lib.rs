@@ -69,10 +69,16 @@ pub enum InjectionPoint {
     PreaggLookup,
     /// `Database::insert_row` memory admission.
     MemoryAdmission,
+    /// WAL group-commit fsync (kill = the sync never reached the platter:
+    /// the durable watermark does not advance, modelling a crash window).
+    WalFsync,
+    /// Snapshot writer (kill = the process died mid-write: a partial temp
+    /// file is left behind and never renamed into place).
+    SnapshotWrite,
 }
 
 /// Number of injection points (array sizes below).
-pub const POINTS: usize = 8;
+pub const POINTS: usize = 10;
 
 impl InjectionPoint {
     /// Every point, in index order.
@@ -85,6 +91,8 @@ impl InjectionPoint {
         InjectionPoint::UnionDispatch,
         InjectionPoint::PreaggLookup,
         InjectionPoint::MemoryAdmission,
+        InjectionPoint::WalFsync,
+        InjectionPoint::SnapshotWrite,
     ];
 
     /// Stable index into per-point state arrays.
@@ -98,6 +106,8 @@ impl InjectionPoint {
             InjectionPoint::UnionDispatch => 5,
             InjectionPoint::PreaggLookup => 6,
             InjectionPoint::MemoryAdmission => 7,
+            InjectionPoint::WalFsync => 8,
+            InjectionPoint::SnapshotWrite => 9,
         }
     }
 
@@ -112,6 +122,8 @@ impl InjectionPoint {
             InjectionPoint::UnionDispatch => "union_dispatch",
             InjectionPoint::PreaggLookup => "preagg_lookup",
             InjectionPoint::MemoryAdmission => "memory_admission",
+            InjectionPoint::WalFsync => "wal_fsync",
+            InjectionPoint::SnapshotWrite => "snapshot_write",
         }
     }
 }
@@ -196,6 +208,47 @@ pub struct PointStats {
     pub kills: u64,
 }
 
+/// splitmix64 finalizer: statistically strong mixing of a counter. Shared by
+/// the per-point PRNG streams and the (always-compiled) crash schedule.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Process-model crash harness: a seeded schedule of "the process died with
+/// exactly `k` durable WAL bytes" points, plus seeded decisions about torn
+/// snapshot files. Unlike the injection hooks this is compiled
+/// unconditionally — it drives *offline* byte-level surgery on a copied
+/// data directory, so it needs no in-process hook and must stay available
+/// to the default-feature recovery tests.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashSchedule {
+    seed: u64,
+}
+
+impl CrashSchedule {
+    pub fn new(seed: u64) -> Self {
+        CrashSchedule { seed }
+    }
+
+    /// Byte length the WAL is severed at for the `k`-th crash, uniform over
+    /// `[0, max_bytes]` — any offset, including mid-record torn writes.
+    pub fn crash_bytes(&self, k: u64, max_bytes: u64) -> u64 {
+        if max_bytes == 0 {
+            return 0;
+        }
+        splitmix64(self.seed ^ k.wrapping_mul(0xA076_1D64_78BD_642F)) % (max_bytes + 1)
+    }
+
+    /// Whether the `k`-th crash also tore the newest surviving snapshot
+    /// mid-write (roughly one crash in four).
+    pub fn tear_snapshot(&self, k: u64) -> bool {
+        splitmix64(self.seed.rotate_left(17) ^ k).is_multiple_of(4)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Active implementation (feature = "chaos")
 // ---------------------------------------------------------------------------
@@ -245,17 +298,11 @@ mod active {
         PointState::new(),
         PointState::new(),
         PointState::new(),
+        PointState::new(),
+        PointState::new(),
     ];
 
     pub(super) static PLAN: RwLock<Option<Plan>> = RwLock::new(None);
-
-    /// splitmix64 finalizer: statistically strong mixing of a counter.
-    fn splitmix64(x: u64) -> u64 {
-        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
 
     /// The `k`-th uniform draw in `[0, 1)` of `point`'s stream under `seed`.
     fn uniform(seed: u64, point: InjectionPoint, k: u64) -> f64 {
@@ -543,10 +590,33 @@ mod tests {
                 "union_dispatch",
                 "preagg_lookup",
                 "memory_admission",
+                "wal_fsync",
+                "snapshot_write",
             ]
         );
         for (i, p) in InjectionPoint::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
         }
+    }
+
+    #[test]
+    fn crash_schedule_is_seeded_and_bounded() {
+        let s = CrashSchedule::new(42);
+        let a: Vec<u64> = (0..64).map(|k| s.crash_bytes(k, 1_000)).collect();
+        let b: Vec<u64> = (0..64)
+            .map(|k| CrashSchedule::new(42).crash_bytes(k, 1_000))
+            .collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.iter().all(|&x| x <= 1_000), "points stay in range");
+        let c: Vec<u64> = (0..64)
+            .map(|k| CrashSchedule::new(43).crash_bytes(k, 1_000))
+            .collect();
+        assert_ne!(a, c, "different seeds diverge");
+        assert_eq!(s.crash_bytes(7, 0), 0, "empty WAL crashes at zero");
+        let tears = (0..1_000).filter(|&k| s.tear_snapshot(k)).count();
+        assert!(
+            (150..350).contains(&tears),
+            "~25% of crashes tear a snapshot, got {tears}"
+        );
     }
 }

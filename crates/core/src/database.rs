@@ -53,7 +53,7 @@ struct PreAggAttachment {
 /// An embedded OpenMLDB instance.
 #[derive(Default)]
 pub struct Database {
-    tables: RwLock<HashMap<String, Arc<dyn DataTable>>>,
+    pub(crate) tables: RwLock<HashMap<String, Arc<dyn DataTable>>>,
     deployments: RwLock<HashMap<String, Arc<Deployment>>>,
     attachments: RwLock<Vec<PreAggAttachment>>,
     cache: PlanCache,
@@ -68,6 +68,13 @@ pub struct Database {
     /// The request path reads from one (after a catch-up sync) when the
     /// primary keeps faulting.
     replicas: RwLock<HashMap<String, Arc<openmldb_storage::ReplicaTable>>>,
+    /// DEPLOY statements in execution order, kept verbatim so the durable
+    /// manifest can replay them at recovery (rebuilding compiled plans,
+    /// auto-indexes and pre-aggregate state through the normal path).
+    pub(crate) deploy_sql: RwLock<Vec<(String, String)>>,
+    /// Durable directory attachment ([`Database::recover`]); `None` for a
+    /// purely in-memory instance.
+    pub(crate) durability: RwLock<Option<Arc<crate::durability::DurabilityCtx>>>,
 }
 
 impl Catalog for Database {
@@ -119,7 +126,7 @@ impl Database {
                 Ok(ExecResult::Ok)
             }
             Statement::Deploy(stmt) => {
-                let name = self.deploy_stmt(&stmt)?;
+                let name = self.deploy_stmt(&stmt, sql)?;
                 Ok(ExecResult::Deployed(name))
             }
             Statement::Select(_) => Ok(ExecResult::Batch(self.offline_query(sql)?)),
@@ -144,6 +151,7 @@ impl Database {
             Arc::new(MemTable::new(stmt.name.clone(), schema, indexes)?);
         self.tables.write().insert(stmt.name.clone(), table);
         self.cache.invalidate_all();
+        self.rewire_durable_table(&stmt.name)?;
         Ok(())
     }
 
@@ -165,14 +173,18 @@ impl Database {
             Arc::new(DiskTable::new(stmt.name.clone(), schema, indexes)?);
         self.tables.write().insert(stmt.name.clone(), table);
         self.cache.invalidate_all();
+        self.rewire_durable_table(&stmt.name)?;
         Ok(())
     }
 
     /// Register a pre-built table of either backend (programmatic path used
-    /// by benches and tests).
-    pub fn register_table(&self, table: Arc<dyn DataTable>) {
-        self.tables.write().insert(table.name().to_string(), table);
+    /// by benches and tests). On a durable database the table's binlog is
+    /// written out as a fresh WAL so it survives restarts like any other.
+    pub fn register_table(&self, table: Arc<dyn DataTable>) -> Result<()> {
+        let name = table.name().to_string();
+        self.tables.write().insert(name.clone(), table);
         self.cache.invalidate_all();
+        self.rewire_durable_table(&name)
     }
 
     // ------------------------------------------------------------- DML ---
@@ -201,7 +213,7 @@ impl Database {
 
     // ---------------------------------------------------------- DEPLOY ---
 
-    fn deploy_stmt(&self, stmt: &DeployStatement) -> Result<String> {
+    fn deploy_stmt(&self, stmt: &DeployStatement, raw_sql: &str) -> Result<String> {
         if self.deployments.read().contains_key(&stmt.name) {
             return Err(Error::Deployment(format!(
                 "deployment `{}` already exists",
@@ -274,13 +286,19 @@ impl Database {
         self.deployments
             .write()
             .insert(name.clone(), Arc::new(deployment));
+        // Keep the statement text so a durable manifest can replay it at
+        // recovery, rebuilding the plan and pre-aggregate state.
+        self.deploy_sql
+            .write()
+            .push((name.clone(), raw_sql.trim().to_string()));
+        self.write_manifest()?;
         Ok(name)
     }
 
     /// Deploy from SQL text (`DEPLOY name [OPTIONS(...)] AS SELECT ...`).
     pub fn deploy(&self, sql: &str) -> Result<String> {
         match parse_statement(sql)? {
-            Statement::Deploy(stmt) => self.deploy_stmt(&stmt),
+            Statement::Deploy(stmt) => self.deploy_stmt(&stmt, sql),
             _ => Err(Error::Deployment("expected a DEPLOY statement".into())),
         }
     }
@@ -347,6 +365,10 @@ impl Database {
                 }
             }
             self.tables.write().insert(table_name.clone(), rebuilt);
+            // The rebuilt replicator re-put rows in scan order, not binlog
+            // order: the old WAL and snapshots no longer describe this
+            // table. Rewrite the durable state from the new log.
+            self.rewire_durable_table(&table_name)?;
         }
         Ok(())
     }
@@ -531,6 +553,7 @@ impl Database {
         let promoted = replica.promote();
         self.tables.write().insert(table.to_string(), promoted);
         self.cache.invalidate_all();
+        self.rewire_durable_table(table)?;
         Ok(())
     }
 
@@ -924,7 +947,7 @@ mod explain_and_cache_tests {
         assert_eq!(replica.applied_rows(), 11);
         // "Failover": promote the replica into a fresh catalog and serve.
         let standby = Database::new();
-        standby.register_table(replica.table());
+        standby.register_table(replica.table()).unwrap();
         let ExecResult::Batch(b) = standby.execute("SELECT k FROM t_replica").unwrap() else {
             panic!()
         };

@@ -7,10 +7,12 @@
 //! one object (paper Figure 2), plus the Section 8 memory estimation model.
 
 pub mod database;
+pub mod durability;
 pub mod memory;
 pub mod metrics;
 
 pub use database::{Database, ExecResult};
+pub use durability::{digest_entries, DurabilityOptions};
 pub use memory::{
     estimate_memory, recommend_engine, EngineChoice, IndexMemProfile, MemoryAlert, MemoryMonitor,
     TableMemProfile, TableType,

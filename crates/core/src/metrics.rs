@@ -1,7 +1,7 @@
 //! Global observability handles for the database facade and the memory
 //! manager.
 
-use openmldb_obs::{Counter, Gauge, LabeledCounter, Registry};
+use openmldb_obs::{Counter, Gauge, Histogram, LabeledCounter, Registry};
 use std::sync::{Arc, OnceLock};
 
 fn counter(cell: &'static OnceLock<Arc<Counter>>, name: &str, help: &str) -> &'static Counter {
@@ -102,4 +102,35 @@ pub fn preview_cache_hits() -> &'static Counter {
         "openmldb_core_preview_cache_hits_total",
         "Offline previews answered from the preview cache",
     )
+}
+
+/// Completed `Database::recover` runs (fresh opens count too).
+pub fn recoveries() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_core_recoveries_total",
+        "Database::recover runs completed against a durable directory",
+    )
+}
+
+/// Rows rebuilt during recovery (snapshot rows + WAL suffix replays).
+pub fn recovered_rows() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_core_recovered_rows_total",
+        "Rows rebuilt by recovery from snapshots and WAL replay",
+    )
+}
+
+/// Wall-clock duration of each recovery, in milliseconds.
+pub fn recovery_duration() -> &'static Histogram {
+    static M: OnceLock<Arc<Histogram>> = OnceLock::new();
+    M.get_or_init(|| {
+        Registry::global().histogram(
+            "openmldb_core_recovery_duration_ms",
+            "Wall-clock milliseconds per Database::recover run",
+        )
+    })
 }

@@ -11,6 +11,10 @@
 //!   closures (the pre-aggregation update channel);
 //! * [`disk`] — the RocksDB-substitute on-disk engine: column families over
 //!   a shared skiplist memtable with composite `(key, ts)` keys;
+//! * [`wal`] — checksummed segmented write-ahead log with group commit and
+//!   torn-tail detection (the durable form of the binlog);
+//! * [`snapshot`] — atomically-published per-table snapshots of the compact
+//!   row encoding plus the binlog offset they cover;
 //! * [`hll`] — HyperLogLog used by the offline skew resolver.
 
 pub mod binlog;
@@ -20,10 +24,14 @@ pub mod hll;
 pub mod metrics;
 pub mod replica;
 pub mod skiplist;
+pub mod snapshot;
 pub mod sync;
 pub mod table;
+pub mod wal;
 
 pub use binlog::{LogEntry, Replicator, UpdateClosure};
+pub use snapshot::Snapshot;
+pub use wal::{Wal, WalOptions, WalScan};
 
 /// Chaos hook for storage paths: fire the injector at `point` and, when it
 /// returns a fault, count it in obs before surfacing. An inlined `Ok(())`

@@ -116,3 +116,73 @@ pub fn replica_lag() -> &'static Gauge {
         "Leader rows not yet applied by the replica (sampled at sync)",
     )
 }
+
+/// Records appended to the durable write-ahead log.
+pub fn wal_appends() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_wal_appends_total",
+        "Records appended to the durable write-ahead log",
+    )
+}
+
+/// Bytes (framed records) appended to the WAL.
+pub fn wal_bytes() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_wal_bytes_total",
+        "Framed record bytes appended to the write-ahead log",
+    )
+}
+
+/// Group-commit fsyncs that actually reached the disk.
+pub fn wal_fsyncs() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_wal_fsyncs_total",
+        "Group-commit fsyncs completed by the write-ahead log",
+    )
+}
+
+/// Torn or corrupt WAL tails detected (and dropped) on open.
+pub fn wal_torn_tails() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_wal_torn_tails_total",
+        "Torn/corrupt WAL tails detected and truncated on open",
+    )
+}
+
+/// Table snapshots successfully written and renamed into place.
+pub fn snapshots_written() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_snapshots_total",
+        "Table snapshots atomically published (tmp write + rename)",
+    )
+}
+
+/// Bytes written into published snapshot files.
+pub fn snapshot_bytes() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_snapshot_bytes_total",
+        "Bytes written into published table snapshots",
+    )
+}
+
+/// Snapshot files rejected during recovery (bad CRC, short read, torn).
+pub fn snapshots_invalid() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_storage_snapshots_invalid_total",
+        "Snapshot files rejected by validation during recovery",
+    )
+}

@@ -1,0 +1,289 @@
+//! Per-table snapshots of the compact row encoding (paper §5.1: tablets
+//! recover from "snapshot + binlog suffix").
+//!
+//! A snapshot file holds the encoded payloads of the binlog prefix
+//! `[0, covered_offset)` in offset order:
+//!
+//! ```text
+//! magic "OMSNAP1\n"
+//! frame(header: covered_offset u64 · row_count u64)
+//! row_count × frame(compact row bytes)
+//! frame("COMMIT")
+//! ```
+//!
+//! where `frame` is the WAL's `[len][crc32][payload]` framing. Publication
+//! is atomic: the file is fully written and fsynced under a `.tmp` name,
+//! then renamed into `<table>-<covered_offset>.snap`. A crash mid-write
+//! (modelled by the [`SnapshotWrite`](openmldb_chaos::InjectionPoint::SnapshotWrite)
+//! kill point) leaves only a `.tmp` orphan that recovery ignores; a torn
+//! `.snap` (severed after rename by the byte-level crash harness) fails
+//! validation — missing commit frame, short row count, or CRC mismatch —
+//! and recovery falls back to the next older snapshot, or to a full WAL
+//! replay.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use openmldb_chaos::InjectionPoint;
+use openmldb_types::{Error, Result};
+
+use crate::wal::{frame, read_frame};
+
+const MAGIC: &[u8; 8] = b"OMSNAP1\n";
+const COMMIT: &[u8] = b"COMMIT";
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Storage(format!("snapshot {context} {}: {e}", path.display()))
+}
+
+fn snap_path(dir: &Path, table: &str, covered: u64) -> PathBuf {
+    dir.join(format!("{table}-{covered:020}.snap"))
+}
+
+/// A validated snapshot: the binlog prefix it covers and the encoded rows.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    pub covered_offset: u64,
+    pub rows: Vec<Arc<[u8]>>,
+}
+
+/// Write a snapshot covering binlog offsets `[0, covered_offset)` and
+/// atomically publish it. `rows` must be the encoded payloads of exactly
+/// that prefix, in offset order.
+///
+/// A `SnapshotWrite` kill aborts after a partial `.tmp` write — the
+/// mid-snapshot crash model — returning a transient error; no `.snap`
+/// appears and older snapshots stay untouched.
+pub fn write(dir: &Path, table: &str, covered_offset: u64, rows: &[Arc<[u8]>]) -> Result<PathBuf> {
+    fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
+    let final_path = snap_path(dir, table, covered_offset);
+    let tmp_path = final_path.with_extension("snap.tmp");
+    let kill = openmldb_chaos::inject_kill(InjectionPoint::SnapshotWrite);
+
+    let mut buf = Vec::with_capacity(64 + rows.iter().map(|r| r.len() + 8).sum::<usize>());
+    buf.extend_from_slice(MAGIC);
+    let mut header = Vec::with_capacity(16);
+    header.extend_from_slice(&covered_offset.to_le_bytes());
+    header.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&frame(&header));
+    for row in rows {
+        buf.extend_from_slice(&frame(row));
+    }
+    buf.extend_from_slice(&frame(COMMIT));
+
+    if kill {
+        // Crash mid-write: leave a partial orphan, never rename.
+        crate::metrics::faults_injected().inc();
+        let partial = &buf[..buf.len() / 2];
+        let mut f = File::create(&tmp_path).map_err(|e| io_err("create tmp", &tmp_path, e))?;
+        let _ = f.write_all(partial);
+        return Err(Error::Storage(format!(
+            "transient fault injected at {}",
+            InjectionPoint::SnapshotWrite.name()
+        )));
+    }
+
+    let mut f = File::create(&tmp_path).map_err(|e| io_err("create tmp", &tmp_path, e))?;
+    f.write_all(&buf)
+        .map_err(|e| io_err("write tmp", &tmp_path, e))?;
+    f.sync_data()
+        .map_err(|e| io_err("fsync tmp", &tmp_path, e))?;
+    drop(f);
+    fs::rename(&tmp_path, &final_path).map_err(|e| io_err("rename", &final_path, e))?;
+    crate::metrics::snapshots_written().inc();
+    crate::metrics::snapshot_bytes().add(buf.len() as u64);
+    Ok(final_path)
+}
+
+/// Parse and validate one snapshot file.
+pub fn read(path: &Path) -> Result<Snapshot> {
+    let bytes = fs::read(path).map_err(|e| io_err("read", path, e))?;
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(Error::Storage(format!(
+            "snapshot {} has no magic header",
+            path.display()
+        )));
+    }
+    let invalid = |what: &str| Error::Storage(format!("snapshot {} {what}", path.display()));
+    let (header, mut pos) =
+        read_frame(&bytes, MAGIC.len()).ok_or_else(|| invalid("header frame invalid"))?;
+    if header.len() != 16 {
+        return Err(invalid("header frame malformed"));
+    }
+    let covered_offset = u64::from_le_bytes([
+        header[0], header[1], header[2], header[3], header[4], header[5], header[6], header[7],
+    ]);
+    let row_count = u64::from_le_bytes([
+        header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+        header[15],
+    ]) as usize;
+    let mut rows = Vec::with_capacity(row_count);
+    for _ in 0..row_count {
+        let (payload, next) = read_frame(&bytes, pos).ok_or_else(|| invalid("row frame torn"))?;
+        rows.push(Arc::from(payload.to_vec().into_boxed_slice()));
+        pos = next;
+    }
+    let (commit, _) = read_frame(&bytes, pos).ok_or_else(|| invalid("commit frame missing"))?;
+    if commit != COMMIT {
+        return Err(invalid("commit frame malformed"));
+    }
+    Ok(Snapshot {
+        covered_offset,
+        rows,
+    })
+}
+
+/// Published snapshots for `table` in `dir`, as `(covered_offset, path)`
+/// sorted newest first. `.tmp` orphans are never listed.
+pub fn list(dir: &Path, table: &str) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(io_err("read dir", dir, e)),
+    };
+    let prefix = format!("{table}-");
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read dir entry", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(covered) = name
+            .strip_prefix(&prefix)
+            .and_then(|s| s.strip_suffix(".snap"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((covered, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|(covered, _)| std::cmp::Reverse(*covered));
+    Ok(out)
+}
+
+/// The newest snapshot for `table` that passes validation, skipping (and
+/// counting) torn or corrupt ones. `None` means recovery must replay the
+/// WAL from offset zero.
+pub fn latest_valid(dir: &Path, table: &str) -> Result<Option<Snapshot>> {
+    for (_, path) in list(dir, table)? {
+        match read(&path) {
+            Ok(snap) => return Ok(Some(snap)),
+            Err(_) => crate::metrics::snapshots_invalid().inc(),
+        }
+    }
+    Ok(None)
+}
+
+/// Remove all but the newest `keep` published snapshots for `table`, plus
+/// any `.tmp` orphans left by mid-write crashes.
+pub fn prune(dir: &Path, table: &str, keep: usize) -> Result<()> {
+    for (_, path) in list(dir, table)?.into_iter().skip(keep.max(1)) {
+        let _ = fs::remove_file(path);
+    }
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&format!("{table}-")) && n.ends_with(".snap.tmp"))
+            {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Tear an existing snapshot file at `fraction` of its length (crash
+/// harness helper: models a snapshot severed by the same event that tore
+/// the WAL).
+pub fn tear_for_test(path: &Path, fraction: f64) -> Result<()> {
+    let len = fs::metadata(path)
+        .map_err(|e| io_err("stat", path, e))?
+        .len();
+    let keep = ((len as f64) * fraction.clamp(0.0, 0.99)) as u64;
+    let f = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| io_err("open", path, e))?;
+    f.set_len(keep.max(1))
+        .map_err(|e| io_err("truncate", path, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("openmldb_snap_{tag}_{}_{seq}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rows(n: usize) -> Vec<Arc<[u8]>> {
+        (0..n)
+            .map(|i| Arc::from(vec![i as u8; 8 + i % 5].into_boxed_slice()))
+            .collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tmp_dir("rt");
+        let rows = rows(20);
+        let path = write(&dir, "t", 20, &rows).unwrap();
+        let snap = read(&path).unwrap();
+        assert_eq!(snap.covered_offset, 20);
+        assert_eq!(snap.rows, rows);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_valid_skips_torn_files_and_tmp_orphans() {
+        let dir = tmp_dir("torn");
+        write(&dir, "t", 10, &rows(10)).unwrap();
+        let newest = write(&dir, "t", 30, &rows(30)).unwrap();
+        // Sever the newest snapshot at every prefix length: recovery must
+        // fall back to the older one (or reject both near-empty tears).
+        let full = fs::read(&newest).unwrap();
+        for cut in [1usize, 8, full.len() / 2, full.len() - 1] {
+            fs::write(&newest, &full[..cut]).unwrap();
+            let snap = latest_valid(&dir, "t").unwrap().expect("older survives");
+            assert_eq!(snap.covered_offset, 10, "cut at {cut} falls back");
+        }
+        // A tmp orphan is never considered.
+        fs::write(dir.join("t-00000000000000000099.snap.tmp"), b"junk").unwrap();
+        assert_eq!(latest_valid(&dir, "t").unwrap().unwrap().covered_offset, 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_keeps_newest_and_clears_orphans() {
+        let dir = tmp_dir("prune");
+        for covered in [5u64, 10, 15, 20] {
+            write(&dir, "t", covered, &rows(covered as usize)).unwrap();
+        }
+        fs::write(dir.join("t-00000000000000000001.snap.tmp"), b"junk").unwrap();
+        prune(&dir, "t", 2).unwrap();
+        let left = list(&dir, "t").unwrap();
+        assert_eq!(
+            left.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![20, 15]
+        );
+        assert!(!dir.join("t-00000000000000000001.snap.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tables_with_shared_prefix_do_not_collide() {
+        let dir = tmp_dir("prefix");
+        write(&dir, "t", 5, &rows(5)).unwrap();
+        write(&dir, "t2", 9, &rows(9)).unwrap();
+        assert_eq!(latest_valid(&dir, "t").unwrap().unwrap().covered_offset, 5);
+        assert_eq!(latest_valid(&dir, "t2").unwrap().unwrap().covered_offset, 9);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

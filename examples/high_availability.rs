@@ -69,7 +69,8 @@ fn main() -> openmldb::Result<()> {
         for i in 0..1_000 {
             table.put(&txn(i % 10, (i % 97) as f64, i * 150))?;
         }
-        db.register_table(table);
+        db.register_table(table)
+            .expect("registering on an in-memory db cannot fail");
         db.deploy(sql)?;
         let out = db.request_readonly("spend", &request)?;
         println!("{backend:>6} backend features: {:?}", out.values());

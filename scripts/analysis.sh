@@ -49,6 +49,13 @@ cargo test -q -p openmldb-storage -p openmldb-online -p openmldb-core --features
 step "fault injection compiled out (resilience suite, clean path)"
 cargo test -q --test resilience
 
+step "crash recovery suite (clean path, then WalFsync/SnapshotWrite kills armed)"
+cargo test -q --test recovery
+cargo test -q --test recovery --features chaos
+
+step "recovery experiment gate (reduced-scale seeded crash sweep)"
+cargo test -q -p openmldb-bench --features chaos seeded_crash_cycles
+
 step "scan path under chaos + obs-off (feature-matrix corner)"
 cargo test -q -p openmldb-storage -p openmldb-online --features chaos,obs-off
 
@@ -60,8 +67,10 @@ fi
 step "tail-latency attribution contract (tailtrace gate, chaos on)"
 BENCH_SCALE=0.1 cargo test -q -p openmldb-bench --features chaos tailtrace
 
-step "slow-query report smoke (obs_report, text + json)"
-cargo run -q -p openmldb-bench --bin obs_report | grep -q "slow-query log:"
+step "slow-query report smoke (obs_report, text + json + durability section)"
+cargo run -q -p openmldb-bench --bin obs_report > target/obs_report.txt
+grep -q "slow-query log:" target/obs_report.txt
+grep -q "durability & recovery" target/obs_report.txt
 cargo run -q -p openmldb-bench --bin obs_report -- --json | grep -q '"slow_queries"'
 
 if [ "$QUICK" -eq 0 ]; then

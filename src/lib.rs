@@ -37,6 +37,7 @@
 
 pub use openmldb_baselines as baselines;
 pub use openmldb_chaos as chaos;
+pub use openmldb_core::{digest_entries, DurabilityOptions};
 pub use openmldb_core::{
     estimate_memory, recommend_engine, Database, EngineChoice, ExecResult, IndexMemProfile,
     MemoryAlert, MemoryMonitor, TableMemProfile, TableType,
