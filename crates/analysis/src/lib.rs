@@ -828,6 +828,13 @@ mod tests {
             "openmldb_core_recoveries_total",
             "openmldb_core_recovered_rows_total",
             "openmldb_core_recovery_duration_ms",
+            // Compiled-program names: deploy-time specialization in exec,
+            // per-request compiled/fallback serving attribution in online.
+            "openmldb_exec_program_plans_total",
+            "openmldb_exec_program_windows_total",
+            "openmldb_exec_program_fallbacks_total",
+            "openmldb_online_compiled_windows_total",
+            "openmldb_online_compiled_fallback_total",
         ];
         for name in [
             "openmldb_obs_postmortems_total",
@@ -844,6 +851,11 @@ mod tests {
             "openmldb_core_recoveries_total",
             "openmldb_core_recovered_rows_total",
             "openmldb_core_recovery_duration_ms",
+            "openmldb_exec_program_plans_total",
+            "openmldb_exec_program_windows_total",
+            "openmldb_exec_program_fallbacks_total",
+            "openmldb_online_compiled_windows_total",
+            "openmldb_online_compiled_fallback_total",
         ] {
             assert!(valid_metric_name(name), "{name} must satisfy the lint");
         }

@@ -413,6 +413,124 @@ fn chaos_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// The deploy-time specialization payoff, isolated and end to end: one warm
+/// window fold over the same pre-scanned, pre-sorted entries through the
+/// compiled kernels (raw-byte reads, monomorphized accumulators, hoisted
+/// frame guards) versus the interpreted `WindowAggSet` (`RowView` reads +
+/// per-row `Value` dispatch), then the same contrast through the full
+/// request path with specialization on versus pinned off.
+fn compiled_eval(c: &mut Criterion) {
+    use openmldb_bench::scenarios::{micro_db, micro_request, micro_sql};
+    use openmldb_exec::{EntryOrder, ScanEntry};
+    use openmldb_online::TableProvider;
+
+    let db = micro_db(20_000, 20, 0.0, 0);
+    db.deploy(&format!("DEPLOY ce AS {}", micro_sql(1, 0, 60_000, false)))
+        .unwrap();
+    let dep = db.deployment("ce").unwrap();
+    assert_eq!(dep.program().compiled_windows(), 1, "plan must specialize");
+    let interp =
+        openmldb_online::Deployment::new("ce_interp", dep.query.clone()).with_interpreted_windows();
+    let codec = CompactCodec::new(dep.query.base_schema.clone());
+
+    // Pre-scan one key's frame into an arena so the fold benches measure
+    // only per-row aggregate work, not the shared scan.
+    let table = db.table("t1").unwrap();
+    let index = table.find_index(&[1], Some(5)).unwrap();
+    let max_ts = 20_000i64 * 10;
+    let mut arena: Vec<u8> = Vec::new();
+    let mut entries: Vec<ScanEntry> = Vec::new();
+    let mut seq = 0usize;
+    table
+        .scan_window(
+            index,
+            &[KeyValue::Int(0)],
+            max_ts - 60_000,
+            max_ts,
+            None,
+            &mut |ts, data| {
+                let start = arena.len();
+                arena.extend_from_slice(data);
+                entries.push(ScanEntry {
+                    ts,
+                    seq,
+                    start,
+                    len: data.len(),
+                });
+                seq += 1;
+                true
+            },
+        )
+        .unwrap();
+    entries.sort_unstable_by_key(|e| (e.ts, e.seq));
+    assert!(!entries.is_empty(), "fold benches need real rows");
+
+    let mut g = c.benchmark_group("compiled_eval");
+    let wp = dep.program().window(0).unwrap();
+    let mut state = wp.new_state();
+    let first = wp.first_in_frame(entries.len());
+    let mut out: Vec<Value> = Vec::new();
+    g.bench_function("window_fold_compiled", |b| {
+        b.iter(|| {
+            wp.run(
+                &mut state,
+                &entries,
+                first,
+                EntryOrder::Ascending,
+                &arena,
+                None,
+                &codec,
+                &mut || Ok(()),
+            )
+            .unwrap();
+            out.clear();
+            wp.outputs_into(&state, &arena, None, &mut out).unwrap();
+            out.len()
+        })
+    });
+
+    let refs: Vec<_> = dep.query.aggregates.iter().collect();
+    let mut set = WindowAggSet::new(&refs).unwrap();
+    let mut out_i: Vec<Value> = Vec::new();
+    g.bench_function("window_fold_interpreted", |b| {
+        b.iter(|| {
+            set.reset();
+            for e in &entries[first..] {
+                let view = codec.view(e.bytes(&arena)).unwrap();
+                set.update_view(&view).unwrap();
+            }
+            out_i.clear();
+            set.outputs_into(&mut out_i);
+            out_i.len()
+        })
+    });
+
+    let mut i = 0i64;
+    g.bench_function("request_compiled", |b| {
+        b.iter(|| {
+            i += 1;
+            openmldb_online::execute_request(
+                &db,
+                &dep,
+                &micro_request(5_000_000 + i, i % 20, max_ts + i % 100),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("request_interpreted", |b| {
+        b.iter(|| {
+            i += 1;
+            openmldb_online::execute_request(
+                &db,
+                &interp,
+                &micro_request(6_000_000 + i, i % 20, max_ts + i % 100),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     codecs,
@@ -422,6 +540,7 @@ criterion_group!(
     cyclic_binding,
     preagg_query,
     plan_compilation,
+    compiled_eval,
     obs_overhead,
     chaos_overhead
 );

@@ -1,0 +1,10 @@
+fn main() {
+    let result = openmldb_bench::experiments::compiled_hotpath::run();
+    if result.gate_failed {
+        eprintln!(
+            "compiled hotpath gate failed: p50 speedup {:.2}x (need >= {:.2}), stage allocs {}",
+            result.p50_speedup, result.min_p50_speedup, result.compiled_stage_allocs_after_warm
+        );
+        std::process::exit(1);
+    }
+}

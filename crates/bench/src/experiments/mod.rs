@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod backend;
 pub mod chaos_serving;
+pub mod compiled_hotpath;
 pub mod fig06;
 pub mod fig07;
 pub mod fig08;

@@ -91,7 +91,12 @@ pub fn evaluate_with<S: ColumnSource + ?Sized>(
             for a in args {
                 vals.push(evaluate_with(a, row, aggs)?);
             }
-            scalar::call(func.name, &vals)
+            // The def resolves to its dispatch id in O(1) (pointer offset
+            // into the builtin table) — no per-row string match.
+            match scalar::resolve_def(func) {
+                Some(id) => scalar::call_id(id, &vals),
+                None => scalar::call(func.name, &vals),
+            }
         }
         PhysExpr::Case {
             branches,

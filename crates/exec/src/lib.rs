@@ -15,6 +15,7 @@ pub mod eval;
 pub mod export;
 pub mod incremental;
 pub mod metrics;
+pub mod program;
 pub mod scalar;
 pub mod scratch;
 pub mod window;
@@ -23,6 +24,7 @@ pub use agg::{create_aggregator, supports_preagg, AggState, Aggregator};
 pub use eval::{evaluate, evaluate_with, ColumnSource};
 pub use export::{infer_feature_kinds, to_csv, to_libsvm, FeatureKind};
 pub use incremental::SlidingWindow;
+pub use program::{specialize, EntryOrder, ExprProgram, Program, WindowProgram, WindowState};
 pub use scratch::{RequestScratch, ScanEntry, REQUEST_ROW};
 pub use window::WindowAggSet;
 

@@ -36,3 +36,33 @@ pub fn window_evictions() -> &'static Counter {
         "Rows evicted from sliding-window frames",
     )
 }
+
+/// Plans lowered to specialized bytecode programs at deploy time.
+pub fn program_plans() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_exec_program_plans_total",
+        "Plans specialized into bytecode programs",
+    )
+}
+
+/// Windows compiled to monomorphized aggregate kernels.
+pub fn program_windows() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_exec_program_windows_total",
+        "Windows compiled to specialized aggregate kernels",
+    )
+}
+
+/// Windows that could not be specialized and stay interpreted.
+pub fn program_fallbacks() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_exec_program_fallbacks_total",
+        "Windows kept on the interpreted fallback path at specialization",
+    )
+}

@@ -1,0 +1,1791 @@
+//! Deploy-time plan specialization: flat bytecode programs for the online
+//! hot path (paper Section 4.2's compiled execution, reproduced without a
+//! JIT).
+//!
+//! At DEPLOY time [`specialize`] lowers a validated [`CompiledQuery`] into a
+//! [`Program`]:
+//!
+//! * **Window kernels** ([`WindowProgram`]) — per-aggregate update loops
+//!   monomorphized by column type at compile time. Column byte offsets into
+//!   the compact row encoding are pre-resolved ([`KernelSpec::at`]), the
+//!   NULL-bitmap probe is baked to a `(byte, mask)` pair, and the per-row
+//!   fold runs with no `Value` dispatch at all: `i64`/`f64` running sums and
+//!   extrema in plain machine types, strings as byte ranges into the scan
+//!   arena. Frame bounds (`ROWS n PRECEDING`, `MAXSIZE`) and the
+//!   `EXCLUDE CURRENT_ROW` check are hoisted into precomputed guards
+//!   ([`WindowProgram::first_in_frame`]).
+//! * **Expression programs** ([`ExprProgram`]) — scalar select/WHERE
+//!   expressions flattened into a register-machine program over a reusable
+//!   value stack, with constant subtrees folded at compile time and scalar
+//!   calls dispatched through [`ScalarFuncId`] (no per-row name lookup).
+//!
+//! The fold replicates the interpreted streaming path *bit for bit* —
+//! including `total_cmp`'s f64-promoted comparisons for integer extrema and
+//! the first-seen-wins tie rule — so the interpreted path stays the
+//! always-available fallback and correctness oracle. Any construct outside
+//! the specializable subset (non-projection aggregate functions, aggregate
+//! arguments that are not bare columns, BOOL columns, scalar calls outside
+//! the builtin dispatch table) makes that window or expression fall back
+//! cleanly to interpretation, with the reason recorded on the [`Program`]
+//! and counted by the `openmldb_exec_program_fallbacks_total` metric.
+//!
+//! The program is cached on the plan itself via
+//! [`SpecializationSlot`](openmldb_sql::plan::SpecializationSlot), so every
+//! deployment of a cache-hit plan shares one compiled artifact.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use openmldb_sql::plan::{BoundAggregate, BoundWindow, CompiledQuery, PhysExpr};
+use openmldb_sql::BinaryOp;
+use openmldb_types::codec::compact::HEADER_SIZE;
+use openmldb_types::{CompactCodec, DataType, Error, Result, Value, ValueRef};
+
+use crate::eval::{binary, evaluate};
+use crate::scalar::{self, ScalarFuncId};
+use crate::scratch::ScanEntry;
+use crate::window::{projection_for, Projection};
+
+// ---------------------------------------------------------------------------
+// Expression programs (register machine over a reusable value stack)
+// ---------------------------------------------------------------------------
+
+/// One flat instruction. Jump targets are absolute instruction indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Instr {
+    /// Push constant-pool entry.
+    Const(u16),
+    /// Push input row column.
+    Col(u16),
+    /// Push precomputed aggregate output.
+    Agg(u16),
+    /// Pop two, apply [`binary`] (NULL propagation included), push result.
+    Bin(BinaryOp),
+    /// Pop one, push `Bool(!v.as_bool()?)`.
+    Not,
+    /// Pop one, push `Bool(v.is_null() != negated)`.
+    IsNull { negated: bool },
+    /// Pop `argc` arguments, call the builtin, push the result.
+    Call { id: ScalarFuncId, argc: u8 },
+    /// Short-circuit AND probe: pop the left side; when falsy push
+    /// `Bool(false)` and jump past the right side.
+    AndProbe { target: u16 },
+    /// Short-circuit OR probe: pop the left side; when truthy push
+    /// `Bool(true)` and jump past the right side.
+    OrProbe { target: u16 },
+    /// Pop one, push `Bool(v.as_bool()?)` (the AND/OR result coercion).
+    BoolCast,
+    /// Pop a CASE branch condition; jump to the next branch when falsy.
+    JumpIfFalse { target: u16 },
+    /// Unconditional jump (end of a taken CASE branch).
+    Jump { target: u16 },
+    /// Push NULL (CASE with no ELSE).
+    PushNull,
+}
+
+/// A compiled scalar expression: flat instructions plus a constant pool,
+/// evaluated over a caller-provided stack buffer that is reused across
+/// evaluations (zero allocations once warm).
+#[derive(Debug, Clone)]
+pub struct ExprProgram {
+    instrs: Vec<Instr>,
+    consts: Vec<Value>,
+    max_stack: usize,
+}
+
+/// Builder state while lowering one [`PhysExpr`] tree.
+struct ExprCompiler {
+    instrs: Vec<Instr>,
+    consts: Vec<Value>,
+    depth: usize,
+    max_depth: usize,
+}
+
+/// Whether `e` has no row or aggregate inputs (safe to fold at compile time;
+/// every builtin in the dispatch table is pure).
+fn is_const_expr(e: &PhysExpr) -> bool {
+    match e {
+        PhysExpr::Literal(_) => true,
+        PhysExpr::Column(_) | PhysExpr::AggRef(_) => false,
+        PhysExpr::Binary { left, right, .. } => is_const_expr(left) && is_const_expr(right),
+        PhysExpr::Not(e) => is_const_expr(e),
+        PhysExpr::IsNull { expr, .. } => is_const_expr(expr),
+        PhysExpr::ScalarCall { args, .. } => args.iter().all(is_const_expr),
+        PhysExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            branches
+                .iter()
+                .all(|(c, v)| is_const_expr(c) && is_const_expr(v))
+                && else_expr.as_ref().is_none_or(|e| is_const_expr(e))
+        }
+    }
+}
+
+impl ExprCompiler {
+    fn push(&mut self, i: Instr, net: isize) -> std::result::Result<(), String> {
+        if self.instrs.len() >= u16::MAX as usize {
+            return Err("expression program too long".into());
+        }
+        self.instrs.push(i);
+        self.depth = self
+            .depth
+            .checked_add_signed(net)
+            .ok_or("expression program stack underflow at compile time")?;
+        self.max_depth = self.max_depth.max(self.depth);
+        Ok(())
+    }
+
+    /// Reserve a jump-family instruction whose target is patched later.
+    fn placeholder(&mut self, i: Instr, net: isize) -> std::result::Result<usize, String> {
+        let at = self.instrs.len();
+        self.push(i, net)?;
+        Ok(at)
+    }
+
+    fn patch(&mut self, at: usize) -> std::result::Result<(), String> {
+        let target = u16::try_from(self.instrs.len()).map_err(|_| "expression program too long")?;
+        match self.instrs.get_mut(at) {
+            Some(
+                Instr::AndProbe { target: t }
+                | Instr::OrProbe { target: t }
+                | Instr::JumpIfFalse { target: t }
+                | Instr::Jump { target: t },
+            ) => {
+                *t = target;
+                Ok(())
+            }
+            _ => Err("patched a non-jump instruction".into()),
+        }
+    }
+
+    fn push_const(&mut self, v: Value) -> std::result::Result<u16, String> {
+        // Small pools: linear dedup is cheaper than a map and keeps `Value`
+        // hashing out of the picture.
+        if let Some(i) = self.consts.iter().position(|c| {
+            // Bit-faithful dedup: `Value: PartialEq` compares numerics via
+            // f64 promotion, which would merge e.g. Int(1) and Double(1.0).
+            c.data_type() == v.data_type() && c == &v || (c.is_null() && v.is_null())
+        }) {
+            return Ok(i as u16);
+        }
+        let i = u16::try_from(self.consts.len()).map_err(|_| "constant pool too large")?;
+        self.consts.push(v);
+        Ok(i)
+    }
+
+    fn emit(&mut self, e: &PhysExpr) -> std::result::Result<(), String> {
+        // Constant folding: any input-free subtree collapses to one `Const`.
+        // Folding is skipped when compile-time evaluation errors (e.g. a
+        // constant overflow) so the runtime error surfaces exactly as the
+        // interpreter would produce it.
+        if !matches!(e, PhysExpr::Literal(_)) && is_const_expr(e) {
+            if let Ok(v) = evaluate(e, &[], &[]) {
+                let i = self.push_const(v)?;
+                return self.push(Instr::Const(i), 1);
+            }
+        }
+        match e {
+            PhysExpr::Literal(v) => {
+                let i = self.push_const(v.clone())?;
+                self.push(Instr::Const(i), 1)
+            }
+            PhysExpr::Column(i) => {
+                let i = u16::try_from(*i).map_err(|_| "column index too large")?;
+                self.push(Instr::Col(i), 1)
+            }
+            PhysExpr::AggRef(i) => {
+                let i = u16::try_from(*i).map_err(|_| "aggregate index too large")?;
+                self.push(Instr::Agg(i), 1)
+            }
+            PhysExpr::Binary { op, left, right } => match op {
+                BinaryOp::And => {
+                    self.emit(left)?;
+                    let probe = self.placeholder(Instr::AndProbe { target: 0 }, -1)?;
+                    self.emit(right)?;
+                    self.push(Instr::BoolCast, 0)?;
+                    self.patch(probe)
+                }
+                BinaryOp::Or => {
+                    self.emit(left)?;
+                    let probe = self.placeholder(Instr::OrProbe { target: 0 }, -1)?;
+                    self.emit(right)?;
+                    self.push(Instr::BoolCast, 0)?;
+                    self.patch(probe)
+                }
+                _ => {
+                    self.emit(left)?;
+                    self.emit(right)?;
+                    self.push(Instr::Bin(*op), -1)
+                }
+            },
+            PhysExpr::Not(e) => {
+                self.emit(e)?;
+                self.push(Instr::Not, 0)
+            }
+            PhysExpr::IsNull { expr, negated } => {
+                self.emit(expr)?;
+                self.push(Instr::IsNull { negated: *negated }, 0)
+            }
+            PhysExpr::ScalarCall { func, args } => {
+                let id = scalar::resolve_def(func)
+                    .ok_or_else(|| format!("scalar `{}` not in the dispatch table", func.name))?;
+                for a in args {
+                    self.emit(a)?;
+                }
+                let argc = u8::try_from(args.len()).map_err(|_| "too many call arguments")?;
+                self.push(Instr::Call { id, argc }, 1 - args.len() as isize)
+            }
+            PhysExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                let mut ends = Vec::with_capacity(branches.len());
+                for (cond, val) in branches {
+                    self.emit(cond)?;
+                    let next = self.placeholder(Instr::JumpIfFalse { target: 0 }, -1)?;
+                    self.emit(val)?;
+                    ends.push(self.placeholder(Instr::Jump { target: 0 }, -1)?);
+                    self.patch(next)?;
+                }
+                match else_expr {
+                    Some(e) => self.emit(e)?,
+                    None => self.push(Instr::PushNull, 1)?,
+                }
+                for end in ends {
+                    self.patch(end)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn underflow() -> Error {
+    Error::Eval("expression program stack underflow".into())
+}
+
+impl ExprProgram {
+    /// Lower one expression tree, or explain why it cannot be compiled.
+    pub fn compile(e: &PhysExpr) -> std::result::Result<ExprProgram, String> {
+        let mut c = ExprCompiler {
+            instrs: Vec::new(),
+            consts: Vec::new(),
+            depth: 0,
+            max_depth: 0,
+        };
+        c.emit(e)?;
+        if c.depth != 1 {
+            return Err("expression program must produce exactly one value".into());
+        }
+        Ok(ExprProgram {
+            instrs: c.instrs,
+            consts: c.consts,
+            max_stack: c.max_depth,
+        })
+    }
+
+    /// Number of instructions (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Evaluate against `row`/`aggs`, using `stack` as the reusable value
+    /// stack. Semantics (NULL propagation, short-circuit AND/OR, CASE
+    /// fallthrough, error surfaces) match [`crate::evaluate`] exactly.
+    pub fn eval(&self, row: &[Value], aggs: &[Value], stack: &mut Vec<Value>) -> Result<Value> {
+        stack.clear();
+        if stack.capacity() < self.max_stack {
+            // Cold: first evaluation through a pooled stack grows it once.
+            stack.reserve(self.max_stack);
+        }
+        let mut pc = 0usize;
+        while let Some(instr) = self.instrs.get(pc) {
+            pc += 1;
+            match *instr {
+                Instr::Const(i) => stack.push(
+                    self.consts
+                        .get(i as usize)
+                        .cloned()
+                        .ok_or_else(|| Error::Eval(format!("constant {i} out of bounds")))?,
+                ),
+                Instr::Col(i) => stack.push(
+                    row.get(i as usize)
+                        .cloned()
+                        .ok_or_else(|| Error::Eval(format!("column index {i} out of bounds")))?,
+                ),
+                Instr::Agg(i) => stack.push(
+                    aggs.get(i as usize)
+                        .cloned()
+                        .ok_or_else(|| Error::Eval(format!("aggregate index {i} out of bounds")))?,
+                ),
+                Instr::PushNull => stack.push(Value::Null),
+                Instr::Bin(op) => {
+                    let r = stack.pop().ok_or_else(underflow)?;
+                    let l = stack.pop().ok_or_else(underflow)?;
+                    stack.push(binary(op, &l, &r)?);
+                }
+                Instr::Not => {
+                    let v = stack.pop().ok_or_else(underflow)?;
+                    stack.push(Value::Bool(!v.as_bool()?));
+                }
+                Instr::IsNull { negated } => {
+                    let v = stack.pop().ok_or_else(underflow)?;
+                    stack.push(Value::Bool(v.is_null() != negated));
+                }
+                Instr::BoolCast => {
+                    let v = stack.pop().ok_or_else(underflow)?;
+                    stack.push(Value::Bool(v.as_bool()?));
+                }
+                Instr::AndProbe { target } => {
+                    let v = stack.pop().ok_or_else(underflow)?;
+                    if !v.as_bool()? {
+                        stack.push(Value::Bool(false));
+                        pc = target as usize;
+                    }
+                }
+                Instr::OrProbe { target } => {
+                    let v = stack.pop().ok_or_else(underflow)?;
+                    if v.as_bool()? {
+                        stack.push(Value::Bool(true));
+                        pc = target as usize;
+                    }
+                }
+                Instr::JumpIfFalse { target } => {
+                    let v = stack.pop().ok_or_else(underflow)?;
+                    if !v.as_bool()? {
+                        pc = target as usize;
+                    }
+                }
+                Instr::Jump { target } => pc = target as usize,
+                Instr::Call { id, argc } => {
+                    let at = stack
+                        .len()
+                        .checked_sub(argc as usize)
+                        .ok_or_else(underflow)?;
+                    let v = scalar::call_id(id, &stack[at..])?;
+                    stack.truncate(at);
+                    stack.push(v);
+                }
+            }
+        }
+        stack.pop().ok_or_else(underflow)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Window kernels (monomorphized per-type aggregate folds)
+// ---------------------------------------------------------------------------
+
+/// Column class a kernel is monomorphized for. Decides the byte-level read,
+/// the running-state fields used, and the output `Value` constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelClass {
+    Int,
+    Bigint,
+    Timestamp,
+    Float,
+    Double,
+    Str,
+}
+
+/// One compiled per-column fold: everything the per-row loop needs,
+/// resolved at deploy time.
+#[derive(Debug, Clone)]
+struct KernelSpec {
+    /// Base-schema column index (also the request-row slot).
+    col: usize,
+    class: KernelClass,
+    /// Absolute byte offset of the fixed-width field in the compact
+    /// encoding (header + NULL bitmap included). Unused for `Str`.
+    at: usize,
+    /// NULL-bitmap probe, baked to a byte index + mask.
+    null_byte: usize,
+    null_mask: u8,
+    /// Maintain running sums (`sum`/`avg`/`stddev` bound to this column).
+    track_sums: bool,
+    /// Maintain running extrema (`min`/`max` bound to this column).
+    track_minmax: bool,
+}
+
+/// Where a running string extremum lives. Stored rows borrow the scan arena
+/// (a byte range — no copy until output); the request row is fed last, so a
+/// `Request` slot can only be set after every arena candidate was compared.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum StrSlot {
+    #[default]
+    None,
+    Arena {
+        start: usize,
+        len: usize,
+    },
+    Request,
+}
+
+/// Running fold state for one kernel — plain machine words, reset per
+/// request, pooled in the request scratch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelState {
+    count: u64,
+    sum_i: i64,
+    sum_f: f64,
+    sum_sq: f64,
+    min_i: i64,
+    max_i: i64,
+    min_f: f64,
+    max_f: f64,
+    min_f32: f32,
+    max_f32: f32,
+    min_str: StrSlot,
+    max_str: StrSlot,
+}
+
+/// Pooled per-window kernel states (lives in the request scratch so warm
+/// requests never allocate).
+#[derive(Debug, Default)]
+pub struct WindowState {
+    kernels: Vec<KernelState>,
+}
+
+impl WindowState {
+    pub fn reset(&mut self) {
+        for k in &mut self.kernels {
+            *k = KernelState::default();
+        }
+    }
+}
+
+/// Iteration order [`WindowProgram::run`] uses over the scan entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryOrder {
+    /// `entries` is already sorted ascending by `(ts, seq)`.
+    Ascending,
+    /// `entries` is in scan order with strictly descending timestamps —
+    /// iterate in reverse to replay ascending order without sorting.
+    ReversedScan,
+}
+
+// The per-row integer fold. Mirrors `SharedNumeric::update` bit for bit:
+// sums wrap (`wrapping_add`) with an f64 shadow for avg/stddev, and the
+// extrema comparison runs in f64-promoted space exactly like
+// `Value::total_cmp` does for every numeric pair — with the first-seen raw
+// value kept on promotion ties (e.g. distinct i64s beyond 2^53).
+impl KernelState {
+    #[inline(always)]
+    fn feed_int(&mut self, v: i64, spec: &KernelSpec) {
+        if spec.track_sums {
+            self.sum_i = self.sum_i.wrapping_add(v);
+            let f = v as f64;
+            self.sum_f += f;
+            self.sum_sq += f * f;
+        }
+        self.count += 1;
+        if spec.track_minmax {
+            if self.count == 1 {
+                self.min_i = v;
+                self.max_i = v;
+            } else {
+                let f = v as f64;
+                if f.total_cmp(&(self.min_i as f64)).is_lt() {
+                    self.min_i = v;
+                }
+                if f.total_cmp(&(self.max_i as f64)).is_gt() {
+                    self.max_i = v;
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn feed_double(&mut self, v: f64, spec: &KernelSpec) {
+        if spec.track_sums {
+            self.sum_f += v;
+            self.sum_sq += v * v;
+        }
+        self.count += 1;
+        if spec.track_minmax {
+            if self.count == 1 {
+                self.min_f = v;
+                self.max_f = v;
+            } else {
+                if v.total_cmp(&self.min_f).is_lt() {
+                    self.min_f = v;
+                }
+                if v.total_cmp(&self.max_f).is_gt() {
+                    self.max_f = v;
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn feed_float(&mut self, v: f32, spec: &KernelSpec) {
+        if spec.track_sums {
+            let f = v as f64;
+            self.sum_f += f;
+            self.sum_sq += f * f;
+        }
+        self.count += 1;
+        if spec.track_minmax {
+            if self.count == 1 {
+                self.min_f32 = v;
+                self.max_f32 = v;
+            } else {
+                // Compare in promoted f64 space (what the interpreter's
+                // `total_cmp` does) but keep the raw f32 so the output
+                // round-trips bit-exactly.
+                let f = v as f64;
+                if f.total_cmp(&(self.min_f32 as f64)).is_lt() {
+                    self.min_f32 = v;
+                }
+                if f.total_cmp(&(self.max_f32 as f64)).is_gt() {
+                    self.max_f32 = v;
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn feed_str(&mut self, s: &str, arena: &[u8], spec: &KernelSpec) -> Result<()> {
+        self.count += 1;
+        if !spec.track_minmax {
+            return Ok(());
+        }
+        let bytes = s.as_bytes();
+        if self.count == 1 {
+            let slot = StrSlot::arena_of(bytes, arena)?;
+            self.min_str = slot;
+            self.max_str = slot;
+            return Ok(());
+        }
+        // `&str` ordering is byte-lexicographic, so comparing raw bytes
+        // reproduces `Value::total_cmp` on strings; strict comparisons keep
+        // the first-seen instance on ties.
+        if bytes < StrSlot::resolve(self.min_str, arena)? {
+            self.min_str = StrSlot::arena_of(bytes, arena)?;
+        }
+        if bytes > StrSlot::resolve(self.max_str, arena)? {
+            self.max_str = StrSlot::arena_of(bytes, arena)?;
+        }
+        Ok(())
+    }
+
+    /// Feed one decoded request-row value (always the last row fed).
+    fn feed_request(&mut self, v: &Value, arena: &[u8], spec: &KernelSpec) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        match spec.class {
+            KernelClass::Int | KernelClass::Bigint | KernelClass::Timestamp => {
+                self.feed_int(v.as_i64()?, spec);
+            }
+            KernelClass::Float => self.feed_float(v.as_f64()? as f32, spec),
+            KernelClass::Double => self.feed_double(v.as_f64()?, spec),
+            KernelClass::Str => {
+                let bytes = v.as_str()?.as_bytes();
+                self.count += 1;
+                if !spec.track_minmax {
+                    return Ok(());
+                }
+                if self.count == 1 {
+                    self.min_str = StrSlot::Request;
+                    self.max_str = StrSlot::Request;
+                    return Ok(());
+                }
+                if bytes < StrSlot::resolve(self.min_str, arena)? {
+                    self.min_str = StrSlot::Request;
+                }
+                if bytes > StrSlot::resolve(self.max_str, arena)? {
+                    self.max_str = StrSlot::Request;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StrSlot {
+    /// Record `bytes` (a slice borrowed from `arena`) as an offset range.
+    #[inline(always)]
+    fn arena_of(bytes: &[u8], arena: &[u8]) -> Result<StrSlot> {
+        let start = (bytes.as_ptr() as usize)
+            .checked_sub(arena.as_ptr() as usize)
+            .filter(|s| s.checked_add(bytes.len()).is_some_and(|e| e <= arena.len()))
+            .ok_or_else(|| Error::Eval("string extremum source outside the scan arena".into()))?;
+        Ok(StrSlot::Arena {
+            start,
+            len: bytes.len(),
+        })
+    }
+
+    /// The bytes a slot refers to. Only called while stored rows are being
+    /// fed, so `Request` (set last) and `None` (count >= 1) cannot occur.
+    #[inline(always)]
+    fn resolve(slot: StrSlot, arena: &[u8]) -> Result<&[u8]> {
+        match slot {
+            StrSlot::Arena { start, len } => arena
+                .get(start..start + len)
+                .ok_or_else(|| Error::Eval("string extremum range outside the scan arena".into())),
+            StrSlot::None | StrSlot::Request => Err(Error::Eval(
+                "string extremum slot resolved out of order".into(),
+            )),
+        }
+    }
+}
+
+/// A window's aggregates compiled to monomorphized kernels, plus the frame
+/// guards hoisted out of the per-request path.
+#[derive(Debug)]
+pub struct WindowProgram {
+    kernels: Vec<KernelSpec>,
+    /// Output bindings in aggregate order: (kernel index, projection).
+    bindings: Vec<(usize, Projection)>,
+    /// Whether any kernel reads a var-width field (strings) — those rows go
+    /// through a validated [`RowView`](openmldb_types::RowView); fixed-only
+    /// programs read bytes directly after a 3-field header check.
+    needs_view: bool,
+    /// Minimum valid encoded length (header + bitmap + fixed area),
+    /// precomputed so fixed-only row validation is three compares.
+    min_row_len: usize,
+    schema_version: u8,
+    /// `ROWS n PRECEDING` cap (`None` for range/unbounded frames).
+    rows_preceding: Option<usize>,
+    /// `MAXSIZE` cap.
+    maxsize: Option<usize>,
+    /// Hoisted `EXCLUDE CURRENT_ROW` guard: whether the request row joins
+    /// the frame.
+    pub include_request: bool,
+}
+
+impl WindowProgram {
+    /// Compile one window's aggregates, or explain why they fall back.
+    fn compile(
+        window: &BoundWindow,
+        aggs: &[&BoundAggregate],
+        codec: &CompactCodec,
+    ) -> std::result::Result<WindowProgram, String> {
+        let schema = codec.schema();
+        let mut kernels: Vec<KernelSpec> = Vec::new();
+        let mut bindings = Vec::with_capacity(aggs.len());
+        for agg in aggs {
+            let Some(proj) = projection_for(agg.func.name) else {
+                return Err(format!(
+                    "aggregate `{}` has no specialized kernel",
+                    agg.func.name
+                ));
+            };
+            let col = match agg.args.as_slice() {
+                [PhysExpr::Column(c)] => *c,
+                _ => {
+                    return Err(format!(
+                        "aggregate `{}` argument is not a bare column",
+                        agg.func.name
+                    ))
+                }
+            };
+            let def = schema
+                .columns()
+                .get(col)
+                .ok_or_else(|| format!("aggregate column {col} out of schema range"))?;
+            let class = match def.data_type {
+                DataType::Int => KernelClass::Int,
+                DataType::Bigint => KernelClass::Bigint,
+                DataType::Timestamp => KernelClass::Timestamp,
+                DataType::Float => KernelClass::Float,
+                DataType::Double => KernelClass::Double,
+                DataType::String => KernelClass::Str,
+                DataType::Bool => {
+                    return Err(format!(
+                        "BOOL column `{}` has no specialized kernel",
+                        def.name
+                    ))
+                }
+            };
+            if class == KernelClass::Str
+                && matches!(proj, Projection::Sum | Projection::Avg | Projection::Stddev)
+            {
+                return Err(format!(
+                    "`{}` over STRING column `{}` has no specialized kernel",
+                    agg.func.name, def.name
+                ));
+            }
+            let at = if class == KernelClass::Str {
+                0
+            } else {
+                codec
+                    .fixed_field_offset(col)
+                    .ok_or_else(|| format!("column `{}` has no fixed offset", def.name))?
+            };
+            // Aggregates over the same column share one kernel — the same
+            // grouping the interpreted cyclic binding performs (identical
+            // single-column argument lists land in one shared slot).
+            let k = match kernels.iter().position(|ks| ks.col == col) {
+                Some(k) => k,
+                None => {
+                    kernels.push(KernelSpec {
+                        col,
+                        class,
+                        at,
+                        null_byte: HEADER_SIZE + col / 8,
+                        null_mask: 1 << (col % 8),
+                        track_sums: false,
+                        track_minmax: false,
+                    });
+                    kernels.len() - 1
+                }
+            };
+            if let Some(ks) = kernels.get_mut(k) {
+                match proj {
+                    Projection::Min | Projection::Max => ks.track_minmax = true,
+                    Projection::Sum | Projection::Avg | Projection::Stddev => ks.track_sums = true,
+                    Projection::Count => {}
+                }
+            }
+            bindings.push((k, proj));
+        }
+        Ok(WindowProgram {
+            needs_view: kernels.iter().any(|k| k.class == KernelClass::Str),
+            kernels,
+            bindings,
+            min_row_len: codec.min_encoded_len(),
+            schema_version: codec.schema_version(),
+            rows_preceding: match window.frame {
+                openmldb_sql::ast::Frame::Rows { preceding } => Some(preceding as usize),
+                _ => None,
+            },
+            maxsize: window.maxsize,
+            include_request: !window.exclude_current_row,
+        })
+    }
+
+    /// Fresh (pool-able) fold state sized for this program.
+    pub fn new_state(&self) -> WindowState {
+        WindowState {
+            kernels: vec![KernelState::default(); self.kernels.len()],
+        }
+    }
+
+    /// The hoisted frame guard: index of the first in-frame row among
+    /// `total` candidate rows in ascending `(ts, seq)` order (request row
+    /// included in `total` when it joins the frame). Replicates the
+    /// interpreted path's `ROWS n PRECEDING` + `MAXSIZE` cap arithmetic.
+    pub fn first_in_frame(&self, total: usize) -> usize {
+        let mut first = 0usize;
+        if let Some(p) = self.rows_preceding {
+            first = total.saturating_sub(p.saturating_add(1));
+        }
+        if let Some(m) = self.maxsize {
+            first = first.max(total.saturating_sub(m));
+        }
+        first
+    }
+
+    /// Run the fold over the scanned entries. `first` is the in-frame start
+    /// from [`first_in_frame`](Self::first_in_frame) (over stored rows +
+    /// request), `request` is the decoded request row iff it joins the frame
+    /// at or past `first` — it is always fed last, matching its position in
+    /// the interpreted sort order (its `ts` is the anchor, `>=` every stored
+    /// row, and its `seq` is the largest). `probe` runs every 64 fed rows so
+    /// a deadline can interrupt long folds.
+    // One flat call per window per request: the executor hands over its
+    // borrowed scan state piecewise, and bundling it into a struct would
+    // just add a construction step on the hot path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        state: &mut WindowState,
+        entries: &[ScanEntry],
+        first: usize,
+        order: EntryOrder,
+        arena: &[u8],
+        request: Option<&[Value]>,
+        codec: &CompactCodec,
+        probe: &mut dyn FnMut() -> Result<()>,
+    ) -> Result<()> {
+        if state.kernels.len() != self.kernels.len() {
+            state
+                .kernels
+                .resize(self.kernels.len(), KernelState::default());
+        }
+        state.reset();
+        let n = entries.len();
+        let take = n.saturating_sub(first);
+        let mut fed = 0u32;
+        match order {
+            EntryOrder::Ascending => {
+                for e in &entries[n - take..] {
+                    self.feed_row(state, e.bytes(arena), arena, codec)?;
+                    fed += 1;
+                    if fed & 63 == 0 {
+                        probe()?;
+                    }
+                }
+            }
+            EntryOrder::ReversedScan => {
+                for e in entries[..take].iter().rev() {
+                    self.feed_row(state, e.bytes(arena), arena, codec)?;
+                    fed += 1;
+                    if fed & 63 == 0 {
+                        probe()?;
+                    }
+                }
+            }
+        }
+        if let Some(req) = request {
+            for (spec, st) in self.kernels.iter().zip(state.kernels.iter_mut()) {
+                let v = req.get(spec.col).ok_or_else(|| {
+                    Error::Eval(format!("request column {} out of bounds", spec.col))
+                })?;
+                st.feed_request(v, arena, spec)?;
+            }
+            // The request row counts toward the probe cadence so the typed
+            // timeout fires at the same fed-row count as the interpreted
+            // path (which probes per entry, request marker included).
+            fed += 1;
+            if fed & 63 == 0 {
+                probe()?;
+            }
+        }
+        Ok(())
+    }
+
+    // HOT: the compiled per-row dispatch loop — one NULL-bit probe plus one
+    // fixed-offset little-endian read per kernel, no `Value` construction,
+    // no parse beyond the 3-field header check for fixed-only programs.
+    #[inline]
+    fn feed_row(
+        &self,
+        state: &mut WindowState,
+        buf: &[u8],
+        arena: &[u8],
+        codec: &CompactCodec,
+    ) -> Result<()> {
+        if self.needs_view {
+            return self.feed_row_view(state, buf, arena, codec);
+        }
+        if buf.len() < self.min_row_len {
+            return Err(truncated_row(buf.len(), self.min_row_len));
+        }
+        let declared = u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
+        if declared != buf.len() {
+            return Err(length_mismatch(declared, buf.len()));
+        }
+        if buf[1] != self.schema_version {
+            return Err(version_mismatch(buf[1], self.schema_version));
+        }
+        for (spec, st) in self.kernels.iter().zip(state.kernels.iter_mut()) {
+            if buf
+                .get(spec.null_byte)
+                .is_none_or(|b| b & spec.null_mask != 0)
+            {
+                continue;
+            }
+            match spec.class {
+                KernelClass::Int => match read4(buf, spec.at) {
+                    Some(b) => st.feed_int(i32::from_le_bytes(b) as i64, spec),
+                    None => return Err(truncated_row(buf.len(), spec.at + 4)),
+                },
+                KernelClass::Bigint | KernelClass::Timestamp => match read8(buf, spec.at) {
+                    Some(b) => st.feed_int(i64::from_le_bytes(b), spec),
+                    None => return Err(truncated_row(buf.len(), spec.at + 8)),
+                },
+                KernelClass::Float => match read4(buf, spec.at) {
+                    Some(b) => st.feed_float(f32::from_le_bytes(b), spec),
+                    None => return Err(truncated_row(buf.len(), spec.at + 4)),
+                },
+                KernelClass::Double => match read8(buf, spec.at) {
+                    Some(b) => st.feed_double(f64::from_le_bytes(b), spec),
+                    None => return Err(truncated_row(buf.len(), spec.at + 8)),
+                },
+                // Unreachable: `needs_view` routed string programs away.
+                KernelClass::Str => return Err(str_without_view()),
+            }
+        }
+        Ok(())
+    }
+
+    // HOT: per-row loop of string-bearing programs — fixed fields still read
+    // at baked offsets; only string kernels go through the validated view,
+    // borrowing the arena (no copy until output).
+    fn feed_row_view(
+        &self,
+        state: &mut WindowState,
+        buf: &[u8],
+        arena: &[u8],
+        codec: &CompactCodec,
+    ) -> Result<()> {
+        let view = codec.view(buf)?;
+        for (spec, st) in self.kernels.iter().zip(state.kernels.iter_mut()) {
+            if buf
+                .get(spec.null_byte)
+                .is_none_or(|b| b & spec.null_mask != 0)
+            {
+                continue;
+            }
+            match spec.class {
+                KernelClass::Int => match read4(buf, spec.at) {
+                    Some(b) => st.feed_int(i32::from_le_bytes(b) as i64, spec),
+                    None => return Err(truncated_row(buf.len(), spec.at + 4)),
+                },
+                KernelClass::Bigint | KernelClass::Timestamp => match read8(buf, spec.at) {
+                    Some(b) => st.feed_int(i64::from_le_bytes(b), spec),
+                    None => return Err(truncated_row(buf.len(), spec.at + 8)),
+                },
+                KernelClass::Float => match read4(buf, spec.at) {
+                    Some(b) => st.feed_float(f32::from_le_bytes(b), spec),
+                    None => return Err(truncated_row(buf.len(), spec.at + 4)),
+                },
+                KernelClass::Double => match read8(buf, spec.at) {
+                    Some(b) => st.feed_double(f64::from_le_bytes(b), spec),
+                    None => return Err(truncated_row(buf.len(), spec.at + 8)),
+                },
+                KernelClass::Str => match view.get(spec.col)? {
+                    ValueRef::Str(s) => st.feed_str(s, arena, spec)?,
+                    ValueRef::Null => {}
+                    _ => return Err(str_class_mismatch()),
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// Project the fold state into output values, one per bound aggregate,
+    /// in aggregate order. Must be called with the same `arena`/`request`
+    /// the fold ran over (string extrema borrow them until this point).
+    pub fn outputs_into(
+        &self,
+        state: &WindowState,
+        arena: &[u8],
+        request: Option<&[Value]>,
+        out: &mut Vec<Value>,
+    ) -> Result<()> {
+        for &(k, proj) in &self.bindings {
+            let (spec, st) = match (self.kernels.get(k), state.kernels.get(k)) {
+                (Some(spec), Some(st)) => (spec, st),
+                _ => return Err(Error::Eval("kernel binding out of bounds".into())),
+            };
+            let v = match proj {
+                Projection::Count => Value::Bigint(st.count as i64),
+                Projection::Sum => {
+                    if st.count == 0 {
+                        Value::Null
+                    } else {
+                        match spec.class {
+                            // Integral columns keep the interpreter's
+                            // `all_int` wrapping i64 sum.
+                            KernelClass::Int | KernelClass::Bigint | KernelClass::Timestamp => {
+                                Value::Bigint(st.sum_i)
+                            }
+                            _ => Value::Double(st.sum_f),
+                        }
+                    }
+                }
+                Projection::Avg => {
+                    if st.count == 0 {
+                        Value::Null
+                    } else {
+                        Value::Double(st.sum_f / st.count as f64)
+                    }
+                }
+                Projection::Stddev => {
+                    if st.count < 2 {
+                        Value::Null
+                    } else {
+                        let n = st.count as f64;
+                        let var = ((st.sum_sq - st.sum_f * st.sum_f / n) / (n - 1.0)).max(0.0);
+                        Value::Double(var.sqrt())
+                    }
+                }
+                Projection::Min => self.extremum(spec, st, true, arena, request)?,
+                Projection::Max => self.extremum(spec, st, false, arena, request)?,
+            };
+            out.push(v);
+        }
+        Ok(())
+    }
+
+    fn extremum(
+        &self,
+        spec: &KernelSpec,
+        st: &KernelState,
+        min: bool,
+        arena: &[u8],
+        request: Option<&[Value]>,
+    ) -> Result<Value> {
+        if st.count == 0 {
+            return Ok(Value::Null);
+        }
+        Ok(match spec.class {
+            KernelClass::Int => Value::Int((if min { st.min_i } else { st.max_i }) as i32),
+            KernelClass::Bigint => Value::Bigint(if min { st.min_i } else { st.max_i }),
+            KernelClass::Timestamp => Value::Timestamp(if min { st.min_i } else { st.max_i }),
+            KernelClass::Float => Value::Float(if min { st.min_f32 } else { st.max_f32 }),
+            KernelClass::Double => Value::Double(if min { st.min_f } else { st.max_f }),
+            KernelClass::Str => match if min { st.min_str } else { st.max_str } {
+                StrSlot::None => Value::Null,
+                StrSlot::Arena { start, len } => {
+                    let bytes = arena.get(start..start + len).ok_or_else(|| {
+                        Error::Eval("string extremum range outside the scan arena".into())
+                    })?;
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|e| Error::Eval(format!("non-UTF-8 string extremum: {e}")))?;
+                    Value::string(s)
+                }
+                StrSlot::Request => {
+                    request
+                        .and_then(|r| r.get(spec.col))
+                        .cloned()
+                        .ok_or_else(|| {
+                            Error::Eval("request-row string extremum without request row".into())
+                        })?
+                }
+            },
+        })
+    }
+}
+
+/// Bounds-checked fixed-width little-endian reads — `None` instead of a
+/// panic path when the row is shorter than the baked offset promises.
+#[inline(always)]
+fn read4(buf: &[u8], at: usize) -> Option<[u8; 4]> {
+    let s = buf.get(at..at.checked_add(4)?)?;
+    let mut b = [0u8; 4];
+    b.copy_from_slice(s);
+    Some(b)
+}
+
+#[inline(always)]
+fn read8(buf: &[u8], at: usize) -> Option<[u8; 8]> {
+    let s = buf.get(at..at.checked_add(8)?)?;
+    let mut b = [0u8; 8];
+    b.copy_from_slice(s);
+    Some(b)
+}
+
+#[cold]
+fn truncated_row(len: usize, need: usize) -> Error {
+    Error::Codec(format!("row too short: {len} bytes, need {need}"))
+}
+
+#[cold]
+fn length_mismatch(declared: usize, actual: usize) -> Error {
+    Error::Codec(format!(
+        "row length mismatch: declared {declared}, got {actual}"
+    ))
+}
+
+#[cold]
+fn version_mismatch(got: u8, want: u8) -> Error {
+    Error::Codec(format!("schema version mismatch: row {got}, codec {want}"))
+}
+
+#[cold]
+fn str_without_view() -> Error {
+    Error::Eval("string kernel dispatched without a row view".into())
+}
+
+#[cold]
+fn str_class_mismatch() -> Error {
+    Error::Eval("string kernel read a non-string field".into())
+}
+
+// ---------------------------------------------------------------------------
+// Whole-plan program + the deploy-time specialization entry point
+// ---------------------------------------------------------------------------
+
+/// Per-window compilation outcome.
+#[derive(Debug)]
+enum WindowUnit {
+    Compiled(WindowProgram),
+    /// The window stays on the interpreted path; the reason is surfaced per
+    /// deployment (fallback attribution).
+    Fallback(String),
+    /// No aggregates bound to this window — nothing to run either way.
+    NoAggs,
+}
+
+/// A deployed plan lowered to bytecode: per-window kernels plus flattened
+/// select/WHERE expression programs. Windows (and the select/WHERE programs)
+/// that use unsupported constructs fall back to interpretation individually.
+#[derive(Debug)]
+pub struct Program {
+    windows: Vec<WindowUnit>,
+    /// Select-list programs (all-or-nothing: one uncompilable output column
+    /// keeps the whole projection interpreted so output stays one code path).
+    select: Option<Vec<ExprProgram>>,
+    where_program: Option<ExprProgram>,
+}
+
+impl Program {
+    /// Lower `query`. Infallible: anything that cannot be specialized is
+    /// recorded as a fallback, never an error.
+    pub fn compile(query: &CompiledQuery) -> Program {
+        let codec = CompactCodec::new(query.base_schema.clone());
+        let by_window = query.aggregates_by_window();
+        let windows = query
+            .windows
+            .iter()
+            .enumerate()
+            .map(|(wid, w)| {
+                let aggs: Vec<&BoundAggregate> = by_window[wid]
+                    .iter()
+                    .map(|&i| &query.aggregates[i])
+                    .collect();
+                if aggs.is_empty() {
+                    return WindowUnit::NoAggs;
+                }
+                match WindowProgram::compile(w, &aggs, &codec) {
+                    Ok(wp) => WindowUnit::Compiled(wp),
+                    Err(reason) => WindowUnit::Fallback(reason),
+                }
+            })
+            .collect();
+        let select = query
+            .select
+            .iter()
+            .map(|c| ExprProgram::compile(&c.expr))
+            .collect::<std::result::Result<Vec<_>, String>>()
+            .ok();
+        let where_program = query
+            .where_clause
+            .as_ref()
+            .and_then(|p| ExprProgram::compile(p).ok());
+        Program {
+            windows,
+            select,
+            where_program,
+        }
+    }
+
+    /// A program that compiled nothing: every window and expression takes
+    /// the interpreted path. Benchmarks and differential tests use this to
+    /// pin the fallback route for plans that would otherwise specialize.
+    pub fn interpreted_only(windows: usize) -> Program {
+        Program {
+            windows: (0..windows)
+                .map(|_| WindowUnit::Fallback("specialization disabled".into()))
+                .collect(),
+            select: None,
+            where_program: None,
+        }
+    }
+
+    /// The compiled kernels for window `wid`, if it specialized.
+    pub fn window(&self, wid: usize) -> Option<&WindowProgram> {
+        match self.windows.get(wid) {
+            Some(WindowUnit::Compiled(wp)) => Some(wp),
+            _ => None,
+        }
+    }
+
+    /// Why window `wid` fell back to interpretation (None when compiled or
+    /// aggregate-free).
+    pub fn fallback_reason(&self, wid: usize) -> Option<&str> {
+        match self.windows.get(wid) {
+            Some(WindowUnit::Fallback(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    pub fn compiled_windows(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| matches!(w, WindowUnit::Compiled(_)))
+            .count()
+    }
+
+    pub fn fallback_windows(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| matches!(w, WindowUnit::Fallback(_)))
+            .count()
+    }
+
+    /// Compiled select-list programs, one per output column (None: the
+    /// projection runs interpreted).
+    pub fn select_programs(&self) -> Option<&[ExprProgram]> {
+        self.select.as_deref()
+    }
+
+    /// Compiled WHERE program (None: no WHERE clause, or it runs
+    /// interpreted).
+    pub fn where_program(&self) -> Option<&ExprProgram> {
+        self.where_program.as_ref()
+    }
+}
+
+/// The specialized program for `query`, compiling (and counting) it on first
+/// access. The program rides the plan's
+/// [`SpecializationSlot`](openmldb_sql::plan::SpecializationSlot), so every
+/// deployment of a plan-cache hit shares one artifact and compilation
+/// happens once per distinct plan, at deploy time — never on the request
+/// path.
+pub fn specialize(query: &CompiledQuery) -> Arc<Program> {
+    let cached = query.specialized.get_or_init(|| {
+        let p = Program::compile(query);
+        crate::metrics::program_plans().inc();
+        crate::metrics::program_windows().add(p.compiled_windows() as u64);
+        crate::metrics::program_fallbacks().add(p.fallback_windows() as u64);
+        Arc::new(p) as Arc<dyn Any + Send + Sync>
+    });
+    // The slot is shared with nothing else; a foreign type can only appear
+    // if some other layer claimed it first — recompile locally then.
+    Arc::downcast::<Program>(cached).unwrap_or_else(|_| Arc::new(Program::compile(query)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::REQUEST_ROW;
+    use crate::window::WindowAggSet;
+    use openmldb_sql::functions::lookup;
+    use openmldb_sql::plan::PhysExpr;
+    use openmldb_types::codec::RowCodec;
+    use openmldb_types::{ColumnDef, DataType, Row, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("k", DataType::String).not_null(),
+            ColumnDef::new("ts", DataType::Timestamp).not_null(),
+            ColumnDef::new("i", DataType::Int),
+            ColumnDef::new("b", DataType::Bigint),
+            ColumnDef::new("f", DataType::Float),
+            ColumnDef::new("d", DataType::Double),
+            ColumnDef::new("s", DataType::String),
+        ])
+        .expect("valid schema")
+    }
+
+    fn agg(name: &str, col: usize, window_id: usize) -> BoundAggregate {
+        BoundAggregate {
+            window_id,
+            func: lookup(name).expect("builtin"),
+            args: vec![PhysExpr::Column(col)],
+            output_type: DataType::Double,
+        }
+    }
+
+    fn window() -> BoundWindow {
+        BoundWindow {
+            name: "w".into(),
+            merged_names: vec!["w".into()],
+            partition_cols: vec![0],
+            order_col: 1,
+            order_desc: false,
+            frame: openmldb_sql::ast::Frame::Unbounded,
+            maxsize: None,
+            exclude_current_row: false,
+            instance_not_in_window: false,
+            union_tables: Vec::new(),
+        }
+    }
+
+    /// Deterministic value mix, including NULLs, negative numbers and
+    /// repeated strings (tie coverage for first-seen-wins extrema).
+    fn row(i: i64) -> Row {
+        let s = match i % 5 {
+            0 => Value::Null,
+            1 => Value::string("pear"),
+            2 => Value::string("apple"),
+            3 => Value::string("apple"),
+            _ => Value::string("zebra"),
+        };
+        Row::new(vec![
+            Value::string("k1"),
+            Value::Timestamp(1_000 + i),
+            if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Int((i * 13 % 97 - 40) as i32)
+            },
+            Value::Bigint(i * 1_000_003 - 50),
+            Value::Float((i as f32) * 0.5 - 3.0),
+            if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Double((i as f64) * 1.25 - 10.0)
+            },
+            s,
+        ])
+    }
+
+    fn fold_both(
+        aggs: &[BoundAggregate],
+        rows: &[Row],
+        request: Option<&Row>,
+    ) -> (Vec<Value>, Vec<Value>) {
+        let schema = schema();
+        let codec = CompactCodec::new(schema.clone());
+        let w = window();
+        let refs: Vec<&BoundAggregate> = aggs.iter().collect();
+        let wp = WindowProgram::compile(&w, &refs, &codec).expect("compiles");
+
+        // Interpreted oracle.
+        let mut set = WindowAggSet::new(&refs).expect("agg set");
+        for r in rows {
+            set.update(r.values()).expect("update");
+        }
+        if let Some(r) = request {
+            set.update(r.values()).expect("request update");
+        }
+        let expected = set.outputs();
+
+        // Compiled: encode rows into an arena, feed through the kernels.
+        let mut arena = Vec::new();
+        let mut entries = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            let bytes = codec.encode(r).expect("encode");
+            let start = arena.len();
+            arena.extend_from_slice(&bytes);
+            entries.push(ScanEntry {
+                ts: r.values()[1].as_i64().expect("ts"),
+                seq: i,
+                start,
+                len: bytes.len(),
+            });
+        }
+        let mut state = wp.new_state();
+        let req_values = request.map(|r| r.values());
+        let mut probe = || Ok(());
+        wp.run(
+            &mut state,
+            &entries,
+            0,
+            EntryOrder::Ascending,
+            &arena,
+            req_values,
+            &codec,
+            &mut probe,
+        )
+        .expect("run");
+        let mut got = Vec::new();
+        wp.outputs_into(&state, &arena, req_values, &mut got)
+            .expect("outputs");
+        (expected, got)
+    }
+
+    fn assert_bit_identical(expected: &[Value], got: &[Value]) {
+        assert_eq!(expected.len(), got.len());
+        for (e, g) in expected.iter().zip(got) {
+            // `Value: PartialEq` promotes numerics; compare the rendered
+            // forms too so Int(3) vs Bigint(3) or -0.0 vs 0.0 cannot slip
+            // through.
+            assert_eq!(e, g, "value mismatch: {e:?} vs {g:?}");
+            assert_eq!(e.data_type(), g.data_type(), "{e:?} vs {g:?}");
+            assert_eq!(format!("{e:?}"), format!("{g:?}"));
+        }
+    }
+
+    #[test]
+    fn kernels_match_interpreted_fold_across_types() {
+        let aggs = vec![
+            agg("sum", 2, 0),
+            agg("count", 2, 0),
+            agg("avg", 2, 0),
+            agg("min", 2, 0),
+            agg("max", 2, 0),
+            agg("stddev", 2, 0),
+            agg("sum", 3, 0),
+            agg("min", 3, 0),
+            agg("sum", 4, 0),
+            agg("max", 4, 0),
+            agg("sum", 5, 0),
+            agg("avg", 5, 0),
+            agg("min", 5, 0),
+            agg("stddev", 5, 0),
+            agg("count", 6, 0),
+            agg("min", 6, 0),
+            agg("max", 6, 0),
+            agg("min", 1, 0),
+            agg("max", 1, 0),
+        ];
+        let rows: Vec<Row> = (0..40).map(row).collect();
+        let request = row(40);
+        let (expected, got) = fold_both(&aggs, &rows, Some(&request));
+        assert_bit_identical(&expected, &got);
+    }
+
+    #[test]
+    fn kernels_match_on_empty_and_all_null_windows() {
+        let aggs = vec![
+            agg("sum", 2, 0),
+            agg("avg", 2, 0),
+            agg("min", 2, 0),
+            agg("stddev", 2, 0),
+            agg("count", 6, 0),
+            agg("min", 6, 0),
+        ];
+        let (expected, got) = fold_both(&aggs, &[], None);
+        assert_bit_identical(&expected, &got);
+
+        // All-NULL int column (i % 7 == 0 rows only would be synthetic;
+        // build explicit all-null rows instead).
+        let mut nulls = Vec::new();
+        for i in 0..5 {
+            nulls.push(Row::new(vec![
+                Value::string("k1"),
+                Value::Timestamp(1_000 + i),
+                Value::Null,
+                Value::Bigint(i),
+                Value::Float(0.0),
+                Value::Null,
+                Value::Null,
+            ]));
+        }
+        let aggs = vec![agg("sum", 2, 0), agg("min", 2, 0), agg("count", 6, 0)];
+        let (expected, got) = fold_both(&aggs, &nulls, None);
+        assert_bit_identical(&expected, &got);
+    }
+
+    #[test]
+    fn reversed_scan_order_replays_ascending_without_sort() {
+        let schema = schema();
+        let codec = CompactCodec::new(schema.clone());
+        let w = window();
+        let aggs = [agg("sum", 3, 0), agg("min", 3, 0), agg("max", 6, 0)];
+        let refs: Vec<&BoundAggregate> = aggs.iter().collect();
+        let wp = WindowProgram::compile(&w, &refs, &codec).expect("compiles");
+
+        let rows: Vec<Row> = (0..20).map(row).collect();
+        let mut arena = Vec::new();
+        // Scan order: newest first (strictly descending ts).
+        let mut entries = Vec::new();
+        for (i, r) in rows.iter().rev().enumerate() {
+            let bytes = codec.encode(r).expect("encode");
+            let start = arena.len();
+            arena.extend_from_slice(&bytes);
+            entries.push(ScanEntry {
+                ts: r.values()[1].as_i64().expect("ts"),
+                seq: i,
+                start,
+                len: bytes.len(),
+            });
+        }
+        let mut probe = || Ok(());
+
+        let mut st_rev = wp.new_state();
+        wp.run(
+            &mut st_rev,
+            &entries,
+            0,
+            EntryOrder::ReversedScan,
+            &arena,
+            None,
+            &codec,
+            &mut probe,
+        )
+        .expect("run");
+        let mut got_rev = Vec::new();
+        wp.outputs_into(&st_rev, &arena, None, &mut got_rev)
+            .expect("outputs");
+
+        // Oracle: ascending order over sorted entries.
+        let mut sorted = entries.clone();
+        sorted.sort_unstable_by_key(|e| (e.ts, e.seq));
+        let mut st_asc = wp.new_state();
+        wp.run(
+            &mut st_asc,
+            &sorted,
+            0,
+            EntryOrder::Ascending,
+            &arena,
+            None,
+            &codec,
+            &mut probe,
+        )
+        .expect("run");
+        let mut got_asc = Vec::new();
+        wp.outputs_into(&st_asc, &arena, None, &mut got_asc)
+            .expect("outputs");
+        assert_bit_identical(&got_asc, &got_rev);
+    }
+
+    #[test]
+    fn frame_guard_matches_engine_arithmetic() {
+        let mut w = window();
+        w.frame = openmldb_sql::ast::Frame::Rows { preceding: 3 };
+        w.maxsize = Some(2);
+        let codec = CompactCodec::new(schema());
+        let aggs = [agg("count", 2, 0)];
+        let refs: Vec<&BoundAggregate> = aggs.iter().collect();
+        let wp = WindowProgram::compile(&w, &refs, &codec).expect("compiles");
+        // ROWS 3 PRECEDING keeps 4, MAXSIZE 2 tightens to 2.
+        assert_eq!(wp.first_in_frame(10), 8);
+        assert_eq!(wp.first_in_frame(2), 0);
+        assert_eq!(wp.first_in_frame(0), 0);
+        // MAXSIZE 0: empty frame (first == total).
+        w.maxsize = Some(0);
+        let wp = WindowProgram::compile(&w, &refs, &codec).expect("compiles");
+        assert_eq!(wp.first_in_frame(5), 5);
+    }
+
+    #[test]
+    fn unsupported_constructs_fall_back_with_reasons() {
+        let codec = CompactCodec::new(schema());
+        let w = window();
+        // Non-projection function.
+        let a = BoundAggregate {
+            window_id: 0,
+            func: lookup("distinct_count").expect("builtin"),
+            args: vec![PhysExpr::Column(2)],
+            output_type: DataType::Bigint,
+        };
+        let err = WindowProgram::compile(&w, &[&a], &codec).expect_err("fallback");
+        assert!(err.contains("no specialized kernel"), "{err}");
+        // Non-bare-column argument.
+        let a = BoundAggregate {
+            window_id: 0,
+            func: lookup("sum").expect("builtin"),
+            args: vec![PhysExpr::Binary {
+                op: BinaryOp::Add,
+                left: Box::new(PhysExpr::Column(2)),
+                right: Box::new(PhysExpr::Literal(Value::Bigint(1))),
+            }],
+            output_type: DataType::Bigint,
+        };
+        let err = WindowProgram::compile(&w, &[&a], &codec).expect_err("fallback");
+        assert!(err.contains("not a bare column"), "{err}");
+        // String sums.
+        let a = agg("sum", 6, 0);
+        let err = WindowProgram::compile(&w, &[&a], &codec).expect_err("fallback");
+        assert!(err.contains("STRING"), "{err}");
+    }
+
+    // -- expression programs ------------------------------------------------
+
+    fn check_expr(e: &PhysExpr, row: &[Value], aggs: &[Value]) {
+        let p = ExprProgram::compile(e).expect("compiles");
+        let mut stack = Vec::new();
+        let got = p.eval(row, aggs, &mut stack);
+        let want = evaluate(e, row, aggs);
+        match (&want, &got) {
+            (Ok(w), Ok(g)) => {
+                assert_eq!(w, g);
+                assert_eq!(w.data_type(), g.data_type());
+            }
+            (Err(_), Err(_)) => {}
+            _ => panic!("diverged: {want:?} vs {got:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_program_matches_interpreter() {
+        use BinaryOp::*;
+        let row = vec![
+            Value::Bigint(10),
+            Value::Null,
+            Value::Double(4.5),
+            Value::string("abc"),
+            Value::Bool(true),
+        ];
+        let aggs = vec![Value::Bigint(41), Value::Double(2.5)];
+        let col = |i: usize| PhysExpr::Column(i);
+        let lit = |v: Value| PhysExpr::Literal(v);
+        let bin = |op, l: PhysExpr, r: PhysExpr| PhysExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        };
+        let cases: Vec<PhysExpr> = vec![
+            bin(Add, col(0), lit(Value::Bigint(5))),
+            bin(Add, col(0), col(1)),
+            bin(Mul, col(0), col(2)),
+            bin(Div, col(0), lit(Value::Bigint(0))),
+            bin(Mod, col(0), lit(Value::Bigint(0))),
+            bin(Lt, col(0), col(2)),
+            bin(Eq, col(3), lit(Value::string("abc"))),
+            bin(And, col(4), bin(Gt, col(0), lit(Value::Bigint(3)))),
+            bin(And, lit(Value::Bool(false)), bin(Div, col(0), col(1))),
+            bin(Or, col(4), bin(Div, col(0), col(1))),
+            PhysExpr::Not(Box::new(col(4))),
+            PhysExpr::IsNull {
+                expr: Box::new(col(1)),
+                negated: false,
+            },
+            PhysExpr::IsNull {
+                expr: Box::new(col(0)),
+                negated: true,
+            },
+            bin(Add, PhysExpr::AggRef(0), lit(Value::Bigint(1))),
+            bin(Mul, PhysExpr::AggRef(1), col(2)),
+            PhysExpr::AggRef(7), // out of bounds: both must error
+            PhysExpr::Case {
+                branches: vec![
+                    (
+                        bin(Gt, col(0), lit(Value::Bigint(100))),
+                        lit(Value::string("big")),
+                    ),
+                    (
+                        bin(Gt, col(0), lit(Value::Bigint(5))),
+                        lit(Value::string("mid")),
+                    ),
+                ],
+                else_expr: Some(Box::new(lit(Value::string("small")))),
+            },
+            PhysExpr::Case {
+                branches: vec![(bin(Lt, col(0), lit(Value::Bigint(0))), col(2))],
+                else_expr: None,
+            },
+        ];
+        for e in &cases {
+            check_expr(e, &row, &aggs);
+        }
+    }
+
+    #[test]
+    fn expr_program_dispatches_scalar_calls_and_folds_constants() {
+        let abs = PhysExpr::ScalarCall {
+            func: lookup("abs").expect("builtin"),
+            args: vec![PhysExpr::Column(0)],
+        };
+        check_expr(&abs, &[Value::Bigint(-7)], &[]);
+
+        // A fully constant subtree folds to a single Const instruction.
+        let folded = PhysExpr::Binary {
+            op: BinaryOp::Add,
+            left: Box::new(PhysExpr::ScalarCall {
+                func: lookup("abs").expect("builtin"),
+                args: vec![PhysExpr::Literal(Value::Bigint(-4))],
+            }),
+            right: Box::new(PhysExpr::Literal(Value::Bigint(2))),
+        };
+        let p = ExprProgram::compile(&folded).expect("compiles");
+        assert_eq!(p.len(), 1, "constant subtree should fold: {p:?}");
+        let mut stack = Vec::new();
+        assert_eq!(
+            p.eval(&[], &[], &mut stack).expect("eval"),
+            Value::Bigint(6)
+        );
+
+        // Constant folding must not swallow runtime errors: an overflowing
+        // constant expression stays structural and errors at eval time.
+        let overflow = PhysExpr::Binary {
+            op: BinaryOp::Mul,
+            left: Box::new(PhysExpr::Literal(Value::Bigint(i64::MAX))),
+            right: Box::new(PhysExpr::Literal(Value::Bigint(2))),
+        };
+        let p = ExprProgram::compile(&overflow).expect("compiles");
+        assert!(p.eval(&[], &[], &mut stack).is_err());
+    }
+
+    #[test]
+    fn request_only_window_and_request_string_extrema() {
+        let aggs = vec![agg("min", 6, 0), agg("max", 6, 0), agg("count", 6, 0)];
+        // Request's string is both the min and max (only non-null value).
+        let rows = vec![Row::new(vec![
+            Value::string("k1"),
+            Value::Timestamp(999),
+            Value::Int(1),
+            Value::Bigint(1),
+            Value::Float(1.0),
+            Value::Double(1.0),
+            Value::Null,
+        ])];
+        let request = Row::new(vec![
+            Value::string("k1"),
+            Value::Timestamp(1_000),
+            Value::Int(2),
+            Value::Bigint(2),
+            Value::Float(2.0),
+            Value::Double(2.0),
+            Value::string("middle"),
+        ]);
+        let (expected, got) = fold_both(&aggs, &rows, Some(&request));
+        assert_bit_identical(&expected, &got);
+    }
+
+    #[test]
+    fn specialize_caches_one_program_per_plan() {
+        use openmldb_sql::{compile_select, parse_select, Catalog};
+        struct Cat(Schema);
+        impl Catalog for Cat {
+            fn table_schema(&self, name: &str) -> Option<Schema> {
+                (name == "t").then(|| self.0.clone())
+            }
+        }
+        let cat = Cat(schema());
+        let stmt = parse_select(
+            "SELECT k, sum(b) OVER w AS sb, min(i) OVER w AS mi FROM t \
+             WINDOW w AS (PARTITION BY k ORDER BY ts \
+             ROWS BETWEEN 5 PRECEDING AND CURRENT ROW)",
+        )
+        .expect("parses");
+        let q = Arc::new(compile_select(&stmt, &cat).expect("compiles"));
+        let p1 = specialize(&q);
+        let p2 = specialize(&q);
+        assert!(Arc::ptr_eq(&p1, &p2), "one compiled artifact per plan");
+        assert_eq!(p1.compiled_windows(), 1);
+        assert_eq!(p1.fallback_windows(), 0);
+        assert!(p1.window(0).is_some());
+        assert!(p1.select_programs().is_some());
+
+        // Clones (the plan-cache Arc) share the slot.
+        let q2 = Arc::new((*q).clone());
+        let p3 = specialize(&q2);
+        assert!(Arc::ptr_eq(&p1, &p3));
+    }
+
+    #[test]
+    fn specialize_records_window_fallbacks() {
+        use openmldb_sql::{compile_select, parse_select, Catalog};
+        struct Cat(Schema);
+        impl Catalog for Cat {
+            fn table_schema(&self, name: &str) -> Option<Schema> {
+                (name == "t").then(|| self.0.clone())
+            }
+        }
+        let cat = Cat(schema());
+        let stmt = parse_select(
+            "SELECT distinct_count(i) OVER w AS dc, sum(b) OVER w2 AS sb FROM t \
+             WINDOW w AS (PARTITION BY k ORDER BY ts \
+             ROWS BETWEEN 5 PRECEDING AND CURRENT ROW), \
+             w2 AS (PARTITION BY k ORDER BY ts \
+             ROWS BETWEEN 9 PRECEDING AND CURRENT ROW)",
+        )
+        .expect("parses");
+        let q = compile_select(&stmt, &cat).expect("compiles");
+        let p = Program::compile(&q);
+        // distinct_count falls back; the sibling window stays compiled.
+        assert_eq!(p.compiled_windows(), 1);
+        assert_eq!(p.fallback_windows(), 1);
+        let wid_fallback = (0..q.windows.len())
+            .find(|&w| p.fallback_reason(w).is_some())
+            .expect("one fallback");
+        assert!(p
+            .fallback_reason(wid_fallback)
+            .is_some_and(|r| r.contains("no specialized kernel")));
+    }
+
+    #[test]
+    fn request_row_marker_sorts_last_invariant() {
+        // The sort-skip relies on the request marker (ts == anchor >= all
+        // stored ts, max seq) sorting last; pin that ordering here.
+        let mut entries = [
+            ScanEntry {
+                ts: 10,
+                seq: 0,
+                start: 0,
+                len: 4,
+            },
+            ScanEntry {
+                ts: 10,
+                seq: 2,
+                start: 0,
+                len: REQUEST_ROW,
+            },
+            ScanEntry {
+                ts: 9,
+                seq: 1,
+                start: 4,
+                len: 4,
+            },
+        ];
+        entries.sort_unstable_by_key(|e| (e.ts, e.seq));
+        assert!(entries[2].is_request_row());
+    }
+}

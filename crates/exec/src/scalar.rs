@@ -3,21 +3,194 @@
 //! `discrete`, `multiclass_label`) of Section 4.1, plus the geo helpers used
 //! by the GLQ workload.
 
+use std::sync::OnceLock;
+
+use openmldb_sql::functions::{FunctionDef, BUILTINS};
 use openmldb_types::{Error, Result, Value};
+
+/// Compile-time identity of a scalar builtin.
+///
+/// Resolved from a name exactly once — at plan specialization, or lazily via
+/// [`resolve_def`] for the interpreted path — so per-row dispatch is an
+/// integer jump table instead of a string match per evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFuncId {
+    IfNull,
+    If,
+    Abs,
+    Ceil,
+    Floor,
+    Round,
+    Sqrt,
+    Log,
+    Exp,
+    Pow,
+    Upper,
+    Lower,
+    CharLength,
+    Substr,
+    Concat,
+    IsIn,
+    SplitByKey,
+    SplitByValue,
+    MulticlassLabel,
+    BinaryLabel,
+    Continuous,
+    Discrete,
+    Hash64,
+    Day,
+    Hour,
+    Minute,
+    GeoDistance,
+    GeoHash,
+    Sin,
+    Cos,
+    Tan,
+    Atan,
+    Log2,
+    Log10,
+    Truncate,
+    Sign,
+    Greatest,
+    Least,
+    Degrees,
+    Radians,
+    Trim,
+    Ltrim,
+    Rtrim,
+    Replace,
+    Reverse,
+    Strcmp,
+    StartsWith,
+    EndsWith,
+    Lcase,
+    Ucase,
+    Lpad,
+    Rpad,
+    StringCast,
+    Year,
+    Month,
+    DayOfMonth,
+    DayOfWeek,
+    Week,
+    Double,
+    Bigint,
+}
+
+/// Resolve a builtin name to its dispatch id (`None` for names this library
+/// does not implement — calling those is a runtime [`Error::Eval`]).
+pub fn from_name(name: &str) -> Option<ScalarFuncId> {
+    use ScalarFuncId::*;
+    Some(match name {
+        "if_null" => IfNull,
+        "if" => If,
+        "abs" => Abs,
+        "ceil" => Ceil,
+        "floor" => Floor,
+        "round" => Round,
+        "sqrt" => Sqrt,
+        "log" => Log,
+        "exp" => Exp,
+        "pow" => Pow,
+        "upper" => Upper,
+        "lower" => Lower,
+        "char_length" => CharLength,
+        "substr" => Substr,
+        "concat" => Concat,
+        "is_in" => IsIn,
+        "split_by_key" => SplitByKey,
+        "split_by_value" => SplitByValue,
+        "multiclass_label" => MulticlassLabel,
+        "binary_label" => BinaryLabel,
+        "continuous" => Continuous,
+        "discrete" => Discrete,
+        "hash64" => Hash64,
+        "day" => Day,
+        "hour" => Hour,
+        "minute" => Minute,
+        "geo_distance" => GeoDistance,
+        "geo_hash" => GeoHash,
+        "sin" => Sin,
+        "cos" => Cos,
+        "tan" => Tan,
+        "atan" => Atan,
+        "log2" => Log2,
+        "log10" => Log10,
+        "truncate" => Truncate,
+        "sign" => Sign,
+        "greatest" => Greatest,
+        "least" => Least,
+        "degrees" => Degrees,
+        "radians" => Radians,
+        "trim" => Trim,
+        "ltrim" => Ltrim,
+        "rtrim" => Rtrim,
+        "replace" => Replace,
+        "reverse" => Reverse,
+        "strcmp" => Strcmp,
+        "starts_with" => StartsWith,
+        "ends_with" => EndsWith,
+        "lcase" => Lcase,
+        "ucase" => Ucase,
+        "lpad" => Lpad,
+        "rpad" => Rpad,
+        "string" => StringCast,
+        "year" => Year,
+        "month" => Month,
+        "dayofmonth" => DayOfMonth,
+        "dayofweek" => DayOfWeek,
+        "week" => Week,
+        "double" => Double,
+        "bigint" => Bigint,
+        _ => return None,
+    })
+}
+
+/// Resolve a planner-bound `&'static FunctionDef` to its dispatch id in
+/// O(1), via the def's position within the static `BUILTINS` table (the
+/// planner only ever binds entries of that table, so the pointer offset is
+/// the ordinal). Defs from elsewhere fall back to the name lookup.
+pub fn resolve_def(def: &'static FunctionDef) -> Option<ScalarFuncId> {
+    static TABLE: OnceLock<Vec<Option<ScalarFuncId>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| BUILTINS.iter().map(|d| from_name(d.name)).collect());
+    let base = BUILTINS.as_ptr() as usize;
+    let p = def as *const FunctionDef as usize;
+    let size = std::mem::size_of::<FunctionDef>();
+    if p < base || !(p - base).is_multiple_of(size) {
+        return from_name(def.name);
+    }
+    match table.get((p - base) / size) {
+        Some(id) => *id,
+        None => from_name(def.name),
+    }
+}
 
 /// Dispatch a scalar builtin by name. NULL handling is per-function: most
 /// propagate NULL, `if_null` exists to replace it.
+///
+/// Cold-path entry point: resolves the name per call. Per-row evaluation
+/// goes through [`call_id`] with an id resolved once at compile time.
 pub fn call(name: &str, args: &[Value]) -> Result<Value> {
+    match from_name(name) {
+        Some(id) => call_id(id, args),
+        None => Err(Error::Eval(format!("unknown scalar function `{name}`"))),
+    }
+}
+
+// HOT: per-row scalar dispatch — an integer match, no string comparison.
+/// Dispatch a scalar builtin by its pre-resolved id.
+pub fn call_id(id: ScalarFuncId, args: &[Value]) -> Result<Value> {
+    use ScalarFuncId::*;
     // Functions with explicit NULL semantics first.
-    match name {
-        "if_null" => {
+    match id {
+        IfNull => {
             return Ok(if args[0].is_null() {
                 args[1].clone()
             } else {
                 args[0].clone()
             })
         }
-        "if" => {
+        If => {
             return Ok(if args[0].as_bool()? {
                 args[1].clone()
             } else {
@@ -29,24 +202,25 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
     if args.iter().any(Value::is_null) {
         return Ok(Value::Null);
     }
-    Ok(match name {
-        "abs" => match &args[0] {
+    Ok(match id {
+        IfNull | If => unreachable!("handled above"),
+        Abs => match &args[0] {
             Value::Int(v) => Value::Int(v.abs()),
             Value::Bigint(v) => Value::Bigint(v.abs()),
             Value::Float(v) => Value::Float(v.abs()),
             v => Value::Double(v.as_f64()?.abs()),
         },
-        "ceil" => Value::Bigint(args[0].as_f64()?.ceil() as i64),
-        "floor" => Value::Bigint(args[0].as_f64()?.floor() as i64),
-        "round" => Value::Bigint(args[0].as_f64()?.round() as i64),
-        "sqrt" => Value::Double(args[0].as_f64()?.sqrt()),
-        "log" => Value::Double(args[0].as_f64()?.ln()),
-        "exp" => Value::Double(args[0].as_f64()?.exp()),
-        "pow" => Value::Double(args[0].as_f64()?.powf(args[1].as_f64()?)),
-        "upper" => Value::string(args[0].as_str()?.to_uppercase()),
-        "lower" => Value::string(args[0].as_str()?.to_lowercase()),
-        "char_length" => Value::Int(args[0].as_str()?.chars().count() as i32),
-        "substr" => {
+        Ceil => Value::Bigint(args[0].as_f64()?.ceil() as i64),
+        Floor => Value::Bigint(args[0].as_f64()?.floor() as i64),
+        Round => Value::Bigint(args[0].as_f64()?.round() as i64),
+        Sqrt => Value::Double(args[0].as_f64()?.sqrt()),
+        Log => Value::Double(args[0].as_f64()?.ln()),
+        Exp => Value::Double(args[0].as_f64()?.exp()),
+        Pow => Value::Double(args[0].as_f64()?.powf(args[1].as_f64()?)),
+        Upper => Value::string(args[0].as_str()?.to_uppercase()),
+        Lower => Value::string(args[0].as_str()?.to_lowercase()),
+        CharLength => Value::Int(args[0].as_str()?.chars().count() as i32),
+        Substr => {
             let s = args[0].as_str()?;
             let start = (args[1].as_i64()?.max(1) - 1) as usize; // SQL is 1-based
             let len = match args.get(2) {
@@ -55,7 +229,7 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
             };
             Value::string(s.chars().skip(start).take(len).collect::<String>())
         }
-        "concat" => {
+        Concat => {
             let mut out = String::new();
             for a in args {
                 match a {
@@ -65,15 +239,15 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
             }
             Value::string(out)
         }
-        "is_in" => {
+        IsIn => {
             let needle = args[0].as_str()?;
             let hay = args[1].as_str()?;
             Value::Bool(hay.split(',').any(|p| p.trim() == needle))
         }
-        "split_by_key" => split_by_key(args, true)?,
-        "split_by_value" => split_by_key(args, false)?,
-        "multiclass_label" => Value::Bigint(args[0].as_i64()?),
-        "binary_label" => Value::Int(
+        SplitByKey => split_by_key(args, true)?,
+        SplitByValue => split_by_key(args, false)?,
+        MulticlassLabel => Value::Bigint(args[0].as_i64()?),
+        BinaryLabel => Value::Int(
             if args[0]
                 .as_bool()
                 .or_else(|_| args[0].as_i64().map(|v| v != 0))?
@@ -83,8 +257,8 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
                 0
             },
         ),
-        "continuous" => Value::Double(args[0].as_f64()?),
-        "discrete" => {
+        Continuous => Value::Double(args[0].as_f64()?),
+        Discrete => {
             // Feature-hash a value into `dim` buckets (default 1 << 20),
             // the high-dimensional sparse encoding of Section 4.1.
             let dim = match args.get(1) {
@@ -93,33 +267,33 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
             };
             Value::Bigint((hash_value(&args[0]) % dim as u64) as i64)
         }
-        "hash64" => Value::Bigint(hash_value(&args[0]) as i64),
-        "day" => Value::Int(((args[0].as_i64()? / 86_400_000) % 365) as i32),
-        "hour" => Value::Int(((args[0].as_i64()? / 3_600_000) % 24) as i32),
-        "minute" => Value::Int(((args[0].as_i64()? / 60_000) % 60) as i32),
-        "geo_distance" => {
+        Hash64 => Value::Bigint(hash_value(&args[0]) as i64),
+        Day => Value::Int(((args[0].as_i64()? / 86_400_000) % 365) as i32),
+        Hour => Value::Int(((args[0].as_i64()? / 3_600_000) % 24) as i32),
+        Minute => Value::Int(((args[0].as_i64()? / 60_000) % 60) as i32),
+        GeoDistance => {
             let (lat1, lon1) = (args[0].as_f64()?, args[1].as_f64()?);
             let (lat2, lon2) = (args[2].as_f64()?, args[3].as_f64()?);
             Value::Double(haversine_m(lat1, lon1, lat2, lon2))
         }
-        "geo_hash" => {
+        GeoHash => {
             let (lat, lon) = (args[0].as_f64()?, args[1].as_f64()?);
             let precision = args[2].as_i64()?.clamp(1, 30) as u32;
             Value::Bigint(geo_hash(lat, lon, precision))
         }
         // ---- additional math -------------------------------------------
-        "sin" => Value::Double(args[0].as_f64()?.sin()),
-        "cos" => Value::Double(args[0].as_f64()?.cos()),
-        "tan" => Value::Double(args[0].as_f64()?.tan()),
-        "atan" => Value::Double(args[0].as_f64()?.atan()),
-        "log2" => Value::Double(args[0].as_f64()?.log2()),
-        "log10" => Value::Double(args[0].as_f64()?.log10()),
-        "truncate" => {
+        Sin => Value::Double(args[0].as_f64()?.sin()),
+        Cos => Value::Double(args[0].as_f64()?.cos()),
+        Tan => Value::Double(args[0].as_f64()?.tan()),
+        Atan => Value::Double(args[0].as_f64()?.atan()),
+        Log2 => Value::Double(args[0].as_f64()?.log2()),
+        Log10 => Value::Double(args[0].as_f64()?.log10()),
+        Truncate => {
             let d = args[1].as_i64()?.clamp(0, 18) as u32;
             let scale = 10f64.powi(d as i32);
             Value::Double((args[0].as_f64()? * scale).trunc() / scale)
         }
-        "sign" => Value::Int({
+        Sign => Value::Int({
             let v = args[0].as_f64()?;
             if v > 0.0 {
                 1
@@ -129,38 +303,38 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
                 0
             }
         }),
-        "greatest" => args
+        Greatest => args
             .iter()
             .max_by(|a, b| a.total_cmp(b))
             .cloned()
             .unwrap_or(Value::Null),
-        "least" => args
+        Least => args
             .iter()
             .min_by(|a, b| a.total_cmp(b))
             .cloned()
             .unwrap_or(Value::Null),
-        "degrees" => Value::Double(args[0].as_f64()?.to_degrees()),
-        "radians" => Value::Double(args[0].as_f64()?.to_radians()),
+        Degrees => Value::Double(args[0].as_f64()?.to_degrees()),
+        Radians => Value::Double(args[0].as_f64()?.to_radians()),
         // ---- additional strings -----------------------------------------
-        "trim" => Value::string(args[0].as_str()?.trim()),
-        "ltrim" => Value::string(args[0].as_str()?.trim_start()),
-        "rtrim" => Value::string(args[0].as_str()?.trim_end()),
-        "replace" => Value::string(
+        Trim => Value::string(args[0].as_str()?.trim()),
+        Ltrim => Value::string(args[0].as_str()?.trim_start()),
+        Rtrim => Value::string(args[0].as_str()?.trim_end()),
+        Replace => Value::string(
             args[0]
                 .as_str()?
                 .replace(args[1].as_str()?, args[2].as_str()?),
         ),
-        "reverse" => Value::string(args[0].as_str()?.chars().rev().collect::<String>()),
-        "strcmp" => Value::Int(match args[0].as_str()?.cmp(args[1].as_str()?) {
+        Reverse => Value::string(args[0].as_str()?.chars().rev().collect::<String>()),
+        Strcmp => Value::Int(match args[0].as_str()?.cmp(args[1].as_str()?) {
             std::cmp::Ordering::Less => -1,
             std::cmp::Ordering::Equal => 0,
             std::cmp::Ordering::Greater => 1,
         }),
-        "starts_with" => Value::Bool(args[0].as_str()?.starts_with(args[1].as_str()?)),
-        "ends_with" => Value::Bool(args[0].as_str()?.ends_with(args[1].as_str()?)),
-        "lcase" => Value::string(args[0].as_str()?.to_lowercase()),
-        "ucase" => Value::string(args[0].as_str()?.to_uppercase()),
-        "lpad" | "rpad" => {
+        StartsWith => Value::Bool(args[0].as_str()?.starts_with(args[1].as_str()?)),
+        EndsWith => Value::Bool(args[0].as_str()?.ends_with(args[1].as_str()?)),
+        Lcase => Value::string(args[0].as_str()?.to_lowercase()),
+        Ucase => Value::string(args[0].as_str()?.to_uppercase()),
+        Lpad | Rpad => {
             let s = args[0].as_str()?;
             let target = args[1].as_i64()?.max(0) as usize;
             let pad = args[2].as_str()?;
@@ -169,41 +343,40 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
                 Value::string(s.chars().take(target).collect::<String>())
             } else {
                 let fill: String = pad.chars().cycle().take(target - current).collect();
-                if name == "lpad" {
+                if id == Lpad {
                     Value::string(format!("{fill}{s}"))
                 } else {
                     Value::string(format!("{s}{fill}"))
                 }
             }
         }
-        "string" => Value::string(args[0].to_string()),
+        StringCast => Value::string(args[0].to_string()),
         // ---- additional time (civil-calendar on epoch millis, UTC) ------
-        "year" => Value::Int(civil_from_ms(args[0].as_i64()?).0),
-        "month" => Value::Int(civil_from_ms(args[0].as_i64()?).1),
-        "dayofmonth" => Value::Int(civil_from_ms(args[0].as_i64()?).2),
-        "dayofweek" => {
+        Year => Value::Int(civil_from_ms(args[0].as_i64()?).0),
+        Month => Value::Int(civil_from_ms(args[0].as_i64()?).1),
+        DayOfMonth => Value::Int(civil_from_ms(args[0].as_i64()?).2),
+        DayOfWeek => {
             // 1 = Sunday .. 7 = Saturday (MySQL convention); epoch day 0
             // (1970-01-01) was a Thursday.
             let days = args[0].as_i64()?.div_euclid(86_400_000);
             Value::Int(((days + 4).rem_euclid(7) + 1) as i32)
         }
-        "week" => {
+        Week => {
             let days = args[0].as_i64()?.div_euclid(86_400_000);
             Value::Int(((days + 3).rem_euclid(371) / 7 + 1).min(53) as i32)
         }
         // ---- conversions --------------------------------------------------
-        "double" => Value::Double(match &args[0] {
+        Double => Value::Double(match &args[0] {
             Value::Str(s) => s.trim().parse::<f64>().unwrap_or(f64::NAN),
             other => other.as_f64()?,
         }),
-        "bigint" => Value::Bigint(match &args[0] {
+        Bigint => Value::Bigint(match &args[0] {
             Value::Str(s) => s
                 .trim()
                 .parse::<i64>()
                 .map_err(|e| Error::Eval(format!("cannot cast `{s}` to BIGINT: {e}")))?,
             other => other.as_i64().unwrap_or(other.as_f64()? as i64),
         }),
-        other => return Err(Error::Eval(format!("unknown scalar function `{other}`"))),
     })
 }
 

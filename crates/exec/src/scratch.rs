@@ -8,6 +8,7 @@
 
 use openmldb_types::{KeyValue, Value};
 
+use crate::program::WindowState;
 use crate::window::WindowAggSet;
 
 /// Length sentinel marking the request row itself inside the entry list —
@@ -67,6 +68,12 @@ pub struct RequestScratch {
     /// Warm per-window aggregate sets, indexed by window id. `None` until
     /// first use (windows are built lazily from the deployment plan).
     pub windows: Vec<Option<WindowAggSet>>,
+    /// Warm per-window compiled-kernel states, indexed by window id. `None`
+    /// until the window first runs through its compiled program.
+    pub compiled: Vec<Option<WindowState>>,
+    /// Reusable value stack for compiled expression programs
+    /// ([`crate::program::ExprProgram::eval`]) — grown once, reused per row.
+    pub vm_stack: Vec<Value>,
     /// Pooled flight-recorder ring for tail-latency post-mortems. The ring
     /// allocation survives across requests; [`reset`](Self::reset) leaves it
     /// alone so the warm path stays allocation-free.
@@ -134,7 +141,11 @@ impl RequestScratch {
         self.entries.clear();
         self.out.clear();
         self.key_repr.clear();
+        self.vm_stack.clear();
         for w in self.windows.iter_mut().flatten() {
+            w.reset();
+        }
+        for w in self.compiled.iter_mut().flatten() {
             w.reset();
         }
     }

@@ -107,9 +107,11 @@ impl SharedNumeric {
     }
 }
 
-/// Which statistic of the shared state a binding projects.
+/// Which statistic of the shared state a binding projects. Shared with the
+/// compiled-program kernels in [`crate::program`], which replicate
+/// [`SharedNumeric`]'s fold bit-for-bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Projection {
+pub(crate) enum Projection {
     Sum,
     Count,
     Avg,
@@ -118,7 +120,7 @@ enum Projection {
     Stddev,
 }
 
-fn projection_for(func: &str) -> Option<Projection> {
+pub(crate) fn projection_for(func: &str) -> Option<Projection> {
     Some(match func {
         "sum" => Projection::Sum,
         "count" => Projection::Count,

@@ -79,6 +79,12 @@ pub enum FlightEventKind {
     PlanCacheHit,
     /// Plan cache miss (full plan build).
     PlanCacheMiss,
+    /// A window was served by its compiled bytecode program (`a` = window
+    /// id).
+    CompiledWindow,
+    /// A window fell back to the interpreted path because its plan did not
+    /// specialize (`a` = window id).
+    CompiledFallback,
 }
 
 impl FlightEventKind {
@@ -97,6 +103,8 @@ impl FlightEventKind {
             FlightEventKind::Degraded => "degraded",
             FlightEventKind::PlanCacheHit => "plan_cache_hit",
             FlightEventKind::PlanCacheMiss => "plan_cache_miss",
+            FlightEventKind::CompiledWindow => "compiled_window",
+            FlightEventKind::CompiledFallback => "compiled_fallback",
         }
     }
 }

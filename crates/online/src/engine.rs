@@ -13,7 +13,9 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use openmldb_exec::{evaluate, RequestScratch, ScanEntry, WindowAggSet, REQUEST_ROW};
+use openmldb_exec::{
+    evaluate, EntryOrder, Program, RequestScratch, ScanEntry, WindowAggSet, REQUEST_ROW,
+};
 use openmldb_obs::trace as obs;
 use openmldb_obs::{
     flight, CostProfile, FlightEventKind, FlightScope, FlightSummary, LabelId, LabelRegistry,
@@ -85,6 +87,11 @@ pub struct Deployment {
     /// Base-schema codec: the streaming scan reads stored rows in place
     /// through [`RowView`](openmldb_types::RowView) instead of decoding.
     codec: CompactCodec,
+    /// The deploy-time specialized bytecode program — monomorphized window
+    /// kernels plus flattened select/WHERE expressions. Shared across
+    /// deployments of the same cached plan; windows it declined stay on the
+    /// interpreted path.
+    program: Arc<Program>,
     /// Warm [`RequestScratch`] buffers — steady-state requests pop one,
     /// serve allocation-free, and push it back.
     scratch_pool: Mutex<Vec<RequestScratch>>,
@@ -120,6 +127,7 @@ impl Deployment {
             .map(|j| j.eq_pairs.iter().map(|&(_, r)| r).collect())
             .collect();
         let codec = CompactCodec::new(query.base_schema.clone());
+        let program = openmldb_exec::specialize(&query);
         Deployment {
             name,
             query,
@@ -128,9 +136,24 @@ impl Deployment {
             by_window,
             join_right_keys,
             codec,
+            program,
             scratch_pool: Mutex::new(Vec::new()),
             label,
         }
+    }
+
+    /// The specialized bytecode program this deployment executes with.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Force every window and expression onto the interpreted path
+    /// (benchmarks and differential tests — the interpreted route is the
+    /// compiled path's correctness oracle and must stay reachable even for
+    /// plans that specialize).
+    pub fn with_interpreted_windows(mut self) -> Self {
+        self.program = Arc::new(Program::interpreted_only(self.query.windows.len()));
+        self
     }
 
     /// This deployment's slot in the global label registry (the key under
@@ -327,6 +350,8 @@ fn execute_streaming(
         entries,
         out,
         windows,
+        compiled,
+        vm_stack,
         // The recorder was moved out by `execute_request_with` before this
         // borrow; the field is empty here.
         flight: _,
@@ -380,9 +405,15 @@ fn execute_streaming(
     })?;
 
     // 2. WHERE filter (a request failing the predicate yields an all-NULL
-    // feature row rather than an error).
+    // feature row rather than an error). Compiled plans run the flattened
+    // register-machine program over the pooled stack; uncompiled predicates
+    // take the interpreted tree walk.
     if let Some(pred) = &q.where_clause {
-        if !evaluate(pred, combined, &[])?.as_bool()? {
+        let pass = match dep.program.where_program() {
+            Some(p) => p.eval(combined, &[], vm_stack)?.as_bool()?,
+            None => evaluate(pred, combined, &[])?.as_bool()?,
+        };
+        if !pass {
             // analysis:allow(hot-path-alloc): this *is* the final output
             // row — the one allocation the zero-alloc contract permits.
             let nulls = vec![Value::Null; q.output_schema.len()];
@@ -569,6 +600,72 @@ fn execute_streaming(
 
                 obs::span(obs::Stage::Aggregate, || -> Result<()> {
                     ctx.check("aggregate")?;
+                    let budget_ms = ctx.opts.deadline.budget_ms();
+
+                    // Compiled fast path: deploy-time monomorphized kernels
+                    // fold raw encoded bytes — no per-row `Value` dispatch,
+                    // and no sort when the scan order is already usable.
+                    if let Some(wp) = dep.program.window(wid) {
+                        crate::metrics::compiled_windows().inc();
+                        flight::event(FlightEventKind::CompiledWindow, wid as u32, 0);
+                        let n = entries.len();
+                        let total = n + usize::from(include_request);
+                        let first = wp.first_in_frame(total);
+                        // Storage yields newest-first per table: a strictly
+                        // descending scan replays ascending order in reverse
+                        // with no sort. Any ts tie or union interleave falls
+                        // back to the stable `(ts, seq)` sort.
+                        let order = if entries.windows(2).all(|w| w[0].ts > w[1].ts) {
+                            EntryOrder::ReversedScan
+                        } else {
+                            entries.sort_unstable_by_key(|e| (e.ts, e.seq));
+                            EntryOrder::Ascending
+                        };
+                        if compiled.len() < q.windows.len() {
+                            compiled.resize_with(q.windows.len(), || None);
+                        }
+                        if compiled[wid].is_none() {
+                            compiled[wid] = Some(wp.new_state());
+                        }
+                        // analysis:allow(panic-path): slot filled two lines up.
+                        let state = compiled[wid].as_mut().expect("state built above");
+                        // The request row sorts last (anchor ts, max seq);
+                        // it joins the fold only when the frame reaches it.
+                        let req = (include_request && first < total).then(|| request.values());
+                        let mut probe = || -> Result<()> {
+                            if !ctx.degraded() && ctx.deadline_expired() {
+                                flight::event(FlightEventKind::DeadlineProbe, 0, 0);
+                                return Err(Error::Timeout {
+                                    stage: "window_agg",
+                                    budget_ms,
+                                });
+                            }
+                            Ok(())
+                        };
+                        wp.run(
+                            state,
+                            entries,
+                            first.min(n),
+                            order,
+                            arena,
+                            req,
+                            &dep.codec,
+                            &mut probe,
+                        )?;
+                        out.clear();
+                        wp.outputs_into(state, arena, req, out)?;
+                        for (slot, v) in dep.by_window[wid].iter().zip(out.drain(..)) {
+                            agg_values[*slot] = v;
+                        }
+                        return Ok(());
+                    }
+                    if dep.program.fallback_reason(wid).is_some() {
+                        // Attribute every interpreted serve of a window the
+                        // specializer declined.
+                        crate::metrics::compiled_fallback().inc();
+                        flight::event(FlightEventKind::CompiledFallback, wid as u32, 0);
+                    }
+
                     if include_request {
                         // The request row is already decoded; a sentinel
                         // entry places it in the sort order.
@@ -601,12 +698,24 @@ fn execute_streaming(
                     }
                     // analysis:allow(panic-path): slot filled two lines up.
                     let set = windows[wid].as_mut().expect("window set built above");
+                    let mut fed = 0u32;
                     for e in &entries[first..] {
                         if e.is_request_row() {
                             set.update(request.values())?;
                         } else {
                             let view = dep.codec.view(e.bytes(arena))?;
                             set.update_view(&view)?;
+                        }
+                        // Mirror the compiled path's every-64-rows deadline
+                        // probe so timeout behavior is identical across
+                        // paths.
+                        fed += 1;
+                        if fed & 63 == 0 && !ctx.degraded() && ctx.deadline_expired() {
+                            flight::event(FlightEventKind::DeadlineProbe, fed, 0);
+                            return Err(Error::Timeout {
+                                stage: "window_agg",
+                                budget_ms,
+                            });
                         }
                     }
                     out.clear();
@@ -654,12 +763,22 @@ fn execute_streaming(
     }
 
     // 4. Project the select list (the output row is the one owned
-    // allocation a warm request makes — `Row` owns its values).
+    // allocation a warm request makes — `Row` owns its values). Compiled
+    // plans run the flattened expression programs over the pooled stack.
     obs::span(obs::Stage::Encode, || -> Result<Row> {
         ctx.check("encode")?;
         let mut projected = Vec::with_capacity(q.select.len());
-        for col in &q.select {
-            projected.push(evaluate(&col.expr, combined, agg_values)?);
+        match dep.program.select_programs() {
+            Some(programs) => {
+                for p in programs {
+                    projected.push(p.eval(combined, agg_values, vm_stack)?);
+                }
+            }
+            None => {
+                for col in &q.select {
+                    projected.push(evaluate(&col.expr, combined, agg_values)?);
+                }
+            }
         }
         Ok(Row::new(projected))
     })

@@ -163,6 +163,26 @@ pub fn preagg_bucket_hits() -> &'static Counter {
     )
 }
 
+/// Windows served by the compiled bytecode fast path.
+pub fn compiled_windows() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_compiled_windows_total",
+        "Windows served by compiled bytecode programs",
+    )
+}
+
+/// Windows that ran interpreted because their plan did not specialize.
+pub fn compiled_fallback() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_compiled_fallback_total",
+        "Windows served by the interpreted fallback after specialization declined",
+    )
+}
+
 /// Transient-fault retries performed by the resilient request path.
 pub fn retries() -> &'static Counter {
     static M: OnceLock<Arc<Counter>> = OnceLock::new();

@@ -6,6 +6,14 @@
 //! `select A from T` and `SELECT a  FROM T` share one cached plan when the
 //! identifier case matches. The cache also tracks hit/miss counters, which
 //! the benchmarks report.
+//!
+//! Cached plans carry their deploy-time artifacts with them: each
+//! [`CompiledQuery`] owns a
+//! [`SpecializationSlot`](crate::plan::SpecializationSlot) that the exec
+//! layer fills with the plan's specialized bytecode program on first
+//! deployment. A cache hit therefore shares not just the bound plan but the
+//! compiled program too — re-deploying an equivalent script never pays
+//! specialization again.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -260,6 +268,25 @@ mod tests {
         let p2 = cache.compile("SELECT k FROM t", &cat).unwrap();
         assert!(!Arc::ptr_eq(&p1, &p2));
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cache_hits_share_the_specialization_slot() {
+        // The deploy-time bytecode program rides the plan's specialization
+        // slot: a cache hit must expose the same slot (same OnceLock), so
+        // whoever fills it first — the exec layer's `specialize` — serves
+        // every later deployment of the equivalent script.
+        let cache = PlanCache::new();
+        let cat = catalog();
+        let p1 = cache.compile("SELECT k FROM t", &cat).unwrap();
+        let p2 = cache.compile("select   k from t;", &cat).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let filled: Arc<dyn std::any::Any + Send + Sync> = Arc::new(42usize);
+        let got = p1.specialized.get_or_init(|| filled.clone());
+        assert!(Arc::ptr_eq(
+            &got,
+            &p2.specialized.get().expect("slot visible through the hit")
+        ));
     }
 
     #[test]

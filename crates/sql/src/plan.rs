@@ -13,7 +13,9 @@
 //! resolved at compile time, so per-request work is a flat tree walk with no
 //! name lookups — the property the JIT design is after.
 
+use std::any::Any;
 use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
 
 use openmldb_types::{ColumnDef, DataType, Error, Result, Schema, Value};
 
@@ -162,6 +164,45 @@ pub struct OutputColumn {
     pub data_type: DataType,
 }
 
+/// Write-once slot where the execution layer attaches the deploy-time
+/// specialized program for this plan (paper Section 4.2's "compiled artifact
+/// cached with the plan" — the reproduction's stand-in for cached LLVM IR).
+///
+/// The slot is type-erased (`dyn Any`) so this crate stays independent of
+/// the execution crate that defines the program representation. Clones share
+/// the slot, which is what makes the program ride along with the
+/// `Arc<CompiledQuery>` handed out by the plan cache: every deployment of a
+/// cache-hit plan sees the same compiled program without recompiling.
+#[derive(Clone, Default)]
+pub struct SpecializationSlot(Arc<OnceLock<Arc<dyn Any + Send + Sync>>>);
+
+impl SpecializationSlot {
+    /// The cached program, initializing it with `init` on first access.
+    /// Concurrent initializers race benignly; one value wins and is returned
+    /// to everyone.
+    pub fn get_or_init(
+        &self,
+        init: impl FnOnce() -> Arc<dyn Any + Send + Sync>,
+    ) -> Arc<dyn Any + Send + Sync> {
+        self.0.get_or_init(init).clone()
+    }
+
+    /// The cached program, if one has been attached.
+    pub fn get(&self) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.0.get().cloned()
+    }
+}
+
+impl std::fmt::Debug for SpecializationSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.get().is_some() {
+            "SpecializationSlot(compiled)"
+        } else {
+            "SpecializationSlot(unset)"
+        })
+    }
+}
+
 /// The compiled query — the single artifact both engines execute.
 #[derive(Debug, Clone)]
 pub struct CompiledQuery {
@@ -178,6 +219,10 @@ pub struct CompiledQuery {
     pub output_schema: Schema,
     pub limit: Option<usize>,
     pub stats: PlanStats,
+    /// Deploy-time specialized program, attached lazily by the execution
+    /// layer and shared across every clone of this plan (including the
+    /// cached `Arc` in [`crate::cache::PlanCache`]).
+    pub specialized: SpecializationSlot,
 }
 
 impl CompiledQuery {
@@ -465,6 +510,7 @@ pub fn compile_select(stmt: &SelectStatement, catalog: &dyn Catalog) -> Result<C
         select,
         output_schema,
         limit: stmt.limit,
+        specialized: SpecializationSlot::default(),
     })
 }
 

@@ -95,6 +95,27 @@ impl CompactCodec {
         &self.schema
     }
 
+    /// Absolute byte offset of fixed-width column `i` within an encoded row
+    /// (`None` for var-length columns). Deploy-time plan specialization bakes
+    /// these into compiled programs so the per-row read is a single indexed
+    /// load with no layout lookup.
+    pub fn fixed_field_offset(&self, i: usize) -> Option<usize> {
+        let off = *self.fixed_offsets.get(i)?;
+        (off != usize::MAX).then(|| HEADER_SIZE + self.bitmap_len + off)
+    }
+
+    /// Minimum valid encoded length for this schema: header + null bitmap +
+    /// fixed area. Every fixed-width field of a buffer at least this long is
+    /// addressable via [`Self::fixed_field_offset`].
+    pub fn min_encoded_len(&self) -> usize {
+        HEADER_SIZE + self.bitmap_len + self.fixed_area
+    }
+
+    /// Schema version recorded in (and required of) every row header.
+    pub fn schema_version(&self) -> u8 {
+        self.schema_version
+    }
+
     /// Width in bytes of one var-field offset, given the string area size.
     /// The narrowest of 1/2/4 that can address `var_bytes` is used.
     fn offset_width(var_bytes: usize) -> usize {

@@ -5,9 +5,20 @@
 //! float-fold order. Fuzzed across random schemas (numeric and var-length
 //! string columns, random null bitmaps), ROWS / ROWS_RANGE frames,
 //! MAXSIZE caps and EXCLUDE CURRENT_ROW.
+//!
+//! Since plans now specialize into bytecode programs at deploy time, the
+//! oracle runs **three-way**: the compiled streaming path (the deployment's
+//! default when the plan specializes), the interpreted streaming path
+//! (pinned via [`Deployment::with_interpreted_windows`]), and the
+//! materializing reference — all bit-identical, including typed deadline
+//! timeouts.
 
-use openmldb::online::{execute_request, execute_request_materialized};
-use openmldb::{Database, Row, Value};
+use std::time::Duration;
+
+use openmldb::online::{
+    execute_request, execute_request_materialized, execute_request_with, Deployment,
+};
+use openmldb::{Database, Error, RequestOptions, Row, Value};
 use proptest::prelude::*;
 
 /// Payload column type by index: the mix covers every RowView read shape —
@@ -120,20 +131,168 @@ proptest! {
         );
         db.deploy(&format!("DEPLOY p AS {sql}")).unwrap();
         let dep = db.deployment("p").unwrap();
+        // Same plan, specialization pinned off: the interpreted streaming
+        // path the compiled kernels must reproduce bit for bit.
+        let interp =
+            Deployment::new("p_interp", dep.query.clone()).with_interpreted_windows();
 
         for (n, (k, ts, seed, nulls)) in probes.iter().enumerate() {
             let probe = make_row(900_000 + n as i64, *k, *ts, &cols, *seed, *nulls);
             let streaming = execute_request(&db, &dep, &probe).unwrap();
+            let interpreted = execute_request(&db, &interp, &probe).unwrap();
             let materialized = execute_request_materialized(&db, &dep, &probe).unwrap();
-            // Bit-identical: both paths fold the same values in the same
+            // Bit-identical: all paths fold the same values in the same
             // order, so even float aggregates must match exactly.
             prop_assert_eq!(
                 streaming.values(),
                 materialized.values(),
-                "probe {} diverged under {}",
+                "probe {} diverged (compiled vs materialized) under {}",
+                n,
+                sql
+            );
+            prop_assert_eq!(
+                streaming.values(),
+                interpreted.values(),
+                "probe {} diverged (compiled vs interpreted) under {}",
                 n,
                 sql
             );
         }
+
+        // Typed timeout parity: an exhausted deadline must surface the same
+        // `Error::Timeout` on the compiled and interpreted streaming paths
+        // (degradation off so the timeout cannot be absorbed).
+        let (k, ts, seed, nulls) = probes[0];
+        let probe = make_row(990_000, k, ts, &cols, seed, nulls);
+        let opts = RequestOptions {
+            allow_degraded: false,
+            ..RequestOptions::with_deadline(Duration::ZERO)
+        };
+        let compiled_timeout = execute_request_with(&db, &dep, &probe, &opts);
+        let interp_timeout = execute_request_with(&db, &interp, &probe, &opts);
+        match (&compiled_timeout, &interp_timeout) {
+            (
+                Err(Error::Timeout { stage: s1, budget_ms: b1 }),
+                Err(Error::Timeout { stage: s2, budget_ms: b2 }),
+            ) => {
+                prop_assert_eq!(s1, s2, "timeout stages diverged");
+                prop_assert_eq!(b1, b2);
+            }
+            other => prop_assert!(false, "expected typed timeouts, got {:?}", other),
+        }
+    }
+}
+
+/// A plan using an aggregate with no specialized kernel (`distinct_count`)
+/// must fall back per window: the deployment still serves correct answers
+/// through the interpreted path, and every such serve is attributed on the
+/// fallback counter.
+#[test]
+fn unsupported_plans_serve_interpreted_with_fallback_attribution() {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE t (id BIGINT, k BIGINT, v BIGINT, ts TIMESTAMP, \
+         INDEX(KEY=k, TS=ts))",
+    )
+    .unwrap();
+    for i in 0..40i64 {
+        db.insert_row(
+            "t",
+            &Row::new(vec![
+                Value::Bigint(i),
+                Value::Bigint(i % 3),
+                Value::Bigint(i * 7 % 13),
+                Value::Timestamp(1_000 + i),
+            ]),
+        )
+        .unwrap();
+    }
+    db.deploy(
+        "DEPLOY pf AS SELECT id, distinct_count(v) OVER w AS dc, sum(v) OVER w AS sv \
+         FROM t WINDOW w AS (PARTITION BY k ORDER BY ts \
+         ROWS BETWEEN 10 PRECEDING AND CURRENT ROW)",
+    )
+    .unwrap();
+    let dep = db.deployment("pf").unwrap();
+
+    // The specializer recorded why the window stays interpreted.
+    assert!(
+        dep.program()
+            .fallback_reason(0)
+            .is_some_and(|r| r.contains("no specialized kernel")),
+        "distinct_count must decline specialization"
+    );
+    assert_eq!(dep.program().compiled_windows(), 0);
+    assert_eq!(dep.program().fallback_windows(), 1);
+
+    let before = openmldb::online::metrics::compiled_fallback().value();
+    let probe = Row::new(vec![
+        Value::Bigint(900_000),
+        Value::Bigint(1),
+        Value::Bigint(5),
+        Value::Timestamp(2_000),
+    ]);
+    let served = execute_request(&db, &dep, &probe).unwrap();
+    let oracle = execute_request_materialized(&db, &dep, &probe).unwrap();
+    assert_eq!(served.values(), oracle.values());
+    // Counter attribution is compiled out under obs-off; the serve-path
+    // equivalence above is the part that must hold everywhere.
+    if cfg!(not(feature = "obs-off")) {
+        assert_eq!(
+            openmldb::online::metrics::compiled_fallback().value(),
+            before + 1,
+            "each interpreted serve of a declined window increments the counter"
+        );
+    }
+}
+
+/// Plans inside the specializable subset compile end to end and serve
+/// through the kernels (sanity pin for the compiled-path counter, so the
+/// three-way proptest above is actually comparing distinct paths).
+#[test]
+fn specialized_plans_serve_through_compiled_kernels() {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE t (id BIGINT, k BIGINT, v DOUBLE, ts TIMESTAMP, \
+         INDEX(KEY=k, TS=ts))",
+    )
+    .unwrap();
+    for i in 0..64i64 {
+        db.insert_row(
+            "t",
+            &Row::new(vec![
+                Value::Bigint(i),
+                Value::Bigint(i % 2),
+                Value::Double(i as f64 * 0.75 - 9.0),
+                Value::Timestamp(1_000 + i),
+            ]),
+        )
+        .unwrap();
+    }
+    db.deploy(
+        "DEPLOY pc AS SELECT id, sum(v) OVER w AS sv, min(v) OVER w AS mv, \
+         stddev(v) OVER w AS dv FROM t WINDOW w AS (PARTITION BY k ORDER BY ts \
+         ROWS BETWEEN 20 PRECEDING AND CURRENT ROW MAXSIZE 15)",
+    )
+    .unwrap();
+    let dep = db.deployment("pc").unwrap();
+    assert_eq!(dep.program().compiled_windows(), 1);
+    assert_eq!(dep.program().fallback_windows(), 0);
+
+    let before = openmldb::online::metrics::compiled_windows().value();
+    let probe = Row::new(vec![
+        Value::Bigint(900_000),
+        Value::Bigint(1),
+        Value::Double(3.5),
+        Value::Timestamp(2_000),
+    ]);
+    let served = execute_request(&db, &dep, &probe).unwrap();
+    let oracle = execute_request_materialized(&db, &dep, &probe).unwrap();
+    assert_eq!(served.values(), oracle.values());
+    if cfg!(not(feature = "obs-off")) {
+        assert_eq!(
+            openmldb::online::metrics::compiled_windows().value(),
+            before + 1
+        );
     }
 }
