@@ -835,6 +835,19 @@ mod tests {
             "openmldb_exec_program_fallbacks_total",
             "openmldb_online_compiled_windows_total",
             "openmldb_online_compiled_fallback_total",
+            // Consistency-sentinel names: warm-path sampling and the
+            // background audit live in online; the HTTP exposition counter
+            // in obs.
+            "openmldb_online_sentinel_samples_total",
+            "openmldb_online_sentinel_audits_total",
+            "openmldb_online_sentinel_divergences_total",
+            "openmldb_online_sentinel_stale_skips_total",
+            "openmldb_online_sentinel_dropped_total",
+            "openmldb_online_sentinel_errors_total",
+            "openmldb_online_sentinel_lag_count",
+            "openmldb_online_deployment_divergences_total",
+            "openmldb_online_deployment_divergences_total{deployment=\"d1\"}",
+            "openmldb_obs_ops_requests_total",
         ];
         for name in [
             "openmldb_obs_postmortems_total",
@@ -856,6 +869,15 @@ mod tests {
             "openmldb_exec_program_fallbacks_total",
             "openmldb_online_compiled_windows_total",
             "openmldb_online_compiled_fallback_total",
+            "openmldb_online_sentinel_samples_total",
+            "openmldb_online_sentinel_audits_total",
+            "openmldb_online_sentinel_divergences_total",
+            "openmldb_online_sentinel_stale_skips_total",
+            "openmldb_online_sentinel_dropped_total",
+            "openmldb_online_sentinel_errors_total",
+            "openmldb_online_sentinel_lag_count",
+            "openmldb_online_deployment_divergences_total",
+            "openmldb_obs_ops_requests_total",
         ] {
             assert!(valid_metric_name(name), "{name} must satisfy the lint");
         }

@@ -12,6 +12,11 @@
 //! * request-rate trends from the labeled-metric sample rings;
 //! * the slow-query post-mortem log (threshold dropped to zero so it is
 //!   populated deterministically);
+//! * a consistency-audit section: the workload runs with sentinel sampling
+//!   on, the queue is drained through the oracle replays before rendering,
+//!   and the section reports samples/audits/divergences/queue lag plus a
+//!   per-deployment divergence line (clean "no data" when a filtered
+//!   deployment served nothing);
 //! * a durability & recovery section (WAL / snapshot / recovery counters,
 //!   fed by a small durable crash-and-recover roundtrip so the numbers are
 //!   live; renders a clean "no data" line when nothing durable has run).
@@ -25,6 +30,7 @@ use openmldb_bench::harness::scaled;
 use openmldb_bench::scenarios::{micro_db, micro_request, micro_sql};
 use openmldb_core::Database;
 use openmldb_obs::{flight, ProfileStore, Registry, SpaceSaving};
+use openmldb_online::sentinel;
 
 /// A small durable write → crash → recover roundtrip so the durability
 /// section reports live WAL/snapshot/recovery counters (the attribution
@@ -95,6 +101,42 @@ fn print_durability_section() {
     );
 }
 
+/// Consistency-audit section: cumulative sentinel counters plus a
+/// per-deployment divergence line (sliced from the labeled series, same
+/// no-data contract as the attribution table).
+fn print_sentinel_section(deployments: &[String]) {
+    let s = sentinel::stats();
+    if s.samples == 0 {
+        println!("  (no data: sentinel sampling has not captured any serves)");
+        return;
+    }
+    println!("  samples / audits        {} / {}", s.samples, s.audits);
+    println!("  divergences             {}", s.divergences);
+    println!(
+        "  stale skips / dropped   {} / {}",
+        s.stale_skips, s.dropped
+    );
+    println!("  replay errors           {}", s.errors);
+    println!("  queue lag               {}", s.queue);
+    let reg = Registry::global();
+    let req_series = reg.labeled_series("openmldb_online_deployment_requests_total");
+    let div_series = reg.labeled_series("openmldb_online_deployment_divergences_total");
+    let per_dep = |series: &[(String, u64)], dep: &str| -> u64 {
+        series
+            .iter()
+            .find(|(l, _)| l == dep)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    for dep in deployments {
+        if per_dep(&req_series, dep) == 0 {
+            println!("  {dep:<12} (no data: deployment has served no requests)");
+        } else {
+            println!("  {dep:<12} divergences {}", per_dep(&div_series, dep));
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
@@ -123,6 +165,10 @@ fn main() {
             .expect("deploy");
     }
 
+    // Sentinel sampling on for the whole workload: the consistency-audit
+    // section below reports live numbers, not a no-data placeholder.
+    sentinel::set_sample_every(4);
+
     let max_ts = rows as i64 * 10;
     // Skewed interleave: f_short serves 4x the requests of f_long, and
     // partition key 0 is hit far more than the rest — the top-K sections
@@ -142,6 +188,11 @@ fn main() {
             Registry::global().tick();
         }
     }
+
+    // Audit everything captured above before rendering, so the section
+    // reports settled verdicts rather than queue depth.
+    sentinel::set_sample_every(0);
+    while db.sentinel_drain(sentinel::MAX_QUEUE).remaining > 0 {}
 
     let deployments: Vec<String> = match &filter {
         Some(name) => vec![name.clone()],
@@ -208,6 +259,9 @@ fn main() {
                 println!("  {:<12} {}", dep, pts.join(" "));
             }
         }
+        println!();
+        println!("=== consistency audit ===");
+        print_sentinel_section(&deployments);
         println!();
         println!("=== durability & recovery ===");
         durable_roundtrip(scaled(200));

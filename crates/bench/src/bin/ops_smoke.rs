@@ -1,0 +1,126 @@
+//! Ops-endpoint smoke: boot a database with the live ops plane on an
+//! ephemeral port, serve a small sampled workload, then exercise every
+//! HTTP route over a real socket — `/metrics`, `/report`, `/healthz`,
+//! `/explain/<deployment>`, a 404 and a 405 — and exit non-zero on any
+//! unexpected status or body. Reads `BENCH_SCALE` like the other bins.
+//!
+//! Under `obs-off` the ops plane is compiled out; the smoke degenerates to
+//! checking that `start_ops` refuses cleanly.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use openmldb_bench::harness::scaled;
+use openmldb_bench::scenarios::{micro_db, micro_request, micro_sql};
+use openmldb_core::OpsConfig;
+use openmldb_online::sentinel;
+
+fn get(addr: SocketAddr, request_line: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect ops endpoint");
+    stream
+        .write_all(format!("{request_line}\r\nHost: localhost\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn main() {
+    let rows = scaled(2_000);
+    let keys = 10usize;
+    let db = Arc::new(micro_db(rows, keys, 0.0, 0));
+    db.deploy(&format!(
+        "DEPLOY f_ops AS {}",
+        micro_sql(1, 0, 30_000, false)
+    ))
+    .expect("deploy");
+
+    let plane = db.start_ops(OpsConfig {
+        http_addr: Some("127.0.0.1:0".into()),
+        sample_every: 4,
+        tick_every: Duration::from_millis(25),
+        audit_batch: 128,
+    });
+    if !openmldb_obs::enabled() {
+        assert!(plane.is_err(), "obs-off must refuse to start the ops plane");
+        println!("ops smoke OK (obs-off: start_ops refused as designed)");
+        return;
+    }
+    let plane = plane.expect("start ops plane");
+    let addr = plane.addr().expect("listener bound");
+
+    let max_ts = rows as i64 * 10;
+    for i in 0..64i64 {
+        db.request_readonly("f_ops", &micro_request(i, i % keys as i64, max_ts))
+            .expect("request");
+    }
+    // Settle every captured sample so /healthz reports audited verdicts.
+    sentinel::set_sample_every(0);
+    while db.sentinel_drain(sentinel::MAX_QUEUE).remaining > 0 {}
+
+    let mut failures = 0u32;
+    let mut check = |what: &str, ok: bool| {
+        if ok {
+            println!("  ok   {what}");
+        } else {
+            eprintln!("  FAIL {what}");
+            failures += 1;
+        }
+    };
+
+    let (status, body) = get(addr, "GET /metrics HTTP/1.1");
+    check("/metrics is 200", status == 200);
+    check(
+        "/metrics carries engine counters",
+        body.contains("openmldb_online_requests_total"),
+    );
+    check(
+        "/metrics carries sentinel counters",
+        body.contains("openmldb_online_sentinel_samples_total"),
+    );
+
+    let (status, body) = get(addr, "GET /report HTTP/1.1");
+    check("/report is 200", status == 200);
+    check("/report is JSON", body.trim_start().starts_with('{'));
+
+    let (status, body) = get(addr, "GET /healthz HTTP/1.1");
+    check("/healthz is 200", status == 200);
+    check(
+        "/healthz audited something",
+        !body.contains("\"audits\":0,"),
+    );
+    check("/healthz verdict is ok", body.contains("\"ok\":true"));
+
+    let (status, body) = get(addr, "GET /explain/f_ops HTTP/1.1");
+    check("/explain/f_ops is 200", status == 200);
+    check("/explain/f_ops has a body", !body.is_empty());
+
+    let (status, _) = get(addr, "GET /no-such-route HTTP/1.1");
+    check("unknown route is 404", status == 404);
+    let (status, _) = get(addr, "POST /metrics HTTP/1.1");
+    check("non-GET is 405", status == 405);
+
+    drop(plane);
+    check(
+        "listener is down after shutdown",
+        TcpStream::connect(addr).is_err(),
+    );
+    sentinel::reset();
+
+    if failures > 0 {
+        eprintln!("ops smoke FAILED: {failures} checks");
+        std::process::exit(1);
+    }
+    println!("ops smoke OK ({addr})");
+}

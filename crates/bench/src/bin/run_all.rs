@@ -90,5 +90,19 @@ fn main() {
         );
         std::process::exit(1);
     }
+    let audit = e::audit_sentinel::run();
+    if audit.gate_failed {
+        eprintln!(
+            "audit sentinel gate failed: p50 overhead {:.2}% (max {:.2}%), audited {}, \
+             divergences {}, chaos caught {} attributed {}",
+            audit.overhead * 100.0,
+            audit.max_overhead * 100.0,
+            audit.audited,
+            audit.divergences,
+            audit.chaos_divergences,
+            audit.chaos_attributed
+        );
+        std::process::exit(1);
+    }
     println!("\nAll experiments complete.");
 }

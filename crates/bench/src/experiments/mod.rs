@@ -2,6 +2,7 @@
 //! paper-style rows and returning structured results (asserted in tests).
 
 pub mod ablations;
+pub mod audit_sentinel;
 pub mod backend;
 pub mod chaos_serving;
 pub mod compiled_hotpath;

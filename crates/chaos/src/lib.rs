@@ -75,10 +75,16 @@ pub enum InjectionPoint {
     /// Snapshot writer (kill = the process died mid-write: a partial temp
     /// file is left behind and never renamed into place).
     SnapshotWrite,
+    /// Compiled window kernel outputs (kill = the specialized bytecode
+    /// silently corrupts its aggregate outputs — types and nulls preserved,
+    /// values perturbed). Exercises the consistency sentinel: only the
+    /// compiled serving path is affected, so the interpreted and
+    /// materialized oracle replays must detect the divergence.
+    CompiledKernel,
 }
 
 /// Number of injection points (array sizes below).
-pub const POINTS: usize = 10;
+pub const POINTS: usize = 11;
 
 impl InjectionPoint {
     /// Every point, in index order.
@@ -93,6 +99,7 @@ impl InjectionPoint {
         InjectionPoint::MemoryAdmission,
         InjectionPoint::WalFsync,
         InjectionPoint::SnapshotWrite,
+        InjectionPoint::CompiledKernel,
     ];
 
     /// Stable index into per-point state arrays.
@@ -108,6 +115,7 @@ impl InjectionPoint {
             InjectionPoint::MemoryAdmission => 7,
             InjectionPoint::WalFsync => 8,
             InjectionPoint::SnapshotWrite => 9,
+            InjectionPoint::CompiledKernel => 10,
         }
     }
 
@@ -124,6 +132,7 @@ impl InjectionPoint {
             InjectionPoint::MemoryAdmission => "memory_admission",
             InjectionPoint::WalFsync => "wal_fsync",
             InjectionPoint::SnapshotWrite => "snapshot_write",
+            InjectionPoint::CompiledKernel => "compiled_kernel",
         }
     }
 }
@@ -290,6 +299,7 @@ mod active {
     }
 
     pub(super) static STATE: [PointState; POINTS] = [
+        PointState::new(),
         PointState::new(),
         PointState::new(),
         PointState::new(),
@@ -592,6 +602,7 @@ mod tests {
                 "memory_admission",
                 "wal_fsync",
                 "snapshot_write",
+                "compiled_kernel",
             ]
         );
         for (i, p) in InjectionPoint::ALL.iter().enumerate() {

@@ -10,6 +10,7 @@ pub mod database;
 pub mod durability;
 pub mod memory;
 pub mod metrics;
+pub mod ops;
 
 pub use database::{Database, ExecResult};
 pub use durability::{digest_entries, DurabilityOptions};
@@ -18,3 +19,4 @@ pub use memory::{
     TableMemProfile, TableType,
 };
 pub use openmldb_online::{RequestOptions, RequestOutput, RetryPolicy};
+pub use ops::{OpsConfig, OpsPlane};

@@ -86,6 +86,10 @@ pub struct RequestScratch {
     /// cleared and rewritten in place so offering a hot key to the top-K
     /// sketch allocates nothing on the warm path.
     pub key_repr: String,
+    /// Consistency-sentinel scan digest: armed by the engine only for the
+    /// 1-in-N sampled requests, so the unsampled warm path pays a single
+    /// `bool` test per window. `Copy` and fixed-size — no heap.
+    pub audit: openmldb_obs::ScanDigest,
 }
 
 impl RequestScratch {
@@ -142,6 +146,7 @@ impl RequestScratch {
         self.out.clear();
         self.key_repr.clear();
         self.vm_stack.clear();
+        self.audit.clear();
         for w in self.windows.iter_mut().flatten() {
             w.reset();
         }

@@ -307,6 +307,7 @@ impl Recorder {
                 faults: summary.faults,
                 dropped_events: summary.dropped_events,
                 events: inner.events(),
+                note: String::new(),
             })
         }
         #[cfg(feature = "obs-off")]
@@ -527,6 +528,9 @@ pub enum Outcome {
     Failover,
     /// The request succeeded but exceeded the slow-query threshold.
     Slow,
+    /// The consistency sentinel's oracle replay disagreed bit-for-bit with
+    /// the row this request served.
+    Divergence,
 }
 
 impl Outcome {
@@ -537,6 +541,7 @@ impl Outcome {
             Outcome::Degraded => "degraded",
             Outcome::Failover => "failover",
             Outcome::Slow => "slow",
+            Outcome::Divergence => "consistency_divergence",
         }
     }
 }
@@ -559,6 +564,10 @@ pub struct PostMortem {
     pub dropped_events: u64,
     /// Retained events, oldest first.
     pub events: Vec<FlightEvent>,
+    /// Free-form annotation (empty for engine dumps). Consistency
+    /// divergences carry both row encodings here so the mismatch is
+    /// diagnosable straight from the log.
+    pub note: String,
 }
 
 impl PostMortem {
@@ -579,6 +588,9 @@ impl PostMortem {
             self.failovers,
             self.faults,
         );
+        if !self.note.is_empty() {
+            let _ = writeln!(out, "  note: {}", self.note);
+        }
         for (i, &ns) in self.stage_self_ns.iter().enumerate() {
             let pct = 100.0 * ns as f64 / self.total_ns.max(1) as f64;
             let _ = writeln!(
@@ -635,8 +647,12 @@ impl PostMortem {
         let _ = write!(out, "\"other\":{}}},", self.other_ns);
         let _ = write!(
             out,
-            "\"retries\":{},\"failovers\":{},\"faults\":{},\"dropped_events\":{},\"events\":[",
-            self.retries, self.failovers, self.faults, self.dropped_events
+            "\"retries\":{},\"failovers\":{},\"faults\":{},\"dropped_events\":{},\"note\":\"{}\",\"events\":[",
+            self.retries,
+            self.failovers,
+            self.faults,
+            self.dropped_events,
+            crate::escape_json_string(&self.note)
         );
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
@@ -871,6 +887,7 @@ mod tests {
             faults: 2,
             dropped_events: 0,
             events: vec![],
+            note: "served=[1] oracle=[2]".into(),
         };
         publish(pm.clone());
         if crate::enabled() {
@@ -879,8 +896,10 @@ mod tests {
             assert_eq!(log.last().unwrap().trace_id, 99);
             let report = render_report(false);
             assert!(report.contains("outcome=timeout"));
+            assert!(report.contains("note: served=[1] oracle=[2]"));
             let json = render_report(true);
             assert!(json.contains("\"outcome\":\"timeout\""));
+            assert!(json.contains("\"note\":\"served=[1] oracle=[2]\""));
         } else {
             assert!(slow_log().is_empty());
         }
@@ -905,6 +924,7 @@ mod tests {
                 faults: 0,
                 dropped_events: 0,
                 events: vec![],
+                note: String::new(),
             });
         }
         let log = slow_log();

@@ -34,13 +34,16 @@
 //! inlined empty body. Registration and rendering keep working (values read
 //! as zero) so instrumented call sites never need `cfg` gates of their own.
 
+pub mod audit;
 pub mod flight;
 pub mod hist;
 pub mod labels;
+pub mod ops;
 pub mod profile;
 pub mod topk;
 pub mod trace;
 
+pub use audit::{DivergenceKind, DivergenceReport, Fnv, ScanDigest};
 pub use flight::{
     FlightEvent, FlightEventKind, FlightScope, FlightSummary, Outcome, PostMortem, Recorder,
 };
@@ -48,6 +51,7 @@ pub use hist::{Exemplar, Histogram, HistogramSnapshot};
 pub use labels::{
     LabelId, LabelRegistry, LabeledCounter, LabeledHistogram, MAX_LABEL_SLOTS, OVERFLOW_LABEL,
 };
+pub use ops::{OpsHandler, OpsResponse, OpsServer};
 pub use profile::{CostProfile, ProfileScope, ProfileStore};
 pub use topk::{SpaceSaving, TopEntry};
 pub use trace::{span, with_request_trace, SpanRecord, Stage, Trace, Tracer};
@@ -602,7 +606,7 @@ impl Registry {
                     }
                     out.push_str(&format!("# TYPE {base} counter\n"));
                     for (i, v) in c.per_slot() {
-                        let label = reg.name_of(LabelId::from_index(i));
+                        let label = escape_label_value(&reg.name_of(LabelId::from_index(i)));
                         out.push_str(&format!("{base}{{deployment=\"{label}\"}} {v}\n"));
                     }
                 }
@@ -612,7 +616,7 @@ impl Registry {
                     }
                     out.push_str(&format!("# TYPE {name} summary\n"));
                     for (i, snap) in h.per_slot() {
-                        let label = reg.name_of(LabelId::from_index(i));
+                        let label = escape_label_value(&reg.name_of(LabelId::from_index(i)));
                         for (q, qlabel) in [(0.50, "0.5"), (0.99, "0.99")] {
                             out.push_str(&format!(
                                 "{name}{{deployment=\"{label}\",quantile=\"{qlabel}\"}} {}\n",
@@ -677,7 +681,7 @@ impl Registry {
                     .map(|(i, v)| {
                         format!(
                             "{{\"deployment\":\"{}\",\"value\":{v}}}",
-                            reg.name_of(LabelId::from_index(i))
+                            escape_json_string(&reg.name_of(LabelId::from_index(i)))
                         )
                     })
                     .collect(),
@@ -687,7 +691,7 @@ impl Registry {
                     .map(|(i, s)| {
                         format!(
                             "{{\"deployment\":\"{}\",\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{}}}",
-                            reg.name_of(LabelId::from_index(i)),
+                            escape_json_string(&reg.name_of(LabelId::from_index(i))),
                             s.count(),
                             s.sum(),
                             s.percentile(0.50),
@@ -723,6 +727,69 @@ impl Registry {
 /// or newline in help would otherwise corrupt the line-oriented output.
 fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a dynamic label *value* for the Prometheus exposition format
+/// (`\` → `\\`, `"` → `\"`, newline → `\n`). Registered metric names are
+/// validated up front, but deployment names flow in from user SQL and may
+/// contain any of the three characters that would corrupt a quoted value.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Unescape a Prometheus label value (inverse of [`escape_label_value`]) —
+/// used by the round-trip tests and by scrapers of the text format.
+pub fn unescape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Escape a string for embedding in a JSON double-quoted literal. Covers
+/// the same hostile deployment names as [`escape_label_value`] plus the
+/// control characters JSON forbids raw.
+pub fn escape_json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// Whether recording is compiled in (i.e. the `obs-off` feature is absent).
@@ -998,5 +1065,65 @@ mod tests {
         let r = Registry::new();
         r.counter("openmldb_online_requests_total", "");
         r.gauge("openmldb_online_requests_total", "");
+    }
+
+    #[test]
+    fn label_value_escaping_round_trips() {
+        let hostile = "evil\"dep\\one\nline";
+        let escaped = escape_label_value(hostile);
+        assert!(!escaped.contains('\n'));
+        assert_eq!(unescape_label_value(&escaped), hostile);
+        // Plain names pass through untouched.
+        assert_eq!(escape_label_value("f_short"), "f_short");
+        assert_eq!(unescape_label_value("f_short"), "f_short");
+    }
+
+    #[test]
+    fn render_escapes_hostile_deployment_names() {
+        let hostile = "bad\"name\\with\nnewline";
+        let id = LabelRegistry::deployments().resolve(hostile);
+        let r = Registry::new();
+        r.labeled_counter("openmldb_online_deployment_requests_total", "req")
+            .inc(id);
+        r.labeled_histogram("openmldb_online_deployment_duration_ns", "lat")
+            .record(id, 100);
+        let text = r.render();
+        if !enabled() {
+            return;
+        }
+        // Every exposition line must stay one line, and the quoted label
+        // value must unescape back to the original deployment name.
+        let mut seen = 0;
+        for line in text.lines() {
+            let Some(start) = line.find("deployment=\"") else {
+                continue;
+            };
+            let rest = &line[start + "deployment=\"".len()..];
+            // Find the closing unescaped quote.
+            let mut end = None;
+            let bytes = rest.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let value = &rest[..end.expect("unterminated label value")];
+            if unescape_label_value(value) == hostile {
+                seen += 1;
+            }
+        }
+        assert!(seen >= 2, "expected escaped series lines, got:\n{text}");
+
+        // The JSON render must stay parseable too: the raw quote and
+        // newline never appear unescaped inside the document.
+        let json = r.render_json();
+        assert!(json.contains(&escape_json_string(hostile)), "{json}");
+        assert!(!json.contains('\n'), "raw newline leaked into JSON");
     }
 }

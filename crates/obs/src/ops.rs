@@ -1,0 +1,259 @@
+//! Live ops plane: a tiny dependency-free HTTP/1.1 responder over
+//! [`std::net::TcpListener`] exposing the in-process observability
+//! surfaces to scrapers.
+//!
+//! Built-in routes (served straight from the global [`Registry`]):
+//!
+//! * `GET /metrics` — Prometheus text exposition ([`Registry::render`]);
+//! * `GET /report`  — JSON exposition ([`Registry::render_json`]).
+//!
+//! Everything else is delegated to the embedder's handler callback — the
+//! database facade registers `/healthz` (consistency-sentinel verdict) and
+//! `/explain/<deployment>` there, so this crate stays free of engine
+//! dependencies. Unknown paths 404; non-GET methods 405.
+//!
+//! Under `obs-off` the listener is compiled out: [`serve`] returns
+//! `ErrorKind::Unsupported` and no socket is ever bound.
+
+use std::io;
+#[cfg(not(feature = "obs-off"))]
+use std::io::{Read as _, Write as _};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+#[cfg(not(feature = "obs-off"))]
+use std::time::Duration;
+
+/// Route handler: maps a request path to a response, or `None` to 404.
+/// Consulted for every path without a built-in route.
+pub type OpsHandler = Arc<dyn Fn(&str) -> Option<OpsResponse> + Send + Sync>;
+
+/// One HTTP response: status code, content type, body.
+#[derive(Clone, Debug)]
+pub struct OpsResponse {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl OpsResponse {
+    pub fn ok(content_type: &'static str, body: String) -> Self {
+        OpsResponse {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    // Only called from the connection handler, which `obs-off` compiles out.
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        }
+    }
+}
+
+/// A running ops listener. Dropping (or calling [`shutdown`]) stops the
+/// accept loop and joins the serving thread.
+///
+/// [`shutdown`]: OpsServer::shutdown
+pub struct OpsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl OpsServer {
+    /// The bound address (resolves port 0 to the kernel-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the serving thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for OpsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+fn ops_requests() -> &'static Arc<crate::Counter> {
+    static C: std::sync::OnceLock<Arc<crate::Counter>> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        crate::Registry::global().counter(
+            "openmldb_obs_ops_requests_total",
+            "HTTP requests served by the ops endpoint",
+        )
+    })
+}
+
+/// Resolve `path` against the built-in routes, then `handler`. Pure —
+/// exercised directly by tests without a socket.
+pub fn route(method: &str, path: &str, handler: &OpsHandler) -> OpsResponse {
+    if method != "GET" {
+        return OpsResponse {
+            status: 405,
+            content_type: "text/plain",
+            body: "method not allowed\n".into(),
+        };
+    }
+    match path {
+        "/metrics" => OpsResponse::ok(
+            "text/plain; version=0.0.4",
+            crate::Registry::global().render(),
+        ),
+        "/report" => OpsResponse::ok("application/json", crate::Registry::global().render_json()),
+        _ => handler(path).unwrap_or(OpsResponse {
+            status: 404,
+            content_type: "text/plain",
+            body: "not found\n".into(),
+        }),
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve on a background thread.
+///
+/// Compiled out under `obs-off`: returns `ErrorKind::Unsupported`.
+#[cfg(not(feature = "obs-off"))]
+pub fn serve(addr: &str, handler: OpsHandler) -> io::Result<OpsServer> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("openmldb-ops".into())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        ops_requests().inc();
+                        let _ = handle_connection(stream, &handler);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })?;
+    Ok(OpsServer {
+        addr: bound,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+/// `obs-off` stub: the ops plane is compiled out with the rest of the
+/// observability layer.
+#[cfg(feature = "obs-off")]
+pub fn serve(addr: &str, handler: OpsHandler) -> io::Result<OpsServer> {
+    let _ = (addr, handler);
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "ops endpoint compiled out (obs-off)",
+    ))
+}
+
+#[cfg(not(feature = "obs-off"))]
+fn handle_connection(mut stream: std::net::TcpStream, handler: &OpsHandler) -> io::Result<()> {
+    // The accepted socket inherits the listener's non-blocking mode on some
+    // platforms; serve the one request with bounded blocking reads instead.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut head = [0u8; 2048];
+    let mut len = 0usize;
+    loop {
+        if len == head.len() {
+            break;
+        }
+        let n = stream.read(&mut head[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if head[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&head[..len]);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    let resp = route(method, path, handler);
+    let headers = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        resp.status_text(),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(headers.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_extra() -> OpsHandler {
+        Arc::new(|_| None)
+    }
+
+    #[test]
+    fn route_serves_builtins_and_delegates() {
+        let r = route("GET", "/metrics", &no_extra());
+        assert_eq!(r.status, 200);
+        let r = route("GET", "/report", &no_extra());
+        assert_eq!(r.status, 200);
+        assert!(r.body.starts_with("{\"metrics\""));
+        let r = route("GET", "/nope", &no_extra());
+        assert_eq!(r.status, 404);
+        let r = route("POST", "/metrics", &no_extra());
+        assert_eq!(r.status, 405);
+        let handler: OpsHandler = Arc::new(|path| {
+            (path == "/healthz")
+                .then(|| OpsResponse::ok("application/json", "{\"ok\":true}".into()))
+        });
+        let r = route("GET", "/healthz", &handler);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn serve_round_trips_over_tcp_or_is_unsupported() {
+        match serve("127.0.0.1:0", no_extra()) {
+            Ok(mut server) => {
+                assert!(crate::enabled(), "serve must fail under obs-off");
+                let addr = server.addr();
+                let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+                use std::io::{Read as _, Write as _};
+                conn.write_all(b"GET /report HTTP/1.1\r\nHost: x\r\n\r\n")
+                    .expect("write");
+                let mut body = String::new();
+                conn.read_to_string(&mut body).expect("read");
+                assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+                assert!(body.contains("{\"metrics\""), "{body}");
+                server.shutdown();
+            }
+            Err(e) => {
+                assert!(!crate::enabled(), "bind failed with obs on: {e}");
+                assert_eq!(e.kind(), io::ErrorKind::Unsupported);
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! steady-state offers on monitored keys are a HashMap probe and a counter
 //! bump. Under `obs-off`, [`SpaceSaving::offer`] compiles to a no-op.
 
+#[cfg(not(feature = "obs-off"))]
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 

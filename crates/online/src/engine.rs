@@ -86,7 +86,13 @@ pub struct Deployment {
     join_right_keys: Vec<Vec<usize>>,
     /// Base-schema codec: the streaming scan reads stored rows in place
     /// through [`RowView`](openmldb_types::RowView) instead of decoding.
-    codec: CompactCodec,
+    /// `pub(crate)` so the consistency sentinel can re-encode request rows
+    /// into its pooled capture buffers.
+    pub(crate) codec: CompactCodec,
+    /// Every table this deployment reads (base + joins + window unions),
+    /// deduped — the sentinel hashes these tables' replication offsets into
+    /// a version signature to detect writes racing an audit replay.
+    read_tables: Vec<String>,
     /// The deploy-time specialized bytecode program — monomorphized window
     /// kernels plus flattened select/WHERE expressions. Shared across
     /// deployments of the same cached plan; windows it declined stay on the
@@ -128,6 +134,15 @@ impl Deployment {
             .collect();
         let codec = CompactCodec::new(query.base_schema.clone());
         let program = openmldb_exec::specialize(&query);
+        let mut read_tables = vec![query.base_table.clone()];
+        for join in &query.joins {
+            read_tables.push(join.table.clone());
+        }
+        for window in &query.windows {
+            read_tables.extend(window.union_tables.iter().cloned());
+        }
+        read_tables.sort();
+        read_tables.dedup();
         Deployment {
             name,
             query,
@@ -136,6 +151,7 @@ impl Deployment {
             by_window,
             join_right_keys,
             codec,
+            read_tables,
             program,
             scratch_pool: Mutex::new(Vec::new()),
             label,
@@ -160,6 +176,12 @@ impl Deployment {
     /// which its workload attribution accumulates).
     pub fn label(&self) -> LabelId {
         self.label
+    }
+
+    /// Every table this deployment reads, sorted and deduped (base table,
+    /// join tables, window union tables).
+    pub fn read_tables(&self) -> &[String] {
+        &self.read_tables
     }
 
     pub fn with_preagg(mut self, window_id: usize, preagg: Arc<PreAggregator>) -> Self {
@@ -213,6 +235,13 @@ pub fn execute_request_with(
 ) -> Result<RequestOutput> {
     let mut scratch = dep.take_scratch();
     scratch.reset();
+    // Consistency sentinel: 1-in-N sampling decision, taken before the
+    // pipeline runs so the scan pass can fold per-window input digests.
+    // HOT: unsampled requests pay one atomic fetch_add and a branch.
+    let audit_sig = crate::sentinel::should_sample().then(|| {
+        scratch.audit.arm();
+        crate::sentinel::version_signature(provider, dep)
+    });
     // The recorder moves out of the scratch for the duration of the scope so
     // the pipeline below can borrow the scratch mutably. `Recorder` is a
     // pooled `Option<Box<_>>`; the take/put pair moves a pointer, it does
@@ -273,6 +302,9 @@ pub fn execute_request_with(
         }
     };
     maybe_dump_post_mortem(&flight, &summary, &result);
+    if let Some(pre_sig) = audit_sig {
+        crate::sentinel::capture(provider, dep, request, &scratch, &result, pre_sig);
+    }
     scratch.flight = flight;
     dep.put_scratch(scratch);
     result
@@ -298,6 +330,26 @@ fn attribute_request(dep: &Deployment, prof: &CostProfile) {
     m::deployment_duration().record(label, prof.total_ns);
     SpaceSaving::hot_deployments().offer(&dep.name);
     ProfileStore::global().fold(label, prof);
+}
+
+/// Perturb aggregate outputs in place for the `compiled_kernel` chaos
+/// point: numeric values shift by one, booleans flip; nulls and strings
+/// stay intact so every downstream encoding still round-trips and the only
+/// observable fault is a silently wrong answer — exactly what the
+/// consistency sentinel exists to catch.
+#[cfg_attr(not(feature = "chaos"), allow(dead_code))]
+fn corrupt_values(out: &mut [Value]) {
+    for v in out.iter_mut() {
+        match v {
+            Value::Int(x) => *x = x.wrapping_add(1),
+            Value::Bigint(x) => *x = x.wrapping_add(1),
+            Value::Timestamp(x) => *x = x.wrapping_add(1),
+            Value::Float(x) => *x += 1.0,
+            Value::Double(x) => *x += 1.0,
+            Value::Bool(b) => *b = !*b,
+            Value::Null | Value::Str(_) => {}
+        }
+    }
 }
 
 /// Post-mortem dump decision, taken once per request after the flight scope
@@ -329,8 +381,10 @@ fn maybe_dump_post_mortem(
 
 // HOT: the steady-state request path — every buffer comes from `scratch`
 // and is reused across requests; a warm request must not allocate before
-// the final output row.
-fn execute_streaming(
+// the final output row. `pub(crate)` so the consistency sentinel can replay
+// captured requests through the interpreted oracle without re-entering the
+// metric-recording wrapper.
+pub(crate) fn execute_streaming(
     provider: &dyn TableProvider,
     dep: &Deployment,
     request: &Row,
@@ -358,6 +412,7 @@ fn execute_streaming(
         // Written by `execute_request_with` after the scopes close.
         profile: _,
         key_repr: _,
+        audit,
     } = scratch;
 
     // 1. LAST JOINs: build the combined row in the warm scratch buffer.
@@ -598,6 +653,23 @@ fn execute_streaming(
                 // Every arena byte is decoded through a borrowed view below.
                 openmldb_obs::profile::record_bytes(arena.len() as u64);
 
+                // Consistency-sentinel scan digest: fold the pre-sort scan
+                // order (deterministic for a fixed table state — retries
+                // rewind to a checkpoint, so the content is identical
+                // across re-runs) so the audit replay can verify the oracle
+                // saw the same window inputs. Preagg-served windows return
+                // earlier and leave their slot unset; the auditor skips
+                // them.
+                // HOT: a single bool test per window when sampling is off.
+                if audit.armed() {
+                    let mut f = openmldb_obs::Fnv::new();
+                    for e in entries.iter() {
+                        f.write_u64(e.ts as u64);
+                        f.write(e.bytes(arena));
+                    }
+                    openmldb_obs::ScanDigest::record(audit, wid, openmldb_obs::Fnv::finish(f));
+                }
+
                 obs::span(obs::Stage::Aggregate, || -> Result<()> {
                     ctx.check("aggregate")?;
                     let budget_ms = ctx.opts.deadline.budget_ms();
@@ -654,6 +726,15 @@ fn execute_streaming(
                         )?;
                         out.clear();
                         wp.outputs_into(state, arena, req, out)?;
+                        // Chaos: a kill at `compiled_kernel` models a
+                        // miscompiled specialized program — aggregate values
+                        // silently perturbed (types and nulls preserved) so
+                        // the consistency sentinel has a real fault to catch.
+                        if openmldb_chaos::inject_kill(
+                            openmldb_chaos::InjectionPoint::CompiledKernel,
+                        ) {
+                            corrupt_values(out);
+                        }
                         for (slot, v) in dep.by_window[wid].iter().zip(out.drain(..)) {
                             agg_values[*slot] = v;
                         }
@@ -853,7 +934,7 @@ pub fn execute_request_materialized_with(
     result
 }
 
-fn execute_request_inner_materialized(
+pub(crate) fn execute_request_inner_materialized(
     provider: &dyn TableProvider,
     dep: &Deployment,
     request: &Row,

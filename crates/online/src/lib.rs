@@ -13,13 +13,18 @@
 //! * [`segtree`] — segment-tree range-merge structure and the query
 //!   frequency tracker behind hierarchy adaptation;
 //! * [`resilience`] — deadline budgets, bounded retries, replica failover,
-//!   and the buckets-only degradation tier for the request path.
+//!   and the buckets-only degradation tier for the request path;
+//! * [`sentinel`] — the consistency sentinel: 1-in-N sampled serves are
+//!   re-executed through the interpreted and materialized oracle paths and
+//!   compared bit-for-bit, turning the differential-test oracles into a
+//!   continuous production audit.
 
 pub mod engine;
 pub mod metrics;
 pub mod preagg;
 pub mod resilience;
 pub mod segtree;
+pub mod sentinel;
 pub mod window_union;
 
 pub use engine::{
@@ -30,4 +35,5 @@ pub use engine::{
 pub use preagg::PreAggregator;
 pub use resilience::{RequestOptions, RequestOutput, RetryPolicy};
 pub use segtree::{FrequencyTracker, Mergeable, SegmentTree};
+pub use sentinel::{AuditStats, SentinelStats};
 pub use window_union::{Scheduling, UnionConfig, WindowUnion};

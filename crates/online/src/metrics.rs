@@ -252,3 +252,86 @@ pub fn union_worker_load(worker: usize) -> Arc<Gauge> {
         "Tuples processed per window-union worker",
     )
 }
+
+/// Requests sampled onto the consistency-sentinel audit queue.
+pub fn sentinel_samples() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_sentinel_samples_total",
+        "Served requests captured for consistency auditing",
+    )
+}
+
+/// Sampled requests the auditor actually replayed through the oracles.
+pub fn sentinel_audits() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_sentinel_audits_total",
+        "Sampled requests re-executed through the interpreted and materialized oracles",
+    )
+}
+
+/// Confirmed online/offline divergences (served output or scan inputs
+/// disagreed with an oracle replay at an unchanged table version).
+pub fn sentinel_divergences() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_sentinel_divergences_total",
+        "Confirmed consistency divergences between served and oracle results",
+    )
+}
+
+/// Audits skipped because the table version changed between capture and
+/// replay (a concurrent write makes the comparison meaningless, not wrong).
+pub fn sentinel_stale_skips() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_sentinel_stale_skips_total",
+        "Audits skipped because the table version moved under the sample",
+    )
+}
+
+/// Samples dropped because the bounded audit queue was full.
+pub fn sentinel_dropped() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_sentinel_dropped_total",
+        "Sentinel samples dropped on a full audit queue",
+    )
+}
+
+/// Oracle replays that errored (deployment vanished, replay failure).
+pub fn sentinel_errors() -> &'static Counter {
+    static M: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(
+        &M,
+        "openmldb_online_sentinel_errors_total",
+        "Sentinel oracle replays that failed outright",
+    )
+}
+
+/// Current depth of the sentinel audit queue (captured, not yet audited).
+pub fn sentinel_lag() -> &'static Gauge {
+    static M: OnceLock<Arc<Gauge>> = OnceLock::new();
+    M.get_or_init(|| {
+        Registry::global().gauge(
+            "openmldb_online_sentinel_lag_count",
+            "Sentinel samples waiting in the audit queue",
+        )
+    })
+}
+
+/// Per-deployment confirmed divergences (labeled by deployment name).
+pub fn deployment_divergences() -> &'static LabeledCounter {
+    static M: OnceLock<Arc<LabeledCounter>> = OnceLock::new();
+    labeled(
+        &M,
+        "openmldb_online_deployment_divergences_total",
+        "Confirmed consistency divergences per deployment",
+    )
+}

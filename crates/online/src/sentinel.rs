@@ -1,0 +1,493 @@
+//! Consistency sentinel: continuous online/offline audit of served results.
+//!
+//! The serving path samples 1-in-N requests (see
+//! [`execute_request_with`](crate::engine::execute_request_with)): for a
+//! sampled request it arms the scratch's [`ScanDigest`] so the window scan
+//! folds a digest of every raw input row, then captures the request row
+//! bytes, the served output digest, and a version signature of every table
+//! the deployment reads. Capture is allocation-recycling — samples come
+//! from a pool and the encoded request row reuses the pooled buffer — and
+//! strictly off the unsampled warm path.
+//!
+//! A background auditor ([`drain`]) re-executes each sample through two
+//! independent oracles — the interpreted streaming path (compiled kernels
+//! forced off) and the materializing reference pipeline — and compares
+//! bit-for-bit: output value digests and per-window scan-input digests.
+//! Divergences at an unchanged table version are confirmed faults: they
+//! increment per-deployment labeled counters, publish a
+//! `consistency_divergence` flight-recorder post-mortem carrying both row
+//! encodings, and land in the bounded divergence log
+//! ([`openmldb_obs::audit`]). Audits whose table version moved between
+//! capture and replay are counted as stale skips, never as divergences.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use openmldb_exec::RequestScratch;
+use openmldb_obs::audit::{publish_divergence, DivergenceKind, DivergenceReport};
+use openmldb_obs::flight::{self, PostMortem, NUM_STAGES};
+use openmldb_obs::{Fnv, Outcome, ScanDigest};
+use openmldb_types::codec::RowCodec;
+use openmldb_types::{Result, Row, Value};
+
+use crate::engine::{
+    execute_request_inner_materialized, execute_streaming, Deployment, TableProvider,
+};
+use crate::resilience::{Ctx, RequestOptions, RequestOutput};
+
+/// Bound on captured-but-unaudited samples. A full queue drops new samples
+/// (counted) rather than stalling the serving path.
+pub const MAX_QUEUE: usize = 1024;
+
+/// One captured serve awaiting audit. All owned buffers are recycled
+/// through the sample pool, so steady-state capture performs no allocation
+/// once the pool and buffers are warm.
+#[derive(Default)]
+struct AuditSample {
+    /// Deployment name (reused String buffer).
+    deployment: String,
+    /// Request row, compact-encoded with the deployment's base codec.
+    request: Vec<u8>,
+    /// FNV digest of the served output row's values.
+    row_digest: u64,
+    /// Debug render of the served output row (for the divergence report).
+    row_repr: String,
+    /// Per-window digests of the raw rows the serve actually scanned.
+    scan: ScanDigest,
+    /// Version signature of every read table at capture time.
+    version_sig: u64,
+    /// Trace id of the served request (links the post-mortem back).
+    trace_id: u64,
+}
+
+struct Sentinel {
+    /// Sample 1-in-N requests; 0 disables sampling entirely.
+    every: AtomicU32,
+    /// Monotonic request counter driving the 1-in-N decision.
+    counter: AtomicU64,
+    /// Captured samples awaiting audit, oldest first.
+    queue: Mutex<VecDeque<AuditSample>>,
+    /// Recycled sample shells (buffers keep their capacity).
+    pool: Mutex<Vec<AuditSample>>,
+    /// Interpreted oracle twins, keyed by deployment name. Invalidated
+    /// when the live deployment's compiled query is replaced.
+    twins: Mutex<HashMap<String, Arc<Deployment>>>,
+}
+
+fn sentinel() -> &'static Sentinel {
+    static S: OnceLock<Sentinel> = OnceLock::new();
+    S.get_or_init(|| Sentinel {
+        every: AtomicU32::new(0),
+        counter: AtomicU64::new(0),
+        queue: Mutex::new(VecDeque::new()),
+        pool: Mutex::new(Vec::new()),
+        twins: Mutex::new(HashMap::new()),
+    })
+}
+
+/// Set the sampling rate: audit one in `n` served requests (`0` = off,
+/// the default — serving pays one atomic add and a branch per request).
+pub fn set_sample_every(n: u32) {
+    sentinel().every.store(n, Ordering::Relaxed);
+}
+
+/// The current 1-in-N sampling rate (`0` = off).
+pub fn sample_every() -> u32 {
+    sentinel().every.load(Ordering::Relaxed)
+}
+
+/// Captured samples currently waiting in the audit queue.
+pub fn queue_len() -> usize {
+    sentinel().queue.lock().map(|q| q.len()).unwrap_or(0)
+}
+
+/// Drop all pending samples and cached oracle twins and restart the
+/// sampling counter. Cumulative metrics are left alone (they are
+/// process-wide monotonic counters); tests work with deltas.
+pub fn reset() {
+    let s = sentinel();
+    s.counter.store(0, Ordering::Relaxed);
+    if let Ok(mut q) = s.queue.lock() {
+        q.clear();
+    }
+    if let Ok(mut t) = s.twins.lock() {
+        t.clear();
+    }
+    crate::metrics::sentinel_lag().set(0.0);
+}
+
+/// Per-request sampling decision.
+// HOT: one relaxed fetch_add + modulo on the sampled path; a single load
+// and branch when sampling is off or observability is compiled out.
+pub(crate) fn should_sample() -> bool {
+    if !openmldb_obs::enabled() {
+        return false;
+    }
+    let every = sentinel().every.load(Ordering::Relaxed);
+    if every == 0 {
+        return false;
+    }
+    sentinel()
+        .counter
+        .fetch_add(1, Ordering::Relaxed)
+        .is_multiple_of(u64::from(every))
+}
+
+/// Hash every read table's replication offset into one signature. Two
+/// equal signatures mean no write landed in any table the deployment reads
+/// between the two observations, so a replay must reproduce the serve
+/// bit-for-bit.
+pub(crate) fn version_signature(provider: &dyn TableProvider, dep: &Deployment) -> u64 {
+    let mut f = Fnv::new();
+    for name in dep.read_tables() {
+        f.write(name.as_bytes());
+        match provider.table(name) {
+            Some(table) => f.write_u64(table.replicator().len()),
+            None => f.write_u64(u64::MAX),
+        }
+    }
+    f.finish()
+}
+
+/// FNV digest over a row's values: type discriminant plus exact bit
+/// pattern per value, so any served/oracle difference — including a float
+/// ULP or a NULL flip — changes the digest.
+fn digest_row(values: &[Value]) -> u64 {
+    let mut f = Fnv::new();
+    for v in values {
+        match v {
+            Value::Null => f.write_u64(0),
+            Value::Bool(b) => {
+                f.write_u64(1);
+                f.write_u64(u64::from(*b));
+            }
+            Value::Int(x) => {
+                f.write_u64(2);
+                f.write_u64(*x as u64);
+            }
+            Value::Bigint(x) => {
+                f.write_u64(3);
+                f.write_u64(*x as u64);
+            }
+            Value::Float(x) => {
+                f.write_u64(4);
+                f.write_u64(u64::from(x.to_bits()));
+            }
+            Value::Double(x) => {
+                f.write_u64(5);
+                f.write_u64(x.to_bits());
+            }
+            Value::Timestamp(x) => {
+                f.write_u64(6);
+                f.write_u64(*x as u64);
+            }
+            Value::Str(s) => {
+                f.write_u64(7);
+                f.write(s.as_bytes());
+            }
+        }
+    }
+    f.finish()
+}
+
+/// Capture one sampled serve onto the audit queue. Called by the engine
+/// after the request finished, outside the latency measurement; only
+/// clean (non-degraded, non-error) serves are auditable.
+pub(crate) fn capture(
+    provider: &dyn TableProvider,
+    dep: &Deployment,
+    request: &Row,
+    scratch: &RequestScratch,
+    result: &Result<RequestOutput>,
+    pre_sig: u64,
+) {
+    let out = match result {
+        Ok(out) if !out.degraded => out,
+        // Errors and degraded answers are already surfaced through their
+        // own metrics; the sentinel audits only answers claimed correct.
+        _ => return,
+    };
+    // A write landed mid-serve: the scan digests describe a state no
+    // replay can reproduce. Skip, counted.
+    if version_signature(provider, dep) != pre_sig {
+        crate::metrics::sentinel_stale_skips().inc();
+        return;
+    }
+    let s = sentinel();
+    // Pool and queue are never held together: the pool guard lives only
+    // inside this block, and the overflow path below recycles after the
+    // queue guard has been released.
+    let mut sample = {
+        let popped = s.pool.lock().ok().and_then(|mut p| p.pop());
+        popped.unwrap_or_default()
+    };
+    sample.deployment.clear();
+    sample.deployment.push_str(&dep.name);
+    if dep.codec.encode_into(request, &mut sample.request).is_err() {
+        // The serve validated this row already; an encode failure here is
+        // unreachable in practice but must not panic the serving path.
+        recycle(sample);
+        return;
+    }
+    sample.row_digest = digest_row(out.row.values());
+    sample.row_repr.clear();
+    let _ = write!(sample.row_repr, "{:?}", out.row.values());
+    sample.scan = scratch.audit;
+    sample.version_sig = pre_sig;
+    sample.trace_id = out.trace_id;
+
+    crate::metrics::sentinel_samples().inc();
+    let mut overflow = None;
+    let depth = {
+        match s.queue.lock() {
+            Ok(mut q) if q.len() < MAX_QUEUE => {
+                q.push_back(sample);
+                q.len()
+            }
+            Ok(_) => {
+                overflow = Some(sample);
+                0
+            }
+            Err(_) => return,
+        }
+    };
+    if let Some(sample) = overflow {
+        crate::metrics::sentinel_dropped().inc();
+        recycle(sample);
+        return;
+    }
+    crate::metrics::sentinel_lag().set(depth as f64);
+}
+
+fn recycle(mut sample: AuditSample) {
+    sample.scan.clear();
+    if let Ok(mut pool) = sentinel().pool.lock() {
+        if pool.len() < 64 {
+            pool.push(sample);
+        }
+    }
+}
+
+/// The oracle twin for a live deployment: same compiled query, every
+/// window and expression forced onto the interpreted path, no
+/// pre-aggregators — so the twin always raw-scans and its scan digests are
+/// comparable to a raw-scanned serve. Cached per name; invalidated when
+/// the live deployment's query is replaced.
+fn twin_for(dep: &Arc<Deployment>) -> Arc<Deployment> {
+    let s = sentinel();
+    if let Ok(mut twins) = s.twins.lock() {
+        if let Some(twin) = twins.get(&dep.name) {
+            if Arc::ptr_eq(&twin.query, &dep.query) {
+                return Arc::clone(twin);
+            }
+        }
+        let twin = Arc::new(
+            Deployment::new(dep.name.clone(), Arc::clone(&dep.query)).with_interpreted_windows(),
+        );
+        twins.insert(dep.name.clone(), Arc::clone(&twin));
+        twin
+    } else {
+        Arc::new(
+            Deployment::new(dep.name.clone(), Arc::clone(&dep.query)).with_interpreted_windows(),
+        )
+    }
+}
+
+/// Outcome of one [`drain`] call.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AuditStats {
+    /// Samples replayed through both oracles.
+    pub audited: u64,
+    /// Confirmed divergences among them.
+    pub divergences: u64,
+    /// Samples skipped because the table version moved.
+    pub stale_skips: u64,
+    /// Replays that errored (deployment gone, oracle failure).
+    pub errors: u64,
+    /// Samples still queued after this drain.
+    pub remaining: usize,
+}
+
+/// Cumulative sentinel state, read from the process-wide metrics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SentinelStats {
+    pub samples: u64,
+    pub audits: u64,
+    pub divergences: u64,
+    pub stale_skips: u64,
+    pub dropped: u64,
+    pub errors: u64,
+    pub queue: usize,
+}
+
+/// Cumulative totals since process start.
+pub fn stats() -> SentinelStats {
+    use crate::metrics as m;
+    SentinelStats {
+        samples: m::sentinel_samples().value(),
+        audits: m::sentinel_audits().value(),
+        divergences: m::sentinel_divergences().value(),
+        stale_skips: m::sentinel_stale_skips().value(),
+        dropped: m::sentinel_dropped().value(),
+        errors: m::sentinel_errors().value(),
+        queue: queue_len(),
+    }
+}
+
+/// Audit up to `max` queued samples: replay each through the interpreted
+/// and materialized oracles and compare digests. `lookup` resolves a
+/// deployment name to its live deployment (samples for dropped
+/// deployments count as errors).
+pub fn drain(
+    provider: &dyn TableProvider,
+    lookup: &dyn Fn(&str) -> Option<Arc<Deployment>>,
+    max: usize,
+) -> AuditStats {
+    let s = sentinel();
+    let mut stats = AuditStats::default();
+    let mut scratch = RequestScratch::new();
+    for _ in 0..max {
+        let Some(sample) = s.queue.lock().ok().and_then(|mut q| q.pop_front()) else {
+            break;
+        };
+        audit_one(provider, lookup, &sample, &mut scratch, &mut stats);
+        recycle(sample);
+    }
+    stats.remaining = queue_len();
+    crate::metrics::sentinel_lag().set(stats.remaining as f64);
+    stats
+}
+
+fn audit_one(
+    provider: &dyn TableProvider,
+    lookup: &dyn Fn(&str) -> Option<Arc<Deployment>>,
+    sample: &AuditSample,
+    scratch: &mut RequestScratch,
+    stats: &mut AuditStats,
+) {
+    let Some(dep) = lookup(&sample.deployment) else {
+        crate::metrics::sentinel_errors().inc();
+        stats.errors += 1;
+        return;
+    };
+    // The table moved since capture: replays would legitimately differ.
+    if version_signature(provider, &dep) != sample.version_sig {
+        crate::metrics::sentinel_stale_skips().inc();
+        stats.stale_skips += 1;
+        return;
+    }
+    let request = match dep.codec.decode(&sample.request) {
+        Ok(row) => row,
+        Err(_) => {
+            crate::metrics::sentinel_errors().inc();
+            stats.errors += 1;
+            return;
+        }
+    };
+    let twin = twin_for(&dep);
+
+    // Oracle 1: interpreted streaming replay, scan digests armed.
+    scratch.reset();
+    scratch.audit.arm();
+    let opts = RequestOptions::default();
+    let ctx = Ctx::new(&opts);
+    let interpreted = execute_streaming(provider, &twin, &request, &ctx, scratch);
+    // Oracle 2: the materializing reference pipeline.
+    let ctx2 = Ctx::new(&opts);
+    let materialized = execute_request_inner_materialized(provider, &twin, &request, &ctx2);
+    let (interpreted, materialized) = match (interpreted, materialized) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => {
+            crate::metrics::sentinel_errors().inc();
+            stats.errors += 1;
+            return;
+        }
+    };
+    crate::metrics::sentinel_audits().inc();
+    stats.audited += 1;
+
+    let mismatch = first_mismatch(sample, &interpreted, &materialized, &scratch.audit);
+    let Some((kind, window, oracle)) = mismatch else {
+        return;
+    };
+    // Confirm before reporting: a write that landed during the replay
+    // makes the disagreement stale, not wrong.
+    if version_signature(provider, &dep) != sample.version_sig {
+        crate::metrics::sentinel_stale_skips().inc();
+        stats.stale_skips += 1;
+        return;
+    }
+    stats.divergences += 1;
+    crate::metrics::sentinel_divergences().inc();
+    crate::metrics::deployment_divergences().inc(dep.label());
+    let report = DivergenceReport {
+        deployment: sample.deployment.clone(),
+        trace_id: sample.trace_id,
+        kind,
+        window,
+        served: sample.row_repr.clone(),
+        oracle,
+    };
+    let mut note = String::new();
+    let _ = write!(
+        note,
+        "{}: served={} oracle={}",
+        kind.name(),
+        report.served,
+        report.oracle
+    );
+    flight::publish(PostMortem {
+        trace_id: sample.trace_id,
+        outcome: Outcome::Divergence,
+        culprit: "consistency",
+        total_ns: 0,
+        stage_self_ns: [0; NUM_STAGES],
+        other_ns: 0,
+        retries: 0,
+        failovers: 0,
+        faults: 0,
+        dropped_events: 0,
+        events: Vec::new(),
+        note,
+    });
+    publish_divergence(report);
+}
+
+/// Compare the served sample against both oracle replays; the first
+/// disagreement wins (output mismatches before scan-input mismatches, the
+/// interpreted oracle before the materialized one).
+fn first_mismatch(
+    sample: &AuditSample,
+    interpreted: &Row,
+    materialized: &Row,
+    replay_scan: &ScanDigest,
+) -> Option<(DivergenceKind, Option<usize>, String)> {
+    if digest_row(interpreted.values()) != sample.row_digest {
+        return Some((
+            DivergenceKind::OutputInterpreted,
+            None,
+            format!("{:?}", interpreted.values()),
+        ));
+    }
+    if digest_row(materialized.values()) != sample.row_digest {
+        return Some((
+            DivergenceKind::OutputMaterialized,
+            None,
+            format!("{:?}", materialized.values()),
+        ));
+    }
+    for wid in 0..openmldb_obs::audit::DIGEST_WINDOWS {
+        if let (Some(served), Some(oracle)) = (sample.scan.slot(wid), replay_scan.slot(wid)) {
+            if served != oracle {
+                return Some((
+                    DivergenceKind::ScanInput,
+                    Some(wid),
+                    format!("scan digest {oracle:#018x} (served {served:#018x})"),
+                ));
+            }
+        }
+    }
+    None
+}

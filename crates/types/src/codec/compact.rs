@@ -164,9 +164,25 @@ impl RowCodec for CompactCodec {
     }
 
     fn encode(&self, row: &Row) -> Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.encode_into(row, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn decode(&self, buf: &[u8]) -> Result<Row> {
+        self.decode_projected(buf, None)
+    }
+}
+
+impl CompactCodec {
+    /// Encode into a caller-owned buffer, clearing it first — the pooled
+    /// variant of [`RowCodec::encode`]: the buffer's capacity is reused
+    /// across calls, so a warm caller encodes without allocating.
+    pub fn encode_into(&self, row: &Row, buf: &mut Vec<u8>) -> Result<()> {
         self.schema.validate_row(row.values())?;
         let (total, ow) = self.layout(row)?;
-        let mut buf = vec![0u8; total];
+        buf.clear();
+        buf.resize(total, 0);
 
         // Header.
         buf[0] = self.field_version;
@@ -219,15 +235,9 @@ impl RowCodec for CompactCodec {
                 _ => buf[at..at + 4].copy_from_slice(&(cursor as u32).to_le_bytes()),
             }
         }
-        Ok(buf)
+        Ok(())
     }
 
-    fn decode(&self, buf: &[u8]) -> Result<Row> {
-        self.decode_projected(buf, None)
-    }
-}
-
-impl CompactCodec {
     /// Decode only the columns marked in `wanted` (others become `Null`),
     /// or everything when `wanted` is `None`.
     ///

@@ -42,6 +42,7 @@ pub use openmldb_core::{
     estimate_memory, recommend_engine, Database, EngineChoice, ExecResult, IndexMemProfile,
     MemoryAlert, MemoryMonitor, TableMemProfile, TableType,
 };
+pub use openmldb_core::{OpsConfig, OpsPlane};
 pub use openmldb_core::{RequestOptions, RequestOutput, RetryPolicy};
 pub use openmldb_exec as exec;
 pub use openmldb_obs as obs;
